@@ -1,0 +1,57 @@
+"""Figure 4 — the range-limiter window shrinking with temperature.
+
+Figure 4 is illustrative: the window spans the whole core at T-inf and
+contracts with log T down to its minimum span at T0.  This bench prints
+the window-span-versus-temperature series for the paper's rho = 4 and
+checks its defining properties (monotone in T, full span at T-inf,
+minimum span at the end, Eqn 28 consistency for the stage-2 entry
+point mu = 0.03).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annealing import MIN_WINDOW_SPAN, RangeLimiter
+
+from .common import emit
+
+T_INFINITY = 1.0e5
+SPAN = 2000.0
+
+
+def run_fig4():
+    limiter = RangeLimiter(SPAN, SPAN, T_INFINITY, rho=4.0)
+    temps = [T_INFINITY / (10 ** k) for k in range(0, 13)]
+    rows = []
+    for t in temps:
+        rows.append(
+            [
+                f"{t:.3g}",
+                limiter.window_x(t),
+                limiter.window_x(t) / SPAN,
+                "yes" if limiter.at_minimum(t) else "",
+            ]
+        )
+    return limiter, rows
+
+
+def test_fig4_range_limiter(benchmark):
+    limiter, rows = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    emit(
+        "fig4",
+        "Figure 4: range-limiter window span vs temperature (rho = 4)",
+        ["T", "W(T)", "fraction of core", "at minimum"],
+        [[t, f"{w:.1f}", f"{f:.4f}", m] for t, w, f, m in rows],
+        notes=(
+            "Shape check: full-core window at T-inf, log-linear shrink,\n"
+            "clamped at the 6-grid-unit minimum span that ends stage 1."
+        ),
+    )
+    spans = [float(r[1]) for r in rows]
+    assert spans[0] == pytest.approx(SPAN)
+    assert all(a >= b for a, b in zip(spans, spans[1:]))
+    assert spans[-1] == MIN_WINDOW_SPAN
+    # Eqn 28 consistency: at T' the window is mu of the full span.
+    t_prime = limiter.temperature_for_fraction(0.03)
+    assert limiter.window_x(t_prime) / SPAN == pytest.approx(0.03, rel=1e-6)

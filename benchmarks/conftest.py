@@ -1,0 +1,1 @@
+"""Benchmark collection configuration (pytest-benchmark)."""

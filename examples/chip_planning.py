@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Chip planning: mixed macro and custom cells on one chip.
+
+This is the capability that distinguished TimberWolfMC from earlier
+annealing placers (§1): *custom* cells have only an estimated area, an
+aspect-ratio range, and uncommitted pins, so the tool simultaneously
+solves pin placement, aspect-ratio selection, orientation selection, and
+placement.  The example mixes two fixed macros (a RAM with an L-shaped
+outline and a ROM offered in two alternative instances) with three
+custom blocks, then reports which aspect ratio, instance, and pin sites
+the annealer chose for each.
+
+Run:  python examples/chip_planning.py
+"""
+
+from repro import TimberWolfConfig, place_and_route
+from repro.geometry import TileSet
+from repro.netlist import (
+    FixedPlacement,
+    Circuit,
+    ContinuousAspectRatio,
+    CustomCell,
+    DiscreteAspectRatios,
+    MacroCell,
+    MacroInstance,
+    Pin,
+    PinKind,
+)
+
+
+def build_chip() -> Circuit:
+    # An L-shaped RAM macro with fixed pins on its outline.
+    ram_shape = TileSet.l_shape(60, 50, 24, 20)
+    ram_pins = [
+        Pin("addr0", "abus0", PinKind.FIXED, offset=(-30, 0)),
+        Pin("addr1", "abus1", PinKind.FIXED, offset=(-30, 10)),
+        Pin("data0", "dbus0", PinKind.FIXED, offset=(30, -15)),
+        Pin("data1", "dbus1", PinKind.FIXED, offset=(30, -5)),
+        Pin("clk", "clk", PinKind.FIXED, offset=(0, -25)),
+    ]
+    ram = MacroCell("ram", ram_pins, [MacroInstance("default", ram_shape)])
+
+    # A ROM offered in two instances: wide/flat and tall/narrow.  The
+    # annealer selects whichever fits the floorplan better.
+    wide = TileSet.rectangle(48, 24)
+    tall = TileSet.rectangle(24, 48)
+    rom_pins = [
+        Pin("a", "abus0", PinKind.FIXED, offset=(-24, 0)),
+        Pin("d", "dbus0", PinKind.FIXED, offset=(24, 0)),
+        Pin("ck", "clk", PinKind.FIXED, offset=(0, -12)),
+    ]
+    tall_offsets = {"a": (0.0, -24.0), "d": (0.0, 24.0), "ck": (-12.0, 0.0)}
+    rom = MacroCell(
+        "rom",
+        rom_pins,
+        [MacroInstance("wide", wide), MacroInstance("tall", tall, tall_offsets)],
+    )
+
+    # Custom blocks: estimated area, aspect-ratio freedom, movable pins.
+    alu = CustomCell(
+        "alu",
+        [
+            Pin("a0", "abus0", PinKind.EDGE),
+            Pin("a1", "abus1", PinKind.EDGE),
+            # A data-bus pin group confined to the left or right edge.
+            Pin("d0", "dbus0", PinKind.GROUP, group="dbus",
+                sides=frozenset({"left", "right"})),
+            Pin("d1", "dbus1", PinKind.GROUP, group="dbus",
+                sides=frozenset({"left", "right"})),
+            Pin("ck", "clk", PinKind.EDGE),
+            Pin("f", "flags", PinKind.EDGE),
+        ],
+        area=1800.0,
+        aspect=ContinuousAspectRatio(0.5, 2.0),
+        sites_per_edge=6,
+    )
+    ctl = CustomCell(
+        "control",
+        [
+            # An ordered pin sequence along one edge (a register file port).
+            Pin("s0", "abus0", PinKind.SEQUENCE, group="seq", sequence_index=0,
+                sides=frozenset({"top"})),
+            Pin("s1", "abus1", PinKind.SEQUENCE, group="seq", sequence_index=1,
+                sides=frozenset({"top"})),
+            Pin("fl", "flags", PinKind.EDGE),
+            Pin("ck", "clk", PinKind.EDGE),
+        ],
+        area=900.0,
+        aspect=DiscreteAspectRatios((0.5, 1.0, 2.0)),
+        sites_per_edge=4,
+    )
+    io = CustomCell(
+        "iobuf",
+        [
+            Pin("d0", "dbus0", PinKind.EDGE),
+            Pin("d1", "dbus1", PinKind.EDGE),
+            Pin("fl", "flags", PinKind.EDGE),
+        ],
+        area=700.0,
+        aspect=ContinuousAspectRatio(0.4, 2.5),
+        sites_per_edge=4,
+    )
+    # A pre-placed analog block: committed early, the annealer must plan
+    # around it (FixedPlacement cells are never moved or reoriented).
+    pll = MacroCell.rectangular(
+        "pll",
+        24,
+        24,
+        [Pin("ck", "clk", PinKind.FIXED, offset=(12, 0))],
+        fixed=FixedPlacement(-60.0, 55.0),
+    )
+    return Circuit("chipplan", [ram, rom, alu, ctl, io, pll])
+
+
+def main() -> None:
+    circuit = build_chip()
+    print(f"chip-planning {circuit}")
+    print(f"  macros : {[c.name for c in circuit.macro_cells()]}")
+    print(f"  customs: {[c.name for c in circuit.custom_cells()]}")
+
+    result = place_and_route(circuit, TimberWolfConfig.fast(seed=5))
+    print()
+    print(result.summary())
+
+    state = result.state
+    print()
+    print("chip-planning decisions:")
+    pll_center = state.records[state.index["pll"]].center
+    print(f"  pll: pre-placed, held at {pll_center} (fixed)")
+    rom_record = state.records[state.index["rom"]]
+    rom_cell = circuit.cells["rom"]
+    print(f"  rom: instance {rom_cell.instances[rom_record.instance].name!r}, "
+          f"orientation {rom_record.orientation}")
+    for cell in circuit.custom_cells():
+        record = state.records[state.index[cell.name]]
+        w, h = cell.dimensions(record.aspect_ratio)
+        print(f"  {cell.name}: aspect ratio {record.aspect_ratio:.2f} "
+              f"({w:.0f} x {h:.0f})")
+        for group, (side, start) in sorted(record.pin_sites.items()):
+            label = group.replace("__pin__", "pin ")
+            print(f"      {label:12s} -> {side} edge, site {start}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: place and globally route a small macro-cell chip.
+
+Builds an eight-macro circuit in code, runs the full TimberWolfMC flow
+(stage-1 annealing with the dynamic interconnect-area estimator, then
+channel definition + global routing + placement refinement), and prints
+the resulting metrics and cell positions.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import TimberWolfConfig, place_and_route
+from repro.netlist import Circuit, MacroCell, Pin, PinKind
+
+
+def build_circuit(seed: int = 7) -> Circuit:
+    """Eight rectangular macros with pins on their bottom edges, wired
+    into a dozen multi-pin nets."""
+    rng = random.Random(seed)
+    cells = []
+    for i in range(8):
+        width = rng.randint(14, 34)
+        height = rng.randint(14, 34)
+        pins = []
+        for k in range(5):
+            net = f"n{(i * 3 + k) % 12}"
+            x = round(rng.uniform(-width / 2, width / 2), 1)
+            pins.append(Pin(f"p{k}", net, PinKind.FIXED, offset=(x, -height / 2)))
+        cells.append(MacroCell.rectangular(f"block{i}", width, height, pins))
+    return Circuit("quickstart", cells)
+
+
+def main() -> None:
+    circuit = build_circuit()
+    print(f"placing {circuit}")
+
+    # TimberWolfConfig.fast() is the paper's "early design stage" point
+    # (A_c = 25); TimberWolfConfig.paper() is the full-quality A_c = 400.
+    config = TimberWolfConfig.fast(seed=1)
+    result = place_and_route(circuit, config)
+
+    print()
+    print(result.summary())
+    print()
+    print("final cell positions (center x, center y):")
+    for name, (x, y) in sorted(result.placement().items()):
+        record = result.state.records[result.state.index[name]]
+        print(f"  {name:8s}  ({x:8.1f}, {y:8.1f})  orientation R{record.orientation % 4 * 90}"
+              f"{'M' if record.orientation >= 4 else ''}")
+
+    final = result.refinement.final_pass
+    print()
+    print(f"channel graph: {final.graph}")
+    print(f"global routing: {len(final.routing.routes)} nets, "
+          f"total length {final.routing.total_length:.0f}, "
+          f"overflow {final.routing.overflow}")
+
+
+if __name__ == "__main__":
+    main()

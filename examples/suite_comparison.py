@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Benchmark-suite comparison: TimberWolfMC vs the baseline placers.
+
+Loads one of the synthetic suite circuits (matching the published
+cell/net/pin statistics of the paper's industrial circuits), places it
+with the random, greedy, and quadratic baselines and with the full
+TimberWolfMC flow, and prints a Table-4-style comparison.
+
+Run:  python examples/suite_comparison.py [circuit] [preset]
+      circuit defaults to i3, preset to fast (smoke|fast|paper)
+"""
+
+import sys
+
+from repro import TimberWolfConfig, place_and_route
+from repro.baselines import ALL_BASELINES, route_baseline
+from repro.bench import (
+    CIRCUIT_NAMES,
+    PAPER_STATS,
+    PAPER_TABLE4,
+    format_table,
+    load_circuit,
+    reduction_pct,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "i3"
+    preset = sys.argv[2] if len(sys.argv) > 2 else "fast"
+    if name not in CIRCUIT_NAMES:
+        raise SystemExit(f"unknown circuit {name!r}; choose from {CIRCUIT_NAMES}")
+    config = {
+        "smoke": TimberWolfConfig.smoke,
+        "fast": TimberWolfConfig.fast,
+        "paper": TimberWolfConfig.paper,
+    }[preset](seed=1)
+
+    circuit = load_circuit(name)
+    cells, nets, pins = PAPER_STATS[name]
+    print(f"circuit {name}: {cells} cells, {nets} nets, {pins} pins "
+          f"(statistics from the paper's Table 4)")
+
+    rows = []
+    results = {}
+    for placer_cls in ALL_BASELINES:
+        placer = placer_cls(seed=1)
+        result = placer.place(load_circuit(name))
+        # Areas are compared after reserving the Eqn-22 channel widths the
+        # routed baseline would need — the same accounting TimberWolfMC's
+        # own area carries.
+        routed = route_baseline(result, m_routes=config.m_routes, seed=1)
+        results[placer.name] = (routed.teil, routed.chip_area)
+        rows.append([placer.name, round(routed.teil), round(routed.chip_area)])
+
+    print(f"\nrunning TimberWolfMC ({preset} preset)...")
+    ours = place_and_route(circuit, config)
+    rows.append(["timberwolfmc", round(ours.teil), round(ours.chip_area)])
+
+    print()
+    print(format_table(["placer", "TEIL", "chip area"], rows))
+
+    best_teil = min(t for t, _ in results.values())
+    best_area = min(a for _, a in results.values())
+    paper_teil_red = PAPER_TABLE4[name][2]
+    print()
+    print(f"TEIL reduction vs best baseline: "
+          f"{reduction_pct(best_teil, ours.teil):+.1f}%  "
+          f"(paper, vs its comparator: {paper_teil_red:+.1f}%)")
+    print(f"area reduction vs best baseline: "
+          f"{reduction_pct(best_area, ours.chip_area):+.1f}%")
+    print()
+    print(ours.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""TimberWolfMC reproduction.
+
+A from-scratch Python implementation of the macro/custom cell
+chip-planning, placement, and global-routing package of:
+
+    Carl Sechen, "Chip-Planning, Placement, and Global Routing of
+    Macro/Custom Cell Integrated Circuits Using Simulated Annealing",
+    Proc. 25th Design Automation Conference (DAC), 1988.
+
+The public entry points:
+
+* :func:`repro.place_and_route` — run the full two-stage flow.
+* :class:`repro.TimberWolfConfig` — all tunables, with presets.
+* :mod:`repro.netlist` — build or parse circuits.
+* :mod:`repro.bench` — the synthetic 9-circuit benchmark suite.
+"""
+
+from .config import TimberWolfConfig
+from .flow import TimberWolfResult, place_and_route
+
+__version__ = "1.0.0"
+
+__all__ = ["TimberWolfConfig", "TimberWolfResult", "place_and_route", "__version__"]

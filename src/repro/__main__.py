@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats <circuit.twmc>``          — netlist statistics and validation
+* ``place <circuit.twmc>``          — run the full flow, print the report
+* ``generate <suite-name> <out>``   — write a synthetic suite circuit
+* ``suite``                         — list the benchmark suite circuits
+
+``place`` options: ``--preset smoke|fast|paper`` (default fast),
+``--seed N``, ``--svg out.svg`` (render the final placement),
+``--json out.json`` (machine-readable result dump), and ``--report``
+(full engineering report instead of the summary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import TimberWolfConfig, place_and_route
+from .bench import CIRCUIT_NAMES, PAPER_STATS, load_circuit, spec_for
+from .bench.circuits import generate_circuit
+from .netlist import dump, load
+
+
+def _config(preset: str, seed: int) -> TimberWolfConfig:
+    factories = {
+        "smoke": TimberWolfConfig.smoke,
+        "fast": TimberWolfConfig.fast,
+        "paper": TimberWolfConfig.paper,
+    }
+    try:
+        return factories[preset](seed)
+    except KeyError:
+        raise SystemExit(f"unknown preset {preset!r}; choose smoke, fast, or paper")
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    circuit = load(args.circuit)
+    print(circuit)
+    print(f"  total cell area      {circuit.total_cell_area():.1f}")
+    print(f"  total cell perimeter {circuit.total_cell_perimeter():.1f}")
+    print(f"  average pin density  {circuit.average_pin_density():.4f}")
+    print(f"  macro cells          {len(circuit.macro_cells())}")
+    print(f"  custom cells         {len(circuit.custom_cells())}")
+    problems = circuit.validate()
+    if problems:
+        print("netlist problems:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("netlist clean")
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    circuit = load(args.circuit)
+    config = _config(args.preset, args.seed)
+    result = place_and_route(circuit, config)
+    if args.report:
+        from .flow.report import full_report
+
+        print(full_report(result))
+    else:
+        print(result.summary())
+    if args.json:
+        from .flow.export import export_json
+
+        export_json(result, args.json)
+        print(f"wrote {args.json}")
+    if args.svg:
+        from .viz import write_placement_svg
+
+        regions = None
+        if result.refinement is not None and result.refinement.passes:
+            regions = result.refinement.final_pass.graph.regions
+        write_placement_svg(
+            result.state, args.svg, show_regions=regions is not None,
+            regions=regions,
+        )
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.name not in CIRCUIT_NAMES:
+        raise SystemExit(
+            f"unknown suite circuit {args.name!r}; choose from {CIRCUIT_NAMES}"
+        )
+    circuit = generate_circuit(spec_for(args.name, trial=args.trial))
+    dump(circuit, args.out)
+    print(f"wrote {args.out}: {circuit}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    print(f"{'name':6s} {'cells':>6s} {'nets':>6s} {'pins':>6s}")
+    for name, (cells, nets, pins) in PAPER_STATS.items():
+        print(f"{name:6s} {cells:6d} {nets:6d} {pins:6d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TimberWolfMC reproduction: place and globally route "
+        "macro/custom cell circuits.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="netlist statistics and validation")
+    p_stats.add_argument("circuit", help="circuit file (.twmc)")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_place = sub.add_parser("place", help="run the full two-stage flow")
+    p_place.add_argument("circuit", help="circuit file (.twmc)")
+    p_place.add_argument("--preset", default="fast", help="smoke | fast | paper")
+    p_place.add_argument("--seed", type=int, default=0)
+    p_place.add_argument("--svg", help="write the final placement as SVG")
+    p_place.add_argument("--json", help="write the full result as JSON")
+    p_place.add_argument(
+        "--report", action="store_true", help="print the full engineering report"
+    )
+    p_place.set_defaults(func=cmd_place)
+
+    p_gen = sub.add_parser(
+        "generate", help="write a synthetic benchmark-suite circuit"
+    )
+    p_gen.add_argument("name", help=f"one of {', '.join(CIRCUIT_NAMES)}")
+    p_gen.add_argument("out", help="output path (.twmc)")
+    p_gen.add_argument("--trial", type=int, default=0)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_suite = sub.add_parser("suite", help="list the benchmark suite")
+    p_suite.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""The generic simulated annealing engine of §2.1.
+
+The TimberWolfMC annealer is characterized by five pieces: the *generate*
+function, the acceptance function *accept*, the temperature *update*
+function, the inner-loop criterion, and the stopping criterion.  The
+paper's generate function is not a single move: one call may cascade
+through several accept-tested attempts (displace, then the aspect-
+inverted displacement, then an orientation change, then pin moves...).
+``AnnealingState.step`` therefore performs one full generate-and-accept
+cycle and reports how many attempts were made and accepted; the
+``Annealer`` supplies the temperature ladder, inner-loop length, and
+stopping criterion around it.
+
+States whose generate *is* a single move can instead implement
+``propose`` and mix in ``ProposalState`` to get the standard Metropolis
+treatment.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+def metropolis_accept(delta: float, temperature: float, rng: random.Random) -> bool:
+    """The standard acceptance function: downhill always, uphill with
+    probability exp(-delta / T)."""
+    if delta <= 0:
+        return True
+    if temperature <= 0:
+        return False
+    exponent = -delta / temperature
+    if exponent < -700.0:  # exp underflow guard
+        return False
+    return rng.random() < math.exp(exponent)
+
+
+class AnnealingState(ABC):
+    """Problem-specific state manipulated by the annealer."""
+
+    @abstractmethod
+    def step(self, temperature: float, rng: random.Random) -> Tuple[int, int]:
+        """Run one generate-and-accept cycle.
+
+        Returns ``(attempts, accepts)`` — how many new states were
+        attempted during the cascade and how many were kept.
+        """
+
+    @abstractmethod
+    def cost(self) -> float:
+        """Current total cost (used for bookkeeping and invariant checks)."""
+
+    def moves_per_iteration(self) -> int:
+        """Scale factor for the inner loop: A = A_c * moves_per_iteration
+        (Eqn 17 uses the number of cells N_c)."""
+        return 1
+
+    def on_temperature(self, temperature: float) -> None:
+        """Hook invoked at the start of every temperature step."""
+
+
+class Proposal(ABC):
+    """A tentatively applied single move, for ``ProposalState`` users."""
+
+    @property
+    @abstractmethod
+    def delta(self) -> float:
+        """Change in total cost already applied to the state."""
+
+    @abstractmethod
+    def revert(self) -> None:
+        """Undo the move, restoring the previous state exactly."""
+
+
+@dataclass
+class SimpleProposal(Proposal):
+    """A proposal backed by a plain undo callback."""
+
+    delta_cost: float
+    undo: Callable[[], None]
+
+    @property
+    def delta(self) -> float:
+        return self.delta_cost
+
+    def revert(self) -> None:
+        self.undo()
+
+
+class ProposalState(AnnealingState):
+    """Mixin turning a single-move ``propose`` into the ``step`` contract."""
+
+    @abstractmethod
+    def propose(self, temperature: float, rng: random.Random) -> Optional[Proposal]:
+        """Generate, and tentatively apply, one new state (None = no move)."""
+
+    def step(self, temperature: float, rng: random.Random) -> Tuple[int, int]:
+        proposal = self.propose(temperature, rng)
+        if proposal is None:
+            return (1, 0)
+        if metropolis_accept(proposal.delta, temperature, rng):
+            return (1, 1)
+        proposal.revert()
+        return (1, 0)
+
+
+@dataclass
+class TemperatureStats:
+    """Per-temperature-step statistics (feeds the figures and EXPERIMENTS)."""
+
+    temperature: float
+    attempts: int = 0
+    accepts: int = 0
+    cost_after: float = 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepts / self.attempts if self.attempts else 0.0
+
+
+@dataclass
+class AnnealResult:
+    """Outcome of one annealing run."""
+
+    final_cost: float
+    steps: List[TemperatureStats] = field(default_factory=list)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(s.attempts for s in self.steps)
+
+    @property
+    def total_accepts(self) -> int:
+        return sum(s.accepts for s in self.steps)
+
+    @property
+    def num_temperatures(self) -> int:
+        return len(self.steps)
+
+    @property
+    def initial_acceptance_rate(self) -> float:
+        return self.steps[0].acceptance_rate if self.steps else 0.0
+
+
+class StoppingCriterion(ABC):
+    """Decides when to end the annealing, consulted after each inner loop."""
+
+    @abstractmethod
+    def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
+        ...
+
+    def reset(self) -> None:
+        """Prepare for a fresh run (criteria may carry history)."""
+
+
+class WindowStop(StoppingCriterion):
+    """Stage-1 stopping: an inner loop has run with the range-limiter
+    window at its minimum span (§3.3)."""
+
+    def __init__(self, limiter) -> None:
+        self._limiter = limiter
+
+    def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
+        return self._limiter.at_minimum(temperature)
+
+
+class FrozenStop(StoppingCriterion):
+    """Stop when the cost is unchanged for N consecutive inner loops
+    (the stage-2 final-pass criterion, N = 3)."""
+
+    def __init__(self, patience: int = 3, tolerance: float = 1e-9) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        self._patience = patience
+        self._tolerance = tolerance
+        self._last_cost: Optional[float] = None
+        self._streak = 0
+
+    def reset(self) -> None:
+        self._last_cost = None
+        self._streak = 0
+
+    def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
+        if self._last_cost is not None and abs(
+            stats.cost_after - self._last_cost
+        ) <= self._tolerance:
+            self._streak += 1
+        else:
+            self._streak = 0
+        self._last_cost = stats.cost_after
+        return self._streak >= self._patience
+
+
+class FloorStop(StoppingCriterion):
+    """Stop once the temperature falls below a floor (safety net)."""
+
+    def __init__(self, t_floor: float) -> None:
+        if t_floor <= 0:
+            raise ValueError("t_floor must be positive")
+        self._t_floor = t_floor
+
+    def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
+        return temperature <= self._t_floor
+
+
+class AnyOf(StoppingCriterion):
+    """Stop when any member criterion fires (all are consulted so that
+    history-carrying criteria stay up to date)."""
+
+    def __init__(self, *criteria: StoppingCriterion) -> None:
+        if not criteria:
+            raise ValueError("AnyOf needs at least one criterion")
+        self._criteria = criteria
+
+    def reset(self) -> None:
+        for c in self._criteria:
+            c.reset()
+
+    def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
+        fired = [c.should_stop(temperature, stats) for c in self._criteria]
+        return any(fired)
+
+
+class AllOf(StoppingCriterion):
+    """Stop only when every member criterion fires.
+
+    Used by stage 1 to keep annealing at the minimum window span until
+    the temperature is genuinely cold: on paper-scale cores the window
+    bottoms out at a cold T anyway, but on small cores the window
+    condition alone would stop the run while uphill moves are still
+    routinely accepted.
+    """
+
+    def __init__(self, *criteria: StoppingCriterion) -> None:
+        if not criteria:
+            raise ValueError("AllOf needs at least one criterion")
+        self._criteria = criteria
+
+    def reset(self) -> None:
+        for c in self._criteria:
+            c.reset()
+
+    def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
+        fired = [c.should_stop(temperature, stats) for c in self._criteria]
+        return all(fired)
+
+
+class Annealer:
+    """Runs the annealing loop: an inner loop at each T, then cool.
+
+    ``attempts_per_cell`` is the paper's A_c; the inner loop performs
+    A_c * state.moves_per_iteration() generate calls per temperature.
+    ``max_temperatures`` bounds runaway schedules (the paper targets
+    about 120 temperature values).
+    """
+
+    def __init__(
+        self,
+        schedule,
+        stopping: StoppingCriterion,
+        attempts_per_cell: int = 100,
+        max_temperatures: int = 400,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if attempts_per_cell < 1:
+            raise ValueError("attempts_per_cell must be at least 1")
+        if max_temperatures < 1:
+            raise ValueError("max_temperatures must be at least 1")
+        self.schedule = schedule
+        self.stopping = stopping
+        self.attempts_per_cell = attempts_per_cell
+        self.max_temperatures = max_temperatures
+        self.rng = rng if rng is not None else random.Random(seed)
+
+    def run(self, state: AnnealingState) -> AnnealResult:
+        self.stopping.reset()
+        result = AnnealResult(final_cost=state.cost())
+        temperature = self.schedule.t_infinity
+        inner_moves = self.attempts_per_cell * state.moves_per_iteration()
+
+        for _ in range(self.max_temperatures):
+            state.on_temperature(temperature)
+            stats = TemperatureStats(temperature=temperature)
+            for _ in range(inner_moves):
+                attempts, accepts = state.step(temperature, self.rng)
+                stats.attempts += attempts
+                stats.accepts += accepts
+            stats.cost_after = state.cost()
+            result.steps.append(stats)
+            if self.stopping.should_stop(temperature, stats):
+                break
+            temperature = self.schedule.next_temperature(temperature)
+
+        result.final_cost = state.cost()
+        return result

@@ -1,0 +1,116 @@
+"""Cooling schedules and temperature scaling (Eqns 18-21, Tables 1-2).
+
+The paper's update function is ``T_new = alpha(T_old) * T_old`` with an
+experimentally determined, piecewise-constant alpha.  Temperatures are
+scaled by S_T = c̄_a / c̄_a* (Eqn 20), where c̄_a is the average cell area
+*including* the estimated interconnect area, so the same schedule works
+across circuit and grid sizes.  The reference values are c̄_a* = 1e4 and
+T∞* = 1e5, calibrated on 25-cell industrial circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: Reference average cell area (c̄_a*) and initial temperature (T∞*).
+REFERENCE_CELL_AREA = 1.0e4
+REFERENCE_T_INFINITY = 1.0e5
+
+#: Table 1 — stage 1: (smallest T_old / S_T for this row, alpha).
+STAGE1_TABLE: Tuple[Tuple[float, float], ...] = (
+    (7000.0, 0.85),
+    (200.0, 0.92),
+    (10.0, 0.85),
+    (0.0, 0.80),
+)
+
+#: Table 2 — stage 2 (low-temperature refinement).
+STAGE2_TABLE: Tuple[Tuple[float, float], ...] = (
+    (10.0, 0.82),
+    (0.0, 0.70),
+)
+
+
+def temperature_scale(average_cell_area: float) -> float:
+    """S_T of Eqn 20: the ratio of the circuit's average cell area
+    (including estimated interconnect area) to the reference c̄_a*."""
+    if average_cell_area <= 0:
+        raise ValueError("average cell area must be positive")
+    return average_cell_area / REFERENCE_CELL_AREA
+
+
+@dataclass(frozen=True)
+class CoolingSchedule:
+    """A piecewise-geometric cooling schedule.
+
+    ``table`` rows are (threshold, alpha) pairs sorted by decreasing
+    threshold; alpha(T) is the alpha of the first row whose threshold
+    satisfies ``T >= threshold * scale``.
+    """
+
+    table: Tuple[Tuple[float, float], ...]
+    scale: float = 1.0
+    t_infinity: float = REFERENCE_T_INFINITY
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.t_infinity <= 0:
+            raise ValueError("t_infinity must be positive")
+        thresholds = [row[0] for row in self.table]
+        if thresholds != sorted(thresholds, reverse=True):
+            raise ValueError("schedule thresholds must be strictly decreasing")
+        if thresholds[-1] != 0.0:
+            raise ValueError("schedule must end with a catch-all threshold of 0")
+        for _, alpha in self.table:
+            if not 0.0 < alpha < 1.0:
+                raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+
+    def alpha(self, temperature: float) -> float:
+        """The multiplicative cooling factor alpha(T_old) (Eqn 18)."""
+        for threshold, alpha in self.table:
+            if temperature >= threshold * self.scale:
+                return alpha
+        return self.table[-1][1]
+
+    def next_temperature(self, temperature: float) -> float:
+        """update(T): T_new = alpha(T_old) * T_old."""
+        return temperature * self.alpha(temperature)
+
+    def temperatures(self, t_floor: float, limit: int = 10_000) -> Sequence[float]:
+        """The full temperature ladder from T∞ down to (and excluding) t_floor."""
+        if t_floor <= 0:
+            raise ValueError("t_floor must be positive")
+        out = []
+        t = self.t_infinity
+        while t > t_floor and len(out) < limit:
+            out.append(t)
+            t = self.next_temperature(t)
+        return out
+
+
+def stage1_schedule(average_cell_area: float = REFERENCE_CELL_AREA) -> CoolingSchedule:
+    """The Table 1 schedule, scaled per Eqns 19-21 for the given circuit.
+
+    The initial temperature T∞ = S_T * T∞* is chosen so that virtually
+    every proposed state is accepted at the start.
+    """
+    s_t = temperature_scale(average_cell_area)
+    return CoolingSchedule(STAGE1_TABLE, s_t, s_t * REFERENCE_T_INFINITY)
+
+
+def stage2_schedule(
+    average_cell_area: float = REFERENCE_CELL_AREA,
+    t_start: float = None,
+) -> CoolingSchedule:
+    """The Table 2 low-temperature schedule for placement refinement.
+
+    ``t_start`` is the stage-2 starting temperature T' of Eqn 28 (derived
+    from the window fraction mu); it defaults to S_T * T∞* so callers can
+    override it once mu is known.
+    """
+    s_t = temperature_scale(average_cell_area)
+    if t_start is None:
+        t_start = s_t * REFERENCE_T_INFINITY
+    return CoolingSchedule(STAGE2_TABLE, s_t, t_start)

@@ -1,0 +1,20 @@
+"""Baseline placement methods TimberWolfMC is compared against (Table 4)."""
+
+from .base import BaselinePlacer, BaselineResult, route_baseline
+from .greedy import GreedyPlacer
+from .quadratic import QuadraticPlacer
+from .random_place import RandomPlacer
+from .slicing import SlicingPlacer
+
+ALL_BASELINES = (RandomPlacer, GreedyPlacer, QuadraticPlacer, SlicingPlacer)
+
+__all__ = [
+    "BaselinePlacer",
+    "BaselineResult",
+    "route_baseline",
+    "GreedyPlacer",
+    "QuadraticPlacer",
+    "RandomPlacer",
+    "SlicingPlacer",
+    "ALL_BASELINES",
+]

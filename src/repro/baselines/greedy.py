@@ -1,0 +1,119 @@
+"""Greedy constructive placement.
+
+A classical constructive comparator in the spirit of the automatic
+placement tools TimberWolfMC was evaluated against: cells are placed one
+at a time in decreasing order of connectivity; each cell is put at the
+candidate location (on a coarse grid over the core) that minimizes the
+half-perimeter wirelength of its nets to the already-placed cells, with
+already-occupied space skipped.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..geometry import TileSet
+from ..placement.state import PlacementState
+from .base import BaselinePlacer
+
+#: Candidate grid resolution (positions per axis).
+GRID_STEPS = 12
+
+
+class GreedyPlacer(BaselinePlacer):
+    """Connectivity-ordered constructive placement."""
+
+    name = "greedy"
+
+    def _assign(self, state: PlacementState, rng: random.Random) -> None:
+        circuit = state.circuit
+        core = state.core
+        n = len(state.names)
+
+        # Order: total net degree (number of net memberships), descending;
+        # ties broken by area so big cells land early.
+        def connectivity(idx: int) -> Tuple[int, float]:
+            name = state.names[idx]
+            degree = len(state._cell_nets[idx])
+            area = state._local_shape(idx).area
+            return (degree, area)
+
+        order = sorted(range(n), key=connectivity, reverse=True)
+
+        xs = [
+            core.x1 + (i + 0.5) * core.width / GRID_STEPS for i in range(GRID_STEPS)
+        ]
+        ys = [
+            core.y1 + (j + 0.5) * core.height / GRID_STEPS for j in range(GRID_STEPS)
+        ]
+
+        placed: List[int] = []
+        placed_shapes: List[TileSet] = []
+        # Positions of already placed pins per net (for incremental HPWL).
+        net_points: Dict[str, List[Tuple[float, float]]] = {}
+
+        for idx in order:
+            shape = state._local_shape(idx).transformed(
+                state.records[idx].orientation
+            )
+            best: Optional[Tuple[float, float, float]] = None  # (cost, x, y)
+            for x in xs:
+                for y in ys:
+                    candidate = shape.translated(x, y)
+                    overlap = sum(
+                        candidate.overlap_area(p) for p in placed_shapes
+                    )
+                    cost = self._wirelength_at(state, idx, (x, y), net_points)
+                    # Occupied space is strongly, but not infinitely,
+                    # penalized: dense circuits must still place everyone.
+                    cost += 10.0 * overlap
+                    if best is None or cost < best[0]:
+                        best = (cost, x, y)
+            assert best is not None
+            _, x, y = best
+            state.records[idx].center = (x, y)
+            placed.append(idx)
+            placed_shapes.append(shape.translated(x, y))
+            for pin_name, pos in self._pin_positions_at(state, idx, (x, y)).items():
+                net = circuit.cells[state.names[idx]].pins[pin_name].net
+                net_points.setdefault(net, []).append(pos)
+
+        state.rebuild()
+
+    @staticmethod
+    def _pin_positions_at(
+        state: PlacementState, idx: int, center: Tuple[float, float]
+    ) -> Dict[str, Tuple[float, float]]:
+        record = state.records[idx]
+        old = record.center
+        record.center = center
+        try:
+            return state._pin_positions(idx)
+        finally:
+            record.center = old
+
+    def _wirelength_at(
+        self,
+        state: PlacementState,
+        idx: int,
+        center: Tuple[float, float],
+        net_points: Dict[str, List[Tuple[float, float]]],
+    ) -> float:
+        """HPWL of the cell's nets to already-placed pins, with the cell
+        trial-placed at ``center``."""
+        pins = self._pin_positions_at(state, idx, center)
+        circuit = state.circuit
+        name = state.names[idx]
+        total = 0.0
+        for net_name in state._cell_nets[idx]:
+            points = list(net_points.get(net_name, ()))
+            for ref in circuit.nets[net_name].pins:
+                if ref.cell == name:
+                    points.append(pins[ref.pin])
+            if len(points) < 2:
+                continue
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total

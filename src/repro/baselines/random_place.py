@@ -1,0 +1,36 @@
+"""Random placement: the weakest comparator.
+
+Cells are dropped uniformly at random inside the core with random
+orientations, then legalized.  This is the distribution the annealer
+*starts* from, so the gap between this baseline and TimberWolfMC is the
+total value delivered by the optimization.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..geometry import orientation as ori
+from ..netlist import MacroCell
+from ..placement.state import PlacementState
+from .base import BaselinePlacer
+
+
+class RandomPlacer(BaselinePlacer):
+    """Uniform random placement inside the core."""
+
+    name = "random"
+
+    def _assign(self, state: PlacementState, rng: random.Random) -> None:
+        core = state.core
+        for idx in range(len(state.names)):
+            record = state.records[idx]
+            record.center = (
+                rng.uniform(core.x1, core.x2),
+                rng.uniform(core.y1, core.y2),
+            )
+            record.orientation = rng.randrange(ori.N_ORIENTATIONS)
+            cell = state.cell(idx)
+            if isinstance(cell, MacroCell) and cell.num_instances > 1:
+                record.instance = rng.randrange(cell.num_instances)
+        state.rebuild()

@@ -1,0 +1,354 @@
+"""Slicing-tree floorplanning by simulated annealing (Wong-Liu, DAC'86).
+
+The paper's introduction cites Wong and Liu's floorplanner as the
+closest prior annealing work ("A New Algorithm for Floorplan Design"),
+noting it cannot handle TimberWolfMC's mixed macro/custom problem.  It
+is, however, an excellent *area* baseline: a normalized Polish
+expression over the blocks is annealed with the classical three move
+types, block shapes come from shape curves (macro orientations, sampled
+custom aspect ratios), and the slicing structure guarantees an
+overlap-free packing by construction.
+
+Cost = floorplan area + lambda * half-perimeter wirelength estimated
+from block centers, matching Wong-Liu's formulation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist import Circuit, CustomCell, MacroCell
+from ..placement.state import PlacementState
+from .base import BaselinePlacer
+
+H, V = "H", "V"  # horizontal cut (stack), vertical cut (side by side)
+
+#: Custom-cell aspect ratios sampled onto the shape curve.
+CUSTOM_ASPECT_SAMPLES = (0.5, 0.75, 1.0, 1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One realizable (width, height) of a block or a slice subtree.
+
+    ``left``/``right`` index the child shapes that realize this one, and
+    ``tag`` records the block-level choice (orientation or aspect ratio).
+    """
+
+    width: float
+    height: float
+    left: int = -1
+    right: int = -1
+    tag: int = 0
+
+
+def _prune(shapes: List[Shape]) -> List[Shape]:
+    """Keep only non-dominated shapes, sorted by increasing width."""
+    shapes = sorted(shapes, key=lambda s: (s.width, s.height))
+    pruned: List[Shape] = []
+    best_h = math.inf
+    for s in shapes:
+        if s.height < best_h - 1e-12:
+            pruned.append(s)
+            best_h = s.height
+    return pruned
+
+
+def block_shapes(cell) -> List[Shape]:
+    """The shape curve of a single cell.
+
+    Macro cells offer their bounding box and its 90-degree rotation (per
+    instance); custom cells offer a few aspect ratios from their range.
+    ``tag`` encodes the choice: macros use instance*2 + rotated; customs
+    use the sample index.
+    """
+    shapes: List[Shape] = []
+    if isinstance(cell, MacroCell):
+        for k, inst in enumerate(cell.instances):
+            bbox = inst.shape.bbox
+            shapes.append(Shape(bbox.width, bbox.height, tag=k * 2))
+            shapes.append(Shape(bbox.height, bbox.width, tag=k * 2 + 1))
+    else:
+        assert isinstance(cell, CustomCell)
+        for i, ar in enumerate(CUSTOM_ASPECT_SAMPLES):
+            clamped = cell.aspect.clamp(ar)
+            w, h = cell.dimensions(clamped)
+            shapes.append(Shape(w, h, tag=i))
+    return _prune(shapes)
+
+
+class PolishExpression:
+    """A normalized Polish expression: operands 0..n-1 and H/V operators.
+
+    Normalized means no two identical adjacent operators (skewed slicing
+    tree), which together with the balloting property makes the three
+    Wong-Liu moves ergodic over slicing structures.
+    """
+
+    def __init__(self, tokens: Sequence[object]):
+        self.tokens: List[object] = list(tokens)
+        self._validate()
+
+    @staticmethod
+    def initial(num_blocks: int) -> "PolishExpression":
+        """The canonical starting expression 0 1 V 2 V 3 V ... (a row)."""
+        if num_blocks < 1:
+            raise ValueError("need at least one block")
+        tokens: List[object] = [0]
+        for b in range(1, num_blocks):
+            tokens.extend([b, V if b % 2 else H])
+        return PolishExpression(tokens)
+
+    def _validate(self) -> None:
+        count = 0
+        for i, t in enumerate(self.tokens):
+            if isinstance(t, int):
+                count += 1
+            else:
+                if t not in (H, V):
+                    raise ValueError(f"bad token {t!r}")
+                count -= 1
+                if count < 1:
+                    raise ValueError("balloting property violated")
+                if i + 1 < len(self.tokens) and self.tokens[i + 1] == t:
+                    raise ValueError("expression not normalized")
+        if count != 1:
+            raise ValueError("expression does not reduce to one slice")
+
+    def operand_positions(self) -> List[int]:
+        return [i for i, t in enumerate(self.tokens) if isinstance(t, int)]
+
+    def operator_chains(self) -> List[int]:
+        """Start indices of maximal operator chains."""
+        chains = []
+        i = 0
+        while i < len(self.tokens):
+            if self.tokens[i] in (H, V):
+                chains.append(i)
+                while i < len(self.tokens) and self.tokens[i] in (H, V):
+                    i += 1
+            else:
+                i += 1
+        return chains
+
+    # -- the three Wong-Liu moves (each returns a new expression or None) --
+
+    def swap_adjacent_operands(self, rng: random.Random) -> "PolishExpression":
+        """M1: exchange two operands adjacent in the operand sequence."""
+        ops = self.operand_positions()
+        if len(ops) < 2:
+            return self  # single-block floorplan: nothing to swap
+        k = rng.randrange(len(ops) - 1)
+        i, j = ops[k], ops[k + 1]
+        tokens = list(self.tokens)
+        tokens[i], tokens[j] = tokens[j], tokens[i]
+        return PolishExpression(tokens)
+
+    def complement_chain(self, rng: random.Random) -> "PolishExpression":
+        """M2: complement every operator in one maximal chain."""
+        chains = self.operator_chains()
+        if not chains:
+            return self  # single-block floorplan: no operators
+        start = chains[rng.randrange(len(chains))]
+        tokens = list(self.tokens)
+        i = start
+        while i < len(tokens) and tokens[i] in (H, V):
+            tokens[i] = H if tokens[i] == V else V
+            i += 1
+        return PolishExpression(tokens)
+
+    def swap_operand_operator(
+        self, rng: random.Random, attempts: int = 10
+    ) -> Optional["PolishExpression"]:
+        """M3: swap an adjacent operand/operator pair, keeping validity."""
+        n = len(self.tokens)
+        if n < 2:
+            return None  # single-block floorplan: no operator to swap with
+        for _ in range(attempts):
+            i = rng.randrange(n - 1)
+            a, b = self.tokens[i], self.tokens[i + 1]
+            if isinstance(a, int) == isinstance(b, int):
+                continue
+            tokens = list(self.tokens)
+            tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+            try:
+                return PolishExpression(tokens)
+            except ValueError:
+                continue
+        return None
+
+
+@dataclass
+class _SliceNode:
+    shapes: List[Shape]
+    operator: Optional[str] = None  # None = leaf
+    block: int = -1
+    left: Optional["_SliceNode"] = None
+    right: Optional["_SliceNode"] = None
+
+
+def _combine(left: List[Shape], right: List[Shape], op: str) -> List[Shape]:
+    out: List[Shape] = []
+    for i, a in enumerate(left):
+        for j, b in enumerate(right):
+            if op == V:  # side by side
+                out.append(
+                    Shape(a.width + b.width, max(a.height, b.height), i, j)
+                )
+            else:  # stacked
+                out.append(
+                    Shape(max(a.width, b.width), a.height + b.height, i, j)
+                )
+    return _prune(out)
+
+
+def evaluate(
+    expr: PolishExpression, curves: List[List[Shape]]
+) -> Tuple[_SliceNode, Shape]:
+    """Build the slicing tree and return (root, minimum-area root shape)."""
+    stack: List[_SliceNode] = []
+    for token in expr.tokens:
+        if isinstance(token, int):
+            stack.append(_SliceNode(shapes=curves[token], block=token))
+        else:
+            right = stack.pop()
+            left = stack.pop()
+            stack.append(
+                _SliceNode(
+                    shapes=_combine(left.shapes, right.shapes, token),
+                    operator=token,
+                    left=left,
+                    right=right,
+                )
+            )
+    root = stack.pop()
+    best = min(root.shapes, key=lambda s: s.width * s.height)
+    return root, best
+
+
+def realize(
+    node: _SliceNode,
+    shape: Shape,
+    x: float,
+    y: float,
+    out: Dict[int, Tuple[float, float, Shape]],
+) -> None:
+    """Assign lower-left positions: out[block] = (x, y, chosen shape)."""
+    if node.operator is None:
+        out[node.block] = (x, y, shape)
+        return
+    left_shape = node.left.shapes[shape.left]  # type: ignore[union-attr]
+    right_shape = node.right.shapes[shape.right]  # type: ignore[union-attr]
+    realize(node.left, left_shape, x, y, out)  # type: ignore[arg-type]
+    if node.operator == V:
+        realize(node.right, right_shape, x + left_shape.width, y, out)  # type: ignore[arg-type]
+    else:
+        realize(node.right, right_shape, x, y + left_shape.height, out)  # type: ignore[arg-type]
+
+
+class SlicingPlacer(BaselinePlacer):
+    """Wong-Liu slicing floorplanner as a Table-4 baseline."""
+
+    name = "slicing"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        wirelength_weight: float = 0.5,
+        moves_per_temp: int = 60,
+        alpha: float = 0.9,
+        temperatures: int = 60,
+    ) -> None:
+        super().__init__(seed)
+        self.wirelength_weight = wirelength_weight
+        self.moves_per_temp = moves_per_temp
+        self.alpha = alpha
+        self.temperatures = temperatures
+
+    def _assign(self, state: PlacementState, rng: random.Random) -> None:
+        circuit = state.circuit
+        n = len(state.names)
+        curves = [block_shapes(circuit.cells[name]) for name in state.names]
+        expr = PolishExpression.initial(n)
+
+        def cost(e: PolishExpression) -> Tuple[float, _SliceNode, Shape]:
+            root, best = evaluate(e, curves)
+            area = best.width * best.height
+            wl = self._wirelength(state, root, best)
+            return area + self.wirelength_weight * wl, root, best
+
+        current_cost, root, best = cost(expr)
+        # Starting temperature: accept ~everything initially.
+        t = current_cost
+        for _ in range(self.temperatures):
+            for _ in range(self.moves_per_temp):
+                candidate = self._move(expr, rng)
+                if candidate is None:
+                    continue
+                cand_cost, cand_root, cand_best = cost(candidate)
+                delta = cand_cost - current_cost
+                if delta <= 0 or rng.random() < math.exp(-delta / max(t, 1e-12)):
+                    expr = candidate
+                    current_cost, root, best = cand_cost, cand_root, cand_best
+            t *= self.alpha
+
+        self._write_back(state, root, best)
+
+    @staticmethod
+    def _move(
+        expr: PolishExpression, rng: random.Random
+    ) -> Optional[PolishExpression]:
+        roll = rng.random()
+        if roll < 0.4:
+            return expr.swap_adjacent_operands(rng)
+        if roll < 0.7:
+            return expr.complement_chain(rng)
+        return expr.swap_operand_operator(rng)
+
+    def _wirelength(
+        self, state: PlacementState, root: _SliceNode, best: Shape
+    ) -> float:
+        positions: Dict[int, Tuple[float, float, Shape]] = {}
+        realize(root, best, 0.0, 0.0, positions)
+        centers = {
+            block: (x + s.width / 2.0, y + s.height / 2.0)
+            for block, (x, y, s) in positions.items()
+        }
+        total = 0.0
+        for net in state.circuit.nets.values():
+            xs: List[float] = []
+            ys: List[float] = []
+            for cell_name in net.cells():
+                cx, cy = centers[state.index[cell_name]]
+                xs.append(cx)
+                ys.append(cy)
+            if len(xs) >= 2:
+                total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    def _write_back(
+        self, state: PlacementState, root: _SliceNode, best: Shape
+    ) -> None:
+        positions: Dict[int, Tuple[float, float, Shape]] = {}
+        realize(root, best, 0.0, 0.0, positions)
+        # Center the floorplan on the core.
+        ox = state.core.center.x - best.width / 2.0
+        oy = state.core.center.y - best.height / 2.0
+        for block, (x, y, shape) in positions.items():
+            record = state.records[block]
+            record.center = (
+                ox + x + shape.width / 2.0,
+                oy + y + shape.height / 2.0,
+            )
+            cell = state.cell(block)
+            if isinstance(cell, MacroCell):
+                record.instance = shape.tag // 2
+                record.orientation = 1 if shape.tag % 2 else 0
+            else:
+                assert isinstance(cell, CustomCell)
+                ar = cell.aspect.clamp(CUSTOM_ASPECT_SAMPLES[shape.tag])
+                record.aspect_ratio = ar
+        state.rebuild()

@@ -1,0 +1,65 @@
+"""Channel definition (§4.1): critical regions, free-space decomposition,
+the routing graph, and channel density/width accounting."""
+
+from .density import (
+    WIDTH_MARGIN_TRACKS,
+    CongestionReport,
+    cell_edge_expansions,
+    compute_congestion,
+    region_densities,
+    required_channel_width,
+)
+from .channel_router import (
+    ChannelCycleError,
+    ChannelPin,
+    ChannelRoute,
+    channel_density_of_pins,
+    net_intervals,
+    route_channel,
+    validate_route,
+    vertical_constraints,
+)
+from .freespace import decompose_free_space, free_area
+from .graph import ChannelEdge, ChannelGraph
+from .leftedge import ChannelSegment, channel_density, left_edge_route, tracks_used
+from .regions import (
+    CORE_BOUNDARY,
+    HORIZONTAL,
+    VERTICAL,
+    CriticalRegion,
+    EdgeRef,
+    core_boundary_edges,
+    extract_critical_regions,
+)
+
+__all__ = [
+    "WIDTH_MARGIN_TRACKS",
+    "CongestionReport",
+    "cell_edge_expansions",
+    "compute_congestion",
+    "region_densities",
+    "required_channel_width",
+    "ChannelCycleError",
+    "ChannelPin",
+    "ChannelRoute",
+    "channel_density_of_pins",
+    "net_intervals",
+    "route_channel",
+    "validate_route",
+    "vertical_constraints",
+    "decompose_free_space",
+    "free_area",
+    "ChannelEdge",
+    "ChannelGraph",
+    "ChannelSegment",
+    "channel_density",
+    "left_edge_route",
+    "tracks_used",
+    "CORE_BOUNDARY",
+    "HORIZONTAL",
+    "VERTICAL",
+    "CriticalRegion",
+    "EdgeRef",
+    "core_boundary_edges",
+    "extract_critical_regions",
+]

@@ -1,0 +1,97 @@
+"""Maximal-strip decomposition of the free (channel) space.
+
+The critical regions of §4.1 are where channel *widths* are measured,
+but a loosely placed chip also has empty space that is not between two
+facing cell edges; the global router must still be able to cross it.
+This module tiles the complete free area — the boundary rectangle minus
+all cell tiles — into maximal horizontal strips.  The strips become the
+nodes of the routing graph; two strips sharing a boundary segment are
+connected with a crossing capacity of one track per ``t_s`` of shared
+segment, which for the strip between two facing cell edges reduces to
+exactly the paper's channel capacity (width / t_s).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..geometry import Rect, TileSet
+
+
+def _free_intervals(
+    lo: float, hi: float, blocked: List[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Complement of the blocked intervals within [lo, hi]."""
+    if not blocked:
+        return [(lo, hi)]
+    blocked = sorted(blocked)
+    out: List[Tuple[float, float]] = []
+    cursor = lo
+    for b_lo, b_hi in blocked:
+        if b_hi <= cursor:
+            continue
+        if b_lo >= hi:
+            break
+        if b_lo > cursor:
+            out.append((cursor, min(b_lo, hi)))
+        cursor = max(cursor, b_hi)
+        if cursor >= hi:
+            break
+    if cursor < hi:
+        out.append((cursor, hi))
+    return [(a, b) for a, b in out if b > a]
+
+
+def decompose_free_space(
+    shapes: Iterable[TileSet], boundary: Rect
+) -> List[Rect]:
+    """Tile ``boundary`` minus all cell tiles into maximal horizontal strips.
+
+    The plane is cut into horizontal bands at every tile's y-extents; in
+    each band the free x-intervals are the complement of the covering
+    tiles.  Bands with identical x-intervals are merged vertically, so
+    each returned rectangle is maximal in y for its x-interval.
+    """
+    tiles: List[Rect] = []
+    for shape in shapes:
+        for t in shape.tiles:
+            clipped = t.intersection(boundary)
+            if clipped is not None and clipped.area > 0:
+                tiles.append(clipped)
+
+    cuts = {boundary.y1, boundary.y2}
+    for t in tiles:
+        if boundary.y1 < t.y1 < boundary.y2:
+            cuts.add(t.y1)
+        if boundary.y1 < t.y2 < boundary.y2:
+            cuts.add(t.y2)
+    ys = sorted(cuts)
+
+    rects: List[Rect] = []
+    #: open strips: x-interval -> index into rects (still growable).
+    active: Dict[Tuple[float, float], int] = {}
+
+    for y_lo, y_hi in zip(ys, ys[1:]):
+        if y_hi <= y_lo:
+            continue
+        blocked = [
+            (t.x1, t.x2) for t in tiles if t.y1 < y_hi and t.y2 > y_lo
+        ]
+        intervals = _free_intervals(boundary.x1, boundary.x2, blocked)
+        next_active: Dict[Tuple[float, float], int] = {}
+        for iv in intervals:
+            prev = active.get(iv)
+            if prev is not None and rects[prev].y2 == y_lo:
+                rects[prev] = Rect(iv[0], rects[prev].y1, iv[1], y_hi)
+                next_active[iv] = prev
+            else:
+                rects.append(Rect(iv[0], y_lo, iv[1], y_hi))
+                next_active[iv] = len(rects) - 1
+        active = next_active
+
+    return rects
+
+
+def free_area(shapes: Iterable[TileSet], boundary: Rect) -> float:
+    """Total free area inside the boundary (for invariants in tests)."""
+    return sum(r.area for r in decompose_free_space(shapes, boundary))

@@ -1,0 +1,191 @@
+"""The routing graph over the chip's free space (Figures 8-9).
+
+Nodes are rectangles of empty space — the maximal free-space strips of
+:mod:`repro.channels.freespace` — placed at their centers.  Two nodes
+sharing a boundary segment are joined by a channel edge carrying:
+
+* ``length`` — Manhattan distance between the node centers (the cost the
+  global router minimizes), and
+* ``capacity`` — the number of wiring tracks across the shared segment,
+  ``floor(shared length / t_s)`` — the C_j of Eqn 24.  For the strip
+  lying between two facing cell edges this is exactly the paper's
+  channel capacity (channel width over track pitch).
+
+Pins are projected onto the adjacent free space (the P1/P0 projections
+of Figure 9) and appear as extra nodes tied to their host strip by an
+uncapacitated access edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..geometry import Rect, interval_overlap
+from .regions import CriticalRegion
+
+
+@dataclass(frozen=True)
+class ChannelEdge:
+    """An undirected edge of the routing graph."""
+
+    u: int
+    v: int
+    length: float
+    capacity: Optional[int]  # None = uncapacitated (pin access edges)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.u, self.v) if self.u < self.v else (self.v, self.u)
+
+
+def _point_rect_distance(x: float, y: float, r: Rect) -> float:
+    dx = max(r.x1 - x, 0.0, x - r.x2)
+    dy = max(r.y1 - y, 0.0, y - r.y2)
+    return dx + dy
+
+
+def _shared_segment(a: Rect, b: Rect) -> float:
+    """Length of the boundary segment two disjoint-interior rects share."""
+    if a.x2 == b.x1 or b.x2 == a.x1:
+        return interval_overlap(a.y1, a.y2, b.y1, b.y2)
+    if a.y2 == b.y1 or b.y2 == a.y1:
+        return interval_overlap(a.x1, a.x2, b.x1, b.x2)
+    # Overlapping rects (possible if callers pass critical regions, which
+    # may overlap at corners): the crossing capacity is the smaller of the
+    # overlap extents.
+    if a.intersects(b):
+        w = interval_overlap(a.x1, a.x2, b.x1, b.x2)
+        h = interval_overlap(a.y1, a.y2, b.y1, b.y2)
+        return min(w, h)
+    return 0.0
+
+
+class ChannelGraph:
+    """The routing substrate handed to the global router."""
+
+    def __init__(
+        self,
+        free_rects: List[Rect],
+        track_spacing: float = 1.0,
+        regions: Optional[List[CriticalRegion]] = None,
+    ) -> None:
+        if track_spacing <= 0:
+            raise ValueError("track spacing must be positive")
+        self.node_rects = list(free_rects)
+        self.track_spacing = track_spacing
+        self.regions: List[CriticalRegion] = list(regions or [])
+        self.positions: Dict[int, Tuple[float, float]] = {}
+        self._adj: Dict[int, List[Tuple[int, float]]] = {}
+        self._edges: Dict[Tuple[int, int], ChannelEdge] = {}
+        self.pin_nodes: Dict[Tuple[str, str], int] = {}
+        self._pin_host: Dict[int, int] = {}
+        for i, r in enumerate(self.node_rects):
+            c = r.center
+            self.positions[i] = (c.x, c.y)
+            self._adj[i] = []
+        self._next_node = len(self.node_rects)
+        self._connect_nodes()
+
+    # ------------------------------------------------------------------
+
+    def _connect_nodes(self) -> None:
+        n = len(self.node_rects)
+        for i in range(n):
+            a = self.node_rects[i]
+            for j in range(i + 1, n):
+                b = self.node_rects[j]
+                if not a.touches_or_intersects(b):
+                    continue
+                shared = _shared_segment(a, b)
+                if shared <= 0:
+                    continue  # pure corner contact does not connect
+                length = abs(a.center.x - b.center.x) + abs(
+                    a.center.y - b.center.y
+                )
+                capacity = int(shared / self.track_spacing)
+                self._add_edge(i, j, length, capacity)
+
+    def _add_edge(
+        self, u: int, v: int, length: float, capacity: Optional[int]
+    ) -> None:
+        edge = ChannelEdge(u, v, length, capacity)
+        if edge.key in self._edges:
+            return
+        self._edges[edge.key] = edge
+        self._adj.setdefault(u, []).append((v, length))
+        self._adj.setdefault(v, []).append((u, length))
+
+    # ------------------------------------------------------------------
+
+    def attach_pin(
+        self, cell: str, pin: str, position: Tuple[float, float]
+    ) -> Optional[int]:
+        """Project a pin onto the nearest free space; returns its node id,
+        or None when the graph has no nodes."""
+        host = self._host_node(position)
+        if host is None:
+            return None
+        node = self._next_node
+        self._next_node += 1
+        self.pin_nodes[(cell, pin)] = node
+        self._pin_host[node] = host
+        hx, hy = self.positions[host]
+        length = abs(position[0] - hx) + abs(position[1] - hy)
+        self.positions[node] = position
+        self._adj[node] = []
+        self._add_edge(node, host, length, None)
+        return node
+
+    def _host_node(self, position: Tuple[float, float]) -> Optional[int]:
+        x, y = position
+        best = None
+        best_d = None
+        for i, rect in enumerate(self.node_rects):
+            d = _point_rect_distance(x, y, rect)
+            if best_d is None or d < best_d:
+                best_d = d
+                best = i
+                if d == 0.0:
+                    break
+        return best
+
+    # ------------------------------------------------------------------
+
+    def neighbors(self, node: int) -> Iterable[Tuple[int, float]]:
+        return self._adj.get(node, ())
+
+    def nodes(self) -> List[int]:
+        return list(self._adj)
+
+    def edges(self) -> List[ChannelEdge]:
+        return list(self._edges.values())
+
+    def edge(self, u: int, v: int) -> ChannelEdge:
+        key = (u, v) if u < v else (v, u)
+        return self._edges[key]
+
+    def edge_capacity(self, u: int, v: int) -> Optional[int]:
+        return self.edge(u, v).capacity
+
+    def pin_host(self, node: int) -> Optional[int]:
+        """The free-space node a pin node is attached to (None otherwise)."""
+        return self._pin_host.get(node)
+
+    def is_pin_node(self, node: int) -> bool:
+        return node in self._pin_host
+
+    @property
+    def num_free_nodes(self) -> int:
+        return len(self.node_rects)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._next_node
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelGraph({len(self.node_rects)} free nodes, "
+            f"{len(self._edges)} edges, {len(self.pin_nodes)} pins, "
+            f"{len(self.regions)} critical regions)"
+        )

@@ -1,0 +1,165 @@
+"""Critical-region extraction — the channel definition algorithm of §4.1.
+
+A *critical region* (channel) is created between every pair of parallel
+cell edges belonging to different cells (or a cell edge and the core
+boundary) such that:
+
+1. the spans of the two edges overlap in one dimension, bounding a
+   rectangular region of empty space whose extent equals the common
+   span, and
+2. no other cell intersects that rectangle.
+
+Unlike Chen's bottlenecks, overlapping critical regions are allowed: a
+region created by a vertical edge pair may overlap one created by a
+horizontal pair (the n8/n9/n11/n12 corner of Figure 9); *all* of them
+are identified and used.
+
+Every region is bordered by exactly two cell edges, so its expected
+width under two-layer channel routing is the single parameter
+
+    w = (d + 2) * t_s                                         (Eqn 22)
+
+where d is the channel density — the property the placement-refinement
+step relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import LEFT, RIGHT, BOTTOM, TOP, BoundaryEdge, Rect, TileSet
+
+#: Pseudo-cell name used for the core boundary's inward-facing edges.
+CORE_BOUNDARY = "__core__"
+
+VERTICAL, HORIZONTAL = "vertical", "horizontal"
+
+
+@dataclass(frozen=True)
+class EdgeRef:
+    """A boundary edge together with the cell it belongs to."""
+
+    cell: str
+    edge: BoundaryEdge
+
+
+@dataclass(frozen=True)
+class CriticalRegion:
+    """A channel bounded by exactly two facing cell edges.
+
+    ``axis`` is the direction the channel runs: a VERTICAL channel lies
+    between two vertical edges (its *width* is the horizontal gap, its
+    *length* the common vertical span), and vice versa.
+    """
+
+    index: int
+    rect: Rect
+    axis: str
+    side_a: EdgeRef  # lower/left bounding edge (faces into the region)
+    side_b: EdgeRef  # upper/right bounding edge
+
+    @property
+    def width(self) -> float:
+        """Separation of the two bounding edges (the channel thickness)."""
+        return self.rect.width if self.axis == VERTICAL else self.rect.height
+
+    @property
+    def length(self) -> float:
+        """Common span of the two bounding edges (the channel length)."""
+        return self.rect.height if self.axis == VERTICAL else self.rect.width
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        c = self.rect.center
+        return (c.x, c.y)
+
+    def capacity(self, track_spacing: float) -> int:
+        """Number of wiring tracks that fit across the channel."""
+        if track_spacing <= 0:
+            raise ValueError("track spacing must be positive")
+        return max(0, int(self.width / track_spacing))
+
+    def cells(self) -> Tuple[str, str]:
+        return (self.side_a.cell, self.side_b.cell)
+
+
+def core_boundary_edges(core: Rect) -> List[EdgeRef]:
+    """The core boundary as four inward-facing pseudo-cell edges."""
+    return [
+        EdgeRef(CORE_BOUNDARY, BoundaryEdge(RIGHT, core.x1, core.y1, core.y2)),
+        EdgeRef(CORE_BOUNDARY, BoundaryEdge(LEFT, core.x2, core.y1, core.y2)),
+        EdgeRef(CORE_BOUNDARY, BoundaryEdge(TOP, core.y1, core.x1, core.x2)),
+        EdgeRef(CORE_BOUNDARY, BoundaryEdge(BOTTOM, core.y2, core.x1, core.x2)),
+    ]
+
+
+def extract_critical_regions(
+    shapes: Dict[str, TileSet],
+    core: Optional[Rect] = None,
+    min_width: float = 1e-9,
+    min_length: float = 1e-9,
+) -> List[CriticalRegion]:
+    """Identify every critical region of a legal (overlap-free) placement.
+
+    ``shapes`` maps cell names to their world-frame tile unions.  When
+    ``core`` is given, channels between cells and the core boundary are
+    included.  Degenerate regions (zero width or length) are dropped.
+    """
+    edges: List[EdgeRef] = []
+    for name, shape in shapes.items():
+        for e in shape.boundary_edges():
+            edges.append(EdgeRef(name, e))
+    if core is not None:
+        edges.extend(core_boundary_edges(core))
+
+    all_tiles = [t for shape in shapes.values() for t in shape.tiles]
+    regions: List[CriticalRegion] = []
+
+    verticals = [r for r in edges if r.edge.is_vertical]
+    horizontals = [r for r in edges if not r.edge.is_vertical]
+
+    for axis, pool in ((VERTICAL, verticals), (HORIZONTAL, horizontals)):
+        # A region needs a right/top-facing edge on its low side and a
+        # left/bottom-facing edge on its high side.
+        low_side = RIGHT if axis == VERTICAL else TOP
+        high_side = LEFT if axis == VERTICAL else BOTTOM
+        lows = [r for r in pool if r.edge.side == low_side]
+        highs = [r for r in pool if r.edge.side == high_side]
+        for a in lows:
+            for b in highs:
+                if a.cell == b.cell and a.cell != CORE_BOUNDARY:
+                    continue
+                region = _region_between(a, b, axis, min_width, min_length)
+                if region is None:
+                    continue
+                if _blocked(region, all_tiles):
+                    continue
+                regions.append(
+                    CriticalRegion(len(regions), region, axis, a, b)
+                )
+    return regions
+
+
+def _region_between(
+    a: EdgeRef, b: EdgeRef, axis: str, min_width: float, min_length: float
+) -> Optional[Rect]:
+    ea, eb = a.edge, b.edge
+    gap = eb.position - ea.position
+    if gap < min_width:
+        return None
+    lo = max(ea.lo, eb.lo)
+    hi = min(ea.hi, eb.hi)
+    if hi - lo < min_length:
+        return None
+    if axis == VERTICAL:
+        return Rect(ea.position, lo, eb.position, hi)
+    return Rect(lo, ea.position, hi, eb.position)
+
+
+def _blocked(region: Rect, tiles: List[Rect]) -> bool:
+    """True when any cell tile intrudes into the region's interior."""
+    for tile in tiles:
+        if tile.intersects(region):
+            return True
+    return False

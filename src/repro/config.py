@@ -1,0 +1,128 @@
+"""Configuration for the TimberWolfMC flow, with quality presets.
+
+The paper's knobs and the values it recommends:
+
+* ``attempts_per_cell`` — A_c, new states per cell per temperature.
+  A_c ~ 400 saturates quality for 30-60-cell circuits (Figures 5-6);
+  A_c = 25 is ~16x cheaper at a ~13 % TEIL penalty, appropriate early
+  in a design.
+* ``r_ratio`` — r, single-cell displacements per pairwise interchange;
+  anything in 7-15 is within one percent of the best TEIL (Figure 3).
+* ``rho`` — range-limiter shrink exponent; 4 minimizes both final TEIL
+  and residual overlap (§3.2.2).
+* ``eta`` — the overlap-penalty normalization target of Eqn 9;
+  performance is flat for 0.25 <= eta <= 1.0.
+* ``kappa`` — the pin-site overflow constant of Eqn 10 (kappa = 5).
+* ``mu`` — stage-2 initial window as a fraction of the core span
+  (mu = 0.03, §4.3).
+* ``m_routes`` — M, alternative routes stored per net (§4.2.1, M ~ 20).
+* ``refinement_passes`` — stage-2 iterations (three suffice, §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .estimator import ModulationProfile
+
+#: Displacement-point selectors (§3.2.3): the evenly-dispersed Ds or the
+#: uniformly-random Dr baseline.
+SELECTOR_DS = "ds"
+SELECTOR_DR = "dr"
+
+
+@dataclass(frozen=True)
+class TimberWolfConfig:
+    """All tunables of the two-stage flow.  Defaults follow the paper."""
+
+    seed: int = 0
+    attempts_per_cell: int = 100
+    r_ratio: float = 10.0
+    rho: float = 4.0
+    eta: float = 0.5
+    kappa: float = 5.0
+    mu: float = 0.03
+    selector: str = SELECTOR_DS
+    core_aspect_ratio: float = 1.0
+    core_slack: float = 1.0
+    #: Scales the estimator's Cw; 1.0 is the paper's flow, 0.0 disables
+    #: the dynamic interconnect-area estimation entirely (ablation).
+    estimator_scale: float = 1.0
+    m_routes: int = 20
+    refinement_passes: int = 3
+    max_temperatures: int = 240
+    refine_attempts_per_cell: int = 0  # 0 = same as attempts_per_cell
+    profile: ModulationProfile = field(default_factory=ModulationProfile)
+
+    def __post_init__(self) -> None:
+        if self.attempts_per_cell < 1:
+            raise ValueError("attempts_per_cell must be at least 1")
+        if self.r_ratio <= 0:
+            raise ValueError("r_ratio must be positive")
+        if not 1.0 <= self.rho <= 10.0:
+            raise ValueError("rho must lie in [1, 10]")
+        if self.eta <= 0:
+            raise ValueError("eta must be positive")
+        if not 0.0 < self.mu <= 1.0:
+            raise ValueError("mu must lie in (0, 1]")
+        if self.selector not in (SELECTOR_DS, SELECTOR_DR):
+            raise ValueError(f"unknown selector {self.selector!r}")
+        if self.m_routes < 1:
+            raise ValueError("m_routes must be at least 1")
+        if self.refinement_passes < 0:
+            raise ValueError("refinement_passes must be non-negative")
+        if self.estimator_scale < 0:
+            raise ValueError("estimator_scale must be non-negative")
+
+    @property
+    def displacement_probability(self) -> float:
+        """p with r = p / (1 - p): probability of a single-cell displacement
+        rather than a pairwise interchange."""
+        return self.r_ratio / (1.0 + self.r_ratio)
+
+    @property
+    def stage2_attempts_per_cell(self) -> int:
+        return self.refine_attempts_per_cell or self.attempts_per_cell
+
+    def with_seed(self, seed: int) -> "TimberWolfConfig":
+        return replace(self, seed=seed)
+
+    # -- presets -----------------------------------------------------------
+
+    @staticmethod
+    def smoke(seed: int = 0) -> "TimberWolfConfig":
+        """Tiny settings for unit tests: seconds, not minutes.
+
+        The full Table-1 ladder needs ~100+ temperature steps to cool the
+        five decades from T-inf to the quench floor, so the temperature
+        budget stays paper-sized while the inner loop shrinks.
+        """
+        return TimberWolfConfig(
+            seed=seed,
+            attempts_per_cell=4,
+            max_temperatures=130,
+            m_routes=4,
+            refinement_passes=1,
+        )
+
+    @staticmethod
+    def fast(seed: int = 0) -> "TimberWolfConfig":
+        """The paper's 'early design stage' operating point (A_c ~ 25)."""
+        return TimberWolfConfig(
+            seed=seed,
+            attempts_per_cell=25,
+            max_temperatures=160,
+            m_routes=8,
+            refinement_passes=2,
+        )
+
+    @staticmethod
+    def paper(seed: int = 0) -> "TimberWolfConfig":
+        """The quality operating point (A_c = 400, M = 20, 3 passes)."""
+        return TimberWolfConfig(
+            seed=seed,
+            attempts_per_cell=400,
+            max_temperatures=240,
+            m_routes=20,
+            refinement_passes=3,
+        )

@@ -1,0 +1,22 @@
+"""Dynamic interconnect-area estimation (§2.2) and core sizing."""
+
+from .core import CorePlan, determine_core, effective_core_area
+from .interconnect import InterconnectEstimator, ModulationProfile
+from .wirelength import (
+    average_channel_width,
+    estimate_total_channel_length,
+    estimate_total_interconnect_length,
+    expected_net_length,
+)
+
+__all__ = [
+    "CorePlan",
+    "determine_core",
+    "effective_core_area",
+    "InterconnectEstimator",
+    "ModulationProfile",
+    "average_channel_width",
+    "estimate_total_channel_length",
+    "estimate_total_interconnect_length",
+    "expected_net_length",
+]

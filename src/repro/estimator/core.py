@@ -1,0 +1,111 @@
+"""Target core-area determination (§2.2, "Determining the Core Area").
+
+The wiring area cannot be known before placement, so TimberWolfMC sizes
+the core from the dynamic interconnect-area estimator itself: every cell
+edge is assumed to need the Eqn 5 expansion (positional modulation at its
+maximum, relative pin density at unity), and the core area is the summed
+effective cell area.  Because Cw itself depends on the core area (through
+N_L and C_L), the computation is a small fixed-point iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..geometry import Rect, TileSet
+from ..netlist import Circuit, CustomCell, MacroCell
+from .interconnect import InterconnectEstimator, ModulationProfile
+from .wirelength import average_channel_width
+
+
+@dataclass(frozen=True)
+class CorePlan:
+    """The sized core region and the estimator calibrated for it."""
+
+    core: Rect
+    cw: float
+    estimator: InterconnectEstimator
+    total_cell_area: float
+    average_effective_cell_area: float
+
+    @property
+    def area(self) -> float:
+        return self.core.area
+
+
+def _cell_bbox_dims(circuit: Circuit) -> List[Tuple[float, float]]:
+    dims = []
+    for cell in circuit.cells.values():
+        if isinstance(cell, MacroCell):
+            bbox = cell.instances[0].shape.bbox
+            dims.append((bbox.width, bbox.height))
+        else:
+            assert isinstance(cell, CustomCell)
+            dims.append(cell.dimensions(cell.aspect.default()))
+    return dims
+
+
+def effective_core_area(circuit: Circuit, edge_expansion: float) -> float:
+    """Summed cell area after expanding every cell's bounding box outward
+    by ``edge_expansion`` on all four sides."""
+    total = 0.0
+    for w, h in _cell_bbox_dims(circuit):
+        total += (w + 2.0 * edge_expansion) * (h + 2.0 * edge_expansion)
+    return total
+
+
+def determine_core(
+    circuit: Circuit,
+    aspect_ratio: float = 1.0,
+    profile: Optional[ModulationProfile] = None,
+    iterations: int = 8,
+    slack: float = 1.0,
+    cw_scale: float = 1.0,
+) -> CorePlan:
+    """Size the target core and build the calibrated estimator.
+
+    ``aspect_ratio`` is the desired core height/width.  ``slack``
+    multiplies the computed core area (1.0 reproduces the paper's
+    sizing; callers can loosen a congested design).  ``cw_scale``
+    scales the estimated average channel width; 0.0 disables the
+    interconnect-area estimation (the ablation baseline).
+    """
+    if circuit.num_cells == 0:
+        raise ValueError("cannot size a core for an empty circuit")
+    if aspect_ratio <= 0:
+        raise ValueError("core aspect ratio must be positive")
+    if iterations < 1:
+        raise ValueError("need at least one sizing iteration")
+    if slack <= 0:
+        raise ValueError("slack must be positive")
+    if cw_scale < 0:
+        raise ValueError("cw_scale must be non-negative")
+    profile = profile if profile is not None else ModulationProfile()
+
+    total_cell_area = circuit.total_cell_area()
+    core_area = 2.0 * total_cell_area  # starting guess
+    cw = 0.0
+    alpha = 1.0 / profile.mean_modulation
+    for _ in range(iterations):
+        cw = cw_scale * average_channel_width(circuit, core_area)
+        # Eqn 5: expansion with the positional modulation at its maximum.
+        e_center = 0.5 * alpha * cw * profile.m_x * profile.m_y
+        core_area = slack * effective_core_area(circuit, e_center)
+
+    width = (core_area / aspect_ratio) ** 0.5
+    height = width * aspect_ratio
+    core = Rect.from_center(0.0, 0.0, width, height)
+    estimator = InterconnectEstimator(
+        cw=cw,
+        core=core,
+        profile=profile,
+        average_pin_density=circuit.average_pin_density(),
+    )
+    return CorePlan(
+        core=core,
+        cw=cw,
+        estimator=estimator,
+        total_cell_area=total_cell_area,
+        average_effective_cell_area=core_area / circuit.num_cells,
+    )

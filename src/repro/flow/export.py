@@ -1,0 +1,115 @@
+"""Machine-readable export of a finished flow.
+
+Downstream tools (detailed routers, analysis scripts, visualizers other
+than ours) need the result as data, not as a Python object graph.
+``result_to_dict`` flattens a :class:`TimberWolfResult` into plain
+JSON-serializable structures: per-cell placements (center, orientation,
+instance/aspect, tile geometry), per-pin positions, channel definitions
+with their routed densities and required widths, and per-net global
+routes as polylines between graph-node positions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..channels import region_densities, required_channel_width
+from ..netlist import CustomCell
+from .timberwolf import TimberWolfResult
+
+
+def result_to_dict(result: TimberWolfResult) -> Dict[str, Any]:
+    """Flatten a flow result into JSON-serializable data."""
+    state = result.state
+    circuit = result.circuit
+
+    cells: List[Dict[str, Any]] = []
+    for name in state.names:
+        cell = circuit.cells[name]
+        record = state.records[state.index[name]]
+        shape = state.world_shape(name)
+        entry: Dict[str, Any] = {
+            "name": name,
+            "kind": "custom" if isinstance(cell, CustomCell) else "macro",
+            "fixed": cell.is_fixed,
+            "center": list(record.center),
+            "orientation": record.orientation,
+            "tiles": [[t.x1, t.y1, t.x2, t.y2] for t in shape.tiles],
+            "pins": {
+                pin_name: list(state.pin_position(name, pin_name))
+                for pin_name in cell.pins
+            },
+        }
+        if isinstance(cell, CustomCell):
+            entry["aspect_ratio"] = record.aspect_ratio
+        else:
+            entry["instance"] = cell.instances[record.instance].name
+        cells.append(entry)
+
+    nets = [
+        {
+            "name": net.name,
+            "pins": [[ref.cell, ref.pin] for ref in net.pins],
+            "h_weight": net.h_weight,
+            "v_weight": net.v_weight,
+        }
+        for net in circuit.nets.values()
+    ]
+
+    data: Dict[str, Any] = {
+        "circuit": circuit.name,
+        "track_spacing": circuit.track_spacing,
+        "metrics": {
+            "teil": result.teil,
+            "chip_area": result.chip_area,
+            "chip_dimensions": list(result.chip_dimensions),
+            "stage1_teil": result.stage1_teil,
+            "teil_change_pct": result.teil_change_pct,
+            "area_change_pct": result.area_change_pct,
+            "mean_stage2_displacement": result.mean_stage2_displacement,
+            "routing_overflow": result.routed_overflow,
+            "elapsed_seconds": result.elapsed_seconds,
+        },
+        "cells": cells,
+        "nets": nets,
+    }
+
+    if result.refinement is not None and result.refinement.passes:
+        final = result.refinement.final_pass
+        graph = final.graph
+        densities = region_densities(graph, final.routing.routes)
+        t_s = circuit.track_spacing
+        data["channels"] = [
+            {
+                "index": region.index,
+                "cells": list(region.cells()),
+                "axis": region.axis,
+                "rect": list(region.rect),
+                "density": densities.get(region.index, 0),
+                "required_width": required_channel_width(
+                    densities.get(region.index, 0), t_s
+                ),
+                "available_width": region.width,
+            }
+            for region in graph.regions
+        ]
+        data["routes"] = {
+            net: [
+                {
+                    "from": list(graph.positions[u]),
+                    "to": list(graph.positions[v]),
+                }
+                for u, v in edges
+            ]
+            for net, edges in final.routing.routes.items()
+        }
+    return data
+
+
+def export_json(
+    result: TimberWolfResult, path: Union[str, Path], indent: int = 2
+) -> None:
+    """Write the flattened result as a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=indent))

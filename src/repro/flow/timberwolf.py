@@ -1,0 +1,150 @@
+"""The complete TimberWolfMC flow: stage 1 plus stage-2 refinement.
+
+``place_and_route`` is the top-level entry point a downstream user calls:
+
+    from repro import place_and_route, TimberWolfConfig
+    result = place_and_route(circuit, TimberWolfConfig.fast(seed=1))
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..config import TimberWolfConfig
+from ..netlist import Circuit
+from ..placement.legalize import remove_overlaps
+from ..placement.refine import RefinementResult, run_refinement
+from ..placement.stage1 import Stage1Result, run_stage1
+from ..placement.state import PlacementState
+
+
+@dataclass
+class TimberWolfResult:
+    """Everything produced by one full run of the flow."""
+
+    circuit: Circuit
+    config: TimberWolfConfig
+    stage1: Stage1Result
+    refinement: Optional[RefinementResult]
+    stage1_teil: float
+    stage1_chip_area: float
+    stage1_placement: Dict[str, Tuple[float, float]]
+    elapsed_seconds: float
+
+    @property
+    def state(self) -> PlacementState:
+        return self.stage1.state
+
+    @property
+    def teil(self) -> float:
+        """Final total estimated interconnect length."""
+        return self.state.teil()
+
+    @property
+    def chip_area(self) -> float:
+        """Final chip area (bounding box including interconnect area)."""
+        return self.state.chip_area()
+
+    @property
+    def chip_dimensions(self) -> Tuple[float, float]:
+        bbox = self.state.chip_bbox()
+        return (bbox.width, bbox.height)
+
+    @property
+    def teil_change_pct(self) -> float:
+        """Stage-2 TEIL relative to stage 1, as the percentage *reduction*
+        reported in Table 3 (positive = stage 2 improved the TEIL)."""
+        if self.stage1_teil == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.teil / self.stage1_teil)
+
+    @property
+    def area_change_pct(self) -> float:
+        """Stage-2 core-area change versus stage 1 (Table 3 convention:
+        positive = stage 2 shrank the area)."""
+        if self.stage1_chip_area == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.chip_area / self.stage1_chip_area)
+
+    @property
+    def mean_stage2_displacement(self) -> float:
+        """Average distance cells moved between the end of stage 1 and
+        the final placement, normalized by the core's side length — the
+        direct measure of how much 'placement modification' stage 2 (the
+        routing-aware phase) had to perform."""
+        state = self.state
+        side = max(state.core.width, state.core.height)
+        if side == 0 or not self.stage1_placement:
+            return 0.0
+        total = 0.0
+        for name, (x0, y0) in self.stage1_placement.items():
+            x1, y1 = state.records[state.index[name]].center
+            total += abs(x1 - x0) + abs(y1 - y0)
+        return total / len(self.stage1_placement) / side
+
+    @property
+    def routed_overflow(self) -> int:
+        if self.refinement is None or not self.refinement.passes:
+            return 0
+        return self.refinement.final_pass.overflow
+
+    def placement(self) -> Dict[str, Tuple[float, float]]:
+        """Final cell centers by name."""
+        state = self.state
+        return {name: state.records[state.index[name]].center for name in state.names}
+
+    def summary(self) -> str:
+        w, h = self.chip_dimensions
+        lines = [
+            f"circuit {self.circuit.name}: {self.circuit.num_cells} cells, "
+            f"{self.circuit.num_nets} nets, {self.circuit.num_pins} pins",
+            f"  TEIL  {self.teil:12.1f}   (stage 1: {self.stage1_teil:.1f}, "
+            f"change {self.teil_change_pct:+.1f}%)",
+            f"  area  {self.chip_area:12.1f}   ({w:.0f} x {h:.0f}, "
+            f"change {self.area_change_pct:+.1f}%)",
+            f"  residual overlap {self.stage1.residual_overlap:10.2f}",
+            f"  routing overflow {self.routed_overflow:d}",
+            f"  elapsed {self.elapsed_seconds:.1f}s",
+        ]
+        return "\n".join(lines)
+
+
+def place_and_route(
+    circuit: Circuit,
+    config: Optional[TimberWolfConfig] = None,
+) -> TimberWolfResult:
+    """Run the full two-stage TimberWolfMC flow on a circuit."""
+    config = config if config is not None else TimberWolfConfig()
+    start = time.perf_counter()
+
+    rng = random.Random(config.seed)
+    stage1 = run_stage1(circuit, config, rng)
+
+    # Record the stage-1 metrics on a *legal* placement so the Table-3
+    # comparison is apples-to-apples with the stage-2 numbers.
+    remove_overlaps(stage1.state, min_gap=circuit.track_spacing)
+    stage1_teil = stage1.state.teil()
+    stage1_area = stage1.state.chip_area()
+    stage1_placement = {
+        name: stage1.state.records[stage1.state.index[name]].center
+        for name in stage1.state.names
+    }
+
+    refinement = None
+    if config.refinement_passes > 0:
+        refinement = run_refinement(circuit, stage1, config, rng)
+
+    return TimberWolfResult(
+        circuit=circuit,
+        config=config,
+        stage1=stage1,
+        refinement=refinement,
+        stage1_teil=stage1_teil,
+        stage1_chip_area=stage1_area,
+        stage1_placement=stage1_placement,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,32 @@
+"""Rectilinear geometry substrate for macro/custom cell layout.
+
+Everything TimberWolfMC manipulates is axis-aligned: rectangular tiles,
+tile unions (rectilinear cells), their boundary edges, and the eight
+orientations a cell may assume.
+"""
+
+from .rect import Point, Rect, interval_contains, interval_overlap, total_pairwise_overlap
+from .tiles import (
+    BOTTOM,
+    LEFT,
+    RIGHT,
+    TOP,
+    BoundaryEdge,
+    TileSet,
+)
+from . import orientation
+
+__all__ = [
+    "Point",
+    "Rect",
+    "interval_contains",
+    "interval_overlap",
+    "total_pairwise_overlap",
+    "BoundaryEdge",
+    "TileSet",
+    "LEFT",
+    "RIGHT",
+    "BOTTOM",
+    "TOP",
+    "orientation",
+]

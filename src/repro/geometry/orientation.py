@@ -1,0 +1,133 @@
+"""The eight cell orientations of macro/custom cell layout.
+
+TimberWolfMC considers all eight orientations of every cell: four rotations
+(0, 90, 180, 270 degrees) optionally composed with a mirror.  We encode an
+orientation as an integer 0..7::
+
+    index = rotation_count + 4 * mirrored
+
+where ``rotation_count`` counts counter-clockwise 90-degree rotations and
+``mirrored`` flips across the y axis *before* rotating.  Orientation 0 is
+the canonical orientation in which cell geometry is specified.
+
+All transforms act on coordinates relative to the cell center, so that a
+cell placed at center (cx, cy) with orientation o maps a local point (x, y)
+to ``(cx, cy) + transform_point(o, x, y)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .rect import Rect
+
+N_ORIENTATIONS = 8
+
+#: Orientations whose rotation is 90 or 270 degrees swap a cell's width and
+#: height — the paper's "aspect ratio inversion".
+_ROT_SWAPS = (False, True, False, True)
+
+
+def is_valid(orientation: int) -> bool:
+    return 0 <= orientation < N_ORIENTATIONS
+
+
+def _check(orientation: int) -> None:
+    if not is_valid(orientation):
+        raise ValueError(f"orientation must be in 0..7, got {orientation}")
+
+
+def rotation_count(orientation: int) -> int:
+    """Number of CCW 90-degree rotations encoded by the orientation."""
+    _check(orientation)
+    return orientation % 4
+
+
+def is_mirrored(orientation: int) -> bool:
+    _check(orientation)
+    return orientation >= 4
+
+
+def swaps_axes(orientation: int) -> bool:
+    """True when the orientation exchanges the x and y extents of shapes."""
+    _check(orientation)
+    return _ROT_SWAPS[orientation % 4]
+
+
+def transform_point(orientation: int, x: float, y: float) -> Tuple[float, float]:
+    """Map a cell-local point through the orientation (about the cell center)."""
+    _check(orientation)
+    if orientation >= 4:
+        x = -x
+    rot = orientation % 4
+    if rot == 0:
+        return (x, y)
+    if rot == 1:
+        return (-y, x)
+    if rot == 2:
+        return (-x, -y)
+    return (y, -x)
+
+
+def inverse(orientation: int) -> int:
+    """The orientation that undoes this one."""
+    _check(orientation)
+    rot = orientation % 4
+    if orientation < 4:
+        return (4 - rot) % 4
+    # A mirror composed with a rotation is an involution.
+    return orientation
+
+
+def compose(first: int, second: int) -> int:
+    """Orientation equivalent to applying ``first`` then ``second``."""
+    _check(first)
+    _check(second)
+    # Work it out by transforming two independent probe points.
+    probes = [(1.0, 0.0), (0.0, 1.0)]
+    images = [transform_point(second, *transform_point(first, x, y)) for x, y in probes]
+    for cand in range(N_ORIENTATIONS):
+        if all(
+            transform_point(cand, *p) == img for p, img in zip(probes, images)
+        ):
+            return cand
+    raise AssertionError("orientation composition must close over the group")
+
+
+def transform_rect(orientation: int, rect: Rect) -> Rect:
+    """Map a cell-local rectangle through the orientation (about the center)."""
+    ax, ay = transform_point(orientation, rect.x1, rect.y1)
+    bx, by = transform_point(orientation, rect.x2, rect.y2)
+    return Rect(min(ax, bx), min(ay, by), max(ax, bx), max(ay, by))
+
+
+def aspect_inverting_orientation(orientation: int) -> int:
+    """An orientation with the same mirror parity but swapped extents.
+
+    The paper's generate function retries a failed displacement after
+    "changing the orientation of the cell such that its aspect ratio is
+    inverted"; rotating by a further 90 degrees accomplishes exactly that.
+    """
+    _check(orientation)
+    base = orientation - orientation % 4
+    return base + (orientation % 4 + 1) % 4
+
+
+def all_orientations() -> List[int]:
+    return list(range(N_ORIENTATIONS))
+
+
+#: Human-readable names, following the convention R<degrees> / MX (mirror).
+NAMES = ("R0", "R90", "R180", "R270", "MX", "MXR90", "MXR180", "MXR270")
+
+
+def name(orientation: int) -> str:
+    _check(orientation)
+    return NAMES[orientation]
+
+
+def from_name(label: str) -> int:
+    try:
+        return NAMES.index(label)
+    except ValueError:
+        raise ValueError(f"unknown orientation name: {label!r}") from None

@@ -1,0 +1,216 @@
+"""Axis-aligned rectangle and interval primitives.
+
+All geometry in this package uses the integer grid of the input netlist
+(the paper's "grid size inherent in the specification of the cell geometry
+and pin locations"), although the primitives accept floats so that the
+interconnect-area estimator can expand edges by fractional amounts before
+rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point on the placement grid."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_to(self, other: "Point") -> float:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+def interval_overlap(lo1: float, hi1: float, lo2: float, hi2: float) -> float:
+    """Length of the overlap of two closed intervals (0 if disjoint)."""
+    return max(0.0, min(hi1, hi2) - max(lo1, lo2))
+
+
+def interval_contains(lo: float, hi: float, v: float) -> bool:
+    """True if v lies within [lo, hi]."""
+    return lo <= v <= hi
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned rectangle given by its lower-left and upper-right corners.
+
+    Degenerate rectangles (zero width or height) are permitted; they are
+    useful as edge segments.  ``x1 <= x2`` and ``y1 <= y2`` is enforced.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(
+                f"malformed Rect: ({self.x1}, {self.y1}, {self.x2}, {self.y2})"
+            )
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def from_center(cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rectangle centered at (cx, cy)."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        hw, hh = width / 2.0, height / 2.0
+        return Rect(cx - hw, cy - hh, cx + hw, cy + hh)
+
+    @staticmethod
+    def bounding(rects: Iterable["Rect"]) -> "Rect":
+        """The bounding box of a non-empty collection of rectangles."""
+        rects = list(rects)
+        if not rects:
+            raise ValueError("bounding box of an empty collection")
+        return Rect(
+            min(r.x1 for r in rects),
+            min(r.y1 for r in rects),
+            max(r.x2 for r in rects),
+            max(r.y2 for r in rects),
+        )
+
+    # -- basic measures -----------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Height over width (the TimberWolfMC convention)."""
+        if self.width == 0:
+            raise ZeroDivisionError("aspect ratio of a zero-width rectangle")
+        return self.height / self.width
+
+    def is_degenerate(self) -> bool:
+        return self.width == 0 or self.height == 0
+
+    # -- predicates ----------------------------------------------------
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and self.x2 >= other.x2
+            and self.y2 >= other.y2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two rectangles share interior area (not mere touching)."""
+        return (
+            self.x1 < other.x2
+            and other.x1 < self.x2
+            and self.y1 < other.y2
+            and other.y1 < self.y2
+        )
+
+    def touches_or_intersects(self, other: "Rect") -> bool:
+        """True if the closed rectangles share at least a point."""
+        return (
+            self.x1 <= other.x2
+            and other.x1 <= self.x2
+            and self.y1 <= other.y2
+            and other.y1 <= self.y2
+        )
+
+    # -- operations -----------------------------------------------------
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Common area of two rectangles (the paper's Ot function)."""
+        w = interval_overlap(self.x1, self.x2, other.x1, other.x2)
+        if w == 0.0:
+            return 0.0
+        h = interval_overlap(self.y1, self.y2, other.y1, other.y2)
+        return w * h
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The intersection rectangle, or None when the closed rects are disjoint."""
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x1 > x2 or y1 > y2:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def expanded(self, left: float, bottom: float, right: float, top: float) -> "Rect":
+        """Expand each side outward by the given non-negative amounts.
+
+        This is the dynamic interconnect-area expansion of §2.2: each tile
+        edge is moved outward by the estimated interconnect width assigned
+        to it.
+        """
+        return Rect(self.x1 - left, self.y1 - bottom, self.x2 + right, self.y2 + top)
+
+    def expanded_uniform(self, margin: float) -> "Rect":
+        return self.expanded(margin, margin, margin, margin)
+
+    def scaled(self, sx: float, sy: float) -> "Rect":
+        """Scale about the origin."""
+        xs = sorted((self.x1 * sx, self.x2 * sx))
+        ys = sorted((self.y1 * sy, self.y2 * sy))
+        return Rect(xs[0], ys[0], xs[1], ys[1])
+
+    def corners(self) -> List[Point]:
+        """Corner points in counter-clockwise order starting at lower-left."""
+        return [
+            Point(self.x1, self.y1),
+            Point(self.x2, self.y1),
+            Point(self.x2, self.y2),
+            Point(self.x1, self.y2),
+        ]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.x1, self.y1, self.x2, self.y2))
+
+
+def total_pairwise_overlap(rects: List[Rect]) -> float:
+    """Sum of overlap areas over all unordered rectangle pairs."""
+    total = 0.0
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            total += rects[i].overlap_area(rects[j])
+    return total

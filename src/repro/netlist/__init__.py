@@ -1,0 +1,44 @@
+"""Netlist model: cells, pins, nets, circuits, and a text file format."""
+
+from .cell import (
+    AspectRatioSpec,
+    FixedPlacement,
+    Cell,
+    ContinuousAspectRatio,
+    CustomCell,
+    DiscreteAspectRatios,
+    MacroCell,
+    MacroInstance,
+)
+from .circuit import Circuit
+from .net import Net, PinRef, bounding_span
+from .pin import ALL_SIDES, Pin, PinKind, PinSite, make_pin_sites, site_local_position
+from .padring import make_pad_ring
+from .parser import ParseError, dump, dumps, load, loads
+
+__all__ = [
+    "AspectRatioSpec",
+    "Cell",
+    "ContinuousAspectRatio",
+    "CustomCell",
+    "DiscreteAspectRatios",
+    "FixedPlacement",
+    "MacroCell",
+    "MacroInstance",
+    "Circuit",
+    "Net",
+    "PinRef",
+    "bounding_span",
+    "ALL_SIDES",
+    "Pin",
+    "PinKind",
+    "PinSite",
+    "make_pad_ring",
+    "make_pin_sites",
+    "site_local_position",
+    "ParseError",
+    "load",
+    "loads",
+    "dump",
+    "dumps",
+]

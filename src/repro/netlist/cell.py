@@ -1,0 +1,292 @@
+"""Macro and custom cells.
+
+A *macro* cell has fixed geometry — a rectilinear tile union — and fixed
+pin locations.  A *custom* cell has an estimated area, an aspect-ratio
+range (continuous or discrete), and pins that still need placing.  A cell
+of either sort may offer several *instances*, from which TimberWolfMC
+selects the most suitable one during annealing (§1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import TileSet
+from .pin import Pin, PinKind, PinSite, make_pin_sites
+
+
+class AspectRatioSpec:
+    """Interface for a custom cell's allowed aspect ratios (height/width)."""
+
+    def contains(self, ar: float) -> bool:
+        raise NotImplementedError
+
+    def clamp(self, ar: float) -> float:
+        """The closest allowed aspect ratio to ``ar``."""
+        raise NotImplementedError
+
+    def default(self) -> float:
+        raise NotImplementedError
+
+    def inverted(self, ar: float) -> float:
+        """The allowed aspect ratio closest to 1/ar (aspect inversion)."""
+        return self.clamp(1.0 / ar)
+
+
+@dataclass(frozen=True)
+class ContinuousAspectRatio(AspectRatioSpec):
+    """Aspect ratio allowed anywhere in [lo, hi]."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo <= 0 or self.hi < self.lo:
+            raise ValueError(f"bad aspect-ratio range [{self.lo}, {self.hi}]")
+
+    def contains(self, ar: float) -> bool:
+        return self.lo <= ar <= self.hi
+
+    def clamp(self, ar: float) -> float:
+        return min(self.hi, max(self.lo, ar))
+
+    def default(self) -> float:
+        # Prefer square when allowed, else the nearest bound.
+        return self.clamp(1.0)
+
+
+@dataclass(frozen=True)
+class DiscreteAspectRatios(AspectRatioSpec):
+    """Aspect ratio restricted to an explicit list of values."""
+
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("need at least one aspect ratio")
+        if any(v <= 0 for v in self.values):
+            raise ValueError("aspect ratios must be positive")
+        object.__setattr__(self, "values", tuple(sorted(self.values)))
+
+    def contains(self, ar: float) -> bool:
+        return ar in self.values
+
+    def clamp(self, ar: float) -> float:
+        return min(self.values, key=lambda v: abs(v - ar))
+
+    def default(self) -> float:
+        return self.clamp(1.0)
+
+
+@dataclass(frozen=True)
+class MacroInstance:
+    """One selectable realization of a macro cell.
+
+    ``shape`` is a tile union centered at the origin in the canonical
+    orientation.  ``pin_offsets`` optionally overrides the cell-local pin
+    positions for this instance; pins not listed fall back to their own
+    ``Pin.offset``.
+    """
+
+    name: str
+    shape: TileSet
+    pin_offsets: Optional[Dict[str, Tuple[float, float]]] = None
+
+    def pin_offset(self, pin: Pin) -> Tuple[float, float]:
+        if self.pin_offsets is not None and pin.name in self.pin_offsets:
+            return self.pin_offsets[pin.name]
+        if pin.offset is None:
+            raise ValueError(
+                f"instance {self.name!r} has no offset for pin {pin.name!r}"
+            )
+        return pin.offset
+
+
+@dataclass(frozen=True)
+class FixedPlacement:
+    """A pre-placed cell's mandated center and orientation.
+
+    Chip planning regularly starts from committed blocks — pad rings,
+    pre-hardened macros — that the annealer must place around.  A cell
+    carrying a FixedPlacement is never moved, reoriented, or reshaped.
+    """
+
+    x: float
+    y: float
+    orientation: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.orientation < 8:
+            raise ValueError("orientation must be in 0..7")
+
+
+class Cell:
+    """Common behaviour of macro and custom cells."""
+
+    def __init__(
+        self,
+        name: str,
+        pins: Sequence[Pin],
+        fixed: Optional[FixedPlacement] = None,
+    ):
+        if not name:
+            raise ValueError("cell needs a non-empty name")
+        self.name = name
+        self.fixed = fixed
+        self.pins: Dict[str, Pin] = {}
+        for pin in pins:
+            if pin.name in self.pins:
+                raise ValueError(f"cell {name!r} has duplicate pin {pin.name!r}")
+            self.pins[pin.name] = pin
+
+    @property
+    def is_fixed(self) -> bool:
+        """True when the cell is pre-placed and must not move."""
+        return self.fixed is not None
+
+    @property
+    def is_macro(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_custom(self) -> bool:
+        return not self.is_macro
+
+    @property
+    def num_pins(self) -> int:
+        return len(self.pins)
+
+    def pin(self, name: str) -> Pin:
+        try:
+            return self.pins[name]
+        except KeyError:
+            raise KeyError(f"cell {self.name!r} has no pin {name!r}") from None
+
+    def __repr__(self) -> str:
+        kind = "MacroCell" if self.is_macro else "CustomCell"
+        return f"{kind}({self.name!r}, {self.num_pins} pins)"
+
+
+class MacroCell(Cell):
+    """A cell with fixed rectilinear geometry and fixed pin locations.
+
+    Multiple instances may be supplied; the placer selects among them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pins: Sequence[Pin],
+        instances: Sequence[MacroInstance],
+        fixed: Optional[FixedPlacement] = None,
+    ):
+        super().__init__(name, pins, fixed)
+        if not instances:
+            raise ValueError(f"macro cell {name!r} needs at least one instance")
+        names = [inst.name for inst in instances]
+        if len(set(names)) != len(names):
+            raise ValueError(f"macro cell {name!r} has duplicate instance names")
+        for pin in self.pins.values():
+            if pin.kind is not PinKind.FIXED:
+                raise ValueError(
+                    f"macro cell {name!r} pin {pin.name!r} must be FIXED"
+                )
+            for inst in instances:
+                inst.pin_offset(pin)  # validates availability
+        self.instances: Tuple[MacroInstance, ...] = tuple(instances)
+
+    @staticmethod
+    def rectangular(
+        name: str,
+        width: float,
+        height: float,
+        pins: Sequence[Pin],
+        fixed: Optional[FixedPlacement] = None,
+    ) -> "MacroCell":
+        """Convenience constructor: a single rectangular instance whose pin
+        offsets come straight from the pins."""
+        shape = TileSet.rectangle(width, height)
+        return MacroCell(name, pins, [MacroInstance("default", shape)], fixed)
+
+    @property
+    def is_macro(self) -> bool:
+        return True
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    def instance(self, index: int) -> MacroInstance:
+        return self.instances[index]
+
+    def area(self, instance_index: int = 0) -> float:
+        return self.instances[instance_index].shape.area
+
+
+class CustomCell(Cell):
+    """A cell with estimated area, an aspect-ratio range, and movable pins."""
+
+    def __init__(
+        self,
+        name: str,
+        pins: Sequence[Pin],
+        area: float,
+        aspect: AspectRatioSpec,
+        sites_per_edge: int = 8,
+        pin_pitch: float = 1.0,
+        fixed: Optional[FixedPlacement] = None,
+    ):
+        super().__init__(name, pins, fixed)
+        if area <= 0:
+            raise ValueError(f"custom cell {name!r} needs positive area")
+        if sites_per_edge < 1:
+            raise ValueError("sites_per_edge must be at least 1")
+        self._area = area
+        self.aspect = aspect
+        self.sites_per_edge = sites_per_edge
+        self.pin_pitch = pin_pitch
+
+    @property
+    def is_macro(self) -> bool:
+        return False
+
+    @property
+    def area(self) -> float:
+        return self._area
+
+    def dimensions(self, aspect_ratio: float) -> Tuple[float, float]:
+        """(width, height) realizing the cell area at the given aspect ratio."""
+        if not self.aspect.contains(aspect_ratio):
+            raise ValueError(
+                f"aspect ratio {aspect_ratio} not allowed for cell {self.name!r}"
+            )
+        width = math.sqrt(self._area / aspect_ratio)
+        return (width, width * aspect_ratio)
+
+    def shape_for(self, aspect_ratio: float) -> TileSet:
+        """Rectangular tile union for the given aspect ratio, origin-centered."""
+        width, height = self.dimensions(aspect_ratio)
+        return TileSet.rectangle(width, height)
+
+    def sites_for(self, aspect_ratio: float) -> Tuple[PinSite, ...]:
+        """The pin sites on each edge at the given aspect ratio (§2.4)."""
+        width, height = self.dimensions(aspect_ratio)
+        return make_pin_sites(width, height, self.sites_per_edge, self.pin_pitch)
+
+    def uncommitted_pins(self) -> List[Pin]:
+        """Pins whose location is chosen by the annealer (§2.4 cases 2-4)."""
+        return [p for p in self.pins.values() if not p.is_committed]
+
+    def pin_groups(self) -> Dict[str, List[Pin]]:
+        """Uncommitted pins keyed by group name; loose pins get their own
+        singleton group named after the pin."""
+        groups: Dict[str, List[Pin]] = {}
+        for pin in self.uncommitted_pins():
+            key = pin.group if pin.group is not None else f"__pin__{pin.name}"
+            groups.setdefault(key, []).append(pin)
+        for key, members in groups.items():
+            if any(p.kind is PinKind.SEQUENCE for p in members):
+                members.sort(key=lambda p: p.sequence_index or 0)
+        return groups

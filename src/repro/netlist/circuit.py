@@ -1,0 +1,139 @@
+"""The circuit: a named collection of cells and the nets connecting them."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .cell import Cell, CustomCell, MacroCell
+from .net import Net, PinRef
+
+
+class Circuit:
+    """A macro/custom cell circuit.
+
+    Nets are derived from the ``net`` attribute of every pin on every
+    cell; explicit per-net (h, v) weights may be supplied via
+    ``net_weights``.  ``track_spacing`` is the paper's t_s — the minimum
+    center-to-center wiring pitch, in grid units.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cells: Iterable[Cell],
+        track_spacing: float = 1.0,
+        net_weights: Optional[Mapping[str, Tuple[float, float]]] = None,
+    ):
+        if track_spacing <= 0:
+            raise ValueError("track spacing must be positive")
+        self.name = name
+        self.track_spacing = track_spacing
+        self.cells: Dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self.cells:
+                raise ValueError(f"duplicate cell name {cell.name!r}")
+            self.cells[cell.name] = cell
+        self.nets: Dict[str, Net] = self._build_nets(net_weights or {})
+
+    def _build_nets(
+        self, weights: Mapping[str, Tuple[float, float]]
+    ) -> Dict[str, Net]:
+        members: Dict[str, List[PinRef]] = {}
+        for cell in self.cells.values():
+            for pin in cell.pins.values():
+                members.setdefault(pin.net, []).append(PinRef(cell.name, pin.name))
+        unknown = set(weights) - set(members)
+        if unknown:
+            raise ValueError(f"weights given for unknown nets: {sorted(unknown)}")
+        nets = {}
+        for net_name, refs in members.items():
+            h, v = weights.get(net_name, (1.0, 1.0))
+            nets[net_name] = Net(net_name, refs, h, v)
+        return nets
+
+    # -- lookups ---------------------------------------------------------
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(f"no cell named {name!r}") from None
+
+    def net(self, name: str) -> Net:
+        try:
+            return self.nets[name]
+        except KeyError:
+            raise KeyError(f"no net named {name!r}") from None
+
+    def cell_names(self) -> List[str]:
+        return list(self.cells)
+
+    def macro_cells(self) -> List[MacroCell]:
+        return [c for c in self.cells.values() if isinstance(c, MacroCell)]
+
+    def custom_cells(self) -> List[CustomCell]:
+        return [c for c in self.cells.values() if isinstance(c, CustomCell)]
+
+    def nets_of_cell(self, cell_name: str) -> List[Net]:
+        """All nets with at least one pin on the named cell."""
+        cell = self.cell(cell_name)
+        seen = {pin.net for pin in cell.pins.values()}
+        return [self.nets[n] for n in self.nets if n in seen]
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def num_pins(self) -> int:
+        return sum(c.num_pins for c in self.cells.values())
+
+    def total_cell_area(self) -> float:
+        """Sum of cell areas (instance 0 for macros, estimated for customs)."""
+        total = 0.0
+        for cell in self.cells.values():
+            if isinstance(cell, MacroCell):
+                total += cell.area(0)
+            else:
+                total += cell.area
+        return total
+
+    def total_cell_perimeter(self) -> float:
+        """Sum of cell boundary lengths (customs at their default aspect)."""
+        total = 0.0
+        for cell in self.cells.values():
+            if isinstance(cell, MacroCell):
+                total += cell.instances[0].shape.boundary_length()
+            else:
+                total += cell.shape_for(cell.aspect.default()).boundary_length()
+        return total
+
+    def average_pin_density(self) -> float:
+        """The paper's D̄p: total pins over total cell perimeter (§2.2)."""
+        perimeter = self.total_cell_perimeter()
+        if perimeter == 0:
+            raise ZeroDivisionError("circuit has zero total perimeter")
+        return self.num_pins / perimeter
+
+    def validate(self) -> List[str]:
+        """Return a list of human-readable netlist problems (empty if clean)."""
+        problems = []
+        for net in self.nets.values():
+            if net.degree < 2:
+                problems.append(f"net {net.name!r} has fewer than 2 pins")
+        for cell in self.cells.values():
+            if cell.num_pins == 0:
+                problems.append(f"cell {cell.name!r} has no pins")
+        return problems
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, {self.num_cells} cells, "
+            f"{self.num_nets} nets, {self.num_pins} pins)"
+        )

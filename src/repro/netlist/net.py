@@ -1,0 +1,74 @@
+"""Nets: named sets of pins with directional weighting factors.
+
+The TEIC (Eqn 6) weights each net's horizontal span by h(n) and its
+vertical span by v(n); when every weight is 1.0 the TEIC equals the total
+estimated interconnect length (TEIL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class PinRef:
+    """Reference to a pin: (cell name, pin name)."""
+
+    cell: str
+    pin: str
+
+    def __str__(self) -> str:
+        return f"{self.cell}.{self.pin}"
+
+
+@dataclass
+class Net:
+    """A net connecting two or more pins.
+
+    ``h_weight`` and ``v_weight`` are the paper's h(n) and v(n): relative
+    importance of the horizontal and vertical spans in the cost function.
+    A designer can, e.g., raise a critical net's weights to shorten it at
+    the expense of others.
+    """
+
+    name: str
+    pins: List[PinRef] = field(default_factory=list)
+    h_weight: float = 1.0
+    v_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.h_weight < 0 or self.v_weight < 0:
+            raise ValueError(f"net {self.name!r} has a negative weight")
+        seen = set()
+        for ref in self.pins:
+            if ref in seen:
+                raise ValueError(f"net {self.name!r} lists pin {ref} twice")
+            seen.add(ref)
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)
+
+    def cells(self) -> List[str]:
+        """Names of the distinct cells the net touches, in first-seen order."""
+        out: List[str] = []
+        seen = set()
+        for ref in self.pins:
+            if ref.cell not in seen:
+                seen.add(ref.cell)
+                out.append(ref.cell)
+        return out
+
+    def weighted_length(self, x_span: float, y_span: float) -> float:
+        """This net's contribution to the TEIC: x(n)h(n) + y(n)v(n)."""
+        return x_span * self.h_weight + y_span * self.v_weight
+
+
+def bounding_span(points: List[Tuple[float, float]]) -> Tuple[float, float]:
+    """Half-perimeter spans (x span, y span) of a set of pin positions."""
+    if not points:
+        return (0.0, 0.0)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs), max(ys) - min(ys))

@@ -1,0 +1,112 @@
+"""Pad-ring generation: fixed I/O cells around the core.
+
+A chip's I/O pads are committed long before block placement, so they
+enter the flow as pre-placed cells (:class:`FixedPlacement`).  This
+helper builds a ring of pad macros around a core region, evenly spaced
+along the four sides, each with one pin facing inward on the named net —
+the standard starting point of a chip plan.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .cell import FixedPlacement, MacroCell
+from .pin import Pin, PinKind
+
+
+def make_pad_ring(
+    core_width: float,
+    core_height: float,
+    signals: Sequence[str],
+    pad_width: float = 10.0,
+    pad_depth: float = 8.0,
+    clearance: float = 4.0,
+    name_prefix: str = "pad",
+) -> List[MacroCell]:
+    """Build fixed pad cells ringing a ``core_width x core_height`` core.
+
+    ``signals`` names the net of each pad, dealt side-major (left, top,
+    right, bottom, evenly split).  ``pad_depth`` is the pad's
+    extent away from the core; ``clearance`` the gap between the core
+    boundary and the pads (the boundary routing channel).  Pads are
+    centered on the core (core center at the origin), with their pin on
+    the inward-facing edge.
+    """
+    if core_width <= 0 or core_height <= 0:
+        raise ValueError("core dimensions must be positive")
+    if not signals:
+        raise ValueError("need at least one pad signal")
+    if pad_width <= 0 or pad_depth <= 0:
+        raise ValueError("pad dimensions must be positive")
+    if clearance < 0:
+        raise ValueError("clearance must be non-negative")
+
+    num = len(signals)
+    per_side = [0, 0, 0, 0]  # left, top, right, bottom
+    for i in range(num):
+        per_side[i % 4] += 1
+    # Deal in side-major order so pads fill sides evenly.
+    counts = {
+        "left": per_side[0],
+        "top": per_side[1],
+        "right": per_side[2],
+        "bottom": per_side[3],
+    }
+    capacity = {
+        "left": core_height,
+        "right": core_height,
+        "top": core_width,
+        "bottom": core_width,
+    }
+    for side, count in counts.items():
+        if count * pad_width > capacity[side]:
+            raise ValueError(
+                f"{count} pads of width {pad_width} do not fit on the "
+                f"{side} side (span {capacity[side]})"
+            )
+
+    hw = core_width / 2.0
+    hh = core_height / 2.0
+    offset = clearance + pad_depth / 2.0
+
+    pads: List[MacroCell] = []
+    cursor = 0
+
+    def positions(count: int, span: float) -> List[float]:
+        return [-span / 2 + (k + 0.5) * span / count for k in range(count)]
+
+    for side in ("left", "top", "right", "bottom"):
+        count = counts[side]
+        if count == 0:
+            continue
+        if side == "left":
+            coords = [(-hw - offset, y) for y in positions(count, core_height)]
+            orientation = 0
+            pin_offset = (pad_depth / 2.0, 0.0)  # faces right, toward core
+        elif side == "right":
+            coords = [(hw + offset, y) for y in positions(count, core_height)]
+            orientation = 2  # mirrored toward the core
+            pin_offset = (pad_depth / 2.0, 0.0)
+        elif side == "top":
+            coords = [(x, hh + offset) for x in positions(count, core_width)]
+            orientation = 3  # pin rotated to face down
+            pin_offset = (pad_depth / 2.0, 0.0)
+        else:
+            coords = [(x, -hh - offset) for x in positions(count, core_width)]
+            orientation = 1  # pin rotated to face up
+            pin_offset = (pad_depth / 2.0, 0.0)
+        for cx, cy in coords:
+            net = signals[cursor]
+            pads.append(
+                MacroCell.rectangular(
+                    f"{name_prefix}{cursor}",
+                    pad_depth,
+                    pad_width,
+                    [Pin("io", net, PinKind.FIXED, offset=pin_offset)],
+                    fixed=FixedPlacement(cx, cy, orientation),
+                )
+            )
+            cursor += 1
+    return pads

@@ -1,0 +1,352 @@
+"""A small line-oriented text format for macro/custom cell circuits.
+
+Example::
+
+    circuit demo
+    track_spacing 1.0
+
+    macrocell RAM
+      tile 0 0 40 30
+      tile 40 0 60 10
+      pin CLK net clk at 0 15
+      pin D0  net bus0 at 60 5 equiv BUSPORT
+    end
+
+    customcell ALU area 900 aspect 0.5 2.0
+      sites 8 pitch 1.0
+      pin A net bus0 edge left,right
+      pin B net clk group CTL edge top
+      pin C net rst seq PINS 0 edge bottom
+      pin F net carry at 10 0
+    end
+
+    net clk weight 2.0 2.0
+
+Tile and fixed-pin coordinates are in an arbitrary cell-local frame; the
+loader recenters every cell on its bounding-box center (the convention
+the placer uses).  Net lines are optional and only carry (h, v) weights.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..geometry import Rect, TileSet
+from .cell import (
+    Cell,
+    ContinuousAspectRatio,
+    CustomCell,
+    DiscreteAspectRatios,
+    FixedPlacement,
+    MacroCell,
+    MacroInstance,
+)
+from .circuit import Circuit
+from .pin import ALL_SIDES, Pin, PinKind
+
+
+class ParseError(ValueError):
+    """Raised on malformed circuit files, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _tokenize(text: str) -> List[Tuple[int, List[str]]]:
+    lines = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].strip()
+        if stripped:
+            lines.append((lineno, stripped.split()))
+    return lines
+
+
+def _parse_sides(token: str, lineno: int) -> frozenset:
+    sides = frozenset(s.strip() for s in token.split(","))
+    bad = sides - ALL_SIDES
+    if bad:
+        raise ParseError(lineno, f"unknown edge name(s): {sorted(bad)}")
+    return sides
+
+
+def _parse_pin(tokens: List[str], lineno: int) -> Pin:
+    # pin NAME net NET [at X Y] [edge SIDES] [group G] [seq G IDX] [equiv E]
+    if len(tokens) < 4 or tokens[0] != "pin" or tokens[2] != "net":
+        raise ParseError(lineno, f"malformed pin line: {' '.join(tokens)}")
+    name, net = tokens[1], tokens[3]
+    i = 4
+    kind = None
+    offset = None
+    sides = ALL_SIDES
+    group = None
+    seq_index = None
+    equiv = None
+    while i < len(tokens):
+        word = tokens[i]
+        try:
+            if word == "at":
+                offset = (float(tokens[i + 1]), float(tokens[i + 2]))
+                kind = kind or PinKind.FIXED
+                i += 3
+            elif word == "edge":
+                sides = _parse_sides(tokens[i + 1], lineno)
+                if kind is None:
+                    kind = PinKind.EDGE
+                i += 2
+            elif word == "group":
+                group = tokens[i + 1]
+                kind = PinKind.GROUP
+                i += 2
+            elif word == "seq":
+                group = tokens[i + 1]
+                seq_index = int(tokens[i + 2])
+                kind = PinKind.SEQUENCE
+                i += 3
+            elif word == "equiv":
+                equiv = tokens[i + 1]
+                i += 2
+            else:
+                raise ParseError(lineno, f"unknown pin attribute {word!r}")
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, ParseError):
+                raise
+            raise ParseError(lineno, f"malformed pin attribute near {word!r}") from exc
+    if kind is None:
+        kind = PinKind.EDGE
+    try:
+        return Pin(
+            name=name,
+            net=net,
+            kind=kind,
+            offset=offset,
+            sides=sides,
+            group=group,
+            sequence_index=seq_index,
+            equiv_class=equiv,
+        )
+    except ValueError as exc:
+        raise ParseError(lineno, str(exc)) from exc
+
+
+def loads(text: str) -> Circuit:
+    """Parse a circuit from its text representation."""
+    lines = _tokenize(text)
+    name = "unnamed"
+    track_spacing = 1.0
+    cells: List[Cell] = []
+    net_weights: Dict[str, Tuple[float, float]] = {}
+
+    i = 0
+    while i < len(lines):
+        lineno, tokens = lines[i]
+        head = tokens[0]
+        if head == "circuit":
+            if len(tokens) != 2:
+                raise ParseError(lineno, "usage: circuit NAME")
+            name = tokens[1]
+            i += 1
+        elif head == "track_spacing":
+            track_spacing = float(tokens[1])
+            i += 1
+        elif head == "net":
+            # net NAME weight H V
+            if len(tokens) != 5 or tokens[2] != "weight":
+                raise ParseError(lineno, "usage: net NAME weight H V")
+            net_weights[tokens[1]] = (float(tokens[3]), float(tokens[4]))
+            i += 1
+        elif head == "macrocell":
+            cell, i = _parse_macro(lines, i)
+            cells.append(cell)
+        elif head == "customcell":
+            cell, i = _parse_custom(lines, i)
+            cells.append(cell)
+        else:
+            raise ParseError(lineno, f"unknown directive {head!r}")
+    return Circuit(name, cells, track_spacing, net_weights)
+
+
+def _parse_macro(
+    lines: List[Tuple[int, List[str]]], start: int
+) -> Tuple[MacroCell, int]:
+    lineno, tokens = lines[start]
+    if len(tokens) != 2:
+        raise ParseError(lineno, "usage: macrocell NAME")
+    cell_name = tokens[1]
+    tiles: List[Rect] = []
+    pins: List[Pin] = []
+    fixed: Optional[FixedPlacement] = None
+    i = start + 1
+    while i < len(lines):
+        lineno, tokens = lines[i]
+        if tokens[0] == "end":
+            i += 1
+            break
+        if tokens[0] == "fixed":
+            fixed = _parse_fixed(tokens, lineno)
+        elif tokens[0] == "tile":
+            if len(tokens) != 5:
+                raise ParseError(lineno, "usage: tile X1 Y1 X2 Y2")
+            try:
+                tiles.append(Rect(*(float(t) for t in tokens[1:5])))
+            except ValueError as exc:
+                raise ParseError(lineno, str(exc)) from exc
+        elif tokens[0] == "pin":
+            pins.append(_parse_pin(tokens, lineno))
+        else:
+            raise ParseError(lineno, f"unexpected {tokens[0]!r} in macrocell")
+        i += 1
+    else:
+        raise ParseError(lines[start][0], f"macrocell {cell_name!r} missing 'end'")
+    if not tiles:
+        raise ParseError(lines[start][0], f"macrocell {cell_name!r} has no tiles")
+    # Recenter geometry and pin offsets on the bounding-box center.
+    shape = TileSet(tiles)
+    center = shape.bbox.center
+    shape = shape.recentered()
+    shifted = []
+    for pin in pins:
+        if pin.offset is None:
+            raise ParseError(
+                lines[start][0], f"macro pin {pin.name!r} needs an 'at' location"
+            )
+        shifted.append(
+            Pin(
+                name=pin.name,
+                net=pin.net,
+                kind=PinKind.FIXED,
+                offset=(pin.offset[0] - center.x, pin.offset[1] - center.y),
+                sides=pin.sides,
+                equiv_class=pin.equiv_class,
+            )
+        )
+    cell = MacroCell(
+        cell_name, shifted, [MacroInstance("default", shape)], fixed=fixed
+    )
+    return cell, i
+
+
+def _parse_fixed(tokens: List[str], lineno: int) -> FixedPlacement:
+    # fixed X Y [ORIENT]
+    try:
+        x, y = float(tokens[1]), float(tokens[2])
+        orient = int(tokens[3]) if len(tokens) > 3 else 0
+        return FixedPlacement(x, y, orient)
+    except (IndexError, ValueError) as exc:
+        raise ParseError(lineno, "usage: fixed X Y [ORIENT]") from exc
+
+
+def _parse_custom(
+    lines: List[Tuple[int, List[str]]], start: int
+) -> Tuple[CustomCell, int]:
+    lineno, tokens = lines[start]
+    # customcell NAME area A aspect LO HI | aspect_list V1,V2,...
+    if len(tokens) < 4 or tokens[2] != "area":
+        raise ParseError(lineno, "usage: customcell NAME area A aspect LO HI")
+    cell_name = tokens[1]
+    area = float(tokens[3])
+    aspect: Union[ContinuousAspectRatio, DiscreteAspectRatios]
+    if len(tokens) >= 7 and tokens[4] == "aspect":
+        aspect = ContinuousAspectRatio(float(tokens[5]), float(tokens[6]))
+    elif len(tokens) >= 6 and tokens[4] == "aspect_list":
+        values = tuple(float(v) for v in tokens[5].split(","))
+        aspect = DiscreteAspectRatios(values)
+    else:
+        raise ParseError(lineno, "customcell needs 'aspect LO HI' or 'aspect_list V,...'")
+
+    sites_per_edge = 8
+    pin_pitch = 1.0
+    pins: List[Pin] = []
+    fixed: Optional[FixedPlacement] = None
+    i = start + 1
+    while i < len(lines):
+        lineno, tokens = lines[i]
+        if tokens[0] == "end":
+            i += 1
+            break
+        if tokens[0] == "fixed":
+            fixed = _parse_fixed(tokens, lineno)
+        elif tokens[0] == "sites":
+            sites_per_edge = int(tokens[1])
+            if len(tokens) >= 4 and tokens[2] == "pitch":
+                pin_pitch = float(tokens[3])
+        elif tokens[0] == "pin":
+            pins.append(_parse_pin(tokens, lineno))
+        else:
+            raise ParseError(lineno, f"unexpected {tokens[0]!r} in customcell")
+        i += 1
+    else:
+        raise ParseError(lines[start][0], f"customcell {cell_name!r} missing 'end'")
+    try:
+        cell = CustomCell(
+            cell_name, pins, area, aspect, sites_per_edge, pin_pitch, fixed=fixed
+        )
+    except ValueError as exc:
+        raise ParseError(lines[start][0], str(exc)) from exc
+    return cell, i
+
+
+def load(path: Union[str, Path]) -> Circuit:
+    """Read a circuit file from disk."""
+    return loads(Path(path).read_text())
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialize a circuit back to the text format (round-trip safe)."""
+    out: List[str] = [f"circuit {circuit.name}", f"track_spacing {circuit.track_spacing}", ""]
+    for cell in circuit.cells.values():
+        if isinstance(cell, MacroCell):
+            out.append(f"macrocell {cell.name}")
+            if cell.fixed is not None:
+                out.append(
+                    f"  fixed {cell.fixed.x} {cell.fixed.y} {cell.fixed.orientation}"
+                )
+            inst = cell.instances[0]
+            for tile in inst.shape.tiles:
+                out.append(f"  tile {tile.x1} {tile.y1} {tile.x2} {tile.y2}")
+            for pin in cell.pins.values():
+                off = inst.pin_offset(pin)
+                line = f"  pin {pin.name} net {pin.net} at {off[0]} {off[1]}"
+                if pin.equiv_class:
+                    line += f" equiv {pin.equiv_class}"
+                out.append(line)
+            out.append("end")
+        else:
+            assert isinstance(cell, CustomCell)
+            if isinstance(cell.aspect, ContinuousAspectRatio):
+                aspect = f"aspect {cell.aspect.lo} {cell.aspect.hi}"
+            else:
+                assert isinstance(cell.aspect, DiscreteAspectRatios)
+                aspect = "aspect_list " + ",".join(str(v) for v in cell.aspect.values)
+            out.append(f"customcell {cell.name} area {cell.area} {aspect}")
+            if cell.fixed is not None:
+                out.append(
+                    f"  fixed {cell.fixed.x} {cell.fixed.y} {cell.fixed.orientation}"
+                )
+            out.append(f"  sites {cell.sites_per_edge} pitch {cell.pin_pitch}")
+            for pin in cell.pins.values():
+                line = f"  pin {pin.name} net {pin.net}"
+                if pin.kind is PinKind.FIXED:
+                    line += f" at {pin.offset[0]} {pin.offset[1]}"
+                else:
+                    if pin.kind is PinKind.GROUP:
+                        line += f" group {pin.group}"
+                    elif pin.kind is PinKind.SEQUENCE:
+                        line += f" seq {pin.group} {pin.sequence_index}"
+                    if pin.sides != ALL_SIDES:
+                        line += " edge " + ",".join(sorted(pin.sides))
+                if pin.equiv_class:
+                    line += f" equiv {pin.equiv_class}"
+                out.append(line)
+            out.append("end")
+        out.append("")
+    for net in circuit.nets.values():
+        if net.h_weight != 1.0 or net.v_weight != 1.0:
+            out.append(f"net {net.name} weight {net.h_weight} {net.v_weight}")
+    return "\n".join(out) + "\n"
+
+
+def dump(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit file to disk."""
+    Path(path).write_text(dumps(circuit))

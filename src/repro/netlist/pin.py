@@ -1,0 +1,152 @@
+"""Pins and the custom-cell pin placement specifications of §2.4.
+
+Pins on *macro* cells have fixed locations (paper footnote 17).  Pins on
+*custom* cells may be specified four ways:
+
+1. a fixed location,
+2. assignment to a particular edge or edges of the cell,
+3. membership in a *group* of pins assigned to particular edge(s),
+4. membership in a *sequence* — a group with a fixed ordering along the
+   edge.
+
+Uncommitted pins (cases 2-4) are moved between *pin sites* during the
+annealing; a pin site is one of a limited number of evenly spaced slots
+along each edge, each with a capacity (§2.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..geometry import BOTTOM, LEFT, RIGHT, TOP
+
+ALL_SIDES: FrozenSet[str] = frozenset((LEFT, RIGHT, BOTTOM, TOP))
+
+
+class PinKind(enum.Enum):
+    """How a pin's location is specified (§2.4 cases 1-4)."""
+
+    FIXED = "fixed"
+    EDGE = "edge"
+    GROUP = "group"
+    SEQUENCE = "sequence"
+
+
+def _normalize_sides(sides: Optional[FrozenSet[str]]) -> FrozenSet[str]:
+    if sides is None:
+        return ALL_SIDES
+    sides = frozenset(sides)
+    bad = sides - ALL_SIDES
+    if bad:
+        raise ValueError(f"unknown cell sides: {sorted(bad)}")
+    if not sides:
+        raise ValueError("a pin must be allowed on at least one side")
+    return sides
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A single electrical terminal on a cell.
+
+    ``offset`` is the cell-local (x, y) position relative to the cell
+    center in the canonical orientation; it is required for FIXED pins
+    and ignored for uncommitted pins (whose position is derived from
+    their current pin-site assignment).
+
+    ``equiv_class`` marks electrically-equivalent pins: the global router
+    may connect a net through *any one* pin of an equivalence class
+    (§4.2, pins P3A/P3B in Figure 10).
+    """
+
+    name: str
+    net: str
+    kind: PinKind = PinKind.FIXED
+    offset: Optional[Tuple[float, float]] = None
+    sides: FrozenSet[str] = field(default_factory=lambda: ALL_SIDES)
+    group: Optional[str] = None
+    sequence_index: Optional[int] = None
+    equiv_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sides", _normalize_sides(self.sides))
+        if self.kind is PinKind.FIXED:
+            if self.offset is None:
+                raise ValueError(f"fixed pin {self.name!r} needs an offset")
+        if self.kind in (PinKind.GROUP, PinKind.SEQUENCE) and self.group is None:
+            raise ValueError(f"pin {self.name!r} of kind {self.kind} needs a group")
+        if self.kind is PinKind.SEQUENCE and self.sequence_index is None:
+            raise ValueError(f"sequence pin {self.name!r} needs a sequence_index")
+
+    @property
+    def is_committed(self) -> bool:
+        """True when the pin's cell-local position never changes."""
+        return self.kind is PinKind.FIXED
+
+
+@dataclass(frozen=True)
+class PinSite:
+    """One slot for uncommitted pins along a custom-cell edge.
+
+    ``side`` is the edge it lies on (canonical orientation), ``fraction``
+    its relative position along that edge in [0, 1], and ``capacity`` the
+    number of pin locations the site encompasses (§2.4).
+    """
+
+    side: str
+    index: int
+    fraction: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.side not in ALL_SIDES:
+            raise ValueError(f"unknown side {self.side!r}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("site fraction must lie in [0, 1]")
+        if self.capacity < 1:
+            raise ValueError("site capacity must be at least 1")
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.side, self.index)
+
+
+def make_pin_sites(
+    width: float,
+    height: float,
+    sites_per_edge: int,
+    pin_pitch: float = 1.0,
+) -> Tuple[PinSite, ...]:
+    """Evenly spaced pin sites on all four edges of a rectangle.
+
+    Each site's capacity is the number of ``pin_pitch``-spaced pin
+    locations it encompasses, at least one.
+    """
+    if sites_per_edge < 1:
+        raise ValueError("need at least one site per edge")
+    if pin_pitch <= 0:
+        raise ValueError("pin pitch must be positive")
+    sites = []
+    for side in (LEFT, RIGHT, BOTTOM, TOP):
+        edge_len = height if side in (LEFT, RIGHT) else width
+        capacity = max(1, int(edge_len / pin_pitch / sites_per_edge))
+        for i in range(sites_per_edge):
+            fraction = (i + 0.5) / sites_per_edge
+            sites.append(PinSite(side, i, fraction, capacity))
+    return tuple(sites)
+
+
+def site_local_position(
+    site: PinSite, width: float, height: float
+) -> Tuple[float, float]:
+    """Cell-local coordinates (relative to center) of a pin site on a
+    ``width`` x ``height`` rectangular custom cell in canonical orientation."""
+    hw, hh = width / 2.0, height / 2.0
+    if site.side == LEFT:
+        return (-hw, -hh + site.fraction * height)
+    if site.side == RIGHT:
+        return (hw, -hh + site.fraction * height)
+    if site.side == BOTTOM:
+        return (-hw + site.fraction * width, -hh)
+    return (-hw + site.fraction * width, hh)

@@ -1,0 +1,20 @@
+"""Stage-1 placement and stage-2 refinement of TimberWolfMC."""
+
+from .compact import compact
+from .legalize import raw_overlap, remove_overlaps
+from .moves import MoveGenerator, PlacementAnnealingState
+from .refine import RefinementPass, RefinementResult, run_refinement
+from .stage1 import Stage1Result, calibrate_p2, run_stage1
+from .state import CellRecord, PlacementState, world_side
+
+__all__ = [
+    "compact",
+    "MoveGenerator",
+    "PlacementAnnealingState",
+    "Stage1Result",
+    "calibrate_p2",
+    "run_stage1",
+    "CellRecord",
+    "PlacementState",
+    "world_side",
+]

@@ -1,0 +1,109 @@
+"""Placement compaction toward the core center (§4, refinement step 3).
+
+The paper's refinement both *expands* channels that came up short and
+"compact[s] as much as possible" where stage 1 allocated excessive
+space.  The low-temperature anneal alone compacts very slowly (its
+window is a few percent of the core), so this deterministic pass does
+the bulk move: cells slide toward the chip center, one axis at a time,
+as far as their margin-carrying (expanded) shapes allow — preserving
+every channel's reserved width by construction.
+
+Requires static expansions (stage-2 mode), where margins do not depend
+on position.  Fixed cells never move.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..geometry import TileSet
+from .state import PlacementState
+
+
+def _max_slide(
+    shapes: List[TileSet],
+    idx: int,
+    dx: float,
+    dy: float,
+    limit: float,
+    iterations: int = 14,
+    tolerance: float = 1e-9,
+) -> float:
+    """Largest step in direction (dx, dy) (unit axis vector) up to
+    ``limit`` that keeps shape ``idx`` from overlapping any other."""
+
+    def collides(step: float) -> bool:
+        moved = shapes[idx].translated(dx * step, dy * step)
+        for j, other in enumerate(shapes):
+            if j == idx:
+                continue
+            if moved.bbox.intersects(other.bbox) and moved.overlap_area(
+                other
+            ) > tolerance:
+                return True
+        return False
+
+    if limit <= 0 or collides(limit) is False:
+        return max(0.0, limit)
+    lo, hi = 0.0, limit  # lo collision-free, hi colliding
+    if collides(lo + tolerance):
+        return 0.0
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if collides(mid):
+            hi = mid
+        else:
+            lo = mid
+    return lo
+
+
+def compact(state: PlacementState, passes: int = 3) -> float:
+    """Slide cells toward the core center until their expanded shapes
+    touch.  Returns the total distance moved.  Stage-2 (static
+    expansions) only."""
+    if state.dynamic_expansion:
+        raise ValueError(
+            "compaction requires static expansions (stage-2 mode)"
+        )
+    if passes < 1:
+        raise ValueError("passes must be at least 1")
+    n = len(state.names)
+    shapes: List[TileSet] = [
+        state._expanded_shape(i, state._world_shape(i)) for i in range(n)
+    ]
+    cx, cy = state.core.center.x, state.core.center.y
+    total_moved = 0.0
+
+    for _ in range(passes):
+        moved_this_pass = 0.0
+        for axis in (0, 1):
+            target = cx if axis == 0 else cy
+            # Innermost cells first, so outer cells can close the gaps
+            # they leave behind.
+            order = sorted(
+                (i for i in range(n) if state.movable[i]),
+                key=lambda i: abs(state.records[i].center[axis] - target),
+            )
+            for i in order:
+                pos = state.records[i].center[axis]
+                gap = target - pos
+                if abs(gap) < 1e-9:
+                    continue
+                direction = 1.0 if gap > 0 else -1.0
+                dx, dy = (direction, 0.0) if axis == 0 else (0.0, direction)
+                step = _max_slide(shapes, i, dx, dy, abs(gap))
+                if step <= 1e-9:
+                    continue
+                shapes[i] = shapes[i].translated(dx * step, dy * step)
+                record = state.records[i]
+                record.center = (
+                    record.center[0] + dx * step,
+                    record.center[1] + dy * step,
+                )
+                moved_this_pass += step
+        total_moved += moved_this_pass
+        if moved_this_pass < 1e-6:
+            break
+
+    state.rebuild()
+    return total_moved

@@ -1,0 +1,248 @@
+"""The generate function of §3.2.1 — the move cascade of stage 1.
+
+One generate call either displaces a single cell or interchanges a pair
+(ratio r of displacements to interchanges, Figure 3).  Each branch is a
+cascade of accept-tested attempts:
+
+* displacement to a range-limited point; if rejected, the same
+  displacement with the cell's aspect ratio inverted (Figure 2); if that
+  is rejected too, a random orientation (or instance) change in place;
+* for custom cells, additionally one pin-group move per uncommitted
+  group and one aspect-ratio change attempt;
+* interchange of two random cells; if rejected, the interchange with
+  both aspect ratios inverted.
+
+Every attempt is judged by the Metropolis rule at the current T.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from ..annealing import (
+    AnnealingState,
+    RangeLimiter,
+    metropolis_accept,
+    select_displacement_dr,
+    select_displacement_ds,
+)
+from ..geometry import orientation as ori
+from ..netlist import CustomCell, MacroCell
+from .state import PlacementState
+
+#: Relative size of a local aspect-ratio perturbation (log-uniform).
+_ASPECT_STEP = 0.35
+
+
+class MoveGenerator:
+    """Implements one generate() call over a ``PlacementState``."""
+
+    def __init__(
+        self,
+        state: PlacementState,
+        limiter: RangeLimiter,
+        r_ratio: float = 10.0,
+        selector: str = "ds",
+        orientation_moves: bool = True,
+        aspect_moves: bool = True,
+        pin_moves: bool = True,
+        interchange_moves: bool = True,
+        max_pin_groups_per_call: int = 4,
+    ) -> None:
+        if r_ratio <= 0:
+            raise ValueError("r_ratio must be positive")
+        self.state = state
+        self.limiter = limiter
+        self.displacement_probability = r_ratio / (1.0 + r_ratio)
+        if selector == "ds":
+            self._select = select_displacement_ds
+        elif selector == "dr":
+            self._select = select_displacement_dr
+        else:
+            raise ValueError(f"unknown selector {selector!r}")
+        self.orientation_moves = orientation_moves
+        self.aspect_moves = aspect_moves
+        self.pin_moves = pin_moves
+        self.interchange_moves = interchange_moves
+        self.max_pin_groups_per_call = max_pin_groups_per_call
+        self._movable = [
+            i for i in range(len(state.names)) if state.movable[i]
+        ]
+        if not self._movable:
+            raise ValueError("no movable cells: nothing to anneal")
+
+    # ------------------------------------------------------------------
+
+    def step(self, temperature: float, rng: random.Random) -> Tuple[int, int]:
+        """One generate-and-accept cycle; returns (attempts, accepts)."""
+        if not self.interchange_moves or rng.random() < self.displacement_probability:
+            return self._displacement_branch(temperature, rng)
+        return self._interchange_branch(temperature, rng)
+
+    # ------------------------------------------------------------------
+
+    def _judge(
+        self, delta: float, snap, temperature: float, rng: random.Random
+    ) -> bool:
+        if metropolis_accept(delta, temperature, rng):
+            return True
+        self.state.restore(snap)
+        return False
+
+    def _displacement_branch(
+        self, temperature: float, rng: random.Random
+    ) -> Tuple[int, int]:
+        state = self.state
+        idx = self._movable[rng.randrange(len(self._movable))]
+        center = state.records[idx].center
+        target = state.clamp_to_core(
+            self._select(rng, center, self.limiter, temperature)
+        )
+
+        attempts, accepts = 0, 0
+
+        # A1: plain displacement.
+        delta, snap = state.move_cell(idx, center=target)
+        attempts += 1
+        if self._judge(delta, snap, temperature, rng):
+            accepts += 1
+        elif self.orientation_moves or self.aspect_moves:
+            # A1': the displacement with the aspect ratio inverted (a
+            # reorientation for macros, a ratio inversion for customs —
+            # skipped entirely in stage 2, where both are frozen).
+            delta, snap = state.move_cell_inverted(idx, target)
+            attempts += 1
+            if self._judge(delta, snap, temperature, rng):
+                accepts += 1
+            elif self.orientation_moves:
+                # A_o: a random orientation (or instance) change in place.
+                a, c = self._orientation_attempt(idx, temperature, rng)
+                attempts += a
+                accepts += c
+
+        cell = state.cell(idx)
+        if isinstance(cell, CustomCell):
+            if self.pin_moves:
+                a, c = self._pin_attempts(idx, temperature, rng)
+                attempts += a
+                accepts += c
+            if self.aspect_moves:
+                a, c = self._aspect_attempt(idx, temperature, rng)
+                attempts += a
+                accepts += c
+        return (attempts, accepts)
+
+    def _orientation_attempt(
+        self, idx: int, temperature: float, rng: random.Random
+    ) -> Tuple[int, int]:
+        state = self.state
+        cell = state.cell(idx)
+        record = state.records[idx]
+        if (
+            isinstance(cell, MacroCell)
+            and cell.num_instances > 1
+            and rng.random() < 0.5
+        ):
+            choices = [k for k in range(cell.num_instances) if k != record.instance]
+            delta, snap = state.move_cell(idx, instance=rng.choice(choices))
+        else:
+            new_o = rng.randrange(ori.N_ORIENTATIONS - 1)
+            if new_o >= record.orientation:
+                new_o += 1
+            delta, snap = state.move_cell(idx, orientation=new_o)
+        return (1, 1) if self._judge(delta, snap, temperature, rng) else (1, 0)
+
+    def _pin_attempts(
+        self, idx: int, temperature: float, rng: random.Random
+    ) -> Tuple[int, int]:
+        """One site-reassignment attempt per uncommitted group (bounded)."""
+        state = self.state
+        cell = state.cell(idx)
+        assert isinstance(cell, CustomCell)
+        groups = state._groups[idx]
+        if not groups:
+            return (0, 0)
+        attempts, accepts = 0, 0
+        count = min(len(groups), self.max_pin_groups_per_call)
+        for _ in range(count):
+            key, members = groups[rng.randrange(len(groups))]
+            pins = [cell.pins[m] for m in members]
+            allowed = frozenset.intersection(*(p.sides for p in pins))
+            if not allowed:
+                allowed = pins[0].sides
+            side = rng.choice(sorted(allowed))
+            start = rng.randrange(cell.sites_per_edge)
+            delta, snap = state.move_pin_group(idx, key, side, start)
+            attempts += 1
+            if self._judge(delta, snap, temperature, rng):
+                accepts += 1
+        return (attempts, accepts)
+
+    def _aspect_attempt(
+        self, idx: int, temperature: float, rng: random.Random
+    ) -> Tuple[int, int]:
+        state = self.state
+        cell = state.cell(idx)
+        assert isinstance(cell, CustomCell)
+        record = state.records[idx]
+        assert record.aspect_ratio is not None
+        new_ar = self._perturb_aspect(cell, record.aspect_ratio, rng)
+        if new_ar is None or new_ar == record.aspect_ratio:
+            return (0, 0)
+        delta, snap = state.move_cell(idx, aspect_ratio=new_ar)
+        return (1, 1) if self._judge(delta, snap, temperature, rng) else (1, 0)
+
+    @staticmethod
+    def _perturb_aspect(
+        cell: CustomCell, current: float, rng: random.Random
+    ) -> Optional[float]:
+        spec = cell.aspect
+        # Discrete specs: pick a different allowed value.
+        values = getattr(spec, "values", None)
+        if values is not None:
+            others = [v for v in values if v != current]
+            return rng.choice(others) if others else None
+        # Continuous specs: a log-uniform local step, clamped to the range.
+        factor = math.exp(rng.uniform(-_ASPECT_STEP, _ASPECT_STEP))
+        return spec.clamp(current * factor)
+
+    def _interchange_branch(
+        self, temperature: float, rng: random.Random
+    ) -> Tuple[int, int]:
+        state = self.state
+        pool = self._movable
+        if len(pool) < 2:
+            return (0, 0)
+        pi = rng.randrange(len(pool))
+        pj = rng.randrange(len(pool) - 1)
+        if pj >= pi:
+            pj += 1
+        i, j = pool[pi], pool[pj]
+        # A2: plain interchange (not range-limited, per §3.2.2).
+        delta, snap = state.swap_cells(i, j)
+        if self._judge(delta, snap, temperature, rng):
+            return (1, 1)
+        # A2': the interchange with both aspect ratios inverted (Figure 2).
+        delta, snap = state.swap_cells_inverted(i, j)
+        if self._judge(delta, snap, temperature, rng):
+            return (2, 1)
+        return (2, 0)
+
+
+class PlacementAnnealingState(AnnealingState):
+    """Adapter presenting a PlacementState + MoveGenerator to the engine."""
+
+    def __init__(self, state: PlacementState, generator: MoveGenerator) -> None:
+        self.state = state
+        self.generator = generator
+
+    def step(self, temperature: float, rng: random.Random) -> Tuple[int, int]:
+        return self.generator.step(temperature, rng)
+
+    def cost(self) -> float:
+        return self.state.cost()
+
+    def moves_per_iteration(self) -> int:
+        return self.state.moves_per_iteration()

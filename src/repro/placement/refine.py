@@ -1,0 +1,233 @@
+"""Stage 2 of TimberWolfMC (§4): channel-driven placement refinement.
+
+Each refinement pass executes three steps:
+
+1. *channel definition* — extract every critical region of the current
+   (legalized) placement (§4.1),
+2. *global routing* — route all nets over the channel graph (§4.2); the
+   routed densities give each channel's required width w = (d+2) * t_s,
+3. *placement refinement* — a low-temperature anneal in which every cell
+   edge carries a *static* outward expansion of half its channels'
+   required width; only single-cell displacements and pin moves are
+   generated (orientations, instances, and aspect ratios are frozen —
+   changing them would invalidate the per-edge widths, §4.3).
+
+The initial stage-2 window is the fraction mu = 0.03 of the core span;
+Eqn 28 converts that into the starting temperature T' for the Table-2
+schedule.  Three passes suffice for the TEIL and chip area to converge.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..annealing import (
+    Annealer,
+    AnnealResult,
+    AnyOf,
+    FloorStop,
+    FrozenStop,
+    RangeLimiter,
+    WindowStop,
+    stage2_schedule,
+)
+from ..channels import (
+    ChannelGraph,
+    CongestionReport,
+    cell_edge_expansions,
+    decompose_free_space,
+    extract_critical_regions,
+)
+from ..config import TimberWolfConfig
+from ..geometry import Rect
+from ..netlist import Circuit
+from ..routing import GlobalRouter, RoutingResult
+from .compact import compact
+from .legalize import remove_overlaps
+from .moves import MoveGenerator, PlacementAnnealingState
+from .stage1 import Stage1Result
+from .state import PlacementState
+
+#: Margin (in track spacings) added around the placement when defining the
+#: channel-extraction boundary, so boundary channels have somewhere to live.
+BOUNDARY_MARGIN_TRACKS = 4.0
+
+#: Stage-2 safety floor in units of S_T.
+STAGE2_T_FLOOR = 0.01
+
+
+@dataclass
+class RefinementPass:
+    """Artifacts of one (channel define -> route -> refine) execution."""
+
+    index: int
+    graph: ChannelGraph
+    routing: RoutingResult
+    congestion: CongestionReport
+    anneal: Optional[AnnealResult]
+    teil_after: float
+    chip_area_after: float
+
+    @property
+    def overflow(self) -> int:
+        return self.routing.overflow
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of the whole stage 2."""
+
+    state: PlacementState
+    passes: List[RefinementPass] = field(default_factory=list)
+
+    @property
+    def final_pass(self) -> RefinementPass:
+        if not self.passes:
+            raise ValueError("no refinement passes were run")
+        return self.passes[-1]
+
+    @property
+    def teil(self) -> float:
+        return self.state.teil()
+
+    @property
+    def chip_area(self) -> float:
+        return self.state.chip_area()
+
+
+def channel_boundary(state: PlacementState, track_spacing: float) -> Rect:
+    """The outer boundary used for channel extraction: the target core
+    grown to cover any spilled cells, plus a routing margin."""
+    margin = BOUNDARY_MARGIN_TRACKS * track_spacing
+    bbox = Rect.bounding(
+        [state.core] + [state.world_shape(name).bbox for name in state.names]
+    )
+    return bbox.expanded_uniform(margin)
+
+
+def define_and_route(
+    circuit: Circuit,
+    state: PlacementState,
+    config: TimberWolfConfig,
+    rng: random.Random,
+):
+    """Steps 1-2 of a refinement pass; returns (graph, routing, report)."""
+    t_s = circuit.track_spacing
+    shapes = {name: state.world_shape(name) for name in state.names}
+    boundary = channel_boundary(state, t_s)
+    # Critical regions give the channels whose widths feed refinement;
+    # the complete free-space decomposition gives the routing substrate.
+    regions = extract_critical_regions(shapes, boundary)
+    free = decompose_free_space(shapes.values(), boundary)
+    graph = ChannelGraph(free, t_s, regions=regions)
+    for name in state.names:
+        cell = circuit.cells[name]
+        for pin_name in cell.pins:
+            graph.attach_pin(name, pin_name, state.pin_position(name, pin_name))
+    router = GlobalRouter(graph, m_routes=config.m_routes, rng=rng)
+    routing = router.route(circuit)
+    report = routing.congestion(graph)
+    return graph, routing, report
+
+
+def run_refinement(
+    circuit: Circuit,
+    stage1: Stage1Result,
+    config: Optional[TimberWolfConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> RefinementResult:
+    """Run the configured number of refinement passes on a stage-1 result."""
+    config = config if config is not None else TimberWolfConfig()
+    rng = rng if rng is not None else random.Random(config.seed + 1)
+    state = stage1.state
+    t_s = circuit.track_spacing
+    result = RefinementResult(state=state)
+
+    for pass_index in range(config.refinement_passes):
+        # Channel definition needs disjoint cells; keep one track of gap so
+        # every adjacency still admits a channel.
+        residual = remove_overlaps(state, min_gap=t_s)
+        if residual > 0:
+            warnings.warn(
+                f"legalization left {residual:.1f} units^2 of cell overlap "
+                f"before refinement pass {pass_index}; channels may be "
+                "missing where cells still overlap",
+                stacklevel=2,
+            )
+
+        graph, routing, report = define_and_route(circuit, state, config, rng)
+        expansions = cell_edge_expansions(graph, routing.routes, t_s)
+        state.set_static_expansions(expansions)
+        # The §4.3 spacing step: separate the margin-carrying shapes so
+        # every channel immediately has its required width; the anneal
+        # below then re-optimizes wirelength under that constraint.
+        remove_overlaps(state, use_expanded=True)
+
+        is_last = pass_index == config.refinement_passes - 1
+        anneal = _refine_anneal(state, stage1, config, rng, is_last)
+        # "Or, if excessive space was allocated, then the cells are
+        # compacted as much as possible" — the anneal's tiny window
+        # cannot close large gaps, so a deterministic slide toward the
+        # core center finishes the job (channel widths preserved: the
+        # compaction operates on the margin-carrying shapes).
+        compact(state)
+
+        result.passes.append(
+            RefinementPass(
+                index=pass_index,
+                graph=graph,
+                routing=routing,
+                congestion=report,
+                anneal=anneal,
+                teil_after=state.teil(),
+                chip_area_after=state.chip_area(),
+            )
+        )
+
+    # Leave the placement legal for downstream consumers — including the
+    # reserved channel space (expanded shapes disjoint, §4.3).
+    remove_overlaps(state, use_expanded=True)
+    compact(state)
+    return result
+
+
+def _refine_anneal(
+    state: PlacementState,
+    stage1: Stage1Result,
+    config: TimberWolfConfig,
+    rng: random.Random,
+    is_last: bool,
+) -> AnnealResult:
+    limiter = stage1.limiter
+    # Eqn 28: T' makes the window the fraction mu of its full span.
+    t_start = limiter.temperature_for_fraction(config.mu)
+    schedule = stage2_schedule(
+        stage1.plan.average_effective_cell_area, t_start=t_start
+    )
+    generator = MoveGenerator(
+        state,
+        limiter,
+        r_ratio=config.r_ratio,
+        selector=config.selector,
+        orientation_moves=False,
+        aspect_moves=False,
+        pin_moves=True,
+        interchange_moves=False,
+    )
+    floor = FloorStop(schedule.scale * STAGE2_T_FLOOR)
+    if is_last:
+        # Final pass: stop when the cost is frozen for 3 inner loops.
+        stopping = AnyOf(FrozenStop(3), floor)
+    else:
+        stopping = AnyOf(WindowStop(limiter), floor)
+    annealer = Annealer(
+        schedule,
+        stopping,
+        attempts_per_cell=config.stage2_attempts_per_cell,
+        max_temperatures=config.max_temperatures,
+        rng=rng,
+    )
+    return annealer.run(PlacementAnnealingState(state, generator))

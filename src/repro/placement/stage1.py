@@ -1,0 +1,137 @@
+"""Stage 1 of TimberWolfMC (§3): annealing with the dynamic estimator.
+
+The driver wires together: core sizing (§2.2), the Table-1 cooling
+schedule scaled by S_T (Eqns 19-21), the range limiter (Eqns 12-14), the
+p2 calibration of Eqn 9, and the generate cascade of §3.2.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..annealing import (
+    AllOf,
+    Annealer,
+    AnnealResult,
+    FloorStop,
+    RangeLimiter,
+    WindowStop,
+    stage1_schedule,
+)
+from ..estimator import CorePlan, determine_core
+from ..config import TimberWolfConfig
+from ..netlist import Circuit
+from .moves import MoveGenerator, PlacementAnnealingState
+from .state import PlacementState
+
+#: How many random configurations are sampled to calibrate p2 (Eqn 9).
+P2_CALIBRATION_SAMPLES = 20
+
+#: Stage-1 temperature floor in units of S_T (the last Table-1 band runs
+#: down from S_T * 10, so S_T * 2 is deep in the quench regime).  The run
+#: ends once the range-limiter window is at minimum span AND T <= this —
+#: on paper-scale cores the window condition is the binding one.
+STAGE1_T_FLOOR = 2.0
+
+
+def calibrate_p2(
+    state: PlacementState,
+    rng: random.Random,
+    eta: float,
+    samples: int = P2_CALIBRATION_SAMPLES,
+) -> float:
+    """Find p2 so that p2 * C2 ~ eta * C1 at T = T∞ (Eqn 9).
+
+    At T∞ virtually every state is accepted, so the averages over random
+    configurations stand in for the averages over the high-T ensemble.
+    The state is left in the last sampled configuration (a random initial
+    placement, which is what stage 1 starts from anyway).
+    """
+    if samples < 1:
+        raise ValueError("need at least one calibration sample")
+    c1_total = 0.0
+    c2_total = 0.0
+    for _ in range(samples):
+        state.randomize(rng)
+        c1_total += state.c1()
+        c2_total += state.c2_raw()
+    if c2_total <= 0.0:
+        # No overlap in any sample (absurdly sparse core): any p2 works.
+        return 1.0
+    return eta * c1_total / c2_total
+
+
+@dataclass
+class Stage1Result:
+    """Everything stage 1 hands to stage 2."""
+
+    state: PlacementState
+    plan: CorePlan
+    limiter: RangeLimiter
+    anneal: AnnealResult
+    p2: float
+
+    @property
+    def teil(self) -> float:
+        return self.state.teil()
+
+    @property
+    def chip_area(self) -> float:
+        return self.state.chip_area()
+
+    @property
+    def residual_overlap(self) -> float:
+        """The paper's residual cell overlapping: C2 (raw area) at T -> T0."""
+        return self.state.c2_raw()
+
+
+def run_stage1(
+    circuit: Circuit,
+    config: Optional[TimberWolfConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> Stage1Result:
+    """Run the full stage-1 annealing on a circuit."""
+    config = config if config is not None else TimberWolfConfig()
+    rng = rng if rng is not None else random.Random(config.seed)
+
+    plan = determine_core(
+        circuit,
+        aspect_ratio=config.core_aspect_ratio,
+        profile=config.profile,
+        slack=config.core_slack,
+        cw_scale=config.estimator_scale,
+    )
+    schedule = stage1_schedule(plan.average_effective_cell_area)
+    limiter = RangeLimiter(
+        full_span_x=plan.core.width,
+        full_span_y=plan.core.height,
+        t_infinity=schedule.t_infinity,
+        rho=config.rho,
+    )
+
+    state = PlacementState(circuit, plan, kappa=config.kappa)
+    state.p2 = calibrate_p2(state, rng, config.eta)
+
+    generator = MoveGenerator(
+        state,
+        limiter,
+        r_ratio=config.r_ratio,
+        selector=config.selector,
+    )
+    stopping = AllOf(
+        WindowStop(limiter),
+        FloorStop(schedule.scale * STAGE1_T_FLOOR),
+    )
+    annealer = Annealer(
+        schedule,
+        stopping,
+        attempts_per_cell=config.attempts_per_cell,
+        max_temperatures=config.max_temperatures,
+        rng=rng,
+    )
+    result = annealer.run(PlacementAnnealingState(state, generator))
+    return Stage1Result(
+        state=state, plan=plan, limiter=limiter, anneal=result, p2=state.p2
+    )

@@ -1,0 +1,690 @@
+"""The placement state: cell positions, caches, and the three-term cost.
+
+This is the mutable object both annealing stages operate on.  It tracks,
+incrementally:
+
+* ``C1`` — the TEIC of Eqn 6 (weighted net spans over exact pin positions),
+* ``C2`` — the overlap penalty of Eqns 7-8 over *expanded* cell tiles
+  (dynamic interconnect-area borders in stage 1, static per-side
+  expansions in stage 2), including overlap with the four dummy border
+  cells that keep cells inside the core (footnote 16),
+* ``C3`` — the pin-site capacity penalty of Eqns 10-11 for custom cells.
+
+Moves are applied through ``move_cell`` / ``swap_cells`` /
+``move_pin_group``, each of which returns the cost delta and a snapshot
+token that ``restore`` undoes exactly (no float drift on rejection).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..estimator import CorePlan
+from ..geometry import BOTTOM, LEFT, RIGHT, TOP, Rect, TileSet
+from ..geometry import orientation as ori
+from ..netlist import Circuit, CustomCell, MacroCell, Net
+
+#: Default kappa of Eqn 10 — drives pin-site overflow to zero late in stage 1.
+DEFAULT_KAPPA = 5.0
+
+_SIDES = (LEFT, RIGHT, BOTTOM, TOP)
+_SIDE_DIRS = {LEFT: (-1.0, 0.0), RIGHT: (1.0, 0.0), BOTTOM: (0.0, -1.0), TOP: (0.0, 1.0)}
+
+
+def _compute_world_side(canonical_side: str, orientation: int) -> str:
+    dx, dy = _SIDE_DIRS[canonical_side]
+    wx, wy = ori.transform_point(orientation, dx, dy)
+    for side, (sx, sy) in _SIDE_DIRS.items():
+        if (sx, sy) == (wx, wy):
+            return side
+    raise AssertionError("orientation must permute the four sides")
+
+
+#: orientation -> {canonical side -> world side} (precomputed: the mapping
+#: sits on the stage-1 hot path via the dynamic expansion).
+_SIDE_MAP = tuple(
+    {s: _compute_world_side(s, o) for s in _SIDES}
+    for o in range(ori.N_ORIENTATIONS)
+)
+
+#: orientation -> {world side -> canonical side} (the inverse mapping).
+_SIDE_MAP_INV = tuple(
+    {world: canonical for canonical, world in _SIDE_MAP[o].items()}
+    for o in range(ori.N_ORIENTATIONS)
+)
+
+
+def world_side(canonical_side: str, orientation: int) -> str:
+    """The world-frame side that a canonical cell side faces after the
+    orientation transform (e.g. LEFT under R90 faces BOTTOM)."""
+    return _SIDE_MAP[orientation][canonical_side]
+
+
+@dataclass
+class CellRecord:
+    """Mutable placement attributes of one cell."""
+
+    center: Tuple[float, float]
+    orientation: int = 0
+    instance: int = 0
+    aspect_ratio: Optional[float] = None
+    #: custom cells: pin-group key -> (canonical side, starting site index).
+    pin_sites: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def copy(self) -> "CellRecord":
+        return replace(self, pin_sites=dict(self.pin_sites))
+
+
+@dataclass
+class _Snapshot:
+    """Everything needed to restore the state after a rejected move."""
+
+    cost_before: float
+    records: Dict[int, CellRecord]
+    shapes: Dict[int, TileSet]
+    expanded: Dict[int, TileSet]
+    pins: Dict[int, Dict[str, Tuple[float, float]]]
+    net_spans: Dict[str, Tuple[float, float]]
+    overlaps: Dict[Tuple[int, int], float]
+    borders: Dict[int, float]
+    c3: Dict[int, float]
+    c1: float
+    c2_raw: float
+    c3_total: float
+
+
+class PlacementState:
+    """Placement of a circuit inside a core region, with incremental cost."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        plan: CorePlan,
+        p2: float = 1.0,
+        kappa: float = DEFAULT_KAPPA,
+        dynamic_expansion: bool = True,
+        static_expansions: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.plan = plan
+        self.core = plan.core
+        self.estimator = plan.estimator
+        self.p2 = p2
+        self.kappa = kappa
+        self.dynamic_expansion = dynamic_expansion
+
+        self.names: List[str] = list(circuit.cells)
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(self.names)}
+        n = len(self.names)
+
+        #: Pre-placed cells (FixedPlacement) are never moved or reshaped.
+        self.movable: List[bool] = [
+            not circuit.cells[name].is_fixed for name in self.names
+        ]
+
+        # Static (stage-2) per-world-side expansions, name -> side -> margin.
+        self._static: List[Dict[str, float]] = [
+            dict((static_expansions or {}).get(name, {})) for name in self.names
+        ]
+
+        # Net membership: cell idx -> list of net names; net name -> the
+        # (cell index, pin name) pairs its span is computed from.
+        self._cell_nets: List[List[str]] = [[] for _ in range(n)]
+        self._net_members: Dict[str, List[Tuple[int, str]]] = {}
+        for net in circuit.nets.values():
+            members = []
+            touched = set()
+            for ref in net.pins:
+                idx = self.index[ref.cell]
+                members.append((idx, ref.pin))
+                if idx not in touched:
+                    touched.add(idx)
+                    self._cell_nets[idx].append(net.name)
+            self._net_members[net.name] = members
+
+        # Canonical-side pin densities for macro cells (static per instance).
+        self._side_density: List[Optional[Dict[str, float]]] = [
+            self._macro_side_density(i) for i in range(n)
+        ]
+
+        # Pin-group structure for custom cells: idx -> [(key, [pin names])].
+        self._groups: List[List[Tuple[str, List[str]]]] = []
+        for name in self.names:
+            cell = circuit.cells[name]
+            if isinstance(cell, CustomCell):
+                groups = [
+                    (key, [p.name for p in pins])
+                    for key, pins in cell.pin_groups().items()
+                ]
+                self._groups.append(groups)
+            else:
+                self._groups.append([])
+
+        # Border slabs (the four dummy cells of footnote 16).
+        big = 10.0 * max(self.core.width, self.core.height)
+        c = self.core
+        self._slabs = (
+            Rect(c.x1 - big, c.y1 - big, c.x1, c.y2 + big),        # left
+            Rect(c.x2, c.y1 - big, c.x2 + big, c.y2 + big),        # right
+            Rect(c.x1 - big, c.y1 - big, c.x2 + big, c.y1),        # bottom
+            Rect(c.x1 - big, c.y2, c.x2 + big, c.y2 + big),        # top
+        )
+
+        # Placement records: default everything at the core center.
+        self.records: List[CellRecord] = [self._default_record(i) for i in range(n)]
+
+        # Caches and cost accumulators, built by rebuild().
+        self._shapes: List[TileSet] = [None] * n  # type: ignore[list-item]
+        self._expanded: List[TileSet] = [None] * n  # type: ignore[list-item]
+        self._pins: List[Dict[str, Tuple[float, float]]] = [dict() for _ in range(n)]
+        self._net_spans: Dict[str, Tuple[float, float]] = {}
+        self._overlaps: Dict[Tuple[int, int], float] = {}
+        self._borders: List[float] = [0.0] * n
+        self._c3: List[float] = [0.0] * n
+        self._c1 = 0.0
+        self._c2_raw = 0.0
+        self._c3_total = 0.0
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _default_record(self, idx: int) -> CellRecord:
+        cell = self.circuit.cells[self.names[idx]]
+        if cell.fixed is not None:
+            record = CellRecord(
+                center=(cell.fixed.x, cell.fixed.y),
+                orientation=cell.fixed.orientation,
+            )
+        else:
+            record = CellRecord(center=(self.core.center.x, self.core.center.y))
+        if isinstance(cell, CustomCell):
+            record.aspect_ratio = cell.aspect.default()
+            for g, (key, members) in enumerate(self._groups[idx]):
+                pins = [cell.pins[m] for m in members]
+                sides = frozenset.intersection(*(p.sides for p in pins))
+                side = sorted(sides)[0] if sides else sorted(pins[0].sides)[0]
+                record.pin_sites[key] = (side, g % cell.sites_per_edge)
+        return record
+
+    def _macro_side_density(self, idx: int) -> Optional[Dict[str, float]]:
+        cell = self.circuit.cells[self.names[idx]]
+        if not isinstance(cell, MacroCell):
+            return None
+        inst = cell.instances[0]
+        edges = inst.shape.boundary_edges()
+        side_len: Dict[str, float] = {s: 0.0 for s in _SIDES}
+        for e in edges:
+            side_len[e.side] += e.length
+        counts: Dict[str, int] = {s: 0 for s in _SIDES}
+        for pin in cell.pins.values():
+            px, py = inst.pin_offset(pin)
+            best = None
+            best_d = None
+            for e in edges:
+                if e.is_vertical:
+                    d = abs(px - e.position) + max(0.0, e.lo - py, py - e.hi)
+                else:
+                    d = abs(py - e.position) + max(0.0, e.lo - px, px - e.hi)
+                if best_d is None or d < best_d:
+                    best_d = d
+                    best = e.side
+            counts[best] += 1  # type: ignore[index]
+        return {
+            s: (counts[s] / side_len[s]) if side_len[s] > 0 else 0.0 for s in _SIDES
+        }
+
+    # ------------------------------------------------------------------
+    # world-frame geometry
+    # ------------------------------------------------------------------
+
+    def cell(self, idx: int):
+        return self.circuit.cells[self.names[idx]]
+
+    def _local_shape(self, idx: int) -> TileSet:
+        cell = self.cell(idx)
+        record = self.records[idx]
+        if isinstance(cell, MacroCell):
+            return cell.instances[record.instance].shape
+        assert record.aspect_ratio is not None
+        return cell.shape_for(record.aspect_ratio)
+
+    def _world_shape(self, idx: int) -> TileSet:
+        record = self.records[idx]
+        shape = self._local_shape(idx).transformed(record.orientation)
+        return shape.translated(*record.center)
+
+    def _expansions(self, idx: int, bbox: Rect) -> Dict[str, float]:
+        """Outward expansion per world side (dynamic estimator or static)."""
+        record = self.records[idx]
+        static = self._static[idx]
+        if not self.dynamic_expansion:
+            return {s: static.get(s, 0.0) for s in _SIDES}
+        est = self.estimator
+        densities = self._side_density[idx]
+        cx, cy = bbox.center.x, bbox.center.y
+        if densities is None:
+            dens = {LEFT: None, RIGHT: None, BOTTOM: None, TOP: None}
+        else:
+            inverse = _SIDE_MAP_INV[record.orientation]
+            dens = {world: densities[inverse[world]] for world in _SIDES}
+        return {
+            LEFT: est.edge_expansion(bbox.x1, cy, dens[LEFT]),
+            RIGHT: est.edge_expansion(bbox.x2, cy, dens[RIGHT]),
+            BOTTOM: est.edge_expansion(cx, bbox.y1, dens[BOTTOM]),
+            TOP: est.edge_expansion(cx, bbox.y2, dens[TOP]),
+        }
+
+    def _expanded_shape(self, idx: int, world: TileSet) -> TileSet:
+        e = self._expansions(idx, world.bbox)
+        return world.expanded_per_side(e[LEFT], e[BOTTOM], e[RIGHT], e[TOP])
+
+    def _pin_positions(self, idx: int) -> Dict[str, Tuple[float, float]]:
+        cell = self.cell(idx)
+        record = self.records[idx]
+        cx, cy = record.center
+        out: Dict[str, Tuple[float, float]] = {}
+        if isinstance(cell, MacroCell):
+            inst = cell.instances[record.instance]
+            for pin in cell.pins.values():
+                lx, ly = inst.pin_offset(pin)
+                wx, wy = ori.transform_point(record.orientation, lx, ly)
+                out[pin.name] = (cx + wx, cy + wy)
+            return out
+        assert isinstance(cell, CustomCell) and record.aspect_ratio is not None
+        width, height = cell.dimensions(record.aspect_ratio)
+        nsites = cell.sites_per_edge
+        for pin in cell.pins.values():
+            if pin.is_committed:
+                lx, ly = pin.offset  # type: ignore[misc]
+            else:
+                key, member_idx = self._group_of(idx, pin.name)
+                side, start = record.pin_sites[key]
+                site_idx = (start + member_idx) % nsites
+                lx, ly = _site_position(side, site_idx, nsites, width, height)
+            wx, wy = ori.transform_point(record.orientation, lx, ly)
+            out[pin.name] = (cx + wx, cy + wy)
+        return out
+
+    def _group_of(self, idx: int, pin_name: str) -> Tuple[str, int]:
+        for key, members in self._groups[idx]:
+            if pin_name in members:
+                return key, members.index(pin_name)
+        raise KeyError(f"pin {pin_name!r} has no group on cell {self.names[idx]!r}")
+
+    # ------------------------------------------------------------------
+    # cost bookkeeping
+    # ------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Recompute every cache and accumulator from the records."""
+        n = len(self.names)
+        for i in range(n):
+            world = self._world_shape(i)
+            self._shapes[i] = world
+            self._expanded[i] = self._expanded_shape(i, world)
+            self._pins[i] = self._pin_positions(i)
+            self._c3[i] = self._cell_c3(i)
+        self._net_spans = {
+            net.name: self._net_span(net) for net in self.circuit.nets.values()
+        }
+        self._c1 = sum(
+            self.circuit.nets[name].weighted_length(xs, ys)
+            for name, (xs, ys) in self._net_spans.items()
+        )
+        self._overlaps = {}
+        self._c2_raw = 0.0
+        for i in range(n):
+            self._borders[i] = self._border_overlap(i)
+            self._c2_raw += self._borders[i]
+            for j in range(i + 1, n):
+                area = self._pair_overlap(i, j)
+                if area > 0.0:
+                    self._overlaps[(i, j)] = area
+                    self._c2_raw += area
+        self._c3_total = sum(self._c3)
+
+    def _net_span(self, net: Net) -> Tuple[float, float]:
+        pins = self._pins
+        members = self._net_members[net.name]
+        if not members:
+            return (0.0, 0.0)
+        x, y = pins[members[0][0]][members[0][1]]
+        x_lo = x_hi = x
+        y_lo = y_hi = y
+        for idx, pin_name in members:
+            x, y = pins[idx][pin_name]
+            if x < x_lo:
+                x_lo = x
+            elif x > x_hi:
+                x_hi = x
+            if y < y_lo:
+                y_lo = y
+            elif y > y_hi:
+                y_hi = y
+        return (x_hi - x_lo, y_hi - y_lo)
+
+    def _pair_overlap(self, i: int, j: int) -> float:
+        return self._expanded[i].overlap_area(self._expanded[j])
+
+    def _border_overlap(self, idx: int) -> float:
+        total = 0.0
+        exp = self._expanded[idx]
+        for slab in self._slabs:
+            if not exp.bbox.intersects(slab):
+                continue
+            for tile in exp.tiles:
+                total += tile.overlap_area(slab)
+        return total
+
+    def _cell_c3(self, idx: int) -> float:
+        cell = self.cell(idx)
+        if not isinstance(cell, CustomCell) or not self._groups[idx]:
+            return 0.0
+        record = self.records[idx]
+        assert record.aspect_ratio is not None
+        width, height = cell.dimensions(record.aspect_ratio)
+        nsites = cell.sites_per_edge
+        pitch = cell.pin_pitch
+        occupancy: Dict[Tuple[str, int], int] = {}
+        for key, members in self._groups[idx]:
+            side, start = record.pin_sites[key]
+            for k in range(len(members)):
+                site = (side, (start + k) % nsites)
+                occupancy[site] = occupancy.get(site, 0) + 1
+        penalty = 0.0
+        for (side, _), count in occupancy.items():
+            edge_len = height if side in (LEFT, RIGHT) else width
+            capacity = max(1, int(edge_len / pitch / nsites))
+            if count > capacity:
+                excess = count - capacity + self.kappa
+                penalty += excess * excess
+        return penalty
+
+    # ------------------------------------------------------------------
+    # cost queries
+    # ------------------------------------------------------------------
+
+    def c1(self) -> float:
+        """The TEIC (Eqn 6)."""
+        return self._c1
+
+    def c2_raw(self) -> float:
+        """Total overlap area, before the p2 normalization (Eqn 7)."""
+        return self._c2_raw
+
+    def c3(self) -> float:
+        """The pin-site penalty (Eqn 11)."""
+        return self._c3_total
+
+    def cost(self) -> float:
+        return self._c1 + self.p2 * self._c2_raw + self._c3_total
+
+    def teil(self) -> float:
+        """Total estimated interconnect length: the TEIC with unit weights."""
+        return sum(xs + ys for xs, ys in self._net_spans.values())
+
+    def chip_bbox(self) -> Rect:
+        """Bounding box of the expanded cells — the chip outline including
+        the interconnect area the estimator reserved."""
+        return Rect.bounding(s.bbox for s in self._expanded)
+
+    def chip_area(self) -> float:
+        return self.chip_bbox().area
+
+    def world_shape(self, name: str) -> TileSet:
+        return self._shapes[self.index[name]]
+
+    def expanded_shape(self, name: str) -> TileSet:
+        return self._expanded[self.index[name]]
+
+    def pin_position(self, cell_name: str, pin_name: str) -> Tuple[float, float]:
+        return self._pins[self.index[cell_name]][pin_name]
+
+    def moves_per_iteration(self) -> int:
+        return len(self.names)
+
+    # ------------------------------------------------------------------
+    # snapshotting
+    # ------------------------------------------------------------------
+
+    def _take_snapshot(self, idxs: Sequence[int]) -> _Snapshot:
+        idx_set = set(idxs)
+        nets = {name for i in idx_set for name in self._cell_nets[i]}
+        overlaps: Dict[Tuple[int, int], float] = {}
+        n = len(self.names)
+        for i in idx_set:
+            for j in range(n):
+                if j == i:
+                    continue
+                key = (i, j) if i < j else (j, i)
+                if key in self._overlaps and key not in overlaps:
+                    overlaps[key] = self._overlaps[key]
+        return _Snapshot(
+            cost_before=self.cost(),
+            records={i: self.records[i].copy() for i in idx_set},
+            shapes={i: self._shapes[i] for i in idx_set},
+            expanded={i: self._expanded[i] for i in idx_set},
+            pins={i: self._pins[i] for i in idx_set},
+            net_spans={name: self._net_spans[name] for name in nets},
+            overlaps=overlaps,
+            borders={i: self._borders[i] for i in idx_set},
+            c3={i: self._c3[i] for i in idx_set},
+            c1=self._c1,
+            c2_raw=self._c2_raw,
+            c3_total=self._c3_total,
+        )
+
+    def restore(self, snap: _Snapshot) -> None:
+        idx_set = set(snap.records)
+        n = len(self.names)
+        # Remove every current overlap entry touching the snapped cells,
+        # then put back the saved ones.
+        for i in idx_set:
+            for j in range(n):
+                if j == i:
+                    continue
+                key = (i, j) if i < j else (j, i)
+                self._overlaps.pop(key, None)
+        self._overlaps.update(snap.overlaps)
+        for i, record in snap.records.items():
+            self.records[i] = record
+            self._shapes[i] = snap.shapes[i]
+            self._expanded[i] = snap.expanded[i]
+            self._pins[i] = snap.pins[i]
+            self._borders[i] = snap.borders[i]
+            self._c3[i] = snap.c3[i]
+        self._net_spans.update(snap.net_spans)
+        self._c1 = snap.c1
+        self._c2_raw = snap.c2_raw
+        self._c3_total = snap.c3_total
+
+    # ------------------------------------------------------------------
+    # applying changes
+    # ------------------------------------------------------------------
+
+    def _refresh_cells(self, idxs: Sequence[int]) -> None:
+        """Recompute caches and cost accumulators for the given cells."""
+        idx_set = set(idxs)
+        n = len(self.names)
+        for i in idx_set:
+            world = self._world_shape(i)
+            self._shapes[i] = world
+            self._expanded[i] = self._expanded_shape(i, world)
+            self._pins[i] = self._pin_positions(i)
+            new_c3 = self._cell_c3(i)
+            self._c3_total += new_c3 - self._c3[i]
+            self._c3[i] = new_c3
+        # Net spans of every net touching a refreshed cell.
+        nets = {name for i in idx_set for name in self._cell_nets[i]}
+        for name in nets:
+            net = self.circuit.nets[name]
+            old = self._net_spans[name]
+            new = self._net_span(net)
+            self._net_spans[name] = new
+            self._c1 += net.weighted_length(*new) - net.weighted_length(*old)
+        # Overlaps touching refreshed cells.
+        for i in idx_set:
+            old_border = self._borders[i]
+            new_border = self._border_overlap(i)
+            self._borders[i] = new_border
+            self._c2_raw += new_border - old_border
+            for j in range(n):
+                if j == i or (j in idx_set and j < i):
+                    continue  # pair handled once
+                key = (i, j) if i < j else (j, i)
+                old = self._overlaps.pop(key, 0.0)
+                new = self._pair_overlap(i, j)
+                if new > 0.0:
+                    self._overlaps[key] = new
+                self._c2_raw += new - old
+
+    def move_cell(
+        self,
+        idx: int,
+        center: Optional[Tuple[float, float]] = None,
+        orientation: Optional[int] = None,
+        instance: Optional[int] = None,
+        aspect_ratio: Optional[float] = None,
+    ) -> Tuple[float, _Snapshot]:
+        """Apply a single-cell change; returns (cost delta, snapshot)."""
+        snap = self._take_snapshot([idx])
+        record = self.records[idx]
+        if center is not None:
+            record.center = center
+        if orientation is not None:
+            record.orientation = orientation
+        if instance is not None:
+            record.instance = instance
+        if aspect_ratio is not None:
+            record.aspect_ratio = aspect_ratio
+        self._refresh_cells([idx])
+        return (self.cost() - snap.cost_before, snap)
+
+    def swap_cells(self, i: int, j: int) -> Tuple[float, _Snapshot]:
+        """Interchange the centers of two cells (Eqn-free §3.2.1 A2)."""
+        if i == j:
+            raise ValueError("cannot swap a cell with itself")
+        snap = self._take_snapshot([i, j])
+        ci, cj = self.records[i].center, self.records[j].center
+        self.records[i].center = cj
+        self.records[j].center = ci
+        self._refresh_cells([i, j])
+        return (self.cost() - snap.cost_before, snap)
+
+    def swap_cells_inverted(self, i: int, j: int) -> Tuple[float, _Snapshot]:
+        """Interchange with both cells' aspect ratios inverted (the retry
+        of §3.2.1 when the plain interchange is rejected)."""
+        if i == j:
+            raise ValueError("cannot swap a cell with itself")
+        snap = self._take_snapshot([i, j])
+        ci, cj = self.records[i].center, self.records[j].center
+        self.records[i].center = cj
+        self.records[j].center = ci
+        for k in (i, j):
+            self._invert_record_aspect(k)
+        self._refresh_cells([i, j])
+        return (self.cost() - snap.cost_before, snap)
+
+    def _invert_record_aspect(self, idx: int) -> None:
+        record = self.records[idx]
+        cell = self.cell(idx)
+        if isinstance(cell, CustomCell):
+            assert record.aspect_ratio is not None
+            record.aspect_ratio = cell.aspect.inverted(record.aspect_ratio)
+        else:
+            record.orientation = ori.aspect_inverting_orientation(record.orientation)
+
+    def move_cell_inverted(
+        self, idx: int, center: Tuple[float, float]
+    ) -> Tuple[float, _Snapshot]:
+        """Displace with the aspect ratio inverted (§3.2.1's second attempt:
+        macro cells rotate 90 degrees, custom cells invert their ratio)."""
+        snap = self._take_snapshot([idx])
+        self.records[idx].center = center
+        self._invert_record_aspect(idx)
+        self._refresh_cells([idx])
+        return (self.cost() - snap.cost_before, snap)
+
+    def move_pin_group(
+        self, idx: int, group_key: str, side: str, start: int
+    ) -> Tuple[float, _Snapshot]:
+        """Reassign an uncommitted pin group to new sites (§2.4)."""
+        snap = self._take_snapshot([idx])
+        self.records[idx].pin_sites[group_key] = (side, start)
+        self._refresh_cells([idx])
+        return (self.cost() - snap.cost_before, snap)
+
+    def set_static_expansions(
+        self, expansions: Dict[str, Dict[str, float]]
+    ) -> None:
+        """Switch to stage-2 mode: per-cell, per-world-side static margins
+        (half the required width of each adjacent channel, §4.3) replace
+        the dynamic estimator.  Rebuilds all caches."""
+        self._static = [
+            dict(expansions.get(name, {})) for name in self.names
+        ]
+        self.dynamic_expansion = False
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # initial placement
+    # ------------------------------------------------------------------
+
+    def randomize(self, rng: random.Random) -> None:
+        """Random initial configuration (§3.2.1: the initial state has no
+        influence on the final TEIC, so a random start is used)."""
+        for idx in range(len(self.names)):
+            if not self.movable[idx]:
+                continue
+            record = self.records[idx]
+            record.center = (
+                rng.uniform(self.core.x1, self.core.x2),
+                rng.uniform(self.core.y1, self.core.y2),
+            )
+            record.orientation = rng.randrange(ori.N_ORIENTATIONS)
+            cell = self.cell(idx)
+            if isinstance(cell, MacroCell) and cell.num_instances > 1:
+                record.instance = rng.randrange(cell.num_instances)
+        self.rebuild()
+
+    def enforce_fixed(self) -> None:
+        """Reset every pre-placed cell to its mandated position (used by
+        placers that do not natively understand fixed cells)."""
+        changed = False
+        for idx in range(len(self.names)):
+            cell = self.cell(idx)
+            if cell.fixed is None:
+                continue
+            record = self.records[idx]
+            target = ((cell.fixed.x, cell.fixed.y), cell.fixed.orientation)
+            if (record.center, record.orientation) != target:
+                record.center = (cell.fixed.x, cell.fixed.y)
+                record.orientation = cell.fixed.orientation
+                changed = True
+        if changed:
+            self.rebuild()
+
+    def clamp_to_core(self, point: Tuple[float, float]) -> Tuple[float, float]:
+        """Clamp a candidate cell center into the core region."""
+        return (
+            min(max(point[0], self.core.x1), self.core.x2),
+            min(max(point[1], self.core.y1), self.core.y2),
+        )
+
+
+def _site_position(
+    side: str, site_idx: int, nsites: int, width: float, height: float
+) -> Tuple[float, float]:
+    fraction = (site_idx + 0.5) / nsites
+    hw, hh = width / 2.0, height / 2.0
+    if side == LEFT:
+        return (-hw, -hh + fraction * height)
+    if side == RIGHT:
+        return (hw, -hh + fraction * height)
+    if side == BOTTOM:
+        return (-hw + fraction * width, -hh)
+    return (-hw + fraction * width, hh)

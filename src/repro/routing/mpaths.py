@@ -1,0 +1,198 @@
+"""M-shortest loopless paths on a channel graph.
+
+Phase one of the global router stores the M shortest routes of every
+net.  For two-pin nets this is Lawler's M-shortest-path problem; we use
+Yen's deviation algorithm (equivalent output), generalized in two ways
+the router needs:
+
+* *multi-source*: paths may start from any node of an existing partial
+  route (the target-node set of Figures 11-12), and
+* *multi-target*: paths may end at any node of an electrically
+  equivalent pin group.
+
+Both are realized with virtual terminals, kept out of returned paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+#: neighbors(node) -> iterable of (neighbor, edge length).
+NeighborFn = Callable[[int], Iterable[Tuple[int, float]]]
+
+Path = Tuple[float, Tuple[int, ...]]  # (length, node sequence)
+
+
+def dijkstra(
+    neighbors: NeighborFn,
+    sources: Dict[int, float],
+    targets: Set[int],
+    banned_nodes: Optional[Set[int]] = None,
+    banned_edges: Optional[Set[Tuple[int, int]]] = None,
+    positions: Optional[Dict[int, Tuple[float, float]]] = None,
+) -> Optional[Path]:
+    """Shortest path from any source (with initial costs) to any target.
+
+    ``banned_nodes`` may not be visited; ``banned_edges`` (directed pairs)
+    may not be traversed.  When ``positions`` is given the search runs as
+    A* with the Manhattan distance-to-nearest-target heuristic, which is
+    admissible here because every edge's length is the Manhattan distance
+    between its endpoints (triangle inequality).  Returns (length, path)
+    or None.
+    """
+    banned_nodes = banned_nodes or set()
+    banned_edges = banned_edges or set()
+
+    if positions is not None and targets:
+        target_pos = [positions[t] for t in targets if t in positions]
+
+        def h(node: int) -> float:
+            p = positions.get(node)
+            if p is None or not target_pos:
+                return 0.0
+            return min(
+                abs(p[0] - tx) + abs(p[1] - ty) for tx, ty in target_pos
+            )
+
+    else:
+
+        def h(node: int) -> float:
+            return 0.0
+
+    dist: Dict[int, float] = {}
+    prev: Dict[int, Optional[int]] = {}
+    heap: List[Tuple[float, float, int]] = []
+    for node, cost in sources.items():
+        if node in banned_nodes:
+            continue
+        if cost < dist.get(node, float("inf")):
+            dist[node] = cost
+            prev[node] = None
+            heapq.heappush(heap, (cost + h(node), cost, node))
+
+    while heap:
+        _, d, node = heapq.heappop(heap)
+        if d > dist.get(node, float("inf")):
+            continue
+        if node in targets:
+            path = []
+            cur: Optional[int] = node
+            while cur is not None:
+                path.append(cur)
+                cur = prev[cur]
+            path.reverse()
+            return (d, tuple(path))
+        for nxt, length in neighbors(node):
+            if nxt in banned_nodes or (node, nxt) in banned_edges:
+                continue
+            nd = d + length
+            if nd < dist.get(nxt, float("inf")) - 1e-12:
+                dist[nxt] = nd
+                prev[nxt] = node
+                heapq.heappush(heap, (nd + h(nxt), nd, nxt))
+    return None
+
+
+#: Default cap on deviation (spur) points per Yen iteration.  The exact
+#: algorithm deviates at every node of the newest path, costing one
+#: Dijkstra per node; on pin-heavy channel graphs paths run tens of nodes
+#: long and the exact version dominates the router's wall clock.  Spur
+#: points are subsampled evenly along the path instead — alternative
+#: routes differ mildly from the exact k-shortest set, which the beam
+#: search tolerates by construction.
+DEFAULT_MAX_SPURS = 12
+
+
+def k_shortest_paths(
+    neighbors: NeighborFn,
+    sources: Dict[int, float],
+    targets: Set[int],
+    k: int,
+    max_spurs: int = DEFAULT_MAX_SPURS,
+    positions: Optional[Dict[int, Tuple[float, float]]] = None,
+) -> List[Path]:
+    """Yen's algorithm: up to k shortest loopless source-to-target paths.
+
+    Sources act as a single virtual origin (deviations never re-enter
+    another source) and targets as a single virtual destination, so the
+    result is the k best ways of joining the source set to the target
+    set — exactly what connecting a pin group to a partial route needs.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if max_spurs < 1:
+        raise ValueError("max_spurs must be at least 1")
+    first = dijkstra(neighbors, sources, targets, positions=positions)
+    if first is None:
+        return []
+    found: List[Path] = [first]
+    candidates: List[Path] = []
+    seen: Set[Tuple[int, ...]] = {first[1]}
+
+    while len(found) < k:
+        base_len, base_path = found[-1]
+        # Deviate at (a sample of) the newest path's nodes.
+        spur_indices = range(len(base_path) - 1)
+        if len(base_path) - 1 > max_spurs:
+            step = (len(base_path) - 1) / max_spurs
+            spur_indices = sorted({int(j * step) for j in range(max_spurs)})
+        for i in spur_indices:
+            spur = base_path[i]
+            root = base_path[: i + 1]
+            root_len = _path_cost(neighbors, root, sources)
+            if root_len is None:
+                continue
+            banned_edges: Set[Tuple[int, int]] = set()
+            for length, path in found:
+                if len(path) > i and path[: i + 1] == root:
+                    banned_edges.add((path[i], path[i + 1]))
+            banned_nodes = set(root[:-1])
+            # Nodes of the source set other than the root's own origin
+            # stay usable only if not already on the root.
+            spur_result = dijkstra(
+                neighbors,
+                {spur: 0.0},
+                targets,
+                banned_nodes=banned_nodes,
+                banned_edges=banned_edges,
+                positions=positions,
+            )
+            if spur_result is None:
+                continue
+            spur_len, spur_path = spur_result
+            total = root + spur_path[1:]
+            if total in seen:
+                continue
+            seen.add(total)
+            heapq.heappush(candidates, (root_len + spur_len, total))
+        if not candidates:
+            break
+        best = heapq.heappop(candidates)
+        found.append(best)
+    return found[:k]
+
+
+def _path_cost(
+    neighbors: NeighborFn, path: Tuple[int, ...], sources: Dict[int, float]
+) -> Optional[float]:
+    """Cost of a concrete path, honoring per-source initial costs."""
+    if path[0] not in sources:
+        return None
+    total = sources[path[0]]
+    for u, v in zip(path, path[1:]):
+        step = None
+        for nxt, length in neighbors(u):
+            if nxt == v and (step is None or length < step):
+                step = length
+        if step is None:
+            return None
+        total += step
+    return total
+
+
+def path_edges(path: Tuple[int, ...]) -> FrozenSet[Tuple[int, int]]:
+    """Undirected edge set of a node path."""
+    return frozenset(
+        (u, v) if u < v else (v, u) for u, v in zip(path, path[1:])
+    )

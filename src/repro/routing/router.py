@@ -1,0 +1,129 @@
+"""The global router: phase one + phase two over a channel graph (§4.2).
+
+The router is layout-style independent: its only inputs are a net list
+(pins already assigned to positions on channel edges, with electrically
+equivalent pins grouped) and a channel graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..channels import ChannelGraph, CongestionReport, compute_congestion
+from ..netlist import Circuit
+from .interchange import InterchangeResult, RouteSelector
+from .steiner import RouteAlternative, m_shortest_routes
+
+EdgeKey = Tuple[int, int]
+
+
+@dataclass
+class RoutingResult:
+    """A complete global routing of a circuit on a channel graph."""
+
+    routes: Dict[str, FrozenSet[EdgeKey]]
+    lengths: Dict[str, float]
+    alternatives: Dict[str, List[RouteAlternative]]
+    interchange: InterchangeResult
+    unrouted: List[str] = field(default_factory=list)
+
+    @property
+    def total_length(self) -> float:
+        return sum(self.lengths.values())
+
+    @property
+    def overflow(self) -> int:
+        return self.interchange.overflow
+
+    def congestion(self, graph: ChannelGraph) -> CongestionReport:
+        return compute_congestion(graph, self.routes)
+
+
+class GlobalRouter:
+    """Routes every net of a circuit over a channel graph."""
+
+    def __init__(
+        self,
+        graph: ChannelGraph,
+        m_routes: int = 20,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if m_routes < 1:
+            raise ValueError("m_routes must be at least 1")
+        self.graph = graph
+        self.m_routes = m_routes
+        self.rng = rng if rng is not None else random.Random(seed)
+
+    def build_pin_groups(self, circuit: Circuit) -> Dict[str, List[List[int]]]:
+        """Per net: lists of graph nodes, one list per pin group
+        (electrically equivalent pins of a cell share a group)."""
+        out: Dict[str, List[List[int]]] = {}
+        for net in circuit.nets.values():
+            groups: Dict[Tuple[str, str], List[int]] = {}
+            order: List[Tuple[str, str]] = []
+            for ref in net.pins:
+                node = self.graph.pin_nodes.get((ref.cell, ref.pin))
+                if node is None:
+                    continue
+                pin = circuit.cells[ref.cell].pins[ref.pin]
+                if pin.equiv_class is not None:
+                    key = (ref.cell, pin.equiv_class)
+                else:
+                    key = (ref.cell, f"__pin__{ref.pin}")
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(node)
+            out[net.name] = [groups[k] for k in order]
+        return out
+
+    def route_net(self, groups: Sequence[Sequence[int]]) -> List[RouteAlternative]:
+        """Phase one for a single net: up to M stored alternatives."""
+        return m_shortest_routes(
+            self.graph.neighbors,
+            groups,
+            self.m_routes,
+            positions=self.graph.positions,
+        )
+
+    def route(self, circuit: Circuit) -> RoutingResult:
+        """Route every net: phase one per net, then the interchange."""
+        net_groups = self.build_pin_groups(circuit)
+        alternatives: Dict[str, List[RouteAlternative]] = {}
+        unrouted: List[str] = []
+        for net_name, groups in net_groups.items():
+            groups = [g for g in groups if g]
+            if len(groups) < 2:
+                continue  # nothing to connect
+            alts = self.route_net(groups)
+            if not alts:
+                unrouted.append(net_name)
+                continue
+            alternatives[net_name] = alts
+
+        capacities: Dict[EdgeKey, Optional[int]] = {
+            e.key: e.capacity for e in self.graph.edges()
+        }
+        if alternatives:
+            selector = RouteSelector(alternatives, capacities)
+            interchange = selector.run(self.rng)
+            routes = selector.routes()
+        else:
+            interchange = InterchangeResult(
+                selection={}, total_length=0.0, overflow=0, converged_shortest=True
+            )
+            routes = {}
+        lengths = {
+            net: alternatives[net][interchange.selection[net]].length
+            for net in alternatives
+        }
+        return RoutingResult(
+            routes=routes,
+            lengths=lengths,
+            alternatives=alternatives,
+            interchange=interchange,
+            unrouted=unrouted,
+        )

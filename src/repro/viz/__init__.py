@@ -1,0 +1,5 @@
+"""Dependency-free SVG rendering of placements and routes."""
+
+from .svg import SvgCanvas, render_placement, write_placement_svg
+
+__all__ = ["SvgCanvas", "render_placement", "write_placement_svg"]

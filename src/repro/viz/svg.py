@@ -1,0 +1,183 @@
+"""SVG rendering of placements, channels, and global routes.
+
+Dependency-free: emits plain SVG text.  Useful for eyeballing what the
+annealer produced — cells (macro vs custom shaded differently), the
+interconnect margins the estimator reserved, the critical regions of the
+channel definition, pin positions, and the routed net trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..geometry import Rect, TileSet
+
+#: Palette (colorblind-safe-ish, muted).
+CELL_FILL = "#7c9ccb"
+CUSTOM_FILL = "#c9a86a"
+MARGIN_FILL = "#d7e0ee"
+REGION_FILL = "#e8b9b5"
+CORE_STROKE = "#444444"
+PIN_FILL = "#20324c"
+ROUTE_STROKE = "#b03a2e"
+
+
+class SvgCanvas:
+    """Accumulates SVG elements in layout coordinates (y flipped on write)."""
+
+    def __init__(self, padding: float = 10.0):
+        self.padding = padding
+        self._elements: List[str] = []
+        self._bounds: Optional[Rect] = None
+
+    def _grow(self, rect: Rect) -> None:
+        self._bounds = rect if self._bounds is None else self._bounds.union_bbox(rect)
+
+    def add_rect(
+        self,
+        rect: Rect,
+        fill: str,
+        opacity: float = 1.0,
+        stroke: Optional[str] = None,
+        stroke_width: float = 0.5,
+        title: Optional[str] = None,
+    ) -> None:
+        self._grow(rect)
+        attrs = f'fill="{fill}" fill-opacity="{opacity}"'
+        if stroke:
+            attrs += f' stroke="{stroke}" stroke-width="{stroke_width}"'
+        body = f"<title>{_escape(title)}</title>" if title else ""
+        self._elements.append(
+            f'<rect x="{rect.x1:.2f}" y="{-rect.y2:.2f}" '
+            f'width="{rect.width:.2f}" height="{rect.height:.2f}" {attrs}>'
+            f"{body}</rect>"
+            if body
+            else f'<rect x="{rect.x1:.2f}" y="{-rect.y2:.2f}" '
+            f'width="{rect.width:.2f}" height="{rect.height:.2f}" {attrs}/>'
+        )
+
+    def add_line(
+        self,
+        a: Tuple[float, float],
+        b: Tuple[float, float],
+        stroke: str = ROUTE_STROKE,
+        width: float = 0.8,
+        opacity: float = 0.9,
+    ) -> None:
+        self._grow(Rect(min(a[0], b[0]), min(a[1], b[1]), max(a[0], b[0]), max(a[1], b[1])))
+        self._elements.append(
+            f'<line x1="{a[0]:.2f}" y1="{-a[1]:.2f}" x2="{b[0]:.2f}" '
+            f'y2="{-b[1]:.2f}" stroke="{stroke}" stroke-width="{width}" '
+            f'stroke-opacity="{opacity}"/>'
+        )
+
+    def add_dot(
+        self, point: Tuple[float, float], radius: float = 1.0, fill: str = PIN_FILL
+    ) -> None:
+        x, y = point
+        self._grow(Rect(x - radius, y - radius, x + radius, y + radius))
+        self._elements.append(
+            f'<circle cx="{x:.2f}" cy="{-y:.2f}" r="{radius:.2f}" fill="{fill}"/>'
+        )
+
+    def add_label(
+        self, point: Tuple[float, float], text: str, size: float = 4.0
+    ) -> None:
+        x, y = point
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{-y:.2f}" font-size="{size:.1f}" '
+            f'text-anchor="middle" dominant-baseline="middle" '
+            f'font-family="sans-serif" fill="#222">{_escape(text)}</text>'
+        )
+
+    def to_svg(self, scale: float = 1.0) -> str:
+        if self._bounds is None:
+            return '<svg xmlns="http://www.w3.org/2000/svg"/>'
+        b = self._bounds.expanded_uniform(self.padding)
+        width = b.width * scale
+        height = b.height * scale
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{width:.0f}" height="{height:.0f}" '
+            f'viewBox="{b.x1:.2f} {-b.y2:.2f} {b.width:.2f} {b.height:.2f}">\n'
+            + "\n".join(self._elements)
+            + "\n</svg>\n"
+        )
+
+
+def _escape(text: Optional[str]) -> str:
+    if text is None:
+        return ""
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_placement(
+    state,
+    show_margins: bool = True,
+    show_regions: bool = False,
+    regions: Optional[Iterable] = None,
+    routes: Optional[Dict[str, Iterable[Tuple[int, int]]]] = None,
+    graph=None,
+    labels: bool = True,
+    scale: float = 1.0,
+) -> str:
+    """Render a ``PlacementState`` (and optionally channels/routes) to SVG.
+
+    ``regions`` are critical regions; ``routes``/``graph`` draw routed net
+    trees as lines between graph-node positions.
+    """
+    canvas = SvgCanvas()
+
+    # Core outline.
+    canvas.add_rect(
+        state.core, fill="none", opacity=0.0, stroke=CORE_STROKE, stroke_width=1.0
+    )
+
+    # Interconnect margins behind the cells.
+    if show_margins:
+        for name in state.names:
+            for tile in state.expanded_shape(name).tiles:
+                canvas.add_rect(tile, MARGIN_FILL, opacity=0.6)
+
+    # Critical regions.
+    if show_regions and regions is not None:
+        for region in regions:
+            canvas.add_rect(region.rect, REGION_FILL, opacity=0.45)
+
+    # Cells.
+    for name in state.names:
+        cell = state.circuit.cells[name]
+        fill = CELL_FILL if cell.is_macro else CUSTOM_FILL
+        for tile in state.world_shape(name).tiles:
+            canvas.add_rect(
+                tile, fill, opacity=0.9, stroke="#2d3e55", stroke_width=0.6,
+                title=name,
+            )
+        if labels:
+            bbox = state.world_shape(name).bbox
+            c = bbox.center
+            canvas.add_label(
+                (c.x, c.y), name, size=max(3.0, min(bbox.width, bbox.height) / 5)
+            )
+
+    # Routes.
+    if routes and graph is not None:
+        for edges in routes.values():
+            for u, v in edges:
+                canvas.add_line(graph.positions[u], graph.positions[v])
+
+    # Pins.
+    for name in state.names:
+        for pin_name in state.circuit.cells[name].pins:
+            canvas.add_dot(state.pin_position(name, pin_name), radius=0.8)
+
+    return canvas.to_svg(scale=scale)
+
+
+def write_placement_svg(state, path, **kwargs) -> None:
+    """Render and write to a file."""
+    from pathlib import Path
+
+    Path(path).write_text(render_placement(state, **kwargs))

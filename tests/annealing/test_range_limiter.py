@@ -1,0 +1,162 @@
+"""The range limiter (Eqns 12-16) and displacement-point selectors."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.annealing import (
+    MIN_WINDOW_SPAN,
+    RangeLimiter,
+    select_displacement_dr,
+    select_displacement_ds,
+)
+
+
+def make_limiter(**kw):
+    defaults = dict(full_span_x=1000.0, full_span_y=800.0, t_infinity=1e5, rho=4.0)
+    defaults.update(kw)
+    return RangeLimiter(**defaults)
+
+
+class TestValidation:
+    def test_bad_spans(self):
+        with pytest.raises(ValueError):
+            make_limiter(full_span_x=0)
+
+    def test_bad_rho(self):
+        with pytest.raises(ValueError):
+            make_limiter(rho=0.5)
+        with pytest.raises(ValueError):
+            make_limiter(rho=11)
+
+    def test_bad_t_infinity(self):
+        with pytest.raises(ValueError):
+            make_limiter(t_infinity=0)
+
+
+class TestWindow:
+    def test_full_at_t_infinity(self):
+        lim = make_limiter()
+        assert lim.window_x(1e5) == pytest.approx(1000.0)
+        assert lim.window_y(1e5) == pytest.approx(800.0)
+
+    def test_shrinks_with_temperature(self):
+        lim = make_limiter()
+        temps = [1e5, 1e4, 1e3, 1e2, 1e1]
+        spans = [lim.window_x(t) for t in temps]
+        assert all(a >= b for a, b in zip(spans, spans[1:]))
+
+    def test_eqn12_form(self):
+        # W(T) = W_inf * rho**log10(T) / rho**log10(T_inf)
+        lim = make_limiter()
+        t = 1e3
+        expected = 1000.0 * 4.0 ** math.log10(t) / 4.0 ** math.log10(1e5)
+        assert lim.window_x(t) == pytest.approx(expected)
+
+    def test_floor_at_min_span(self):
+        lim = make_limiter()
+        assert lim.window_x(1e-9) == MIN_WINDOW_SPAN
+
+    def test_rho_one_never_shrinks(self):
+        lim = make_limiter(rho=1.0)
+        assert lim.window_x(1e-3) == pytest.approx(1000.0)
+        assert not lim.at_minimum(1e-6)
+
+    def test_at_minimum(self):
+        lim = make_limiter()
+        assert not lim.at_minimum(1e5)
+        assert lim.at_minimum(1e-9)
+
+    def test_larger_rho_shrinks_faster(self):
+        lo = make_limiter(rho=2.0)
+        hi = make_limiter(rho=8.0)
+        t = 1e3
+        assert hi.window_x(t) < lo.window_x(t)
+
+
+class TestMuInversion:
+    """Eqn 28: T' = mu**log_rho(10) * T_inf."""
+
+    @given(st.floats(0.001, 1.0, exclude_min=True, allow_nan=False))
+    def test_roundtrip(self, mu):
+        lim = make_limiter(full_span_x=1e6, full_span_y=1e6)
+        t = lim.temperature_for_fraction(mu)
+        # Window at T' should be the fraction mu of the full span.
+        assert lim.window_x(t) / 1e6 == pytest.approx(mu, rel=1e-6)
+
+    def test_paper_value(self):
+        lim = make_limiter()
+        t = lim.temperature_for_fraction(0.03)
+        expected = 0.03 ** math.log(10, 4) * 1e5
+        assert t == pytest.approx(expected)
+
+    def test_bad_mu(self):
+        with pytest.raises(ValueError):
+            make_limiter().temperature_for_fraction(0.0)
+
+    def test_rho_one_rejected(self):
+        with pytest.raises(ValueError):
+            make_limiter(rho=1.0).temperature_for_fraction(0.5)
+
+
+class TestSelectors:
+    def test_ds_points_within_half_window(self):
+        lim = make_limiter()
+        rng = random.Random(0)
+        t = 1e4
+        for _ in range(200):
+            x, y = select_displacement_ds(rng, (0.0, 0.0), lim, t)
+            assert abs(x) <= lim.window_x(t) / 2 + 1e-9
+            assert abs(y) <= lim.window_y(t) / 2 + 1e-9
+
+    def test_ds_never_returns_center(self):
+        lim = make_limiter()
+        rng = random.Random(1)
+        for _ in range(200):
+            assert select_displacement_ds(rng, (5.0, 5.0), lim, 1e4) != (5.0, 5.0)
+
+    def test_ds_grid_structure(self):
+        # All offsets must be integer multiples of the step.
+        lim = make_limiter()
+        rng = random.Random(2)
+        t = 1e4
+        step_x = lim.window_x(t) / 6.0
+        for _ in range(100):
+            x, _ = select_displacement_ds(rng, (0.0, 0.0), lim, t)
+            assert (x / step_x) == pytest.approx(round(x / step_x), abs=1e-9)
+
+    def test_ds_covers_48_points(self):
+        lim = make_limiter()
+        rng = random.Random(3)
+        t = 1e4
+        points = {
+            select_displacement_ds(rng, (0.0, 0.0), lim, t) for _ in range(5000)
+        }
+        assert len(points) == 48
+
+    def test_ds_minimum_step_is_one(self):
+        lim = make_limiter()
+        rng = random.Random(4)
+        # At minimum window span (6), the step is 1 grid unit.
+        points = {
+            select_displacement_ds(rng, (0.0, 0.0), lim, 1e-9) for _ in range(2000)
+        }
+        assert all(abs(x) <= 3 and abs(y) <= 3 for x, y in points)
+        assert (1.0, 0.0) in points
+
+    def test_dr_uniform_within_window(self):
+        lim = make_limiter()
+        rng = random.Random(5)
+        t = 1e4
+        for _ in range(200):
+            x, y = select_displacement_dr(rng, (0.0, 0.0), lim, t)
+            assert abs(x) <= lim.window_x(t) / 2
+            assert abs(y) <= lim.window_y(t) / 2
+
+    def test_dr_continuous(self):
+        lim = make_limiter()
+        rng = random.Random(6)
+        points = {select_displacement_dr(rng, (0.0, 0.0), lim, 1e4) for _ in range(100)}
+        assert len(points) == 100  # continuous draws never collide

@@ -1,0 +1,117 @@
+"""Cooling schedules: Tables 1-2 and the S_T scaling of Eqns 19-21."""
+
+import pytest
+
+from repro.annealing import (
+    REFERENCE_CELL_AREA,
+    REFERENCE_T_INFINITY,
+    STAGE1_TABLE,
+    STAGE2_TABLE,
+    CoolingSchedule,
+    stage1_schedule,
+    stage2_schedule,
+    temperature_scale,
+)
+
+
+class TestTemperatureScale:
+    def test_reference_is_unity(self):
+        assert temperature_scale(REFERENCE_CELL_AREA) == 1.0
+
+    def test_proportional(self):
+        assert temperature_scale(2 * REFERENCE_CELL_AREA) == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            temperature_scale(0)
+
+
+class TestCoolingScheduleValidation:
+    def test_alpha_out_of_range(self):
+        with pytest.raises(ValueError):
+            CoolingSchedule(((10.0, 1.0), (0.0, 0.8)))
+
+    def test_thresholds_must_descend(self):
+        with pytest.raises(ValueError):
+            CoolingSchedule(((10.0, 0.9), (20.0, 0.8), (0.0, 0.8)))
+
+    def test_needs_catch_all(self):
+        with pytest.raises(ValueError):
+            CoolingSchedule(((10.0, 0.9),))
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            CoolingSchedule(STAGE1_TABLE, scale=0)
+
+
+class TestTable1:
+    """The exact alpha(T_old) bands of Table 1."""
+
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (1e5, 0.85),
+            (7000, 0.85),
+            (6999, 0.92),
+            (200, 0.92),
+            (199, 0.85),
+            (10, 0.85),
+            (9.9, 0.80),
+            (0.001, 0.80),
+        ],
+    )
+    def test_bands(self, t, expected):
+        schedule = stage1_schedule(REFERENCE_CELL_AREA)
+        assert schedule.alpha(t) == expected
+
+    def test_scaled_bands(self):
+        schedule = stage1_schedule(2 * REFERENCE_CELL_AREA)  # S_T = 2
+        assert schedule.alpha(14000) == 0.85
+        assert schedule.alpha(13999) == 0.92
+
+    def test_t_infinity_scales(self):
+        assert stage1_schedule(REFERENCE_CELL_AREA).t_infinity == REFERENCE_T_INFINITY
+        assert (
+            stage1_schedule(3 * REFERENCE_CELL_AREA).t_infinity
+            == 3 * REFERENCE_T_INFINITY
+        )
+
+
+class TestTable2:
+    @pytest.mark.parametrize("t,expected", [(100, 0.82), (10, 0.82), (9, 0.70)])
+    def test_bands(self, t, expected):
+        schedule = stage2_schedule(REFERENCE_CELL_AREA)
+        assert schedule.alpha(t) == expected
+
+    def test_custom_start(self):
+        schedule = stage2_schedule(REFERENCE_CELL_AREA, t_start=123.0)
+        assert schedule.t_infinity == 123.0
+
+
+class TestLadder:
+    def test_next_temperature(self):
+        schedule = stage1_schedule()
+        assert schedule.next_temperature(1e5) == pytest.approx(0.85e5)
+
+    def test_monotone_decreasing(self):
+        schedule = stage1_schedule()
+        temps = schedule.temperatures(t_floor=1.0)
+        assert all(a > b for a, b in zip(temps, temps[1:]))
+
+    def test_ladder_count_near_paper(self):
+        # The paper targets about 120 temperature values over the full
+        # range; our ladder from T-inf down to S_T*1 should be comparable.
+        temps = stage1_schedule().temperatures(t_floor=1.0)
+        assert 80 <= len(temps) <= 160
+
+    def test_ladder_respects_floor(self):
+        temps = stage1_schedule().temperatures(t_floor=100.0)
+        assert temps[-1] > 100.0
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            stage1_schedule().temperatures(t_floor=0)
+
+    def test_tables_are_paper_values(self):
+        assert STAGE1_TABLE == ((7000.0, 0.85), (200.0, 0.92), (10.0, 0.85), (0.0, 0.80))
+        assert STAGE2_TABLE == ((10.0, 0.82), (0.0, 0.70))

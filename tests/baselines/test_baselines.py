@@ -1,0 +1,102 @@
+"""The comparator placers of Table 4."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    GreedyPlacer,
+    QuadraticPlacer,
+    RandomPlacer,
+)
+from repro.placement.legalize import raw_overlap
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return make_macro_circuit(num_cells=8, seed=13)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("placer_cls", ALL_BASELINES)
+    def test_produces_legal_placement(self, placer_cls, circuit):
+        result = placer_cls(seed=0).place(circuit)
+        shapes = [result.state.world_shape(n) for n in result.state.names]
+        assert raw_overlap(shapes) == pytest.approx(0.0, abs=1e-6)
+
+    @pytest.mark.parametrize("placer_cls", ALL_BASELINES)
+    def test_metrics_positive(self, placer_cls, circuit):
+        result = placer_cls(seed=0).place(circuit)
+        assert result.teil > 0
+        assert result.chip_area > 0
+
+    @pytest.mark.parametrize("placer_cls", ALL_BASELINES)
+    def test_deterministic(self, placer_cls, circuit):
+        a = placer_cls(seed=4).place(circuit)
+        b = placer_cls(seed=4).place(circuit)
+        assert a.teil == b.teil
+        assert a.chip_area == b.chip_area
+
+    @pytest.mark.parametrize("placer_cls", ALL_BASELINES)
+    def test_handles_mixed_circuits(self, placer_cls):
+        result = placer_cls(seed=1).place(make_mixed_circuit())
+        assert result.teil > 0
+
+    def test_names_distinct(self):
+        names = {cls.name for cls in ALL_BASELINES}
+        assert names == {"random", "greedy", "quadratic", "slicing"}
+
+
+class TestRelativeQuality:
+    def test_greedy_beats_random_on_average(self, circuit):
+        random_teils = [
+            RandomPlacer(seed=s).place(circuit).teil for s in range(3)
+        ]
+        greedy_teil = GreedyPlacer(seed=0).place(circuit).teil
+        assert greedy_teil < sum(random_teils) / len(random_teils)
+
+    def test_quadratic_beats_random_on_average(self, circuit):
+        random_teils = [
+            RandomPlacer(seed=s).place(circuit).teil for s in range(3)
+        ]
+        quad_teil = QuadraticPlacer(seed=0).place(circuit).teil
+        assert quad_teil < sum(random_teils) / len(random_teils)
+
+    def test_random_seed_variation(self, circuit):
+        a = RandomPlacer(seed=0).place(circuit)
+        b = RandomPlacer(seed=1).place(circuit)
+        assert a.teil != b.teil
+
+
+class TestRouteBaseline:
+    def test_routed_area_covers_raw_cells(self, circuit):
+        from repro.baselines import route_baseline
+        from repro.geometry import Rect
+
+        result = GreedyPlacer(seed=0).place(circuit)
+        routed = route_baseline(result, m_routes=4, seed=0)
+        state = routed.state
+        raw_bbox = Rect.bounding(
+            state.world_shape(n).bbox for n in state.names
+        )
+        # The routed chip must at least cover the bare cells plus the
+        # reserved channel space around them.
+        assert routed.chip_area >= raw_bbox.area
+        assert routed.name == "greedy"
+
+    def test_placement_stays_legal(self, circuit):
+        from repro.baselines import route_baseline
+        from repro.placement.legalize import raw_overlap
+
+        result = RandomPlacer(seed=2).place(circuit)
+        routed = route_baseline(result, m_routes=4, seed=0)
+        shapes = [routed.state.world_shape(n) for n in routed.state.names]
+        assert raw_overlap(shapes) == 0.0
+
+    def test_static_expansions_applied(self, circuit):
+        from repro.baselines import route_baseline
+
+        result = GreedyPlacer(seed=1).place(circuit)
+        routed = route_baseline(result, m_routes=4, seed=0)
+        assert not routed.state.dynamic_expansion

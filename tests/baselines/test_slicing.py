@@ -1,0 +1,221 @@
+"""The Wong-Liu slicing floorplanner."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import SlicingPlacer
+from repro.baselines.slicing import (
+    H,
+    V,
+    PolishExpression,
+    Shape,
+    block_shapes,
+    evaluate,
+    realize,
+    _prune,
+)
+from repro.netlist import ContinuousAspectRatio, CustomCell, MacroCell, Pin, PinKind
+from repro.placement.legalize import raw_overlap
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+
+class TestPolishExpression:
+    def test_initial_valid(self):
+        expr = PolishExpression.initial(5)
+        assert sorted(t for t in expr.tokens if isinstance(t, int)) == list(range(5))
+
+    def test_initial_single_block(self):
+        assert PolishExpression.initial(1).tokens == [0]
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            PolishExpression([0, 1, V, 2, V, 3, V, V])  # balloting fails
+        with pytest.raises(ValueError):
+            PolishExpression([0, 1, 2, V, V, 3, H, H])  # hmm: check below
+
+    def test_rejects_adjacent_same_operators(self):
+        with pytest.raises(ValueError):
+            PolishExpression([0, 1, 2, V, V])
+
+    def test_rejects_incomplete(self):
+        with pytest.raises(ValueError):
+            PolishExpression([0, 1])
+
+    def test_m1_preserves_validity(self):
+        rng = random.Random(0)
+        expr = PolishExpression.initial(6)
+        for _ in range(50):
+            expr = expr.swap_adjacent_operands(rng)
+        expr._validate()
+
+    def test_m2_preserves_validity(self):
+        rng = random.Random(1)
+        expr = PolishExpression.initial(6)
+        for _ in range(50):
+            expr = expr.complement_chain(rng)
+        expr._validate()
+
+    def test_m3_preserves_validity(self):
+        rng = random.Random(2)
+        expr = PolishExpression.initial(6)
+        for _ in range(100):
+            nxt = expr.swap_operand_operator(rng)
+            if nxt is not None:
+                expr = nxt
+        expr._validate()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_walk_keeps_operand_set(self, seed):
+        rng = random.Random(seed)
+        expr = PolishExpression.initial(5)
+        for _ in range(30):
+            roll = rng.random()
+            if roll < 0.4:
+                expr = expr.swap_adjacent_operands(rng)
+            elif roll < 0.7:
+                expr = expr.complement_chain(rng)
+            else:
+                nxt = expr.swap_operand_operator(rng)
+                if nxt is not None:
+                    expr = nxt
+        operands = sorted(t for t in expr.tokens if isinstance(t, int))
+        assert operands == list(range(5))
+
+
+class TestShapeCurves:
+    def test_prune_removes_dominated(self):
+        shapes = [Shape(2, 5), Shape(3, 5), Shape(3, 4), Shape(5, 1)]
+        pruned = _prune(shapes)
+        assert Shape(3, 5) not in pruned
+        assert Shape(2, 5) in pruned and Shape(5, 1) in pruned
+
+    def test_macro_offers_rotation(self):
+        cell = MacroCell.rectangular(
+            "m", 10, 4, [Pin("p", "n", PinKind.FIXED, offset=(0, 2))]
+        )
+        shapes = block_shapes(cell)
+        dims = {(s.width, s.height) for s in shapes}
+        assert (10, 4) in dims and (4, 10) in dims
+
+    def test_custom_samples_aspects(self):
+        cell = CustomCell(
+            "c",
+            [Pin("p", "n", PinKind.EDGE)],
+            area=100.0,
+            aspect=ContinuousAspectRatio(0.5, 2.0),
+        )
+        shapes = block_shapes(cell)
+        assert len(shapes) >= 3
+        for s in shapes:
+            assert s.width * s.height == pytest.approx(100.0)
+
+
+class TestEvaluateRealize:
+    def curves(self):
+        return [
+            [Shape(4, 2), Shape(2, 4)],
+            [Shape(3, 3)],
+            [Shape(6, 1), Shape(1, 6)],
+        ]
+
+    def test_area_lower_bound(self):
+        expr = PolishExpression.initial(3)
+        _, best = evaluate(expr, self.curves())
+        assert best.width * best.height >= 8 + 9 + 6  # sum of block areas
+
+    def test_realization_no_overlap(self):
+        expr = PolishExpression([0, 1, V, 2, H])
+        root, best = evaluate(expr, self.curves())
+        placed = {}
+        realize(root, best, 0.0, 0.0, placed)
+        rects = []
+        from repro.geometry import Rect
+
+        for x, y, shape in placed.values():
+            rects.append(Rect(x, y, x + shape.width, y + shape.height))
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert not rects[i].intersects(rects[j])
+
+    def test_realization_fits_root_shape(self):
+        expr = PolishExpression([0, 1, V, 2, H])
+        root, best = evaluate(expr, self.curves())
+        placed = {}
+        realize(root, best, 0.0, 0.0, placed)
+        for x, y, shape in placed.values():
+            assert x + shape.width <= best.width + 1e-9
+            assert y + shape.height <= best.height + 1e-9
+
+    def test_all_blocks_placed(self):
+        expr = PolishExpression([0, 1, V, 2, H])
+        root, best = evaluate(expr, self.curves())
+        placed = {}
+        realize(root, best, 0.0, 0.0, placed)
+        assert set(placed) == {0, 1, 2}
+
+
+class TestSlicingPlacer:
+    def test_legal_and_compact(self):
+        circuit = make_macro_circuit(num_cells=7, seed=9)
+        result = SlicingPlacer(seed=0).place(circuit)
+        shapes = [result.state.world_shape(n) for n in result.state.names]
+        assert raw_overlap(shapes) == pytest.approx(0.0, abs=1e-6)
+        # A slicing packing should be denser than the sized core.
+        assert result.chip_area < result.state.core.area * 1.5
+
+    def test_handles_custom_cells(self):
+        result = SlicingPlacer(seed=1).place(make_mixed_circuit())
+        state = result.state
+        for cell in state.circuit.custom_cells():
+            record = state.records[state.index[cell.name]]
+            assert cell.aspect.contains(record.aspect_ratio)
+
+    def test_deterministic(self):
+        circuit = make_macro_circuit(num_cells=6, seed=5)
+        a = SlicingPlacer(seed=3).place(circuit)
+        b = SlicingPlacer(seed=3).place(make_macro_circuit(num_cells=6, seed=5))
+        assert a.teil == b.teil
+
+    def test_orientation_written_back(self):
+        # A macro realized with rotated dims must carry orientation 1.
+        circuit = make_macro_circuit(num_cells=5, seed=11)
+        result = SlicingPlacer(seed=2).place(circuit)
+        state = result.state
+        for idx, name in enumerate(state.names):
+            cell = state.circuit.cells[name]
+            record = state.records[idx]
+            bbox = state.world_shape(name).bbox
+            inst = cell.instances[record.instance].shape.bbox
+            if record.orientation == 1:
+                assert (bbox.width, bbox.height) == pytest.approx(
+                    (inst.height, inst.width)
+                )
+            else:
+                assert (bbox.width, bbox.height) == pytest.approx(
+                    (inst.width, inst.height)
+                )
+
+
+class TestDegenerateExpressions:
+    def test_single_block_moves_are_noops(self):
+        rng = random.Random(0)
+        expr = PolishExpression.initial(1)
+        assert expr.swap_adjacent_operands(rng) is expr
+        assert expr.complement_chain(rng) is expr
+
+    def test_single_block_placer(self):
+        from repro.netlist import MacroCell, Pin, PinKind
+        from repro.netlist import Circuit
+
+        solo = Circuit(
+            "solo",
+            [MacroCell.rectangular(
+                "a", 10, 8, [Pin("p", "n", PinKind.FIXED, offset=(5, 0))]
+            )],
+        )
+        result = SlicingPlacer(seed=0).place(solo)
+        assert result.chip_area > 0

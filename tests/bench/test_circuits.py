@@ -1,0 +1,134 @@
+"""The synthetic circuit generator and the nine-circuit suite."""
+
+import pytest
+
+from repro.bench import (
+    CIRCUIT_NAMES,
+    PAPER_STATS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    SMALL_CIRCUITS,
+    CircuitSpec,
+    generate_circuit,
+    load_circuit,
+    load_suite,
+    spec_for,
+)
+from repro.netlist import dumps
+
+
+class TestSpecValidation:
+    def test_needs_cells(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("x", 0, 1, 2)
+
+    def test_needs_two_pins_per_net(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("x", 4, 10, 19)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("x", 4, 5, 20, custom_fraction=1.5)
+
+
+class TestGenerator:
+    def spec(self, **kw):
+        defaults = dict(
+            name="gen", num_cells=10, num_nets=15, num_pins=50, seed=3
+        )
+        defaults.update(kw)
+        return CircuitSpec(**defaults)
+
+    def test_exact_counts(self):
+        ckt = generate_circuit(self.spec())
+        assert ckt.num_cells == 10
+        assert ckt.num_nets == 15
+        assert ckt.num_pins == 50
+
+    def test_every_net_spans_two_cells(self):
+        ckt = generate_circuit(self.spec(seed=5))
+        for net in ckt.nets.values():
+            assert len(set(net.cells())) >= 2
+
+    def test_deterministic(self):
+        a = generate_circuit(self.spec())
+        b = generate_circuit(self.spec())
+        assert dumps(a) == dumps(b)
+
+    def test_seed_changes_circuit(self):
+        a = generate_circuit(self.spec(seed=1))
+        b = generate_circuit(self.spec(seed=2))
+        assert dumps(a) != dumps(b)
+
+    def test_custom_fraction(self):
+        ckt = generate_circuit(self.spec(custom_fraction=0.4))
+        assert len(ckt.custom_cells()) == 4
+
+    def test_rectilinear_cells_present(self):
+        ckt = generate_circuit(self.spec(rectilinear_fraction=1.0))
+        multi_tile = [
+            c
+            for c in ckt.macro_cells()
+            if len(c.instances[0].shape.tiles) > 1
+        ]
+        assert multi_tile
+
+    def test_macro_pins_on_boundary(self):
+        ckt = generate_circuit(self.spec(rectilinear_fraction=1.0))
+        for cell in ckt.macro_cells():
+            shape = cell.instances[0].shape
+            for pin in cell.pins.values():
+                x, y = pin.offset
+                on_edge = any(
+                    (e.is_vertical and abs(x - e.position) < 1e-6 and e.lo <= y <= e.hi)
+                    or (not e.is_vertical and abs(y - e.position) < 1e-6 and e.lo <= x <= e.hi)
+                    for e in shape.boundary_edges()
+                )
+                assert on_edge, f"{cell.name}.{pin.name} off boundary"
+
+    def test_equivalent_pins_share_net(self):
+        ckt = generate_circuit(self.spec(seed=8))
+        for cell in ckt.macro_cells():
+            by_class = {}
+            for pin in cell.pins.values():
+                if pin.equiv_class:
+                    by_class.setdefault(pin.equiv_class, set()).add(pin.net)
+            for nets in by_class.values():
+                assert len(nets) == 1
+
+    def test_valid_netlist(self):
+        ckt = generate_circuit(self.spec(seed=9))
+        assert ckt.validate() == []
+
+
+class TestSuite:
+    def test_names(self):
+        assert set(CIRCUIT_NAMES) == set(PAPER_STATS)
+        assert set(SMALL_CIRCUITS) <= set(CIRCUIT_NAMES)
+
+    @pytest.mark.parametrize("name", ["i3", "p1", "x1", "d3"])
+    def test_published_stats_matched(self, name):
+        ckt = load_circuit(name)
+        assert (ckt.num_cells, ckt.num_nets, ckt.num_pins) == PAPER_STATS[name]
+
+    def test_spec_for_unknown(self):
+        with pytest.raises(KeyError):
+            spec_for("zz9")
+
+    def test_trials_differ(self):
+        a = load_circuit("i3", trial=0)
+        b = load_circuit("i3", trial=1)
+        assert dumps(a) != dumps(b)
+
+    def test_load_suite_subset(self):
+        suite = load_suite(["i3", "p1"])
+        assert set(suite) == {"i3", "p1"}
+
+    def test_paper_tables_cover_all_circuits(self):
+        assert set(PAPER_TABLE3) == set(PAPER_STATS)
+        assert set(PAPER_TABLE4) == set(PAPER_STATS)
+
+    def test_paper_table4_averages(self):
+        # Sanity on transcription: the paper reports avg 24.9 % TEIL red.
+        reductions = [row[2] for row in PAPER_TABLE4.values()]
+        assert sum(reductions) / len(reductions) == pytest.approx(24.9, abs=0.2)

@@ -1,0 +1,48 @@
+"""Measurement helpers."""
+
+import pytest
+
+from repro.bench import SeriesStats, format_table, mean, reduction_pct
+
+
+class TestReduction:
+    def test_positive_when_smaller(self):
+        assert reduction_pct(100, 75) == 25.0
+
+    def test_negative_when_larger(self):
+        assert reduction_pct(100, 110) == pytest.approx(-10.0)
+
+    def test_zero_baseline(self):
+        assert reduction_pct(0, 50) == 0.0
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestSeriesStats:
+    def test_aggregates(self):
+        s = SeriesStats([3.0, 1.0, 2.0])
+        assert (s.mean, s.min, s.max, s.count) == (2.0, 1.0, 3.0, 3)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.234], ["bb", None], ["c", 10]]
+        )
+        lines = out.splitlines()
+        assert len(lines) == 5
+        assert "1.2" in out
+        assert "-" in lines[1]
+        assert "10" in lines[4]
+
+    def test_wide_cells_stretch_columns(self):
+        out = format_table(["h"], [["wide content"]])
+        header = out.splitlines()[0]
+        assert len(header) >= len("wide content")

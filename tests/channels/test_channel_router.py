@@ -1,0 +1,142 @@
+"""The vertical-constraint-aware channel router."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channels import (
+    ChannelCycleError,
+    ChannelPin,
+    channel_density_of_pins,
+    net_intervals,
+    route_channel,
+    validate_route,
+    vertical_constraints,
+)
+
+
+def P(net, column, side):
+    return ChannelPin(net, column, side)
+
+
+class TestBasics:
+    def test_pin_validation(self):
+        with pytest.raises(ValueError):
+            ChannelPin("n", 0.0, "left")
+
+    def test_intervals(self):
+        pins = [P("a", 0, "top"), P("a", 5, "bottom"), P("b", 3, "top")]
+        iv = net_intervals(pins)
+        assert iv["a"] == (0, 5)
+        assert iv["b"] == (3, 3)
+
+    def test_constraints_from_shared_column(self):
+        pins = [P("t", 2, "top"), P("b", 2, "bottom")]
+        above = vertical_constraints(pins)
+        assert above == {"t": {"b"}}
+
+    def test_no_self_constraint(self):
+        pins = [P("x", 2, "top"), P("x", 2, "bottom")]
+        assert vertical_constraints(pins) == {}
+
+    def test_density(self):
+        pins = [
+            P("a", 0, "top"), P("a", 4, "top"),
+            P("b", 2, "bottom"), P("b", 6, "bottom"),
+        ]
+        assert channel_density_of_pins(pins) == 2
+
+
+class TestRouting:
+    def test_unconstrained_matches_density(self):
+        pins = [
+            P("a", 0, "top"), P("a", 4, "top"),
+            P("b", 5, "top"), P("b", 9, "top"),
+        ]
+        route = route_channel(pins)
+        assert route.num_tracks == 1
+        assert validate_route(pins, route) == []
+
+    def test_constraint_orders_tracks(self):
+        pins = [
+            P("t", 2, "top"), P("t", 6, "top"),
+            P("b", 2, "bottom"), P("b", 8, "bottom"),
+        ]
+        route = route_channel(pins)
+        assert route.tracks["t"] < route.tracks["b"]
+        assert validate_route(pins, route) == []
+
+    def test_chain_forces_tracks(self):
+        # a above b above c, all overlapping: three tracks.
+        pins = [
+            P("a", 1, "top"), P("b", 1, "bottom"),
+            P("b", 2, "top"), P("c", 2, "bottom"),
+            P("a", 3, "top"), P("c", 4, "bottom"),
+        ]
+        route = route_channel(pins)
+        assert route.num_tracks == 3
+        assert route.tracks["a"] < route.tracks["b"] < route.tracks["c"]
+
+    def test_cycle_detected(self):
+        # a above b (column 1) and b above a (column 2): a dogleg case.
+        pins = [
+            P("a", 1, "top"), P("b", 1, "bottom"),
+            P("b", 2, "top"), P("a", 2, "bottom"),
+        ]
+        with pytest.raises(ChannelCycleError):
+            route_channel(pins)
+
+    def test_empty_channel(self):
+        route = route_channel([])
+        assert route.num_tracks == 0
+        assert route.tracks == {}
+
+    def test_t_le_d_plus_1_without_long_chains(self):
+        # The Eqn-22 premise on a realistic spread of two-pin nets with
+        # column-disjoint shores (acyclic, chains of length <= 2).
+        pins = []
+        for i in range(8):
+            pins.append(P(f"n{i}", 2 * i, "top"))
+            pins.append(P(f"n{i}", 2 * i + 5, "bottom"))
+        route = route_channel(pins)
+        d = channel_density_of_pins(pins)
+        assert route.num_tracks <= d + 1
+        assert validate_route(pins, route) == []
+
+
+class TestRandomInstances:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_random_acyclic_channels_are_legal(self, seed):
+        rng = random.Random(seed)
+        pins = []
+        # Offset shores so the VCG is acyclic by construction: top pins on
+        # even columns, bottom pins on odd columns (no shared columns).
+        for i in range(rng.randint(2, 12)):
+            net = f"n{i}"
+            cols = rng.sample(range(0, 40, 2), 2)
+            pins.append(P(net, cols[0], "top"))
+            pins.append(P(net, cols[1] + 1, "bottom"))
+        route = route_channel(pins)
+        assert validate_route(pins, route) == []
+        # Without constraints the left-edge bound holds exactly.
+        assert route.num_tracks == channel_density_of_pins(pins)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_random_constrained_channels(self, seed):
+        rng = random.Random(seed)
+        pins = []
+        for i in range(rng.randint(2, 10)):
+            net = f"n{i}"
+            for _ in range(2):
+                pins.append(
+                    P(net, rng.randint(0, 15), rng.choice(["top", "bottom"]))
+                )
+        try:
+            route = route_channel(pins)
+        except ChannelCycleError:
+            return  # cyclic instances are legitimately rejected
+        assert validate_route(pins, route) == []
+        assert route.num_tracks >= channel_density_of_pins(pins) - 1

@@ -1,0 +1,89 @@
+"""Free-space strip decomposition."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channels import decompose_free_space, free_area
+from repro.geometry import Rect, TileSet
+
+
+class TestEmptyAndFull:
+    def test_no_cells_single_strip(self):
+        boundary = Rect(0, 0, 10, 10)
+        strips = decompose_free_space([], boundary)
+        assert strips == [boundary]
+
+    def test_fully_covered(self):
+        boundary = Rect(0, 0, 10, 10)
+        cell = TileSet([Rect(0, 0, 10, 10)], check_connected=False)
+        assert decompose_free_space([cell], boundary) == []
+
+    def test_cell_outside_boundary_ignored(self):
+        boundary = Rect(0, 0, 10, 10)
+        cell = TileSet([Rect(100, 100, 110, 110)])
+        assert decompose_free_space([cell], boundary) == [boundary]
+
+
+class TestSingleCell:
+    def test_ring_decomposition(self):
+        boundary = Rect(0, 0, 30, 30)
+        cell = TileSet([Rect(10, 10, 20, 20)])
+        strips = decompose_free_space([cell], boundary)
+        # Bottom band, left/right middle strips, top band.
+        assert len(strips) == 4
+        assert sum(s.area for s in strips) == pytest.approx(900 - 100)
+
+    def test_strips_disjoint(self):
+        boundary = Rect(0, 0, 30, 30)
+        cell = TileSet([Rect(10, 10, 20, 20)])
+        strips = decompose_free_space([cell], boundary)
+        for i in range(len(strips)):
+            for j in range(i + 1, len(strips)):
+                assert not strips[i].intersects(strips[j])
+
+    def test_strips_avoid_cell(self):
+        boundary = Rect(0, 0, 30, 30)
+        tile = Rect(10, 10, 20, 20)
+        strips = decompose_free_space([TileSet([tile])], boundary)
+        for s in strips:
+            assert not s.intersects(tile)
+
+    def test_vertical_merging_maximal(self):
+        # The left strip must span the full boundary height next to the
+        # full-height obstacle.
+        boundary = Rect(0, 0, 30, 10)
+        cell = TileSet([Rect(10, 0, 20, 10)])
+        strips = decompose_free_space([cell], boundary)
+        assert sorted((s.x1, s.x2) for s in strips) == [(0, 10), (20, 30)]
+        assert all(s.height == 10 for s in strips)
+
+
+class TestAreaInvariant:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_free_area_complements_cells(self, seed):
+        rng = random.Random(seed)
+        boundary = Rect(0, 0, 100, 100)
+        cells = []
+        placed = []
+        for _ in range(rng.randint(1, 6)):
+            w, h = rng.randint(5, 25), rng.randint(5, 25)
+            for _ in range(50):
+                x = rng.randint(0, 100 - w)
+                y = rng.randint(0, 100 - h)
+                cand = Rect(x, y, x + w, y + h)
+                if not any(cand.intersects(p) for p in placed):
+                    placed.append(cand)
+                    cells.append(TileSet([cand]))
+                    break
+        total_cells = sum(p.area for p in placed)
+        assert free_area(cells, boundary) == pytest.approx(
+            boundary.area - total_cells
+        )
+
+    def test_rectilinear_cells(self):
+        boundary = Rect(-20, -20, 20, 20)
+        l = TileSet.l_shape(16, 16, 6, 6)
+        assert free_area([l], boundary) == pytest.approx(1600 - l.area)

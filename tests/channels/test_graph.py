@@ -1,0 +1,107 @@
+"""The routing graph: adjacency, capacities, pin attachment."""
+
+import pytest
+
+from repro.channels import (
+    ChannelGraph,
+    decompose_free_space,
+    extract_critical_regions,
+)
+from repro.geometry import Rect, TileSet
+
+
+def ring_graph(track_spacing=1.0):
+    boundary = Rect(0, 0, 30, 30)
+    cell = TileSet([Rect(10, 10, 20, 20)])
+    strips = decompose_free_space([cell], boundary)
+    return ChannelGraph(strips, track_spacing), strips
+
+
+class TestConstruction:
+    def test_bad_track_spacing(self):
+        with pytest.raises(ValueError):
+            ChannelGraph([], track_spacing=0)
+
+    def test_ring_connectivity(self):
+        graph, strips = ring_graph()
+        # The four strips around a centered obstacle form a cycle.
+        assert graph.num_free_nodes == 4
+        assert len(graph.edges()) == 4
+        for node in range(4):
+            assert len(list(graph.neighbors(node))) == 2
+
+    def test_positions_at_centers(self):
+        graph, strips = ring_graph()
+        for i, s in enumerate(strips):
+            c = s.center
+            assert graph.positions[i] == (c.x, c.y)
+
+    def test_capacity_from_shared_segment(self):
+        graph, strips = ring_graph(track_spacing=2.0)
+        for e in graph.edges():
+            a, b = strips[e.u], strips[e.v]
+            # Every adjacency here shares a 10-unit segment -> 5 tracks.
+            assert e.capacity == 5
+
+    def test_corner_contact_not_connected(self):
+        rects = [Rect(0, 0, 10, 10), Rect(10, 10, 20, 20)]
+        graph = ChannelGraph(rects)
+        assert graph.edges() == []
+
+    def test_edge_lookup(self):
+        graph, _ = ring_graph()
+        e = graph.edges()[0]
+        assert graph.edge(e.u, e.v) is graph.edge(e.v, e.u)
+        assert graph.edge_capacity(e.u, e.v) == e.capacity
+
+
+class TestPins:
+    def test_attach_pin_on_strip(self):
+        graph, strips = ring_graph()
+        node = graph.attach_pin("cell", "p", (15.0, 5.0))
+        assert node is not None
+        assert graph.is_pin_node(node)
+        host = graph.pin_host(node)
+        assert strips[host].contains_point(15.0, 5.0)
+
+    def test_pin_edge_uncapacitated(self):
+        graph, _ = ring_graph()
+        node = graph.attach_pin("cell", "p", (15.0, 5.0))
+        (neighbor, _), = list(graph.neighbors(node))
+        assert graph.edge_capacity(node, neighbor) is None
+
+    def test_pin_outside_finds_nearest(self):
+        graph, strips = ring_graph()
+        node = graph.attach_pin("cell", "p", (15.0, 12.0))  # inside obstacle
+        assert node is not None
+
+    def test_pin_registry(self):
+        graph, _ = ring_graph()
+        node = graph.attach_pin("cellX", "pinY", (1.0, 1.0))
+        assert graph.pin_nodes[("cellX", "pinY")] == node
+
+    def test_empty_graph_returns_none(self):
+        graph = ChannelGraph([])
+        assert graph.attach_pin("c", "p", (0.0, 0.0)) is None
+
+    def test_node_counts(self):
+        graph, _ = ring_graph()
+        before = graph.num_nodes
+        graph.attach_pin("c", "p", (1.0, 1.0))
+        assert graph.num_nodes == before + 1
+        assert graph.num_free_nodes == 4
+
+
+class TestWithRegions:
+    def test_regions_carried(self):
+        shapes = {
+            "a": TileSet.rectangle(10, 10),
+            "b": TileSet.rectangle(10, 10).translated(14, 0),
+        }
+        regions = extract_critical_regions(shapes)
+        strips = decompose_free_space(
+            shapes.values(), Rect(-20, -20, 40, 20)
+        )
+        graph = ChannelGraph(strips, regions=regions)
+        assert graph.regions == regions
+        assert "critical regions" in repr(graph)

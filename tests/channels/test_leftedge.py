@@ -1,0 +1,118 @@
+"""The left-edge channel router and the t <= d + 1 guarantee."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channels import (
+    ChannelSegment,
+    channel_density,
+    left_edge_route,
+    tracks_used,
+)
+
+
+class TestChannelDensity:
+    def test_empty(self):
+        assert channel_density([]) == 0
+
+    def test_disjoint(self):
+        segs = [ChannelSegment("a", 0, 1), ChannelSegment("b", 2, 3)]
+        assert channel_density(segs) == 1
+
+    def test_nested(self):
+        segs = [
+            ChannelSegment("a", 0, 10),
+            ChannelSegment("b", 2, 4),
+            ChannelSegment("c", 3, 8),
+        ]
+        assert channel_density(segs) == 3
+
+    def test_touching_conflict(self):
+        segs = [ChannelSegment("a", 0, 5), ChannelSegment("b", 5, 10)]
+        assert channel_density(segs) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelSegment("a", 5, 0)
+
+
+class TestLeftEdgeRoute:
+    def test_empty(self):
+        assert left_edge_route([]) == {}
+        assert tracks_used({}) == 0
+
+    def test_disjoint_share_track(self):
+        segs = [ChannelSegment("a", 0, 1), ChannelSegment("b", 2, 3)]
+        assignment = left_edge_route(segs)
+        assert tracks_used(assignment) == 1
+
+    def test_overlapping_separate_tracks(self):
+        segs = [ChannelSegment("a", 0, 5), ChannelSegment("b", 3, 8)]
+        assignment = left_edge_route(segs)
+        assert assignment["a"] != assignment["b"]
+
+    def test_same_net_merged(self):
+        segs = [ChannelSegment("a", 0, 3), ChannelSegment("a", 5, 8)]
+        assignment = left_edge_route(segs)
+        assert tracks_used(assignment) == 1
+
+    def test_no_track_conflicts(self):
+        segs = [
+            ChannelSegment(f"n{i}", i * 2, i * 2 + 5) for i in range(10)
+        ]
+        assignment = left_edge_route(segs)
+        merged = {}
+        for s in segs:
+            lo, hi = merged.get(s.net, (s.lo, s.hi))
+            merged[s.net] = (min(lo, s.lo), max(hi, s.hi))
+        by_track = {}
+        for net, track in assignment.items():
+            by_track.setdefault(track, []).append(merged[net])
+        for intervals in by_track.values():
+            intervals.sort()
+            for (l1, h1), (l2, h2) in zip(intervals, intervals[1:]):
+                assert h1 < l2  # strictly disjoint on a track
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 100),
+                st.integers(1, 30),
+                st.integers(0, 25),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_tracks_equal_density(self, raw):
+        """Eqn 22's premise: without vertical constraints the left-edge
+        router achieves exactly t = d tracks (distinct nets)."""
+        segs = [
+            ChannelSegment(f"n{i}", lo, lo + span)
+            for i, (lo, span, _) in enumerate(raw)
+        ]
+        assignment = left_edge_route(segs)
+        assert tracks_used(assignment) == channel_density(segs)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(1, 20), st.integers(0, 8)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_merged_nets_within_bound(self, raw):
+        """With shared net names, the track count never exceeds the
+        merged-interval density."""
+        segs = [
+            ChannelSegment(f"n{net}", lo, lo + span) for lo, span, net in raw
+        ]
+        merged = {}
+        for s in segs:
+            lo, hi = merged.get(s.net, (s.lo, s.hi))
+            merged[s.net] = (min(lo, s.lo), max(hi, s.hi))
+        merged_segs = [
+            ChannelSegment(net, lo, hi) for net, (lo, hi) in merged.items()
+        ]
+        assignment = left_edge_route(segs)
+        assert tracks_used(assignment) == channel_density(merged_segs)

@@ -1,0 +1,170 @@
+"""Critical-region extraction (§4.1)."""
+
+import pytest
+
+from repro.channels import (
+    CORE_BOUNDARY,
+    HORIZONTAL,
+    VERTICAL,
+    CriticalRegion,
+    core_boundary_edges,
+    extract_critical_regions,
+)
+from repro.geometry import Rect, TileSet
+
+
+def two_cells_side_by_side(gap=4.0):
+    """Two 10x10 cells with a vertical channel of width ``gap`` between."""
+    a = TileSet.rectangle(10, 10)  # bbox [-5, 5]
+    b = TileSet.rectangle(10, 10).translated(10 + gap, 0)
+    return {"a": a, "b": b}
+
+
+class TestTwoCells:
+    def test_single_channel_between(self):
+        shapes = two_cells_side_by_side()
+        regions = extract_critical_regions(shapes)
+        assert len(regions) == 1
+        r = regions[0]
+        assert r.axis == VERTICAL
+        assert r.width == pytest.approx(4.0)
+        assert r.length == pytest.approx(10.0)
+        assert set(r.cells()) == {"a", "b"}
+
+    def test_region_rect(self):
+        regions = extract_critical_regions(two_cells_side_by_side())
+        assert regions[0].rect == Rect(5, -5, 9, 5)
+
+    def test_touching_cells_no_channel(self):
+        regions = extract_critical_regions(two_cells_side_by_side(gap=0.0))
+        assert regions == []
+
+    def test_offset_spans_common_extent(self):
+        # Shift b up by 4: the common span is 6 units.
+        shapes = {
+            "a": TileSet.rectangle(10, 10),
+            "b": TileSet.rectangle(10, 10).translated(14, 4),
+        }
+        regions = extract_critical_regions(shapes)
+        assert len(regions) == 1
+        assert regions[0].length == pytest.approx(6.0)
+
+    def test_disjoint_spans_no_channel(self):
+        shapes = {
+            "a": TileSet.rectangle(10, 10),
+            "b": TileSet.rectangle(10, 10).translated(14, 20),
+        }
+        assert extract_critical_regions(shapes) == []
+
+    def test_horizontal_channel(self):
+        shapes = {
+            "a": TileSet.rectangle(10, 10),
+            "b": TileSet.rectangle(10, 10).translated(0, 13),
+        }
+        regions = extract_critical_regions(shapes)
+        assert len(regions) == 1
+        assert regions[0].axis == HORIZONTAL
+        assert regions[0].width == pytest.approx(3.0)
+
+
+class TestBlocking:
+    def test_intervening_cell_blocks(self):
+        # c sits squarely between a and b: the long a-b channel is blocked,
+        # leaving the two short channels a-c and c-b.
+        shapes = {
+            "a": TileSet.rectangle(10, 10),
+            "b": TileSet.rectangle(10, 10).translated(30, 0),
+            "c": TileSet.rectangle(10, 10).translated(15, 0),
+        }
+        regions = extract_critical_regions(shapes)
+        pairs = {frozenset(r.cells()) for r in regions}
+        assert frozenset({"a", "b"}) not in pairs
+        assert frozenset({"a", "c"}) in pairs
+        assert frozenset({"c", "b"}) in pairs
+
+    def test_partial_blocker_still_blocks(self):
+        # c overlaps the a-b corridor only partially but intersects the
+        # candidate rectangle, so the a-b region is rejected.
+        shapes = {
+            "a": TileSet.rectangle(10, 10),
+            "b": TileSet.rectangle(10, 10).translated(30, 0),
+            "c": TileSet.rectangle(4, 4).translated(15, 4),
+        }
+        regions = extract_critical_regions(shapes)
+        pairs = {frozenset(r.cells()) for r in regions}
+        assert frozenset({"a", "b"}) not in pairs
+
+
+class TestCoreBoundary:
+    def test_boundary_channels(self):
+        shapes = {"a": TileSet.rectangle(10, 10)}
+        core = Rect(-20, -20, 20, 20)
+        regions = extract_critical_regions(shapes, core)
+        # One channel per side between the cell and the core boundary.
+        assert len(regions) == 4
+        for r in regions:
+            assert CORE_BOUNDARY in r.cells()
+            assert r.width == pytest.approx(15.0)
+
+    def test_no_core_no_boundary_channels(self):
+        shapes = {"a": TileSet.rectangle(10, 10)}
+        assert extract_critical_regions(shapes) == []
+
+    def test_core_boundary_edges_face_inward(self):
+        edges = core_boundary_edges(Rect(0, 0, 10, 10))
+        sides = {e.edge.side for e in edges}
+        assert sides == {"left", "right", "bottom", "top"}
+        assert all(e.cell == CORE_BOUNDARY for e in edges)
+
+
+class TestOverlappingRegions:
+    def test_notch_regions_overlap(self):
+        # The n8/n9/n11/n12 case of Figure 9: an L-shaped cell's notch is
+        # crossed both by a vertical-pair region (notch edge vs a cell to
+        # the right) and a horizontal-pair region (notch edge vs a cell
+        # above).  Both are kept, unlike Chen's bottlenecks.
+        l = TileSet(
+            [Rect(-10, -10, 10, 2), Rect(-10, 2, 2, 10)]  # notch at [2,10]^2
+        )
+        p = TileSet([Rect(2, 12, 10, 16)])  # above the notch
+        q = TileSet([Rect(12, 2, 16, 10)])  # right of the notch
+        regions = extract_critical_regions({"l": l, "p": p, "q": q})
+        vert = [r for r in regions if r.axis == VERTICAL]
+        horiz = [r for r in regions if r.axis == HORIZONTAL]
+        assert vert and horiz
+        overlapping = any(
+            v.rect.intersects(h.rect) for v in vert for h in horiz
+        )
+        assert overlapping
+
+
+class TestRectilinearCells:
+    def test_l_shape_inner_channel(self):
+        # An L-shaped cell and a square nestled near its notch.
+        l = TileSet.l_shape(20, 20, 8, 8)
+        probe = TileSet.rectangle(4, 4).translated(8, 8)
+        shapes = {"l": l, "p": probe}
+        regions = extract_critical_regions(shapes)
+        assert regions  # channels exist between the L's notch edges and p
+        for r in regions:
+            # No region may cover cell interior.
+            for shape in shapes.values():
+                for tile in shape.tiles:
+                    assert not tile.intersects(r.rect)
+
+
+class TestCriticalRegionClass:
+    def region(self):
+        return extract_critical_regions(two_cells_side_by_side())[0]
+
+    def test_capacity(self):
+        r = self.region()
+        assert r.capacity(1.0) == 4
+        assert r.capacity(3.0) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            self.region().capacity(0)
+
+    def test_center(self):
+        assert self.region().center == (7.0, 0.0)

@@ -1,0 +1,83 @@
+"""Target core sizing (§2.2, "Determining the Core Area")."""
+
+import pytest
+
+from repro.estimator import determine_core, effective_core_area
+from repro.geometry import Rect
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+
+class TestEffectiveCoreArea:
+    def test_zero_expansion_is_cell_area(self):
+        ckt = make_macro_circuit()
+        assert effective_core_area(ckt, 0.0) == pytest.approx(
+            ckt.total_cell_area()
+        )
+
+    def test_grows_with_expansion(self):
+        ckt = make_macro_circuit()
+        assert effective_core_area(ckt, 2.0) > effective_core_area(ckt, 1.0)
+
+
+class TestDetermineCore:
+    def test_core_centered_at_origin(self):
+        plan = determine_core(make_macro_circuit())
+        assert plan.core.center.x == pytest.approx(0.0)
+        assert plan.core.center.y == pytest.approx(0.0)
+
+    def test_core_bigger_than_cells(self):
+        ckt = make_macro_circuit()
+        plan = determine_core(ckt)
+        assert plan.area > ckt.total_cell_area()
+
+    def test_aspect_ratio_honored(self):
+        plan = determine_core(make_macro_circuit(), aspect_ratio=2.0)
+        assert plan.core.height / plan.core.width == pytest.approx(2.0)
+
+    def test_slack_scales_area(self):
+        ckt = make_macro_circuit()
+        tight = determine_core(ckt, slack=1.0)
+        loose = determine_core(ckt, slack=1.5)
+        assert loose.area > tight.area
+
+    def test_fixed_point_converged(self):
+        # More iterations should not change the answer materially.
+        ckt = make_macro_circuit()
+        a = determine_core(ckt, iterations=8)
+        b = determine_core(ckt, iterations=30)
+        assert a.area == pytest.approx(b.area, rel=1e-6)
+
+    def test_estimator_calibrated_to_core(self):
+        ckt = make_macro_circuit()
+        plan = determine_core(ckt)
+        assert plan.estimator.core == plan.core
+        assert plan.estimator.cw == plan.cw
+        assert plan.cw > 0
+
+    def test_average_effective_cell_area(self):
+        ckt = make_macro_circuit()
+        plan = determine_core(ckt)
+        assert plan.average_effective_cell_area == pytest.approx(
+            plan.core.area / ckt.num_cells, rel=1e-9
+        )
+
+    def test_mixed_circuit(self):
+        plan = determine_core(make_mixed_circuit())
+        assert plan.area > 0
+
+    def test_validation(self):
+        ckt = make_macro_circuit()
+        with pytest.raises(ValueError):
+            determine_core(ckt, aspect_ratio=0)
+        with pytest.raises(ValueError):
+            determine_core(ckt, iterations=0)
+        with pytest.raises(ValueError):
+            determine_core(ckt, slack=0)
+
+    def test_estimator_pin_density_set(self):
+        ckt = make_macro_circuit()
+        plan = determine_core(ckt)
+        assert plan.estimator.average_pin_density == pytest.approx(
+            ckt.average_pin_density()
+        )

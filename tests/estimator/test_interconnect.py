@@ -1,0 +1,138 @@
+"""The dynamic interconnect-area estimator (Eqns 1-5)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.estimator import InterconnectEstimator, ModulationProfile
+from repro.geometry import Rect
+
+
+def make_estimator(cw=2.0, w=100.0, h=80.0, profile=None, density=None):
+    return InterconnectEstimator(
+        cw=cw,
+        core=Rect.from_center(0, 0, w, h),
+        profile=profile,
+        average_pin_density=density,
+    )
+
+
+class TestModulationProfile:
+    def test_defaults_are_paper_values(self):
+        p = ModulationProfile()
+        assert (p.m_x, p.b_x, p.m_y, p.b_y) == (2.0, 1.0, 2.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModulationProfile(b_x=0)
+        with pytest.raises(ValueError):
+            ModulationProfile(m_x=0.5, b_x=1.0)
+
+    def test_mean_modulation_eqn4(self):
+        # ((M + B) / 2)**2 with M = 2, B = 1 -> 2.25.
+        assert ModulationProfile().mean_modulation == pytest.approx(2.25)
+
+    def test_alpha_is_reciprocal(self):
+        p = ModulationProfile()
+        assert p.alpha == pytest.approx(1 / 2.25)
+
+
+class TestTentFunctions:
+    def test_fx_maximum_at_center(self):
+        est = make_estimator()
+        assert est.fx(0.0) == pytest.approx(2.0)
+
+    def test_fx_minimum_at_boundary(self):
+        est = make_estimator(w=100)
+        assert est.fx(50.0) == pytest.approx(1.0)
+        assert est.fx(-50.0) == pytest.approx(1.0)
+
+    def test_fx_clamped_outside_core(self):
+        est = make_estimator(w=100)
+        assert est.fx(200.0) == pytest.approx(1.0)
+
+    def test_fy_linear_midpoint(self):
+        est = make_estimator(h=80)
+        assert est.fy(20.0) == pytest.approx(1.5)
+
+    def test_off_center_core(self):
+        est = InterconnectEstimator(1.0, Rect(100, 100, 200, 180))
+        assert est.fx(150.0) == pytest.approx(2.0)  # core center
+        assert est.fx(100.0) == pytest.approx(1.0)
+
+    @given(st.floats(-50, 50, allow_nan=False))
+    def test_fx_symmetric(self, x):
+        est = make_estimator(w=100)
+        assert est.fx(x) == pytest.approx(est.fx(-x))
+
+    @given(st.floats(-50, 50, allow_nan=False))
+    def test_fx_in_band(self, x):
+        est = make_estimator(w=100)
+        assert 1.0 - 1e-9 <= est.fx(x) <= 2.0 + 1e-9
+
+
+class TestFrp:
+    def test_unknown_density_is_unity(self):
+        assert make_estimator(density=0.1).frp(None) == 1.0
+
+    def test_no_average_is_unity(self):
+        assert make_estimator(density=None).frp(0.5) == 1.0
+
+    def test_floor_at_one(self):
+        est = make_estimator(density=0.1)
+        assert est.frp(0.05) == 1.0  # sparse edges still get area
+
+    def test_dense_edge_scales(self):
+        est = make_estimator(density=0.1)
+        assert est.frp(0.3) == pytest.approx(3.0)
+
+
+class TestEdgeExpansion:
+    def test_eqn2_structure(self):
+        est = make_estimator(cw=2.0, density=0.1)
+        e = est.edge_expansion(10.0, -5.0, 0.2)
+        expected = 0.5 * (1 / 2.25) * 2.0 * est.fx(10.0) * est.fy(-5.0) * 2.0
+        assert e == pytest.approx(expected)
+
+    def test_center_expansion_eqn5(self):
+        est = make_estimator(cw=2.0)
+        assert est.center_expansion() == pytest.approx(
+            0.5 * (1 / 2.25) * 2.0 * 2.0 * 2.0
+        )
+
+    def test_center_larger_than_corner(self):
+        est = make_estimator()
+        center = est.edge_expansion(0, 0)
+        corner = est.edge_expansion(50, 40)
+        assert center > corner
+        # The observed manual-layout ratio: center ~4x the corner width.
+        assert center / corner == pytest.approx(4.0)
+
+    def test_center_vs_side_ratio(self):
+        est = make_estimator()
+        center = est.edge_expansion(0, 0)
+        side = est.edge_expansion(50, 0)
+        assert center / side == pytest.approx(2.0)
+
+    def test_expected_value_is_half_cw(self):
+        # Monte-Carlo check of the alpha normalization: the mean expansion
+        # over uniformly placed edges is 0.5 * Cw.
+        est = make_estimator(cw=3.0)
+        rng = random.Random(0)
+        samples = [
+            est.edge_expansion(rng.uniform(-50, 50), rng.uniform(-40, 40))
+            for _ in range(20000)
+        ]
+        assert sum(samples) / len(samples) == pytest.approx(1.5, rel=0.03)
+        assert est.expected_expansion() == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectEstimator(-1.0, Rect(0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            InterconnectEstimator(1.0, Rect(0, 0, 0, 10))
+
+    def test_zero_cw_zero_expansion(self):
+        est = make_estimator(cw=0.0)
+        assert est.edge_expansion(0, 0) == 0.0

@@ -1,0 +1,81 @@
+"""A-priori wirelength / channel-length estimates (Eqn 1 inputs)."""
+
+import pytest
+
+from repro.estimator import (
+    average_channel_width,
+    estimate_total_channel_length,
+    estimate_total_interconnect_length,
+    expected_net_length,
+)
+
+from ..conftest import make_macro_circuit
+
+
+class TestExpectedNetLength:
+    def test_single_pin_is_zero(self):
+        assert expected_net_length(1, 10.0) == 0.0
+
+    def test_grows_with_fanout(self):
+        lengths = [expected_net_length(p, 10.0) for p in (2, 3, 5, 10)]
+        assert all(a < b for a, b in zip(lengths, lengths[1:]))
+
+    def test_sublinear_in_fanout(self):
+        # Doubling fanout should less than double the length.
+        l2 = expected_net_length(3, 10.0)
+        l4 = expected_net_length(5, 10.0)
+        assert l4 < 2 * l2
+
+    def test_linear_in_pitch(self):
+        assert expected_net_length(4, 20.0) == pytest.approx(
+            2 * expected_net_length(4, 10.0)
+        )
+
+    def test_bad_pitch(self):
+        with pytest.raises(ValueError):
+            expected_net_length(3, 0.0)
+
+
+class TestTotals:
+    def test_total_interconnect_positive(self):
+        ckt = make_macro_circuit()
+        assert estimate_total_interconnect_length(ckt, 10000.0) > 0
+
+    def test_total_interconnect_scales_with_core(self):
+        ckt = make_macro_circuit()
+        small = estimate_total_interconnect_length(ckt, 10000.0)
+        large = estimate_total_interconnect_length(ckt, 40000.0)
+        assert large == pytest.approx(2 * small)
+
+    def test_channel_length_half_perimeters(self):
+        ckt = make_macro_circuit()
+        c_l = estimate_total_channel_length(ckt, 10000.0)
+        assert c_l == pytest.approx(
+            0.5 * ckt.total_cell_perimeter() + 0.5 * 4 * 100.0
+        )
+
+    def test_bad_core_area(self):
+        ckt = make_macro_circuit()
+        with pytest.raises(ValueError):
+            estimate_total_interconnect_length(ckt, 0)
+        with pytest.raises(ValueError):
+            estimate_total_channel_length(ckt, -1)
+
+
+class TestAverageChannelWidth:
+    def test_eqn1(self):
+        ckt = make_macro_circuit()
+        area = 10000.0
+        cw = average_channel_width(ckt, area)
+        n_l = estimate_total_interconnect_length(ckt, area)
+        c_l = estimate_total_channel_length(ckt, area)
+        assert cw == pytest.approx(n_l / c_l * ckt.track_spacing)
+
+    def test_scales_with_track_spacing(self):
+        ckt = make_macro_circuit()
+        assert average_channel_width(ckt, 1e4, track_spacing=3.0) == pytest.approx(
+            3.0 * average_channel_width(ckt, 1e4, track_spacing=1.0)
+        )
+
+    def test_positive(self):
+        assert average_channel_width(make_macro_circuit(), 1e4) > 0

@@ -1,0 +1,81 @@
+"""JSON export of flow results."""
+
+import json
+
+import pytest
+
+from repro import TimberWolfConfig, place_and_route
+from repro.flow.export import export_json, result_to_dict
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+SMOKE = TimberWolfConfig.smoke(seed=9)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return place_and_route(make_mixed_circuit(), SMOKE)
+
+
+class TestResultToDict:
+    def test_json_serializable(self, result):
+        data = result_to_dict(result)
+        text = json.dumps(data)  # must not raise
+        assert len(text) > 100
+
+    def test_cells_complete(self, result):
+        data = result_to_dict(result)
+        names = {c["name"] for c in data["cells"]}
+        assert names == set(result.circuit.cells)
+        for cell in data["cells"]:
+            assert len(cell["center"]) == 2
+            assert cell["tiles"]
+            assert cell["pins"]
+
+    def test_kinds_and_attributes(self, result):
+        data = result_to_dict(result)
+        by_name = {c["name"]: c for c in data["cells"]}
+        assert by_name["cust0"]["kind"] == "custom"
+        assert "aspect_ratio" in by_name["cust0"]
+        assert by_name["m0"]["kind"] == "macro"
+        assert "instance" in by_name["m0"]
+
+    def test_metrics_match_result(self, result):
+        data = result_to_dict(result)
+        assert data["metrics"]["teil"] == pytest.approx(result.teil)
+        assert data["metrics"]["chip_area"] == pytest.approx(result.chip_area)
+
+    def test_channels_and_routes_present(self, result):
+        data = result_to_dict(result)
+        assert data["channels"]
+        for channel in data["channels"]:
+            assert channel["required_width"] >= 2 * result.circuit.track_spacing
+            assert len(channel["rect"]) == 4
+        assert data["routes"]
+        for net, segments in data["routes"].items():
+            for seg in segments:
+                assert len(seg["from"]) == 2 and len(seg["to"]) == 2
+
+    def test_nets_reference_cells(self, result):
+        data = result_to_dict(result)
+        cell_names = {c["name"] for c in data["cells"]}
+        for net in data["nets"]:
+            for cell, pin in net["pins"]:
+                assert cell in cell_names
+
+    def test_without_refinement(self):
+        from dataclasses import replace
+
+        cfg = replace(SMOKE, refinement_passes=0)
+        res = place_and_route(make_macro_circuit(), cfg)
+        data = result_to_dict(res)
+        assert "channels" not in data
+        assert "routes" not in data
+
+
+class TestExportJson:
+    def test_roundtrip_file(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        export_json(result, path)
+        data = json.loads(path.read_text())
+        assert data["circuit"] == result.circuit.name

@@ -1,0 +1,143 @@
+"""The top-level flow and configuration."""
+
+import pytest
+
+from repro import TimberWolfConfig, place_and_route
+from repro.config import SELECTOR_DR, SELECTOR_DS
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+SMOKE = TimberWolfConfig.smoke()
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = TimberWolfConfig()
+        assert cfg.r_ratio == 10.0
+        assert cfg.rho == 4.0
+        assert cfg.eta == 0.5
+        assert cfg.kappa == 5.0
+        assert cfg.mu == 0.03
+        assert cfg.m_routes == 20
+        assert cfg.refinement_passes == 3
+
+    def test_displacement_probability(self):
+        cfg = TimberWolfConfig(r_ratio=10.0)
+        # p = r / (1 + r).
+        assert cfg.displacement_probability == pytest.approx(10 / 11)
+
+    def test_presets_ordering(self):
+        smoke, fast, paper = (
+            TimberWolfConfig.smoke(),
+            TimberWolfConfig.fast(),
+            TimberWolfConfig.paper(),
+        )
+        assert smoke.attempts_per_cell < fast.attempts_per_cell
+        assert fast.attempts_per_cell < paper.attempts_per_cell
+        assert paper.attempts_per_cell == 400
+
+    def test_with_seed(self):
+        cfg = TimberWolfConfig.fast(seed=1).with_seed(9)
+        assert cfg.seed == 9
+        assert cfg.attempts_per_cell == TimberWolfConfig.fast().attempts_per_cell
+
+    def test_stage2_attempts_default(self):
+        cfg = TimberWolfConfig(attempts_per_cell=33)
+        assert cfg.stage2_attempts_per_cell == 33
+        cfg2 = TimberWolfConfig(attempts_per_cell=33, refine_attempts_per_cell=7)
+        assert cfg2.stage2_attempts_per_cell == 7
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"attempts_per_cell": 0},
+            {"r_ratio": 0},
+            {"rho": 0.5},
+            {"eta": 0},
+            {"mu": 0},
+            {"selector": "bogus"},
+            {"m_routes": 0},
+            {"refinement_passes": -1},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            TimberWolfConfig(**kw)
+
+    def test_selector_constants(self):
+        assert TimberWolfConfig(selector=SELECTOR_DS).selector == "ds"
+        assert TimberWolfConfig(selector=SELECTOR_DR).selector == "dr"
+
+
+class TestPlaceAndRoute:
+    def test_full_flow(self):
+        result = place_and_route(make_macro_circuit(), SMOKE)
+        assert result.teil > 0
+        assert result.chip_area > 0
+        assert result.refinement is not None
+        assert len(result.refinement.passes) == SMOKE.refinement_passes
+        assert result.elapsed_seconds > 0
+
+    def test_no_refinement(self):
+        from dataclasses import replace
+
+        cfg = replace(SMOKE, refinement_passes=0)
+        result = place_and_route(make_macro_circuit(), cfg)
+        assert result.refinement is None
+        assert result.routed_overflow == 0
+
+    def test_table3_metrics_defined(self):
+        result = place_and_route(make_macro_circuit(), SMOKE)
+        # Percent changes are finite and the stage-1 reference is stored.
+        assert result.stage1_teil > 0
+        assert result.stage1_chip_area > 0
+        assert -100 < result.teil_change_pct < 100
+        assert abs(result.area_change_pct) < 200
+
+    def test_placement_mapping(self):
+        ckt = make_macro_circuit()
+        result = place_and_route(ckt, SMOKE)
+        placement = result.placement()
+        assert set(placement) == set(ckt.cells)
+
+    def test_chip_dimensions(self):
+        result = place_and_route(make_macro_circuit(), SMOKE)
+        w, h = result.chip_dimensions
+        assert w * h == pytest.approx(result.chip_area)
+
+    def test_summary_readable(self):
+        result = place_and_route(make_macro_circuit(), SMOKE)
+        text = result.summary()
+        assert "TEIL" in text
+        assert "area" in text
+        assert "overflow" in text
+
+    def test_deterministic(self):
+        a = place_and_route(make_macro_circuit(), SMOKE.with_seed(2))
+        b = place_and_route(make_macro_circuit(), SMOKE.with_seed(2))
+        assert a.teil == b.teil
+        assert a.chip_area == b.chip_area
+
+    def test_mixed_circuit(self):
+        result = place_and_route(make_mixed_circuit(), SMOKE)
+        assert result.teil > 0
+
+
+class TestStage2Displacement:
+    def test_displacement_nonnegative_and_bounded(self):
+        result = place_and_route(make_macro_circuit(), SMOKE)
+        d = result.mean_stage2_displacement
+        assert d >= 0.0
+        # Cells cannot plausibly move more than a few core-sides.
+        assert d < 5.0
+
+    def test_zero_without_refinement(self):
+        from dataclasses import replace
+
+        cfg = replace(SMOKE, refinement_passes=0)
+        result = place_and_route(make_macro_circuit(), cfg)
+        assert result.mean_stage2_displacement == 0.0
+
+    def test_stage1_placement_recorded(self):
+        result = place_and_route(make_macro_circuit(), SMOKE)
+        assert set(result.stage1_placement) == set(result.circuit.cells)

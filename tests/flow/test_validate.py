@@ -1,0 +1,80 @@
+"""Detailed-routability validation of finished flows."""
+
+import pytest
+
+from repro import TimberWolfConfig, place_and_route
+from repro.flow import RoutabilityReport, validate_result
+from repro.flow.validate import ChannelCheck
+
+from ..conftest import make_macro_circuit
+
+SMOKE = TimberWolfConfig.smoke(seed=6)
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = place_and_route(make_macro_circuit(), SMOKE)
+    return validate_result(result)
+
+
+class TestChannelCheck:
+    def test_fits(self):
+        check = ChannelCheck(0, ("a", "b"), tracks_needed=3, tracks_available=5, nets=3)
+        assert check.fits and check.shortfall == 0
+
+    def test_shortfall(self):
+        check = ChannelCheck(0, ("a", "b"), tracks_needed=7, tracks_available=5, nets=6)
+        assert not check.fits and check.shortfall == 2
+
+    def test_cyclic_counts_as_unfit(self):
+        check = ChannelCheck(0, ("a", "b"), tracks_needed=None, tracks_available=5, nets=4)
+        assert not check.fits and check.shortfall == 0
+
+
+class TestRoutabilityReport:
+    def test_aggregate_properties(self):
+        report = RoutabilityReport(
+            checks=[
+                ChannelCheck(0, ("a", "b"), 2, 4, 2),
+                ChannelCheck(1, ("b", "c"), 6, 4, 5),
+                ChannelCheck(2, ("c", "d"), 0, 4, 0),  # unrouted channel
+            ]
+        )
+        assert report.num_channels == 3
+        assert report.num_routed_channels == 2
+        assert report.num_fitting == 2  # the unrouted one trivially fits
+        assert report.fit_fraction == pytest.approx(0.5)
+        assert report.worst_shortfall == 2
+
+    def test_empty_report_fits(self):
+        assert RoutabilityReport().fit_fraction == 1.0
+        assert RoutabilityReport().worst_shortfall == 0
+
+    def test_summary_text(self):
+        report = RoutabilityReport(checks=[ChannelCheck(0, ("a", "b"), 1, 2, 1)])
+        assert "fit" in report.summary()
+
+
+class TestValidateResult:
+    def test_produces_checks(self, report):
+        assert report.num_channels > 0
+        assert all(c.tracks_available >= 0 for c in report.checks)
+
+    def test_most_channels_fit(self, report):
+        # The paper's claim, at smoke effort: the clear majority of
+        # channels fit the width the flow reserved for them.
+        assert report.fit_fraction >= 0.6
+
+    def test_requires_refinement(self):
+        from dataclasses import replace
+
+        cfg = replace(SMOKE, refinement_passes=0)
+        result = place_and_route(make_macro_circuit(), cfg)
+        with pytest.raises(ValueError):
+            validate_result(result)
+
+    def test_deterministic(self):
+        result = place_and_route(make_macro_circuit(), SMOKE)
+        a = validate_result(result, seed=1)
+        b = validate_result(result, seed=1)
+        assert a.summary() == b.summary()

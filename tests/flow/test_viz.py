@@ -1,0 +1,94 @@
+"""SVG rendering."""
+
+import random
+
+import pytest
+
+from repro.estimator import determine_core
+from repro.geometry import Rect
+from repro.placement import PlacementState, remove_overlaps
+from repro.viz import SvgCanvas, render_placement, write_placement_svg
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+
+@pytest.fixture()
+def placed_state():
+    ckt = make_macro_circuit()
+    state = PlacementState(ckt, determine_core(ckt))
+    state.randomize(random.Random(0))
+    remove_overlaps(state)
+    return state
+
+
+class TestSvgCanvas:
+    def test_empty(self):
+        assert SvgCanvas().to_svg().startswith("<svg")
+
+    def test_rect_flips_y(self):
+        canvas = SvgCanvas()
+        canvas.add_rect(Rect(0, 0, 10, 20), "#fff")
+        svg = canvas.to_svg()
+        assert 'y="-20.00"' in svg
+        assert 'height="20.00"' in svg
+
+    def test_title_escaped(self):
+        canvas = SvgCanvas()
+        canvas.add_rect(Rect(0, 0, 1, 1), "#fff", title="a<b&c")
+        svg = canvas.to_svg()
+        assert "a&lt;b&amp;c" in svg
+
+    def test_line_and_dot_and_label(self):
+        canvas = SvgCanvas()
+        canvas.add_line((0, 0), (5, 5))
+        canvas.add_dot((1, 1))
+        canvas.add_label((2, 2), "x")
+        svg = canvas.to_svg()
+        assert "<line" in svg and "<circle" in svg and "<text" in svg
+
+    def test_viewbox_covers_elements(self):
+        canvas = SvgCanvas(padding=0)
+        canvas.add_rect(Rect(-5, -5, 5, 5), "#fff")
+        svg = canvas.to_svg()
+        assert 'viewBox="-5.00 -5.00 10.00 10.00"' in svg
+
+
+class TestRenderPlacement:
+    def test_valid_svg_with_all_parts(self, placed_state):
+        svg = render_placement(placed_state)
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") >= len(placed_state.names)
+        assert svg.count("<circle") == placed_state.circuit.num_pins
+        assert svg.count("<text") == len(placed_state.names)
+
+    def test_margins_optional(self, placed_state):
+        with_m = render_placement(placed_state, show_margins=True)
+        without = render_placement(placed_state, show_margins=False, labels=False)
+        assert with_m.count("<rect") > without.count("<rect")
+
+    def test_custom_cells_colored_differently(self):
+        ckt = make_mixed_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(1))
+        svg = render_placement(state, show_margins=False)
+        from repro.viz.svg import CELL_FILL, CUSTOM_FILL
+
+        assert CELL_FILL in svg and CUSTOM_FILL in svg
+
+    def test_write_to_file(self, placed_state, tmp_path):
+        path = tmp_path / "out.svg"
+        write_placement_svg(placed_state, path, labels=False)
+        assert path.read_text().startswith("<svg")
+
+    def test_regions_rendered(self, placed_state):
+        from repro.channels import extract_critical_regions
+
+        shapes = {n: placed_state.world_shape(n) for n in placed_state.names}
+        regions = extract_critical_regions(shapes, placed_state.core)
+        svg = render_placement(
+            placed_state, show_regions=True, regions=regions, show_margins=False
+        )
+        from repro.viz.svg import REGION_FILL
+
+        if regions:
+            assert REGION_FILL in svg

@@ -1,0 +1,119 @@
+"""The eight-orientation group."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Rect
+from repro.geometry import orientation as ori
+
+orientations = st.integers(min_value=0, max_value=7)
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestValidation:
+    def test_valid_range(self):
+        assert ori.is_valid(0) and ori.is_valid(7)
+        assert not ori.is_valid(-1) and not ori.is_valid(8)
+
+    @pytest.mark.parametrize("bad", [-1, 8, 100])
+    def test_transform_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ori.transform_point(bad, 0, 0)
+
+
+class TestBasicTransforms:
+    def test_identity(self):
+        assert ori.transform_point(0, 3, 4) == (3, 4)
+
+    def test_r90(self):
+        assert ori.transform_point(1, 1, 0) == (0, 1)
+
+    def test_r180(self):
+        assert ori.transform_point(2, 3, 4) == (-3, -4)
+
+    def test_r270(self):
+        assert ori.transform_point(3, 1, 0) == (0, -1)
+
+    def test_mirror(self):
+        assert ori.transform_point(4, 3, 4) == (-3, 4)
+
+    def test_mirror_then_r90(self):
+        # orientation 5: mirror x, then rotate 90 CCW.
+        assert ori.transform_point(5, 1, 0) == (0, -1)
+
+
+class TestGroupProperties:
+    @given(orientations, coords, coords)
+    def test_inverse_roundtrip(self, o, x, y):
+        fx, fy = ori.transform_point(o, x, y)
+        bx, by = ori.transform_point(ori.inverse(o), fx, fy)
+        assert (bx, by) == pytest.approx((x, y))
+
+    @given(orientations, orientations, coords, coords)
+    def test_compose_matches_sequential(self, a, b, x, y):
+        c = ori.compose(a, b)
+        seq = ori.transform_point(b, *ori.transform_point(a, x, y))
+        assert ori.transform_point(c, x, y) == pytest.approx(seq)
+
+    @given(orientations, orientations)
+    def test_compose_closed(self, a, b):
+        assert ori.is_valid(ori.compose(a, b))
+
+    @given(orientations)
+    def test_compose_identity(self, o):
+        assert ori.compose(o, 0) == o
+        assert ori.compose(0, o) == o
+
+    @given(orientations)
+    def test_distance_preserved(self, o):
+        ax, ay = ori.transform_point(o, 1.0, 2.0)
+        bx, by = ori.transform_point(o, -3.0, 5.0)
+        d0 = abs(1.0 - (-3.0)) ** 2 + abs(2.0 - 5.0) ** 2
+        d1 = (ax - bx) ** 2 + (ay - by) ** 2
+        assert d1 == pytest.approx(d0)
+
+
+class TestAxisSwap:
+    @given(orientations)
+    def test_swaps_axes_consistent_with_rect(self, o):
+        r = Rect(-2, -1, 2, 1)  # 4 x 2
+        t = ori.transform_rect(o, r)
+        if ori.swaps_axes(o):
+            assert (t.width, t.height) == (2, 4)
+        else:
+            assert (t.width, t.height) == (4, 2)
+
+    @given(orientations)
+    def test_aspect_inverting_orientation(self, o):
+        inv = ori.aspect_inverting_orientation(o)
+        assert ori.is_valid(inv)
+        assert ori.swaps_axes(inv) != ori.swaps_axes(o)
+        assert ori.is_mirrored(inv) == ori.is_mirrored(o)
+
+
+class TestRectTransform:
+    @given(orientations)
+    def test_area_preserved(self, o):
+        r = Rect(1, 2, 5, 9)
+        assert ori.transform_rect(o, r).area == pytest.approx(r.area)
+
+    def test_r90_rect(self):
+        assert ori.transform_rect(1, Rect(0, 0, 2, 1)) == Rect(-1, 0, 0, 2)
+
+
+class TestNames:
+    def test_roundtrip(self):
+        for o in ori.all_orientations():
+            assert ori.from_name(ori.name(o)) == o
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            ori.from_name("R45")
+
+    def test_all_orientations(self):
+        assert ori.all_orientations() == list(range(8))
+
+    def test_rotation_count_and_mirror(self):
+        assert ori.rotation_count(6) == 2
+        assert ori.is_mirrored(6)
+        assert not ori.is_mirrored(2)

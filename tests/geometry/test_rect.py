@@ -1,0 +1,183 @@
+"""Rectangle and interval primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Rect, interval_overlap, total_pairwise_overlap
+
+
+def rects(max_coord=100):
+    coords = st.integers(min_value=-max_coord, max_value=max_coord)
+    return st.builds(
+        lambda x1, y1, w, h: Rect(x1, y1, x1 + w, y1 + h),
+        coords,
+        coords,
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+
+
+class TestPoint:
+    def test_translate(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_to(Point(3, 4)) == 7
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.0).as_tuple() == (1.5, -2.0)
+
+
+class TestIntervalOverlap:
+    def test_disjoint(self):
+        assert interval_overlap(0, 1, 2, 3) == 0.0
+
+    def test_touching(self):
+        assert interval_overlap(0, 1, 1, 2) == 0.0
+
+    def test_nested(self):
+        assert interval_overlap(0, 10, 2, 5) == 3.0
+
+    def test_partial(self):
+        assert interval_overlap(0, 5, 3, 8) == 2.0
+
+
+class TestRectConstruction:
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_from_center(self):
+        r = Rect.from_center(0, 0, 10, 4)
+        assert (r.x1, r.y1, r.x2, r.y2) == (-5, -2, 5, 2)
+
+    def test_from_center_negative_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0, 0, -1, 1)
+
+    def test_bounding(self):
+        b = Rect.bounding([Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)])
+        assert b == Rect(0, -2, 6, 1)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+
+class TestRectMeasures:
+    def test_width_height_area(self):
+        r = Rect(0, 0, 3, 4)
+        assert (r.width, r.height, r.area, r.perimeter) == (3, 4, 12, 14)
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_aspect_ratio(self):
+        assert Rect(0, 0, 2, 4).aspect_ratio == 2.0
+
+    def test_aspect_ratio_zero_width(self):
+        with pytest.raises(ZeroDivisionError):
+            _ = Rect(0, 0, 0, 4).aspect_ratio
+
+    def test_degenerate(self):
+        assert Rect(0, 0, 0, 5).is_degenerate()
+        assert not Rect(0, 0, 1, 5).is_degenerate()
+
+
+class TestRectPredicates:
+    def test_contains_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(1, 1)
+        assert r.contains_point(0, 0)  # boundary counts
+        assert not r.contains_point(3, 1)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(9, 9, 11, 10))
+
+    def test_intersects_interior_only(self):
+        a = Rect(0, 0, 2, 2)
+        assert not a.intersects(Rect(2, 0, 4, 2))  # touching edge
+        assert a.intersects(Rect(1, 1, 3, 3))
+
+    def test_touches_or_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.touches_or_intersects(Rect(2, 0, 4, 2))
+        assert not a.touches_or_intersects(Rect(3, 0, 4, 2))
+
+
+class TestRectOperations:
+    def test_overlap_area(self):
+        assert Rect(0, 0, 4, 4).overlap_area(Rect(2, 2, 6, 6)) == 4.0
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_intersection(self):
+        got = Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6))
+        assert got == Rect(2, 2, 4, 4)
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_intersection_touching_is_degenerate(self):
+        got = Rect(0, 0, 2, 2).intersection(Rect(2, 0, 4, 2))
+        assert got == Rect(2, 0, 2, 2)
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(4, 4, 5, 5)) == Rect(0, 0, 5, 5)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_expanded(self):
+        r = Rect(0, 0, 2, 2).expanded(1, 2, 3, 4)
+        assert r == Rect(-1, -2, 5, 6)
+
+    def test_expanded_uniform(self):
+        assert Rect(0, 0, 2, 2).expanded_uniform(1) == Rect(-1, -1, 3, 3)
+
+    def test_scaled_flips(self):
+        assert Rect(1, 1, 2, 2).scaled(-1, 1) == Rect(-2, 1, -1, 2)
+
+    def test_corners_ccw(self):
+        pts = Rect(0, 0, 1, 2).corners()
+        assert pts == [Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2)]
+
+    def test_iter(self):
+        assert tuple(Rect(1, 2, 3, 4)) == (1, 2, 3, 4)
+
+
+class TestOverlapProperties:
+    @given(rects(), rects())
+    def test_symmetry(self, a, b):
+        assert a.overlap_area(b) == b.overlap_area(a)
+
+    @given(rects(), rects())
+    def test_bounded_by_min_area(self, a, b):
+        assert a.overlap_area(b) <= min(a.area, b.area) + 1e-9
+
+    @given(rects())
+    def test_self_overlap_is_area(self, a):
+        assert a.overlap_area(a) == a.area
+
+    @given(rects(), rects())
+    def test_matches_intersection_area(self, a, b):
+        inter = a.intersection(b)
+        expected = inter.area if inter is not None else 0.0
+        assert a.overlap_area(b) == expected
+
+    @given(rects(), rects(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_translation_invariance(self, a, b, dx, dy):
+        assert a.translated(dx, dy).overlap_area(
+            b.translated(dx, dy)
+        ) == pytest.approx(a.overlap_area(b))
+
+
+def test_total_pairwise_overlap():
+    rs = [Rect(0, 0, 2, 2), Rect(1, 1, 3, 3), Rect(10, 10, 11, 11)]
+    assert total_pairwise_overlap(rs) == 1.0
+
+
+def test_total_pairwise_overlap_empty():
+    assert total_pairwise_overlap([]) == 0.0

@@ -1,0 +1,90 @@
+"""Property tests on randomly grown rectilinear tile unions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, TileSet
+from repro.geometry import orientation as ori
+
+
+def grow_union(seed: int, max_tiles: int = 6) -> TileSet:
+    """Grow a random connected tile union by attaching rectangles to the
+    boundary of what is already there."""
+    rng = random.Random(seed)
+    tiles = [Rect(0, 0, rng.randint(2, 8), rng.randint(2, 8))]
+    for _ in range(rng.randint(0, max_tiles - 1)):
+        base = rng.choice(tiles)
+        w, h = rng.randint(2, 8), rng.randint(2, 8)
+        side = rng.randrange(4)
+        if side == 0:  # attach right
+            cand = Rect(base.x2, base.y1, base.x2 + w, base.y1 + h)
+        elif side == 1:  # attach left
+            cand = Rect(base.x1 - w, base.y1, base.x1, base.y1 + h)
+        elif side == 2:  # attach top
+            cand = Rect(base.x1, base.y2, base.x1 + w, base.y2 + h)
+        else:  # attach bottom
+            cand = Rect(base.x1, base.y1 - h, base.x1 + w, base.y1)
+        if any(cand.intersects(t) for t in tiles):
+            continue
+        tiles.append(cand)
+    return TileSet(tiles)
+
+
+class TestGrownUnions:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_construction_always_valid(self, seed):
+        ts = grow_union(seed)
+        assert ts.area == pytest.approx(sum(t.area for t in ts.tiles))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(0, 7))
+    def test_transform_preserves_area_and_boundary(self, seed, o):
+        ts = grow_union(seed)
+        t = ts.transformed(o)
+        assert t.area == pytest.approx(ts.area)
+        assert t.boundary_length() == pytest.approx(ts.boundary_length())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_boundary_edges_close(self, seed):
+        """Boundary edge lengths balance per axis: total left-facing edge
+        length equals total right-facing, and bottom equals top (the
+        boundary is a union of closed rectilinear curves)."""
+        ts = grow_union(seed)
+        sums = {"left": 0.0, "right": 0.0, "bottom": 0.0, "top": 0.0}
+        for e in ts.boundary_edges():
+            sums[e.side] += e.length
+        assert sums["left"] == pytest.approx(sums["right"])
+        assert sums["bottom"] == pytest.approx(sums["top"])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_boundary_midpoints_on_shape(self, seed):
+        ts = grow_union(seed)
+        for e in ts.boundary_edges():
+            x, y = e.midpoint
+            assert ts.contains_point(x, y)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_boundary_at_least_bbox_perimeter(self, seed):
+        """A rectilinear union's perimeter is never less than its
+        bounding box's."""
+        ts = grow_union(seed)
+        assert ts.boundary_length() >= ts.bbox.perimeter - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(0, 100_000))
+    def test_overlap_symmetry_between_unions(self, seed_a, seed_b):
+        a = grow_union(seed_a)
+        b = grow_union(seed_b).translated(3, -2)
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_expansion_monotone_in_area(self, seed):
+        ts = grow_union(seed)
+        assert ts.expanded_uniform(1.0).area >= ts.area

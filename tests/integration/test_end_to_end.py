@@ -1,0 +1,81 @@
+"""End-to-end integration: a suite circuit through the full flow."""
+
+import pytest
+
+from repro import TimberWolfConfig, place_and_route
+from repro.baselines import RandomPlacer
+from repro.bench import load_circuit
+from repro.placement.legalize import raw_overlap
+
+SMOKE = TimberWolfConfig.smoke(seed=11)
+
+
+@pytest.fixture(scope="module")
+def i3_result():
+    return place_and_route(load_circuit("i3"), SMOKE)
+
+
+class TestSuiteCircuitFlow:
+    def test_runs_to_completion(self, i3_result):
+        assert i3_result.teil > 0
+        assert i3_result.refinement is not None
+
+    def test_beats_random_baseline(self, i3_result):
+        baseline = RandomPlacer(seed=0).place(load_circuit("i3"))
+        assert i3_result.teil < baseline.teil
+
+    def test_final_placement_legal(self, i3_result):
+        state = i3_result.state
+        shapes = [state.world_shape(n) for n in state.names]
+        assert raw_overlap(shapes) == pytest.approx(0.0, abs=1e-6)
+
+    def test_all_nets_routed(self, i3_result):
+        routing = i3_result.refinement.final_pass.routing
+        assert not routing.unrouted
+
+    def test_channels_extracted(self, i3_result):
+        final = i3_result.refinement.final_pass
+        assert final.graph.regions
+        assert final.graph.num_free_nodes > 0
+
+    def test_every_pin_attached(self, i3_result):
+        circuit = i3_result.circuit
+        graph = i3_result.refinement.final_pass.graph
+        assert len(graph.pin_nodes) == circuit.num_pins
+
+
+class TestReproducibility:
+    def test_same_seed_same_result(self):
+        a = place_and_route(load_circuit("i3"), SMOKE)
+        b = place_and_route(load_circuit("i3"), SMOKE)
+        assert a.teil == b.teil
+        assert a.chip_area == b.chip_area
+        assert a.placement() == b.placement()
+
+
+class TestMixedSuiteCircuit:
+    def test_chip_planning_circuit(self):
+        """p1 carries custom cells: the chip-planning capability."""
+        circuit = load_circuit("p1")
+        assert circuit.custom_cells()
+        result = place_and_route(circuit, SMOKE)
+        assert result.teil > 0
+        # Custom cells must have settled on valid aspect ratios.
+        state = result.state
+        for cell in circuit.custom_cells():
+            record = state.records[state.index[cell.name]]
+            assert cell.aspect.contains(record.aspect_ratio)
+
+
+class TestMediumCircuit:
+    """i1 is the paper's headline circuit (33 cells, resistive-network
+    comparator); one smoke-effort pass keeps the bigger code paths hot."""
+
+    def test_i1_full_flow(self):
+        circuit = load_circuit("i1")
+        result = place_and_route(circuit, SMOKE)
+        assert result.teil > 0
+        assert not result.refinement.final_pass.routing.unrouted
+        state = result.state
+        shapes = [state.world_shape(n) for n in state.names]
+        assert raw_overlap(shapes) == pytest.approx(0.0, abs=1e-6)

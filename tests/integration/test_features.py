@@ -1,0 +1,140 @@
+"""Feature-level integration: net weighting, pin sequences, instances."""
+
+import random
+
+import pytest
+
+from repro.config import TimberWolfConfig
+from repro.estimator import determine_core
+from repro.geometry import LEFT, TOP, TileSet
+from repro.netlist import (
+    Circuit,
+    ContinuousAspectRatio,
+    CustomCell,
+    MacroCell,
+    MacroInstance,
+    Pin,
+    PinKind,
+)
+from repro.placement import PlacementState, run_stage1
+
+
+class TestNetWeighting:
+    """The h(n)/v(n) weights of Eqn 6: heavier nets end shorter."""
+
+    def build(self, weight):
+        rng = random.Random(4)
+        cells = []
+        for i in range(6):
+            w, h = rng.randint(12, 20), rng.randint(12, 20)
+            pins = [
+                Pin("crit", "critical", PinKind.FIXED, offset=(0, h / 2)),
+                Pin("p1", f"n{i % 3}", PinKind.FIXED, offset=(-w / 2, 0)),
+                Pin("p2", f"n{(i + 1) % 3}", PinKind.FIXED, offset=(w / 2, 0)),
+            ]
+            cells.append(MacroCell.rectangular(f"m{i}", w, h, pins))
+        return Circuit(
+            "weighted", cells, net_weights={"critical": (weight, weight)}
+        )
+
+    def test_heavy_net_shorter_on_average(self):
+        def final_span(weight, seed):
+            circuit = self.build(weight)
+            result = run_stage1(circuit, TimberWolfConfig.smoke(seed=seed))
+            xs, ys = result.state._net_spans["critical"]
+            return xs + ys
+
+        seeds = (1, 2, 3)
+        plain = sum(final_span(1.0, s) for s in seeds) / len(seeds)
+        heavy = sum(final_span(8.0, s) for s in seeds) / len(seeds)
+        assert heavy < plain
+
+    def test_weight_scales_c1_not_teil(self):
+        circuit = self.build(5.0)
+        state = PlacementState(circuit, determine_core(circuit))
+        state.randomize(random.Random(0))
+        # TEIL uses unit weights: C1 exceeds it when weights > 1 exist.
+        assert state.c1() > state.teil()
+
+
+class TestPinSequences:
+    def test_sequence_order_preserved_along_edge(self):
+        pins = [
+            Pin(f"s{i}", f"n{i}", PinKind.SEQUENCE, group="bus",
+                sequence_index=i, sides=frozenset({TOP}))
+            for i in range(3)
+        ] + [Pin("x", "n0", PinKind.EDGE)]
+        cell = CustomCell(
+            "c", pins, area=400.0,
+            aspect=ContinuousAspectRatio(1.0, 1.0), sites_per_edge=8,
+        )
+        anchor = MacroCell.rectangular(
+            "a", 10, 10,
+            [Pin(f"q{i}", f"n{i}", PinKind.FIXED, offset=(0, 5)) for i in range(3)],
+        )
+        circuit = Circuit("seq", [cell, anchor])
+        state = PlacementState(circuit, determine_core(circuit))
+        idx = state.index["c"]
+        state.records[idx].pin_sites["bus"] = (TOP, 2)
+        state.rebuild()
+        xs = [state.pin_position("c", f"s{i}")[0] for i in range(3)]
+        # Consecutive sites along the top edge: strictly increasing x.
+        assert xs[0] < xs[1] < xs[2]
+
+    def test_sequence_wraps_within_edge(self):
+        pins = [
+            Pin(f"s{i}", f"n{i % 2}", PinKind.SEQUENCE, group="bus",
+                sequence_index=i, sides=frozenset({LEFT}))
+            for i in range(3)
+        ]
+        cell = CustomCell(
+            "c", pins, area=400.0,
+            aspect=ContinuousAspectRatio(1.0, 1.0), sites_per_edge=2,
+        )
+        anchor = MacroCell.rectangular(
+            "a", 10, 10,
+            [Pin(f"q{i}", f"n{i}", PinKind.FIXED, offset=(0, 5)) for i in range(2)],
+        )
+        circuit = Circuit("wrap", [cell, anchor])
+        state = PlacementState(circuit, determine_core(circuit))
+        idx = state.index["c"]
+        state.records[idx].pin_sites["bus"] = (LEFT, 1)
+        state.rebuild()
+        # Three pins over two sites: the third wraps back to site 0 and
+        # all remain on the left edge.
+        w, h = cell.dimensions(1.0)
+        cx = state.records[idx].center[0]
+        for i in range(3):
+            px, _ = state.pin_position("c", f"s{i}")
+            assert px == pytest.approx(cx - w / 2)
+
+
+class TestInstanceSelection:
+    def test_annealer_may_pick_either_instance(self):
+        wide = TileSet.rectangle(30, 10)
+        tall = TileSet.rectangle(10, 30)
+        pins = [Pin("p", "n0", PinKind.FIXED, offset=(0, 0))]
+        cells = [
+            MacroCell(
+                "flex",
+                pins,
+                [MacroInstance("wide", wide), MacroInstance("tall", tall)],
+            )
+        ]
+        rng = random.Random(7)
+        for i in range(4):
+            w, h = rng.randint(10, 20), rng.randint(10, 20)
+            cells.append(
+                MacroCell.rectangular(
+                    f"m{i}", w, h,
+                    [Pin("p", f"n{i % 2}", PinKind.FIXED, offset=(0, h / 2))],
+                )
+            )
+        circuit = Circuit("inst", cells)
+        result = run_stage1(circuit, TimberWolfConfig.smoke(seed=5))
+        record = result.state.records[result.state.index["flex"]]
+        assert record.instance in (0, 1)
+        # The chosen instance is actually realized in the world shape.
+        bbox = result.state.world_shape("flex").bbox
+        dims = sorted((bbox.width, bbox.height))
+        assert dims == [10, 30]

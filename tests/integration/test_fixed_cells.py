@@ -1,0 +1,119 @@
+"""Pre-placed (fixed) cells through the whole flow."""
+
+import random
+
+import pytest
+
+from repro import TimberWolfConfig, place_and_route
+from repro.baselines import GreedyPlacer, RandomPlacer, SlicingPlacer
+from repro.estimator import determine_core
+from repro.netlist import (
+    Circuit,
+    FixedPlacement,
+    MacroCell,
+    Pin,
+    PinKind,
+    dumps,
+    loads,
+)
+from repro.placement import PlacementState, remove_overlaps, run_stage1
+from repro.placement.legalize import raw_overlap
+
+from ..conftest import make_macro_circuit
+
+
+def circuit_with_fixed(seed=5):
+    """A macro circuit whose first cell is pre-placed off-center."""
+    base = make_macro_circuit(num_cells=6, seed=seed)
+    cells = []
+    for i, cell in enumerate(base.cells.values()):
+        if i == 0:
+            cells.append(
+                MacroCell(
+                    cell.name,
+                    list(cell.pins.values()),
+                    cell.instances,
+                    fixed=FixedPlacement(20.0, -15.0, orientation=2),
+                )
+            )
+        else:
+            cells.append(cell)
+    return Circuit("fixedckt", cells)
+
+
+class TestModel:
+    def test_fixed_flag(self):
+        ckt = circuit_with_fixed()
+        cells = list(ckt.cells.values())
+        assert cells[0].is_fixed
+        assert not cells[1].is_fixed
+
+    def test_fixed_orientation_validation(self):
+        with pytest.raises(ValueError):
+            FixedPlacement(0, 0, orientation=9)
+
+    def test_parser_roundtrip(self):
+        ckt = circuit_with_fixed()
+        text = dumps(ckt)
+        assert "fixed 20.0 -15.0 2" in text
+        back = loads(text)
+        first = list(back.cells.values())[0]
+        assert first.fixed == FixedPlacement(20.0, -15.0, 2)
+
+
+class TestPlacementState:
+    def test_default_record_honors_fixed(self):
+        ckt = circuit_with_fixed()
+        state = PlacementState(ckt, determine_core(ckt))
+        idx = 0
+        assert state.records[idx].center == (20.0, -15.0)
+        assert state.records[idx].orientation == 2
+        assert not state.movable[idx]
+
+    def test_randomize_skips_fixed(self):
+        ckt = circuit_with_fixed()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(0))
+        assert state.records[0].center == (20.0, -15.0)
+
+    def test_legalize_never_moves_fixed(self):
+        ckt = circuit_with_fixed()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(1))
+        remove_overlaps(state, min_gap=1.0)
+        assert state.records[0].center == (20.0, -15.0)
+        shapes = [state.world_shape(n) for n in state.names]
+        assert raw_overlap(shapes) == pytest.approx(0.0, abs=1e-6)
+
+    def test_enforce_fixed_restores(self):
+        ckt = circuit_with_fixed()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.records[0].center = (0.0, 0.0)
+        state.rebuild()
+        state.enforce_fixed()
+        assert state.records[0].center == (20.0, -15.0)
+
+
+class TestFlow:
+    def test_stage1_keeps_fixed_cell_put(self):
+        ckt = circuit_with_fixed()
+        result = run_stage1(ckt, TimberWolfConfig.smoke(seed=2))
+        record = result.state.records[0]
+        assert record.center == (20.0, -15.0)
+        assert record.orientation == 2
+
+    def test_full_flow_keeps_fixed_cell_put(self):
+        ckt = circuit_with_fixed()
+        result = place_and_route(ckt, TimberWolfConfig.smoke(seed=3))
+        record = result.state.records[0]
+        assert record.center == (20.0, -15.0)
+        assert record.orientation == 2
+
+    @pytest.mark.parametrize("placer_cls", [RandomPlacer, GreedyPlacer, SlicingPlacer])
+    def test_baselines_respect_fixed(self, placer_cls):
+        ckt = circuit_with_fixed()
+        result = placer_cls(seed=0).place(ckt)
+        record = result.state.records[0]
+        assert record.center == (20.0, -15.0)
+        shapes = [result.state.world_shape(n) for n in result.state.names]
+        assert raw_overlap(shapes) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,94 @@
+"""Cross-module property tests on randomly generated placements."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import CircuitSpec, generate_circuit
+from repro.channels import decompose_free_space, extract_critical_regions
+from repro.estimator import determine_core
+from repro.geometry import Rect
+from repro.placement import PlacementState, remove_overlaps
+
+
+def random_legal_state(seed: int, num_cells: int = 7) -> PlacementState:
+    spec = CircuitSpec(
+        name=f"prop{seed}",
+        num_cells=num_cells,
+        num_nets=num_cells * 2,
+        num_pins=num_cells * 6,
+        seed=seed,
+        rectilinear_fraction=0.4,
+    )
+    circuit = generate_circuit(spec)
+    state = PlacementState(circuit, determine_core(circuit))
+    state.randomize(random.Random(seed))
+    remove_overlaps(state, min_gap=1.0)
+    return state
+
+
+class TestCriticalRegionInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_regions_avoid_cell_interiors(self, seed):
+        state = random_legal_state(seed)
+        shapes = {n: state.world_shape(n) for n in state.names}
+        boundary = Rect.bounding(s.bbox for s in shapes.values()).expanded_uniform(4)
+        for region in extract_critical_regions(shapes, boundary):
+            for shape in shapes.values():
+                for tile in shape.tiles:
+                    assert not tile.intersects(region.rect)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_regions_bounded_by_distinct_cells(self, seed):
+        state = random_legal_state(seed)
+        shapes = {n: state.world_shape(n) for n in state.names}
+        for region in extract_critical_regions(shapes):
+            a, b = region.cells()
+            assert a != b
+            assert region.width > 0 and region.length > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_free_space_complements_cells(self, seed):
+        state = random_legal_state(seed)
+        shapes = [state.world_shape(n) for n in state.names]
+        boundary = Rect.bounding(s.bbox for s in shapes).expanded_uniform(4)
+        strips = decompose_free_space(shapes, boundary)
+        cells_area = sum(s.area for s in shapes)
+        free = sum(r.area for r in strips)
+        assert free == pytest.approx(boundary.area - cells_area, rel=1e-9)
+        # Strips never overlap cells.
+        for strip in strips:
+            for shape in shapes:
+                for tile in shape.tiles:
+                    assert not tile.intersects(strip)
+
+
+class TestCostInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_teil_nonnegative_and_consistent(self, seed):
+        state = random_legal_state(seed, num_cells=5)
+        teil = state.teil()
+        assert teil >= 0
+        state.rebuild()
+        assert state.teil() == pytest.approx(teil, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 6))
+    def test_move_then_restore_is_identity(self, seed, idx_seed):
+        state = random_legal_state(seed, num_cells=5)
+        rng = random.Random(idx_seed)
+        idx = rng.randrange(len(state.names))
+        before = (state.c1(), state.c2_raw(), state.c3())
+        _, snap = state.move_cell(
+            idx,
+            center=(rng.uniform(-30, 30), rng.uniform(-30, 30)),
+            orientation=rng.randrange(8),
+        )
+        state.restore(snap)
+        after = (state.c1(), state.c2_raw(), state.c3())
+        assert after == before

@@ -1,0 +1,191 @@
+"""Macro and custom cells, aspect-ratio specs, instances."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Rect, TileSet
+from repro.netlist import (
+    ContinuousAspectRatio,
+    CustomCell,
+    DiscreteAspectRatios,
+    MacroCell,
+    MacroInstance,
+    Pin,
+    PinKind,
+)
+
+
+def fixed_pin(name="p0", net="n0", offset=(0.0, 0.0)):
+    return Pin(name, net, PinKind.FIXED, offset=offset)
+
+
+class TestContinuousAspectRatio:
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            ContinuousAspectRatio(0, 1)
+        with pytest.raises(ValueError):
+            ContinuousAspectRatio(2, 1)
+
+    def test_contains(self):
+        spec = ContinuousAspectRatio(0.5, 2.0)
+        assert spec.contains(1.0) and not spec.contains(3.0)
+
+    def test_clamp(self):
+        spec = ContinuousAspectRatio(0.5, 2.0)
+        assert spec.clamp(10) == 2.0
+        assert spec.clamp(0.1) == 0.5
+        assert spec.clamp(1.3) == 1.3
+
+    def test_default_prefers_square(self):
+        assert ContinuousAspectRatio(0.5, 2.0).default() == 1.0
+        assert ContinuousAspectRatio(2.0, 3.0).default() == 2.0
+
+    @given(st.floats(0.1, 10, allow_nan=False))
+    def test_inverted_in_range(self, ar):
+        spec = ContinuousAspectRatio(0.5, 2.0)
+        assert spec.contains(spec.inverted(spec.clamp(ar)))
+
+
+class TestDiscreteAspectRatios:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DiscreteAspectRatios(())
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            DiscreteAspectRatios((1.0, -2.0))
+
+    def test_sorted(self):
+        spec = DiscreteAspectRatios((2.0, 0.5, 1.0))
+        assert spec.values == (0.5, 1.0, 2.0)
+
+    def test_clamp_picks_nearest(self):
+        spec = DiscreteAspectRatios((0.5, 2.0))
+        assert spec.clamp(0.6) == 0.5
+        assert spec.clamp(1.9) == 2.0
+
+    def test_inverted(self):
+        spec = DiscreteAspectRatios((0.5, 2.0))
+        assert spec.inverted(2.0) == 0.5
+
+
+class TestMacroCell:
+    def test_rectangular_factory(self):
+        cell = MacroCell.rectangular("m", 10, 4, [fixed_pin()])
+        assert cell.is_macro and not cell.is_custom
+        assert cell.area(0) == 40
+
+    def test_needs_instance(self):
+        with pytest.raises(ValueError):
+            MacroCell("m", [fixed_pin()], [])
+
+    def test_duplicate_instance_names(self):
+        shape = TileSet.rectangle(2, 2)
+        with pytest.raises(ValueError):
+            MacroCell(
+                "m",
+                [fixed_pin()],
+                [MacroInstance("a", shape), MacroInstance("a", shape)],
+            )
+
+    def test_uncommitted_pin_rejected(self):
+        with pytest.raises(ValueError):
+            MacroCell.rectangular("m", 4, 4, [Pin("p", "n", PinKind.EDGE)])
+
+    def test_duplicate_pin_names(self):
+        with pytest.raises(ValueError):
+            MacroCell.rectangular("m", 4, 4, [fixed_pin("p"), fixed_pin("p", "n1")])
+
+    def test_instance_pin_offset_override(self):
+        shape = TileSet.rectangle(4, 4)
+        alt = MacroInstance("alt", shape, {"p0": (1.0, 1.0)})
+        cell = MacroCell("m", [fixed_pin()], [MacroInstance("d", shape), alt])
+        assert cell.instances[0].pin_offset(cell.pin("p0")) == (0.0, 0.0)
+        assert cell.instances[1].pin_offset(cell.pin("p0")) == (1.0, 1.0)
+
+    def test_missing_offset_rejected_at_construction(self):
+        shape = TileSet.rectangle(4, 4)
+        pin = Pin("p", "n", PinKind.FIXED, offset=(0, 0))
+        cell = MacroCell("m", [pin], [MacroInstance("d", shape)])
+        assert cell.num_instances == 1
+
+    def test_pin_lookup_error(self):
+        cell = MacroCell.rectangular("m", 4, 4, [fixed_pin()])
+        with pytest.raises(KeyError):
+            cell.pin("nope")
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError):
+            MacroCell.rectangular("", 4, 4, [fixed_pin()])
+
+
+class TestCustomCell:
+    def make(self, **kw):
+        defaults = dict(
+            name="c",
+            pins=[Pin("a", "n", PinKind.EDGE)],
+            area=100.0,
+            aspect=ContinuousAspectRatio(0.5, 2.0),
+        )
+        defaults.update(kw)
+        return CustomCell(**defaults)
+
+    def test_positive_area(self):
+        with pytest.raises(ValueError):
+            self.make(area=0)
+
+    def test_dimensions_realize_area(self):
+        cell = self.make()
+        for ar in (0.5, 1.0, 2.0):
+            w, h = cell.dimensions(ar)
+            assert w * h == pytest.approx(100.0)
+            assert h / w == pytest.approx(ar)
+
+    def test_dimensions_reject_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.make().dimensions(5.0)
+
+    def test_shape_for(self):
+        shape = self.make().shape_for(1.0)
+        assert shape.area == pytest.approx(100.0)
+        assert shape.bbox.center.x == pytest.approx(0.0)
+
+    def test_sites_for(self):
+        cell = self.make(sites_per_edge=4)
+        sites = cell.sites_for(1.0)
+        assert len(sites) == 16
+
+    def test_uncommitted_pins(self):
+        cell = self.make(
+            pins=[
+                Pin("a", "n", PinKind.EDGE),
+                Pin("b", "n", PinKind.FIXED, offset=(0, 0)),
+            ]
+        )
+        assert [p.name for p in cell.uncommitted_pins()] == ["a"]
+
+    def test_pin_groups_singletons(self):
+        cell = self.make()
+        groups = cell.pin_groups()
+        assert list(groups) == ["__pin__a"]
+
+    def test_pin_groups_sequence_sorted(self):
+        pins = [
+            Pin("z", "n", PinKind.SEQUENCE, group="s", sequence_index=1),
+            Pin("a", "n", PinKind.SEQUENCE, group="s", sequence_index=0),
+        ]
+        cell = self.make(pins=pins)
+        groups = cell.pin_groups()
+        assert [p.name for p in groups["s"]] == ["a", "z"]
+
+    def test_is_custom(self):
+        cell = self.make()
+        assert cell.is_custom and not cell.is_macro
+
+    @given(st.floats(0.5, 2.0, allow_nan=False))
+    def test_dimensions_property(self, ar):
+        w, h = self.make().dimensions(ar)
+        assert w > 0 and h > 0
+        assert math.isclose(w * h, 100.0, rel_tol=1e-9)

@@ -1,0 +1,127 @@
+"""Circuit assembly, derived nets, statistics."""
+
+import pytest
+
+from repro.netlist import Circuit, MacroCell, Pin, PinKind
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+
+def two_cell_circuit(weights=None):
+    a = MacroCell.rectangular(
+        "a", 10, 10, [Pin("p", "n1", PinKind.FIXED, offset=(5, 0))]
+    )
+    b = MacroCell.rectangular(
+        "b",
+        10,
+        10,
+        [
+            Pin("p", "n1", PinKind.FIXED, offset=(-5, 0)),
+            Pin("q", "n2", PinKind.FIXED, offset=(0, 5)),
+        ],
+    )
+    c = MacroCell.rectangular(
+        "c", 10, 10, [Pin("p", "n2", PinKind.FIXED, offset=(0, -5))]
+    )
+    return Circuit("two", [a, b, c], net_weights=weights)
+
+
+class TestConstruction:
+    def test_duplicate_cell_raises(self):
+        a = MacroCell.rectangular("a", 4, 4, [Pin("p", "n", PinKind.FIXED, offset=(0, 0))])
+        with pytest.raises(ValueError):
+            Circuit("dup", [a, a])
+
+    def test_bad_track_spacing(self):
+        with pytest.raises(ValueError):
+            Circuit("t", [], track_spacing=0)
+
+    def test_nets_derived_from_pins(self):
+        ckt = two_cell_circuit()
+        assert set(ckt.nets) == {"n1", "n2"}
+        assert ckt.nets["n1"].degree == 2
+
+    def test_net_weights_applied(self):
+        ckt = two_cell_circuit(weights={"n1": (2.0, 3.0)})
+        assert ckt.nets["n1"].h_weight == 2.0
+        assert ckt.nets["n1"].v_weight == 3.0
+        assert ckt.nets["n2"].h_weight == 1.0
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(ValueError):
+            two_cell_circuit(weights={"bogus": (1.0, 1.0)})
+
+
+class TestLookups:
+    def test_cell(self):
+        ckt = two_cell_circuit()
+        assert ckt.cell("a").name == "a"
+        with pytest.raises(KeyError):
+            ckt.cell("zzz")
+
+    def test_net(self):
+        ckt = two_cell_circuit()
+        assert ckt.net("n1").name == "n1"
+        with pytest.raises(KeyError):
+            ckt.net("zzz")
+
+    def test_nets_of_cell(self):
+        ckt = two_cell_circuit()
+        assert {n.name for n in ckt.nets_of_cell("b")} == {"n1", "n2"}
+        assert {n.name for n in ckt.nets_of_cell("a")} == {"n1"}
+
+    def test_cell_names_order(self):
+        assert two_cell_circuit().cell_names() == ["a", "b", "c"]
+
+    def test_macro_custom_partition(self):
+        ckt = make_mixed_circuit()
+        assert len(ckt.macro_cells()) == 5
+        assert len(ckt.custom_cells()) == 1
+
+
+class TestStatistics:
+    def test_counts(self):
+        ckt = two_cell_circuit()
+        assert (ckt.num_cells, ckt.num_nets, ckt.num_pins) == (3, 2, 4)
+
+    def test_total_cell_area(self):
+        assert two_cell_circuit().total_cell_area() == 300.0
+
+    def test_total_perimeter(self):
+        assert two_cell_circuit().total_cell_perimeter() == 120.0
+
+    def test_average_pin_density(self):
+        ckt = two_cell_circuit()
+        assert ckt.average_pin_density() == pytest.approx(4 / 120)
+
+    def test_mixed_circuit_stats(self):
+        ckt = make_mixed_circuit()
+        assert ckt.num_pins == 5 * 4 + 6
+        assert ckt.total_cell_area() > 0
+
+
+class TestValidate:
+    def test_clean_circuit(self):
+        assert two_cell_circuit().validate() == []
+
+    def test_dangling_net_reported(self):
+        a = MacroCell.rectangular(
+            "a", 4, 4, [Pin("p", "lonely", PinKind.FIXED, offset=(0, 0))]
+        )
+        b = MacroCell.rectangular(
+            "b", 4, 4, [Pin("p", "other", PinKind.FIXED, offset=(0, 0))]
+        )
+        problems = Circuit("v", [a, b]).validate()
+        assert len(problems) == 2
+        assert any("lonely" in p for p in problems)
+
+    def test_repr(self):
+        assert "3 cells" in repr(two_cell_circuit())
+
+
+class TestFixtures:
+    def test_macro_fixture_deterministic(self):
+        a = make_macro_circuit(seed=3)
+        b = make_macro_circuit(seed=3)
+        assert a.num_pins == b.num_pins
+        assert [c for c in a.cells] == [c for c in b.cells]

@@ -1,0 +1,89 @@
+"""Nets and span computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist import Net, PinRef, bounding_span
+
+
+class TestPinRef:
+    def test_str(self):
+        assert str(PinRef("cellA", "p3")) == "cellA.p3"
+
+    def test_equality(self):
+        assert PinRef("a", "p") == PinRef("a", "p")
+        assert PinRef("a", "p") != PinRef("a", "q")
+
+
+class TestNet:
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            Net("n", [], h_weight=-1)
+
+    def test_duplicate_pin_raises(self):
+        ref = PinRef("a", "p")
+        with pytest.raises(ValueError):
+            Net("n", [ref, ref])
+
+    def test_degree(self):
+        net = Net("n", [PinRef("a", "p"), PinRef("b", "q")])
+        assert net.degree == 2
+
+    def test_cells_order_and_dedupe(self):
+        net = Net(
+            "n",
+            [PinRef("b", "p1"), PinRef("a", "p2"), PinRef("b", "p3")],
+        )
+        assert net.cells() == ["b", "a"]
+
+    def test_weighted_length(self):
+        net = Net("n", [], h_weight=2.0, v_weight=0.5)
+        assert net.weighted_length(10, 4) == 22.0
+
+    def test_default_weights_give_teil(self):
+        net = Net("n", [])
+        assert net.weighted_length(3, 4) == 7.0
+
+
+class TestBoundingSpan:
+    def test_empty(self):
+        assert bounding_span([]) == (0.0, 0.0)
+
+    def test_single_point(self):
+        assert bounding_span([(3, 4)]) == (0.0, 0.0)
+
+    def test_two_points(self):
+        assert bounding_span([(0, 0), (3, -4)]) == (3.0, 4.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_nonnegative_and_monotone(self, points):
+        xs, ys = bounding_span(points)
+        assert xs >= 0 and ys >= 0
+        # Adding a point can only grow the span.
+        xs2, ys2 = bounding_span(points + [(0.0, 0.0)])
+        assert xs2 >= xs - 1e-9 or ys2 >= ys - 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50, allow_nan=False), st.floats(-50, 50, allow_nan=False)),
+            min_size=2,
+            max_size=10,
+        ),
+        st.floats(-20, 20, allow_nan=False),
+        st.floats(-20, 20, allow_nan=False),
+    )
+    def test_translation_invariant(self, points, dx, dy):
+        moved = [(x + dx, y + dy) for x, y in points]
+        a = bounding_span(points)
+        b = bounding_span(moved)
+        assert a[0] == pytest.approx(b[0], abs=1e-6)
+        assert a[1] == pytest.approx(b[1], abs=1e-6)

@@ -1,0 +1,91 @@
+"""Pad-ring generation."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.netlist import Circuit, MacroCell, Pin, PinKind, make_pad_ring
+
+
+class TestValidation:
+    def test_bad_core(self):
+        with pytest.raises(ValueError):
+            make_pad_ring(0, 10, ["a"])
+
+    def test_no_signals(self):
+        with pytest.raises(ValueError):
+            make_pad_ring(10, 10, [])
+
+    def test_pads_must_fit(self):
+        with pytest.raises(ValueError):
+            make_pad_ring(20, 20, [f"s{i}" for i in range(40)], pad_width=10)
+
+
+class TestGeometry:
+    def test_one_pad_per_signal(self):
+        pads = make_pad_ring(100, 80, [f"s{i}" for i in range(7)])
+        assert len(pads) == 7
+        assert all(p.is_fixed for p in pads)
+
+    def test_pads_outside_core(self):
+        core = Rect.from_center(0, 0, 100, 80)
+        pads = make_pad_ring(100, 80, [f"s{i}" for i in range(8)], clearance=4)
+        for pad in pads:
+            x, y = pad.fixed.x, pad.fixed.y
+            assert not core.contains_point(x, y)
+
+    def test_pads_disjoint(self):
+        pads = make_pad_ring(100, 80, [f"s{i}" for i in range(12)])
+        shapes = []
+        for pad in pads:
+            shape = (
+                pad.instances[0]
+                .shape.transformed(pad.fixed.orientation)
+                .translated(pad.fixed.x, pad.fixed.y)
+            )
+            shapes.append(shape)
+        for i in range(len(shapes)):
+            for j in range(i + 1, len(shapes)):
+                assert shapes[i].overlap_area(shapes[j]) == 0.0
+
+    def test_pins_face_core(self):
+        from repro.geometry import orientation as ori
+
+        pads = make_pad_ring(100, 80, [f"s{i}" for i in range(8)])
+        for pad in pads:
+            pin = pad.pin("io")
+            lx, ly = pad.instances[0].pin_offset(pin)
+            wx, wy = ori.transform_point(pad.fixed.orientation, lx, ly)
+            pin_x, pin_y = pad.fixed.x + wx, pad.fixed.y + wy
+            # The pin must be nearer the core center than the pad center is.
+            assert abs(pin_x) + abs(pin_y) < abs(pad.fixed.x) + abs(pad.fixed.y)
+
+    def test_signals_assigned_in_order(self):
+        pads = make_pad_ring(100, 80, ["clk", "rst", "d0", "d1"])
+        assert [p.pin("io").net for p in pads] == ["clk", "rst", "d0", "d1"]
+
+
+class TestInFlow:
+    def test_padded_circuit_places(self):
+        from repro import TimberWolfConfig, place_and_route
+
+        signals = [f"s{i}" for i in range(6)]
+        pads = make_pad_ring(60, 60, signals, clearance=2)
+        core_cells = [
+            MacroCell.rectangular(
+                f"m{i}",
+                14,
+                14,
+                [
+                    Pin("a", signals[i], PinKind.FIXED, offset=(0, 7)),
+                    Pin("b", signals[(i + 1) % 6], PinKind.FIXED, offset=(0, -7)),
+                ],
+            )
+            for i in range(6)
+        ]
+        circuit = Circuit("padded", pads + core_cells)
+        result = place_and_route(circuit, TimberWolfConfig.smoke(seed=3))
+        state = result.state
+        for pad in pads:
+            record = state.records[state.index[pad.name]]
+            assert record.center == (pad.fixed.x, pad.fixed.y)
+        assert result.teil > 0

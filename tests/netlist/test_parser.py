@@ -1,0 +1,176 @@
+"""The circuit text format: parsing, serialization, errors."""
+
+import pytest
+
+from repro.bench import CircuitSpec, generate_circuit
+from repro.netlist import (
+    ALL_SIDES,
+    ContinuousAspectRatio,
+    CustomCell,
+    DiscreteAspectRatios,
+    MacroCell,
+    ParseError,
+    PinKind,
+    dump,
+    dumps,
+    load,
+    loads,
+)
+
+SAMPLE = """
+# a demonstration circuit
+circuit demo
+track_spacing 2.0
+
+macrocell RAM
+  tile 0 0 40 30
+  tile 40 0 60 10
+  pin CLK net clk at 0 15
+  pin D0 net bus0 at 60 5 equiv BUS
+end
+
+customcell ALU area 900 aspect 0.5 2.0
+  sites 6 pitch 1.5
+  pin A net bus0 edge left,right
+  pin B net clk group CTL edge top
+  pin C net clk seq PINS 0 edge bottom
+  pin F net bus0 at 10 0
+end
+
+net clk weight 2.0 3.0
+"""
+
+
+class TestLoads:
+    def test_basic(self):
+        ckt = loads(SAMPLE)
+        assert ckt.name == "demo"
+        assert ckt.track_spacing == 2.0
+        assert set(ckt.cells) == {"RAM", "ALU"}
+        assert set(ckt.nets) == {"clk", "bus0"}
+
+    def test_macro_recentered(self):
+        ckt = loads(SAMPLE)
+        ram = ckt.cell("RAM")
+        assert isinstance(ram, MacroCell)
+        bbox = ram.instances[0].shape.bbox
+        assert bbox.center.x == pytest.approx(0)
+        assert bbox.center.y == pytest.approx(0)
+
+    def test_macro_pins_shifted_with_geometry(self):
+        ckt = loads(SAMPLE)
+        ram = ckt.cell("RAM")
+        # Original CLK at (0, 15); bbox center was (30, 15).
+        assert ram.pin("CLK").offset == (-30.0, 0.0)
+
+    def test_equiv_class(self):
+        assert loads(SAMPLE).cell("RAM").pin("D0").equiv_class == "BUS"
+
+    def test_custom_attributes(self):
+        alu = loads(SAMPLE).cell("ALU")
+        assert isinstance(alu, CustomCell)
+        assert alu.area == 900
+        assert alu.sites_per_edge == 6
+        assert alu.pin_pitch == 1.5
+        assert isinstance(alu.aspect, ContinuousAspectRatio)
+
+    def test_custom_pin_kinds(self):
+        alu = loads(SAMPLE).cell("ALU")
+        assert alu.pin("A").kind is PinKind.EDGE
+        assert alu.pin("A").sides == frozenset({"left", "right"})
+        assert alu.pin("B").kind is PinKind.GROUP
+        assert alu.pin("C").kind is PinKind.SEQUENCE
+        assert alu.pin("C").sequence_index == 0
+        assert alu.pin("F").kind is PinKind.FIXED
+
+    def test_net_weights(self):
+        ckt = loads(SAMPLE)
+        assert ckt.nets["clk"].h_weight == 2.0
+        assert ckt.nets["clk"].v_weight == 3.0
+
+    def test_aspect_list(self):
+        text = """
+        circuit d
+        customcell C area 100 aspect_list 0.5,1.0,2.0
+          pin a net n1
+        end
+        macrocell M
+          tile 0 0 4 4
+          pin b net n1 at 0 0
+        end
+        """
+        cell = loads(text).cell("C")
+        assert isinstance(cell.aspect, DiscreteAspectRatios)
+        assert cell.aspect.values == (0.5, 1.0, 2.0)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "bogus directive",
+            "circuit a b c",
+            "macrocell M\n  tile 0 0 4 4\n",  # missing end
+            "macrocell M\nend",  # no tiles
+            "macrocell M\n  tile 4 0 0 4\nend",  # malformed tile
+            "macrocell M\n  tile 0 0 4 4\n  pin p net n\nend",  # macro pin needs at
+            "customcell C area 100\nend",  # missing aspect
+            "net x weight 1",
+            "macrocell M\n  tile 0 0 4 4\n  pin p net n at 0 0 edge north\nend",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            loads(text)
+
+    def test_error_carries_lineno(self):
+        try:
+            loads("circuit ok\nbogus here")
+        except ParseError as exc:
+            assert exc.lineno == 2
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_comments_and_blanks_ignored(self):
+        ckt = loads("# hi\n\ncircuit c # trailing\n")
+        assert ckt.name == "c"
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        a = loads(SAMPLE)
+        b = loads(dumps(a))
+        assert dumps(a) == dumps(b)
+
+    def test_roundtrip_preserves_stats(self):
+        a = loads(SAMPLE)
+        b = loads(dumps(a))
+        assert (a.num_cells, a.num_nets, a.num_pins) == (
+            b.num_cells,
+            b.num_nets,
+            b.num_pins,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_generated_circuit_roundtrip(self, seed):
+        spec = CircuitSpec(
+            name=f"gen{seed}",
+            num_cells=8,
+            num_nets=12,
+            num_pins=40,
+            seed=seed,
+            custom_fraction=0.25,
+        )
+        a = generate_circuit(spec)
+        b = loads(dumps(a))
+        assert dumps(a) == dumps(b)
+        assert set(a.nets) == set(b.nets)
+        for name in a.nets:
+            assert a.nets[name].degree == b.nets[name].degree
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "c.twmc"
+        a = loads(SAMPLE)
+        dump(a, path)
+        b = load(path)
+        assert dumps(a) == dumps(b)

@@ -1,0 +1,112 @@
+"""Pins, pin specs, and pin sites."""
+
+import pytest
+
+from repro.geometry import BOTTOM, LEFT, RIGHT, TOP
+from repro.netlist import (
+    ALL_SIDES,
+    Pin,
+    PinKind,
+    PinSite,
+    make_pin_sites,
+    site_local_position,
+)
+
+
+class TestPinValidation:
+    def test_fixed_needs_offset(self):
+        with pytest.raises(ValueError):
+            Pin("p", "n", PinKind.FIXED)
+
+    def test_group_needs_group(self):
+        with pytest.raises(ValueError):
+            Pin("p", "n", PinKind.GROUP)
+
+    def test_sequence_needs_index(self):
+        with pytest.raises(ValueError):
+            Pin("p", "n", PinKind.SEQUENCE, group="g")
+
+    def test_bad_side(self):
+        with pytest.raises(ValueError):
+            Pin("p", "n", PinKind.EDGE, sides=frozenset({"north"}))
+
+    def test_empty_sides(self):
+        with pytest.raises(ValueError):
+            Pin("p", "n", PinKind.EDGE, sides=frozenset())
+
+    def test_default_sides_all(self):
+        pin = Pin("p", "n", PinKind.EDGE)
+        assert pin.sides == ALL_SIDES
+
+    def test_committed(self):
+        assert Pin("p", "n", PinKind.FIXED, offset=(0, 0)).is_committed
+        assert not Pin("p", "n", PinKind.EDGE).is_committed
+
+    def test_valid_sequence(self):
+        pin = Pin("p", "n", PinKind.SEQUENCE, group="g", sequence_index=2)
+        assert pin.group == "g" and pin.sequence_index == 2
+
+
+class TestPinSite:
+    def test_bad_side(self):
+        with pytest.raises(ValueError):
+            PinSite("middle", 0, 0.5, 1)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            PinSite(LEFT, 0, 1.5, 1)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PinSite(LEFT, 0, 0.5, 0)
+
+    def test_key(self):
+        assert PinSite(TOP, 3, 0.5, 2).key == (TOP, 3)
+
+
+class TestMakePinSites:
+    def test_count(self):
+        sites = make_pin_sites(40, 20, sites_per_edge=5)
+        assert len(sites) == 20
+        assert sum(1 for s in sites if s.side == LEFT) == 5
+
+    def test_capacity_scales_with_edge(self):
+        sites = make_pin_sites(40, 20, sites_per_edge=5, pin_pitch=1.0)
+        left_cap = next(s.capacity for s in sites if s.side == LEFT)
+        top_cap = next(s.capacity for s in sites if s.side == TOP)
+        assert left_cap == 4  # 20 / 1.0 / 5
+        assert top_cap == 8  # 40 / 1.0 / 5
+
+    def test_capacity_at_least_one(self):
+        sites = make_pin_sites(2, 2, sites_per_edge=8, pin_pitch=1.0)
+        assert all(s.capacity == 1 for s in sites)
+
+    def test_fractions_even(self):
+        sites = make_pin_sites(10, 10, sites_per_edge=2)
+        lefts = sorted(s.fraction for s in sites if s.side == LEFT)
+        assert lefts == [0.25, 0.75]
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            make_pin_sites(10, 10, 0)
+        with pytest.raises(ValueError):
+            make_pin_sites(10, 10, 4, pin_pitch=0)
+
+
+class TestSiteLocalPosition:
+    @pytest.mark.parametrize(
+        "side,expected",
+        [
+            (LEFT, (-5.0, 0.0)),
+            (RIGHT, (5.0, 0.0)),
+            (BOTTOM, (0.0, -2.0)),
+            (TOP, (0.0, 2.0)),
+        ],
+    )
+    def test_center_site(self, side, expected):
+        site = PinSite(side, 0, 0.5, 1)
+        assert site_local_position(site, 10, 4) == expected
+
+    def test_corner_site(self):
+        site = PinSite(LEFT, 0, 0.0, 1)
+        assert site_local_position(site, 10, 4) == (-5.0, -2.0)

@@ -1,0 +1,86 @@
+"""Deterministic compaction toward the core center."""
+
+import random
+
+import pytest
+
+from repro.estimator import determine_core
+from repro.placement import PlacementState, compact, remove_overlaps
+from repro.placement.legalize import raw_overlap
+
+from ..conftest import make_macro_circuit
+
+
+def spread_state(seed=0, margin=2.0):
+    """A legal, statically-expanded placement spread across the core."""
+    ckt = make_macro_circuit(num_cells=6, seed=seed)
+    state = PlacementState(ckt, determine_core(ckt))
+    state.randomize(random.Random(seed))
+    state.set_static_expansions(
+        {name: {"left": margin, "right": margin, "bottom": margin, "top": margin}
+         for name in state.names}
+    )
+    remove_overlaps(state, use_expanded=True)
+    return state
+
+
+class TestCompact:
+    def test_requires_static_mode(self):
+        ckt = make_macro_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        with pytest.raises(ValueError):
+            compact(state)
+
+    def test_reduces_chip_area(self):
+        state = spread_state(seed=3)
+        before = state.chip_area()
+        moved = compact(state)
+        assert moved > 0
+        assert state.chip_area() <= before
+
+    def test_preserves_margin_disjointness(self):
+        state = spread_state(seed=4)
+        compact(state)
+        expanded = [
+            state._expanded_shape(i, state._world_shape(i))
+            for i in range(len(state.names))
+        ]
+        assert raw_overlap(expanded) == pytest.approx(0.0, abs=1e-5)
+
+    def test_idempotent_after_convergence(self):
+        state = spread_state(seed=5)
+        compact(state, passes=6)
+        again = compact(state, passes=2)
+        assert again == pytest.approx(0.0, abs=1e-3)
+
+    def test_reduces_teil(self):
+        # Pulling everything toward the center shortens the spans.
+        state = spread_state(seed=6)
+        before = state.teil()
+        compact(state)
+        assert state.teil() <= before + 1e-6
+
+    def test_fixed_cells_stay(self):
+        from repro.netlist import Circuit, FixedPlacement, MacroCell
+
+        base = make_macro_circuit(num_cells=5, seed=7)
+        cells = list(base.cells.values())
+        first = cells[0]
+        cells[0] = MacroCell(
+            first.name,
+            list(first.pins.values()),
+            first.instances,
+            fixed=FixedPlacement(40.0, 40.0),
+        )
+        ckt = Circuit("fixedcompact", cells)
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(0))
+        state.set_static_expansions({})
+        remove_overlaps(state, use_expanded=True)
+        compact(state)
+        assert state.records[0].center == (40.0, 40.0)
+
+    def test_validation(self):
+        state = spread_state(seed=8)
+        with pytest.raises(ValueError):
+            compact(state, passes=0)

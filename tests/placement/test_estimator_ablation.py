@@ -1,0 +1,56 @@
+"""The estimator_scale ablation knob (Cw scaling, §2.2)."""
+
+import pytest
+
+from repro.config import TimberWolfConfig
+from repro.estimator import determine_core
+from repro.placement import run_stage1
+
+from ..conftest import make_macro_circuit
+
+
+class TestCwScale:
+    def test_zero_scale_means_no_margins(self):
+        ckt = make_macro_circuit()
+        plan = determine_core(ckt, cw_scale=0.0)
+        assert plan.cw == 0.0
+        # Core sized for the cells alone.
+        assert plan.core.area == pytest.approx(ckt.total_cell_area(), rel=1e-6)
+
+    def test_scale_monotone_in_core_area(self):
+        ckt = make_macro_circuit()
+        areas = [
+            determine_core(ckt, cw_scale=s).core.area for s in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            determine_core(make_macro_circuit(), cw_scale=-1.0)
+        with pytest.raises(ValueError):
+            TimberWolfConfig(estimator_scale=-0.5)
+
+    def test_config_threads_through_stage1(self):
+        from dataclasses import replace
+
+        ckt = make_macro_circuit()
+        cfg = replace(TimberWolfConfig.smoke(seed=2), estimator_scale=0.0)
+        result = run_stage1(ckt, cfg)
+        assert result.plan.cw == 0.0
+        # With no margins, expanded shapes equal the raw shapes.
+        state = result.state
+        for name in state.names:
+            assert (
+                state.expanded_shape(name).bbox.area
+                == pytest.approx(state.world_shape(name).bbox.area)
+            )
+
+    def test_default_scale_reserves_area(self):
+        cfg = TimberWolfConfig.smoke(seed=2)
+        result = run_stage1(make_macro_circuit(), cfg)
+        state = result.state
+        name = state.names[0]
+        assert (
+            state.expanded_shape(name).bbox.area
+            > state.world_shape(name).bbox.area
+        )

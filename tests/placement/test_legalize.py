@@ -1,0 +1,79 @@
+"""Overlap removal before channel definition."""
+
+import random
+
+import pytest
+
+from repro.estimator import determine_core
+from repro.placement import PlacementState, raw_overlap, remove_overlaps
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+
+def overlapping_state(seed=0, num_cells=6):
+    ckt = make_macro_circuit(num_cells=num_cells, seed=seed)
+    state = PlacementState(ckt, determine_core(ckt))
+    # Everything starts stacked at the core center: maximal overlap.
+    return state
+
+
+class TestRemoveOverlaps:
+    def test_removes_stacked_overlap(self):
+        state = overlapping_state()
+        assert state.c2_raw() > 0
+        residual = remove_overlaps(state)
+        assert residual == 0.0
+        shapes = [state.world_shape(n) for n in state.names]
+        assert raw_overlap(shapes) == 0.0
+
+    def test_random_start(self):
+        state = overlapping_state(seed=2)
+        state.randomize(random.Random(0))
+        assert remove_overlaps(state) == 0.0
+
+    def test_min_gap_respected(self):
+        state = overlapping_state(seed=3)
+        state.randomize(random.Random(1))
+        remove_overlaps(state, min_gap=2.0)
+        shapes = [state.world_shape(n) for n in state.names]
+        # Shrinking the gap margin must keep shapes disjoint even after
+        # expanding each by just under half the gap.
+        padded = [s.expanded_uniform(0.99) for s in shapes]
+        assert raw_overlap(padded) == pytest.approx(0.0, abs=1e-6)
+
+    def test_idempotent(self):
+        state = overlapping_state(seed=4)
+        remove_overlaps(state)
+        centers = [r.center for r in state.records]
+        remove_overlaps(state)
+        assert [r.center for r in state.records] == centers
+
+    def test_mixed_circuit(self):
+        ckt = make_mixed_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(2))
+        assert remove_overlaps(state) == 0.0
+
+    def test_state_rebuilt_after(self):
+        state = overlapping_state(seed=5)
+        remove_overlaps(state)
+        cost = state.cost()
+        state.rebuild()
+        assert state.cost() == pytest.approx(cost)
+
+    def test_validation(self):
+        state = overlapping_state()
+        with pytest.raises(ValueError):
+            remove_overlaps(state, max_passes=0)
+
+
+class TestRawOverlap:
+    def test_empty(self):
+        assert raw_overlap([]) == 0.0
+
+    def test_counts_pairs(self):
+        from repro.geometry import TileSet
+
+        a = TileSet.rectangle(4, 4)
+        b = TileSet.rectangle(4, 4).translated(2, 0)
+        assert raw_overlap([a, b]) == pytest.approx(8.0)

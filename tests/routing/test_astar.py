@@ -1,0 +1,103 @@
+"""A* search and geometric ordering: equivalence with plain Dijkstra."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import dijkstra, k_shortest_paths, m_shortest_routes
+from repro.routing import prim_order, prim_order_geometric
+
+
+def random_geometric_graph(seed, n=25):
+    """Random points connected to their nearest neighbours with Manhattan
+    edge lengths — the structure of a channel graph."""
+    rng = random.Random(seed)
+    positions = {i: (rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(n)}
+    adj = {i: [] for i in range(n)}
+
+    def dist(a, b):
+        pa, pb = positions[a], positions[b]
+        return abs(pa[0] - pb[0]) + abs(pa[1] - pb[1])
+
+    for i in range(n):
+        nearest = sorted((dist(i, j), j) for j in range(n) if j != i)[:4]
+        for d, j in nearest:
+            if all(v != j for v, _ in adj[i]):
+                adj[i].append((j, d))
+            if all(v != i for v, _ in adj[j]):
+                adj[j].append((i, d))
+    return (lambda u: adj[u]), positions
+
+
+class TestAStarEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_same_shortest_length(self, seed):
+        nb, positions = random_geometric_graph(seed)
+        rng = random.Random(seed + 1)
+        src = rng.randrange(25)
+        dst = rng.randrange(25)
+        plain = dijkstra(nb, {src: 0.0}, {dst})
+        astar = dijkstra(nb, {src: 0.0}, {dst}, positions=positions)
+        assert (plain is None) == (astar is None)
+        if plain is not None:
+            assert astar[0] == pytest.approx(plain[0])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_k_shortest_same_best(self, seed):
+        nb, positions = random_geometric_graph(seed)
+        rng = random.Random(seed + 2)
+        src = rng.randrange(25)
+        dst = rng.randrange(25)
+        plain = k_shortest_paths(nb, {src: 0.0}, {dst}, 3)
+        astar = k_shortest_paths(nb, {src: 0.0}, {dst}, 3, positions=positions)
+        if plain:
+            assert astar
+            assert astar[0][0] == pytest.approx(plain[0][0])
+
+    def test_multi_source_with_positions(self):
+        nb, positions = random_geometric_graph(7)
+        result = dijkstra(nb, {0: 0.0, 1: 0.0}, {5}, positions=positions)
+        plain = dijkstra(nb, {0: 0.0, 1: 0.0}, {5})
+        assert result[0] == pytest.approx(plain[0])
+
+
+class TestGeometricOrdering:
+    def test_matches_graph_order_on_grid(self):
+        # On a unit grid, geometric and graph distances agree.
+        n = 5
+        adj = {}
+        positions = {}
+
+        def node(x, y):
+            return y * n + x
+
+        for y in range(n):
+            for x in range(n):
+                u = node(x, y)
+                positions[u] = (float(x), float(y))
+                adj.setdefault(u, [])
+                for dx, dy in ((1, 0), (0, 1)):
+                    if x + dx < n and y + dy < n:
+                        v = node(x + dx, y + dy)
+                        adj[u].append((v, 1.0))
+                        adj.setdefault(v, []).append((u, 1.0))
+        groups = [[node(0, 0)], [node(4, 4)], [node(1, 0)], [node(0, 3)]]
+        graph_order = prim_order(lambda u: adj[u], groups)
+        geo_order = prim_order_geometric(positions, groups)
+        assert geo_order == graph_order
+
+    def test_empty(self):
+        assert prim_order_geometric({}, []) == []
+
+    def test_routes_same_quality_with_positions(self):
+        nb, positions = random_geometric_graph(3)
+        groups = [[0], [7], [13]]
+        plain = m_shortest_routes(nb, groups, 4)
+        fast = m_shortest_routes(nb, groups, 4, positions=positions)
+        if plain and fast:
+            # The scalable configuration must not lose more than a few
+            # percent on the best route.
+            assert fast[0].length <= plain[0].length * 1.1 + 1e-9
