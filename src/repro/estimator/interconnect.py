@@ -88,22 +88,35 @@ class InterconnectEstimator:
         self.core = core
         self.profile = profile if profile is not None else ModulationProfile()
         self.average_pin_density = average_pin_density
+        # Hot-path constants: edge_expansion runs four times per
+        # annealing move, so the center/extent lookups are hoisted here
+        # (identical values and arithmetic to the property chain).
+        self._cx = core.center.x
+        self._cy = core.center.y
+        self._half_w = 0.5 * core.width
+        self._half_h = 0.5 * core.height
+        p = self.profile
+        self._base = 0.5 * p.alpha * self.cw
 
     # -- positional modulation (factor 2) --------------------------------
 
     def fx(self, x: float) -> float:
         """Horizontal modulation; x is an absolute coordinate."""
         p = self.profile
-        cx = self.core.center.x
-        rel = min(abs(x - cx), 0.5 * self.core.width)
-        return p.m_x - rel * (p.m_x - p.b_x) / (0.5 * self.core.width)
+        half_w = self._half_w
+        rel = abs(x - self._cx)
+        if rel > half_w:
+            rel = half_w
+        return p.m_x - rel * (p.m_x - p.b_x) / half_w
 
     def fy(self, y: float) -> float:
         """Vertical modulation; y is an absolute coordinate."""
         p = self.profile
-        cy = self.core.center.y
-        rel = min(abs(y - cy), 0.5 * self.core.height)
-        return p.m_y - rel * (p.m_y - p.b_y) / (0.5 * self.core.height)
+        half_h = self._half_h
+        rel = abs(y - self._cy)
+        if rel > half_h:
+            rel = half_h
+        return p.m_y - rel * (p.m_y - p.b_y) / half_h
 
     # -- pin-density modulation (factor 3) ---------------------------------
 
@@ -124,13 +137,38 @@ class InterconnectEstimator:
     ) -> float:
         """e_w of Eqn 2 for a cell edge whose representative position is
         (x, y): half the expected width of the adjacent channel."""
+        return self._base * self.fx(x) * self.fy(y) * self.frp(pin_density)
+
+    def side_expansions(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        d_left: Optional[float],
+        d_bottom: Optional[float],
+        d_right: Optional[float],
+        d_top: Optional[float],
+    ) -> "tuple[float, float, float, float]":
+        """``edge_expansion`` for all four sides of a cell bbox at once.
+
+        Returns (left, bottom, right, top).  The vertical sides share
+        fy(cy) and the horizontal sides share fx(cx), so the four calls
+        collapse to four modulation evaluations instead of eight; every
+        arithmetic expression is the same as in the single-edge path.
+        The bbox is passed as bare floats so the caller need not build a
+        Rect for it.
+        """
+        cx = (x1 + x2) / 2.0
+        cy = (y1 + y2) / 2.0
+        fy_c = self.fy(cy)
+        fx_c = self.fx(cx)
+        base = self._base
         return (
-            0.5
-            * self.profile.alpha
-            * self.cw
-            * self.fx(x)
-            * self.fy(y)
-            * self.frp(pin_density)
+            base * self.fx(x1) * fy_c * self.frp(d_left),
+            base * fx_c * self.fy(y1) * self.frp(d_bottom),
+            base * self.fx(x2) * fy_c * self.frp(d_right),
+            base * fx_c * self.fy(y2) * self.frp(d_top),
         )
 
     def center_expansion(self) -> float:

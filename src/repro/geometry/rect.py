@@ -149,10 +149,14 @@ class Rect:
 
     def overlap_area(self, other: "Rect") -> float:
         """Common area of two rectangles (the paper's Ot function)."""
-        w = interval_overlap(self.x1, self.x2, other.x1, other.x2)
-        if w == 0.0:
+        # interval_overlap inlined: this is the innermost call of the C2
+        # narrow phase, executed a few times per annealing move.
+        w = min(self.x2, other.x2) - max(self.x1, other.x1)
+        if w <= 0.0:
             return 0.0
-        h = interval_overlap(self.y1, self.y2, other.y1, other.y2)
+        h = min(self.y2, other.y2) - max(self.y1, other.y1)
+        if h <= 0.0:
+            return 0.0
         return w * h
 
     def intersection(self, other: "Rect") -> Optional["Rect"]:

@@ -193,11 +193,16 @@ class TileSet:
 
     def overlap_area(self, other: "TileSet") -> float:
         """The paper's O(i, j): summed common area over all tile pairs (Eqn 8)."""
+        # Broad-phase reject: disjoint bounding boxes share no area.
         if not self._bbox.intersects(other._bbox):
             return 0.0
+        a, b = self._tiles, other._tiles
+        if len(a) == 1 and len(b) == 1:
+            # Rectangular cells dominate real netlists; skip the loop.
+            return a[0].overlap_area(b[0])
         total = 0.0
-        for ti in self._tiles:
-            for tj in other._tiles:
+        for ti in a:
+            for tj in b:
                 total += ti.overlap_area(tj)
         return total
 
@@ -219,6 +224,16 @@ class TileSet:
 
     def transformed(self, orientation: int) -> "TileSet":
         """Apply one of the eight orientations about the origin."""
+        tiles = self._tiles
+        if len(tiles) == 1:
+            # Single-rect cells re-orient on every aspect/rotation move;
+            # a lone transformed tile needs no validation pass.
+            only = ori.transform_rect(orientation, tiles[0])
+            out = TileSet.__new__(TileSet)
+            out._tiles = (only,)
+            out._bbox = only
+            out._area = only.area
+            return out
         return TileSet(
             [ori.transform_rect(orientation, t) for t in self._tiles],
             check_connected=False,
@@ -241,6 +256,41 @@ class TileSet:
         out._area = sum(r.area for r in rects)
         return out
 
+    def translated_expanded(
+        self,
+        dx: float,
+        dy: float,
+        left: float,
+        bottom: float,
+        right: float,
+        top: float,
+    ) -> "TileSet":
+        """``translated(dx, dy).expanded_per_side(left, bottom, right, top)``
+        without materializing the intermediate tile set (the annealing hot
+        path builds one expanded set per move); the arithmetic composes
+        the two steps verbatim, so the result is bit-identical."""
+        if min(left, bottom, right, top) < 0:
+            raise ValueError("expansions must be non-negative")
+        rects = [
+            Rect(
+                (t.x1 + dx) - left,
+                (t.y1 + dy) - bottom,
+                (t.x2 + dx) + right,
+                (t.y2 + dy) + top,
+            )
+            for t in self._tiles
+        ]
+        out = TileSet.__new__(TileSet)
+        out._tiles = tuple(rects)
+        if len(rects) == 1:
+            only = rects[0]
+            out._bbox = only
+            out._area = only.area
+        else:
+            out._bbox = Rect.bounding(rects)
+            out._area = sum(r.area for r in rects)
+        return out
+
     def expanded_per_side(
         self, left: float, bottom: float, right: float, top: float
     ) -> "TileSet":
@@ -250,8 +300,14 @@ class TileSet:
         rects = [t.expanded(left, bottom, right, top) for t in self._tiles]
         out = TileSet.__new__(TileSet)
         out._tiles = tuple(rects)
-        out._bbox = Rect.bounding(rects)
-        out._area = sum(r.area for r in rects)
+        if len(rects) == 1:
+            # Single-tile fast path (this runs on every annealing move).
+            only = rects[0]
+            out._bbox = only
+            out._area = only.area
+        else:
+            out._bbox = Rect.bounding(rects)
+            out._area = sum(r.area for r in rects)
         return out
 
     # -- boundary extraction ----------------------------------------------

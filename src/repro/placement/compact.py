@@ -17,11 +17,13 @@ from __future__ import annotations
 from typing import List
 
 from ..geometry import TileSet
+from .spatial import UniformGridIndex
 from .state import PlacementState
 
 
 def _max_slide(
     shapes: List[TileSet],
+    grid: UniformGridIndex,
     idx: int,
     dx: float,
     dy: float,
@@ -30,14 +32,20 @@ def _max_slide(
     tolerance: float = 1e-9,
 ) -> float:
     """Largest step in direction (dx, dy) (unit axis vector) up to
-    ``limit`` that keeps shape ``idx`` from overlapping any other."""
+    ``limit`` that keeps shape ``idx`` from overlapping any other.
+
+    ``grid`` indexes every shape's current bbox, so each collision probe
+    inspects only the cells binned near the trial position instead of
+    the whole placement."""
 
     def collides(step: float) -> bool:
         moved = shapes[idx].translated(dx * step, dy * step)
-        for j, other in enumerate(shapes):
+        bbox = moved.bbox
+        for j in grid.query(bbox):
             if j == idx:
                 continue
-            if moved.bbox.intersects(other.bbox) and moved.overlap_area(
+            other = shapes[j]
+            if bbox.intersects(other.bbox) and moved.overlap_area(
                 other
             ) > tolerance:
                 return True
@@ -71,6 +79,9 @@ def compact(state: PlacementState, passes: int = 3) -> float:
     shapes: List[TileSet] = [
         state._expanded_shape(i, state._world_shape(i)) for i in range(n)
     ]
+    grid = UniformGridIndex.for_bboxes([s.bbox for s in shapes])
+    for i in range(n):
+        grid.insert(i, shapes[i].bbox)
     cx, cy = state.core.center.x, state.core.center.y
     total_moved = 0.0
 
@@ -91,10 +102,11 @@ def compact(state: PlacementState, passes: int = 3) -> float:
                     continue
                 direction = 1.0 if gap > 0 else -1.0
                 dx, dy = (direction, 0.0) if axis == 0 else (0.0, direction)
-                step = _max_slide(shapes, i, dx, dy, abs(gap))
+                step = _max_slide(shapes, grid, i, dx, dy, abs(gap))
                 if step <= 1e-9:
                     continue
                 shapes[i] = shapes[i].translated(dx * step, dy * step)
+                grid.update(i, shapes[i].bbox)
                 record = state.records[i]
                 record.center = (
                     record.center[0] + dx * step,

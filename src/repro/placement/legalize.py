@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..geometry import Rect, TileSet
+from .spatial import UniformGridIndex
 from .state import PlacementState
 
 
@@ -69,10 +70,21 @@ def remove_overlaps(
     movable = state.movable
     gap = min_gap / 2.0
 
+    # Broad phase: bboxes (grown by the half-gap pad, so padded shapes
+    # that intersect are guaranteed to share a bin) live in a uniform
+    # grid kept current as cells shift.  A pass that shoves nothing has
+    # inspected a superset of every overlapping pair, so the legality
+    # guarantee on exit is identical to the all-pairs loop.
+    grid = UniformGridIndex.for_bboxes([s.bbox for s in shapes])
+    for i in range(n):
+        grid.insert(i, shapes[i].bbox.expanded_uniform(gap))
+
     for _ in range(max_passes):
         moved = False
         for i in range(n):
-            for j in range(i + 1, n):
+            for j in sorted(grid.candidates(i)):
+                if j < i:
+                    continue  # pair handled from the lower index
                 pad_i = shapes[i] if gap == 0 else shapes[i].expanded_uniform(gap)
                 pad_j = shapes[j] if gap == 0 else shapes[j].expanded_uniform(gap)
                 if not pad_i.bbox.intersects(pad_j.bbox):
@@ -91,13 +103,13 @@ def remove_overlaps(
                 if dx <= dy:
                     shift = dx / 2.0 + tolerance
                     sign = 1.0 if shapes[i].bbox.center.x <= shapes[j].bbox.center.x else -1.0
-                    _shift_cell(state, shapes, i, -sign * shift * share_i, 0.0)
-                    _shift_cell(state, shapes, j, sign * shift * share_j, 0.0)
+                    _shift_cell(state, shapes, grid, gap, i, -sign * shift * share_i, 0.0)
+                    _shift_cell(state, shapes, grid, gap, j, sign * shift * share_j, 0.0)
                 else:
                     shift = dy / 2.0 + tolerance
                     sign = 1.0 if shapes[i].bbox.center.y <= shapes[j].bbox.center.y else -1.0
-                    _shift_cell(state, shapes, i, 0.0, -sign * shift * share_i)
-                    _shift_cell(state, shapes, j, 0.0, sign * shift * share_j)
+                    _shift_cell(state, shapes, grid, gap, i, 0.0, -sign * shift * share_i)
+                    _shift_cell(state, shapes, grid, gap, j, 0.0, sign * shift * share_j)
                 moved = True
         if not moved:
             break
@@ -107,11 +119,18 @@ def remove_overlaps(
 
 
 def _shift_cell(
-    state: PlacementState, shapes: List[TileSet], idx: int, dx: float, dy: float
+    state: PlacementState,
+    shapes: List[TileSet],
+    grid: UniformGridIndex,
+    gap: float,
+    idx: int,
+    dx: float,
+    dy: float,
 ) -> None:
     record = state.records[idx]
     record.center = (record.center[0] + dx, record.center[1] + dy)
     shapes[idx] = shapes[idx].translated(dx, dy)
+    grid.update(idx, shapes[idx].bbox.expanded_uniform(gap))
 
 
 def raw_overlap(shapes: List[TileSet], tolerance: float = 1e-9) -> float:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..annealing import (
     AnnealingState,
@@ -72,6 +72,26 @@ class MoveGenerator:
         ]
         if not self._movable:
             raise ValueError("no movable cells: nothing to anneal")
+        #: move kind -> [attempts, accepts], accumulated over every step().
+        #: Pre-seeded so the per-attempt record is two plain increments.
+        self.stats: Dict[str, List[int]] = {
+            kind: [0, 0]
+            for kind in (
+                "displace",
+                "displace_inverted",
+                "orientation",
+                "pin_group",
+                "aspect",
+                "interchange",
+                "interchange_inverted",
+            )
+        }
+
+    def _record(self, kind: str, accepted: bool) -> None:
+        entry = self.stats[kind]
+        entry[0] += 1
+        if accepted:
+            entry[1] += 1
 
     # ------------------------------------------------------------------
 
@@ -106,7 +126,9 @@ class MoveGenerator:
         # A1: plain displacement.
         delta, snap = state.move_cell(idx, center=target)
         attempts += 1
-        if self._judge(delta, snap, temperature, rng):
+        accepted = self._judge(delta, snap, temperature, rng)
+        self._record("displace", accepted)
+        if accepted:
             accepts += 1
         elif self.orientation_moves or self.aspect_moves:
             # A1': the displacement with the aspect ratio inverted (a
@@ -114,7 +136,9 @@ class MoveGenerator:
             # skipped entirely in stage 2, where both are frozen).
             delta, snap = state.move_cell_inverted(idx, target)
             attempts += 1
-            if self._judge(delta, snap, temperature, rng):
+            accepted = self._judge(delta, snap, temperature, rng)
+            self._record("displace_inverted", accepted)
+            if accepted:
                 accepts += 1
             elif self.orientation_moves:
                 # A_o: a random orientation (or instance) change in place.
@@ -152,7 +176,9 @@ class MoveGenerator:
             if new_o >= record.orientation:
                 new_o += 1
             delta, snap = state.move_cell(idx, orientation=new_o)
-        return (1, 1) if self._judge(delta, snap, temperature, rng) else (1, 0)
+        accepted = self._judge(delta, snap, temperature, rng)
+        self._record("orientation", accepted)
+        return (1, 1) if accepted else (1, 0)
 
     def _pin_attempts(
         self, idx: int, temperature: float, rng: random.Random
@@ -176,7 +202,9 @@ class MoveGenerator:
             start = rng.randrange(cell.sites_per_edge)
             delta, snap = state.move_pin_group(idx, key, side, start)
             attempts += 1
-            if self._judge(delta, snap, temperature, rng):
+            accepted = self._judge(delta, snap, temperature, rng)
+            self._record("pin_group", accepted)
+            if accepted:
                 accepts += 1
         return (attempts, accepts)
 
@@ -192,7 +220,9 @@ class MoveGenerator:
         if new_ar is None or new_ar == record.aspect_ratio:
             return (0, 0)
         delta, snap = state.move_cell(idx, aspect_ratio=new_ar)
-        return (1, 1) if self._judge(delta, snap, temperature, rng) else (1, 0)
+        accepted = self._judge(delta, snap, temperature, rng)
+        self._record("aspect", accepted)
+        return (1, 1) if accepted else (1, 0)
 
     @staticmethod
     def _perturb_aspect(
@@ -222,11 +252,15 @@ class MoveGenerator:
         i, j = pool[pi], pool[pj]
         # A2: plain interchange (not range-limited, per §3.2.2).
         delta, snap = state.swap_cells(i, j)
-        if self._judge(delta, snap, temperature, rng):
+        accepted = self._judge(delta, snap, temperature, rng)
+        self._record("interchange", accepted)
+        if accepted:
             return (1, 1)
         # A2': the interchange with both aspect ratios inverted (Figure 2).
         delta, snap = state.swap_cells_inverted(i, j)
-        if self._judge(delta, snap, temperature, rng):
+        accepted = self._judge(delta, snap, temperature, rng)
+        self._record("interchange_inverted", accepted)
+        if accepted:
             return (2, 1)
         return (2, 0)
 

@@ -70,6 +70,9 @@ class RefinementPass:
     anneal: Optional[AnnealResult]
     teil_after: float
     chip_area_after: float
+    #: move kind -> [attempts, accepts] from the pass's anneal, so the
+    #: acceptance profile of every stage-2 move class is inspectable.
+    move_stats: Dict[str, List[int]] = field(default_factory=dict)
 
     @property
     def overflow(self) -> int:
@@ -167,7 +170,7 @@ def run_refinement(
         remove_overlaps(state, use_expanded=True)
 
         is_last = pass_index == config.refinement_passes - 1
-        anneal = _refine_anneal(state, stage1, config, rng, is_last)
+        anneal, move_stats = _refine_anneal(state, stage1, config, rng, is_last)
         # "Or, if excessive space was allocated, then the cells are
         # compacted as much as possible" — the anneal's tiny window
         # cannot close large gaps, so a deterministic slide toward the
@@ -184,6 +187,7 @@ def run_refinement(
                 anneal=anneal,
                 teil_after=state.teil(),
                 chip_area_after=state.chip_area(),
+                move_stats=move_stats,
             )
         )
 
@@ -200,7 +204,7 @@ def _refine_anneal(
     config: TimberWolfConfig,
     rng: random.Random,
     is_last: bool,
-) -> AnnealResult:
+) -> "tuple[AnnealResult, Dict[str, List[int]]]":
     limiter = stage1.limiter
     # Eqn 28: T' makes the window the fraction mu of its full span.
     t_start = limiter.temperature_for_fraction(config.mu)
@@ -230,4 +234,5 @@ def _refine_anneal(
         max_temperatures=config.max_temperatures,
         rng=rng,
     )
-    return annealer.run(PlacementAnnealingState(state, generator))
+    result = annealer.run(PlacementAnnealingState(state, generator))
+    return result, {k: list(v) for k, v in generator.stats.items()}

@@ -18,16 +18,25 @@ token that ``restore`` undoes exactly (no float drift on rejection).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..estimator import CorePlan
 from ..geometry import BOTTOM, LEFT, RIGHT, TOP, Rect, TileSet
 from ..geometry import orientation as ori
 from ..netlist import Circuit, CustomCell, MacroCell, Net
+from .spatial import UniformGridIndex
 
 #: Default kappa of Eqn 10 — drives pin-site overflow to zero late in stage 1.
 DEFAULT_KAPPA = 5.0
+
+#: Per-cell cap on memoized oriented shapes / pin offsets (custom-cell
+#: aspect ratios are continuous, so those cache keys are unbounded).
+_SHAPE_CACHE_LIMIT = 64
+
+#: Custom-cell pin-offset combinations (sides x sites per group) are
+#: larger but each entry is a handful of floats.
+_PIN_CACHE_LIMIT = 512
 
 _SIDES = (LEFT, RIGHT, BOTTOM, TOP)
 _SIDE_DIRS = {LEFT: (-1.0, 0.0), RIGHT: (1.0, 0.0), BOTTOM: (0.0, -1.0), TOP: (0.0, 1.0)}
@@ -62,7 +71,7 @@ def world_side(canonical_side: str, orientation: int) -> str:
     return _SIDE_MAP[orientation][canonical_side]
 
 
-@dataclass
+@dataclass(slots=True)
 class CellRecord:
     """Mutable placement attributes of one cell."""
 
@@ -74,10 +83,18 @@ class CellRecord:
     pin_sites: Dict[str, Tuple[str, int]] = field(default_factory=dict)
 
     def copy(self) -> "CellRecord":
-        return replace(self, pin_sites=dict(self.pin_sites))
+        # Manual field copy: dataclasses.replace() is measurably slower
+        # and this runs inside every snapshot.
+        return CellRecord(
+            self.center,
+            self.orientation,
+            self.instance,
+            self.aspect_ratio,
+            dict(self.pin_sites),
+        )
 
 
-@dataclass
+@dataclass(slots=True)
 class _Snapshot:
     """Everything needed to restore the state after a rejected move."""
 
@@ -93,6 +110,10 @@ class _Snapshot:
     c1: float
     c2_raw: float
     c3_total: float
+    #: False for moves that cannot change any cell geometry (pin-group
+    #: reassignment): shapes, the grid, borders, and overlaps are known
+    #: unchanged, so snapshot and restore skip them entirely.
+    geometry: bool = True
 
 
 class PlacementState:
@@ -122,6 +143,9 @@ class PlacementState:
         #: Pre-placed cells (FixedPlacement) are never moved or reshaped.
         self.movable: List[bool] = [
             not circuit.cells[name].is_fixed for name in self.names
+        ]
+        self._is_macro: List[bool] = [
+            isinstance(circuit.cells[name], MacroCell) for name in self.names
         ]
 
         # Static (stage-2) per-world-side expansions, name -> side -> margin.
@@ -161,6 +185,17 @@ class PlacementState:
                 self._groups.append(groups)
             else:
                 self._groups.append([])
+        # Inverse lookup, idx -> {pin name -> (group key, member index)}:
+        # _group_of sits on the refresh hot path (every uncommitted pin,
+        # every move), so the membership scan is precomputed once.
+        self._pin_group_of: List[Dict[str, Tuple[str, int]]] = [
+            {
+                pin: (key, k)
+                for key, members in groups
+                for k, pin in enumerate(members)
+            }
+            for groups in self._groups
+        ]
 
         # Border slabs (the four dummy cells of footnote 16).
         big = 10.0 * max(self.core.width, self.core.height)
@@ -175,12 +210,29 @@ class PlacementState:
         # Placement records: default everything at the core center.
         self.records: List[CellRecord] = [self._default_record(i) for i in range(n)]
 
+        # Memoized oriented local shapes and (macro) world-frame pin
+        # offsets: a displacement changes neither, so the per-move work
+        # reduces to one translation.  Keys are (instance|aspect,
+        # orientation); custom-cell aspect ratios are continuous, so
+        # those caches are bounded (cleared when they grow past
+        # _SHAPE_CACHE_LIMIT entries).
+        self._shape_cache: List[Dict[Tuple, TileSet]] = [dict() for _ in range(n)]
+        self._pin_offset_cache: List[
+            Dict[Tuple, Dict[str, Tuple[float, float]]]
+        ] = [dict() for _ in range(n)]
+        self._c3_cache: List[Dict[Tuple, float]] = [dict() for _ in range(n)]
+
         # Caches and cost accumulators, built by rebuild().
         self._shapes: List[TileSet] = [None] * n  # type: ignore[list-item]
         self._expanded: List[TileSet] = [None] * n  # type: ignore[list-item]
         self._pins: List[Dict[str, Tuple[float, float]]] = [dict() for _ in range(n)]
         self._net_spans: Dict[str, Tuple[float, float]] = {}
         self._overlaps: Dict[Tuple[int, int], float] = {}
+        #: idx -> indices it currently overlaps (mirror of _overlaps, so
+        #: snapshot/restore touch only actual partners).
+        self._adj: List[Set[int]] = [set() for _ in range(n)]
+        #: Broad-phase index over expanded-cell bboxes (built by rebuild).
+        self._grid: UniformGridIndex = UniformGridIndex(1.0)
         self._borders: List[float] = [0.0] * n
         self._c3: List[float] = [0.0] * n
         self._c1 = 0.0
@@ -252,75 +304,135 @@ class PlacementState:
         assert record.aspect_ratio is not None
         return cell.shape_for(record.aspect_ratio)
 
-    def _world_shape(self, idx: int) -> TileSet:
+    def _oriented_shape(self, idx: int) -> TileSet:
+        """The cell's shape in its current orientation, origin-centered
+        (memoized: a displacement changes neither input)."""
         record = self.records[idx]
-        shape = self._local_shape(idx).transformed(record.orientation)
-        return shape.translated(*record.center)
-
-    def _expansions(self, idx: int, bbox: Rect) -> Dict[str, float]:
-        """Outward expansion per world side (dynamic estimator or static)."""
-        record = self.records[idx]
-        static = self._static[idx]
-        if not self.dynamic_expansion:
-            return {s: static.get(s, 0.0) for s in _SIDES}
-        est = self.estimator
-        densities = self._side_density[idx]
-        cx, cy = bbox.center.x, bbox.center.y
-        if densities is None:
-            dens = {LEFT: None, RIGHT: None, BOTTOM: None, TOP: None}
+        if self._is_macro[idx]:
+            key: Tuple = (record.instance, record.orientation)
         else:
-            inverse = _SIDE_MAP_INV[record.orientation]
-            dens = {world: densities[inverse[world]] for world in _SIDES}
-        return {
-            LEFT: est.edge_expansion(bbox.x1, cy, dens[LEFT]),
-            RIGHT: est.edge_expansion(bbox.x2, cy, dens[RIGHT]),
-            BOTTOM: est.edge_expansion(cx, bbox.y1, dens[BOTTOM]),
-            TOP: est.edge_expansion(cx, bbox.y2, dens[TOP]),
-        }
+            key = (record.aspect_ratio, record.orientation)
+        cache = self._shape_cache[idx]
+        shape = cache.get(key)
+        if shape is None:
+            if len(cache) >= _SHAPE_CACHE_LIMIT:
+                cache.clear()
+            shape = self._local_shape(idx).transformed(record.orientation)
+            cache[key] = shape
+        return shape
+
+    def _world_shape(self, idx: int) -> TileSet:
+        return self._oriented_shape(idx).translated(*self.records[idx].center)
+
+    def _expansions(
+        self, idx: int, x1: float, y1: float, x2: float, y2: float
+    ) -> Tuple[float, float, float, float]:
+        """Outward (left, bottom, right, top) expansion of a cell whose
+        world bbox is (x1, y1, x2, y2) — the dynamic estimator of §2.2,
+        or the static table."""
+        if not self.dynamic_expansion:
+            static = self._static[idx]
+            return (
+                static.get(LEFT, 0.0),
+                static.get(BOTTOM, 0.0),
+                static.get(RIGHT, 0.0),
+                static.get(TOP, 0.0),
+            )
+        densities = self._side_density[idx]
+        if densities is None:
+            d_left = d_bottom = d_right = d_top = None
+        else:
+            inverse = _SIDE_MAP_INV[self.records[idx].orientation]
+            d_left = densities[inverse[LEFT]]
+            d_bottom = densities[inverse[BOTTOM]]
+            d_right = densities[inverse[RIGHT]]
+            d_top = densities[inverse[TOP]]
+        return self.estimator.side_expansions(
+            x1, y1, x2, y2, d_left, d_bottom, d_right, d_top
+        )
 
     def _expanded_shape(self, idx: int, world: TileSet) -> TileSet:
-        e = self._expansions(idx, world.bbox)
-        return world.expanded_per_side(e[LEFT], e[BOTTOM], e[RIGHT], e[TOP])
+        bbox = world.bbox
+        left, bottom, right, top = self._expansions(
+            idx, bbox.x1, bbox.y1, bbox.x2, bbox.y2
+        )
+        return world.expanded_per_side(left, bottom, right, top)
 
     def _pin_positions(self, idx: int) -> Dict[str, Tuple[float, float]]:
-        cell = self.cell(idx)
         record = self.records[idx]
         cx, cy = record.center
-        out: Dict[str, Tuple[float, float]] = {}
-        if isinstance(cell, MacroCell):
-            inst = cell.instances[record.instance]
-            for pin in cell.pins.values():
-                lx, ly = inst.pin_offset(pin)
-                wx, wy = ori.transform_point(record.orientation, lx, ly)
-                out[pin.name] = (cx + wx, cy + wy)
-            return out
+        if self._is_macro[idx]:
+            # Macro pin offsets in the world frame depend only on the
+            # instance and orientation — memoized, so a displacement
+            # costs one add per pin.
+            key = (record.instance, record.orientation)
+            offsets = self._pin_offset_cache[idx].get(key)
+            if offsets is None:
+                cell = self.cell(idx)
+                inst = cell.instances[record.instance]
+                offsets = {}
+                for pin in cell.pins.values():
+                    lx, ly = inst.pin_offset(pin)
+                    offsets[pin.name] = ori.transform_point(
+                        record.orientation, lx, ly
+                    )
+                self._pin_offset_cache[idx][key] = offsets
+            return {
+                name: (cx + wx, cy + wy) for name, (wx, wy) in offsets.items()
+            }
+        cell = self.cell(idx)
         assert isinstance(cell, CustomCell) and record.aspect_ratio is not None
-        width, height = cell.dimensions(record.aspect_ratio)
-        nsites = cell.sites_per_edge
-        for pin in cell.pins.values():
-            if pin.is_committed:
-                lx, ly = pin.offset  # type: ignore[misc]
-            else:
-                key, member_idx = self._group_of(idx, pin.name)
-                side, start = record.pin_sites[key]
-                site_idx = (start + member_idx) % nsites
-                lx, ly = _site_position(side, site_idx, nsites, width, height)
-            wx, wy = ori.transform_point(record.orientation, lx, ly)
-            out[pin.name] = (cx + wx, cy + wy)
-        return out
+        # Custom-cell offsets depend on (aspect, orientation, site
+        # assignment); the sites are discrete, so the combinations recur
+        # heavily during pin-group annealing.  pin_sites keys are fixed
+        # after construction, so the value tuple is a stable signature.
+        sig = (
+            record.aspect_ratio,
+            record.orientation,
+            tuple(record.pin_sites.values()),
+        )
+        cache = self._pin_offset_cache[idx]
+        offsets = cache.get(sig)
+        if offsets is None:
+            if len(cache) >= _PIN_CACHE_LIMIT:
+                cache.clear()
+            width, height = cell.dimensions(record.aspect_ratio)
+            nsites = cell.sites_per_edge
+            offsets = {}
+            for pin in cell.pins.values():
+                if pin.is_committed:
+                    lx, ly = pin.offset  # type: ignore[misc]
+                else:
+                    key, member_idx = self._group_of(idx, pin.name)
+                    side, start = record.pin_sites[key]
+                    site_idx = (start + member_idx) % nsites
+                    lx, ly = _site_position(side, site_idx, nsites, width, height)
+                offsets[pin.name] = ori.transform_point(
+                    record.orientation, lx, ly
+                )
+            cache[sig] = offsets
+        return {name: (cx + wx, cy + wy) for name, (wx, wy) in offsets.items()}
 
     def _group_of(self, idx: int, pin_name: str) -> Tuple[str, int]:
-        for key, members in self._groups[idx]:
-            if pin_name in members:
-                return key, members.index(pin_name)
-        raise KeyError(f"pin {pin_name!r} has no group on cell {self.names[idx]!r}")
+        try:
+            return self._pin_group_of[idx][pin_name]
+        except KeyError:
+            raise KeyError(
+                f"pin {pin_name!r} has no group on cell {self.names[idx]!r}"
+            ) from None
 
     # ------------------------------------------------------------------
     # cost bookkeeping
     # ------------------------------------------------------------------
 
     def rebuild(self) -> None:
-        """Recompute every cache and accumulator from the records."""
+        """Recompute every cache and accumulator from the records.
+
+        This is the from-scratch reference the incremental bookkeeping is
+        tested against, so the overlap pass deliberately stays the plain
+        all-pairs loop (bbox-rejected); the broad-phase grid and the
+        adjacency map are rebuilt alongside it.
+        """
         n = len(self.names)
         for i in range(n):
             world = self._world_shape(i)
@@ -335,7 +447,13 @@ class PlacementState:
             self.circuit.nets[name].weighted_length(xs, ys)
             for name, (xs, ys) in self._net_spans.items()
         )
+        self._grid = UniformGridIndex.for_bboxes(
+            [shape.bbox for shape in self._expanded]
+        )
+        for i in range(n):
+            self._grid.insert(i, self._expanded[i].bbox)
         self._overlaps = {}
+        self._adj = [set() for _ in range(n)]
         self._c2_raw = 0.0
         for i in range(n):
             self._borders[i] = self._border_overlap(i)
@@ -344,6 +462,8 @@ class PlacementState:
                 area = self._pair_overlap(i, j)
                 if area > 0.0:
                     self._overlaps[(i, j)] = area
+                    self._adj[i].add(j)
+                    self._adj[j].add(i)
                     self._c2_raw += area
         self._c3_total = sum(self._c3)
 
@@ -371,21 +491,44 @@ class PlacementState:
         return self._expanded[i].overlap_area(self._expanded[j])
 
     def _border_overlap(self, idx: int) -> float:
-        total = 0.0
         exp = self._expanded[idx]
+        bbox = exp.bbox
+        core = self.core
+        # The slabs tile the plane outside the core, so a shape whose
+        # bbox stays inside the core cannot touch any of them — the
+        # common case for every in-core move.
+        if (
+            bbox.x1 >= core.x1
+            and bbox.x2 <= core.x2
+            and bbox.y1 >= core.y1
+            and bbox.y2 <= core.y2
+        ):
+            return 0.0
+        total = 0.0
         for slab in self._slabs:
-            if not exp.bbox.intersects(slab):
+            if not bbox.intersects(slab):
                 continue
             for tile in exp.tiles:
                 total += tile.overlap_area(slab)
         return total
 
     def _cell_c3(self, idx: int) -> float:
-        cell = self.cell(idx)
-        if not isinstance(cell, CustomCell) or not self._groups[idx]:
+        if self._is_macro[idx] or not self._groups[idx]:
             return 0.0
+        cell = self.cell(idx)
+        assert isinstance(cell, CustomCell)
         record = self.records[idx]
         assert record.aspect_ratio is not None
+        # The penalty depends only on the aspect ratio and the site
+        # assignment; both are discrete-ish under annealing, so repeats
+        # dominate (same signature scheme as the pin-offset cache).
+        sig = (record.aspect_ratio, self.kappa, tuple(record.pin_sites.values()))
+        cache = self._c3_cache[idx]
+        hit = cache.get(sig)
+        if hit is not None:
+            return hit
+        if len(cache) >= _PIN_CACHE_LIMIT:
+            cache.clear()
         width, height = cell.dimensions(record.aspect_ratio)
         nsites = cell.sites_per_edge
         pitch = cell.pin_pitch
@@ -402,6 +545,7 @@ class PlacementState:
             if count > capacity:
                 excess = count - capacity + self.kappa
                 penalty += excess * excess
+        cache[sig] = penalty
         return penalty
 
     # ------------------------------------------------------------------
@@ -436,7 +580,13 @@ class PlacementState:
         return self.chip_bbox().area
 
     def world_shape(self, name: str) -> TileSet:
-        return self._shapes[self.index[name]]
+        idx = self.index[name]
+        shape = self._shapes[idx]
+        if shape is None:
+            # _refresh_cells leaves the world shape stale (only the
+            # expanded shape feeds the cost terms); materialize on demand.
+            shape = self._shapes[idx] = self._world_shape(idx)
+        return shape
 
     def expanded_shape(self, name: str) -> TileSet:
         return self._expanded[self.index[name]]
@@ -451,18 +601,46 @@ class PlacementState:
     # snapshotting
     # ------------------------------------------------------------------
 
-    def _take_snapshot(self, idxs: Sequence[int]) -> _Snapshot:
+    def _take_snapshot(
+        self, idxs: Sequence[int], geometry: bool = True
+    ) -> _Snapshot:
+        overlaps: Dict[Tuple[int, int], float] = {}
+        spans = self._net_spans
+        if len(idxs) == 1:
+            # The single-cell path (every displacement): _cell_nets
+            # entries are duplicate-free, so no set building, and the
+            # per-cell maps are one-entry dict literals.
+            i = idxs[0]
+            if geometry:
+                current = self._overlaps
+                for j in self._adj[i]:
+                    key = (i, j) if i < j else (j, i)
+                    overlaps[key] = current[key]
+            return _Snapshot(
+                self.cost(),
+                {i: self.records[i].copy()},
+                {i: self._shapes[i]},
+                {i: self._expanded[i]},
+                {i: self._pins[i]},
+                {name: spans[name] for name in self._cell_nets[i]},
+                overlaps,
+                {i: self._borders[i]},
+                {i: self._c3[i]},
+                self._c1,
+                self._c2_raw,
+                self._c3_total,
+                geometry,
+            )
         idx_set = set(idxs)
         nets = {name for i in idx_set for name in self._cell_nets[i]}
-        overlaps: Dict[Tuple[int, int], float] = {}
-        n = len(self.names)
-        for i in idx_set:
-            for j in range(n):
-                if j == i:
-                    continue
-                key = (i, j) if i < j else (j, i)
-                if key in self._overlaps and key not in overlaps:
-                    overlaps[key] = self._overlaps[key]
+        # Only actual overlap partners are recorded (the adjacency map
+        # mirrors _overlaps exactly); restore reconstructs both from it.
+        if geometry:
+            for i in idx_set:
+                for j in self._adj[i]:
+                    key = (i, j) if i < j else (j, i)
+                    if key not in overlaps:
+                        overlaps[key] = self._overlaps[key]
         return _Snapshot(
             cost_before=self.cost(),
             records={i: self.records[i].copy() for i in idx_set},
@@ -476,24 +654,43 @@ class PlacementState:
             c1=self._c1,
             c2_raw=self._c2_raw,
             c3_total=self._c3_total,
+            geometry=geometry,
         )
 
     def restore(self, snap: _Snapshot) -> None:
-        idx_set = set(snap.records)
-        n = len(self.names)
-        # Remove every current overlap entry touching the snapped cells,
-        # then put back the saved ones.
-        for i in idx_set:
-            for j in range(n):
-                if j == i:
-                    continue
-                key = (i, j) if i < j else (j, i)
-                self._overlaps.pop(key, None)
-        self._overlaps.update(snap.overlaps)
+        if not snap.geometry:
+            # The move could not have touched shapes, the grid, borders,
+            # or overlaps — only pins, spans, and the pin-site penalty.
+            for i, record in snap.records.items():
+                self.records[i] = record
+                self._pins[i] = snap.pins[i]
+                self._c3[i] = snap.c3[i]
+            self._net_spans.update(snap.net_spans)
+            self._c1 = snap.c1
+            self._c3_total = snap.c3_total
+            return
+        adj = self._adj
+        overlaps = self._overlaps
+        # Remove every current overlap entry touching the snapped cells
+        # (the adjacency map lists exactly those), then put back the
+        # saved ones and their adjacency edges.  adj[i] is not mutated
+        # while it is iterated (cells are never self-adjacent), so no
+        # defensive copy is needed.
+        for i in snap.records:
+            ai = adj[i]
+            for j in ai:
+                overlaps.pop((i, j) if i < j else (j, i), None)
+                adj[j].discard(i)
+            ai.clear()
+        overlaps.update(snap.overlaps)
+        for i, j in snap.overlaps:
+            adj[i].add(j)
+            adj[j].add(i)
         for i, record in snap.records.items():
             self.records[i] = record
             self._shapes[i] = snap.shapes[i]
             self._expanded[i] = snap.expanded[i]
+            self._grid.update(i, snap.expanded[i].bbox)
             self._pins[i] = snap.pins[i]
             self._borders[i] = snap.borders[i]
             self._c3[i] = snap.c3[i]
@@ -506,40 +703,110 @@ class PlacementState:
     # applying changes
     # ------------------------------------------------------------------
 
-    def _refresh_cells(self, idxs: Sequence[int]) -> None:
-        """Recompute caches and cost accumulators for the given cells."""
-        idx_set = set(idxs)
-        n = len(self.names)
+    def _refresh_cells(self, idxs: Sequence[int], geometry: bool = True) -> None:
+        """Recompute caches and cost accumulators for the given cells.
+
+        ``geometry=False`` is the pin-group fast path: the move touched
+        only pin-site assignments, so shapes, the grid, borders, and
+        overlaps are unchanged by construction and skipped wholesale.
+        """
+        if len(idxs) == 1:
+            idx_set: Sequence[int] = idxs
+            nets: Iterable[str] = self._cell_nets[idxs[0]]
+        else:
+            idx_set = set(idxs)
+            nets = {name for i in idx_set for name in self._cell_nets[i]}
         for i in idx_set:
-            world = self._world_shape(i)
-            self._shapes[i] = world
-            self._expanded[i] = self._expanded_shape(i, world)
+            if geometry:
+                # The world (translated, unexpanded) shape is not needed
+                # by any cost term — leave it stale and let world_shape()
+                # materialize it on demand.  The expanded set is built in
+                # one pass from the cached oriented shape; the composed
+                # arithmetic matches translate-then-expand exactly.
+                oriented = self._oriented_shape(i)
+                cx, cy = self.records[i].center
+                obb = oriented.bbox
+                left, bottom, right, top = self._expansions(
+                    i, obb.x1 + cx, obb.y1 + cy, obb.x2 + cx, obb.y2 + cy
+                )
+                expanded = oriented.translated_expanded(
+                    cx, cy, left, bottom, right, top
+                )
+                self._shapes[i] = None
+                self._expanded[i] = expanded
+                self._grid.update(i, expanded.bbox)
             self._pins[i] = self._pin_positions(i)
-            new_c3 = self._cell_c3(i)
-            self._c3_total += new_c3 - self._c3[i]
-            self._c3[i] = new_c3
-        # Net spans of every net touching a refreshed cell.
-        nets = {name for i in idx_set for name in self._cell_nets[i]}
+            if self._groups[i]:
+                new_c3 = self._cell_c3(i)
+                self._c3_total += new_c3 - self._c3[i]
+                self._c3[i] = new_c3
+        # Net spans of every net touching a refreshed cell.  The delta is
+        # accumulated with weighted_length's exact expression inlined
+        # ((x*h + y*v), then the subtraction).
+        circuit_nets = self.circuit.nets
+        spans = self._net_spans
         for name in nets:
-            net = self.circuit.nets[name]
-            old = self._net_spans[name]
+            net = circuit_nets[name]
+            old_x, old_y = spans[name]
             new = self._net_span(net)
-            self._net_spans[name] = new
-            self._c1 += net.weighted_length(*new) - net.weighted_length(*old)
-        # Overlaps touching refreshed cells.
+            spans[name] = new
+            h = net.h_weight
+            v = net.v_weight
+            self._c1 += (new[0] * h + new[1] * v) - (old_x * h + old_y * v)
+        if not geometry:
+            return
+        # Overlaps touching refreshed cells.  The broad phase: the grid's
+        # candidates cover every cell the new bbox may intersect (gained
+        # overlaps), and the adjacency map lists the current partners
+        # (overlaps that may vanish); anything outside the union cannot
+        # change its pair term.
+        overlaps = self._overlaps
+        adj = self._adj
+        expanded = self._expanded
+        multi = len(idx_set) > 1
         for i in idx_set:
             old_border = self._borders[i]
             new_border = self._border_overlap(i)
             self._borders[i] = new_border
             self._c2_raw += new_border - old_border
-            for j in range(n):
-                if j == i or (j in idx_set and j < i):
+            partners = self._grid.candidates(i)
+            partners |= adj[i]
+            exp_i = expanded[i]
+            single_i = len(exp_i._tiles) == 1
+            bbox_i = exp_i.bbox
+            bx1, by1, bx2, by2 = bbox_i.x1, bbox_i.y1, bbox_i.x2, bbox_i.y2
+            for j in partners:
+                if multi and j in idx_set and j < i:
                     continue  # pair handled once
                 key = (i, j) if i < j else (j, i)
-                old = self._overlaps.pop(key, 0.0)
-                new = self._pair_overlap(i, j)
+                old = overlaps.pop(key, 0.0)
+                exp_j = expanded[j]
+                bbox_j = exp_j.bbox
+                # Inline bbox reject (touching boxes share no area, so
+                # >=/<= is exact) before the tile-level narrow phase.
+                if (
+                    bbox_j.x1 >= bx2
+                    or bbox_j.x2 <= bx1
+                    or bbox_j.y1 >= by2
+                    or bbox_j.y2 <= by1
+                ):
+                    new = 0.0
+                elif single_i and len(exp_j._tiles) == 1:
+                    # Single-tile pair: the bbox carries the same floats
+                    # as the sole tile, so this is Rect.overlap_area
+                    # verbatim (w > 0 and h > 0 follow from the reject).
+                    new = (min(bx2, bbox_j.x2) - max(bx1, bbox_j.x1)) * (
+                        min(by2, bbox_j.y2) - max(by1, bbox_j.y1)
+                    )
+                else:
+                    new = exp_i.overlap_area(exp_j)
                 if new > 0.0:
-                    self._overlaps[key] = new
+                    overlaps[key] = new
+                    adj[i].add(j)
+                    adj[j].add(i)
+                elif old > 0.0:
+                    adj[i].discard(j)
+                    adj[j].discard(i)
                 self._c2_raw += new - old
 
     def move_cell(
@@ -612,10 +879,15 @@ class PlacementState:
     def move_pin_group(
         self, idx: int, group_key: str, side: str, start: int
     ) -> Tuple[float, _Snapshot]:
-        """Reassign an uncommitted pin group to new sites (§2.4)."""
-        snap = self._take_snapshot([idx])
+        """Reassign an uncommitted pin group to new sites (§2.4).
+
+        Pin sites live on the cell boundary: the move cannot change the
+        cell's shape or expansion, so the geometry bookkeeping (grid,
+        borders, overlaps) is skipped on both the apply and restore side.
+        """
+        snap = self._take_snapshot([idx], geometry=False)
         self.records[idx].pin_sites[group_key] = (side, start)
-        self._refresh_cells([idx])
+        self._refresh_cells([idx], geometry=False)
         return (self.cost() - snap.cost_before, snap)
 
     def set_static_expansions(

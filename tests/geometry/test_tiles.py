@@ -133,6 +133,99 @@ class TestExpansion:
         assert a.expanded_uniform(1).overlap_area(b.expanded_uniform(1)) > 0
 
 
+class TestOverlapFastPaths:
+    """The two hot-loop branches inside overlap_area: the bounding-box
+    broad-phase reject and the single-tile short circuit."""
+
+    def test_bbox_reject_disjoint_multi_tile(self):
+        # Multi-tile sets with disjoint bboxes: the reject fires before
+        # any tile pair is visited, and the answer is exactly 0.0.
+        a = TileSet.l_shape(6, 6, 2, 2)
+        b = TileSet.l_shape(6, 6, 2, 2).translated(100, 0)
+        assert not a.bbox.intersects(b.bbox)
+        assert a.overlap_area(b) == 0.0
+
+    def test_bbox_reject_touching_is_zero(self):
+        # Touching bboxes share an edge, zero area: whether the reject
+        # fires or the tile loop runs, the result must be exactly 0.0.
+        a = TileSet.rectangle(4, 4)
+        b = TileSet.rectangle(4, 4).translated(4, 0)
+        assert a.overlap_area(b) == 0.0
+
+    def test_bbox_overlap_tiles_disjoint(self):
+        # Bboxes intersect but the tiles do not (probe in the L notch):
+        # the reject must NOT fire a false zero — the loop runs and
+        # still finds no common area.
+        l = TileSet.l_shape(10, 10, 4, 4)
+        probe = TileSet.rectangle(2, 2).translated(3.5, 3.5)
+        assert l.bbox.intersects(probe.bbox)
+        assert l.overlap_area(probe) == 0.0
+
+    def test_single_tile_pair_matches_rect(self):
+        a = TileSet.rectangle(6, 4).translated(1, 1)
+        b = TileSet.rectangle(5, 5).translated(3, 2)
+        expected = a.tiles[0].overlap_area(b.tiles[0])
+        assert expected > 0
+        assert a.overlap_area(b) == expected
+
+    def test_single_vs_multi_uses_general_loop(self):
+        single = TileSet.rectangle(4, 4)
+        multi = TileSet.l_shape(8, 8, 3, 3)
+        total = sum(single.tiles[0].overlap_area(t) for t in multi.tiles)
+        assert single.overlap_area(multi) == pytest.approx(total)
+        assert multi.overlap_area(single) == pytest.approx(total)
+
+    @given(st.integers(-8, 8), st.integers(-8, 8))
+    def test_fast_paths_match_bruteforce(self, dx, dy):
+        # The branches must be invisible: compare against the plain
+        # all-pairs tile sum for single-single at every offset.
+        a = TileSet.rectangle(5, 3)
+        b = TileSet.rectangle(4, 6).translated(dx, dy)
+        brute = sum(
+            ti.overlap_area(tj) for ti in a.tiles for tj in b.tiles
+        )
+        assert a.overlap_area(b) == pytest.approx(brute)
+
+
+class TestComposedTransforms:
+    """translated_expanded and the transformed fast path must be
+    indistinguishable from the two-step spellings they replace."""
+
+    @given(
+        st.integers(-5, 5),
+        st.integers(-5, 5),
+        st.floats(0, 3),
+        st.floats(0, 3),
+        st.floats(0, 3),
+        st.floats(0, 3),
+    )
+    def test_translated_expanded_composes(self, dx, dy, l, b, r, t):
+        for shape in (TileSet.rectangle(4, 6), TileSet.l_shape(8, 8, 3, 3)):
+            two_step = shape.translated(dx, dy).expanded_per_side(l, b, r, t)
+            one_step = shape.translated_expanded(dx, dy, l, b, r, t)
+            assert one_step.tiles == two_step.tiles
+            assert one_step.bbox == two_step.bbox
+            assert one_step.area == pytest.approx(two_step.area)
+
+    def test_translated_expanded_negative_raises(self):
+        with pytest.raises(ValueError):
+            TileSet.rectangle(2, 2).translated_expanded(0, 0, -1, 0, 0, 0)
+
+    def test_single_tile_bbox_is_exact(self):
+        out = TileSet.rectangle(4, 2).translated_expanded(10, 20, 1, 2, 3, 4)
+        assert out.bbox == out.tiles[0]
+        assert out.area == out.tiles[0].area
+
+    @given(st.integers(0, 7))
+    def test_transformed_single_tile_matches_rect_transform(self, o):
+        ts = TileSet.rectangle(10, 4).translated(2, 3)
+        out = ts.transformed(o)
+        expected = ori.transform_rect(o, ts.tiles[0])
+        assert out.tiles == (expected,)
+        assert out.bbox == expected
+        assert out.area == pytest.approx(expected.area)
+
+
 class TestBoundaryEdges:
     def test_rectangle_has_four(self):
         edges = TileSet.rectangle(4, 2).boundary_edges()

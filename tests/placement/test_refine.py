@@ -54,6 +54,17 @@ class TestRunRefinement:
         assert result.teil > 0
         assert result.chip_area > 0
 
+    def test_passes_expose_move_stats(self):
+        ckt = make_macro_circuit(num_cells=6, seed=3)
+        s1 = run_stage1(ckt, SMOKE)
+        result = run_refinement(ckt, s1, SMOKE)
+        for p in result.passes:
+            assert p.move_stats, "each pass records its move statistics"
+            # Stage 2 issues displacements; attempts >= accepts >= 0.
+            att, acc = p.move_stats["displace"]
+            assert att >= acc >= 0
+            assert att > 0
+
     def test_placement_legal_after(self):
         ckt = make_macro_circuit(num_cells=6, seed=4)
         s1 = run_stage1(ckt, SMOKE)

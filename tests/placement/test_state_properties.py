@@ -1,0 +1,240 @@
+"""Long randomized invariants for the incremental hot path.
+
+The spatial-index broad phase, the overlap adjacency map, and the
+snapshot protocol are only correct if, after *any* sequence of moves and
+restores, the incremental accumulators equal a from-scratch rebuild and
+the auxiliary structures (``_adj``, the grid) stay in sync with
+``_overlaps``.  These tests replay long fixed-seed mixed-move sequences
+and check exactly that.
+"""
+
+import random
+
+import pytest
+
+from repro.estimator import determine_core
+from repro.geometry import BOTTOM, LEFT, RIGHT, TOP
+from repro.netlist import CustomCell
+from repro.placement import PlacementState
+
+from ..conftest import make_macro_circuit, make_mixed_circuit
+
+SIDES = (LEFT, RIGHT, BOTTOM, TOP)
+
+
+def mixed_move_sequence(state, steps, seed, span=60.0):
+    """Displace / inverted displace / swap / pin-group / restore, with
+    roughly half of the moves taken back — the §3.2.1 cascade's shape."""
+    rng = random.Random(seed)
+    n = len(state.names)
+    for _ in range(steps):
+        kind = rng.randrange(5)
+        idx = rng.randrange(n)
+        target = (rng.uniform(-span, span), rng.uniform(-span, span))
+        if kind == 0:
+            _, snap = state.move_cell(idx, center=target)
+        elif kind == 1:
+            _, snap = state.move_cell_inverted(idx, target)
+        elif kind == 2 and n >= 2:
+            j = rng.randrange(n - 1)
+            j = j + 1 if j >= idx else j
+            _, snap = state.swap_cells(idx, j)
+        elif kind == 3:
+            _, snap = state.move_cell(idx, orientation=rng.randrange(8))
+        else:
+            cell = state.cell(idx)
+            if isinstance(cell, CustomCell) and state._groups[idx]:
+                groups = state._groups[idx]
+                key, _ = groups[rng.randrange(len(groups))]
+                _, snap = state.move_pin_group(
+                    idx,
+                    key,
+                    SIDES[rng.randrange(4)],
+                    rng.randrange(cell.sites_per_edge),
+                )
+            else:
+                _, snap = state.move_cell(idx, center=target)
+        if rng.random() < 0.5:
+            state.restore(snap)
+
+
+def assert_matches_rebuild(state):
+    """Incremental _c1/_c2_raw/_c3_total must equal a rebuild to 1e-6."""
+    c1, c2, c3 = state._c1, state._c2_raw, state._c3_total
+    state.rebuild()
+    assert state._c1 == pytest.approx(c1, rel=1e-9, abs=1e-6)
+    assert state._c2_raw == pytest.approx(c2, rel=1e-9, abs=1e-6)
+    assert state._c3_total == pytest.approx(c3, rel=1e-9, abs=1e-6)
+
+
+def assert_structures_in_sync(state):
+    """_adj must mirror _overlaps; the grid must hold every cell under
+    its current expanded bbox."""
+    n = len(state.names)
+    # Adjacency is exactly the edge set of _overlaps.
+    edges = {frozenset(pair) for pair in state._overlaps}
+    from_adj = {
+        frozenset((i, j)) for i in range(n) for j in state._adj[i]
+    }
+    assert from_adj == edges
+    for i, j in state._overlaps:
+        assert i < j, "overlap keys must be ordered pairs"
+        assert state._overlaps[(i, j)] > 0.0
+    # Every cell is indexed under the bin range of its current bbox.
+    for i in range(n):
+        assert i in state._grid
+        assert state._grid.stored_range(i) == state._grid.bin_range(
+            state._expanded[i].bbox
+        )
+
+
+class TestLongMixedWalks:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_macro_500_moves(self, seed):
+        ckt = make_macro_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(seed))
+        mixed_move_sequence(state, 500, seed)
+        assert_structures_in_sync(state)
+        assert_matches_rebuild(state)
+
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_mixed_500_moves(self, seed):
+        ckt = make_mixed_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(seed))
+        mixed_move_sequence(state, 500, seed)
+        assert_structures_in_sync(state)
+        assert_matches_rebuild(state)
+
+    def test_walk_crossing_bin_boundaries(self):
+        # Small span relative to the core keeps cells clustered so they
+        # repeatedly cross grid-bin boundaries while staying in contact.
+        ckt = make_macro_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(31))
+        bin_size = state._grid.bin_size
+        rng = random.Random(31)
+        n = len(state.names)
+        for _ in range(300):
+            idx = rng.randrange(n)
+            cx, cy = state.records[idx].center
+            # Step of about one bin: guaranteed re-binning traffic.
+            _, snap = state.move_cell(
+                idx,
+                center=(
+                    cx + rng.uniform(-1.5, 1.5) * bin_size,
+                    cy + rng.uniform(-1.5, 1.5) * bin_size,
+                ),
+            )
+            if rng.random() < 0.5:
+                state.restore(snap)
+        assert_structures_in_sync(state)
+        assert_matches_rebuild(state)
+
+    def test_cell_larger_than_one_bin(self):
+        # The expanded bbox of a macro is far larger than one grid bin
+        # when the grid is rebuilt with a deliberately tiny bin size.
+        from repro.placement.spatial import UniformGridIndex
+
+        ckt = make_macro_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(41))
+        # Rebuild the index with bins much smaller than any cell.
+        state._grid = UniformGridIndex(0.75)
+        for i in range(len(state.names)):
+            state._grid.insert(i, state._expanded[i].bbox)
+        for i in range(len(state.names)):
+            bx1, by1, bx2, by2 = state._grid.stored_range(i)
+            assert (bx2 - bx1 + 1) * (by2 - by1 + 1) > 1
+        mixed_move_sequence(state, 200, 41)
+        assert_structures_in_sync(state)
+        assert_matches_rebuild(state)
+
+
+class TestPinGroupFastPath:
+    """move_pin_group skips all geometry work; nothing geometric may
+    drift even across restores."""
+
+    def test_geometry_untouched_and_costs_exact(self):
+        ckt = make_mixed_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(51))
+        customs = [
+            i
+            for i in range(len(state.names))
+            if isinstance(state.cell(i), CustomCell) and state._groups[i]
+        ]
+        assert customs, "fixture must contain custom cells with groups"
+        expanded_before = [state._expanded[i] for i in range(len(state.names))]
+        overlaps_before = dict(state._overlaps)
+        rng = random.Random(51)
+        for _ in range(200):
+            idx = customs[rng.randrange(len(customs))]
+            cell = state.cell(idx)
+            groups = state._groups[idx]
+            key, _ = groups[rng.randrange(len(groups))]
+            _, snap = state.move_pin_group(
+                idx,
+                key,
+                SIDES[rng.randrange(4)],
+                rng.randrange(cell.sites_per_edge),
+            )
+            assert not snap.geometry
+            if rng.random() < 0.5:
+                state.restore(snap)
+        # Pin moves cannot change shapes, overlaps, or the grid.
+        for i in range(len(state.names)):
+            assert state._expanded[i] is expanded_before[i]
+        assert state._overlaps == overlaps_before
+        assert_structures_in_sync(state)
+        assert_matches_rebuild(state)
+
+
+class TestLazyWorldShape:
+    def test_world_shape_materializes_on_demand(self):
+        ckt = make_macro_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(61))
+        name = state.names[0]
+        idx = state.index[name]
+        state.move_cell(idx, center=(7.0, -3.0))
+        # The move leaves the world shape stale…
+        assert state._shapes[idx] is None
+        # …and the accessor rebuilds it at the new center.
+        bbox = state.world_shape(name).bbox
+        assert bbox.center.x == pytest.approx(7.0)
+        assert bbox.center.y == pytest.approx(-3.0)
+        assert state._shapes[idx] is not None
+
+    def test_restore_may_restore_stale_marker(self):
+        ckt = make_macro_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(62))
+        idx = 0
+        state.move_cell(idx, center=(1.0, 1.0))
+        _, snap = state.move_cell(idx, center=(2.0, 2.0))
+        state.restore(snap)
+        # Whether stale or materialized, the accessor must agree with
+        # the record's center.
+        bbox = state.world_shape(state.names[idx]).bbox
+        assert bbox.center.x == pytest.approx(1.0)
+        assert bbox.center.y == pytest.approx(1.0)
+
+
+class TestSnapshotScope:
+    def test_single_move_snapshot_visits_only_partners(self):
+        """The snapshot must record exactly the moved cell's overlap
+        pairs (its adjacency), not every pair in the placement."""
+        ckt = make_macro_circuit()
+        state = PlacementState(ckt, determine_core(ckt))
+        state.randomize(random.Random(71))
+        idx = 0
+        partners = set(state._adj[idx])
+        _, snap = state.move_cell(idx, center=(0.0, 0.0))
+        for (i, j) in snap.overlaps:
+            assert idx in (i, j)
+            other = j if i == idx else i
+            assert other in partners
+        state.restore(snap)
+        assert set(state._adj[idx]) == partners
