@@ -14,7 +14,6 @@ run time per point.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import replace
 
 import pytest
@@ -22,7 +21,7 @@ import pytest
 from repro import place_and_route
 from repro.bench import CircuitSpec, generate_circuit
 
-from .common import bench_config, emit
+from .common import Stopwatch, bench_config, emit
 
 
 def ac_ladder():
@@ -43,10 +42,9 @@ def run_fig56():
             attempts_per_cell=ac,
             refine_attempts_per_cell=max(2, ac // 2),
         )
-        start = time.perf_counter()
-        result = place_and_route(circuit, cfg)
-        elapsed = time.perf_counter() - start
-        rows.append([ac, result.teil, result.chip_area, elapsed])
+        with Stopwatch() as sw:
+            result = place_and_route(circuit, cfg)
+        rows.append([ac, result.teil, result.chip_area, sw.seconds])
     best_teil = min(r[1] for r in rows)
     best_area = min(r[2] for r in rows)
     return [

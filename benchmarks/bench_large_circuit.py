@@ -10,24 +10,21 @@ on a pin-heavy graph, refinement, and the detailed-routability check.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro import place_and_route
 from repro.bench import load_circuit
 from repro.flow import validate_result
 
-from .common import bench_config, emit
+from .common import Stopwatch, bench_config, emit
 
 
 def run_l1():
-    start = time.perf_counter()
-    circuit = load_circuit("l1")
-    result = place_and_route(circuit, bench_config(seed=1))
-    elapsed = time.perf_counter() - start
+    with Stopwatch() as sw:
+        circuit = load_circuit("l1")
+        result = place_and_route(circuit, bench_config(seed=1))
     report = validate_result(result)
-    return result, report, elapsed
+    return result, report, sw.seconds
 
 
 def test_large_circuit(benchmark):

@@ -38,6 +38,13 @@ from repro.bench import CircuitSpec, generate_circuit  # noqa: E402
 from repro.estimator import determine_core  # noqa: E402
 from repro.netlist import CustomCell  # noqa: E402
 from repro.placement import MoveGenerator, PlacementState  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    FileSink,
+    NullSink,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
 
 FULL_SIZES = (20, 50, 100, 200)
 QUICK_SIZES = (20, 50)
@@ -208,6 +215,100 @@ def bench_mixed(
     }
 
 
+#: The engine emits one ``anneal.temperature`` event per inner loop; the
+#: overhead bench mirrors that cadence: one event every EVENT_EVERY steps.
+EVENT_EVERY = 50
+
+#: CI smoke mode fails when the null-sink mixed-anneal rate falls more
+#: than this far below the untraced baseline.
+MAX_NULL_OVERHEAD_PCT = 3.0
+
+
+def _mixed_rate(state: PlacementState, limiter, n_steps: int, seed: int) -> float:
+    """One timed mixed-anneal pass under the ambient tracer, emitting
+    engine-cadence events; returns attempts/sec."""
+    tracer = current_tracer()
+    rng = random.Random(seed)
+    generator = MoveGenerator(state, limiter)
+    attempts = 0
+    start = time.perf_counter()
+    for i in range(n_steps):
+        a, _ = generator.step(MIXED_TEMPERATURE, rng)
+        attempts += a
+        if tracer.enabled and (i + 1) % EVENT_EVERY == 0:
+            tracer.event(
+                "anneal.temperature",
+                step=i,
+                T=MIXED_TEMPERATURE,
+                attempts=attempts,
+                cost=state.cost(),
+            )
+    elapsed = time.perf_counter() - start
+    return attempts / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_telemetry_overhead(
+    state: PlacementState, n_steps: int, seed: int = 3, repeats: int = 3
+) -> Dict:
+    """Mixed-anneal rate with telemetry off, null sink, and file sink.
+
+    The three variants run interleaved (round-robin per repeat) so slow
+    thermal/scheduler drift hits them equally; the best rate per variant
+    is kept.  ``null_overhead_pct`` is the instrumentation cost of the
+    default (disabled) telemetry path versus the untraced hot loop — the
+    number the ISSUE bounds at 3 %.
+    """
+    import contextlib
+    import os
+    import tempfile
+
+    core = state.core
+    limiter = RangeLimiter(
+        full_span_x=core.width,
+        full_span_y=core.height,
+        t_infinity=10.0 * MIXED_TEMPERATURE,
+    )
+    fd, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="bench_trace_")
+    os.close(fd)
+    best = {"baseline": 0.0, "null_sink": 0.0, "file_sink": 0.0}
+    try:
+        for _ in range(repeats):
+            for mode in ("baseline", "null_sink", "file_sink"):
+                if mode == "baseline":
+                    ctx = contextlib.nullcontext()
+                elif mode == "null_sink":
+                    ctx = use_tracer(Tracer(NullSink()))
+                else:
+                    sink = FileSink(trace_path)
+                    ctx = use_tracer(Tracer(sink))
+                with ctx:
+                    rate = _mixed_rate(state, limiter, n_steps, seed)
+                if mode == "file_sink":
+                    sink.close()
+                if rate > best[mode]:
+                    best[mode] = rate
+        trace_bytes = os.path.getsize(trace_path)
+    finally:
+        os.unlink(trace_path)
+
+    def overhead(variant: str) -> float:
+        if best["baseline"] <= 0:
+            return 0.0
+        return round(100.0 * (1.0 - best[variant] / best["baseline"]), 2)
+
+    return {
+        "baseline_moves_per_sec": round(best["baseline"], 1),
+        "null_sink_moves_per_sec": round(best["null_sink"], 1),
+        "file_sink_moves_per_sec": round(best["file_sink"], 1),
+        "null_overhead_pct": overhead("null_sink"),
+        "file_overhead_pct": overhead("file_sink"),
+        "max_null_overhead_pct": MAX_NULL_OVERHEAD_PCT,
+        "trace_bytes": trace_bytes,
+        "steps": n_steps,
+        "repeats": repeats,
+    }
+
+
 def run(sizes, moves_per_kind: int, mixed_steps: int, repeats: int = 3) -> Dict:
     kinds = ("displace", "displace_inverted", "swap", "pin_group", "reject")
     out: Dict = {"benchmark": "moves_per_sec", "sizes": {}}
@@ -226,6 +327,21 @@ def run(sizes, moves_per_kind: int, mixed_steps: int, repeats: int = 3) -> Dict:
             f"{mixed['moves_per_sec']:>10.0f} moves/sec"
         )
         out["sizes"][str(n)] = row
+
+    # Telemetry overhead on the largest size (worst case for per-event
+    # payloads relative to nothing; the hot loop itself is size-invariant).
+    n = sizes[-1]
+    overhead = bench_telemetry_overhead(
+        build_state(n), max(mixed_steps, 150), repeats=max(repeats, 3)
+    )
+    overhead["size"] = n
+    out["telemetry_overhead"] = overhead
+    print(
+        f"  N={n:<4} telemetry overhead: "
+        f"null {overhead['null_overhead_pct']:+.1f}%  "
+        f"file {overhead['file_overhead_pct']:+.1f}%  "
+        f"({overhead['trace_bytes']} trace bytes)"
+    )
     return out
 
 
@@ -267,6 +383,19 @@ def main(argv=None) -> int:
     results["quick"] = args.quick
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {args.output}")
+
+    if args.quick:
+        # CI smoke gate: the disabled-telemetry hot loop must stay within
+        # MAX_NULL_OVERHEAD_PCT of the untraced baseline.
+        null_pct = results["telemetry_overhead"]["null_overhead_pct"]
+        if null_pct > MAX_NULL_OVERHEAD_PCT:
+            print(
+                f"FAIL: null-sink telemetry overhead {null_pct:.1f}% exceeds "
+                f"{MAX_NULL_OVERHEAD_PCT:.0f}% budget"
+            )
+            return 1
+        print(f"telemetry overhead gate ok ({null_pct:+.1f}% <= "
+              f"{MAX_NULL_OVERHEAD_PCT:.0f}%)")
     return 0
 
 

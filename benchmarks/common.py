@@ -21,6 +21,7 @@ EXPERIMENTS.md can reference stable artifacts.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import List
@@ -29,6 +30,33 @@ from repro import TimberWolfConfig
 from repro.bench import SMALL_CIRCUITS, format_table
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The bench clock.  Always monotonic (never ``time.time``): wall-clock
+#: adjustments must not corrupt a measured rate or duration.
+bench_clock = time.perf_counter
+
+
+class Stopwatch:
+    """Tiny monotonic stopwatch for the benches.
+
+    Use as a context manager; ``seconds`` holds the elapsed monotonic
+    time after the block (and keeps counting until the block exits)::
+
+        with Stopwatch() as sw:
+            run_stage1(...)
+        print(sw.seconds)
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = bench_clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = bench_clock() - self._start
 
 
 def bench_config(seed: int = 0) -> TimberWolfConfig:

@@ -10,10 +10,12 @@ outline and a ROM offered in two alternative instances) with three
 custom blocks, then reports which aspect ratio, instance, and pin sites
 the annealer chose for each.
 
-Run:  python examples/chip_planning.py
+Run:  python examples/chip_planning.py [--trace PATH]
 """
 
-from repro import TimberWolfConfig, place_and_route
+import argparse
+
+from repro import FileSink, TimberWolfConfig, Tracer, place_and_route
 from repro.geometry import TileSet
 from repro.netlist import (
     FixedPlacement,
@@ -113,12 +115,26 @@ def build_chip() -> Circuit:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL telemetry trace of the run to PATH",
+    )
+    args = parser.parse_args()
+
     circuit = build_chip()
     print(f"chip-planning {circuit}")
     print(f"  macros : {[c.name for c in circuit.macro_cells()]}")
     print(f"  customs: {[c.name for c in circuit.custom_cells()]}")
 
-    result = place_and_route(circuit, TimberWolfConfig.fast(seed=5))
+    tracer = Tracer(FileSink(args.trace)) if args.trace else None
+    try:
+        result = place_and_route(circuit, TimberWolfConfig.fast(seed=5), tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace:
+        print(f"telemetry trace written to {args.trace}")
     print()
     print(result.summary())
 

@@ -6,12 +6,17 @@ Builds an eight-macro circuit in code, runs the full TimberWolfMC flow
 channel definition + global routing + placement refinement), and prints
 the resulting metrics and cell positions.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace PATH]
+
+``--trace PATH`` writes a JSONL telemetry trace of the run; turn it into
+the paper's diagnostic tables with
+``python -m repro.telemetry.report PATH``.
 """
 
+import argparse
 import random
 
-from repro import TimberWolfConfig, place_and_route
+from repro import FileSink, TimberWolfConfig, Tracer, place_and_route
 from repro.netlist import Circuit, MacroCell, Pin, PinKind
 
 
@@ -33,13 +38,27 @@ def build_circuit(seed: int = 7) -> Circuit:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL telemetry trace of the run to PATH",
+    )
+    args = parser.parse_args()
+
     circuit = build_circuit()
     print(f"placing {circuit}")
 
     # TimberWolfConfig.fast() is the paper's "early design stage" point
     # (A_c = 25); TimberWolfConfig.paper() is the full-quality A_c = 400.
     config = TimberWolfConfig.fast(seed=1)
-    result = place_and_route(circuit, config)
+    tracer = Tracer(FileSink(args.trace)) if args.trace else None
+    try:
+        result = place_and_route(circuit, config, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace:
+        print(f"telemetry trace written to {args.trace}")
 
     print()
     print(result.summary())

@@ -7,12 +7,12 @@ the VCG channel router (the paper's headline: placements need very
 little modification during detailed routing), and writes an SVG of the
 final placement with its critical regions.
 
-Run:  python examples/routability_report.py [circuit] [preset]
+Run:  python examples/routability_report.py [circuit] [preset] [--trace PATH]
 """
 
-import sys
+import argparse
 
-from repro import TimberWolfConfig, place_and_route
+from repro import FileSink, TimberWolfConfig, Tracer, place_and_route
 from repro.bench import CIRCUIT_NAMES, load_circuit
 from repro.flow import validate_result
 from repro.flow.report import full_report
@@ -20,8 +20,18 @@ from repro.viz import write_placement_svg
 
 
 def main() -> None:
-    name = sys.argv[1] if len(sys.argv) > 1 else "i3"
-    preset = sys.argv[2] if len(sys.argv) > 2 else "fast"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("circuit", nargs="?", default="i3")
+    parser.add_argument(
+        "preset", nargs="?", default="fast", choices=("smoke", "fast", "paper")
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL telemetry trace of the run to PATH",
+    )
+    args = parser.parse_args()
+
+    name, preset = args.circuit, args.preset
     if name not in CIRCUIT_NAMES:
         raise SystemExit(f"unknown circuit {name!r}; choose from {CIRCUIT_NAMES}")
     config = {
@@ -32,7 +42,14 @@ def main() -> None:
 
     circuit = load_circuit(name)
     print(f"running the full flow on {circuit} ({preset} preset)...")
-    result = place_and_route(circuit, config)
+    tracer = Tracer(FileSink(args.trace)) if args.trace else None
+    try:
+        result = place_and_route(circuit, config, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace:
+        print(f"telemetry trace written to {args.trace}")
 
     print()
     print(full_report(result))

@@ -13,11 +13,25 @@ The public entry points:
 * :class:`repro.TimberWolfConfig` — all tunables, with presets.
 * :mod:`repro.netlist` — build or parse circuits.
 * :mod:`repro.bench` — the synthetic 9-circuit benchmark suite.
+* :mod:`repro.telemetry` — structured tracing, metrics, and the trace
+  report generator (:class:`repro.Tracer`, :class:`repro.FileSink`, ...).
 """
 
 from .config import TimberWolfConfig
 from .flow import TimberWolfResult, place_and_route
+from .telemetry import FileSink, MemorySink, MetricsRegistry, NullSink, Tracer, use_tracer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["TimberWolfConfig", "TimberWolfResult", "place_and_route", "__version__"]
+__all__ = [
+    "TimberWolfConfig",
+    "TimberWolfResult",
+    "place_and_route",
+    "FileSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "Tracer",
+    "use_tracer",
+    "__version__",
+]

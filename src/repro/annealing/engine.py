@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..telemetry import Tracer, current_tracer
 
 
 def metropolis_accept(delta: float, temperature: float, rng: random.Random) -> bool:
@@ -60,6 +63,12 @@ class AnnealingState(ABC):
 
     def on_temperature(self, temperature: float) -> None:
         """Hook invoked at the start of every temperature step."""
+
+    def telemetry_snapshot(self, temperature: float) -> Optional[Dict[str, float]]:
+        """Extra per-temperature fields for the ``anneal.temperature``
+        trace event (cost components, range-limiter window, ...).  Only
+        called when tracing is enabled; None adds nothing."""
+        return None
 
 
 class Proposal(ABC):
@@ -115,6 +124,8 @@ class TemperatureStats:
     attempts: int = 0
     accepts: int = 0
     cost_after: float = 0.0
+    #: Wall-clock duration of the inner loop (monotonic), for moves/sec.
+    seconds: float = 0.0
 
     @property
     def acceptance_rate(self) -> float:
@@ -265,6 +276,7 @@ class Annealer:
         max_temperatures: int = 400,
         seed: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if attempts_per_cell < 1:
             raise ValueError("attempts_per_cell must be at least 1")
@@ -275,25 +287,64 @@ class Annealer:
         self.attempts_per_cell = attempts_per_cell
         self.max_temperatures = max_temperatures
         self.rng = rng if rng is not None else random.Random(seed)
+        #: None defers to the ambient ``current_tracer()`` at run time.
+        self.tracer = tracer
 
     def run(self, state: AnnealingState) -> AnnealResult:
+        tracer = self.tracer if self.tracer is not None else current_tracer()
         self.stopping.reset()
         result = AnnealResult(final_cost=state.cost())
         temperature = self.schedule.t_infinity
         inner_moves = self.attempts_per_cell * state.moves_per_iteration()
 
-        for _ in range(self.max_temperatures):
-            state.on_temperature(temperature)
-            stats = TemperatureStats(temperature=temperature)
-            for _ in range(inner_moves):
-                attempts, accepts = state.step(temperature, self.rng)
-                stats.attempts += attempts
-                stats.accepts += accepts
-            stats.cost_after = state.cost()
-            result.steps.append(stats)
-            if self.stopping.should_stop(temperature, stats):
-                break
-            temperature = self.schedule.next_temperature(temperature)
+        with tracer.span(
+            "anneal",
+            t_infinity=temperature,
+            inner_moves=inner_moves,
+            initial_cost=round(result.final_cost, 4),
+        ):
+            for step_index in range(self.max_temperatures):
+                state.on_temperature(temperature)
+                stats = TemperatureStats(temperature=temperature)
+                t0 = time.monotonic()
+                for _ in range(inner_moves):
+                    attempts, accepts = state.step(temperature, self.rng)
+                    stats.attempts += attempts
+                    stats.accepts += accepts
+                stats.seconds = time.monotonic() - t0
+                stats.cost_after = state.cost()
+                result.steps.append(stats)
+                if tracer.enabled:
+                    self._emit_temperature(tracer, state, step_index, stats)
+                if self.stopping.should_stop(temperature, stats):
+                    break
+                temperature = self.schedule.next_temperature(temperature)
 
-        result.final_cost = state.cost()
+            result.final_cost = state.cost()
         return result
+
+    @staticmethod
+    def _emit_temperature(
+        tracer: Tracer,
+        state: AnnealingState,
+        step_index: int,
+        stats: TemperatureStats,
+    ) -> None:
+        """One ``anneal.temperature`` event: the per-temperature snapshot
+        behind the paper's Figs. 3-6 (T, acceptance ratio, cost, rate,
+        plus whatever the state's ``telemetry_snapshot`` contributes)."""
+        fields = {
+            "step": step_index,
+            "T": round(stats.temperature, 6),
+            "attempts": stats.attempts,
+            "accepts": stats.accepts,
+            "acceptance": round(stats.acceptance_rate, 4),
+            "cost": round(stats.cost_after, 4),
+            "moves_per_sec": round(stats.attempts / stats.seconds, 1)
+            if stats.seconds > 0
+            else None,
+        }
+        extra = state.telemetry_snapshot(stats.temperature)
+        if extra:
+            fields.update(extra)
+        tracer.event("anneal.temperature", **fields)

@@ -53,6 +53,10 @@ class TimberWolfConfig:
     max_temperatures: int = 240
     refine_attempts_per_cell: int = 0  # 0 = same as attempts_per_cell
     profile: ModulationProfile = field(default_factory=ModulationProfile)
+    #: Wrap each flow stage in a cProfile span and emit a ``profile``
+    #: trace event per stage.  Only takes effect when the run is traced
+    #: (an enabled tracer is installed); costs nothing otherwise.
+    enable_profiling: bool = False
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell < 1:

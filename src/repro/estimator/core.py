@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 from ..geometry import Rect, TileSet
 from ..netlist import Circuit, CustomCell, MacroCell
+from ..telemetry import current_tracer
 from .interconnect import InterconnectEstimator, ModulationProfile
 from .wirelength import average_channel_width
 
@@ -83,25 +84,43 @@ def determine_core(
         raise ValueError("cw_scale must be non-negative")
     profile = profile if profile is not None else ModulationProfile()
 
+    tracer = current_tracer()
     total_cell_area = circuit.total_cell_area()
     core_area = 2.0 * total_cell_area  # starting guess
     cw = 0.0
     alpha = 1.0 / profile.mean_modulation
-    for _ in range(iterations):
-        cw = cw_scale * average_channel_width(circuit, core_area)
-        # Eqn 5: expansion with the positional modulation at its maximum.
-        e_center = 0.5 * alpha * cw * profile.m_x * profile.m_y
-        core_area = slack * effective_core_area(circuit, e_center)
+    with tracer.span("estimator.determine_core", cells=circuit.num_cells):
+        for pass_index in range(iterations):
+            cw = cw_scale * average_channel_width(circuit, core_area)
+            # Eqn 5: expansion with the positional modulation at its maximum.
+            e_center = 0.5 * alpha * cw * profile.m_x * profile.m_y
+            core_area = slack * effective_core_area(circuit, e_center)
+            if tracer.enabled:
+                tracer.event(
+                    "estimator.sizing_pass",
+                    iteration=pass_index,
+                    cw=round(cw, 4),
+                    core_area=round(core_area, 2),
+                )
 
-    width = (core_area / aspect_ratio) ** 0.5
-    height = width * aspect_ratio
-    core = Rect.from_center(0.0, 0.0, width, height)
-    estimator = InterconnectEstimator(
-        cw=cw,
-        core=core,
-        profile=profile,
-        average_pin_density=circuit.average_pin_density(),
-    )
+        width = (core_area / aspect_ratio) ** 0.5
+        height = width * aspect_ratio
+        core = Rect.from_center(0.0, 0.0, width, height)
+        estimator = InterconnectEstimator(
+            cw=cw,
+            core=core,
+            profile=profile,
+            average_pin_density=circuit.average_pin_density(),
+        )
+        if tracer.enabled:
+            tracer.event(
+                "estimator.core_plan",
+                width=round(width, 2),
+                height=round(height, 2),
+                cw=round(cw, 4),
+                total_cell_area=round(total_cell_area, 2),
+                average_effective_cell_area=round(core_area / circuit.num_cells, 2),
+            )
     return CorePlan(
         core=core,
         cw=cw,

@@ -13,6 +13,7 @@ from typing import List
 from ..bench.metrics import format_table
 from ..channels import region_densities, required_channel_width
 from ..netlist import CustomCell
+from ..telemetry.report import stage_summary
 from .timberwolf import TimberWolfResult
 
 
@@ -71,6 +72,71 @@ def channel_report(result: TimberWolfResult, top: int = 12) -> str:
     )
 
 
+def router_report(result: TimberWolfResult) -> str:
+    """Global-router and channel-definition statistics.
+
+    Prefers the run's telemetry trace (per-pass ``channels.defined`` /
+    ``router.interchange`` events); falls back to the final refinement
+    pass's own artifacts when telemetry was disabled, so the report stays
+    available either way.
+    """
+    if result.refinement is None or not result.refinement.passes:
+        return "(no refinement pass was run; no routing to report)"
+
+    events = result.trace_events or []
+    defined = [
+        e for e in events if e.get("ev") == "event" and e.get("name") == "channels.defined"
+    ]
+    interchanges = [
+        e for e in events if e.get("ev") == "event" and e.get("name") == "router.interchange"
+    ]
+    rows: List[List[object]] = []
+    if defined and interchanges:
+        for i, (d, r) in enumerate(zip(defined, interchanges)):
+            rows.append(
+                [
+                    i,
+                    d.get("critical_regions"),
+                    d.get("free_rects"),
+                    r.get("nets_routed"),
+                    r.get("unrouted"),
+                    round(float(r.get("total_length", 0.0)), 1),
+                    r.get("overflow"),
+                ]
+            )
+    else:
+        # Telemetry disabled: reconstruct what we can from the stored passes.
+        for p in result.refinement.passes:
+            rows.append(
+                [
+                    p.index,
+                    len(p.graph.regions),
+                    len(p.graph.node_rects),
+                    len(p.routing.routes),
+                    len(p.routing.unrouted),
+                    round(p.routing.total_length, 1),
+                    p.overflow,
+                ]
+            )
+    return format_table(
+        ["pass", "regions", "free rects", "nets", "unrouted", "length", "overflow"],
+        rows,
+    )
+
+
+def stage_timing_report(result: TimberWolfResult) -> str:
+    """Per-stage wall/CPU times from the run's trace (Table 4 analogue)."""
+    events = result.trace_events
+    if not events:
+        return (
+            "(telemetry disabled; rerun with tracing for per-stage timings)"
+        )
+    headers, rows = stage_summary(events)
+    if not rows:
+        return "(trace contains no completed spans)"
+    return format_table(headers, rows)
+
+
 def chip_planning_report(result: TimberWolfResult) -> str:
     """Aspect-ratio / instance / pin-site decisions for every cell that
     had freedom (the chip-planning outputs of §1)."""
@@ -106,6 +172,12 @@ def full_report(result: TimberWolfResult) -> str:
         "",
         "-- longest nets " + "-" * 41,
         net_report(result),
+        "",
+        "-- router / channel definition " + "-" * 26,
+        router_report(result),
+        "",
+        "-- stage timings " + "-" * 40,
+        stage_timing_report(result),
         "",
         "-- stage-1 annealing trace " + "-" * 30,
         annealing_trace(result),

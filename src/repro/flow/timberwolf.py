@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import TimberWolfConfig
 from ..netlist import Circuit
@@ -20,6 +20,7 @@ from ..placement.legalize import remove_overlaps
 from ..placement.refine import RefinementResult, run_refinement
 from ..placement.stage1 import Stage1Result, run_stage1
 from ..placement.state import PlacementState
+from ..telemetry import MemorySink, Tracer, profiled, use_tracer
 
 
 @dataclass
@@ -34,6 +35,13 @@ class TimberWolfResult:
     stage1_chip_area: float
     stage1_placement: Dict[str, Tuple[float, float]]
     elapsed_seconds: float
+    #: The run's telemetry events (spans, per-temperature snapshots,
+    #: router records, ...) when tracing was active; None when telemetry
+    #: was disabled.  ``repro.flow.report`` reads stage timings and
+    #: router/channel statistics from here.
+    trace_events: Optional[List[Dict[str, Any]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def state(self) -> PlacementState:
@@ -116,28 +124,44 @@ class TimberWolfResult:
 def place_and_route(
     circuit: Circuit,
     config: Optional[TimberWolfConfig] = None,
+    tracer: Optional[Tracer] = None,
+    collect_trace: bool = True,
 ) -> TimberWolfResult:
-    """Run the full two-stage TimberWolfMC flow on a circuit."""
+    """Run the full two-stage TimberWolfMC flow on a circuit.
+
+    ``tracer`` routes the run's telemetry (stage spans, per-temperature
+    annealing snapshots, router events) into the caller's sinks — e.g.
+    ``Tracer(FileSink(path))`` for a JSONL trace that
+    :mod:`repro.telemetry.report` can turn into the paper's diagnostic
+    tables.  With ``collect_trace`` (the default) the same events are
+    also kept in memory on ``result.trace_events`` so
+    :mod:`repro.flow.report` can include stage timings and router
+    statistics; pass ``collect_trace=False`` with no tracer to run with
+    telemetry fully disabled.
+    """
     config = config if config is not None else TimberWolfConfig()
-    start = time.perf_counter()
+    start = time.monotonic()
 
-    rng = random.Random(config.seed)
-    stage1 = run_stage1(circuit, config, rng)
+    mem = MemorySink() if collect_trace else None
+    if tracer is None:
+        run_tracer = Tracer(mem) if mem is not None else Tracer()
+        borrowed = False
+    else:
+        run_tracer = tracer
+        borrowed = True
+        if mem is not None:
+            run_tracer.add_sink(mem)
 
-    # Record the stage-1 metrics on a *legal* placement so the Table-3
-    # comparison is apples-to-apples with the stage-2 numbers.
-    remove_overlaps(stage1.state, min_gap=circuit.track_spacing)
-    stage1_teil = stage1.state.teil()
-    stage1_area = stage1.state.chip_area()
-    stage1_placement = {
-        name: stage1.state.records[stage1.state.index[name]].center
-        for name in stage1.state.names
-    }
+    try:
+        with use_tracer(run_tracer):
+            stage1, refinement, stage1_metrics = _run_flow(
+                circuit, config, run_tracer
+            )
+    finally:
+        if borrowed and mem is not None:
+            run_tracer.remove_sink(mem)
 
-    refinement = None
-    if config.refinement_passes > 0:
-        refinement = run_refinement(circuit, stage1, config, rng)
-
+    stage1_teil, stage1_area, stage1_placement = stage1_metrics
     return TimberWolfResult(
         circuit=circuit,
         config=config,
@@ -146,5 +170,47 @@ def place_and_route(
         stage1_teil=stage1_teil,
         stage1_chip_area=stage1_area,
         stage1_placement=stage1_placement,
-        elapsed_seconds=time.perf_counter() - start,
+        elapsed_seconds=time.monotonic() - start,
+        trace_events=mem.events if mem is not None else None,
     )
+
+
+def _run_flow(
+    circuit: Circuit, config: TimberWolfConfig, tracer: Tracer
+) -> Tuple[Stage1Result, Optional[RefinementResult], Tuple]:
+    """The instrumented flow body: one span per stage (Table-4 rows)."""
+    rng = random.Random(config.seed)
+    prof = config.enable_profiling
+    with tracer.span(
+        "flow",
+        circuit=circuit.name,
+        cells=circuit.num_cells,
+        nets=circuit.num_nets,
+        pins=circuit.num_pins,
+        seed=config.seed,
+    ):
+        with tracer.span("stage1"), profiled("stage1", prof, tracer):
+            stage1 = run_stage1(circuit, config, rng)
+
+        # Record the stage-1 metrics on a *legal* placement so the Table-3
+        # comparison is apples-to-apples with the stage-2 numbers.
+        with tracer.span("stage1.legalize"):
+            remove_overlaps(stage1.state, min_gap=circuit.track_spacing)
+        stage1_teil = stage1.state.teil()
+        stage1_area = stage1.state.chip_area()
+        stage1_placement = {
+            name: stage1.state.records[stage1.state.index[name]].center
+            for name in stage1.state.names
+        }
+        if tracer.enabled:
+            tracer.event(
+                "stage1.legalized",
+                teil=round(stage1_teil, 2),
+                chip_area=round(stage1_area, 2),
+            )
+
+        refinement = None
+        if config.refinement_passes > 0:
+            with tracer.span("stage2"), profiled("stage2", prof, tracer):
+                refinement = run_refinement(circuit, stage1, config, rng)
+    return stage1, refinement, (stage1_teil, stage1_area, stage1_placement)

@@ -30,10 +30,22 @@ from ..annealing import (
 )
 from ..geometry import orientation as ori
 from ..netlist import CustomCell, MacroCell
+from ..telemetry import MetricsRegistry
 from .state import PlacementState
 
 #: Relative size of a local aspect-ratio perturbation (log-uniform).
 _ASPECT_STEP = 0.35
+
+#: Every move kind the §3.2.1 cascade can issue.
+MOVE_KINDS = (
+    "displace",
+    "displace_inverted",
+    "orientation",
+    "pin_group",
+    "aspect",
+    "interchange",
+    "interchange_inverted",
+)
 
 
 class MoveGenerator:
@@ -50,6 +62,7 @@ class MoveGenerator:
         pin_moves: bool = True,
         interchange_moves: bool = True,
         max_pin_groups_per_call: int = 4,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if r_ratio <= 0:
             raise ValueError("r_ratio must be positive")
@@ -72,26 +85,32 @@ class MoveGenerator:
         ]
         if not self._movable:
             raise ValueError("no movable cells: nothing to anneal")
-        #: move kind -> [attempts, accepts], accumulated over every step().
-        #: Pre-seeded so the per-attempt record is two plain increments.
-        self.stats: Dict[str, List[int]] = {
-            kind: [0, 0]
-            for kind in (
-                "displace",
-                "displace_inverted",
-                "orientation",
-                "pin_group",
-                "aspect",
-                "interchange",
-                "interchange_inverted",
+        #: Per-move-kind attempt/accept counters, kept in a MetricsRegistry
+        #: so the same series the annealer accumulates is exportable to a
+        #: trace.  Pre-resolved to (attempts, accepts) Counter pairs so the
+        #: per-attempt record stays two plain increments.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pairs = {
+            kind: (
+                self.metrics.counter(f"moves.{kind}.attempts"),
+                self.metrics.counter(f"moves.{kind}.accepts"),
             )
+            for kind in MOVE_KINDS
+        }
+
+    @property
+    def stats(self) -> Dict[str, List[int]]:
+        """Move kind -> [attempts, accepts] (view over the registry)."""
+        return {
+            kind: [attempts.value, accepts.value]
+            for kind, (attempts, accepts) in self._pairs.items()
         }
 
     def _record(self, kind: str, accepted: bool) -> None:
-        entry = self.stats[kind]
-        entry[0] += 1
+        attempts, accepts = self._pairs[kind]
+        attempts.value += 1
         if accepted:
-            entry[1] += 1
+            accepts.value += 1
 
     # ------------------------------------------------------------------
 
@@ -280,3 +299,17 @@ class PlacementAnnealingState(AnnealingState):
 
     def moves_per_iteration(self) -> int:
         return self.state.moves_per_iteration()
+
+    def telemetry_snapshot(self, temperature: float) -> Dict[str, float]:
+        """The placement-specific per-temperature trace fields: the cost
+        components of Eqns 6-11 and the §3.2.2 range-limiter window."""
+        state = self.state
+        limiter = self.generator.limiter
+        return {
+            "c1": round(state.c1(), 4),
+            "c2": round(state.p2 * state.c2_raw(), 4),
+            "c2_raw": round(state.c2_raw(), 4),
+            "c3": round(state.c3(), 4),
+            "window_x": round(limiter.window_x(temperature), 3),
+            "window_y": round(limiter.window_y(temperature), 3),
+        }

@@ -45,6 +45,7 @@ from ..config import TimberWolfConfig
 from ..geometry import Rect
 from ..netlist import Circuit
 from ..routing import GlobalRouter, RoutingResult
+from ..telemetry import current_tracer
 from .compact import compact
 from .legalize import remove_overlaps
 from .moves import MoveGenerator, PlacementAnnealingState
@@ -118,18 +119,27 @@ def define_and_route(
     rng: random.Random,
 ):
     """Steps 1-2 of a refinement pass; returns (graph, routing, report)."""
+    tracer = current_tracer()
     t_s = circuit.track_spacing
-    shapes = {name: state.world_shape(name) for name in state.names}
-    boundary = channel_boundary(state, t_s)
-    # Critical regions give the channels whose widths feed refinement;
-    # the complete free-space decomposition gives the routing substrate.
-    regions = extract_critical_regions(shapes, boundary)
-    free = decompose_free_space(shapes.values(), boundary)
-    graph = ChannelGraph(free, t_s, regions=regions)
-    for name in state.names:
-        cell = circuit.cells[name]
-        for pin_name in cell.pins:
-            graph.attach_pin(name, pin_name, state.pin_position(name, pin_name))
+    with tracer.span("channels.define"):
+        shapes = {name: state.world_shape(name) for name in state.names}
+        boundary = channel_boundary(state, t_s)
+        # Critical regions give the channels whose widths feed refinement;
+        # the complete free-space decomposition gives the routing substrate.
+        regions = extract_critical_regions(shapes, boundary)
+        free = decompose_free_space(shapes.values(), boundary)
+        graph = ChannelGraph(free, t_s, regions=regions)
+        for name in state.names:
+            cell = circuit.cells[name]
+            for pin_name in cell.pins:
+                graph.attach_pin(name, pin_name, state.pin_position(name, pin_name))
+        if tracer.enabled:
+            tracer.event(
+                "channels.defined",
+                critical_regions=len(regions),
+                free_rects=len(free),
+                attached_pins=len(graph.pin_nodes),
+            )
     router = GlobalRouter(graph, m_routes=config.m_routes, rng=rng)
     routing = router.route(circuit)
     report = routing.congestion(graph)
@@ -148,53 +158,71 @@ def run_refinement(
     state = stage1.state
     t_s = circuit.track_spacing
     result = RefinementResult(state=state)
+    tracer = current_tracer()
 
     for pass_index in range(config.refinement_passes):
-        # Channel definition needs disjoint cells; keep one track of gap so
-        # every adjacency still admits a channel.
-        residual = remove_overlaps(state, min_gap=t_s)
-        if residual > 0:
-            warnings.warn(
-                f"legalization left {residual:.1f} units^2 of cell overlap "
-                f"before refinement pass {pass_index}; channels may be "
-                "missing where cells still overlap",
-                stacklevel=2,
+        with tracer.span("stage2.pass", index=pass_index):
+            # Channel definition needs disjoint cells; keep one track of gap
+            # so every adjacency still admits a channel.
+            with tracer.span("stage2.legalize"):
+                residual = remove_overlaps(state, min_gap=t_s)
+            if residual > 0:
+                warnings.warn(
+                    f"legalization left {residual:.1f} units^2 of cell overlap "
+                    f"before refinement pass {pass_index}; channels may be "
+                    "missing where cells still overlap",
+                    stacklevel=2,
+                )
+
+            graph, routing, report = define_and_route(circuit, state, config, rng)
+            expansions = cell_edge_expansions(graph, routing.routes, t_s)
+            state.set_static_expansions(expansions)
+            # The §4.3 spacing step: separate the margin-carrying shapes so
+            # every channel immediately has its required width; the anneal
+            # below then re-optimizes wirelength under that constraint.
+            with tracer.span("stage2.space"):
+                remove_overlaps(state, use_expanded=True)
+
+            is_last = pass_index == config.refinement_passes - 1
+            with tracer.span("stage2.refine_anneal", final=is_last):
+                anneal, move_stats = _refine_anneal(
+                    state, stage1, config, rng, is_last
+                )
+            # "Or, if excessive space was allocated, then the cells are
+            # compacted as much as possible" — the anneal's tiny window
+            # cannot close large gaps, so a deterministic slide toward the
+            # core center finishes the job (channel widths preserved: the
+            # compaction operates on the margin-carrying shapes).
+            with tracer.span("stage2.compact"):
+                compact(state)
+
+            result.passes.append(
+                RefinementPass(
+                    index=pass_index,
+                    graph=graph,
+                    routing=routing,
+                    congestion=report,
+                    anneal=anneal,
+                    teil_after=state.teil(),
+                    chip_area_after=state.chip_area(),
+                    move_stats=move_stats,
+                )
             )
-
-        graph, routing, report = define_and_route(circuit, state, config, rng)
-        expansions = cell_edge_expansions(graph, routing.routes, t_s)
-        state.set_static_expansions(expansions)
-        # The §4.3 spacing step: separate the margin-carrying shapes so
-        # every channel immediately has its required width; the anneal
-        # below then re-optimizes wirelength under that constraint.
-        remove_overlaps(state, use_expanded=True)
-
-        is_last = pass_index == config.refinement_passes - 1
-        anneal, move_stats = _refine_anneal(state, stage1, config, rng, is_last)
-        # "Or, if excessive space was allocated, then the cells are
-        # compacted as much as possible" — the anneal's tiny window
-        # cannot close large gaps, so a deterministic slide toward the
-        # core center finishes the job (channel widths preserved: the
-        # compaction operates on the margin-carrying shapes).
-        compact(state)
-
-        result.passes.append(
-            RefinementPass(
-                index=pass_index,
-                graph=graph,
-                routing=routing,
-                congestion=report,
-                anneal=anneal,
-                teil_after=state.teil(),
-                chip_area_after=state.chip_area(),
-                move_stats=move_stats,
-            )
-        )
+            if tracer.enabled:
+                tracer.event(
+                    "stage2.pass",
+                    index=pass_index,
+                    teil=round(state.teil(), 2),
+                    chip_area=round(state.chip_area(), 2),
+                    overflow=routing.overflow,
+                    residual_overlap=round(residual, 2),
+                )
 
     # Leave the placement legal for downstream consumers — including the
     # reserved channel space (expanded shapes disjoint, §4.3).
-    remove_overlaps(state, use_expanded=True)
-    compact(state)
+    with tracer.span("stage2.final_legalize"):
+        remove_overlaps(state, use_expanded=True)
+        compact(state)
     return result
 
 

@@ -23,6 +23,7 @@ from ..annealing import (
 from ..estimator import CorePlan, determine_core
 from ..config import TimberWolfConfig
 from ..netlist import Circuit
+from ..telemetry import current_tracer
 from .moves import MoveGenerator, PlacementAnnealingState
 from .state import PlacementState
 
@@ -95,6 +96,7 @@ def run_stage1(
     """Run the full stage-1 annealing on a circuit."""
     config = config if config is not None else TimberWolfConfig()
     rng = rng if rng is not None else random.Random(config.seed)
+    tracer = current_tracer()
 
     plan = determine_core(
         circuit,
@@ -112,7 +114,16 @@ def run_stage1(
     )
 
     state = PlacementState(circuit, plan, kappa=config.kappa)
-    state.p2 = calibrate_p2(state, rng, config.eta)
+    with tracer.span("stage1.calibrate_p2", samples=P2_CALIBRATION_SAMPLES):
+        state.p2 = calibrate_p2(state, rng, config.eta)
+    if tracer.enabled:
+        tracer.event(
+            "stage1.setup",
+            p2=round(state.p2, 6),
+            t_infinity=round(schedule.t_infinity, 4),
+            core_width=round(plan.core.width, 2),
+            core_height=round(plan.core.height, 2),
+        )
 
     generator = MoveGenerator(
         state,
@@ -132,6 +143,15 @@ def run_stage1(
         rng=rng,
     )
     result = annealer.run(PlacementAnnealingState(state, generator))
+    if tracer.enabled:
+        generator.metrics.emit(tracer, "stage1.move_metrics")
+        tracer.event(
+            "stage1.result",
+            teil=round(state.teil(), 2),
+            chip_area=round(state.chip_area(), 2),
+            residual_overlap=round(state.c2_raw(), 2),
+            temperatures=result.num_temperatures,
+        )
     return Stage1Result(
         state=state, plan=plan, limiter=limiter, anneal=result, p2=state.p2
     )

@@ -13,6 +13,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..channels import ChannelGraph, CongestionReport, compute_congestion
 from ..netlist import Circuit
+from ..telemetry import current_tracer
 from .interchange import InterchangeResult, RouteSelector
 from .steiner import RouteAlternative, m_shortest_routes
 
@@ -91,39 +92,65 @@ class GlobalRouter:
 
     def route(self, circuit: Circuit) -> RoutingResult:
         """Route every net: phase one per net, then the interchange."""
-        net_groups = self.build_pin_groups(circuit)
-        alternatives: Dict[str, List[RouteAlternative]] = {}
-        unrouted: List[str] = []
-        for net_name, groups in net_groups.items():
-            groups = [g for g in groups if g]
-            if len(groups) < 2:
-                continue  # nothing to connect
-            alts = self.route_net(groups)
-            if not alts:
-                unrouted.append(net_name)
-                continue
-            alternatives[net_name] = alts
+        tracer = current_tracer()
+        with tracer.span(
+            "router.route", nets=circuit.num_nets, m_routes=self.m_routes
+        ):
+            net_groups = self.build_pin_groups(circuit)
+            alternatives: Dict[str, List[RouteAlternative]] = {}
+            unrouted: List[str] = []
+            for net_name, groups in net_groups.items():
+                groups = [g for g in groups if g]
+                if len(groups) < 2:
+                    continue  # nothing to connect
+                alts = self.route_net(groups)
+                if tracer.enabled:
+                    # Phase-one record (§4.2.1): how many of the M slots the
+                    # net filled, and the shortest/longest stored lengths.
+                    tracer.event(
+                        "router.net",
+                        net=net_name,
+                        pin_groups=len(groups),
+                        alternatives=len(alts),
+                        shortest=round(alts[0].length, 3) if alts else None,
+                        longest=round(alts[-1].length, 3) if alts else None,
+                    )
+                if not alts:
+                    unrouted.append(net_name)
+                    continue
+                alternatives[net_name] = alts
 
-        capacities: Dict[EdgeKey, Optional[int]] = {
-            e.key: e.capacity for e in self.graph.edges()
-        }
-        if alternatives:
-            selector = RouteSelector(alternatives, capacities)
-            interchange = selector.run(self.rng)
-            routes = selector.routes()
-        else:
-            interchange = InterchangeResult(
-                selection={}, total_length=0.0, overflow=0, converged_shortest=True
+            capacities: Dict[EdgeKey, Optional[int]] = {
+                e.key: e.capacity for e in self.graph.edges()
+            }
+            if alternatives:
+                selector = RouteSelector(alternatives, capacities)
+                interchange = selector.run(self.rng)
+                routes = selector.routes()
+            else:
+                interchange = InterchangeResult(
+                    selection={}, total_length=0.0, overflow=0, converged_shortest=True
+                )
+                routes = {}
+            lengths = {
+                net: alternatives[net][interchange.selection[net]].length
+                for net in alternatives
+            }
+            if tracer.enabled:
+                tracer.event(
+                    "router.interchange",
+                    nets_routed=len(alternatives),
+                    unrouted=len(unrouted),
+                    attempts=interchange.attempts,
+                    accepted=interchange.accepted,
+                    overflow=interchange.overflow,
+                    total_length=round(interchange.total_length, 3),
+                    converged_shortest=interchange.converged_shortest,
+                )
+            return RoutingResult(
+                routes=routes,
+                lengths=lengths,
+                alternatives=alternatives,
+                interchange=interchange,
+                unrouted=unrouted,
             )
-            routes = {}
-        lengths = {
-            net: alternatives[net][interchange.selection[net]].length
-            for net in alternatives
-        }
-        return RoutingResult(
-            routes=routes,
-            lengths=lengths,
-            alternatives=alternatives,
-            interchange=interchange,
-            unrouted=unrouted,
-        )

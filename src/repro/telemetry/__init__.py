@@ -1,0 +1,51 @@
+"""Flow-wide telemetry: structured traces, metrics, and profiling hooks.
+
+The paper's evidence is observational — acceptance-ratio and
+range-limiter traces (Figs. 3-6) and per-stage cost/time breakdowns
+(Tables 3-4) — so the reproduction carries a first-class, zero-
+dependency instrumentation layer:
+
+* :class:`Tracer` + sinks (:class:`NullSink`, :class:`MemorySink`,
+  :class:`FileSink`) — structured JSONL events: spans with wall/CPU
+  durations, counters, gauges.  The null sink is the default, so
+  instrumented hot loops cost approximately nothing when tracing is off.
+* :class:`MetricsRegistry` — named counters/gauges/histograms for
+  hot-loop aggregation (the per-move-kind attempt/accept statistics
+  live here).
+* :mod:`repro.telemetry.report` — regenerates the paper's diagnostic
+  tables (acceptance-vs-T, cost-vs-iteration, per-stage time/cost) from
+  a trace, as CSV and plain text.
+* :func:`profiled` — an optional ``cProfile`` span wrapper, enabled by
+  ``TimberWolfConfig(enable_profiling=True)``.
+
+Event schema: ``docs/telemetry.md``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import profiled
+from .tracer import (
+    NULL_TRACER,
+    FileSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "profiled",
+    "NULL_TRACER",
+    "FileSink",
+    "MemorySink",
+    "NullSink",
+    "Sink",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+]

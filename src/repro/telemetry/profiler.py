@@ -1,0 +1,71 @@
+"""Optional ``cProfile`` hook: profile a span, emit the hot functions.
+
+Enabled by ``TimberWolfConfig(enable_profiling=True)``; the flow wraps
+each stage span in :func:`profiled` so the trace gains one ``profile``
+event per stage listing the top functions by cumulative time.  The
+profiler only runs when a real (enabled) tracer is installed — with the
+null sink the context manager is a no-op, so the flag costs nothing in
+ordinary runs even when left on.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from .tracer import Tracer, current_tracer
+
+#: How many functions a ``profile`` event lists.
+DEFAULT_TOP = 15
+
+
+def top_functions(stats: pstats.Stats, top: int = DEFAULT_TOP) -> List[Dict[str, Any]]:
+    """The ``top`` entries of a profile by cumulative time, as flat dicts."""
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, line, name = func
+        rows.append(
+            {
+                "func": f"{filename}:{line}:{name}",
+                "ncalls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda r: -r["cumtime_s"])
+    return rows[:top]
+
+
+@contextmanager
+def profiled(
+    name: str,
+    enabled: bool = True,
+    tracer: Optional[Tracer] = None,
+    top: int = DEFAULT_TOP,
+) -> Iterator[None]:
+    """Profile the body with ``cProfile`` and emit a ``profile`` event.
+
+    No-op when ``enabled`` is false or the tracer has nowhere to put the
+    result.  Exception-safe: the event is emitted (and the profiler
+    disabled) even when the body raises.
+    """
+    tracer = tracer if tracer is not None else current_tracer()
+    if not enabled or not tracer.enabled:
+        yield
+        return
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        stats = pstats.Stats(prof)
+        tracer.event(
+            "profile",
+            profiled=name,
+            total_calls=getattr(stats, "total_calls", None),
+            total_time_s=round(getattr(stats, "total_tt", 0.0), 6),
+            top=top_functions(stats, top),
+        )

@@ -1,0 +1,244 @@
+"""Turn a telemetry trace into the paper's diagnostic artifacts.
+
+Given a JSONL trace (or an in-memory event list) this module rebuilds:
+
+* the acceptance-ratio-vs-temperature table — the Fig. 3/5 analogue,
+  one row per temperature step of each anneal in the trace;
+* the cost-vs-iteration table — the Fig. 4/6 analogue, tracking the
+  total cost and its C1/C2/C3 components across temperature steps;
+* the per-stage time/cost summary — the Table 4 analogue, aggregating
+  every span by its path with wall/CPU totals.
+
+Each table is available as ``(headers, rows)`` for programmatic use,
+as CSV files, and as plain text.  Run as a CLI::
+
+    python -m repro.telemetry.report TRACE.jsonl [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..bench.metrics import format_table
+
+Event = Dict[str, Any]
+Table = Tuple[List[str], List[List[Any]]]
+
+
+def load_events(source: Union[str, Path, Iterable[Event]]) -> List[Event]:
+    """Events from a JSONL path or an already-parsed iterable."""
+    if isinstance(source, (str, Path)):
+        events = []
+        with open(source, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+    return list(source)
+
+
+def span_paths(events: Sequence[Event]) -> Dict[int, str]:
+    """Map each span id to its slash-joined path from the root span."""
+    names: Dict[int, str] = {}
+    parents: Dict[int, Optional[int]] = {}
+    for ev in events:
+        if ev.get("ev") == "span_begin":
+            sid = ev["span"]
+            names[sid] = ev["name"]
+            parents[sid] = ev.get("parent")
+    paths: Dict[int, str] = {}
+
+    def resolve(sid: int) -> str:
+        if sid in paths:
+            return paths[sid]
+        parent = parents.get(sid)
+        name = names.get(sid, f"span{sid}")
+        path = name if parent is None else f"{resolve(parent)}/{name}"
+        paths[sid] = path
+        return path
+
+    for sid in names:
+        resolve(sid)
+    return paths
+
+
+def _temperature_events(events: Sequence[Event]) -> List[Tuple[str, Event]]:
+    paths = span_paths(events)
+    out = []
+    for ev in events:
+        if ev.get("ev") == "event" and ev.get("name") == "anneal.temperature":
+            out.append((paths.get(ev.get("span", -1), ""), ev))
+    return out
+
+
+def acceptance_table(events: Sequence[Event]) -> Table:
+    """Acceptance ratio vs. temperature, one row per temperature step."""
+    headers = [
+        "phase",
+        "step",
+        "T",
+        "attempts",
+        "accepts",
+        "acceptance",
+        "window_x",
+        "window_y",
+        "moves_per_sec",
+    ]
+    rows: List[List[Any]] = []
+    for phase, ev in _temperature_events(events):
+        rows.append(
+            [
+                phase,
+                ev.get("step"),
+                ev.get("T"),
+                ev.get("attempts"),
+                ev.get("accepts"),
+                ev.get("acceptance"),
+                ev.get("window_x"),
+                ev.get("window_y"),
+                ev.get("moves_per_sec"),
+            ]
+        )
+    return headers, rows
+
+
+def cost_table(events: Sequence[Event]) -> Table:
+    """Cost (and its C1/C2/C3 components) vs. temperature step."""
+    headers = ["phase", "step", "T", "cost", "c1", "c2", "c3"]
+    rows: List[List[Any]] = []
+    for phase, ev in _temperature_events(events):
+        rows.append(
+            [
+                phase,
+                ev.get("step"),
+                ev.get("T"),
+                ev.get("cost"),
+                ev.get("c1"),
+                ev.get("c2"),
+                ev.get("c3"),
+            ]
+        )
+    return headers, rows
+
+
+def stage_summary(events: Sequence[Event]) -> Table:
+    """Per-stage wall/CPU totals aggregated over every span occurrence."""
+    paths = span_paths(events)
+    agg: Dict[str, List[float]] = {}  # path -> [count, wall, cpu, failures]
+    order: List[str] = []
+    for ev in events:
+        if ev.get("ev") != "span_end":
+            continue
+        path = paths.get(ev.get("span", -1), ev.get("name", "?"))
+        if path not in agg:
+            agg[path] = [0, 0.0, 0.0, 0]
+            order.append(path)
+        entry = agg[path]
+        entry[0] += 1
+        entry[1] += float(ev.get("wall_s", 0.0))
+        entry[2] += float(ev.get("cpu_s", 0.0))
+        if not ev.get("ok", True):
+            entry[3] += 1
+    headers = ["stage", "calls", "wall_s", "cpu_s", "failed"]
+    rows = [
+        [path, int(agg[path][0]), round(agg[path][1], 4), round(agg[path][2], 4),
+         int(agg[path][3])]
+        for path in sorted(order)
+    ]
+    return headers, rows
+
+
+def stage_cost_table(events: Sequence[Event]) -> Table:
+    """Per-stage cost checkpoints (TEIL / chip area / overflow events)."""
+    headers = ["stage", "teil", "chip_area", "overflow"]
+    rows: List[List[Any]] = []
+    for ev in events:
+        if ev.get("ev") != "event":
+            continue
+        if ev.get("name") in ("stage1.result", "stage2.pass"):
+            label = ev["name"]
+            if ev.get("name") == "stage2.pass" and "index" in ev:
+                label = f"stage2.pass[{ev['index']}]"
+            rows.append(
+                [label, ev.get("teil"), ev.get("chip_area"), ev.get("overflow", "")]
+            )
+    return headers, rows
+
+
+def write_csv(table: Table, path: Union[str, Path]) -> None:
+    headers, rows = table
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def render_text(events: Sequence[Event]) -> str:
+    """All tables as one plain-text report."""
+    sections = []
+    for title, table in (
+        ("acceptance ratio vs temperature (Fig. 3/5 analogue)", acceptance_table(events)),
+        ("cost vs iteration (Fig. 4/6 analogue)", cost_table(events)),
+        ("per-stage cost checkpoints (Table 3 analogue)", stage_cost_table(events)),
+        ("per-stage time summary (Table 4 analogue)", stage_summary(events)),
+    ):
+        headers, rows = table
+        body = format_table(headers, rows) if rows else "(no matching events)"
+        sections.append(f"== {title} ==\n{body}")
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(
+    events: Sequence[Event], out_dir: Union[str, Path]
+) -> Dict[str, Path]:
+    """Write every artifact into ``out_dir``; returns name -> path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "acceptance_vs_temperature.csv": acceptance_table(events),
+        "cost_vs_iteration.csv": cost_table(events),
+        "stage_costs.csv": stage_cost_table(events),
+        "stage_summary.csv": stage_summary(events),
+    }
+    written: Dict[str, Path] = {}
+    for name, table in artifacts.items():
+        path = out / name
+        write_csv(table, path)
+        written[name] = path
+    text_path = out / "report.txt"
+    text_path.write_text(render_text(events), encoding="utf-8")
+    written["report.txt"] = text_path
+    return written
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's diagnostic tables from a trace."
+    )
+    parser.add_argument("trace", type=Path, help="JSONL trace file")
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        help="also write CSV + text artifacts into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    events = load_events(args.trace)
+    if not events:
+        print(f"no events in {args.trace}")
+        return 1
+    print(render_text(events), end="")
+    if args.out_dir is not None:
+        written = write_report(events, args.out_dir)
+        print(f"\nwrote {len(written)} artifacts to {args.out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,293 @@
+"""Structured tracing: spans, counters, and gauges over pluggable sinks.
+
+The flow's telemetry is a stream of flat JSON-serializable dicts
+("events").  A :class:`Tracer` timestamps each event against a shared
+monotonic origin and fans it out to its :class:`Sink` list; the sinks
+decide what to do with the stream (append to memory, write JSONL, or
+drop everything).  The event schema is documented in
+``docs/telemetry.md`` and consumed by :mod:`repro.telemetry.report`.
+
+Design constraints, in order:
+
+1. *Zero cost when disabled.*  The default sink is :class:`NullSink`;
+   every emitting method checks ``tracer.enabled`` first, so an
+   instrumented hot loop pays one attribute read and a branch.
+2. *Zero dependencies.*  Standard library only (``json``, ``time``,
+   ``contextvars``).
+3. *Exception safety.*  A span always emits its ``span_end`` event, with
+   ``ok: false`` and the exception type when the body raised.
+
+Instrumented layers obtain their tracer from :func:`current_tracer`
+unless one is passed explicitly, so a single ``use_tracer`` block at the
+flow entry point lights up every layer beneath it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import time
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from typing import IO, Any, Dict, Iterator, List, Optional, Sequence, Union
+
+
+class Sink(ABC):
+    """Receives a stream of event dicts from a :class:`Tracer`."""
+
+    #: Tracers skip event construction entirely when every sink reports
+    #: ``enabled = False``.
+    enabled: bool = True
+
+    @abstractmethod
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Consume one event.  The dict must not be mutated or retained
+        past the call unless the sink copies it (MemorySink keeps the
+        reference; tracers never reuse event dicts)."""
+
+    def close(self) -> None:
+        """Flush and release any resources; idempotent."""
+
+
+class NullSink(Sink):
+    """The default sink: drops everything, reports itself disabled."""
+
+    enabled = False
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover - never called
+        pass
+
+
+class MemorySink(Sink):
+    """Accumulates events in a list (tests, in-process reporting).
+
+    ``limit`` bounds memory on unexpectedly long runs: once reached, new
+    events are counted in ``dropped`` instead of stored.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be positive")
+        self.events: List[Dict[str, Any]] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+
+class FileSink(Sink):
+    """Writes one JSON object per line (JSONL) to a path or file object."""
+
+    def __init__(self, path_or_file: Union[str, "IO[str]"], *, flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be positive")
+        if hasattr(path_or_file, "write"):
+            self._file: Optional[IO[str]] = path_or_file  # type: ignore[assignment]
+            self._owns_file = False
+            self.path = getattr(path_or_file, "name", None)
+        else:
+            self._file = open(path_or_file, "w", encoding="utf-8")
+            self._owns_file = True
+            self.path = str(path_or_file)
+        self._flush_every = flush_every
+        self._since_flush = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._file is None:
+            raise ValueError("FileSink is closed")
+        self._file.write(json.dumps(event, separators=(",", ":"), default=str))
+        self._file.write("\n")
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._file.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+        self._file = None
+
+
+class _SpanHandle:
+    """Identity of an open span (returned by ``Tracer.span``)."""
+
+    __slots__ = ("span_id", "name", "t0_wall", "t0_cpu")
+
+    def __init__(self, span_id: int, name: str, t0_wall: float, t0_cpu: float) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.t0_wall = t0_wall
+        self.t0_cpu = t0_cpu
+
+
+class Tracer:
+    """Fans timestamped events out to a list of sinks.
+
+    All wall-clock fields use ``time.monotonic`` (offsets from the
+    tracer's construction instant, so traces are diffable across runs);
+    CPU time uses ``time.process_time``.
+    """
+
+    def __init__(self, sink: Union[Sink, Sequence[Sink], None] = None) -> None:
+        if sink is None:
+            sinks: List[Sink] = [NullSink()]
+        elif isinstance(sink, Sink):
+            sinks = [sink]
+        else:
+            sinks = list(sink)
+        self._sinks = sinks
+        self._t0 = time.monotonic()
+        self._next_span_id = 1
+        self._span_stack: List[_SpanHandle] = []
+
+    # -- sink management ----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one sink consumes events."""
+        for s in self._sinks:
+            if s.enabled:
+                return True
+        return False
+
+    @property
+    def sinks(self) -> List[Sink]:
+        return list(self._sinks)
+
+    def add_sink(self, sink: Sink) -> None:
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Sink) -> None:
+        self._sinks.remove(sink)
+
+    def close(self) -> None:
+        for s in self._sinks:
+            s.close()
+
+    # -- emission -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        for s in self._sinks:
+            if s.enabled:
+                s.emit(event)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a point event, tagged with the enclosing span (if any)."""
+        if not self.enabled:
+            return
+        ev: Dict[str, Any] = {"ev": "event", "name": name, "t": round(self._now(), 6)}
+        if self._span_stack:
+            ev["span"] = self._span_stack[-1].span_id
+        ev.update(fields)
+        self._emit(ev)
+
+    def counter(self, name: str, value: Union[int, float] = 1, **fields: Any) -> None:
+        """Emit a monotonically accumulated quantity."""
+        if not self.enabled:
+            return
+        ev: Dict[str, Any] = {
+            "ev": "counter",
+            "name": name,
+            "t": round(self._now(), 6),
+            "value": value,
+        }
+        if self._span_stack:
+            ev["span"] = self._span_stack[-1].span_id
+        ev.update(fields)
+        self._emit(ev)
+
+    def gauge(self, name: str, value: Union[int, float], **fields: Any) -> None:
+        """Emit a point-in-time measurement."""
+        if not self.enabled:
+            return
+        ev: Dict[str, Any] = {
+            "ev": "gauge",
+            "name": name,
+            "t": round(self._now(), 6),
+            "value": value,
+        }
+        if self._span_stack:
+            ev["span"] = self._span_stack[-1].span_id
+        ev.update(fields)
+        self._emit(ev)
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[Optional[_SpanHandle]]:
+        """A timed region: emits ``span_begin`` on entry and ``span_end``
+        (with wall/CPU durations and an ``ok`` flag) on exit, even when
+        the body raises.  Spans nest; each carries its parent's id."""
+        if not self.enabled:
+            yield None
+            return
+        handle = _SpanHandle(
+            self._next_span_id, name, time.monotonic(), time.process_time()
+        )
+        self._next_span_id += 1
+        begin: Dict[str, Any] = {
+            "ev": "span_begin",
+            "name": name,
+            "t": round(self._now(), 6),
+            "span": handle.span_id,
+        }
+        if self._span_stack:
+            begin["parent"] = self._span_stack[-1].span_id
+        begin.update(fields)
+        self._emit(begin)
+        self._span_stack.append(handle)
+        ok = True
+        error: Optional[str] = None
+        try:
+            yield handle
+        except BaseException as exc:
+            ok = False
+            error = type(exc).__name__
+            raise
+        finally:
+            self._span_stack.pop()
+            end: Dict[str, Any] = {
+                "ev": "span_end",
+                "name": name,
+                "t": round(self._now(), 6),
+                "span": handle.span_id,
+                "wall_s": round(time.monotonic() - handle.t0_wall, 6),
+                "cpu_s": round(time.process_time() - handle.t0_cpu, 6),
+                "ok": ok,
+            }
+            if error is not None:
+                end["error"] = error
+            self._emit(end)
+
+
+#: The process-wide disabled tracer; ``current_tracer`` falls back to it.
+NULL_TRACER = Tracer()
+
+_CURRENT: "contextvars.ContextVar[Tracer]" = contextvars.ContextVar(
+    "repro_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer() -> Tracer:
+    """The tracer installed by the innermost :func:`use_tracer` block
+    (the disabled :data:`NULL_TRACER` outside any block)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the current tracer for the dynamic extent
+    of the block (contextvar-based, so async- and thread-safe)."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)

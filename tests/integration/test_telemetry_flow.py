@@ -1,0 +1,210 @@
+"""End-to-end telemetry: a traced flow emits the expected event stream
+and the per-temperature records reconcile with the engine's own stats."""
+
+import json
+
+import pytest
+
+from repro import (
+    FileSink,
+    MemorySink,
+    TimberWolfConfig,
+    Tracer,
+    place_and_route,
+)
+from repro.flow.report import full_report, router_report, stage_timing_report
+from repro.telemetry.report import (
+    acceptance_table,
+    load_events,
+    span_paths,
+    stage_summary,
+    write_report,
+)
+
+from ..conftest import make_macro_circuit
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced smoke run shared by the assertions below."""
+    mem = MemorySink()
+    result = place_and_route(
+        make_macro_circuit(), TimberWolfConfig.smoke(seed=3), tracer=Tracer(mem)
+    )
+    return result, mem.events
+
+
+class TestEventSequence:
+    def test_stage_spans_present_in_order(self, traced):
+        _, events = traced
+        begins = [e["name"] for e in events if e["ev"] == "span_begin"]
+        # The flow's skeleton, in execution order.
+        for earlier, later in zip(
+            ["flow", "stage1", "estimator.determine_core", "anneal",
+             "stage1.legalize", "stage2", "channels.define", "router.route"],
+            ["stage1", "estimator.determine_core", "anneal", "stage1.legalize",
+             "stage2", "channels.define", "router.route", "stage2.refine_anneal"],
+        ):
+            assert begins.index(earlier) < begins.index(later), (earlier, later)
+
+    def test_span_tree_roots_at_flow(self, traced):
+        _, events = traced
+        paths = span_paths(events)
+        assert "flow" in paths.values()
+        assert any(p == "flow/stage1/anneal" for p in paths.values())
+        assert any(p.startswith("flow/stage2/stage2.pass") for p in paths.values())
+
+    def test_every_span_closes_ok(self, traced):
+        _, events = traced
+        begins = {e["span"] for e in events if e["ev"] == "span_begin"}
+        ends = {e["span"] for e in events if e["ev"] == "span_end"}
+        assert begins == ends
+        assert all(e["ok"] for e in events if e["ev"] == "span_end")
+
+    def test_layer_events_present(self, traced):
+        _, events = traced
+        names = {e["name"] for e in events if e["ev"] == "event"}
+        assert {"anneal.temperature", "estimator.sizing_pass",
+                "estimator.core_plan", "stage1.setup", "stage1.result",
+                "channels.defined", "router.net", "router.interchange",
+                "stage2.pass", "stage1.move_metrics"} <= names
+
+    def test_user_sink_and_result_see_same_events(self, traced):
+        result, events = traced
+        assert result.trace_events == events
+
+
+class TestAcceptanceReconciliation:
+    def test_per_temperature_events_match_engine_counts(self, traced):
+        result, events = traced
+        paths = span_paths(events)
+        stage1_events = [
+            e for e in events
+            if e.get("name") == "anneal.temperature"
+            and paths.get(e.get("span")) == "flow/stage1/anneal"
+        ]
+        steps = result.stage1.anneal.steps
+        assert len(stage1_events) == len(steps)
+        for ev, step in zip(stage1_events, steps):
+            assert ev["attempts"] == step.attempts
+            assert ev["accepts"] == step.accepts
+            assert ev["acceptance"] == pytest.approx(
+                step.acceptance_rate, abs=1e-4
+            )
+            # T is rounded to 6 decimals on the wire.
+            assert ev["T"] == pytest.approx(step.temperature, abs=1e-6)
+
+    def test_snapshot_fields_present(self, traced):
+        _, events = traced
+        ev = next(e for e in events if e.get("name") == "anneal.temperature")
+        for key in ("c1", "c2", "c2_raw", "c3", "window_x", "window_y",
+                    "cost", "moves_per_sec"):
+            assert key in ev, key
+
+    def test_move_metrics_reconcile_with_attempts(self, traced):
+        result, events = traced
+        metrics = next(
+            e for e in events if e.get("name") == "stage1.move_metrics"
+        )
+        counters = metrics["counters"]
+        total_attempts = sum(
+            v for k, v in counters.items() if k.endswith(".attempts")
+        )
+        assert total_attempts == result.stage1.anneal.total_attempts
+        total_accepts = sum(
+            v for k, v in counters.items() if k.endswith(".accepts")
+        )
+        assert total_accepts == result.stage1.anneal.total_accepts
+
+
+class TestFileTraceRoundTrip:
+    def test_jsonl_trace_feeds_report(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer(FileSink(str(path)))
+        result = place_and_route(
+            make_macro_circuit(), TimberWolfConfig.smoke(seed=5), tracer=tracer
+        )
+        tracer.close()
+        events = load_events(path)
+        assert events, "trace file is empty"
+        # Every line is valid JSON (load_events parsed it) and the report
+        # regenerates the acceptance and stage tables.
+        _, acc_rows = acceptance_table(events)
+        stage1_steps = len(result.stage1.anneal.steps)
+        assert len(acc_rows) >= stage1_steps
+        _, stage_rows = stage_summary(events)
+        stages = {r[0] for r in stage_rows}
+        assert "flow" in stages and "flow/stage1" in stages
+        written = write_report(events, tmp_path / "out")
+        assert (tmp_path / "out" / "report.txt").exists()
+        acc_csv = written["acceptance_vs_temperature.csv"].read_text()
+        assert acc_csv.count("\n") == len(acc_rows) + 1
+
+
+class TestDisabledTelemetry:
+    def test_collect_trace_false_disables(self):
+        result = place_and_route(
+            make_macro_circuit(),
+            TimberWolfConfig.smoke(seed=3),
+            collect_trace=False,
+        )
+        assert result.trace_events is None
+
+    def test_report_stable_when_disabled(self):
+        result = place_and_route(
+            make_macro_circuit(),
+            TimberWolfConfig.smoke(seed=3),
+            collect_trace=False,
+        )
+        text = full_report(result)
+        for marker in ("router / channel definition", "stage timings",
+                       "annealing trace"):
+            assert marker in text
+        assert "telemetry disabled" in stage_timing_report(result)
+        # Router stats fall back to the stored refinement artifacts.
+        assert "overflow" in router_report(result)
+
+    def test_disabled_and_default_runs_agree(self):
+        """Telemetry must not perturb the annealing (same seed, same result)."""
+        kwargs = dict(config=TimberWolfConfig.smoke(seed=9))
+        a = place_and_route(make_macro_circuit(), collect_trace=False, **kwargs)
+        b = place_and_route(make_macro_circuit(), **kwargs)
+        assert a.teil == b.teil
+        assert a.placement() == b.placement()
+
+
+class TestDefaultCollection:
+    def test_default_run_carries_trace(self):
+        result = place_and_route(
+            make_macro_circuit(), TimberWolfConfig.smoke(seed=3)
+        )
+        assert result.trace_events
+        report = full_report(result)
+        assert "flow/stage1" in report  # stage timings rendered from trace
+
+    def test_trace_events_are_json_serializable(self):
+        result = place_and_route(
+            make_macro_circuit(), TimberWolfConfig.smoke(seed=3)
+        )
+        json.dumps(result.trace_events)
+
+
+class TestProfilingHook:
+    def test_profile_events_behind_flag(self):
+        mem = MemorySink()
+        from dataclasses import replace
+
+        cfg = replace(TimberWolfConfig.smoke(seed=3), enable_profiling=True)
+        place_and_route(make_macro_circuit(), cfg, tracer=Tracer(mem))
+        profiles = [e for e in mem.events if e.get("name") == "profile"]
+        assert {p["profiled"] for p in profiles} == {"stage1", "stage2"}
+        top = profiles[0]["top"]
+        assert top and {"func", "ncalls", "cumtime_s"} <= set(top[0])
+
+    def test_no_profile_events_without_flag(self):
+        mem = MemorySink()
+        place_and_route(
+            make_macro_circuit(), TimberWolfConfig.smoke(seed=3),
+            tracer=Tracer(mem),
+        )
+        assert not [e for e in mem.events if e.get("name") == "profile"]

@@ -1,0 +1,130 @@
+"""The trace -> diagnostic-tables report generator."""
+
+import json
+
+from repro.telemetry.report import (
+    acceptance_table,
+    cost_table,
+    load_events,
+    main,
+    span_paths,
+    stage_summary,
+    write_report,
+)
+
+
+def synthetic_trace():
+    """A minimal but structurally faithful flow trace."""
+    return [
+        {"ev": "span_begin", "name": "flow", "t": 0.0, "span": 1},
+        {"ev": "span_begin", "name": "stage1", "t": 0.0, "span": 2, "parent": 1},
+        {"ev": "span_begin", "name": "anneal", "t": 0.1, "span": 3, "parent": 2},
+        {
+            "ev": "event", "name": "anneal.temperature", "t": 0.2, "span": 3,
+            "step": 0, "T": 1000.0, "attempts": 100, "accepts": 90,
+            "acceptance": 0.9, "cost": 500.0, "moves_per_sec": 1000.0,
+            "c1": 400.0, "c2": 80.0, "c3": 20.0, "window_x": 50.0, "window_y": 40.0,
+        },
+        {
+            "ev": "event", "name": "anneal.temperature", "t": 0.3, "span": 3,
+            "step": 1, "T": 900.0, "attempts": 100, "accepts": 70,
+            "acceptance": 0.7, "cost": 450.0, "moves_per_sec": 1100.0,
+            "c1": 380.0, "c2": 50.0, "c3": 20.0, "window_x": 45.0, "window_y": 36.0,
+        },
+        {"ev": "span_end", "name": "anneal", "t": 0.4, "span": 3,
+         "wall_s": 0.3, "cpu_s": 0.25, "ok": True},
+        {"ev": "event", "name": "stage1.result", "t": 0.4, "span": 2,
+         "teil": 123.0, "chip_area": 456.0},
+        {"ev": "span_end", "name": "stage1", "t": 0.5, "span": 2,
+         "wall_s": 0.5, "cpu_s": 0.4, "ok": True},
+        {"ev": "span_end", "name": "flow", "t": 0.6, "span": 1,
+         "wall_s": 0.6, "cpu_s": 0.5, "ok": True},
+    ]
+
+
+class TestSpanPaths:
+    def test_paths_join_parents(self):
+        paths = span_paths(synthetic_trace())
+        assert paths[1] == "flow"
+        assert paths[2] == "flow/stage1"
+        assert paths[3] == "flow/stage1/anneal"
+
+
+class TestAcceptanceTable:
+    def test_rows_per_temperature(self):
+        headers, rows = acceptance_table(synthetic_trace())
+        assert "acceptance" in headers
+        assert len(rows) == 2
+        assert rows[0][headers.index("T")] == 1000.0
+        assert rows[1][headers.index("acceptance")] == 0.7
+        assert rows[0][headers.index("phase")] == "flow/stage1/anneal"
+
+
+class TestCostTable:
+    def test_components_present(self):
+        headers, rows = cost_table(synthetic_trace())
+        assert headers[3:] == ["cost", "c1", "c2", "c3"]
+        assert rows[0][3] == 500.0
+        assert rows[1][4] == 380.0
+
+
+class TestStageSummary:
+    def test_aggregates_by_path(self):
+        headers, rows = stage_summary(synthetic_trace())
+        by_stage = {r[0]: r for r in rows}
+        assert by_stage["flow"][1] == 1
+        assert by_stage["flow/stage1/anneal"][2] == 0.3
+        assert by_stage["flow/stage1"][3] == 0.4  # cpu_s
+        assert all(r[4] == 0 for r in rows)  # no failures
+
+    def test_failed_span_counted(self):
+        events = synthetic_trace()
+        events.append(
+            {"ev": "span_begin", "name": "bad", "t": 0.7, "span": 9}
+        )
+        events.append(
+            {"ev": "span_end", "name": "bad", "t": 0.8, "span": 9,
+             "wall_s": 0.1, "cpu_s": 0.1, "ok": False, "error": "ValueError"}
+        )
+        _, rows = stage_summary(events)
+        bad = next(r for r in rows if r[0] == "bad")
+        assert bad[4] == 1
+
+
+class TestArtifacts:
+    def test_write_report_produces_csv_and_text(self, tmp_path):
+        written = write_report(synthetic_trace(), tmp_path)
+        assert set(written) == {
+            "acceptance_vs_temperature.csv",
+            "cost_vs_iteration.csv",
+            "stage_costs.csv",
+            "stage_summary.csv",
+            "report.txt",
+        }
+        acc = (tmp_path / "acceptance_vs_temperature.csv").read_text()
+        assert acc.count("\n") == 3  # header + 2 rows
+        text = (tmp_path / "report.txt").read_text()
+        assert "Fig. 3/5" in text and "Table 4" in text
+
+    def test_load_events_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = synthetic_trace()
+        path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        assert load_events(path) == events
+        assert load_events(events) == events
+
+    def test_cli_main(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(e) for e in synthetic_trace()) + "\n"
+        )
+        out_dir = tmp_path / "out"
+        assert main([str(path), "--out-dir", str(out_dir)]) == 0
+        assert (out_dir / "report.txt").exists()
+        captured = capsys.readouterr()
+        assert "acceptance ratio vs temperature" in captured.out
+
+    def test_cli_empty_trace_fails(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 1

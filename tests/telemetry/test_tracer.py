@@ -1,0 +1,176 @@
+"""Tracer, sink, and span semantics."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    FileSink,
+    MemorySink,
+    NullSink,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+
+class TestSinks:
+    def test_null_sink_disables_tracer(self):
+        tracer = Tracer(NullSink())
+        assert not tracer.enabled
+
+    def test_default_tracer_is_disabled(self):
+        assert not Tracer().enabled
+
+    def test_memory_sink_collects(self):
+        mem = MemorySink()
+        tracer = Tracer(mem)
+        assert tracer.enabled
+        tracer.event("hello", x=1)
+        assert len(mem.events) == 1
+        assert mem.events[0]["name"] == "hello"
+        assert mem.events[0]["x"] == 1
+
+    def test_memory_sink_limit(self):
+        mem = MemorySink(limit=2)
+        tracer = Tracer(mem)
+        for i in range(5):
+            tracer.event("e", i=i)
+        assert len(mem.events) == 2
+        assert mem.dropped == 3
+
+    def test_file_sink_writes_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = FileSink(str(path))
+        tracer = Tracer(sink)
+        tracer.event("a", n=1)
+        tracer.gauge("g", 2.5)
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert events[0]["name"] == "a"
+        assert events[1]["ev"] == "gauge"
+        assert events[1]["value"] == 2.5
+
+    def test_file_sink_close_idempotent(self, tmp_path):
+        sink = FileSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit({"ev": "event"})
+
+    def test_multiple_sinks_fan_out(self):
+        a, b = MemorySink(), MemorySink()
+        tracer = Tracer([a, b])
+        tracer.event("x")
+        assert len(a.events) == len(b.events) == 1
+
+    def test_add_remove_sink(self):
+        tracer = Tracer()
+        mem = MemorySink()
+        tracer.add_sink(mem)
+        assert tracer.enabled
+        tracer.event("x")
+        tracer.remove_sink(mem)
+        assert not tracer.enabled
+        tracer.event("y")
+        assert [e["name"] for e in mem.events] == ["x"]
+
+
+class TestNullNoOp:
+    def test_disabled_tracer_emits_nothing_and_spans_yield(self):
+        tracer = Tracer()
+        with tracer.span("outer") as handle:
+            assert handle is None
+            tracer.event("e")
+            tracer.counter("c")
+            tracer.gauge("g", 1)
+        # nothing to assert on output — the contract is simply no error
+        assert not tracer.enabled
+
+    def test_null_tracer_is_current_by_default(self):
+        assert current_tracer() is NULL_TRACER
+
+
+class TestSpans:
+    def test_span_begin_end_pair(self):
+        mem = MemorySink()
+        tracer = Tracer(mem)
+        with tracer.span("work", tag="t"):
+            pass
+        begin, end = mem.events
+        assert begin["ev"] == "span_begin" and end["ev"] == "span_end"
+        assert begin["name"] == end["name"] == "work"
+        assert begin["span"] == end["span"]
+        assert begin["tag"] == "t"
+        assert end["ok"] is True
+        assert end["wall_s"] >= 0.0
+        assert end["cpu_s"] >= 0.0
+
+    def test_nesting_records_parent(self):
+        mem = MemorySink()
+        tracer = Tracer(mem)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                tracer.event("leaf")
+        begins = {e["name"]: e for e in mem.events if e["ev"] == "span_begin"}
+        assert "parent" not in begins["outer"]
+        assert begins["inner"]["parent"] == outer.span_id
+        leaf = next(e for e in mem.events if e.get("name") == "leaf")
+        assert leaf["span"] == inner.span_id
+
+    def test_span_ids_unique(self):
+        mem = MemorySink()
+        tracer = Tracer(mem)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [e["span"] for e in mem.events if e["ev"] == "span_begin"]
+        assert len(set(ids)) == 2
+
+    def test_exception_safe_exit(self):
+        mem = MemorySink()
+        tracer = Tracer(mem)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        end = mem.events[-1]
+        assert end["ev"] == "span_end"
+        assert end["ok"] is False
+        assert end["error"] == "RuntimeError"
+        # The stack unwound: a new span is again a root span.
+        with tracer.span("after"):
+            pass
+        after_begin = next(e for e in mem.events if e.get("name") == "after")
+        assert "parent" not in after_begin
+
+    def test_events_tag_enclosing_span(self):
+        mem = MemorySink()
+        tracer = Tracer(mem)
+        tracer.event("outside")
+        with tracer.span("s") as handle:
+            tracer.counter("inside", 3)
+        outside = mem.events[0]
+        inside = next(e for e in mem.events if e.get("name") == "inside")
+        assert "span" not in outside
+        assert inside["span"] == handle.span_id
+        assert inside["value"] == 3
+
+
+class TestUseTracer:
+    def test_install_and_restore(self):
+        tracer = Tracer(MemorySink())
+        assert current_tracer() is NULL_TRACER
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_nested_installation(self):
+        t1, t2 = Tracer(MemorySink()), Tracer(MemorySink())
+        with use_tracer(t1):
+            with use_tracer(t2):
+                assert current_tracer() is t2
+            assert current_tracer() is t1
