@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI rehearsal of the kill-and-resume guarantee, across real processes.
+
+The drill:
+
+1. Run the flow to completion in a subprocess → the reference JSON.
+2. Run it again with checkpointing armed, SIGTERM it mid-anneal, and
+   require exit status 3 (graceful interrupt) plus a checkpoint on disk.
+3. Resume from the newest checkpoint with ``python -m repro resume`` and
+   require the final JSON to match the reference exactly (all placement
+   coordinates, costs, and routing — only wall-clock fields may differ).
+
+Exits non-zero, with a diagnostic, on any deviation.  Artifacts (the
+checkpoints, both JSON dumps, the trace) are left in ``--workdir`` for
+the CI job to upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+#: Fields that legitimately differ between the reference and resumed
+#: runs: wall-clock timings and resume provenance.
+VOLATILE_KEYS = {"elapsed_seconds", "seconds", "resumed_from", "budget_report"}
+
+EXIT_INTERRUPTED = 3
+
+
+def scrub(value):
+    """Recursively drop wall-clock / provenance fields."""
+    if isinstance(value, dict):
+        return {k: scrub(v) for k, v in value.items() if k not in VOLATILE_KEYS}
+    if isinstance(value, list):
+        return [scrub(v) for v in value]
+    return value
+
+
+def run(cmd, env, **kwargs):
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    return subprocess.run([str(c) for c in cmd], env=env, **kwargs)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default="/tmp/kill_resume")
+    parser.add_argument("--circuit", default="i1", help="suite circuit name")
+    parser.add_argument("--preset", default="smoke")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--kill-after",
+        type=float,
+        default=1.0,
+        help="seconds to let the victim run before SIGTERM",
+    )
+    args = parser.parse_args()
+
+    work = Path(args.workdir)
+    work.mkdir(parents=True, exist_ok=True)
+    ckpt_dir = work / "checkpoints"
+    env = dict(os.environ)
+    repo = Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = str(repo / "src")
+
+    circuit_file = work / f"{args.circuit}.twmc"
+    base_json = work / "reference.json"
+    resumed_json = work / "resumed.json"
+
+    run(
+        ["python", "-m", "repro", "generate", args.circuit, circuit_file],
+        env, check=True,
+    )
+    place = [
+        "python", "-m", "repro", "place", circuit_file,
+        "--preset", args.preset, "--seed", str(args.seed),
+    ]
+    run(place + ["--json", base_json], env, check=True)
+
+    # The victim: checkpoint every temperature, killed mid-run.  A tight
+    # cadence guarantees a checkpoint exists whenever the signal lands.
+    victim = subprocess.Popen(
+        [str(c) for c in place] + [
+            "--json", str(work / "interrupted.json"),
+            "--checkpoint-dir", str(ckpt_dir),
+            "--checkpoint-every", "1",
+            "--trace", str(work / "interrupted_trace.jsonl"),
+        ],
+        env=env,
+    )
+    time.sleep(args.kill_after)
+    victim.send_signal(signal.SIGTERM)
+    status = victim.wait(timeout=120)
+    if status == 0:
+        print(
+            f"victim finished before the SIGTERM landed (after "
+            f"{args.kill_after}s); lower --kill-after",
+            file=sys.stderr,
+        )
+        return 1
+    if status != EXIT_INTERRUPTED:
+        print(
+            f"victim exited with {status}, expected {EXIT_INTERRUPTED} "
+            "(graceful interrupt)",
+            file=sys.stderr,
+        )
+        return 1
+
+    checkpoints = sorted(ckpt_dir.glob("*.ckpt"))
+    if not checkpoints:
+        print("no checkpoint was written before the kill", file=sys.stderr)
+        return 1
+    newest = max(checkpoints, key=lambda p: (p.stat().st_mtime, p.name))
+    print(f"killed at {newest.name}; resuming")
+
+    run(
+        ["python", "-m", "repro", "resume", newest, "--json", resumed_json],
+        env, check=True,
+    )
+
+    reference = scrub(json.loads(base_json.read_text()))
+    resumed = scrub(json.loads(resumed_json.read_text()))
+    if reference != resumed:
+        for key in sorted(set(reference) | set(resumed)):
+            if reference.get(key) != resumed.get(key):
+                print(f"MISMATCH in {key!r}", file=sys.stderr)
+        print(
+            "resumed run does not reproduce the uninterrupted run",
+            file=sys.stderr,
+        )
+        return 1
+    print("kill-and-resume OK: resumed run is identical to the reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,18 +15,33 @@ The public entry points:
 * :mod:`repro.bench` — the synthetic 9-circuit benchmark suite.
 * :mod:`repro.telemetry` — structured tracing, metrics, and the trace
   report generator (:class:`repro.Tracer`, :class:`repro.FileSink`, ...).
+* :mod:`repro.resilience` — checkpoint/resume, run budgets, interrupt
+  trapping, stage supervision, and the fault-injection harness
+  (:class:`repro.Budget`, :class:`repro.CheckpointPolicy`,
+  :func:`repro.resume_place_and_route`, ...).
 """
 
 from .config import TimberWolfConfig
-from .flow import TimberWolfResult, place_and_route
+from .flow import TimberWolfResult, place_and_route, resume_place_and_route
+from .resilience import (
+    Budget,
+    CheckpointError,
+    CheckpointPolicy,
+    FlowInterrupted,
+)
 from .telemetry import FileSink, MemorySink, MetricsRegistry, NullSink, Tracer, use_tracer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TimberWolfConfig",
     "TimberWolfResult",
     "place_and_route",
+    "resume_place_and_route",
+    "Budget",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "FlowInterrupted",
     "FileSink",
     "MemorySink",
     "MetricsRegistry",

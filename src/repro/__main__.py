@@ -4,24 +4,46 @@ Commands:
 
 * ``stats <circuit.twmc>``          — netlist statistics and validation
 * ``place <circuit.twmc>``          — run the full flow, print the report
+* ``resume <checkpoint.ckpt>``      — continue an interrupted ``place``
 * ``generate <suite-name> <out>``   — write a synthetic suite circuit
 * ``suite``                         — list the benchmark suite circuits
 
 ``place`` options: ``--preset smoke|fast|paper`` (default fast),
 ``--seed N``, ``--svg out.svg`` (render the final placement),
-``--json out.json`` (machine-readable result dump), and ``--report``
-(full engineering report instead of the summary).
+``--json out.json`` (machine-readable result dump), ``--report``
+(full engineering report instead of the summary), ``--trace out.jsonl``
+(structured telemetry), ``--checkpoint-dir DIR`` (periodic snapshots +
+SIGINT/SIGTERM trapping; an interrupted run exits with status 3 and
+prints the checkpoint to resume from), and ``--budget-seconds /
+--budget-temperatures / --budget-moves`` (graceful early stop).
+
+Setting the ``REPRO_FAULTS`` environment variable (e.g.
+``router.route_net@3:error``) arms the fault-injection harness for the
+whole process — the mechanism the resilience CI job uses to rehearse
+failure recovery in a real subprocess.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from . import TimberWolfConfig, place_and_route
+from . import TimberWolfConfig, place_and_route, resume_place_and_route
 from .bench import CIRCUIT_NAMES, PAPER_STATS, load_circuit, spec_for
 from .bench.circuits import generate_circuit
 from .netlist import dump, load
+from .resilience import (
+    Budget,
+    CheckpointPolicy,
+    FaultInjector,
+    FlowInterrupted,
+    faults_from_env,
+    install_injector,
+)
+
+#: Exit status of a run stopped by SIGINT/SIGTERM after checkpointing.
+EXIT_INTERRUPTED = 3
 
 
 def _config(preset: str, seed: int) -> TimberWolfConfig:
@@ -54,10 +76,34 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_place(args: argparse.Namespace) -> int:
-    circuit = load(args.circuit)
-    config = _config(args.preset, args.seed)
-    result = place_and_route(circuit, config)
+def _budget(args: argparse.Namespace):
+    if not (args.budget_seconds or args.budget_temperatures or args.budget_moves):
+        return None
+    return Budget(
+        wall_seconds=args.budget_seconds,
+        temperatures=args.budget_temperatures,
+        moves=args.budget_moves,
+    )
+
+
+def _checkpoint(args: argparse.Namespace):
+    if not args.checkpoint_dir:
+        return None
+    return CheckpointPolicy(
+        directory=args.checkpoint_dir,
+        every_temperatures=args.checkpoint_every,
+    )
+
+
+def _tracer(args: argparse.Namespace):
+    if not getattr(args, "trace", None):
+        return None
+    from .telemetry import FileSink, Tracer
+
+    return Tracer(FileSink(args.trace))
+
+
+def _emit_result(result, args: argparse.Namespace) -> int:
     if args.report:
         from .flow.report import full_report
 
@@ -83,6 +129,53 @@ def cmd_place(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_place(args: argparse.Namespace) -> int:
+    circuit = load(args.circuit)
+    config = _config(args.preset, args.seed)
+    tracer = _tracer(args)
+    try:
+        result = place_and_route(
+            circuit,
+            config,
+            tracer=tracer,
+            budget=_budget(args),
+            checkpoint=_checkpoint(args),
+        )
+    except FlowInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        if exc.checkpoint_path:
+            print(
+                f"resume with: python -m repro resume {exc.checkpoint_path}",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return _emit_result(result, args)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    tracer = _tracer(args)
+    try:
+        result = resume_place_and_route(
+            args.checkpoint, tracer=tracer, budget=_budget(args)
+        )
+    except FlowInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        if exc.checkpoint_path:
+            print(
+                f"resume with: python -m repro resume {exc.checkpoint_path}",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
+    finally:
+        if tracer is not None:
+            tracer.close()
+    print(f"resumed from {result.resumed_from}")
+    return _emit_result(result, args)
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.name not in CIRCUIT_NAMES:
         raise SystemExit(
@@ -101,6 +194,25 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_output_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--svg", help="write the final placement as SVG")
+    p.add_argument("--json", help="write the full result as JSON")
+    p.add_argument(
+        "--report", action="store_true", help="print the full engineering report"
+    )
+    p.add_argument("--trace", help="write a JSONL telemetry trace")
+
+
+def _add_budget_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--budget-seconds", type=float, help="wall-clock budget for the run"
+    )
+    p.add_argument(
+        "--budget-temperatures", type=int, help="temperature-step budget"
+    )
+    p.add_argument("--budget-moves", type=int, help="move-attempt budget")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -117,12 +229,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("circuit", help="circuit file (.twmc)")
     p_place.add_argument("--preset", default="fast", help="smoke | fast | paper")
     p_place.add_argument("--seed", type=int, default=0)
-    p_place.add_argument("--svg", help="write the final placement as SVG")
-    p_place.add_argument("--json", help="write the full result as JSON")
+    _add_output_options(p_place)
+    _add_budget_options(p_place)
     p_place.add_argument(
-        "--report", action="store_true", help="print the full engineering report"
+        "--checkpoint-dir",
+        help="write periodic checkpoints here and trap SIGINT/SIGTERM",
+    )
+    p_place.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="stage-1 snapshot cadence in temperature steps (default 10)",
     )
     p_place.set_defaults(func=cmd_place)
+
+    p_resume = sub.add_parser(
+        "resume", help="continue an interrupted place run from a checkpoint"
+    )
+    p_resume.add_argument("checkpoint", help="checkpoint file (.ckpt)")
+    _add_output_options(p_resume)
+    _add_budget_options(p_resume)
+    p_resume.set_defaults(func=cmd_resume)
 
     p_gen = sub.add_parser(
         "generate", help="write a synthetic benchmark-suite circuit"
@@ -139,6 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    faults = faults_from_env(os.environ)
+    if faults:
+        install_injector(FaultInjector(faults))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -23,8 +23,9 @@ import random
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..resilience.faults import fault_point
 from ..telemetry import Tracer, current_tracer
 
 
@@ -138,6 +139,13 @@ class AnnealResult:
 
     final_cost: float
     steps: List[TemperatureStats] = field(default_factory=list)
+    #: True when a run budget ended the anneal before its stopping
+    #: criterion fired (the result is the best-so-far state, not the
+    #: converged one).
+    truncated: bool = False
+    #: Why the loop ended: "stopping", "max_temperatures", or
+    #: "budget:<limit>".
+    stop_reason: Optional[str] = None
 
     @property
     def total_attempts(self) -> int:
@@ -166,6 +174,13 @@ class StoppingCriterion(ABC):
     def reset(self) -> None:
         """Prepare for a fresh run (criteria may carry history)."""
 
+    def state_dict(self) -> Dict[str, Any]:
+        """History carried across a checkpoint (stateless: empty)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore history saved by :meth:`state_dict`."""
+
 
 class WindowStop(StoppingCriterion):
     """Stage-1 stopping: an inner loop has run with the range-limiter
@@ -193,6 +208,13 @@ class FrozenStop(StoppingCriterion):
     def reset(self) -> None:
         self._last_cost = None
         self._streak = 0
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"last_cost": self._last_cost, "streak": self._streak}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._last_cost = state["last_cost"]
+        self._streak = state["streak"]
 
     def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
         if self._last_cost is not None and abs(
@@ -230,6 +252,13 @@ class AnyOf(StoppingCriterion):
         for c in self._criteria:
             c.reset()
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {"children": [c.state_dict() for c in self._criteria]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        for criterion, child in zip(self._criteria, state["children"]):
+            criterion.load_state_dict(child)
+
     def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
         fired = [c.should_stop(temperature, stats) for c in self._criteria]
         return any(fired)
@@ -254,9 +283,61 @@ class AllOf(StoppingCriterion):
         for c in self._criteria:
             c.reset()
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {"children": [c.state_dict() for c in self._criteria]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        for criterion, child in zip(self._criteria, state["children"]):
+            criterion.load_state_dict(child)
+
     def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
         fired = [c.should_stop(temperature, stats) for c in self._criteria]
         return all(fired)
+
+
+@dataclass
+class AnnealCursor:
+    """A resumable position in an annealing run.
+
+    The cursor means "about to start temperature step ``step_index`` at
+    ``temperature``": the RNG state and the stopping criterion's history
+    are captured *after* the previous step was fully accounted, so a run
+    resumed from the cursor performs the exact float and RNG operation
+    sequence the uninterrupted run would have.
+    """
+
+    step_index: int
+    temperature: float
+    rng_state: Any
+    stopping_state: Dict[str, Any]
+    #: Completed steps, packed as (T, attempts, accepts, cost_after, s).
+    steps: List[Tuple[float, int, int, float, float]]
+    #: True when the stopping criterion fired on the step that produced
+    #: this cursor: the anneal is complete, there is no next step to
+    #: resume into.  (An interrupt can land on the final temperature —
+    #: without this flag a resume would anneal one step too many.)
+    done: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "step_index": self.step_index,
+            "temperature": self.temperature,
+            "rng_state": self.rng_state,
+            "stopping_state": self.stopping_state,
+            "steps": list(self.steps),
+            "done": self.done,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "AnnealCursor":
+        return AnnealCursor(
+            step_index=data["step_index"],
+            temperature=data["temperature"],
+            rng_state=data["rng_state"],
+            stopping_state=data["stopping_state"],
+            steps=[tuple(s) for s in data["steps"]],
+            done=data.get("done", False),
+        )
 
 
 class Annealer:
@@ -290,38 +371,151 @@ class Annealer:
         #: None defers to the ambient ``current_tracer()`` at run time.
         self.tracer = tracer
 
-    def run(self, state: AnnealingState) -> AnnealResult:
+    def run(
+        self,
+        state: AnnealingState,
+        *,
+        budget=None,
+        resume: Optional[AnnealCursor] = None,
+        observers: Sequence[Callable] = (),
+    ) -> AnnealResult:
+        """Run the annealing loop.
+
+        ``budget`` is a :class:`~repro.resilience.budget.Budget`; when
+        it exhausts, the loop ends gracefully with the result flagged
+        ``truncated``.  ``resume`` is an :class:`AnnealCursor` from a
+        checkpoint: the loop continues at the cursor's temperature with
+        the RNG and stopping history restored, reproducing the
+        uninterrupted run bit-for-bit.  ``observers`` are called after
+        every completed temperature step as ``obs(step_index, stats,
+        state, make_cursor)`` (checkpoint writers, drift guards); an
+        observer may raise to abort the run.
+        """
         tracer = self.tracer if self.tracer is not None else current_tracer()
         self.stopping.reset()
+        if resume is not None:
+            self.stopping.load_state_dict(resume.stopping_state)
+            self.rng.setstate(resume.rng_state)
+            if resume.done:
+                # The snapshot was taken on the anneal's final step: the
+                # state is already converged, nothing left to run.
+                result = AnnealResult(final_cost=state.cost())
+                result.steps = [TemperatureStats(*p) for p in resume.steps]
+                result.stop_reason = "stopping"
+                return result
+            start_index = resume.step_index
+            temperature = resume.temperature
+            prior = [TemperatureStats(*packed) for packed in resume.steps]
+        else:
+            start_index = 0
+            temperature = self.schedule.t_infinity
+            prior = []
         result = AnnealResult(final_cost=state.cost())
-        temperature = self.schedule.t_infinity
+        result.steps = prior
         inner_moves = self.attempts_per_cell * state.moves_per_iteration()
+        if budget is not None:
+            budget.start()
 
         with tracer.span(
             "anneal",
-            t_infinity=temperature,
+            t_infinity=self.schedule.t_infinity,
             inner_moves=inner_moves,
             initial_cost=round(result.final_cost, 4),
+            resumed_at=start_index if resume is not None else None,
         ):
-            for step_index in range(self.max_temperatures):
+            truncated = False
+            stop_reason = None
+            step_index = start_index
+            while step_index < self.max_temperatures:
+                if budget is not None:
+                    reason = budget.exhausted()
+                    if reason is not None:
+                        truncated, stop_reason = True, f"budget:{reason}"
+                        break
                 state.on_temperature(temperature)
+                fault_point(
+                    "anneal.temperature", step=step_index, temperature=temperature
+                )
                 stats = TemperatureStats(temperature=temperature)
                 t0 = time.monotonic()
-                for _ in range(inner_moves):
-                    attempts, accepts = state.step(temperature, self.rng)
-                    stats.attempts += attempts
-                    stats.accepts += accepts
+                midloop_reason = None
+                if budget is None:
+                    for _ in range(inner_moves):
+                        attempts, accepts = state.step(temperature, self.rng)
+                        stats.attempts += attempts
+                        stats.accepts += accepts
+                else:
+                    # Budgeted inner loop: identical move sequence, plus a
+                    # strided budget check so a wall deadline ends the run
+                    # within ~32 moves instead of a full inner loop.
+                    done = 0
+                    for k in range(inner_moves):
+                        attempts, accepts = state.step(temperature, self.rng)
+                        stats.attempts += attempts
+                        stats.accepts += accepts
+                        done += 1
+                        if (k & 31) == 31:
+                            budget.note_moves(done)
+                            done = 0
+                            midloop_reason = budget.exhausted()
+                            if midloop_reason is not None:
+                                break
+                    if done:
+                        budget.note_moves(done)
                 stats.seconds = time.monotonic() - t0
                 stats.cost_after = state.cost()
                 result.steps.append(stats)
+                if budget is not None:
+                    budget.note_temperature()
                 if tracer.enabled:
                     self._emit_temperature(tracer, state, step_index, stats)
-                if self.stopping.should_stop(temperature, stats):
+                # The stopping criterion consumes this step's stats before
+                # observers run, so a checkpoint cursor captures its
+                # post-update history.
+                should_stop = self.stopping.should_stop(temperature, stats)
+                if observers:
+                    make_cursor = self._cursor_factory(
+                        step_index, temperature, result, should_stop
+                    )
+                    for observer in observers:
+                        observer(step_index, stats, state, make_cursor)
+                if midloop_reason is not None:
+                    truncated, stop_reason = True, f"budget:{midloop_reason}"
+                    break
+                if should_stop:
+                    stop_reason = "stopping"
                     break
                 temperature = self.schedule.next_temperature(temperature)
+                step_index += 1
+            else:
+                stop_reason = "max_temperatures"
 
             result.final_cost = state.cost()
+        result.truncated = truncated
+        result.stop_reason = stop_reason
         return result
+
+    def _cursor_factory(
+        self,
+        step_index: int,
+        temperature: float,
+        result: AnnealResult,
+        should_stop: bool,
+    ) -> Callable[[], AnnealCursor]:
+        def make_cursor() -> AnnealCursor:
+            return AnnealCursor(
+                step_index=step_index + 1,
+                temperature=self.schedule.next_temperature(temperature),
+                rng_state=self.rng.getstate(),
+                stopping_state=self.stopping.state_dict(),
+                steps=[
+                    (s.temperature, s.attempts, s.accepts, s.cost_after, s.seconds)
+                    for s in result.steps
+                ],
+                done=should_stop,
+            )
+
+        return make_cursor
 
     @staticmethod
     def _emit_temperature(

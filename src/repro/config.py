@@ -22,8 +22,12 @@ The paper's knobs and the values it recommends:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Dict
 
 from .estimator import ModulationProfile
+
+#: Allowed responses to incremental-cost drift past the tolerance.
+DRIFT_ACTIONS = ("warn", "resync", "raise")
 
 #: Displacement-point selectors (§3.2.3): the evenly-dispersed Ds or the
 #: uniformly-random Dr baseline.
@@ -57,6 +61,13 @@ class TimberWolfConfig:
     #: trace event per stage.  Only takes effect when the run is traced
     #: (an enabled tracer is installed); costs nothing otherwise.
     enable_profiling: bool = False
+    #: Reconcile the incremental C1/C2/C3 accumulators against a full
+    #: recomputation every N temperature steps (0 disables the audit).
+    drift_check_every: int = 0
+    #: Largest tolerated relative drift before ``drift_action`` applies.
+    drift_tolerance: float = 1e-6
+    #: What to do past the tolerance: "warn", "resync", or "raise".
+    drift_action: str = "warn"
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell < 1:
@@ -77,6 +88,15 @@ class TimberWolfConfig:
             raise ValueError("refinement_passes must be non-negative")
         if self.estimator_scale < 0:
             raise ValueError("estimator_scale must be non-negative")
+        if self.drift_check_every < 0:
+            raise ValueError("drift_check_every must be non-negative")
+        if self.drift_tolerance <= 0:
+            raise ValueError("drift_tolerance must be positive")
+        if self.drift_action not in DRIFT_ACTIONS:
+            raise ValueError(
+                f"drift_action must be one of {DRIFT_ACTIONS}, "
+                f"got {self.drift_action!r}"
+            )
 
     @property
     def displacement_probability(self) -> float:
@@ -90,6 +110,35 @@ class TimberWolfConfig:
 
     def with_seed(self, seed: int) -> "TimberWolfConfig":
         return replace(self, seed=seed)
+
+    def to_dict(self) -> Dict:
+        """A plain-data form (checkpoint envelopes, JSON exports)."""
+        data = {
+            f.name: getattr(self, f.name)
+            for f in self.__dataclass_fields__.values()
+        }
+        profile = data.pop("profile")
+        data["profile"] = {
+            "m_x": profile.m_x,
+            "b_x": profile.b_x,
+            "m_y": profile.m_y,
+            "b_y": profile.b_y,
+        }
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict) -> "TimberWolfConfig":
+        """Inverse of :meth:`to_dict`.  Unknown keys are rejected so a
+        checkpoint from an incompatible build fails loudly."""
+        data = dict(data)
+        profile = data.pop("profile", None)
+        known = set(TimberWolfConfig.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config fields: {sorted(unknown)}")
+        if profile is not None:
+            data["profile"] = ModulationProfile(**profile)
+        return TimberWolfConfig(**data)
 
     # -- presets -----------------------------------------------------------
 

@@ -1,12 +1,14 @@
 """Top-level TimberWolfMC flow orchestration."""
 
 from .timberwolf import TimberWolfResult, place_and_route
+from .resume import resume_place_and_route
 from .export import export_json, result_to_dict
 from .validate import ChannelCheck, RoutabilityReport, check_routability, validate_result
 
 __all__ = [
     "TimberWolfResult",
     "place_and_route",
+    "resume_place_and_route",
     "export_json",
     "result_to_dict",
     "ChannelCheck",

@@ -1,0 +1,76 @@
+"""Resume an interrupted flow run from a checkpoint file.
+
+``resume_place_and_route`` is the inverse of an interrupted
+``place_and_route(..., checkpoint=...)``: it validates the checkpoint
+(magic, schema, checksums, circuit hash), rebuilds the circuit and
+config from the snapshot, and continues the run from the captured
+position — mid-anneal for stage-1 checkpoints, at a pass boundary for
+stage-2 checkpoints.  The continued run replays the exact RNG and
+floating-point sequence of the uninterrupted one, so the final
+placement and cost are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..config import TimberWolfConfig
+from ..netlist import Circuit, loads
+from ..resilience.budget import Budget
+from ..resilience.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointPolicy,
+    read_checkpoint,
+)
+from ..resilience.control import RunControl
+from ..telemetry import Tracer
+from .timberwolf import TimberWolfResult, _place_and_route_controlled
+
+
+def resume_place_and_route(
+    path: Union[str, Path],
+    tracer: Optional[Tracer] = None,
+    collect_trace: bool = True,
+    budget: Optional[Budget] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
+) -> TimberWolfResult:
+    """Continue a flow run from a checkpoint written by a previous run.
+
+    The circuit and configuration come from the snapshot itself — the
+    caller only names the file.  ``checkpoint`` re-arms periodic
+    checkpointing for the continued run; by default snapshots continue
+    into the checkpoint's own directory (at the default cadence — the
+    policy itself is not part of the snapshot), so a twice-interrupted
+    run keeps making progress.  Pass ``budget`` to
+    bound the continued run (the original run's budget does not carry
+    over).  Raises :class:`CheckpointError` on a corrupt, truncated, or
+    stale file.
+    """
+    path = Path(path)
+    header, payload = read_checkpoint(path)
+    phase = payload.get("phase")
+    if phase not in ("stage1", "stage2"):
+        raise CheckpointError(f"{path}: unknown checkpoint phase {phase!r}")
+    try:
+        config = TimberWolfConfig.from_dict(payload["config"])
+        circuit = loads(payload["circuit_text"])
+    except KeyError as exc:
+        raise CheckpointError(f"{path}: checkpoint missing {exc}") from exc
+
+    if checkpoint is None:
+        checkpoint = CheckpointPolicy(directory=path.parent)
+    manager = CheckpointManager(checkpoint, payload["circuit_text"], payload["config"])
+    control = RunControl(budget=budget, manager=manager)
+
+    return _place_and_route_controlled(
+        circuit,
+        config,
+        tracer,
+        collect_trace,
+        control,
+        stage1_resume=payload if phase == "stage1" else None,
+        stage2_resume=payload if phase == "stage2" else None,
+        resumed_from=str(path),
+    )

@@ -15,11 +15,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import TimberWolfConfig
-from ..netlist import Circuit
+from ..netlist import Circuit, dumps
 from ..placement.legalize import remove_overlaps
 from ..placement.refine import RefinementResult, run_refinement
 from ..placement.stage1 import Stage1Result, run_stage1
 from ..placement.state import PlacementState
+from ..resilience.budget import Budget
+from ..resilience.checkpoint import CheckpointManager, CheckpointPolicy
+from ..resilience.control import RunControl
+from ..resilience.interrupt import trap_signals
 from ..telemetry import MemorySink, Tracer, profiled, use_tracer
 
 
@@ -42,6 +46,17 @@ class TimberWolfResult:
     trace_events: Optional[List[Dict[str, Any]]] = field(
         default=None, repr=False, compare=False
     )
+    #: True when a run budget cut the flow short (stage 1 or stage 2
+    #: ended early; the placement is the best-so-far, not converged).
+    truncated: bool = False
+    #: The budget's final accounting (``Budget.report()``), when one was
+    #: attached to the run.
+    budget_report: Optional[Dict[str, Any]] = None
+    #: Stage failures the supervisor recovered from (estimator fallback,
+    #: skipped refinement passes, ...), as plain dicts.
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: Path of the checkpoint this run resumed from, when it did.
+    resumed_from: Optional[str] = None
 
     @property
     def state(self) -> PlacementState:
@@ -118,7 +133,50 @@ class TimberWolfResult:
             f"  routing overflow {self.routed_overflow:d}",
             f"  elapsed {self.elapsed_seconds:.1f}s",
         ]
+        if self.truncated:
+            reason = ""
+            if self.budget_report is not None:
+                reason = f" ({self.budget_report.get('exhausted')})"
+            lines.append(f"  TRUNCATED: run budget exhausted{reason}")
+        if self.failures:
+            stages = ", ".join(f["stage"] for f in self.failures)
+            lines.append(f"  recovered failures: {stages}")
         return "\n".join(lines)
+
+
+def _build_control(
+    circuit: Circuit,
+    config: TimberWolfConfig,
+    budget: Optional[Budget],
+    checkpoint: Optional[CheckpointPolicy],
+) -> RunControl:
+    manager = None
+    if checkpoint is not None:
+        manager = CheckpointManager(checkpoint, dumps(circuit), config.to_dict())
+    return RunControl(budget=budget, manager=manager)
+
+
+def _stage1_summary(
+    stage1: Stage1Result, stage1_metrics: Tuple
+) -> Dict[str, Any]:
+    """The plain-data stage-1 record a stage-2 checkpoint carries, so a
+    resumed process can rebuild the :class:`Stage1Result` (the placement
+    state itself travels in the checkpoint's ``state`` entry)."""
+    teil, area, placement = stage1_metrics
+    anneal = stage1.anneal
+    return {
+        "p2": stage1.p2,
+        "anneal_steps": [
+            (s.temperature, s.attempts, s.accepts, s.cost_after, s.seconds)
+            for s in anneal.steps
+        ],
+        "anneal_final_cost": anneal.final_cost,
+        "anneal_truncated": anneal.truncated,
+        "anneal_stop_reason": anneal.stop_reason,
+        "teil": teil,
+        "chip_area": area,
+        "placement": {name: tuple(c) for name, c in placement.items()},
+    }
 
 
 def place_and_route(
@@ -126,6 +184,8 @@ def place_and_route(
     config: Optional[TimberWolfConfig] = None,
     tracer: Optional[Tracer] = None,
     collect_trace: bool = True,
+    budget: Optional[Budget] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> TimberWolfResult:
     """Run the full two-stage TimberWolfMC flow on a circuit.
 
@@ -138,9 +198,33 @@ def place_and_route(
     :mod:`repro.flow.report` can include stage timings and router
     statistics; pass ``collect_trace=False`` with no tracer to run with
     telemetry fully disabled.
+
+    ``budget`` bounds the run (wall clock, temperatures, or moves): when
+    it runs dry the anneal freezes early and the result is flagged
+    ``truncated``.  ``checkpoint`` (a :class:`CheckpointPolicy`) enables
+    periodic snapshots plus SIGINT/SIGTERM trapping; an interrupted run
+    raises :class:`~repro.resilience.FlowInterrupted` whose
+    ``checkpoint_path`` feeds :func:`~repro.flow.resume_place_and_route`.
     """
     config = config if config is not None else TimberWolfConfig()
+    control = _build_control(circuit, config, budget, checkpoint)
+    return _place_and_route_controlled(circuit, config, tracer, collect_trace, control)
+
+
+def _place_and_route_controlled(
+    circuit: Circuit,
+    config: TimberWolfConfig,
+    tracer: Optional[Tracer],
+    collect_trace: bool,
+    control: RunControl,
+    stage1_resume: Optional[Dict[str, Any]] = None,
+    stage2_resume: Optional[Dict[str, Any]] = None,
+    resumed_from: Optional[str] = None,
+) -> TimberWolfResult:
+    """The shared body behind ``place_and_route`` and resume."""
     start = time.monotonic()
+    if control.budget is not None:
+        control.budget.start()
 
     mem = MemorySink() if collect_trace else None
     if tracer is None:
@@ -154,14 +238,25 @@ def place_and_route(
 
     try:
         with use_tracer(run_tracer):
-            stage1, refinement, stage1_metrics = _run_flow(
-                circuit, config, run_tracer
-            )
+            if control.manager is not None:
+                with trap_signals(control.interrupt):
+                    stage1, refinement, stage1_metrics = _run_flow(
+                        circuit, config, run_tracer, control,
+                        stage1_resume, stage2_resume,
+                    )
+            else:
+                stage1, refinement, stage1_metrics = _run_flow(
+                    circuit, config, run_tracer, control,
+                    stage1_resume, stage2_resume,
+                )
     finally:
         if borrowed and mem is not None:
             run_tracer.remove_sink(mem)
 
     stage1_teil, stage1_area, stage1_placement = stage1_metrics
+    truncated = stage1.anneal.truncated or (
+        refinement is not None and refinement.truncated
+    )
     return TimberWolfResult(
         circuit=circuit,
         config=config,
@@ -172,13 +267,29 @@ def place_and_route(
         stage1_placement=stage1_placement,
         elapsed_seconds=time.monotonic() - start,
         trace_events=mem.events if mem is not None else None,
+        truncated=truncated,
+        budget_report=(
+            dict(control.budget.report()) if control.budget is not None else None
+        ),
+        failures=[f.to_dict() for f in control.supervisor.failures],
+        resumed_from=resumed_from,
     )
 
 
 def _run_flow(
-    circuit: Circuit, config: TimberWolfConfig, tracer: Tracer
+    circuit: Circuit,
+    config: TimberWolfConfig,
+    tracer: Tracer,
+    control: RunControl,
+    stage1_resume: Optional[Dict[str, Any]] = None,
+    stage2_resume: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Stage1Result, Optional[RefinementResult], Tuple]:
-    """The instrumented flow body: one span per stage (Table-4 rows)."""
+    """The instrumented flow body: one span per stage (Table-4 rows).
+
+    ``stage1_resume`` / ``stage2_resume`` are checkpoint payloads (at
+    most one may be set); both stages share ``rng`` so a resumed run
+    replays the exact RNG stream of the uninterrupted one.
+    """
     rng = random.Random(config.seed)
     prof = config.enable_profiling
     with tracer.span(
@@ -189,28 +300,112 @@ def _run_flow(
         pins=circuit.num_pins,
         seed=config.seed,
     ):
-        with tracer.span("stage1"), profiled("stage1", prof, tracer):
-            stage1 = run_stage1(circuit, config, rng)
+        start_pass = 0
+        if stage2_resume is not None:
+            stage1, stage1_metrics, start_pass = _restore_stage2(
+                circuit, config, control, rng, stage2_resume, tracer
+            )
+        else:
+            with tracer.span("stage1"), profiled("stage1", prof, tracer):
+                stage1 = run_stage1(
+                    circuit, config, rng, control=control, resume=stage1_resume
+                )
 
-        # Record the stage-1 metrics on a *legal* placement so the Table-3
-        # comparison is apples-to-apples with the stage-2 numbers.
-        with tracer.span("stage1.legalize"):
-            remove_overlaps(stage1.state, min_gap=circuit.track_spacing)
-        stage1_teil = stage1.state.teil()
-        stage1_area = stage1.state.chip_area()
-        stage1_placement = {
-            name: stage1.state.records[stage1.state.index[name]].center
-            for name in stage1.state.names
-        }
-        if tracer.enabled:
-            tracer.event(
-                "stage1.legalized",
-                teil=round(stage1_teil, 2),
-                chip_area=round(stage1_area, 2),
+            # Record the stage-1 metrics on a *legal* placement so the
+            # Table-3 comparison is apples-to-apples with stage 2.
+            with tracer.span("stage1.legalize"):
+                remove_overlaps(stage1.state, min_gap=circuit.track_spacing)
+            stage1_teil = stage1.state.teil()
+            stage1_area = stage1.state.chip_area()
+            stage1_placement = {
+                name: stage1.state.records[stage1.state.index[name]].center
+                for name in stage1.state.names
+            }
+            stage1_metrics = (stage1_teil, stage1_area, stage1_placement)
+            if tracer.enabled:
+                tracer.event(
+                    "stage1.legalized",
+                    teil=round(stage1_teil, 2),
+                    chip_area=round(stage1_area, 2),
+                )
+
+        if control.manager is not None:
+            control.manager.stage1_summary = _stage1_summary(
+                stage1, stage1_metrics
             )
 
         refinement = None
-        if config.refinement_passes > 0:
+        if stage1.anneal.truncated:
+            # The budget died inside stage 1: skip stage 2 entirely and
+            # hand back the legalized stage-1 placement.
+            if tracer.enabled:
+                tracer.event("stage2.skipped", reason="budget")
+        elif config.refinement_passes > 0:
             with tracer.span("stage2"), profiled("stage2", prof, tracer):
-                refinement = run_refinement(circuit, stage1, config, rng)
-    return stage1, refinement, (stage1_teil, stage1_area, stage1_placement)
+                refinement = run_refinement(
+                    circuit, stage1, config, rng,
+                    control=control, start_pass=start_pass,
+                )
+    return stage1, refinement, stage1_metrics
+
+
+def _restore_stage2(
+    circuit: Circuit,
+    config: TimberWolfConfig,
+    control: RunControl,
+    rng: random.Random,
+    payload: Dict[str, Any],
+    tracer: Tracer,
+) -> Tuple[Stage1Result, Tuple, int]:
+    """Rebuild the stage-1 artifacts from a stage-2 checkpoint payload
+    and position ``rng`` at the captured pass boundary."""
+    # Deferred import: stage1 internals, only touched on the resume path.
+    from ..annealing import RangeLimiter, stage1_schedule
+    from ..annealing.engine import AnnealResult, TemperatureStats
+    from ..placement.stage1 import _core_plan
+    from ..placement.state import PlacementState as _PS
+
+    summary = payload["stage1"]
+    plan = _core_plan(circuit, config, control)
+    schedule = stage1_schedule(plan.average_effective_cell_area)
+    limiter = RangeLimiter(
+        full_span_x=plan.core.width,
+        full_span_y=plan.core.height,
+        t_infinity=schedule.t_infinity,
+        rho=config.rho,
+    )
+    state = _PS(circuit, plan, kappa=config.kappa)
+    state.load_state_dict(payload["state"])
+    anneal = AnnealResult(
+        final_cost=summary["anneal_final_cost"],
+        steps=[TemperatureStats(*s) for s in summary["anneal_steps"]],
+        truncated=summary["anneal_truncated"],
+        stop_reason=summary["anneal_stop_reason"],
+    )
+    stage1 = Stage1Result(
+        state=state, plan=plan, limiter=limiter, anneal=anneal, p2=state.p2
+    )
+    rng.setstate(_as_rng_state(payload["rng_state"]))
+    if control.manager is not None:
+        control.manager.stage1_summary = summary
+    if tracer.enabled:
+        tracer.event(
+            "checkpoint.resumed",
+            phase="stage2",
+            pass_index=payload["pass_index"],
+        )
+    metrics = (
+        summary["teil"],
+        summary["chip_area"],
+        {name: tuple(c) for name, c in summary["placement"].items()},
+    )
+    return stage1, metrics, payload["pass_index"]
+
+
+def _as_rng_state(value):
+    """``random.setstate`` demands the exact nested-tuple shape that
+    ``getstate`` produced; pickled payloads preserve it, but payloads
+    that round-tripped through JSON arrive as lists."""
+    if isinstance(value, list):
+        return tuple(_as_rng_state(v) for v in value)
+    return value

@@ -14,7 +14,7 @@ from .circuit import Circuit
 from .net import Net, PinRef, bounding_span
 from .pin import ALL_SIDES, Pin, PinKind, PinSite, make_pin_sites, site_local_position
 from .padring import make_pad_ring
-from .parser import ParseError, dump, dumps, load, loads
+from .parser import ParseError, dump, dumps, load, loads, parse_file
 
 __all__ = [
     "AspectRatioSpec",
@@ -39,6 +39,7 @@ __all__ = [
     "ParseError",
     "load",
     "loads",
+    "parse_file",
     "dump",
     "dumps",
 ]

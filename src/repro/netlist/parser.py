@@ -10,6 +10,10 @@ Example::
       tile 40 0 60 10
       pin CLK net clk at 0 15
       pin D0  net bus0 at 60 5 equiv BUSPORT
+      instance tall          # optional alternative realizations
+        tile 0 0 30 60
+        pinat CLK 15 0       # per-instance pin override (else pin offset)
+      end
     end
 
     customcell ALU area 900 aspect 0.5 2.0
@@ -47,11 +51,17 @@ from .pin import ALL_SIDES, Pin, PinKind
 
 
 class ParseError(ValueError):
-    """Raised on malformed circuit files, with a line number."""
+    """Raised on malformed circuit files, with a line number and — when
+    the text came from a file — the file's path."""
 
-    def __init__(self, lineno: int, message: str):
-        super().__init__(f"line {lineno}: {message}")
+    def __init__(
+        self, lineno: int, message: str, path: Optional[Union[str, Path]] = None
+    ):
+        where = f"{path}:{lineno}" if path is not None else f"line {lineno}"
+        super().__init__(f"{where}: {message}")
         self.lineno = lineno
+        self.path = str(path) if path is not None else None
+        self.reason = message
 
 
 def _tokenize(text: str) -> List[Tuple[int, List[str]]]:
@@ -177,6 +187,7 @@ def _parse_macro(
     tiles: List[Rect] = []
     pins: List[Pin] = []
     fixed: Optional[FixedPlacement] = None
+    extra: List[Tuple[str, List[Rect], Dict[str, Tuple[float, float]]]] = []
     i = start + 1
     while i < len(lines):
         lineno, tokens = lines[i]
@@ -194,6 +205,10 @@ def _parse_macro(
                 raise ParseError(lineno, str(exc)) from exc
         elif tokens[0] == "pin":
             pins.append(_parse_pin(tokens, lineno))
+        elif tokens[0] == "instance":
+            inst, i = _parse_macro_instance(lines, i, cell_name)
+            extra.append(inst)
+            continue
         else:
             raise ParseError(lineno, f"unexpected {tokens[0]!r} in macrocell")
         i += 1
@@ -221,10 +236,72 @@ def _parse_macro(
                 equiv_class=pin.equiv_class,
             )
         )
-    cell = MacroCell(
-        cell_name, shifted, [MacroInstance("default", shape)], fixed=fixed
-    )
+    instances = [MacroInstance("default", shape)]
+    for inst_name, inst_tiles, pinat in extra:
+        inst_shape = TileSet(inst_tiles)
+        inst_center = inst_shape.bbox.center
+        offsets = {
+            pin_name: (x - inst_center.x, y - inst_center.y)
+            for pin_name, (x, y) in pinat.items()
+        }
+        instances.append(
+            MacroInstance(
+                inst_name, inst_shape.recentered(), offsets if offsets else None
+            )
+        )
+    try:
+        cell = MacroCell(cell_name, shifted, instances, fixed=fixed)
+    except ValueError as exc:
+        raise ParseError(lines[start][0], str(exc)) from exc
     return cell, i
+
+
+def _parse_macro_instance(
+    lines: List[Tuple[int, List[str]]], start: int, cell_name: str
+) -> Tuple[Tuple[str, List[Rect], Dict[str, Tuple[float, float]]], int]:
+    """An ``instance NAME ... end`` block: an alternative realization of
+    a macro (its own tiles, plus per-instance ``pinat`` pin overrides).
+    Like the cell itself, the geometry is recentered on load."""
+    lineno, tokens = lines[start]
+    if len(tokens) != 2:
+        raise ParseError(lineno, "usage: instance NAME")
+    inst_name = tokens[1]
+    tiles: List[Rect] = []
+    pinat: Dict[str, Tuple[float, float]] = {}
+    i = start + 1
+    while i < len(lines):
+        lineno, tokens = lines[i]
+        if tokens[0] == "end":
+            i += 1
+            break
+        if tokens[0] == "tile":
+            if len(tokens) != 5:
+                raise ParseError(lineno, "usage: tile X1 Y1 X2 Y2")
+            try:
+                tiles.append(Rect(*(float(t) for t in tokens[1:5])))
+            except ValueError as exc:
+                raise ParseError(lineno, str(exc)) from exc
+        elif tokens[0] == "pinat":
+            if len(tokens) != 4:
+                raise ParseError(lineno, "usage: pinat PIN X Y")
+            try:
+                pinat[tokens[1]] = (float(tokens[2]), float(tokens[3]))
+            except ValueError as exc:
+                raise ParseError(lineno, str(exc)) from exc
+        else:
+            raise ParseError(lineno, f"unexpected {tokens[0]!r} in instance")
+        i += 1
+    else:
+        raise ParseError(
+            lines[start][0],
+            f"instance {inst_name!r} of macrocell {cell_name!r} missing 'end'",
+        )
+    if not tiles:
+        raise ParseError(
+            lines[start][0],
+            f"instance {inst_name!r} of macrocell {cell_name!r} has no tiles",
+        )
+    return (inst_name, tiles, pinat), i
 
 
 def _parse_fixed(tokens: List[str], lineno: int) -> FixedPlacement:
@@ -288,8 +365,28 @@ def _parse_custom(
 
 
 def load(path: Union[str, Path]) -> Circuit:
-    """Read a circuit file from disk."""
-    return loads(Path(path).read_text())
+    """Read a circuit file from disk.
+
+    Every failure mode — unreadable file, empty file, malformed content —
+    surfaces as a :class:`ParseError` that names the file, so callers
+    (the CLI, batch drivers) need exactly one except clause and their
+    users always learn *which* file was bad.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ParseError(0, f"cannot read circuit file: {exc}", path) from exc
+    if not text.strip():
+        raise ParseError(0, "circuit file is empty", path)
+    try:
+        return loads(text)
+    except ParseError as exc:
+        raise ParseError(exc.lineno, exc.reason, path) from exc
+
+
+#: Alias mirroring the common ``parse_file`` naming.
+parse_file = load
 
 
 def dumps(circuit: Circuit) -> str:
@@ -311,6 +408,15 @@ def dumps(circuit: Circuit) -> str:
                 if pin.equiv_class:
                     line += f" equiv {pin.equiv_class}"
                 out.append(line)
+            for alt in cell.instances[1:]:
+                out.append(f"  instance {alt.name}")
+                for tile in alt.shape.tiles:
+                    out.append(
+                        f"    tile {tile.x1} {tile.y1} {tile.x2} {tile.y2}"
+                    )
+                for pin_name, (x, y) in (alt.pin_offsets or {}).items():
+                    out.append(f"    pinat {pin_name} {x} {y}")
+                out.append("  end")
             out.append("end")
         else:
             assert isinstance(cell, CustomCell)

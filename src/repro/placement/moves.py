@@ -300,6 +300,15 @@ class PlacementAnnealingState(AnnealingState):
     def moves_per_iteration(self) -> int:
         return self.state.moves_per_iteration()
 
+    def state_dict(self) -> Dict:
+        return self.state.state_dict()
+
+    def cost_drift(self) -> Dict[str, float]:
+        return self.state.cost_drift()
+
+    def resync(self) -> None:
+        self.state.resync()
+
     def telemetry_snapshot(self, temperature: float) -> Dict[str, float]:
         """The placement-specific per-temperature trace fields: the cost
         components of Eqns 6-11 and the §3.2.2 range-limiter window."""

@@ -44,6 +44,8 @@ from ..channels import (
 from ..config import TimberWolfConfig
 from ..geometry import Rect
 from ..netlist import Circuit
+from ..resilience.drift import DriftGuard
+from ..resilience.faults import fault_point
 from ..routing import GlobalRouter, RoutingResult
 from ..telemetry import current_tracer
 from .compact import compact
@@ -86,6 +88,12 @@ class RefinementResult:
 
     state: PlacementState
     passes: List[RefinementPass] = field(default_factory=list)
+    #: True when a run budget cut refinement short (remaining passes or
+    #: the tail of an anneal were skipped).
+    truncated: bool = False
+    #: First pass index this run executed (> 0 after a stage-2 resume;
+    #: earlier passes ran in the original process).
+    resumed_at_pass: int = 0
 
     @property
     def final_pass(self) -> RefinementPass:
@@ -151,16 +159,36 @@ def run_refinement(
     stage1: Stage1Result,
     config: Optional[TimberWolfConfig] = None,
     rng: Optional[random.Random] = None,
+    control=None,
+    start_pass: int = 0,
 ) -> RefinementResult:
-    """Run the configured number of refinement passes on a stage-1 result."""
+    """Run the configured number of refinement passes on a stage-1 result.
+
+    ``control`` carries the budget / checkpoint / interrupt context; a
+    checkpoint is written at every pass boundary.  ``start_pass`` skips
+    completed passes when resuming from a stage-2 checkpoint (the state
+    and RNG must already be restored to that boundary).
+    """
     config = config if config is not None else TimberWolfConfig()
     rng = rng if rng is not None else random.Random(config.seed + 1)
     state = stage1.state
     t_s = circuit.track_spacing
-    result = RefinementResult(state=state)
+    result = RefinementResult(state=state, resumed_at_pass=start_pass)
     tracer = current_tracer()
 
-    for pass_index in range(config.refinement_passes):
+    for pass_index in range(start_pass, config.refinement_passes):
+        if control is not None:
+            reason = control.budget_exhausted()
+            if reason is not None:
+                result.truncated = True
+                if tracer.enabled:
+                    tracer.event(
+                        "stage2.budget_exhausted",
+                        pass_index=pass_index,
+                        reason=reason,
+                    )
+                break
+            control.pass_boundary(pass_index, rng, state)
         with tracer.span("stage2.pass", index=pass_index):
             # Channel definition needs disjoint cells; keep one track of gap
             # so every adjacency still admits a channel.
@@ -174,8 +202,15 @@ def run_refinement(
                     stacklevel=2,
                 )
 
-            graph, routing, report = define_and_route(circuit, state, config, rng)
-            expansions = cell_edge_expansions(graph, routing.routes, t_s)
+            routed = _define_route_expand(
+                circuit, state, config, rng, t_s, pass_index, control
+            )
+            if routed is None:
+                # Channel definition / routing failed beyond recovery for
+                # this pass (recorded by the supervisor): keep the current
+                # placement and try the next pass from scratch.
+                continue
+            graph, routing, report, expansions = routed
             state.set_static_expansions(expansions)
             # The §4.3 spacing step: separate the margin-carrying shapes so
             # every channel immediately has its required width; the anneal
@@ -186,7 +221,7 @@ def run_refinement(
             is_last = pass_index == config.refinement_passes - 1
             with tracer.span("stage2.refine_anneal", final=is_last):
                 anneal, move_stats = _refine_anneal(
-                    state, stage1, config, rng, is_last
+                    state, stage1, config, rng, is_last, control
                 )
             # "Or, if excessive space was allocated, then the cells are
             # compacted as much as possible" — the anneal's tiny window
@@ -217,13 +252,45 @@ def run_refinement(
                     overflow=routing.overflow,
                     residual_overlap=round(residual, 2),
                 )
+            if anneal.truncated:
+                result.truncated = True
+                break
 
     # Leave the placement legal for downstream consumers — including the
-    # reserved channel space (expanded shapes disjoint, §4.3).
+    # reserved channel space (expanded shapes disjoint, §4.3).  When no
+    # pass reached set_static_expansions (all supervised away, or the
+    # budget ran dry first) the state is still in dynamic-estimator mode
+    # and the expanded legalization does not apply.
     with tracer.span("stage2.final_legalize"):
-        remove_overlaps(state, use_expanded=True)
-        compact(state)
+        remove_overlaps(state, use_expanded=not state.dynamic_expansion)
+        if not state.dynamic_expansion:
+            compact(state)
     return result
+
+
+def _define_route_expand(
+    circuit: Circuit,
+    state: PlacementState,
+    config: TimberWolfConfig,
+    rng: random.Random,
+    t_s: float,
+    pass_index: int,
+    control,
+):
+    """Steps 1-2 of a pass plus the §4.3 edge expansions, supervised:
+    a failure is recorded and the pass degrades to a no-op instead of
+    aborting the flow."""
+
+    def body():
+        fault_point("channels.define", pass_index=pass_index)
+        graph, routing, report = define_and_route(circuit, state, config, rng)
+        fault_point("stage2.expansions", pass_index=pass_index)
+        expansions = cell_edge_expansions(graph, routing.routes, t_s)
+        return graph, routing, report, expansions
+
+    if control is None:
+        return body()
+    return control.supervisor.run(f"stage2.pass{pass_index}.route", body)
 
 
 def _refine_anneal(
@@ -232,6 +299,7 @@ def _refine_anneal(
     config: TimberWolfConfig,
     rng: random.Random,
     is_last: bool,
+    control=None,
 ) -> "tuple[AnnealResult, Dict[str, List[int]]]":
     limiter = stage1.limiter
     # Eqn 28: T' makes the window the fraction mu of its full span.
@@ -262,5 +330,19 @@ def _refine_anneal(
         max_temperatures=config.max_temperatures,
         rng=rng,
     )
-    result = annealer.run(PlacementAnnealingState(state, generator))
+    observers = []
+    if config.drift_check_every:
+        guard = DriftGuard(
+            config.drift_check_every,
+            config.drift_tolerance,
+            config.drift_action,
+        )
+        observers.append(guard.observer())
+    if control is not None:
+        observers.append(control.interrupt_observer())
+    result = annealer.run(
+        PlacementAnnealingState(state, generator),
+        budget=control.budget if control is not None else None,
+        observers=observers,
+    )
     return result, {k: list(v) for k, v in generator.stats.items()}

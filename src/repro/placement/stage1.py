@@ -13,6 +13,7 @@ from typing import Optional
 
 from ..annealing import (
     AllOf,
+    AnnealCursor,
     Annealer,
     AnnealResult,
     FloorStop,
@@ -23,6 +24,8 @@ from ..annealing import (
 from ..estimator import CorePlan, determine_core
 from ..config import TimberWolfConfig
 from ..netlist import Circuit
+from ..resilience.drift import DriftGuard
+from ..resilience.faults import fault_point
 from ..telemetry import current_tracer
 from .moves import MoveGenerator, PlacementAnnealingState
 from .state import PlacementState
@@ -88,23 +91,62 @@ class Stage1Result:
         return self.state.c2_raw()
 
 
+def _core_plan(circuit: Circuit, config: TimberWolfConfig, control) -> CorePlan:
+    """Core sizing under supervision: an estimator failure degrades to a
+    plain-area plan (dynamic interconnect estimation disabled) rather
+    than aborting the run."""
+
+    def plan():
+        fault_point("estimator.determine_core", circuit=circuit.name)
+        return determine_core(
+            circuit,
+            aspect_ratio=config.core_aspect_ratio,
+            profile=config.profile,
+            slack=config.core_slack,
+            cw_scale=config.estimator_scale,
+        )
+
+    def fallback():
+        return determine_core(
+            circuit,
+            aspect_ratio=config.core_aspect_ratio,
+            profile=config.profile,
+            slack=config.core_slack,
+            cw_scale=0.0,
+        )
+
+    if control is None:
+        return plan()
+    result = control.supervisor.run(
+        "estimator.determine_core", plan, fallback=fallback
+    )
+    if result is None:
+        raise RuntimeError(
+            "core planning failed and has no further fallback: "
+            + "; ".join(f.error for f in control.supervisor.failures[-2:])
+        )
+    return result
+
+
 def run_stage1(
     circuit: Circuit,
     config: Optional[TimberWolfConfig] = None,
     rng: Optional[random.Random] = None,
+    control=None,
+    resume: Optional[dict] = None,
 ) -> Stage1Result:
-    """Run the full stage-1 annealing on a circuit."""
+    """Run the full stage-1 annealing on a circuit.
+
+    ``control`` is a :class:`~repro.resilience.control.RunControl`
+    carrying the budget / checkpoint / interrupt context.  ``resume``
+    is a stage-1 checkpoint payload (``cursor`` + ``state``): the
+    anneal continues mid-schedule, bit-for-bit.
+    """
     config = config if config is not None else TimberWolfConfig()
     rng = rng if rng is not None else random.Random(config.seed)
     tracer = current_tracer()
 
-    plan = determine_core(
-        circuit,
-        aspect_ratio=config.core_aspect_ratio,
-        profile=config.profile,
-        slack=config.core_slack,
-        cw_scale=config.estimator_scale,
-    )
+    plan = _core_plan(circuit, config, control)
     schedule = stage1_schedule(plan.average_effective_cell_area)
     limiter = RangeLimiter(
         full_span_x=plan.core.width,
@@ -114,8 +156,22 @@ def run_stage1(
     )
 
     state = PlacementState(circuit, plan, kappa=config.kappa)
-    with tracer.span("stage1.calibrate_p2", samples=P2_CALIBRATION_SAMPLES):
-        state.p2 = calibrate_p2(state, rng, config.eta)
+    cursor: Optional[AnnealCursor] = None
+    if resume is not None:
+        # p2 and the placement come from the snapshot; the calibration
+        # phase already happened in the original run.
+        state.load_state_dict(resume["state"])
+        cursor = AnnealCursor.from_dict(resume["cursor"])
+        if tracer.enabled:
+            tracer.event(
+                "checkpoint.resumed",
+                phase="stage1",
+                step=cursor.step_index,
+                p2=round(state.p2, 6),
+            )
+    else:
+        with tracer.span("stage1.calibrate_p2", samples=P2_CALIBRATION_SAMPLES):
+            state.p2 = calibrate_p2(state, rng, config.eta)
     if tracer.enabled:
         tracer.event(
             "stage1.setup",
@@ -142,7 +198,22 @@ def run_stage1(
         max_temperatures=config.max_temperatures,
         rng=rng,
     )
-    result = annealer.run(PlacementAnnealingState(state, generator))
+    observers = []
+    if config.drift_check_every:
+        guard = DriftGuard(
+            config.drift_check_every,
+            config.drift_tolerance,
+            config.drift_action,
+        )
+        observers.append(guard.observer())
+    if control is not None:
+        observers.append(control.stage1_observer(state))
+    result = annealer.run(
+        PlacementAnnealingState(state, generator),
+        budget=control.budget if control is not None else None,
+        resume=cursor,
+        observers=observers,
+    )
     if tracer.enabled:
         generator.metrics.emit(tracer, "stage1.move_metrics")
         tracer.event(

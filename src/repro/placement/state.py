@@ -490,8 +490,9 @@ class PlacementState:
     def _pair_overlap(self, i: int, j: int) -> float:
         return self._expanded[i].overlap_area(self._expanded[j])
 
-    def _border_overlap(self, idx: int) -> float:
-        exp = self._expanded[idx]
+    def _border_overlap(self, idx: int, exp: Optional[TileSet] = None) -> float:
+        if exp is None:
+            exp = self._expanded[idx]
         bbox = exp.bbox
         core = self.core
         # The slabs tile the plane outside the core, so a shape whose
@@ -710,12 +711,20 @@ class PlacementState:
         only pin-site assignments, so shapes, the grid, borders, and
         overlaps are unchanged by construction and skipped wholesale.
         """
+        # Multi-cell refreshes iterate in sorted order everywhere floats
+        # are accumulated: the summation order must be a function of the
+        # placement alone (not of set insertion history or string hash
+        # seeds), or a checkpoint-resumed process would accumulate the
+        # same deltas in a different order and drift off the original
+        # run's trajectory by ULPs.
         if len(idxs) == 1:
             idx_set: Sequence[int] = idxs
+            members: Optional[Set[int]] = None
             nets: Iterable[str] = self._cell_nets[idxs[0]]
         else:
-            idx_set = set(idxs)
-            nets = {name for i in idx_set for name in self._cell_nets[i]}
+            members = set(idxs)
+            idx_set = sorted(members)
+            nets = sorted({name for i in idx_set for name in self._cell_nets[i]})
         for i in idx_set:
             if geometry:
                 # The world (translated, unexpanded) shape is not needed
@@ -763,7 +772,6 @@ class PlacementState:
         overlaps = self._overlaps
         adj = self._adj
         expanded = self._expanded
-        multi = len(idx_set) > 1
         for i in idx_set:
             old_border = self._borders[i]
             new_border = self._border_overlap(i)
@@ -775,8 +783,10 @@ class PlacementState:
             single_i = len(exp_i._tiles) == 1
             bbox_i = exp_i.bbox
             bx1, by1, bx2, by2 = bbox_i.x1, bbox_i.y1, bbox_i.x2, bbox_i.y2
-            for j in partners:
-                if multi and j in idx_set and j < i:
+            # sorted(): the c2 accumulation order over partners must not
+            # depend on the candidate set's insertion history (see above).
+            for j in sorted(partners):
+                if members is not None and j in members and j < i:
                     continue  # pair handled once
                 key = (i, j) if i < j else (j, i)
                 old = overlaps.pop(key, 0.0)
@@ -900,6 +910,130 @@ class PlacementState:
             dict(expansions.get(name, {})) for name in self.names
         ]
         self.dynamic_expansion = False
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # checkpointing and auditing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Everything needed to reconstruct this placement exactly.
+
+        The cost accumulators are included verbatim: they are running
+        float sums whose last bits depend on the whole move history, and
+        a bit-for-bit resume must continue from the history-exact values
+        (``rebuild()`` recomputes them in canonical order, which agrees
+        only to rounding).
+        """
+        return {
+            "records": {
+                self.names[i]: {
+                    "center": tuple(record.center),
+                    "orientation": record.orientation,
+                    "instance": record.instance,
+                    "aspect_ratio": record.aspect_ratio,
+                    "pin_sites": dict(record.pin_sites),
+                }
+                for i, record in enumerate(self.records)
+            },
+            "p2": self.p2,
+            "dynamic_expansion": self.dynamic_expansion,
+            "static_expansions": {
+                self.names[i]: dict(static)
+                for i, static in enumerate(self._static)
+                if static
+            },
+            "accumulators": {
+                "c1": self._c1,
+                "c2_raw": self._c2_raw,
+                "c3_total": self._c3_total,
+            },
+        }
+
+    def load_state_dict(self, data: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same circuit required).
+
+        Caches are regenerated with ``rebuild()`` — per-entry cache
+        values are pure functions of the geometry, so they come back
+        identical — and the accumulators are then overwritten with the
+        snapshot's history-exact values.
+        """
+        records = data["records"]
+        if set(records) != set(self.names):
+            raise ValueError(
+                "placement snapshot does not match this circuit's cells"
+            )
+        for i, name in enumerate(self.names):
+            saved = records[name]
+            self.records[i] = CellRecord(
+                center=tuple(saved["center"]),
+                orientation=saved["orientation"],
+                instance=saved["instance"],
+                aspect_ratio=saved["aspect_ratio"],
+                pin_sites=dict(saved["pin_sites"]),
+            )
+        static = data.get("static_expansions") or {}
+        self._static = [dict(static.get(name, {})) for name in self.names]
+        self.dynamic_expansion = data["dynamic_expansion"]
+        self.p2 = data["p2"]
+        self.rebuild()
+        accumulators = data["accumulators"]
+        self._c1 = accumulators["c1"]
+        self._c2_raw = accumulators["c2_raw"]
+        self._c3_total = accumulators["c3_total"]
+
+    def cost_breakdown_fresh(self) -> Tuple[float, float, float]:
+        """(C1, C2_raw, C3) recomputed from the records, read-only —
+        the reference the drift guard reconciles the accumulators
+        against.  Touches none of the incremental bookkeeping."""
+        n = len(self.names)
+        expanded = [
+            self._expanded_shape(i, self._world_shape(i)) for i in range(n)
+        ]
+        pins = [self._pin_positions(i) for i in range(n)]
+        c1 = 0.0
+        for net in self.circuit.nets.values():
+            members = self._net_members[net.name]
+            if not members:
+                continue
+            x, y = pins[members[0][0]][members[0][1]]
+            x_lo = x_hi = x
+            y_lo = y_hi = y
+            for idx, pin_name in members:
+                x, y = pins[idx][pin_name]
+                x_lo = min(x_lo, x)
+                x_hi = max(x_hi, x)
+                y_lo = min(y_lo, y)
+                y_hi = max(y_hi, y)
+            c1 += net.weighted_length(x_hi - x_lo, y_hi - y_lo)
+        c2 = 0.0
+        for i in range(n):
+            c2 += self._border_overlap(i, expanded[i])
+            for j in range(i + 1, n):
+                c2 += expanded[i].overlap_area(expanded[j])
+        c3 = sum(self._cell_c3(i) for i in range(n))
+        return c1, c2, c3
+
+    def cost_drift(self) -> Dict[str, float]:
+        """Accumulated-minus-fresh difference of each cost term, plus
+        the largest difference normalized by the term's magnitude."""
+        fresh_c1, fresh_c2, fresh_c3 = self.cost_breakdown_fresh()
+        pairs = (
+            (self._c1 - fresh_c1, fresh_c1),
+            (self._c2_raw - fresh_c2, fresh_c2),
+            (self._c3_total - fresh_c3, fresh_c3),
+        )
+        return {
+            "c1": pairs[0][0],
+            "c2_raw": pairs[1][0],
+            "c3": pairs[2][0],
+            "max_relative": max(
+                abs(diff) / max(1.0, abs(ref)) for diff, ref in pairs
+            ),
+        }
+
+    def resync(self) -> None:
+        """Snap the accumulators back to canonical from-scratch values."""
         self.rebuild()
 
     # ------------------------------------------------------------------

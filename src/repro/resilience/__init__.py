@@ -1,0 +1,78 @@
+"""Fault-tolerant execution of the TimberWolfMC flow.
+
+Long annealing runs are jobs, not function calls: they get interrupted,
+they exceed their time slot, and individual stages hit pathological
+inputs.  This package makes the flow survive all three:
+
+* :mod:`~repro.resilience.checkpoint` — versioned, checksummed snapshots
+  of the annealer state, written atomically every N temperatures and on
+  SIGINT/SIGTERM; resuming continues the schedule bit-for-bit.
+* :mod:`~repro.resilience.budget` — wall-clock / temperature / move
+  budgets checked inside the annealing loop; exhaustion triggers a
+  graceful early freeze (result flagged ``truncated``) instead of a kill.
+* :mod:`~repro.resilience.supervisor` — per-stage exception capture with
+  recorded failures and graceful degradation.
+* :mod:`~repro.resilience.faults` — a deterministic fault-injection
+  harness (exceptions, simulated kills, clock jumps) used by
+  ``tests/resilience`` to prove the recovery paths.
+"""
+
+from .budget import Budget, BudgetReport
+from .checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointPolicy,
+    circuit_fingerprint,
+    latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .control import RunControl
+from .drift import DriftError, DriftGuard, DriftReport
+from .faults import (
+    Fault,
+    FaultError,
+    FaultInjector,
+    JumpClock,
+    SimulatedKill,
+    fault_point,
+    faults_from_env,
+    inject_faults,
+    install_injector,
+)
+from .interrupt import FlowInterrupted, InterruptFlag, trap_signals
+from .supervisor import StageFailure, StageSupervisor
+
+__all__ = [
+    "Budget",
+    "BudgetReport",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "circuit_fingerprint",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
+    "RunControl",
+    "DriftError",
+    "DriftGuard",
+    "DriftReport",
+    "Fault",
+    "FaultError",
+    "FaultInjector",
+    "JumpClock",
+    "SimulatedKill",
+    "fault_point",
+    "faults_from_env",
+    "inject_faults",
+    "install_injector",
+    "FlowInterrupted",
+    "InterruptFlag",
+    "trap_signals",
+    "StageFailure",
+    "StageSupervisor",
+]

@@ -1,0 +1,104 @@
+"""Run budgets: wall-clock, temperature, and move limits for the flow.
+
+A :class:`Budget` is shared by every annealing loop of one
+``place_and_route`` call (stage 1 and all stage-2 passes draw from the
+same allowance).  The engine checks it every few dozen moves; exhaustion
+ends the run gracefully — current statistics are kept, downstream stages
+still execute on the best placement so far, and the result is flagged
+``truncated`` with a :class:`BudgetReport` explaining which limit bound.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class BudgetReport(dict):
+    """A plain dict of budget telemetry (used/limit per axis), with the
+    binding limit under ``"exhausted"`` (None while within budget)."""
+
+    @property
+    def exhausted_reason(self) -> Optional[str]:
+        return self.get("exhausted")
+
+
+class Budget:
+    """Deadline for one flow run.  All limits are optional; ``None``
+    means unlimited on that axis.
+
+    ``clock`` is injectable so tests can simulate wall-clock jumps
+    (:class:`~repro.resilience.faults.JumpClock`); it defaults to
+    ``time.monotonic``, which is immune to NTP steps in real runs.
+    """
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        temperatures: Optional[int] = None,
+        moves: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if wall_seconds is not None and wall_seconds <= 0:
+            raise ValueError("wall_seconds must be positive")
+        if temperatures is not None and temperatures < 1:
+            raise ValueError("temperatures must be at least 1")
+        if moves is not None and moves < 1:
+            raise ValueError("moves must be at least 1")
+        self.wall_seconds = wall_seconds
+        self.temperatures = temperatures
+        self.moves = moves
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self.moves_used = 0
+        self.temperatures_used = 0
+
+    def start(self) -> None:
+        """Start the wall clock (idempotent; resume keeps the first)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def note_moves(self, count: int) -> None:
+        self.moves_used += count
+
+    def note_temperature(self) -> None:
+        self.temperatures_used += 1
+
+    def exhausted(self) -> Optional[str]:
+        """The name of the binding limit, or None while within budget."""
+        if self.moves is not None and self.moves_used >= self.moves:
+            return "moves"
+        if (
+            self.temperatures is not None
+            and self.temperatures_used >= self.temperatures
+        ):
+            return "temperatures"
+        if self.wall_seconds is not None:
+            self.start()
+            if self.elapsed() >= self.wall_seconds:
+                return "wall_seconds"
+        return None
+
+    def report(self) -> BudgetReport:
+        return BudgetReport(
+            wall_seconds=self.wall_seconds,
+            elapsed_seconds=round(self.elapsed(), 3),
+            temperatures=self.temperatures,
+            temperatures_used=self.temperatures_used,
+            moves=self.moves,
+            moves_used=self.moves_used,
+            exhausted=self.exhausted(),
+        )
+
+    def to_dict(self) -> Dict:
+        """Limits only (for embedding in a checkpoint envelope)."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "temperatures": self.temperatures,
+            "moves": self.moves,
+        }

@@ -1,0 +1,237 @@
+"""Checkpoint files: versioned, checksummed, atomically-written snapshots.
+
+File layout (all little pieces validated *before* the payload is
+unpickled, so a corrupt or stale file can never feed garbage into
+``pickle.loads``)::
+
+    REPROCKPT1\\n                      magic (format + major version)
+    {json header}\\n                   schema, circuit/payload checksums
+    <pickled payload>                 the snapshot itself
+
+The header carries the schema version, the SHA-256 of the circuit's
+canonical text form (so a checkpoint cannot be resumed against a
+different netlist), and the SHA-256 + byte length of the payload.  Any
+mismatch raises :class:`CheckpointError` with a reason.
+
+Writes go through a temp file in the target directory followed by
+``os.replace``, so a crash mid-write can never leave a truncated file
+under the final name — the previous checkpoint survives instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+CHECKPOINT_MAGIC = b"REPROCKPT1\n"
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Refuse to parse absurd header lines (a binary file that happens to
+#: start with the magic should fail fast, not allocate gigabytes).
+_MAX_HEADER_BYTES = 65536
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is corrupt, truncated, stale, or mismatched."""
+
+
+def circuit_fingerprint(circuit_text: str) -> str:
+    """SHA-256 of the circuit's canonical text serialization."""
+    return hashlib.sha256(circuit_text.encode("utf-8")).hexdigest()
+
+
+def write_checkpoint(
+    path: Union[str, Path], payload: Dict[str, Any], circuit_text: str
+) -> Path:
+    """Atomically write ``payload`` as a checkpoint file."""
+    path = Path(path)
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = {
+        "schema": CHECKPOINT_SCHEMA_VERSION,
+        "phase": payload.get("phase"),
+        "circuit_sha256": circuit_fingerprint(circuit_text),
+        "payload_sha256": hashlib.sha256(body).hexdigest(),
+        "payload_bytes": len(body),
+        "created": time.time(),
+    }
+    blob = CHECKPOINT_MAGIC + json.dumps(header).encode("utf-8") + b"\n" + body
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_checkpoint(
+    path: Union[str, Path], expect_circuit_sha: Optional[str] = None
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Validate and load a checkpoint; returns ``(header, payload)``.
+
+    ``expect_circuit_sha`` additionally pins the checkpoint to a known
+    circuit (resume with an explicitly-supplied netlist).
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not blob.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointError(f"{path}: not a checkpoint file (bad magic)")
+    rest = blob[len(CHECKPOINT_MAGIC):]
+    newline = rest.find(b"\n", 0, _MAX_HEADER_BYTES)
+    if newline < 0:
+        raise CheckpointError(f"{path}: truncated checkpoint (no header)")
+    try:
+        header = json.loads(rest[:newline].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: corrupt checkpoint header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise CheckpointError(f"{path}: corrupt checkpoint header (not an object)")
+    schema = header.get("schema")
+    if schema != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint schema {schema!r} "
+            f"(this build reads schema {CHECKPOINT_SCHEMA_VERSION})"
+        )
+    body = rest[newline + 1:]
+    expected_bytes = header.get("payload_bytes")
+    if len(body) != expected_bytes:
+        raise CheckpointError(
+            f"{path}: truncated checkpoint payload "
+            f"({len(body)} bytes, header says {expected_bytes})"
+        )
+    digest = hashlib.sha256(body).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise CheckpointError(f"{path}: checkpoint payload checksum mismatch")
+    if (
+        expect_circuit_sha is not None
+        and header.get("circuit_sha256") != expect_circuit_sha
+    ):
+        raise CheckpointError(
+            f"{path}: checkpoint was taken for a different circuit "
+            f"(circuit hash mismatch)"
+        )
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:  # checksum passed but content is unloadable
+        raise CheckpointError(f"{path}: cannot unpickle checkpoint: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"{path}: checkpoint payload is not a dict")
+    return header, payload
+
+
+def latest_checkpoint(directory: Union[str, Path]) -> Optional[Path]:
+    """The newest ``*.ckpt`` file in a directory, or None."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(
+        directory.glob("*.ckpt"),
+        key=lambda p: (p.stat().st_mtime, p.name),
+    )
+    return candidates[-1] if candidates else None
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When and where to checkpoint.
+
+    ``every_temperatures`` is the stage-1 cadence (a snapshot after
+    every N completed temperature steps; stage 2 snapshots at pass
+    boundaries regardless); ``keep`` bounds disk use by pruning all but
+    the newest checkpoints.
+    """
+
+    directory: Union[str, Path]
+    every_temperatures: int = 10
+    keep: int = 3
+
+    def __post_init__(self) -> None:
+        if self.every_temperatures < 1:
+            raise ValueError("every_temperatures must be at least 1")
+        if self.keep < 1:
+            raise ValueError("keep must be at least 1")
+
+
+class CheckpointManager:
+    """Names, writes, and prunes the checkpoints of one flow run."""
+
+    def __init__(
+        self, policy: CheckpointPolicy, circuit_text: str, config_dict: Dict
+    ) -> None:
+        self.policy = policy
+        self.circuit_text = circuit_text
+        self.config_dict = config_dict
+        self.directory = Path(policy.directory)
+        self.latest: Optional[Path] = None
+        #: Stage-1 summary, set by the flow once stage 1 completes so
+        #: stage-2 checkpoints can rebuild a Stage1Result on resume.
+        self.stage1_summary: Optional[Dict[str, Any]] = None
+
+    def save(self, phase: str, label: str, data: Dict[str, Any]) -> Path:
+        payload = {
+            "phase": phase,
+            "config": self.config_dict,
+            "circuit_text": self.circuit_text,
+            **data,
+        }
+        path = self.directory / f"ckpt-{label}.ckpt"
+        write_checkpoint(path, payload, self.circuit_text)
+        self.latest = path
+        self._prune(just_wrote=path)
+        return path
+
+    def save_stage1(self, cursor_dict: Dict, state_dict: Dict) -> Path:
+        return self.save(
+            "stage1",
+            f"stage1-t{cursor_dict['step_index']:04d}",
+            {"cursor": cursor_dict, "state": state_dict},
+        )
+
+    def save_stage2(
+        self, pass_index: int, rng_state, state_dict: Dict
+    ) -> Path:
+        if self.stage1_summary is None:
+            raise RuntimeError("stage-2 checkpoint requires a stage-1 summary")
+        return self.save(
+            "stage2",
+            f"stage2-pass{pass_index:02d}",
+            {
+                "pass_index": pass_index,
+                "rng_state": rng_state,
+                "state": state_dict,
+                "stage1": self.stage1_summary,
+            },
+        )
+
+    def _prune(self, just_wrote: Path) -> None:
+        files = sorted(
+            self.directory.glob("ckpt-*.ckpt"),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+        for stale in files[: max(0, len(files) - self.policy.keep)]:
+            if stale == just_wrote:
+                continue
+            try:
+                stale.unlink()
+            except OSError:
+                pass

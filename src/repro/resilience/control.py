@@ -1,0 +1,104 @@
+"""RunControl: the resilience context threaded through one flow run.
+
+One object carries the (optional) budget, the (optional) checkpoint
+manager, the interrupt latch, and the stage supervisor, so the flow
+layers (``place_and_route`` → ``run_stage1`` / ``run_refinement`` →
+``Annealer.run``) share a single source of truth about how the run may
+end early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..telemetry import current_tracer
+from .budget import Budget
+from .checkpoint import CheckpointManager
+from .interrupt import FlowInterrupted, InterruptFlag
+from .supervisor import StageSupervisor
+
+
+@dataclass
+class RunControl:
+    budget: Optional[Budget] = None
+    manager: Optional[CheckpointManager] = None
+    interrupt: InterruptFlag = field(default_factory=InterruptFlag)
+    supervisor: StageSupervisor = field(default_factory=StageSupervisor)
+
+    @property
+    def latest_checkpoint_path(self) -> Optional[str]:
+        if self.manager is not None and self.manager.latest is not None:
+            return str(self.manager.latest)
+        return None
+
+    def _raise_interrupted(self) -> None:
+        detail = (
+            f"signal {self.interrupt.signum}"
+            if self.interrupt.signum is not None
+            else "interrupt requested"
+        )
+        path = self.latest_checkpoint_path
+        hint = f"; resume from {path}" if path else ""
+        raise FlowInterrupted(f"flow interrupted ({detail}){hint}", path)
+
+    def stage1_observer(self, placement_state):
+        """Engine observer for the stage-1 anneal: write a checkpoint
+        every N completed temperatures, and convert a pending interrupt
+        into checkpoint-then-:class:`FlowInterrupted`."""
+        manager = self.manager
+        every = manager.policy.every_temperatures if manager is not None else 0
+
+        def _observe(step_index, stats, state, make_cursor) -> None:
+            interrupted = self.interrupt.is_set()
+            if manager is not None and (
+                interrupted or (step_index + 1) % every == 0
+            ):
+                path = manager.save_stage1(
+                    make_cursor().to_dict(), placement_state.state_dict()
+                )
+                tracer = current_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "checkpoint.saved",
+                        phase="stage1",
+                        step=step_index,
+                        path=str(path),
+                    )
+            if interrupted:
+                self._raise_interrupted()
+
+        return _observe
+
+    def interrupt_observer(self):
+        """Engine observer for stage-2 anneals: honor a pending interrupt
+        promptly.  No mid-anneal snapshot is taken — resume restarts the
+        enclosing pass from its boundary checkpoint."""
+
+        def _observe(step_index, stats, state, make_cursor) -> None:
+            if self.interrupt.is_set():
+                self._raise_interrupted()
+
+        return _observe
+
+    def pass_boundary(self, pass_index: int, rng, placement_state) -> None:
+        """Stage-2 pass boundary: snapshot, then honor pending interrupts."""
+        if self.manager is not None:
+            path = self.manager.save_stage2(
+                pass_index, rng.getstate(), placement_state.state_dict()
+            )
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "checkpoint.saved",
+                    phase="stage2",
+                    pass_index=pass_index,
+                    path=str(path),
+                )
+        if self.interrupt.is_set():
+            self._raise_interrupted()
+
+    def budget_exhausted(self) -> Optional[str]:
+        if self.budget is None:
+            return None
+        return self.budget.exhausted()

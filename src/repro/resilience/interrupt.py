@@ -1,0 +1,78 @@
+"""Interrupt handling: turn SIGINT/SIGTERM into a checkpoint-and-exit.
+
+The annealing inner loop must not be torn down mid-move, so signals are
+converted into a flag that the flow polls at safe boundaries (end of a
+temperature step, start of a stage-2 pass).  When the flag is seen, a
+final checkpoint is written and :class:`FlowInterrupted` — carrying the
+checkpoint path — unwinds the flow.  A second signal while the first is
+being honored escalates to the default behavior (the operator really
+means it).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+
+class FlowInterrupted(RuntimeError):
+    """The flow was stopped early on request; resume from ``checkpoint_path``."""
+
+    def __init__(self, message: str, checkpoint_path: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+
+
+class InterruptFlag:
+    """A latch the signal handler sets and the flow polls."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.signum: Optional[int] = None
+
+    def set(self, signum: Optional[int] = None) -> None:
+        self.signum = signum
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+
+@contextmanager
+def trap_signals(
+    flag: InterruptFlag,
+    signums: Tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[InterruptFlag]:
+    """Route the given signals into ``flag`` for the duration of the block.
+
+    Only the main thread may install signal handlers; elsewhere (pytest
+    workers, embedded use) this degrades to a no-op and interruption
+    falls back to the host's semantics.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield flag
+        return
+
+    previous = {}
+
+    def _handler(signum, frame):
+        if flag.is_set():
+            # Second signal: restore defaults and re-raise the standard
+            # behavior so a stuck run can still be killed.
+            for num, old in previous.items():
+                signal.signal(num, old)
+            raise KeyboardInterrupt(f"second signal {signum} during shutdown")
+        flag.set(signum)
+
+    for signum in signums:
+        previous[signum] = signal.signal(signum, _handler)
+    try:
+        yield flag
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):  # interpreter shutting down
+                pass

@@ -1,0 +1,81 @@
+"""Stage supervision: catch, record, and degrade instead of aborting.
+
+Each non-essential flow stage runs under :meth:`StageSupervisor.run`.
+A stage exception is recorded as a :class:`StageFailure` (also emitted
+as a ``stage.failure`` trace event), and the supervisor either invokes
+the stage's fallback or returns a default — the flow continues on the
+best information available.  ``BaseException`` species (kills, keyboard
+interrupts, :class:`~repro.resilience.faults.SimulatedKill`) always
+propagate: supervision is for stage bugs and pathological inputs, not
+for suppressing shutdown.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..telemetry import current_tracer
+
+
+@dataclass
+class StageFailure:
+    """One recorded stage exception and how the flow degraded."""
+
+    stage: str
+    error: str
+    action: str  # "fallback" | "skipped"
+    traceback: str = field(default="", repr=False)
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "error": self.error, "action": self.action}
+
+
+class StageSupervisor:
+    """Collects failures across one flow run."""
+
+    def __init__(self) -> None:
+        self.failures: List[StageFailure] = []
+
+    def run(
+        self,
+        stage: str,
+        fn: Callable[[], Any],
+        fallback: Optional[Callable[[], Any]] = None,
+        default: Any = None,
+    ) -> Any:
+        """Run a stage body; on exception record it and degrade.
+
+        With ``fallback``, the fallback's result is returned (a fallback
+        exception is recorded too, then ``default`` applies).  Without
+        one, the stage is recorded as skipped and ``default`` returned.
+        """
+        try:
+            return fn()
+        except Exception as exc:
+            action = "fallback" if fallback is not None else "skipped"
+            self._record(stage, exc, action)
+            if fallback is not None:
+                try:
+                    return fallback()
+                except Exception as exc2:
+                    self._record(f"{stage}.fallback", exc2, "skipped")
+            return default
+
+    def _record(self, stage: str, exc: Exception, action: str) -> None:
+        failure = StageFailure(
+            stage=stage,
+            error=f"{type(exc).__name__}: {exc}",
+            action=action,
+            traceback=traceback.format_exc(),
+        )
+        self.failures.append(failure)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "stage.failure",
+                stage=stage,
+                error=failure.error,
+                action=action,
+            )

@@ -13,6 +13,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..channels import ChannelGraph, CongestionReport, compute_congestion
 from ..netlist import Circuit
+from ..resilience.faults import fault_point
 from ..telemetry import current_tracer
 from .interchange import InterchangeResult, RouteSelector
 from .steiner import RouteAlternative, m_shortest_routes
@@ -29,6 +30,14 @@ class RoutingResult:
     alternatives: Dict[str, List[RouteAlternative]]
     interchange: InterchangeResult
     unrouted: List[str] = field(default_factory=list)
+    #: Nets whose phase-one routing raised and could not be recovered;
+    #: net -> failure description.  They appear in ``unrouted`` too.
+    failed: Dict[str, str] = field(default_factory=dict)
+    #: Nets routed only after the relaxed-M retry; net -> what happened.
+    retried: Dict[str, str] = field(default_factory=dict)
+    #: Semi-perimeter wirelength estimates for unrouted nets, so TEIL
+    #: accounting can still cover them.
+    estimated_lengths: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_length(self) -> float:
@@ -99,11 +108,16 @@ class GlobalRouter:
             net_groups = self.build_pin_groups(circuit)
             alternatives: Dict[str, List[RouteAlternative]] = {}
             unrouted: List[str] = []
+            failed: Dict[str, str] = {}
+            retried: Dict[str, str] = {}
+            estimated: Dict[str, float] = {}
             for net_name, groups in net_groups.items():
                 groups = [g for g in groups if g]
                 if len(groups) < 2:
                     continue  # nothing to connect
-                alts = self.route_net(groups)
+                alts = self._route_net_supervised(
+                    net_name, groups, tracer, failed, retried
+                )
                 if tracer.enabled:
                     # Phase-one record (§4.2.1): how many of the M slots the
                     # net filled, and the shortest/longest stored lengths.
@@ -117,6 +131,7 @@ class GlobalRouter:
                     )
                 if not alts:
                     unrouted.append(net_name)
+                    estimated[net_name] = self.semi_perimeter(groups)
                     continue
                 alternatives[net_name] = alts
 
@@ -153,4 +168,69 @@ class GlobalRouter:
                 alternatives=alternatives,
                 interchange=interchange,
                 unrouted=unrouted,
+                failed=failed,
+                retried=retried,
+                estimated_lengths=estimated,
             )
+
+    def _route_net_supervised(
+        self,
+        net_name: str,
+        groups: Sequence[Sequence[int]],
+        tracer,
+        failed: Dict[str, str],
+        retried: Dict[str, str],
+    ) -> List[RouteAlternative]:
+        """Phase one for one net with graceful degradation: on an
+        exception, retry with a relaxed M (smaller search), and if that
+        also fails record the net as failed (the caller falls back to a
+        semi-perimeter estimate and marks it unrouted).  One bad net
+        must not abort the whole flow."""
+        try:
+            fault_point("router.route_net", net=net_name)
+            return self.route_net(groups)
+        except Exception as exc:
+            first = f"{type(exc).__name__}: {exc}"
+        relaxed = max(1, self.m_routes // 2)
+        if tracer.enabled:
+            tracer.event(
+                "router.net_retried",
+                net=net_name,
+                error=first,
+                m_routes=relaxed,
+            )
+        try:
+            fault_point("router.route_net_retry", net=net_name)
+            alts = m_shortest_routes(
+                self.graph.neighbors,
+                groups,
+                relaxed,
+                positions=self.graph.positions,
+            )
+            retried[net_name] = f"rerouted with M={relaxed} after {first}"
+            return alts
+        except Exception as exc2:
+            failed[net_name] = (
+                f"{first}; retry with M={relaxed} failed: "
+                f"{type(exc2).__name__}: {exc2}"
+            )
+            if tracer.enabled:
+                tracer.event(
+                    "router.net_failed", net=net_name, error=failed[net_name]
+                )
+            return []
+
+    def semi_perimeter(self, groups: Sequence[Sequence[int]]) -> float:
+        """Half-perimeter of the net's pin nodes — the wirelength
+        estimate used when a net cannot be routed over the graph."""
+        xs: List[float] = []
+        ys: List[float] = []
+        for group in groups:
+            for node in group:
+                position = self.graph.positions.get(node)
+                if position is not None:
+                    xs.append(position[0])
+                    ys.append(position[1])
+        if len(xs) < 2:
+            return 0.0
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))

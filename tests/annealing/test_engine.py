@@ -7,6 +7,7 @@ import pytest
 
 from repro.annealing import (
     AllOf,
+    AnnealCursor,
     Annealer,
     AnnealingState,
     AnyOf,
@@ -19,6 +20,7 @@ from repro.annealing import (
     WindowStop,
     metropolis_accept,
 )
+from repro.resilience import Budget
 
 
 class TestMetropolis:
@@ -119,6 +121,105 @@ class TestAnnealer:
             Annealer(geometric_schedule(), FloorStop(1.0), attempts_per_cell=0)
         with pytest.raises(ValueError):
             Annealer(geometric_schedule(), FloorStop(1.0), max_temperatures=0)
+
+
+def make_annealer(**kw):
+    kw.setdefault("attempts_per_cell", 20)
+    kw.setdefault("max_temperatures", 100)
+    kw.setdefault("seed", 13)
+    return Annealer(geometric_schedule(), FloorStop(1.0), **kw)
+
+
+def packed(steps):
+    """Per-step tuples minus ``seconds`` (wall clock is never replayed)."""
+    return [(s.temperature, s.attempts, s.accepts, s.cost_after) for s in steps]
+
+
+class TestResume:
+    def capture_run(self):
+        """One full run, snapshotting (cursor, state.x) after every step."""
+        snapshots = []
+
+        def observer(step_index, stats, state, make_cursor):
+            snapshots.append((make_cursor(), state.x))
+
+        state = QuadraticState()
+        result = make_annealer().run(state, observers=[observer])
+        return result, state.x, snapshots
+
+    def test_resume_reproduces_uninterrupted_run(self):
+        result, final_x, snapshots = self.capture_run()
+        assert len(snapshots) >= 4
+        for cursor, x_at_cursor in (snapshots[1], snapshots[len(snapshots) // 2]):
+            state = QuadraticState(x0=x_at_cursor)
+            resumed = make_annealer().run(state, resume=cursor)
+            assert state.x == final_x
+            assert resumed.final_cost == result.final_cost
+            assert packed(resumed.steps) == packed(result.steps)
+            assert resumed.stop_reason == result.stop_reason
+
+    def test_done_cursor_returns_completed_result(self):
+        result, final_x, snapshots = self.capture_run()
+        cursor, x_at_cursor = snapshots[-1]
+        assert cursor.done  # FloorStop fired on the step that made it
+        state = QuadraticState(x0=x_at_cursor)
+        resumed = make_annealer().run(state, resume=cursor)
+        # No extra quench step: the state is returned untouched.
+        assert state.x == x_at_cursor == final_x
+        assert resumed.stop_reason == "stopping"
+        assert packed(resumed.steps) == packed(result.steps)
+
+    def test_mid_run_cursors_are_not_done(self):
+        _, _, snapshots = self.capture_run()
+        assert not any(cursor.done for cursor, _ in snapshots[:-1])
+
+    def test_cursor_dict_roundtrip(self):
+        _, _, snapshots = self.capture_run()
+        cursor, _ = snapshots[2]
+        clone = AnnealCursor.from_dict(cursor.to_dict())
+        assert clone.step_index == cursor.step_index
+        assert clone.temperature == cursor.temperature
+        assert clone.rng_state == cursor.rng_state
+        assert clone.steps == [tuple(s) for s in cursor.steps]
+        assert clone.done == cursor.done
+
+    def test_cursor_from_dict_defaults_done_false(self):
+        # Pre-`done` checkpoints must still load.
+        _, _, snapshots = self.capture_run()
+        data = snapshots[0][0].to_dict()
+        del data["done"]
+        assert AnnealCursor.from_dict(data).done is False
+
+
+class TestBudgetedRun:
+    def test_temperature_budget_truncates(self):
+        result = make_annealer().run(
+            QuadraticState(), budget=Budget(temperatures=3)
+        )
+        assert result.truncated
+        assert result.stop_reason == "budget:temperatures"
+        assert result.num_temperatures == 3
+
+    def test_move_budget_truncates_mid_inner_loop(self):
+        result = make_annealer(attempts_per_cell=1000).run(
+            QuadraticState(), budget=Budget(moves=100)
+        )
+        assert result.truncated
+        assert result.stop_reason == "budget:moves"
+        # The strided check ends the loop within one stride of the limit.
+        assert result.total_attempts <= 100 + 32
+
+    def test_budgeted_run_same_moves_as_unbudgeted(self):
+        plain = QuadraticState()
+        make_annealer().run(plain)
+        budgeted = QuadraticState()
+        make_annealer().run(budgeted, budget=Budget(moves=10**9))
+        assert budgeted.x == plain.x
+
+    def test_unexhausted_budget_not_truncated(self):
+        result = make_annealer().run(QuadraticState(), budget=Budget(moves=10**9))
+        assert not result.truncated
+        assert result.stop_reason == "stopping"
 
 
 def stats(cost=0.0, t=1.0):

@@ -15,6 +15,7 @@ from repro.netlist import (
     dumps,
     load,
     loads,
+    parse_file,
 )
 
 SAMPLE = """
@@ -134,6 +135,116 @@ class TestParseErrors:
     def test_comments_and_blanks_ignored(self):
         ckt = loads("# hi\n\ncircuit c # trailing\n")
         assert ckt.name == "c"
+
+
+MULTI_INSTANCE = """
+circuit shapes
+
+macrocell M
+  tile 0 0 10 10
+  pin a net n1 at 0 5
+  pin b net n2 at 10 5
+  instance tall
+    tile 0 0 5 20
+    pinat a 0 10
+    pinat b 5 10
+  end
+end
+
+macrocell N
+  tile 0 0 4 4
+  pin c net n1 at 0 0
+  pin d net n2 at 4 4
+end
+"""
+
+
+class TestMacroInstances:
+    def test_alternative_instances_parsed(self):
+        cell = loads(MULTI_INSTANCE).cell("M")
+        assert [inst.name for inst in cell.instances] == ["default", "tall"]
+
+    def test_instance_geometry_recentered(self):
+        cell = loads(MULTI_INSTANCE).cell("M")
+        tall = cell.instances[1]
+        bbox = tall.shape.bbox
+        assert bbox.center.x == pytest.approx(0)
+        assert bbox.center.y == pytest.approx(0)
+        assert (bbox.width, bbox.height) == (5, 20)
+
+    def test_instance_pins_shifted_with_geometry(self):
+        cell = loads(MULTI_INSTANCE).cell("M")
+        tall = cell.instances[1]
+        # Original pinat a (0, 10); the 5x20 bbox center was (2.5, 10).
+        assert tall.pin_offsets["a"] == (-2.5, 0.0)
+        assert tall.pin_offsets["b"] == (2.5, 0.0)
+
+    def test_roundtrip_preserves_instances(self):
+        a = loads(MULTI_INSTANCE)
+        b = loads(dumps(a))
+        assert dumps(a) == dumps(b)
+        ia, ib = a.cell("M").instances, b.cell("M").instances
+        assert [i.name for i in ia] == [i.name for i in ib]
+        assert ia[1].shape.tiles == ib[1].shape.tiles
+        assert ia[1].pin_offsets == ib[1].pin_offsets
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "  instance t\n    tile 0 0 5 20\n",  # missing instance end
+            "  instance t\n  end\n",  # instance with no tiles
+            "  instance t\n    bogus 1 2\n  end\n",  # unknown token
+        ],
+    )
+    def test_instance_errors(self, body):
+        text = (
+            "circuit c\nmacrocell M\n  tile 0 0 10 10\n"
+            "  pin a net n at 0 0\n" + body + "end\n"
+        )
+        with pytest.raises(ParseError):
+            loads(text)
+
+
+class TestParseErrorFormatting:
+    def test_without_path(self):
+        err = ParseError(4, "bad token")
+        assert str(err) == "line 4: bad token"
+        assert err.lineno == 4
+        assert err.path is None
+        assert err.reason == "bad token"
+
+    def test_with_path(self):
+        err = ParseError(4, "bad token", "chips/a.twmc")
+        assert str(err) == "chips/a.twmc:4: bad token"
+        assert err.path == "chips/a.twmc"
+
+
+class TestLoad:
+    def test_missing_file(self, tmp_path):
+        missing = tmp_path / "nope.twmc"
+        with pytest.raises(ParseError) as exc_info:
+            load(missing)
+        assert "nope.twmc" in str(exc_info.value)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.twmc"
+        path.write_text("   \n")
+        with pytest.raises(ParseError, match="empty"):
+            load(path)
+
+    def test_parse_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.twmc"
+        path.write_text("circuit ok\nbogus here\n")
+        with pytest.raises(ParseError) as exc_info:
+            load(path)
+        assert "bad.twmc" in str(exc_info.value)
+        assert exc_info.value.lineno == 2
+
+    def test_parse_file_alias(self, tmp_path):
+        path = tmp_path / "c.twmc"
+        dump(loads(SAMPLE), path)
+        assert parse_file is load
+        assert dumps(parse_file(path)) == dumps(loads(SAMPLE))
 
 
 class TestRoundTrip:

@@ -1,0 +1,116 @@
+"""Run budgets: limit accounting, wall-clock handling, reports."""
+
+import pytest
+
+from repro.resilience import Budget, JumpClock
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"wall_seconds": 0},
+            {"wall_seconds": -1.0},
+            {"temperatures": 0},
+            {"moves": 0},
+        ],
+    )
+    def test_rejects(self, kw):
+        with pytest.raises(ValueError):
+            Budget(**kw)
+
+    def test_unlimited_never_exhausts(self):
+        budget = Budget()
+        budget.note_moves(10**9)
+        for _ in range(100):
+            budget.note_temperature()
+        assert budget.exhausted() is None
+
+
+class TestLimits:
+    def test_moves(self):
+        budget = Budget(moves=100)
+        budget.note_moves(99)
+        assert budget.exhausted() is None
+        budget.note_moves(1)
+        assert budget.exhausted() == "moves"
+
+    def test_temperatures(self):
+        budget = Budget(temperatures=2)
+        budget.note_temperature()
+        assert budget.exhausted() is None
+        budget.note_temperature()
+        assert budget.exhausted() == "temperatures"
+
+    def test_wall_seconds_with_jump_clock(self):
+        clock = JumpClock()
+        budget = Budget(wall_seconds=60.0, clock=clock)
+        budget.start()
+        assert budget.exhausted() is None
+        clock.jump(59.0)
+        assert budget.exhausted() is None
+        clock.jump(2.0)
+        assert budget.exhausted() == "wall_seconds"
+
+    def test_moves_reported_before_wall(self):
+        clock = JumpClock()
+        budget = Budget(wall_seconds=1.0, moves=5, clock=clock)
+        budget.start()
+        clock.jump(100.0)
+        budget.note_moves(5)
+        assert budget.exhausted() == "moves"
+
+
+class TestClock:
+    def test_start_is_idempotent(self):
+        clock = JumpClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        budget.start()
+        clock.jump(5.0)
+        budget.start()  # resume path: must keep the original epoch
+        assert budget.elapsed() == pytest.approx(5.0)
+
+    def test_elapsed_zero_before_start(self):
+        assert Budget(wall_seconds=10.0).elapsed() == 0.0
+
+    def test_wall_check_self_starts(self):
+        clock = JumpClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        # exhausted() on a never-started budget must not compare against
+        # the epoch of the monotonic clock itself.
+        assert budget.exhausted() is None
+        clock.jump(11.0)
+        assert budget.exhausted() == "wall_seconds"
+
+
+class TestReport:
+    def test_within_budget(self):
+        budget = Budget(moves=100, temperatures=10)
+        budget.note_moves(7)
+        budget.note_temperature()
+        report = budget.report()
+        assert report["moves"] == 100
+        assert report["moves_used"] == 7
+        assert report["temperatures_used"] == 1
+        assert report["exhausted"] is None
+        assert report.exhausted_reason is None
+
+    def test_exhausted(self):
+        budget = Budget(moves=1)
+        budget.note_moves(2)
+        report = budget.report()
+        assert report["exhausted"] == "moves"
+        assert report.exhausted_reason == "moves"
+
+    def test_to_dict_limits_only(self):
+        budget = Budget(wall_seconds=3.5, temperatures=9)
+        assert budget.to_dict() == {
+            "wall_seconds": 3.5,
+            "temperatures": 9,
+            "moves": None,
+        }
+
+    def test_report_is_json_friendly(self):
+        import json
+
+        json.dumps(Budget(moves=5).report())

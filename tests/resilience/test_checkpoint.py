@@ -1,0 +1,197 @@
+"""Checkpoint files: integrity validation, pruning, corruption handling."""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.resilience import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointPolicy,
+    circuit_fingerprint,
+    latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+CIRCUIT = "circuit demo\n"
+PAYLOAD = {"phase": "stage1", "cursor": {"step_index": 7}, "x": [1, 2, 3]}
+
+
+def write_sample(path):
+    return write_checkpoint(path, dict(PAYLOAD), CIRCUIT)
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = write_sample(tmp_path / "a.ckpt")
+        header, payload = read_checkpoint(path)
+        assert payload == PAYLOAD
+        assert header["schema"] == CHECKPOINT_SCHEMA_VERSION
+        assert header["phase"] == "stage1"
+        assert header["circuit_sha256"] == circuit_fingerprint(CIRCUIT)
+
+    def test_circuit_pin_accepts_match(self, tmp_path):
+        path = write_sample(tmp_path / "a.ckpt")
+        read_checkpoint(path, expect_circuit_sha=circuit_fingerprint(CIRCUIT))
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_sample(tmp_path / "a.ckpt")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.ckpt"]
+
+    def test_creates_directory(self, tmp_path):
+        path = write_sample(tmp_path / "deep" / "nested" / "a.ckpt")
+        assert path.exists()
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        path.write_bytes(b"definitely not a checkpoint")
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_checkpoint(path)
+
+    def test_truncated_no_header(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        path.write_bytes(CHECKPOINT_MAGIC + b'{"schema": 1')
+        with pytest.raises(CheckpointError, match="no header"):
+            read_checkpoint(path)
+
+    def test_corrupt_header_json(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        path.write_bytes(CHECKPOINT_MAGIC + b"{not json}\n" + b"body")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint header"):
+            read_checkpoint(path)
+
+    def test_header_not_object(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        path.write_bytes(CHECKPOINT_MAGIC + b"[1, 2]\n" + b"body")
+        with pytest.raises(CheckpointError, match="not an object"):
+            read_checkpoint(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = write_sample(tmp_path / "a.ckpt")
+        blob = path.read_bytes()
+        rest = blob[len(CHECKPOINT_MAGIC):]
+        newline = rest.find(b"\n")
+        header = json.loads(rest[:newline])
+        header["schema"] = 99
+        path.write_bytes(
+            CHECKPOINT_MAGIC
+            + json.dumps(header).encode()
+            + b"\n"
+            + rest[newline + 1:]
+        )
+        with pytest.raises(CheckpointError, match="unsupported checkpoint schema"):
+            read_checkpoint(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = write_sample(tmp_path / "a.ckpt")
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(CheckpointError, match="truncated checkpoint payload"):
+            read_checkpoint(path)
+
+    def test_bit_flip_fails_checksum(self, tmp_path):
+        path = write_sample(tmp_path / "a.ckpt")
+        blob = bytearray(path.read_bytes())
+        blob[-5] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            read_checkpoint(path)
+
+    def test_stale_circuit_rejected(self, tmp_path):
+        path = write_sample(tmp_path / "a.ckpt")
+        with pytest.raises(CheckpointError, match="different circuit"):
+            read_checkpoint(
+                path, expect_circuit_sha=circuit_fingerprint("circuit other\n")
+            )
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        import hashlib
+
+        body = pickle.dumps([1, 2, 3])
+        header = {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "payload_sha256": hashlib.sha256(body).hexdigest(),
+            "payload_bytes": len(body),
+        }
+        path = tmp_path / "a.ckpt"
+        path.write_bytes(
+            CHECKPOINT_MAGIC + json.dumps(header).encode() + b"\n" + body
+        )
+        with pytest.raises(CheckpointError, match="not a dict"):
+            read_checkpoint(path)
+
+
+class TestLatest:
+    def test_missing_directory(self, tmp_path):
+        assert latest_checkpoint(tmp_path / "nope") is None
+
+    def test_empty_directory(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+
+    def test_picks_newest_by_mtime(self, tmp_path):
+        old = write_sample(tmp_path / "old.ckpt")
+        new = write_sample(tmp_path / "new.ckpt")
+        os.utime(old, (1000, 1000))
+        os.utime(new, (2000, 2000))
+        assert latest_checkpoint(tmp_path) == new
+
+
+class TestPolicy:
+    def test_defaults(self, tmp_path):
+        policy = CheckpointPolicy(directory=tmp_path)
+        assert policy.every_temperatures == 10
+        assert policy.keep == 3
+
+    @pytest.mark.parametrize("kw", [{"every_temperatures": 0}, {"keep": 0}])
+    def test_validation(self, tmp_path, kw):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(directory=tmp_path, **kw)
+
+
+class TestManager:
+    def make(self, tmp_path, keep=2):
+        policy = CheckpointPolicy(directory=tmp_path, keep=keep)
+        return CheckpointManager(policy, CIRCUIT, {"seed": 0})
+
+    def test_save_embeds_config_and_circuit(self, tmp_path):
+        manager = self.make(tmp_path)
+        path = manager.save("stage1", "stage1-t0001", {"cursor": {}})
+        _, payload = read_checkpoint(path)
+        assert payload["config"] == {"seed": 0}
+        assert payload["circuit_text"] == CIRCUIT
+        assert payload["phase"] == "stage1"
+        assert manager.latest == path
+
+    def test_prune_keeps_newest(self, tmp_path):
+        manager = self.make(tmp_path, keep=2)
+        paths = [
+            manager.save_stage1({"step_index": i}, {"records": []})
+            for i in range(5)
+        ]
+        survivors = sorted(p.name for p in tmp_path.glob("*.ckpt"))
+        assert len(survivors) == 2
+        assert paths[-1].name in survivors
+
+    def test_stage2_requires_stage1_summary(self, tmp_path):
+        manager = self.make(tmp_path)
+        with pytest.raises(RuntimeError, match="stage-1 summary"):
+            manager.save_stage2(0, (3, (1,), None), {"records": []})
+
+    def test_stage2_payload_shape(self, tmp_path):
+        manager = self.make(tmp_path)
+        manager.stage1_summary = {"teil": 1.0}
+        path = manager.save_stage2(1, "rngstate", {"records": []})
+        _, payload = read_checkpoint(path)
+        assert payload["phase"] == "stage2"
+        assert payload["pass_index"] == 1
+        assert payload["stage1"] == {"teil": 1.0}

@@ -1,0 +1,133 @@
+"""The fault-injection harness itself: arming, firing, env parsing."""
+
+import pytest
+
+from repro.resilience import (
+    Fault,
+    FaultError,
+    FaultInjector,
+    JumpClock,
+    SimulatedKill,
+    fault_point,
+    faults_from_env,
+    inject_faults,
+    install_injector,
+)
+
+
+class TestFault:
+    @pytest.mark.parametrize(
+        "kw", [{"at": 0}, {"times": 0}, {"kind": "panic"}]
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            Fault(site="x", **kw)
+
+    def test_kill_is_not_an_ordinary_exception(self):
+        # Recovery code written as `except Exception` must not be able
+        # to swallow a simulated kill.
+        assert issubclass(SimulatedKill, BaseException)
+        assert not issubclass(SimulatedKill, Exception)
+        assert issubclass(FaultError, Exception)
+
+
+class TestInjection:
+    def test_unarmed_probe_is_a_noop(self):
+        fault_point("anything.at.all")
+
+    def test_fires_on_nth_visit_only(self):
+        with inject_faults(Fault(site="s", at=3)) as injector:
+            fault_point("s")
+            fault_point("s")
+            with pytest.raises(FaultError):
+                fault_point("s")
+            fault_point("s")  # past the window: quiet again
+        assert injector.fired == [("s", 3)]
+        assert injector.hits == {"s": 4}
+
+    def test_times_widens_the_window(self):
+        with inject_faults(Fault(site="s", at=2, times=2)):
+            fault_point("s")
+            with pytest.raises(FaultError):
+                fault_point("s")
+            with pytest.raises(FaultError):
+                fault_point("s")
+            fault_point("s")
+
+    def test_kill_kind(self):
+        with inject_faults(Fault(site="s", kind="kill")):
+            with pytest.raises(SimulatedKill):
+                fault_point("s")
+
+    def test_sites_are_independent(self):
+        with inject_faults(Fault(site="a")):
+            fault_point("b")
+            fault_point("b")
+            with pytest.raises(FaultError):
+                fault_point("a")
+
+    def test_custom_message(self):
+        with inject_faults(Fault(site="s", message="boom-7")):
+            with pytest.raises(FaultError, match="boom-7"):
+                fault_point("s")
+
+    def test_default_message_names_site_and_context(self):
+        with inject_faults(Fault(site="s")):
+            with pytest.raises(FaultError, match="s") as exc_info:
+                fault_point("s", net="n42")
+        assert "n42" in str(exc_info.value)
+
+    def test_disarmed_after_context(self):
+        with inject_faults(Fault(site="s")):
+            pass
+        fault_point("s")
+
+    def test_install_injector_for_process_scope(self):
+        install_injector(FaultInjector([Fault(site="cli.site")]))
+        try:
+            with pytest.raises(FaultError):
+                fault_point("cli.site")
+        finally:
+            install_injector(None)
+        fault_point("cli.site")
+
+
+class TestEnvParsing:
+    def test_empty(self):
+        assert faults_from_env({}) == []
+        assert faults_from_env({"REPRO_FAULTS": "  "}) == []
+
+    def test_site_only(self):
+        (fault,) = faults_from_env({"REPRO_FAULTS": "router.route_net"})
+        assert fault.site == "router.route_net"
+        assert fault.at == 1
+        assert fault.kind == "error"
+
+    def test_full_spec(self):
+        (fault,) = faults_from_env(
+            {"REPRO_FAULTS": "anneal.temperature@5:kill:die now"}
+        )
+        assert fault.site == "anneal.temperature"
+        assert fault.at == 5
+        assert fault.kind == "kill"
+        assert fault.message == "die now"
+
+    def test_multiple_entries(self):
+        faults = faults_from_env({"REPRO_FAULTS": "a@2, b:kill ,"})
+        assert [(f.site, f.at, f.kind) for f in faults] == [
+            ("a", 2, "error"),
+            ("b", 1, "kill"),
+        ]
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(ValueError):
+            faults_from_env({"REPRO_FAULTS": "a@0"})
+
+
+class TestJumpClock:
+    def test_tick_and_jump(self):
+        clock = JumpClock(tick=0.5)
+        assert clock() == 0.5
+        assert clock() == 1.0
+        clock.jump(10.0)
+        assert clock() == 11.5

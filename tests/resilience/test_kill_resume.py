@@ -1,0 +1,166 @@
+"""End-to-end resilience: kill/resume determinism, degradation, budgets.
+
+The central property: a run killed at *any* checkpointed position and
+resumed from disk produces bit-for-bit the same placement as the run
+that was never interrupted.  The kills here are injected
+:class:`SimulatedKill` faults — a ``BaseException``, exactly as abrupt
+as a real SIGKILL from the flow's point of view, but deterministic.
+"""
+
+import pytest
+
+from repro import TimberWolfConfig, place_and_route, resume_place_and_route
+from repro.netlist import dumps, loads
+from repro.resilience import (
+    Budget,
+    CheckpointError,
+    CheckpointPolicy,
+    Fault,
+    JumpClock,
+    SimulatedKill,
+    inject_faults,
+    latest_checkpoint,
+    write_checkpoint,
+)
+
+from ..conftest import make_macro_circuit
+
+SMOKE = TimberWolfConfig.smoke(seed=5)
+
+
+def fixture_circuit():
+    # Round-trip through the text format up front: the resumed process
+    # runs on the checkpoint's serialized circuit, so the baseline must
+    # anneal the identical parse.
+    return loads(dumps(make_macro_circuit()))
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return place_and_route(fixture_circuit(), SMOKE)
+
+
+class TestCheckpointTransparency:
+    def test_checkpointing_does_not_change_the_result(self, baseline, tmp_path):
+        policy = CheckpointPolicy(directory=tmp_path, every_temperatures=5)
+        result = place_and_route(fixture_circuit(), SMOKE, checkpoint=policy)
+        assert result.teil == baseline.teil
+        assert result.chip_area == baseline.chip_area
+        assert result.placement() == baseline.placement()
+
+    def test_periodic_checkpoints_written_and_pruned(self, tmp_path):
+        policy = CheckpointPolicy(directory=tmp_path, every_temperatures=5, keep=2)
+        place_and_route(fixture_circuit(), SMOKE, checkpoint=policy)
+        files = list(tmp_path.glob("*.ckpt"))
+        assert files, "no checkpoints written"
+        assert len(files) <= 2
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("kill_at", [3, 9])
+    def test_stage1_kill_resumes_bit_for_bit(self, baseline, tmp_path, kill_at):
+        policy = CheckpointPolicy(directory=tmp_path, every_temperatures=1)
+        with inject_faults(
+            Fault(site="anneal.temperature", at=kill_at, kind="kill")
+        ):
+            with pytest.raises(SimulatedKill):
+                place_and_route(fixture_circuit(), SMOKE, checkpoint=policy)
+
+        ckpt = latest_checkpoint(tmp_path)
+        assert ckpt is not None
+        resumed = resume_place_and_route(ckpt)
+        assert resumed.resumed_from == str(ckpt)
+        assert resumed.teil == baseline.teil
+        assert resumed.chip_area == baseline.chip_area
+        assert resumed.placement() == baseline.placement()
+        assert not resumed.truncated
+
+    def test_stage2_kill_resumes_bit_for_bit(self, baseline, tmp_path):
+        policy = CheckpointPolicy(directory=tmp_path, every_temperatures=50)
+        with inject_faults(Fault(site="channels.define", kind="kill")):
+            with pytest.raises(SimulatedKill):
+                place_and_route(fixture_circuit(), SMOKE, checkpoint=policy)
+
+        ckpt = latest_checkpoint(tmp_path)
+        assert ckpt is not None
+        assert "stage2" in ckpt.name
+        resumed = resume_place_and_route(ckpt)
+        assert resumed.teil == baseline.teil
+        assert resumed.placement() == baseline.placement()
+
+    def test_resume_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(CheckpointError):
+            resume_place_and_route(path)
+
+    def test_resume_rejects_unknown_phase(self, tmp_path):
+        path = tmp_path / "odd.ckpt"
+        write_checkpoint(path, {"phase": "stage99"}, "circuit x\n")
+        with pytest.raises(CheckpointError, match="unknown checkpoint phase"):
+            resume_place_and_route(path)
+
+
+class TestGracefulDegradation:
+    def test_router_net_failure_is_retried(self):
+        with inject_faults(Fault(site="router.route_net", at=2)) as injector:
+            result = place_and_route(fixture_circuit(), SMOKE)
+        assert injector.fired
+        routing = result.refinement.final_pass.routing
+        assert routing.retried, "failed net was not rerouted with relaxed M"
+        assert not routing.failed
+        assert result.teil > 0
+
+    def test_router_double_failure_falls_back_to_estimate(self):
+        with inject_faults(
+            Fault(site="router.route_net", at=2),
+            Fault(site="router.route_net_retry", at=1),
+        ):
+            result = place_and_route(fixture_circuit(), SMOKE)
+        routing = result.refinement.final_pass.routing
+        assert routing.failed
+        # The unroutable net degraded to a semi-perimeter estimate; the
+        # flow still finished with a complete placement.
+        assert set(routing.failed) <= set(routing.unrouted)
+        assert result.teil > 0
+
+    def test_estimator_failure_uses_fallback_plan(self):
+        with inject_faults(Fault(site="estimator.determine_core")):
+            result = place_and_route(fixture_circuit(), SMOKE)
+        assert result.teil > 0
+        (failure,) = result.failures
+        assert failure["stage"] == "estimator.determine_core"
+        assert failure["action"] == "fallback"
+        assert "recovered failures" in result.summary()
+        assert any(
+            e.get("name") == "stage.failure"
+            and e.get("stage") == "estimator.determine_core"
+            for e in result.trace_events
+        )
+
+
+class TestBudgets:
+    def test_temperature_budget_truncates_gracefully(self):
+        result = place_and_route(
+            fixture_circuit(), SMOKE, budget=Budget(temperatures=5)
+        )
+        assert result.truncated
+        assert result.budget_report["exhausted"] == "temperatures"
+        assert result.stage1.anneal.stop_reason == "budget:temperatures"
+        assert len(result.stage1.anneal.steps) == 5
+        # Stage 2 is skipped; the legalized stage-1 placement is returned.
+        assert result.refinement is None
+        assert result.teil > 0
+        assert "TRUNCATED" in result.summary()
+
+    def test_wall_budget_truncates_gracefully(self):
+        clock = JumpClock(tick=1.0)
+        budget = Budget(wall_seconds=5.0, clock=clock)
+        result = place_and_route(fixture_circuit(), SMOKE, budget=budget)
+        assert result.truncated
+        assert result.budget_report["exhausted"] == "wall_seconds"
+        assert result.teil > 0
+
+    def test_unbudgeted_run_reports_nothing(self, baseline):
+        assert baseline.budget_report is None
+        assert not baseline.truncated

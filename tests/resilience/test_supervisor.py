@@ -1,0 +1,78 @@
+"""Stage supervision: capture, degrade, never swallow a kill."""
+
+import pytest
+
+from repro.resilience import SimulatedKill, StageSupervisor
+from repro.telemetry import MemorySink, Tracer, use_tracer
+
+
+def boom():
+    raise ValueError("stage exploded")
+
+
+class TestRun:
+    def test_success_passes_through(self):
+        sup = StageSupervisor()
+        assert sup.run("ok", lambda: 42) == 42
+        assert sup.failures == []
+
+    def test_failure_without_fallback_returns_default(self):
+        sup = StageSupervisor()
+        assert sup.run("bad", boom, default="fallback-value") == "fallback-value"
+        (failure,) = sup.failures
+        assert failure.stage == "bad"
+        assert failure.action == "skipped"
+        assert "ValueError: stage exploded" in failure.error
+        assert "stage exploded" in failure.traceback
+
+    def test_failure_with_fallback(self):
+        sup = StageSupervisor()
+        assert sup.run("bad", boom, fallback=lambda: "degraded") == "degraded"
+        (failure,) = sup.failures
+        assert failure.action == "fallback"
+
+    def test_fallback_failure_recorded_then_default(self):
+        sup = StageSupervisor()
+        result = sup.run("bad", boom, fallback=boom, default=None)
+        assert result is None
+        assert [f.stage for f in sup.failures] == ["bad", "bad.fallback"]
+        assert sup.failures[1].action == "skipped"
+
+    @pytest.mark.parametrize("species", [SimulatedKill, KeyboardInterrupt, SystemExit])
+    def test_base_exceptions_propagate(self, species):
+        sup = StageSupervisor()
+
+        def kill():
+            raise species("going down")
+
+        with pytest.raises(species):
+            sup.run("kill", kill)
+        assert sup.failures == []
+
+    def test_failures_accumulate_across_stages(self):
+        sup = StageSupervisor()
+        sup.run("a", boom)
+        sup.run("b", boom)
+        assert [f.stage for f in sup.failures] == ["a", "b"]
+
+    def test_to_dict(self):
+        sup = StageSupervisor()
+        sup.run("bad", boom)
+        record = sup.failures[0].to_dict()
+        assert record == {
+            "stage": "bad",
+            "error": "ValueError: stage exploded",
+            "action": "skipped",
+        }
+
+
+class TestTelemetry:
+    def test_failure_emits_trace_event(self):
+        sink = MemorySink()
+        sup = StageSupervisor()
+        with use_tracer(Tracer(sink)):
+            sup.run("bad", boom)
+        (event,) = [e for e in sink.events if e.get("name") == "stage.failure"]
+        assert event["stage"] == "bad"
+        assert event["action"] == "skipped"
+        assert "ValueError" in event["error"]
