@@ -32,6 +32,8 @@ from typing import Callable, Dict, List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from repro.annealing import RangeLimiter  # noqa: E402
 from repro.bench import CircuitSpec, generate_circuit  # noqa: E402
@@ -310,8 +312,14 @@ def bench_telemetry_overhead(
 
 
 def run(sizes, moves_per_kind: int, mixed_steps: int, repeats: int = 3) -> Dict:
+    from common import host_metadata  # noqa: E402 (needs the path bootstrap)
+
     kinds = ("displace", "displace_inverted", "swap", "pin_group", "reject")
-    out: Dict = {"benchmark": "moves_per_sec", "sizes": {}}
+    out: Dict = {
+        "benchmark": "moves_per_sec",
+        "host": host_metadata(),
+        "sizes": {},
+    }
     for n in sizes:
         state = build_state(n)
         row: Dict = {}

@@ -59,6 +59,24 @@ class Stopwatch:
         self.seconds = bench_clock() - self._start
 
 
+def host_metadata() -> dict:
+    """Host facts stamped into every JSON bench artifact.
+
+    Throughput and speedup numbers are meaningless without the machine
+    they were measured on — in particular ``cpu_count`` bounds any
+    parallel speedup the artifact can honestly claim.
+    """
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
 def bench_config(seed: int = 0) -> TimberWolfConfig:
     """The per-data-point annealing effort, selected by environment."""
     preset = os.environ.get("REPRO_BENCH_PRESET", "smoke").lower()

@@ -43,6 +43,15 @@ def main() -> None:
         "--trace", metavar="PATH", default=None,
         help="write a JSONL telemetry trace of the run to PATH",
     )
+    parser.add_argument(
+        "--chains", type=int, default=1,
+        help="stage-1 annealing chains with best-of-K exchange "
+        "(see examples/parallel_flow.py for the full tour)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the parallel layer (1 = serial)",
+    )
     args = parser.parse_args()
 
     circuit = build_circuit()
@@ -51,6 +60,15 @@ def main() -> None:
     # TimberWolfConfig.fast() is the paper's "early design stage" point
     # (A_c = 25); TimberWolfConfig.paper() is the full-quality A_c = 400.
     config = TimberWolfConfig.fast(seed=1)
+    if args.chains != 1 or args.workers != 1:
+        from dataclasses import replace
+
+        from repro import ParallelConfig
+
+        config = replace(
+            config,
+            parallel=ParallelConfig(workers=args.workers, chains=args.chains),
+        )
     tracer = Tracer(FileSink(args.trace)) if args.trace else None
     try:
         result = place_and_route(circuit, config, tracer=tracer)

@@ -13,6 +13,11 @@ The drill:
 Exits non-zero, with a diagnostic, on any deviation.  Artifacts (the
 checkpoints, both JSON dumps, the trace) are left in ``--workdir`` for
 the CI job to upload.
+
+With ``--chains K --workers W`` the same drill runs the multi-chain
+stage-1 (phase ``parallel1`` checkpoints at round boundaries); pick a
+small ``--exchange-period`` so a round-boundary checkpoint lands before
+the SIGTERM does.
 """
 
 from __future__ import annotations
@@ -59,6 +64,26 @@ def main() -> int:
         default=1.0,
         help="seconds to let the victim run before SIGTERM",
     )
+    parser.add_argument(
+        "--chains",
+        type=int,
+        default=1,
+        help="stage-1 annealing chains (>1 drills the parallel1 "
+        "round-boundary checkpoints)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the parallel layer",
+    )
+    parser.add_argument(
+        "--exchange-period",
+        type=int,
+        default=10,
+        help="temperature decrements between chain exchanges (small "
+        "values land a checkpoint early, before the kill)",
+    )
     args = parser.parse_args()
 
     work = Path(args.workdir)
@@ -80,6 +105,12 @@ def main() -> int:
         "python", "-m", "repro", "place", circuit_file,
         "--preset", args.preset, "--seed", str(args.seed),
     ]
+    if args.chains != 1 or args.workers != 1:
+        place += [
+            "--chains", str(args.chains),
+            "--workers", str(args.workers),
+            "--exchange-period", str(args.exchange_period),
+        ]
     run(place + ["--json", base_json], env, check=True)
 
     # The victim: checkpoint every temperature, killed mid-run.  A tight

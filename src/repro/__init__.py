@@ -19,9 +19,12 @@ The public entry points:
   trapping, stage supervision, and the fault-injection harness
   (:class:`repro.Budget`, :class:`repro.CheckpointPolicy`,
   :func:`repro.resume_place_and_route`, ...).
+* :mod:`repro.parallel` — the process-pool execution layer: K-chain
+  stage-1 annealing with best-of-K exchange and the per-net router
+  fan-out (:class:`repro.ParallelConfig`, :func:`repro.spawn_seed`).
 """
 
-from .config import TimberWolfConfig
+from .config import ParallelConfig, TimberWolfConfig
 from .flow import TimberWolfResult, place_and_route, resume_place_and_route
 from .resilience import (
     Budget,
@@ -29,11 +32,14 @@ from .resilience import (
     CheckpointPolicy,
     FlowInterrupted,
 )
+from .parallel.seeds import spawn_seed
 from .telemetry import FileSink, MemorySink, MetricsRegistry, NullSink, Tracer, use_tracer
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "ParallelConfig",
+    "spawn_seed",
     "TimberWolfConfig",
     "TimberWolfResult",
     "place_and_route",

@@ -14,8 +14,11 @@ Commands:
 (full engineering report instead of the summary), ``--trace out.jsonl``
 (structured telemetry), ``--checkpoint-dir DIR`` (periodic snapshots +
 SIGINT/SIGTERM trapping; an interrupted run exits with status 3 and
-prints the checkpoint to resume from), and ``--budget-seconds /
---budget-temperatures / --budget-moves`` (graceful early stop).
+prints the checkpoint to resume from), ``--budget-seconds /
+--budget-temperatures / --budget-moves`` (graceful early stop), and
+``--workers / --chains / --exchange-period`` (the parallel execution
+layer: K-chain stage-1 annealing with best-of-K exchange plus the
+per-net router fan-out; see ``docs/parallel.md``).
 
 Setting the ``REPRO_FAULTS`` environment variable (e.g.
 ``router.route_net@3:error``) arms the fault-injection harness for the
@@ -132,6 +135,19 @@ def _emit_result(result, args: argparse.Namespace) -> int:
 def cmd_place(args: argparse.Namespace) -> int:
     circuit = load(args.circuit)
     config = _config(args.preset, args.seed)
+    if args.workers != 1 or args.chains != 1 or args.exchange_period != 10:
+        from dataclasses import replace
+
+        from .config import ParallelConfig
+
+        config = replace(
+            config,
+            parallel=ParallelConfig(
+                workers=args.workers,
+                chains=args.chains,
+                exchange_period=args.exchange_period,
+            ),
+        )
     tracer = _tracer(args)
     try:
         result = place_and_route(
@@ -231,6 +247,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--seed", type=int, default=0)
     _add_output_options(p_place)
     _add_budget_options(p_place)
+    p_place.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for multi-chain annealing and the "
+        "router fan-out (default 1 = fully serial)",
+    )
+    p_place.add_argument(
+        "--chains",
+        type=int,
+        default=1,
+        help="independent stage-1 annealing chains with best-of-K "
+        "exchange (default 1; the result depends on chains, never "
+        "on workers)",
+    )
+    p_place.add_argument(
+        "--exchange-period",
+        type=int,
+        default=10,
+        metavar="E",
+        help="temperature decrements between chain exchanges (default 10)",
+    )
     p_place.add_argument(
         "--checkpoint-dir",
         help="write periodic checkpoints here and trap SIGINT/SIGTERM",

@@ -36,6 +36,42 @@ SELECTOR_DR = "dr"
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """The parallel execution layer's knobs (``repro.parallel``).
+
+    * ``workers`` — process-pool size.  1 (the default) keeps today's
+      serial code path byte-identical: no processes are spawned for
+      either the multi-chain anneal or the router fan-out.
+    * ``chains`` — K, independent stage-1 annealing chains.  1 runs the
+      classic single-chain stage 1; K > 1 runs K chains with periodic
+      best-of-K exchange.  The result depends only on (seed, chains,
+      exchange_period), never on ``workers``.
+    * ``exchange_period`` — E, temperature decrements between
+      synchronization points where chains are ranked by cost and the
+      worst restart from a perturbed copy of the best state.
+    """
+
+    workers: int = 1
+    chains: int = 1
+    exchange_period: int = 10
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.chains < 1:
+            raise ValueError("chains must be at least 1")
+        if self.exchange_period < 1:
+            raise ValueError("exchange_period must be at least 1")
+
+    def to_dict(self) -> Dict:
+        return {
+            "workers": self.workers,
+            "chains": self.chains,
+            "exchange_period": self.exchange_period,
+        }
+
+
+@dataclass(frozen=True)
 class TimberWolfConfig:
     """All tunables of the two-stage flow.  Defaults follow the paper."""
 
@@ -68,6 +104,9 @@ class TimberWolfConfig:
     drift_tolerance: float = 1e-6
     #: What to do past the tolerance: "warn", "resync", or "raise".
     drift_action: str = "warn"
+    #: The parallel execution layer (multi-chain anneal + router
+    #: fan-out); the default is fully serial.
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell < 1:
@@ -124,6 +163,7 @@ class TimberWolfConfig:
             "m_y": profile.m_y,
             "b_y": profile.b_y,
         }
+        data["parallel"] = data.pop("parallel").to_dict()
         return data
 
     @staticmethod
@@ -132,12 +172,15 @@ class TimberWolfConfig:
         checkpoint from an incompatible build fails loudly."""
         data = dict(data)
         profile = data.pop("profile", None)
+        parallel = data.pop("parallel", None)
         known = set(TimberWolfConfig.__dataclass_fields__)
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown config fields: {sorted(unknown)}")
         if profile is not None:
             data["profile"] = ModulationProfile(**profile)
+        if parallel is not None:
+            data["parallel"] = ParallelConfig(**parallel)
         return TimberWolfConfig(**data)
 
     # -- presets -----------------------------------------------------------

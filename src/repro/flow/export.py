@@ -101,7 +101,11 @@ def result_to_dict(result: TimberWolfResult) -> Dict[str, Any]:
                     "from": list(graph.positions[u]),
                     "to": list(graph.positions[v]),
                 }
-                for u, v in edges
+                # Routes are frozensets; sorted segments keep the JSON a
+                # function of the route values, not the sets' in-memory
+                # layout (which a pickle round-trip through a routing
+                # worker is free to permute).
+                for u, v in sorted(edges)
             ]
             for net, edges in final.routing.routes.items()
         }

@@ -4,8 +4,9 @@
 ``place_and_route(..., checkpoint=...)``: it validates the checkpoint
 (magic, schema, checksums, circuit hash), rebuilds the circuit and
 config from the snapshot, and continues the run from the captured
-position — mid-anneal for stage-1 checkpoints, at a pass boundary for
-stage-2 checkpoints.  The continued run replays the exact RNG and
+position — mid-anneal for stage-1 checkpoints, at a round boundary
+(all chains) for multi-chain ``parallel1`` checkpoints, at a pass
+boundary for stage-2 checkpoints.  The continued run replays the exact RNG and
 floating-point sequence of the uninterrupted one, so the final
 placement and cost are bit-for-bit identical.
 """
@@ -51,7 +52,7 @@ def resume_place_and_route(
     path = Path(path)
     header, payload = read_checkpoint(path)
     phase = payload.get("phase")
-    if phase not in ("stage1", "stage2"):
+    if phase not in ("stage1", "stage2", "parallel1"):
         raise CheckpointError(f"{path}: unknown checkpoint phase {phase!r}")
     try:
         config = TimberWolfConfig.from_dict(payload["config"])
@@ -72,5 +73,6 @@ def resume_place_and_route(
         control,
         stage1_resume=payload if phase == "stage1" else None,
         stage2_resume=payload if phase == "stage2" else None,
+        parallel_resume=payload if phase == "parallel1" else None,
         resumed_from=str(path),
     )

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import TimberWolfConfig
 from ..netlist import Circuit, dumps
+from ..parallel.seeds import spawn_seed
 from ..placement.legalize import remove_overlaps
 from ..placement.refine import RefinementResult, run_refinement
 from ..placement.stage1 import Stage1Result, run_stage1
@@ -219,6 +220,7 @@ def _place_and_route_controlled(
     control: RunControl,
     stage1_resume: Optional[Dict[str, Any]] = None,
     stage2_resume: Optional[Dict[str, Any]] = None,
+    parallel_resume: Optional[Dict[str, Any]] = None,
     resumed_from: Optional[str] = None,
 ) -> TimberWolfResult:
     """The shared body behind ``place_and_route`` and resume."""
@@ -242,12 +244,12 @@ def _place_and_route_controlled(
                 with trap_signals(control.interrupt):
                     stage1, refinement, stage1_metrics = _run_flow(
                         circuit, config, run_tracer, control,
-                        stage1_resume, stage2_resume,
+                        stage1_resume, stage2_resume, parallel_resume,
                     )
             else:
                 stage1, refinement, stage1_metrics = _run_flow(
                     circuit, config, run_tracer, control,
-                    stage1_resume, stage2_resume,
+                    stage1_resume, stage2_resume, parallel_resume,
                 )
     finally:
         if borrowed and mem is not None:
@@ -283,14 +285,21 @@ def _run_flow(
     control: RunControl,
     stage1_resume: Optional[Dict[str, Any]] = None,
     stage2_resume: Optional[Dict[str, Any]] = None,
+    parallel_resume: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Stage1Result, Optional[RefinementResult], Tuple]:
     """The instrumented flow body: one span per stage (Table-4 rows).
 
-    ``stage1_resume`` / ``stage2_resume`` are checkpoint payloads (at
-    most one may be set); both stages share ``rng`` so a resumed run
-    replays the exact RNG stream of the uninterrupted one.
+    ``stage1_resume`` / ``stage2_resume`` / ``parallel_resume`` are
+    checkpoint payloads (at most one may be set); the single-chain flow
+    threads ``rng`` through both stages so a resumed run replays the
+    exact RNG stream of the uninterrupted one.  The multi-chain flow
+    (``config.parallel.chains > 1``) gives every chain its own derived
+    stream and hands the untouched ``rng`` to stage 2.
     """
-    rng = random.Random(config.seed)
+    # spawn_seed(seed, 0) == seed: the single-chain stream is exactly
+    # the historical random.Random(config.seed) one.
+    rng = random.Random(spawn_seed(config.seed, 0))
+    multichain = config.parallel.chains > 1 or parallel_resume is not None
     prof = config.enable_profiling
     with tracer.span(
         "flow",
@@ -307,9 +316,18 @@ def _run_flow(
             )
         else:
             with tracer.span("stage1"), profiled("stage1", prof, tracer):
-                stage1 = run_stage1(
-                    circuit, config, rng, control=control, resume=stage1_resume
-                )
+                if multichain:
+                    # Deferred import: multiprocessing machinery, only
+                    # touched when K > 1 chains are requested.
+                    from ..parallel.multichain import run_multichain_stage1
+
+                    stage1 = run_multichain_stage1(
+                        circuit, config, control=control, resume=parallel_resume
+                    )
+                else:
+                    stage1 = run_stage1(
+                        circuit, config, rng, control=control, resume=stage1_resume
+                    )
 
             # Record the stage-1 metrics on a *legal* placement so the
             # Table-3 comparison is apples-to-apples with stage 2.

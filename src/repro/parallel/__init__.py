@@ -1,0 +1,37 @@
+"""The parallel execution layer: process-pool consumers of the flow.
+
+Two consumers share this package:
+
+* :func:`run_multichain_stage1` — K independent stage-1 annealing
+  chains with periodic best-of-K exchange, bit-for-bit reproducible
+  for a fixed ``(seed, chains, exchange_period)`` regardless of worker
+  count (see :mod:`repro.parallel.multichain`).
+* :func:`route_nets_parallel` — per-net M-shortest-path fan-out for
+  the global router, identical to the serial router (see
+  :mod:`repro.parallel.routing`).
+
+:func:`spawn_seed` is the deterministic per-chain seed derivation both
+the parallel layer and the serial flow use (chain 0 *is* the serial
+stream).  Configuration lives in :class:`repro.config.ParallelConfig`
+(``TimberWolfConfig.parallel``).
+"""
+
+from .multichain import (
+    ChainContext,
+    ChainWorkerError,
+    ProcessChainBackend,
+    SerialChainBackend,
+    run_multichain_stage1,
+)
+from .routing import route_nets_parallel
+from .seeds import spawn_seed
+
+__all__ = [
+    "ChainContext",
+    "ChainWorkerError",
+    "ProcessChainBackend",
+    "SerialChainBackend",
+    "route_nets_parallel",
+    "run_multichain_stage1",
+    "spawn_seed",
+]

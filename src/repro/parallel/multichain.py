@@ -1,0 +1,603 @@
+"""Multi-chain stage-1 annealing with periodic best-of-K exchange.
+
+K independent stage-1 chains anneal the same circuit from decorrelated
+RNG streams (:func:`~repro.parallel.seeds.spawn_seed`).  Every E
+temperature decrements (``config.parallel.exchange_period``) the
+coordinator gathers all chains, ranks them by cost, and restarts the
+worst ⌊K/2⌋ live chains from a *perturbed* copy of the best state —
+the multi-start-with-exchange scheme parallel SA floorplanners use to
+trade redundant exploration for wall-clock.
+
+Determinism contract
+--------------------
+
+The final placement is a pure function of ``(seed, chains,
+exchange_period)`` — never of ``workers`` or OS scheduling:
+
+* every chain's RNG stream is derived from ``config.seed`` alone;
+* chains interact only at round barriers, where all decisions (ranking,
+  loser selection, perturbation) are computed from gathered plain data
+  with index-based tie-breaking;
+* the exchange perturbation draws from its own derived stream
+  (``spawn_seed(seed, chain_id, stream=round+1)``), so it cannot skew
+  any chain's move sequence;
+* chains ship state between processes via the history-exact
+  ``PlacementState.state_dict()`` (the same mechanism checkpoints use),
+  so a state loaded in another process continues bit-for-bit.
+
+The serial backend (``workers=1``) runs the same coordinator over
+in-process chains; the process backend distributes chains over
+persistent worker processes.  Both reconstruct chain state from the
+circuit's canonical text form, so their float sequences are identical.
+
+Checkpointing: the coordinator snapshots *all* chains at every round
+boundary (phase ``"parallel1"``), after the exchange has been applied.
+A SIGTERM that lands mid-round (including mid-exchange) is honored at
+the next boundary, after the snapshot — resuming from it replays the
+remaining rounds bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import random
+import sys
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..annealing import (
+    AllOf,
+    AnnealCursor,
+    Annealer,
+    AnnealResult,
+    FloorStop,
+    RangeLimiter,
+    WindowStop,
+    stage1_schedule,
+)
+from ..annealing.engine import TemperatureStats
+from ..config import TimberWolfConfig
+from ..netlist import Circuit, dumps, loads
+from ..placement.moves import MoveGenerator, PlacementAnnealingState
+from ..placement.stage1 import STAGE1_T_FLOOR, Stage1Result, _core_plan, calibrate_p2
+from ..placement.state import PlacementState
+from ..resilience.drift import DriftGuard
+from ..telemetry import MemorySink, Tracer, current_tracer, use_tracer
+from .seeds import spawn_seed
+from .workers import reset_worker_signals
+
+#: Fraction of the movable cells the exchange perturbation displaces
+#: (1/8), and the displacement radius as a fraction of the core span.
+PERTURB_CELL_DIVISOR = 8
+PERTURB_SPAN_FRACTION = 0.05
+
+
+class ChainContext:
+    """One annealing chain: placement state + a segmentable annealer.
+
+    Lives wherever its backend puts it (coordinator process or worker).
+    The annealer's ``max_temperatures`` is re-bounded per segment, so
+    one persistent engine runs the chain in E-step slices with the RNG
+    and stopping history carried across slices by the cursor — the
+    exact mechanism stage-1 checkpoint resume uses.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: TimberWolfConfig,
+        chain_id: int,
+        restore: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.chain_id = chain_id
+        self.config = config
+        rng = random.Random(spawn_seed(config.seed, chain_id))
+        plan = _core_plan(circuit, config, None)
+        schedule = stage1_schedule(plan.average_effective_cell_area)
+        self.limiter = RangeLimiter(
+            full_span_x=plan.core.width,
+            full_span_y=plan.core.height,
+            t_infinity=schedule.t_infinity,
+            rho=config.rho,
+        )
+        self.state = PlacementState(circuit, plan, kappa=config.kappa)
+        self.cursor: Optional[AnnealCursor] = None
+        self.done = False
+        self.stop_reason: Optional[str] = None
+        if restore is not None:
+            # Calibration already happened in the original run; the
+            # cursor carries the RNG position.
+            self.state.load_state_dict(restore["state"])
+            self.cursor = AnnealCursor.from_dict(restore["cursor"])
+            self.done = bool(restore.get("done", False))
+            self.stop_reason = restore.get("stop_reason")
+        else:
+            self.state.p2 = calibrate_p2(self.state, rng, config.eta)
+        generator = MoveGenerator(
+            self.state,
+            self.limiter,
+            r_ratio=config.r_ratio,
+            selector=config.selector,
+        )
+        self._anneal_state = PlacementAnnealingState(self.state, generator)
+        stopping = AllOf(
+            WindowStop(self.limiter),
+            FloorStop(schedule.scale * STAGE1_T_FLOOR),
+        )
+        self.annealer = Annealer(
+            schedule,
+            stopping,
+            attempts_per_cell=config.attempts_per_cell,
+            max_temperatures=config.max_temperatures,
+            rng=rng,
+        )
+
+    def run_segment(self, upto: int) -> Dict[str, Any]:
+        """Anneal until temperature step ``upto`` (exclusive) or until
+        the chain's own stopping criterion fires, whichever is first."""
+        if self.done:
+            raise RuntimeError(f"chain {self.chain_id} is already done")
+        bound = min(upto, self.config.max_temperatures)
+        self.annealer.max_temperatures = bound
+        prior_steps = len(self.cursor.steps) if self.cursor is not None else 0
+        captured: List[Optional[AnnealCursor]] = [None]
+
+        def _capture(step_index, stats, state, make_cursor) -> None:
+            captured[0] = make_cursor()
+
+        observers = []
+        if self.config.drift_check_every:
+            guard = DriftGuard(
+                self.config.drift_check_every,
+                self.config.drift_tolerance,
+                self.config.drift_action,
+            )
+            observers.append(guard.observer())
+        observers.append(_capture)
+        result = self.annealer.run(
+            self._anneal_state, resume=self.cursor, observers=observers
+        )
+        if captured[0] is not None:
+            self.cursor = captured[0]
+        self.done = self.cursor is not None and self.cursor.done
+        if not self.done and bound >= self.config.max_temperatures:
+            # The global temperature budget, not the segment bound.
+            self.done = True
+        self.stop_reason = result.stop_reason
+        new_steps = result.steps[prior_steps:]
+        return {
+            "chain": self.chain_id,
+            "cost": self.state.cost(),
+            "done": self.done,
+            "stop_reason": self.stop_reason,
+            "cursor": self.cursor.to_dict() if self.cursor is not None else None,
+            "state": self.state.state_dict(),
+            "attempts": sum(s.attempts for s in new_steps),
+            "steps_completed": len(new_steps),
+        }
+
+    def exchange(self, best_state: Dict[str, Any], round_index: int) -> Dict[str, Any]:
+        """Restart this chain from a perturbed copy of the best state.
+
+        The perturbation RNG is derived from ``(seed, chain_id, round)``
+        — independent of the chain's move stream, so the exchange never
+        shifts the RNG position the cursor will resume from.  Returns
+        the resulting ``state_dict`` (with canonical, freshly-rebuilt
+        accumulators) for the coordinator's table and checkpoints.
+        """
+        state = self.state
+        state.load_state_dict(best_state)
+        rng = random.Random(
+            spawn_seed(self.config.seed, self.chain_id, stream=round_index + 1)
+        )
+        movable = [i for i, ok in enumerate(state.movable) if ok]
+        if movable:
+            count = max(1, len(movable) // PERTURB_CELL_DIVISOR)
+            dx = state.core.width * PERTURB_SPAN_FRACTION
+            dy = state.core.height * PERTURB_SPAN_FRACTION
+            for idx in rng.sample(movable, count):
+                cx, cy = state.records[idx].center
+                state.records[idx].center = state.clamp_to_core(
+                    (cx + rng.uniform(-dx, dx), cy + rng.uniform(-dy, dy))
+                )
+            state.resync()
+        return state.state_dict()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The chain's current state (pre-anneal when no segment ran)."""
+        return self.state.state_dict()
+
+
+def _traced_segment(context: ChainContext, upto: int, traced: bool) -> Dict[str, Any]:
+    """Run one segment under a private tracer; ship the events back so
+    the coordinator can merge them (tagged ``chain=<id>``) into the
+    run's trace."""
+    if not traced:
+        result = context.run_segment(upto)
+        result["events"] = []
+        return result
+    sink = MemorySink()
+    with use_tracer(Tracer(sink)):
+        result = context.run_segment(upto)
+    result["events"] = sink.events
+    return result
+
+
+class SerialChainBackend:
+    """All chains in the coordinator's process (``workers=1``).
+
+    Chains are still built from the circuit's canonical text form —
+    exactly what the process backend ships to its workers — so the two
+    backends perform identical float sequences.
+    """
+
+    def __init__(self, circuit_text: str, config: TimberWolfConfig, traced: bool) -> None:
+        self._circuit = loads(circuit_text)
+        self._config = config
+        self._traced = traced
+        self._chains: Dict[int, ChainContext] = {}
+
+    def init_chain(self, chain_id: int, restore: Optional[Dict] = None) -> None:
+        self._chains[chain_id] = ChainContext(
+            self._circuit, self._config, chain_id, restore
+        )
+
+    def run_segments(self, requests: Sequence[Tuple[int, int]]) -> List[Dict]:
+        return [
+            _traced_segment(self._chains[cid], upto, self._traced)
+            for cid, upto in requests
+        ]
+
+    def exchange(self, chain_id: int, best_state: Dict, round_index: int) -> Dict:
+        return self._chains[chain_id].exchange(best_state, round_index)
+
+    def snapshot(self, chain_id: int) -> Dict:
+        return self._chains[chain_id].snapshot()
+
+    def close(self) -> None:
+        self._chains.clear()
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, inherits sys.path) where available."""
+    if "fork" in mp.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _chain_worker_main(conn, circuit_text, config_dict, traced, sys_path) -> None:
+    """Worker loop: owns a subset of chains, serves the coordinator's
+    init/segment/exchange/snapshot requests over the pipe."""
+    reset_worker_signals()
+    for entry in sys_path:
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    circuit = loads(circuit_text)
+    config = TimberWolfConfig.from_dict(config_dict)
+    chains: Dict[int, ChainContext] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        op = message[0]
+        if op == "close":
+            conn.send(("ok", None))
+            break
+        try:
+            if op == "init":
+                _, chain_id, restore = message
+                chains[chain_id] = ChainContext(circuit, config, chain_id, restore)
+                reply = None
+            elif op == "segment":
+                _, chain_id, upto = message
+                reply = _traced_segment(chains[chain_id], upto, traced)
+            elif op == "exchange":
+                _, chain_id, best_state, round_index = message
+                reply = chains[chain_id].exchange(best_state, round_index)
+            elif op == "snapshot":
+                _, chain_id = message
+                reply = chains[chain_id].snapshot()
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+        else:
+            conn.send(("ok", reply))
+    conn.close()
+
+
+class ChainWorkerError(RuntimeError):
+    """A chain worker process failed; carries the worker's traceback."""
+
+
+class ProcessChainBackend:
+    """Chains distributed over persistent worker processes.
+
+    Chain ``i`` lives in worker ``i % workers`` for the whole run, so
+    its in-memory annealer persists across segments exactly as in the
+    serial backend.  The coordinator pipelines one round's segment
+    requests to all workers before gathering, so chains on different
+    workers anneal concurrently; replies are matched per-pipe in FIFO
+    order, which keeps the protocol deterministic.
+    """
+
+    def __init__(
+        self, circuit_text: str, config: TimberWolfConfig, workers: int, traced: bool
+    ) -> None:
+        context = mp.get_context(_start_method())
+        self._procs = []
+        self._conns = []
+        self._owner: Dict[int, int] = {}
+        for _ in range(workers):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_chain_worker_main,
+                args=(
+                    child_conn,
+                    circuit_text,
+                    config.to_dict(),
+                    traced,
+                    list(sys.path),
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _recv(self, conn):
+        status, value = conn.recv()
+        if status == "error":
+            raise ChainWorkerError(f"chain worker failed:\n{value}")
+        return value
+
+    def _conn(self, chain_id: int):
+        return self._conns[self._owner[chain_id]]
+
+    def init_chain(self, chain_id: int, restore: Optional[Dict] = None) -> None:
+        self._owner[chain_id] = chain_id % len(self._conns)
+        conn = self._conn(chain_id)
+        conn.send(("init", chain_id, restore))
+        self._recv(conn)
+
+    def run_segments(self, requests: Sequence[Tuple[int, int]]) -> List[Dict]:
+        for chain_id, upto in requests:
+            self._conn(chain_id).send(("segment", chain_id, upto))
+        # Receiving in request order is safe: each pipe's replies arrive
+        # in the order its requests were sent.
+        return [self._recv(self._conn(chain_id)) for chain_id, _ in requests]
+
+    def exchange(self, chain_id: int, best_state: Dict, round_index: int) -> Dict:
+        conn = self._conn(chain_id)
+        conn.send(("exchange", chain_id, best_state, round_index))
+        return self._recv(conn)
+
+    def snapshot(self, chain_id: int) -> Dict:
+        conn = self._conn(chain_id)
+        conn.send(("snapshot", chain_id))
+        return self._recv(conn)
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                if proc.is_alive():
+                    conn.poll(2.0)
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
+def run_multichain_stage1(
+    circuit: Circuit,
+    config: TimberWolfConfig,
+    control=None,
+    resume: Optional[Dict[str, Any]] = None,
+) -> Stage1Result:
+    """Run stage 1 as K chains with periodic best-of-K exchange.
+
+    Drop-in replacement for :func:`repro.placement.stage1.run_stage1`
+    when ``config.parallel.chains > 1``.  ``resume`` is a ``parallel1``
+    checkpoint payload (all chains at a round boundary); the run
+    continues bit-for-bit.  Returns the winning chain's
+    :class:`Stage1Result`, reconstructed in the caller's process.
+    """
+    par = config.parallel
+    chains = par.chains
+    workers = max(1, min(par.workers, chains))
+    tracer = current_tracer()
+    circuit_text = dumps(circuit)
+
+    if workers == 1:
+        backend = SerialChainBackend(circuit_text, config, tracer.enabled)
+    else:
+        backend = ProcessChainBackend(circuit_text, config, workers, tracer.enabled)
+
+    #: chain_id -> {"cursor", "state", "done", "stop_reason", "cost"}
+    table: Dict[int, Dict[str, Any]] = {}
+    truncated = False
+    budget_reason: Optional[str] = None
+    try:
+        if resume is not None:
+            round_index = resume["round"]
+            upto = resume["upto"]
+            for cid in range(chains):
+                entry = resume["chains"][cid]
+                table[cid] = dict(entry)
+                if not entry["done"]:
+                    backend.init_chain(cid, restore=entry)
+            if tracer.enabled:
+                tracer.event(
+                    "checkpoint.resumed", phase="parallel1", round=round_index
+                )
+        else:
+            round_index = 0
+            upto = par.exchange_period
+            for cid in range(chains):
+                backend.init_chain(cid)
+            if tracer.enabled:
+                tracer.event(
+                    "parallel.setup",
+                    chains=chains,
+                    workers=workers,
+                    exchange_period=par.exchange_period,
+                )
+
+        while True:
+            live = [
+                cid for cid in range(chains) if not table.get(cid, {}).get("done")
+            ]
+            if not live:
+                break
+            if control is not None:
+                budget_reason = control.budget_exhausted()
+                if budget_reason is not None:
+                    truncated = True
+                    break
+            results = backend.run_segments([(cid, upto) for cid in live])
+            round_attempts = 0
+            round_steps = 0
+            for res in results:
+                cid = res["chain"]
+                table[cid] = {
+                    "cursor": res["cursor"],
+                    "state": res["state"],
+                    "done": res["done"],
+                    "stop_reason": res["stop_reason"],
+                    "cost": res["cost"],
+                }
+                round_attempts += res["attempts"]
+                round_steps = max(round_steps, res["steps_completed"])
+                tracer.ingest(res["events"], chain=cid)
+            if control is not None and control.budget is not None:
+                # The schedule advanced by the longest chain's step count;
+                # moves are accounted across all chains.
+                control.budget.note_moves(round_attempts)
+                for _ in range(round_steps):
+                    control.budget.note_temperature()
+            if tracer.enabled:
+                tracer.event(
+                    "parallel.round",
+                    round=round_index,
+                    upto=upto,
+                    costs={cid: round(table[cid]["cost"], 4) for cid in sorted(table)},
+                    done=sorted(cid for cid in table if table[cid]["done"]),
+                )
+            live = [cid for cid in range(chains) if not table[cid]["done"]]
+            if live:
+                ranked = sorted(table, key=lambda c: (table[c]["cost"], c))
+                best = ranked[0]
+                losers = [
+                    cid
+                    for cid in reversed(ranked)
+                    if cid != best and not table[cid]["done"]
+                ][: chains // 2]
+                for cid in losers:
+                    table[cid]["state"] = backend.exchange(
+                        cid, table[best]["state"], round_index
+                    )
+                if losers and tracer.enabled:
+                    tracer.event(
+                        "parallel.exchange",
+                        round=round_index,
+                        source=best,
+                        targets=sorted(losers),
+                        best_cost=round(table[best]["cost"], 4),
+                    )
+            if control is not None and control.manager is not None:
+                payload = {
+                    "round": round_index + 1,
+                    "upto": upto + par.exchange_period,
+                    "chains": {cid: dict(table[cid]) for cid in range(chains)},
+                }
+                path = control.manager.save(
+                    "parallel1", f"parallel-r{round_index:04d}", payload
+                )
+                if tracer.enabled:
+                    tracer.event(
+                        "checkpoint.saved",
+                        phase="parallel1",
+                        round=round_index,
+                        path=str(path),
+                    )
+            if control is not None and control.interrupt.is_set():
+                control._raise_interrupted()
+            round_index += 1
+            upto += par.exchange_period
+
+        if not table:
+            # Budget exhausted before the first round: hand back chain
+            # 0's initial (post-calibration) placement, truncated.
+            table[0] = {
+                "cursor": None,
+                "state": backend.snapshot(0),
+                "done": False,
+                "stop_reason": None,
+                "cost": None,
+            }
+    finally:
+        backend.close()
+
+    ranked = sorted(
+        table,
+        key=lambda c: (
+            table[c]["cost"] if table[c]["cost"] is not None else float("inf"),
+            c,
+        ),
+    )
+    winner = ranked[0]
+    entry = table[winner]
+
+    # Reconstruct the winner in this process — identically for both
+    # backends, so the result cannot depend on where the chain ran.
+    plan = _core_plan(circuit, config, control)
+    schedule = stage1_schedule(plan.average_effective_cell_area)
+    limiter = RangeLimiter(
+        full_span_x=plan.core.width,
+        full_span_y=plan.core.height,
+        t_infinity=schedule.t_infinity,
+        rho=config.rho,
+    )
+    state = PlacementState(circuit, plan, kappa=config.kappa)
+    state.load_state_dict(entry["state"])
+    steps = (
+        [TemperatureStats(*s) for s in entry["cursor"]["steps"]]
+        if entry["cursor"] is not None
+        else []
+    )
+    stop_reason = entry["stop_reason"]
+    if truncated:
+        stop_reason = f"budget:{budget_reason}"
+    anneal = AnnealResult(
+        final_cost=state.cost(),
+        steps=steps,
+        truncated=truncated,
+        stop_reason=stop_reason,
+    )
+    if tracer.enabled:
+        tracer.event(
+            "parallel.winner",
+            chain=winner,
+            cost=round(anneal.final_cost, 4),
+            rounds=round_index,
+        )
+        tracer.event(
+            "stage1.result",
+            teil=round(state.teil(), 2),
+            chip_area=round(state.chip_area(), 2),
+            residual_overlap=round(state.c2_raw(), 2),
+            temperatures=anneal.num_temperatures,
+        )
+    return Stage1Result(
+        state=state, plan=plan, limiter=limiter, anneal=anneal, p2=state.p2
+    )

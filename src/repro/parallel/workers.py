@@ -1,0 +1,23 @@
+"""Shared worker-process hygiene for the parallel backends."""
+
+from __future__ import annotations
+
+import signal
+
+
+def reset_worker_signals() -> None:
+    """Restore default signal disposition in a freshly started worker.
+
+    Workers forked while the flow's graceful-interrupt trap
+    (:func:`repro.resilience.interrupt.trap_signals`) is armed inherit
+    its SIGINT/SIGTERM handler — which only sets a coordinator-side
+    flag and never exits.  An idle worker blocked on its task queue
+    would then survive ``terminate()``, and the parent's unbounded
+    ``join()`` (``multiprocessing.Pool._terminate_pool``, or the
+    interpreter's at-exit reaper) deadlocks.  Workers take SIGTERM at
+    its default (die, so pool teardown works) and ignore SIGINT (a
+    terminal Ctrl-C reaches the whole process group; the coordinator
+    alone decides how to unwind, via the pipe protocol).
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)

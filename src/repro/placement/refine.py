@@ -148,7 +148,12 @@ def define_and_route(
                 free_rects=len(free),
                 attached_pins=len(graph.pin_nodes),
             )
-    router = GlobalRouter(graph, m_routes=config.m_routes, rng=rng)
+    router = GlobalRouter(
+        graph,
+        m_routes=config.m_routes,
+        rng=rng,
+        workers=config.parallel.workers,
+    )
     routing = router.route(circuit)
     report = routing.congestion(graph)
     return graph, routing, report

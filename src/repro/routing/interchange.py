@@ -78,7 +78,12 @@ class RouteSelector:
         alt = self.alternatives[net][k]
         self.selection[net] = k
         self._length += alt.length
-        for edge in alt.edges:
+        # Sorted iteration keeps ``_density``'s insertion order — and so
+        # the interchange's random trajectory — a function of the route
+        # *values* only.  Plain frozenset order would leak the sets'
+        # construction history (a pickle round-trip through a routing
+        # worker reorders equal frozensets) into the result.
+        for edge in sorted(alt.edges):
             old = self._density.get(edge, 0)
             self._overflow += self._edge_overflow(edge, old + 1) - self._edge_overflow(
                 edge, old
@@ -118,11 +123,14 @@ class RouteSelector:
         return self._density.get(edge, 0)
 
     def overflowed_edges(self) -> List[EdgeKey]:
-        return [
+        # Sorted for the same reason ``_install`` iterates sorted edges:
+        # the rng draws an index into this list, so its order must not
+        # depend on dict/set layout.
+        return sorted(
             e
             for e, d in self._density.items()
             if self._edge_overflow(e, d) > 0
-        ]
+        )
 
     def selected_route(self, net: str) -> RouteAlternative:
         return self.alternatives[net][self.selection[net]]

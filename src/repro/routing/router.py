@@ -60,12 +60,19 @@ class GlobalRouter:
         m_routes: int = 20,
         seed: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        workers: int = 1,
     ) -> None:
         if m_routes < 1:
             raise ValueError("m_routes must be at least 1")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self.graph = graph
         self.m_routes = m_routes
         self.rng = rng if rng is not None else random.Random(seed)
+        #: Process-pool size for the phase-one per-net fan-out; 1 routes
+        #: serially in this process.  Either way the committed routes
+        #: are identical (see ``repro.parallel.routing``).
+        self.workers = workers
 
     def build_pin_groups(self, circuit: Circuit) -> Dict[str, List[List[int]]]:
         """Per net: lists of graph nodes, one list per pin group
@@ -111,29 +118,53 @@ class GlobalRouter:
             failed: Dict[str, str] = {}
             retried: Dict[str, str] = {}
             estimated: Dict[str, float] = {}
+            tasks: List[Tuple[str, List[List[int]]]] = []
             for net_name, groups in net_groups.items():
                 groups = [g for g in groups if g]
                 if len(groups) < 2:
                     continue  # nothing to connect
-                alts = self._route_net_supervised(
-                    net_name, groups, tracer, failed, retried
+                tasks.append((net_name, groups))
+            if self.workers > 1 and tasks:
+                # Phase-one fan-out: the pool enumerates per-net routes;
+                # results commit here in the same sequential net order
+                # the serial loop uses, so the routing is identical.
+                from ..parallel.routing import route_nets_parallel
+
+                records = route_nets_parallel(
+                    self.graph, tasks, self.m_routes, self.workers
                 )
-                if tracer.enabled:
-                    # Phase-one record (§4.2.1): how many of the M slots the
-                    # net filled, and the shortest/longest stored lengths.
-                    tracer.event(
-                        "router.net",
-                        net=net_name,
-                        pin_groups=len(groups),
-                        alternatives=len(alts),
-                        shortest=round(alts[0].length, 3) if alts else None,
-                        longest=round(alts[-1].length, 3) if alts else None,
+                for (net_name, groups), record in zip(tasks, records):
+                    alts = record["alternatives"]
+                    if record["error"] is not None and tracer.enabled:
+                        tracer.event(
+                            "router.net_retried",
+                            net=net_name,
+                            error=record["error"],
+                            m_routes=max(1, self.m_routes // 2),
+                        )
+                    if record["retried"] is not None:
+                        retried[net_name] = record["retried"]
+                    if record["failed"] is not None:
+                        failed[net_name] = record["failed"]
+                        if tracer.enabled:
+                            tracer.event(
+                                "router.net_failed",
+                                net=net_name,
+                                error=record["failed"],
+                            )
+                    self._commit_net(
+                        net_name, groups, alts, tracer,
+                        alternatives, unrouted, estimated,
                     )
-                if not alts:
-                    unrouted.append(net_name)
-                    estimated[net_name] = self.semi_perimeter(groups)
-                    continue
-                alternatives[net_name] = alts
+            else:
+                for net_name, groups in tasks:
+                    alts = self._route_net_supervised(
+                        net_name, groups, tracer, failed, retried
+                    )
+                    self._commit_net(
+                        net_name, groups, alts, tracer,
+                        alternatives, unrouted, estimated,
+                    )
 
             capacities: Dict[EdgeKey, Optional[int]] = {
                 e.key: e.capacity for e in self.graph.edges()
@@ -172,6 +203,36 @@ class GlobalRouter:
                 retried=retried,
                 estimated_lengths=estimated,
             )
+
+    def _commit_net(
+        self,
+        net_name: str,
+        groups: Sequence[Sequence[int]],
+        alts: List[RouteAlternative],
+        tracer,
+        alternatives: Dict[str, List[RouteAlternative]],
+        unrouted: List[str],
+        estimated: Dict[str, float],
+    ) -> None:
+        """Record one net's phase-one outcome (shared by the serial loop
+        and the parallel commit, so both produce the same bookkeeping
+        and the same ``router.net`` event stream)."""
+        if tracer.enabled:
+            # Phase-one record (§4.2.1): how many of the M slots the
+            # net filled, and the shortest/longest stored lengths.
+            tracer.event(
+                "router.net",
+                net=net_name,
+                pin_groups=len(groups),
+                alternatives=len(alts),
+                shortest=round(alts[0].length, 3) if alts else None,
+                longest=round(alts[-1].length, 3) if alts else None,
+            )
+        if not alts:
+            unrouted.append(net_name)
+            estimated[net_name] = self.semi_perimeter(groups)
+        else:
+            alternatives[net_name] = alts
 
     def _route_net_supervised(
         self,

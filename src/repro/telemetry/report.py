@@ -77,7 +77,11 @@ def _temperature_events(events: Sequence[Event]) -> List[Tuple[str, Event]]:
 
 
 def acceptance_table(events: Sequence[Event]) -> Table:
-    """Acceptance ratio vs. temperature, one row per temperature step."""
+    """Acceptance ratio vs. temperature, one row per temperature step.
+
+    Multi-chain traces tag each per-temperature event with its chain id
+    (the ``chain`` column; blank for single-chain runs).
+    """
     headers = [
         "phase",
         "step",
@@ -88,6 +92,7 @@ def acceptance_table(events: Sequence[Event]) -> Table:
         "window_x",
         "window_y",
         "moves_per_sec",
+        "chain",
     ]
     rows: List[List[Any]] = []
     for phase, ev in _temperature_events(events):
@@ -102,6 +107,7 @@ def acceptance_table(events: Sequence[Event]) -> Table:
                 ev.get("window_x"),
                 ev.get("window_y"),
                 ev.get("moves_per_sec"),
+                ev.get("chain", ""),
             ]
         )
     return headers, rows
@@ -109,7 +115,7 @@ def acceptance_table(events: Sequence[Event]) -> Table:
 
 def cost_table(events: Sequence[Event]) -> Table:
     """Cost (and its C1/C2/C3 components) vs. temperature step."""
-    headers = ["phase", "step", "T", "cost", "c1", "c2", "c3"]
+    headers = ["phase", "step", "T", "cost", "c1", "c2", "c3", "chain"]
     rows: List[List[Any]] = []
     for phase, ev in _temperature_events(events):
         rows.append(
@@ -121,6 +127,68 @@ def cost_table(events: Sequence[Event]) -> Table:
                 ev.get("c1"),
                 ev.get("c2"),
                 ev.get("c3"),
+                ev.get("chain", ""),
+            ]
+        )
+    return headers, rows
+
+
+def chain_summary(events: Sequence[Event]) -> Table:
+    """Per-chain roll-up of a multi-chain (``parallel1``) anneal.
+
+    One row per chain: temperature steps run, move totals, the chain's
+    last reported cost, how many times the exchange step restarted it
+    from the best state, and whether it won.  Empty for single-chain
+    traces (no ``chain``-tagged events).
+    """
+    headers = [
+        "chain",
+        "steps",
+        "attempts",
+        "accepts",
+        "acceptance",
+        "final_cost",
+        "exchanges_in",
+        "winner",
+    ]
+    per_chain: Dict[Any, Dict[str, Any]] = {}
+    exchanges: Dict[Any, int] = {}
+    winner = None
+    for ev in events:
+        if ev.get("ev") != "event":
+            continue
+        name = ev.get("name")
+        if name == "anneal.temperature" and "chain" in ev:
+            entry = per_chain.setdefault(
+                ev["chain"], {"steps": 0, "attempts": 0, "accepts": 0, "cost": None}
+            )
+            entry["steps"] += 1
+            entry["attempts"] += ev.get("attempts") or 0
+            entry["accepts"] += ev.get("accepts") or 0
+            entry["cost"] = ev.get("cost")
+        elif name == "parallel.exchange":
+            for target in ev.get("targets", ()):
+                exchanges[target] = exchanges.get(target, 0) + 1
+        elif name == "parallel.winner":
+            winner = ev.get("chain")
+    rows: List[List[Any]] = []
+    for chain in sorted(per_chain):
+        entry = per_chain[chain]
+        acceptance = (
+            round(entry["accepts"] / entry["attempts"], 4)
+            if entry["attempts"]
+            else 0.0
+        )
+        rows.append(
+            [
+                chain,
+                entry["steps"],
+                entry["attempts"],
+                entry["accepts"],
+                acceptance,
+                entry["cost"],
+                exchanges.get(chain, 0),
+                "yes" if chain == winner else "",
             ]
         )
     return headers, rows
@@ -181,12 +249,16 @@ def write_csv(table: Table, path: Union[str, Path]) -> None:
 def render_text(events: Sequence[Event]) -> str:
     """All tables as one plain-text report."""
     sections = []
-    for title, table in (
+    chains = chain_summary(events)
+    tables = [
         ("acceptance ratio vs temperature (Fig. 3/5 analogue)", acceptance_table(events)),
         ("cost vs iteration (Fig. 4/6 analogue)", cost_table(events)),
         ("per-stage cost checkpoints (Table 3 analogue)", stage_cost_table(events)),
         ("per-stage time summary (Table 4 analogue)", stage_summary(events)),
-    ):
+    ]
+    if chains[1]:
+        tables.insert(2, ("multi-chain summary (best-of-K exchange)", chains))
+    for title, table in tables:
         headers, rows = table
         body = format_table(headers, rows) if rows else "(no matching events)"
         sections.append(f"== {title} ==\n{body}")
@@ -204,6 +276,7 @@ def write_report(
         "cost_vs_iteration.csv": cost_table(events),
         "stage_costs.csv": stage_cost_table(events),
         "stage_summary.csv": stage_summary(events),
+        "chains.csv": chain_summary(events),
     }
     written: Dict[str, Path] = {}
     for name, table in artifacts.items():

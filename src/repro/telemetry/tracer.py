@@ -221,6 +221,56 @@ class Tracer:
         ev.update(fields)
         self._emit(ev)
 
+    def ingest(self, events: Sequence[Dict[str, Any]], **extra: Any) -> None:
+        """Merge events recorded by *another* tracer into this stream.
+
+        The parallel layer runs each chain segment under a private
+        in-memory tracer (in a worker process or not) and ships the
+        recorded events back; this method re-emits them here so one
+        merged trace covers the whole run.  Three translations keep the
+        merged stream well-formed:
+
+        * span ids are remapped into this tracer's id space (each batch
+          gets fresh ids, so chains can never collide);
+        * root spans and span-less events of the batch are attached to
+          the currently open span (the coordinator's ``stage1`` span),
+          so ``report.span_paths`` nests them under the flow;
+        * timestamps are restated against this tracer's origin — the
+          producer's monotonic offset is preserved as ``t_origin``.
+
+        ``extra`` fields (e.g. ``chain=3``) are stamped onto every
+        ingested event.
+        """
+        if not self.enabled or not events:
+            return
+        ambient = self._span_stack[-1].span_id if self._span_stack else None
+        mapping: Dict[int, int] = {}
+        now = round(self._now(), 6)
+        for source in events:
+            ev = dict(source)
+            span = ev.get("span")
+            if span is not None:
+                if span not in mapping:
+                    mapping[span] = self._next_span_id
+                    self._next_span_id += 1
+                ev["span"] = mapping[span]
+            parent = ev.get("parent")
+            if parent is not None:
+                if parent in mapping:
+                    ev["parent"] = mapping[parent]
+                else:
+                    del ev["parent"]
+                    parent = None
+            if ambient is not None:
+                if span is None:
+                    ev["span"] = ambient
+                elif parent is None and ev.get("ev") == "span_begin":
+                    ev["parent"] = ambient
+            ev["t_origin"] = ev.get("t")
+            ev["t"] = now
+            ev.update(extra)
+            self._emit(ev)
+
     @contextmanager
     def span(self, name: str, **fields: Any) -> Iterator[Optional[_SpanHandle]]:
         """A timed region: emits ``span_begin`` on entry and ``span_end``

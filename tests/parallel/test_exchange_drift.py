@@ -1,0 +1,120 @@
+"""Cost-accumulator integrity across chain exchange (C1/C2/C3).
+
+An exchange ships a ``state_dict`` between chains, loads it into a
+*different* ``PlacementState``, perturbs a cell subset, and resyncs.
+Every step must leave the incremental accumulators reconciled with
+``cost_breakdown_fresh()`` — otherwise the receiving chain's acceptance
+decisions (and every checkpoint after it) would be silently corrupted.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro import ParallelConfig, TimberWolfConfig
+from repro.parallel.multichain import ChainContext, run_multichain_stage1
+
+from ..conftest import make_macro_circuit
+
+
+def small_config(**kwargs):
+    parallel = ParallelConfig(
+        workers=kwargs.pop("workers", 1),
+        chains=kwargs.pop("chains", 3),
+        exchange_period=kwargs.pop("exchange_period", 4),
+    )
+    return replace(
+        TimberWolfConfig.smoke(seed=3),
+        max_temperatures=12,
+        parallel=parallel,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return make_macro_circuit(num_cells=5)
+
+
+def annealed_chains(circuit, config, upto=4):
+    chains = [ChainContext(circuit, config, cid) for cid in (0, 1)]
+    for chain in chains:
+        chain.run_segment(upto)
+    return chains
+
+
+class TestStateTransfer:
+    def test_load_peer_state_reconciles(self, circuit):
+        """Loading another chain's state_dict rebuilds canonical
+        accumulators: drift against the fresh recomputation is zero."""
+        config = small_config()
+        donor, receiver = annealed_chains(circuit, config)
+        receiver.state.load_state_dict(donor.state.state_dict())
+        drift = receiver.state.cost_drift()
+        assert drift["max_relative"] == pytest.approx(0.0, abs=1e-9)
+        c1, c2, c3 = receiver.state.cost_breakdown_fresh()
+        assert receiver.state.c1() == pytest.approx(c1)
+        assert receiver.state.c2_raw() == pytest.approx(c2)
+
+    def test_exchange_perturbation_reconciles(self, circuit):
+        config = small_config()
+        donor, receiver = annealed_chains(circuit, config)
+        shipped = receiver.exchange(donor.state.state_dict(), round_index=0)
+        drift = receiver.state.cost_drift()
+        assert drift["max_relative"] == pytest.approx(0.0, abs=1e-9)
+        # The shipped dict is the post-perturbation state, reloadable.
+        twin = ChainContext(circuit, config, 1)
+        twin.state.load_state_dict(shipped)
+        assert twin.state.cost() == pytest.approx(receiver.state.cost())
+
+    def test_exchange_actually_moves_cells(self, circuit):
+        config = small_config()
+        donor, receiver = annealed_chains(circuit, config)
+        best = donor.state.state_dict()
+        shipped = receiver.exchange(best, round_index=0)
+        assert shipped != best
+
+    def test_exchange_is_deterministic_per_round(self, circuit):
+        config = small_config()
+        donor, receiver = annealed_chains(circuit, config)
+        best = donor.state.state_dict()
+        first = receiver.exchange(best, round_index=0)
+        receiver2 = annealed_chains(circuit, config)[1]
+        again = receiver2.exchange(best, round_index=0)
+        other_round = annealed_chains(circuit, config)[1].exchange(
+            best, round_index=1
+        )
+        assert first == again
+        assert first != other_round
+
+
+class TestDriftGuardUnderExchange:
+    def test_guard_never_fires_spuriously(self, circuit):
+        """A full multi-chain run with the strictest drift action must
+        complete: exchange resyncs, so the guard sees zero drift."""
+        config = small_config(
+            drift_check_every=2, drift_action="raise", drift_tolerance=1e-9
+        )
+        result = run_multichain_stage1(circuit, config)
+        assert result.anneal.final_cost == pytest.approx(result.state.cost())
+
+    def test_guard_runs_inside_chain_segments(self, circuit):
+        config = small_config(drift_check_every=1, drift_action="raise")
+        chain = ChainContext(circuit, config, 1)
+        chain.run_segment(4)  # would raise DriftError on any drift
+        drift = chain.state.cost_drift()
+        assert drift["max_relative"] < config.drift_tolerance
+
+    def test_corrupted_accumulator_is_detected(self, circuit):
+        """Sanity: the reconciliation the exchange relies on is not a
+        tautology — a corrupted accumulator does show up."""
+        config = small_config()
+        chain = ChainContext(circuit, config, 0)
+        chain.run_segment(4)
+        chain.state._c1 += 100.0
+        assert chain.state.cost_drift()["max_relative"] > 1e-3
+        chain.state.resync()
+        assert chain.state.cost_drift()["max_relative"] == pytest.approx(
+            0.0, abs=1e-9
+        )

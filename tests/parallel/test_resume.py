@@ -1,0 +1,79 @@
+"""Checkpoint/resume of the multi-chain stage (phase ``parallel1``).
+
+The coordinator snapshots every chain at each round boundary, after the
+exchange has been applied.  Resuming from any such checkpoint must
+replay the remaining rounds bit-for-bit — the same final placement as
+the uninterrupted run, regardless of worker count on either side.
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    CheckpointPolicy,
+    ParallelConfig,
+    TimberWolfConfig,
+    place_and_route,
+    resume_place_and_route,
+)
+from repro.netlist import dumps
+from repro.resilience.checkpoint import read_checkpoint
+
+from ..conftest import make_macro_circuit
+
+
+def small_config(workers=1, chains=2, exchange_period=4):
+    return replace(
+        TimberWolfConfig.smoke(seed=3),
+        max_temperatures=12,
+        refinement_passes=1,
+        parallel=ParallelConfig(
+            workers=workers, chains=chains, exchange_period=exchange_period
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return make_macro_circuit(num_cells=5)
+
+
+class TestParallel1Resume:
+    def full_and_checkpoints(self, circuit, tmp_path, workers=1):
+        full = place_and_route(
+            circuit,
+            small_config(workers=workers),
+            checkpoint=CheckpointPolicy(directory=tmp_path),
+        )
+        ckpts = sorted(tmp_path.glob("ckpt-parallel-r*.ckpt"))
+        assert ckpts, "no round-boundary checkpoints were written"
+        return full, ckpts
+
+    def test_resume_reproduces_the_full_run(self, circuit, tmp_path):
+        full, ckpts = self.full_and_checkpoints(circuit, tmp_path)
+        resumed = resume_place_and_route(str(ckpts[0]))
+        assert resumed.placement() == full.placement()
+        assert resumed.teil == full.teil
+        assert resumed.resumed_from == str(ckpts[0])
+
+    def test_resume_with_different_worker_count(self, circuit, tmp_path):
+        """A checkpoint from a 2-worker run resumed serially (the
+        resume CLI default) still lands on the same placement."""
+        full, ckpts = self.full_and_checkpoints(circuit, tmp_path, workers=2)
+        resumed = resume_place_and_route(str(ckpts[0]))
+        assert resumed.placement() == full.placement()
+
+    def test_checkpoint_payload_shape(self, circuit, tmp_path):
+        _, ckpts = self.full_and_checkpoints(circuit, tmp_path)
+        _, payload = read_checkpoint(ckpts[0])
+        assert payload["phase"] == "parallel1"
+        assert payload["config"]["parallel"]["chains"] == 2
+        assert payload["circuit_text"] == dumps(circuit)
+        assert {"round", "upto", "chains"} <= set(payload)
+        assert sorted(payload["chains"]) == [0, 1]
+        for entry in payload["chains"].values():
+            assert {"cursor", "state", "done", "stop_reason", "cost"} <= set(
+                entry
+            )

@@ -1,0 +1,74 @@
+"""Deterministic per-chain seed derivation (``repro.parallel.seeds``)."""
+
+import random
+
+import pytest
+
+from repro.parallel.seeds import spawn_seed
+
+
+class TestIdentity:
+    def test_chain_zero_is_identity(self):
+        for seed in (0, 1, 7, 123456789, 2**63):
+            assert spawn_seed(seed, 0) == seed
+            assert spawn_seed(seed, 0, stream=0) == seed
+
+    def test_chain_zero_reproduces_flow_stream(self):
+        """The flow seeds its RNG with ``spawn_seed(seed, 0)`` — the
+        historical ``random.Random(config.seed)`` stream must survive."""
+        for seed in (0, 3, 41):
+            legacy = random.Random(seed)
+            derived = random.Random(spawn_seed(seed, 0))
+            assert [legacy.random() for _ in range(50)] == [
+                derived.random() for _ in range(50)
+            ]
+
+    def test_chain_zero_auxiliary_streams_differ(self):
+        assert spawn_seed(5, 0, stream=1) != 5
+        assert spawn_seed(5, 0, stream=1) != spawn_seed(5, 0, stream=2)
+
+
+class TestDerivation:
+    def test_distinct_across_chains_and_streams(self):
+        seen = {
+            spawn_seed(5, chain, stream)
+            for chain in range(16)
+            for stream in range(8)
+        }
+        assert len(seen) == 16 * 8
+
+    def test_distinct_across_seeds(self):
+        assert spawn_seed(1, 3) != spawn_seed(2, 3)
+
+    def test_golden_values_stable(self):
+        """Pinned outputs: changing the derivation silently would
+        invalidate every multi-chain reproduction."""
+        assert spawn_seed(0, 1) == 7497759270696108775
+        assert spawn_seed(0, 2) == 12017080299798409423
+        assert spawn_seed(7, 3, stream=2) == 3798371716201810588
+        assert spawn_seed(123456789, 1) == 1935392633510665129
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seed(0, -1)
+        with pytest.raises(ValueError):
+            spawn_seed(0, 0, stream=-1)
+
+
+class TestDecorrelation:
+    def test_streams_share_no_values(self):
+        """Sibling chains must not see correlated move randomness: their
+        float streams should have no positional collisions at all."""
+        a = random.Random(spawn_seed(0, 1))
+        b = random.Random(spawn_seed(0, 2))
+        xs = [a.random() for _ in range(500)]
+        ys = [b.random() for _ in range(500)]
+        assert xs != ys
+        assert sum(x == y for x, y in zip(xs, ys)) == 0
+
+    def test_stream_decorrelated_from_parent(self):
+        parent = random.Random(3)
+        child = random.Random(spawn_seed(3, 1))
+        xs = [parent.random() for _ in range(500)]
+        ys = [child.random() for _ in range(500)]
+        assert sum(x == y for x, y in zip(xs, ys)) == 0

@@ -63,7 +63,7 @@ class TestAcceptanceTable:
 class TestCostTable:
     def test_components_present(self):
         headers, rows = cost_table(synthetic_trace())
-        assert headers[3:] == ["cost", "c1", "c2", "c3"]
+        assert headers[3:7] == ["cost", "c1", "c2", "c3"]
         assert rows[0][3] == 500.0
         assert rows[1][4] == 380.0
 
@@ -99,6 +99,7 @@ class TestArtifacts:
             "cost_vs_iteration.csv",
             "stage_costs.csv",
             "stage_summary.csv",
+            "chains.csv",
             "report.txt",
         }
         acc = (tmp_path / "acceptance_vs_temperature.csv").read_text()

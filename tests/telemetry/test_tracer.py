@@ -174,3 +174,61 @@ class TestUseTracer:
             with use_tracer(t2):
                 assert current_tracer() is t2
             assert current_tracer() is t1
+
+
+class TestIngest:
+    def batch(self):
+        """A producer-side trace: one span with a nested event."""
+        sink = MemorySink()
+        producer = Tracer(sink)
+        with producer.span("anneal"):
+            producer.event("anneal.temperature", step=0, cost=1.0)
+        producer.event("loose")
+        return sink.events
+
+    def test_disabled_tracer_ignores_batches(self):
+        Tracer().ingest(self.batch(), chain=1)  # must not raise
+
+    def test_span_ids_remapped_per_batch(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.ingest(self.batch(), chain=0)
+        tracer.ingest(self.batch(), chain=1)
+        spans = [
+            e["span"] for e in sink.events if e.get("ev") == "span_begin"
+        ]
+        assert len(spans) == len(set(spans)) == 2
+
+    def test_batch_attaches_to_open_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("stage1") as handle:
+            tracer.ingest(self.batch(), chain=2)
+        begin = next(e for e in sink.events if e.get("name") == "anneal")
+        loose = next(e for e in sink.events if e.get("name") == "loose")
+        assert begin["parent"] == handle.span_id
+        assert loose["span"] == handle.span_id
+
+    def test_extra_fields_stamped_on_every_event(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.ingest(self.batch(), chain=7)
+        assert all(e["chain"] == 7 for e in sink.events)
+
+    def test_producer_timestamps_preserved_as_t_origin(self):
+        batch = self.batch()
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.ingest(batch)
+        for source, merged in zip(batch, sink.events):
+            assert merged["t_origin"] == source["t"]
+            assert merged["t"] >= 0
+
+    def test_unknown_parent_dropped(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.ingest(
+            [{"ev": "span_begin", "name": "orphan", "t": 0.0, "span": 9,
+              "parent": 4}]
+        )
+        assert "parent" not in sink.events[0]
