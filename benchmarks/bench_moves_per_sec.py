@@ -389,8 +389,32 @@ def main(argv=None) -> int:
     )
     results = run(sizes, moves_per_kind, mixed_steps, repeats=repeats)
     results["quick"] = args.quick
+
+    # Registry-backed trajectory: append this result, embed the trailing
+    # history for the same config hash so the JSON is self-describing
+    # and never silently stale.
+    from common import bench_config_sha, record_bench_result  # noqa: E402
+
+    results["config_sha256"] = bench_config_sha()
+    history = record_bench_result(
+        "moves_per_sec",
+        {
+            "quick": args.quick,
+            "sizes": list(str(n) for n in sizes),
+            "null_overhead_pct": results["telemetry_overhead"]["null_overhead_pct"],
+            "best_mixed_moves_per_sec": max(
+                row["mixed_anneal"]["moves_per_sec"]
+                for row in results["sizes"].values()
+            ),
+        },
+    )
+    results["history"] = [
+        {k: h.get(k) for k in ("recorded", "quick", "best_mixed_moves_per_sec",
+                               "null_overhead_pct")}
+        for h in history
+    ]
     args.output.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    print(f"\nwrote {args.output} ({len(history)} recorded runs for this config)")
 
     if args.quick:
         # CI smoke gate: the disabled-telemetry hot loop must stay within

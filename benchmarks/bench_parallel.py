@@ -233,8 +233,35 @@ def main(argv=None) -> int:
     stage1 = run_stage1(circuit, config, rng=random.Random(config.seed))
     results["routing"] = bench_routing(circuit, config, stage1.state)
 
+    # Registry-backed trajectory: append this result and embed the
+    # trailing history for the same config hash so the JSON artifact
+    # can never go silently stale.
+    from common import bench_config_sha, record_bench_result  # noqa: E402
+
+    best_chain = max(
+        (row["speedup_vs_serial"] for row in results["stage1"]["chains"].values()),
+        default=1.0,
+    )
+    results["config_sha256"] = bench_config_sha()
+    history = record_bench_result(
+        "parallel",
+        {
+            "quick": args.quick,
+            "cells": n,
+            "best_stage1_speedup": best_chain,
+            "routing_speedup": results["routing"]["workers"]
+            .get("4", {})
+            .get("speedup_vs_serial"),
+            "serial_stage1_seconds": results["stage1"]["serial"]["seconds"],
+        },
+    )
+    results["history"] = [
+        {k: h.get(k) for k in ("recorded", "quick", "cells",
+                               "best_stage1_speedup", "routing_speedup")}
+        for h in history
+    ]
     args.output.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    print(f"\nwrote {args.output} ({len(history)} recorded runs for this config)")
 
     failures = []
     for k, row in results["stage1"]["chains"].items():

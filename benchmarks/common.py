@@ -131,3 +131,37 @@ def emit(name: str, title: str, headers, rows, notes: str = "") -> str:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     return text
+
+
+#: The registry the benches append their results to.  Committed to the
+#: repo, so the measured trajectory (including machine and config hash)
+#: persists across PRs instead of each run overwriting the last.
+BENCH_REGISTRY = Path(__file__).resolve().parent.parent / "BENCH_registry.sqlite"
+
+
+def bench_config_sha() -> str:
+    """Content hash of the active bench configuration — two bench rows
+    are comparable iff their config hashes match."""
+    from repro.qor import config_fingerprint
+
+    return config_fingerprint(bench_config())
+
+
+def record_bench_result(name: str, payload: dict, registry_path=None) -> list:
+    """Append one bench result to the bench registry and return the
+    (oldest-first) recorded history for the same bench + config hash.
+
+    The returned history is what the ``BENCH_*.json`` artifacts embed,
+    so a stale JSON can always be re-derived from the registry.
+    """
+    from repro.qor import RunRegistry
+
+    path = Path(registry_path) if registry_path is not None else BENCH_REGISTRY
+    sha = bench_config_sha()
+    entry = dict(payload)
+    entry.setdefault("recorded", time.time())
+    entry.setdefault("host", host_metadata())
+    with RunRegistry(path) as registry:
+        registry.record_bench(name, sha, entry)
+        history = registry.bench_history(name, config_sha256=sha)
+    return history

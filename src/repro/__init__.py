@@ -22,6 +22,10 @@ The public entry points:
 * :mod:`repro.parallel` — the process-pool execution layer: K-chain
   stage-1 annealing with best-of-K exchange and the per-net router
   fan-out (:class:`repro.ParallelConfig`, :func:`repro.spawn_seed`).
+* :mod:`repro.qor` — cross-run observability: run manifests, the SQLite
+  run registry, live heartbeats, and QoR regression gating
+  (:class:`repro.RunRecorder`, :class:`repro.RunRegistry`,
+  :func:`repro.gate_records`).
 """
 
 from .config import ParallelConfig, TimberWolfConfig
@@ -33,9 +37,16 @@ from .resilience import (
     FlowInterrupted,
 )
 from .parallel.seeds import spawn_seed
+from .qor import (
+    GateThresholds,
+    RunRecorder,
+    RunRegistry,
+    compare_records,
+    gate_records,
+)
 from .telemetry import FileSink, MemorySink, MetricsRegistry, NullSink, Tracer, use_tracer
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ParallelConfig",
@@ -49,10 +60,15 @@ __all__ = [
     "CheckpointPolicy",
     "FlowInterrupted",
     "FileSink",
+    "GateThresholds",
     "MemorySink",
     "MetricsRegistry",
     "NullSink",
+    "RunRecorder",
+    "RunRegistry",
     "Tracer",
+    "compare_records",
+    "gate_records",
     "use_tracer",
     "__version__",
 ]

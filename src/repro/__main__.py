@@ -7,6 +7,9 @@ Commands:
 * ``resume <checkpoint.ckpt>``      — continue an interrupted ``place``
 * ``generate <suite-name> <out>``   — write a synthetic suite circuit
 * ``suite``                         — list the benchmark suite circuits
+* ``status <rundir>``               — snapshot of a run's live heartbeat
+* ``watch <rundir>``                — follow a run's heartbeat live
+* ``qor list|show|compare|gate``    — query the run registry; gate QoR
 
 ``place`` options: ``--preset smoke|fast|paper`` (default fast),
 ``--seed N``, ``--svg out.svg`` (render the final placement),
@@ -18,7 +21,11 @@ prints the checkpoint to resume from), ``--budget-seconds /
 --budget-temperatures / --budget-moves`` (graceful early stop), and
 ``--workers / --chains / --exchange-period`` (the parallel execution
 layer: K-chain stage-1 annealing with best-of-K exchange plus the
-per-net router fan-out; see ``docs/parallel.md``).
+per-net router fan-out; see ``docs/parallel.md``), and
+``--rundir DIR / --registry DB / --metrics-textfile PATH`` (the
+observability layer: run manifest + live heartbeat in the rundir, a QoR
+row in the SQLite run registry, Prometheus textfile exposition; see
+``docs/qor.md``).
 
 Setting the ``REPRO_FAULTS`` environment variable (e.g.
 ``router.route_net@3:error``) arms the fault-injection harness for the
@@ -89,12 +96,34 @@ def _budget(args: argparse.Namespace):
     )
 
 
-def _checkpoint(args: argparse.Namespace):
+def _checkpoint(args: argparse.Namespace, run_id=None):
     if not args.checkpoint_dir:
         return None
     return CheckpointPolicy(
         directory=args.checkpoint_dir,
         every_temperatures=args.checkpoint_every,
+        run_id=run_id,
+    )
+
+
+def _recorder(args: argparse.Namespace, run_id=None):
+    """A RunRecorder when observability was requested (``--rundir`` or
+    ``--registry``); the rundir defaults to ``runs/<run_id>``."""
+    if not (getattr(args, "rundir", None) or getattr(args, "registry", None)):
+        return None
+    from pathlib import Path
+
+    from .qor import RunRecorder, new_run_id
+
+    if run_id is None:
+        run_id = new_run_id()
+    rundir = args.rundir if args.rundir else Path("runs") / run_id
+    return RunRecorder(
+        rundir,
+        registry=args.registry or None,
+        run_id=run_id,
+        metrics_textfile=getattr(args, "metrics_textfile", None),
+        heartbeat_interval=getattr(args, "heartbeat_interval", 0.0) or 0.0,
     )
 
 
@@ -148,14 +177,28 @@ def cmd_place(args: argparse.Namespace) -> int:
                 exchange_period=args.exchange_period,
             ),
         )
+    recorder = _recorder(args)
     tracer = _tracer(args)
+    if recorder is not None:
+        if tracer is None:
+            from .telemetry import Tracer
+
+            tracer = Tracer(recorder.sink)
+        else:
+            tracer.add_sink(recorder.sink)
+        recorder.begin(circuit, config, command="place")
     try:
-        result = place_and_route(
-            circuit,
-            config,
-            tracer=tracer,
-            budget=_budget(args),
-            checkpoint=_checkpoint(args),
+        result = _run_recorded(
+            recorder,
+            lambda: place_and_route(
+                circuit,
+                config,
+                tracer=tracer,
+                budget=_budget(args),
+                checkpoint=_checkpoint(
+                    args, run_id=recorder.run_id if recorder is not None else None
+                ),
+            ),
         )
     except FlowInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
@@ -168,14 +211,61 @@ def cmd_place(args: argparse.Namespace) -> int:
     finally:
         if tracer is not None:
             tracer.close()
+    if recorder is not None:
+        recorder.finish(result)
+        print(f"recorded run {recorder.run_id} in {recorder.rundir}")
     return _emit_result(result, args)
 
 
-def cmd_resume(args: argparse.Namespace) -> int:
-    tracer = _tracer(args)
+def _run_recorded(recorder, run):
+    """Run the flow callable with the recorder's heartbeat installed,
+    closing out the registry row on interrupt or failure."""
+    if recorder is None:
+        return run()
     try:
-        result = resume_place_and_route(
-            args.checkpoint, tracer=tracer, budget=_budget(args)
+        with recorder.monitor():
+            return run()
+    except FlowInterrupted as exc:
+        recorder.interrupted(
+            str(exc.checkpoint_path) if exc.checkpoint_path else None
+        )
+        raise
+    except BaseException as exc:
+        recorder.failed(exc)
+        raise
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    recorder = None
+    if getattr(args, "rundir", None) or getattr(args, "registry", None):
+        # The continued run keeps the original run's registry identity:
+        # the checkpoint payload carries the run id.
+        from .config import TimberWolfConfig as _Config
+        from .netlist import loads as _loads
+        from .resilience.checkpoint import read_checkpoint
+
+        _, payload = read_checkpoint(args.checkpoint)
+        recorder = _recorder(args, run_id=payload.get("run_id"))
+        recorder.begin(
+            _loads(payload["circuit_text"]),
+            _Config.from_dict(payload["config"]),
+            command="resume",
+            resumed_from=str(args.checkpoint),
+        )
+    tracer = _tracer(args)
+    if recorder is not None:
+        if tracer is None:
+            from .telemetry import Tracer
+
+            tracer = Tracer(recorder.sink)
+        else:
+            tracer.add_sink(recorder.sink)
+    try:
+        result = _run_recorded(
+            recorder,
+            lambda: resume_place_and_route(
+                args.checkpoint, tracer=tracer, budget=_budget(args)
+            ),
         )
     except FlowInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
@@ -188,6 +278,9 @@ def cmd_resume(args: argparse.Namespace) -> int:
     finally:
         if tracer is not None:
             tracer.close()
+    if recorder is not None:
+        recorder.finish(result)
+        print(f"recorded run {recorder.run_id} in {recorder.rundir}")
     print(f"resumed from {result.resumed_from}")
     return _emit_result(result, args)
 
@@ -219,6 +312,32 @@ def _add_output_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace", help="write a JSONL telemetry trace")
 
 
+def _add_observability_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--rundir",
+        help="write manifest.json / heartbeat.json / qor.json here "
+        "(default runs/<run_id> when --registry is given)",
+    )
+    p.add_argument(
+        "--registry",
+        help="record the run in this SQLite run registry "
+        "(see python -m repro qor)",
+    )
+    p.add_argument(
+        "--metrics-textfile",
+        help="also render each heartbeat as Prometheus text format here "
+        "(node-exporter textfile collector)",
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="minimum seconds between heartbeat writes (default 0 = "
+        "every progress boundary)",
+    )
+
+
 def _add_budget_options(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--budget-seconds", type=float, help="wall-clock budget for the run"
@@ -247,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--seed", type=int, default=0)
     _add_output_options(p_place)
     _add_budget_options(p_place)
+    _add_observability_options(p_place)
     p_place.add_argument(
         "--workers",
         type=int,
@@ -288,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument("checkpoint", help="checkpoint file (.ckpt)")
     _add_output_options(p_resume)
     _add_budget_options(p_resume)
+    _add_observability_options(p_resume)
     p_resume.set_defaults(func=cmd_resume)
 
     p_gen = sub.add_parser(
@@ -300,6 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="list the benchmark suite")
     p_suite.set_defaults(func=cmd_suite)
+
+    from .qor.cli import add_monitor_commands, add_qor_commands
+
+    add_monitor_commands(sub)
+    add_qor_commands(sub)
 
     return parser
 

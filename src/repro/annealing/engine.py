@@ -25,6 +25,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..qor.heartbeat import current_heartbeat
 from ..resilience.faults import fault_point
 from ..telemetry import Tracer, current_tracer
 
@@ -347,6 +348,10 @@ class Annealer:
     A_c * state.moves_per_iteration() generate calls per temperature.
     ``max_temperatures`` bounds runaway schedules (the paper targets
     about 120 temperature values).
+
+    ``eta_floor`` is the temperature at which the caller expects the
+    anneal to stop (the stage's floor criterion); when set, heartbeats
+    carry an ETA derived from walking the cooling schedule down to it.
     """
 
     def __init__(
@@ -358,6 +363,7 @@ class Annealer:
         seed: Optional[int] = None,
         rng: Optional[random.Random] = None,
         tracer: Optional[Tracer] = None,
+        eta_floor: Optional[float] = None,
     ) -> None:
         if attempts_per_cell < 1:
             raise ValueError("attempts_per_cell must be at least 1")
@@ -370,6 +376,7 @@ class Annealer:
         self.rng = rng if rng is not None else random.Random(seed)
         #: None defers to the ambient ``current_tracer()`` at run time.
         self.tracer = tracer
+        self.eta_floor = eta_floor
 
     def run(
         self,
@@ -392,6 +399,7 @@ class Annealer:
         observer may raise to abort the run.
         """
         tracer = self.tracer if self.tracer is not None else current_tracer()
+        heartbeat = current_heartbeat()
         self.stopping.reset()
         if resume is not None:
             self.stopping.load_state_dict(resume.stopping_state)
@@ -469,6 +477,8 @@ class Annealer:
                     budget.note_temperature()
                 if tracer.enabled:
                     self._emit_temperature(tracer, state, step_index, stats)
+                if heartbeat.enabled:
+                    self._emit_heartbeat(heartbeat, state, step_index, stats)
                 # The stopping criterion consumes this step's stats before
                 # observers run, so a checkpoint cursor captures its
                 # post-update history.
@@ -516,6 +526,47 @@ class Annealer:
             )
 
         return make_cursor
+
+    def _eta_steps(self, temperature: float, step_index: int) -> Optional[int]:
+        """Temperature steps left before the schedule reaches
+        ``eta_floor``, bounded by ``max_temperatures``.  None when no
+        floor was declared (the stop is data-dependent)."""
+        if self.eta_floor is None:
+            return None
+        remaining_cap = self.max_temperatures - step_index - 1
+        steps = 0
+        t = temperature
+        while t > self.eta_floor and steps < remaining_cap:
+            t = self.schedule.next_temperature(t)
+            steps += 1
+        return steps
+
+    def _emit_heartbeat(
+        self,
+        heartbeat,
+        state: AnnealingState,
+        step_index: int,
+        stats: TemperatureStats,
+    ) -> None:
+        """One live beat per temperature step: current T, acceptance,
+        cost components, and an ETA from the cooling schedule."""
+        fields: Dict[str, Any] = {
+            "step": step_index,
+            "T": round(stats.temperature, 6),
+            "acceptance": round(stats.acceptance_rate, 4),
+            "cost": round(stats.cost_after, 4),
+        }
+        extra = state.telemetry_snapshot(stats.temperature)
+        if extra:
+            for key in ("c1", "c2", "c3", "window"):
+                if key in extra:
+                    fields[key] = extra[key]
+        eta_steps = self._eta_steps(stats.temperature, step_index)
+        if eta_steps is not None:
+            fields["eta_steps"] = eta_steps
+            if stats.seconds > 0:
+                fields["eta_seconds"] = round(eta_steps * stats.seconds, 1)
+        heartbeat.beat("anneal", **fields)
 
     @staticmethod
     def _emit_temperature(

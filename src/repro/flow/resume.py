@@ -13,6 +13,7 @@ placement and cost are bit-for-bit identical.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Union
 
@@ -60,8 +61,14 @@ def resume_place_and_route(
     except KeyError as exc:
         raise CheckpointError(f"{path}: checkpoint missing {exc}") from exc
 
+    # Keep the original run's registry identity: the checkpoint payload
+    # carries the run id, and new checkpoints written by the continued
+    # run must carry it too.
+    run_id = payload.get("run_id")
     if checkpoint is None:
-        checkpoint = CheckpointPolicy(directory=path.parent)
+        checkpoint = CheckpointPolicy(directory=path.parent, run_id=run_id)
+    elif checkpoint.run_id is None and run_id is not None:
+        checkpoint = replace(checkpoint, run_id=run_id)
     manager = CheckpointManager(checkpoint, payload["circuit_text"], payload["config"])
     control = RunControl(budget=budget, manager=manager)
 

@@ -61,6 +61,7 @@ from ..netlist import Circuit, dumps, loads
 from ..placement.moves import MoveGenerator, PlacementAnnealingState
 from ..placement.stage1 import STAGE1_T_FLOOR, Stage1Result, _core_plan, calibrate_p2
 from ..placement.state import PlacementState
+from ..qor.heartbeat import NULL_HEARTBEAT, current_heartbeat, use_heartbeat
 from ..resilience.drift import DriftGuard
 from ..telemetry import MemorySink, Tracer, current_tracer, use_tracer
 from .seeds import spawn_seed
@@ -211,16 +212,23 @@ class ChainContext:
 def _traced_segment(context: ChainContext, upto: int, traced: bool) -> Dict[str, Any]:
     """Run one segment under a private tracer; ship the events back so
     the coordinator can merge them (tagged ``chain=<id>``) into the
-    run's trace."""
-    if not traced:
-        result = context.run_segment(upto)
-        result["events"] = []
+    run's trace.
+
+    The ambient heartbeat is silenced for the segment so the two
+    backends behave identically: worker processes have no ambient
+    heartbeat, and per-chain "anneal" beats from serial chains would
+    interleave nonsensically.  The coordinator beats per round instead.
+    """
+    with use_heartbeat(NULL_HEARTBEAT):
+        if not traced:
+            result = context.run_segment(upto)
+            result["events"] = []
+            return result
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            result = context.run_segment(upto)
+        result["events"] = sink.events
         return result
-    sink = MemorySink()
-    with use_tracer(Tracer(sink)):
-        result = context.run_segment(upto)
-    result["events"] = sink.events
-    return result
 
 
 class SerialChainBackend:
@@ -416,6 +424,7 @@ def run_multichain_stage1(
     chains = par.chains
     workers = max(1, min(par.workers, chains))
     tracer = current_tracer()
+    heartbeat = current_heartbeat()
     circuit_text = dumps(circuit)
 
     if workers == 1:
@@ -492,6 +501,21 @@ def run_multichain_stage1(
                     upto=upto,
                     costs={cid: round(table[cid]["cost"], 4) for cid in sorted(table)},
                     done=sorted(cid for cid in table if table[cid]["done"]),
+                )
+            if heartbeat.enabled:
+                heartbeat.beat(
+                    "parallel",
+                    round=round_index,
+                    upto=upto,
+                    chains={
+                        str(cid): {
+                            "cost": round(table[cid]["cost"], 4)
+                            if table[cid]["cost"] is not None
+                            else None,
+                            "done": table[cid]["done"],
+                        }
+                        for cid in sorted(table)
+                    },
                 )
             live = [cid for cid in range(chains) if not table[cid]["done"]]
             if live:

@@ -334,6 +334,7 @@ def _refine_anneal(
         attempts_per_cell=config.stage2_attempts_per_cell,
         max_temperatures=config.max_temperatures,
         rng=rng,
+        eta_floor=schedule.scale * STAGE2_T_FLOOR,
     )
     observers = []
     if config.drift_check_every:

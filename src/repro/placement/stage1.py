@@ -197,6 +197,7 @@ def run_stage1(
         attempts_per_cell=config.attempts_per_cell,
         max_temperatures=config.max_temperatures,
         rng=rng,
+        eta_floor=schedule.scale * STAGE1_T_FLOOR,
     )
     observers = []
     if config.drift_check_every:

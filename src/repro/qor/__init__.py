@@ -1,0 +1,83 @@
+"""Cross-run observability: run registry, QoR records, live monitoring.
+
+This package turns individual flow runs into a queryable population:
+
+* :mod:`~repro.qor.manifest` — run identity (run id, circuit/config
+  content hashes, host, package version);
+* :mod:`~repro.qor.registry` — the append-only SQLite run registry
+  (``runs`` / ``qor`` / ``bench`` tables);
+* :mod:`~repro.qor.recorder` — :class:`RunRecorder`, the per-run glue
+  (manifest + heartbeat + QoR sink + registry rows);
+* :mod:`~repro.qor.heartbeat` — atomic live-progress files with the
+  same ambient-contextvar discipline as the tracer;
+* :mod:`~repro.qor.monitor` — ``status`` / ``watch`` rendering;
+* :mod:`~repro.qor.gate` — QoR comparison and regression gating;
+* :mod:`~repro.qor.prometheus` — textfile-collector exposition.
+"""
+
+from .gate import (
+    COMPARE_METRICS,
+    GateReport,
+    GateRule,
+    GateThresholds,
+    MetricDelta,
+    compare_records,
+    gate_records,
+)
+from .heartbeat import (
+    HEARTBEAT_VERSION,
+    NULL_HEARTBEAT,
+    HeartbeatWriter,
+    NullHeartbeat,
+    current_heartbeat,
+    read_heartbeat,
+    use_heartbeat,
+)
+from .manifest import (
+    build_manifest,
+    circuit_fingerprint_of,
+    config_fingerprint,
+    host_metadata,
+    new_run_id,
+    package_version,
+)
+from .monitor import load_rundir, progress_line, render_status, watch
+from .prometheus import parse_prometheus, render_prometheus
+from .recorder import QorSink, RunRecorder, qor_from_result
+from .registry import QOR_METRICS, RegistryError, RunRegistry, SCHEMA_VERSION
+
+__all__ = [
+    "COMPARE_METRICS",
+    "GateReport",
+    "GateRule",
+    "GateThresholds",
+    "HEARTBEAT_VERSION",
+    "HeartbeatWriter",
+    "MetricDelta",
+    "NULL_HEARTBEAT",
+    "NullHeartbeat",
+    "QOR_METRICS",
+    "QorSink",
+    "RegistryError",
+    "RunRecorder",
+    "RunRegistry",
+    "SCHEMA_VERSION",
+    "build_manifest",
+    "circuit_fingerprint_of",
+    "compare_records",
+    "config_fingerprint",
+    "current_heartbeat",
+    "gate_records",
+    "host_metadata",
+    "load_rundir",
+    "new_run_id",
+    "package_version",
+    "parse_prometheus",
+    "progress_line",
+    "qor_from_result",
+    "read_heartbeat",
+    "render_prometheus",
+    "render_status",
+    "use_heartbeat",
+    "watch",
+]

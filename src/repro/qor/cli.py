@@ -1,0 +1,352 @@
+"""CLI handlers for the observability commands.
+
+``python -m repro`` delegates here for:
+
+* ``status <rundir>`` / ``watch <rundir>`` — live monitoring of one run;
+* ``qor list|show|compare|gate`` — querying and gating the registry.
+
+Exit codes: 0 success/gate passed, 1 gate regression, 2 missing data
+(unknown run id, empty registry, no baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from .gate import GateReport, GateThresholds, MetricDelta, compare_records, gate_records
+from .monitor import load_rundir, render_status, watch
+from .registry import RegistryError, RunRegistry
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_MISSING = 2
+
+DEFAULT_REGISTRY = "runs/registry.sqlite"
+
+
+def add_monitor_commands(subparsers: argparse._SubParsersAction) -> None:
+    """Register ``status`` and ``watch`` on the top-level parser."""
+    status = subparsers.add_parser(
+        "status", help="one-shot snapshot of a rundir's live heartbeat"
+    )
+    status.add_argument("rundir", help="run directory (--rundir of a flow run)")
+    status.add_argument(
+        "--json", action="store_true", help="emit the raw manifest/heartbeat/qor JSON"
+    )
+    status.set_defaults(func=cmd_status)
+
+    watch_p = subparsers.add_parser(
+        "watch", help="follow a rundir's heartbeat until the run finishes"
+    )
+    watch_p.add_argument("rundir", help="run directory (--rundir of a flow run)")
+    watch_p.add_argument(
+        "--interval", type=float, default=1.0, help="poll interval in seconds"
+    )
+    watch_p.add_argument(
+        "--max-updates",
+        type=int,
+        default=None,
+        help="stop after N heartbeat renders even if the run is still going",
+    )
+    watch_p.set_defaults(func=cmd_watch)
+
+
+def add_qor_commands(subparsers: argparse._SubParsersAction) -> None:
+    """Register the ``qor`` command group on the top-level parser."""
+    qor = subparsers.add_parser(
+        "qor", help="query the run registry; compare and gate QoR records"
+    )
+    qor_sub = qor.add_subparsers(dest="qor_command", required=True)
+
+    def _registry_arg(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--registry",
+            default=DEFAULT_REGISTRY,
+            help=f"registry database path (default: {DEFAULT_REGISTRY})",
+        )
+
+    list_p = qor_sub.add_parser("list", help="recent runs, newest first")
+    _registry_arg(list_p)
+    list_p.add_argument("--circuit", default=None, help="filter by circuit name")
+    list_p.add_argument("--limit", type=int, default=20)
+    list_p.add_argument("--json", action="store_true")
+    list_p.set_defaults(func=cmd_qor_list)
+
+    show_p = qor_sub.add_parser("show", help="one run's full QoR record")
+    _registry_arg(show_p)
+    show_p.add_argument("run", help="run id (or unique prefix)")
+    show_p.add_argument("--json", action="store_true")
+    show_p.set_defaults(func=cmd_qor_show)
+
+    compare_p = qor_sub.add_parser(
+        "compare", help="metric-by-metric delta between two runs"
+    )
+    _registry_arg(compare_p)
+    compare_p.add_argument("candidate", help="run id (or unique prefix)")
+    compare_p.add_argument("baseline", help="run id (or unique prefix)")
+    compare_p.add_argument("--json", action="store_true")
+    compare_p.set_defaults(func=cmd_qor_compare)
+
+    gate_p = qor_sub.add_parser(
+        "gate",
+        help="gate a run against a baseline run or the rolling baseline;"
+        " exits 1 on regression",
+    )
+    _registry_arg(gate_p)
+    gate_p.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="run id to gate (default: latest run with a QoR record)",
+    )
+    gate_p.add_argument(
+        "--against",
+        default=None,
+        help="baseline run id; omit to gate against the rolling baseline"
+        " (mean of recent matching runs)",
+    )
+    gate_p.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="rolling-baseline window (runs) when --against is omitted",
+    )
+    gate_p.add_argument(
+        "--max-teil-regression",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="tolerated TEIL worsening in percent (default 5)",
+    )
+    gate_p.add_argument(
+        "--max-area-regression",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="tolerated chip-area worsening in percent (default 5)",
+    )
+    gate_p.add_argument(
+        "--max-overflow-increase",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="tolerated absolute overflow increase (default 0)",
+    )
+    gate_p.add_argument(
+        "--max-wall-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="also gate wall time, tolerating PCT percent (off by default)",
+    )
+    gate_p.add_argument("--json", action="store_true")
+    gate_p.set_defaults(func=cmd_qor_gate)
+
+
+# -- status / watch ---------------------------------------------------------
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    info = load_rundir(args.rundir)
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_status(info))
+    if info["manifest"] is None and info["heartbeat"] is None:
+        return EXIT_MISSING
+    return EXIT_OK
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    try:
+        return watch(
+            args.rundir, interval=args.interval, max_updates=args.max_updates
+        )
+    except KeyboardInterrupt:
+        return EXIT_OK
+
+
+# -- qor subcommands --------------------------------------------------------
+
+
+def _fmt(value: Any, digits: int = 6) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def cmd_qor_list(args: argparse.Namespace) -> int:
+    with RunRegistry(args.registry) as registry:
+        rows = registry.runs(circuit=args.circuit, limit=args.limit)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True, default=str))
+        return EXIT_OK if rows else EXIT_MISSING
+    if not rows:
+        print(f"no runs in {args.registry}")
+        return EXIT_MISSING
+    header = (
+        f"{'run_id':<24} {'circuit':<14} {'status':<11} {'teil':>10}"
+        f" {'area':>10} {'ovfl':>5} {'wall_s':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['run_id']:<24} {str(row.get('circuit'))[:14]:<14}"
+            f" {str(row.get('status')):<11} {_fmt(row.get('teil')):>10}"
+            f" {_fmt(row.get('chip_area')):>10} {_fmt(row.get('overflow')):>5}"
+            f" {_fmt(row.get('wall_seconds'), 4):>8}"
+        )
+    return EXIT_OK
+
+
+def cmd_qor_show(args: argparse.Namespace) -> int:
+    with RunRegistry(args.registry) as registry:
+        try:
+            run = registry.get_run(args.run)
+            record = registry.get_qor(args.run)
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_MISSING
+    if args.json:
+        print(json.dumps({"run": run, "qor": record}, indent=2,
+                         sort_keys=True, default=str))
+        return EXIT_OK
+    print(f"run       {run['run_id']}  ({run.get('status')})")
+    print(f"command   {run.get('command')}")
+    print(f"circuit   {run.get('circuit')}  sha {str(run.get('circuit_sha256'))[:12]}")
+    print(f"config    sha {str(run.get('config_sha256'))[:12]}  seed {run.get('seed')}")
+    print(f"parallel  chains {run.get('chains')}  workers {run.get('workers')}")
+    print(f"version   {run.get('package_version')}")
+    if run.get("resumed_from"):
+        print(f"resumed   {run['resumed_from']}")
+    print()
+    for metric in (
+        "teil", "stage1_teil", "chip_area", "stage1_chip_area",
+        "core_target_area", "area_vs_target", "overflow", "residual_overlap",
+        "wall_seconds", "moves", "moves_per_sec", "temperatures",
+    ):
+        print(f"  {metric:<18} {_fmt(record.get(metric))}")
+    if record.get("truncated"):
+        print("  TRUNCATED")
+    stage_times = record.get("stage_times") or {}
+    if stage_times:
+        print()
+        print(f"  {'stage':<26} {'calls':>5} {'wall_s':>10} {'cpu_s':>10}")
+        for name in sorted(stage_times):
+            entry = stage_times[name]
+            print(
+                f"  {name:<26} {entry.get('calls', 0):>5}"
+                f" {_fmt(entry.get('wall_s'), 5):>10}"
+                f" {_fmt(entry.get('cpu_s'), 5):>10}"
+            )
+    return EXIT_OK
+
+
+def _delta_table(deltas: List[MetricDelta], gated: bool) -> str:
+    header = f"{'metric':<18} {'candidate':>12} {'baseline':>12} {'delta':>12} {'pct':>8}"
+    if gated:
+        header += f" {'limit':>12}  verdict"
+    lines = [header, "-" * len(header)]
+    for d in deltas:
+        line = (
+            f"{d.metric:<18} {_fmt(d.candidate):>12} {_fmt(d.baseline):>12}"
+            f" {_fmt(d.delta):>12} {_fmt(d.delta_pct, 4):>8}"
+        )
+        if gated:
+            verdict = ""
+            if d.limit is not None:
+                verdict = "REGRESSED" if d.regressed else "ok"
+            line += f" {_fmt(d.limit):>12}  {verdict}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _deltas_json(deltas: List[MetricDelta]) -> List[Dict[str, Any]]:
+    return [vars(d) for d in deltas]
+
+
+def cmd_qor_compare(args: argparse.Namespace) -> int:
+    with RunRegistry(args.registry) as registry:
+        try:
+            candidate = registry.get_qor(args.candidate)
+            baseline = registry.get_qor(args.baseline)
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_MISSING
+    deltas = compare_records(candidate, baseline)
+    if args.json:
+        print(json.dumps(
+            {
+                "candidate": candidate["run_id"],
+                "baseline": baseline["run_id"],
+                "deltas": _deltas_json(deltas),
+            },
+            indent=2, sort_keys=True, default=str,
+        ))
+        return EXIT_OK
+    print(f"candidate {candidate['run_id']}   baseline {baseline['run_id']}")
+    print(_delta_table(deltas, gated=False))
+    return EXIT_OK
+
+
+def cmd_qor_gate(args: argparse.Namespace) -> int:
+    thresholds = GateThresholds(
+        teil_pct=args.max_teil_regression,
+        area_pct=args.max_area_regression,
+        overflow_abs=args.max_overflow_increase,
+        wall_pct=args.max_wall_regression,
+    )
+    with RunRegistry(args.registry) as registry:
+        try:
+            candidate_id = args.candidate or registry.latest_run_id()
+            if candidate_id is None:
+                print(f"error: no completed runs in {args.registry}",
+                      file=sys.stderr)
+                return EXIT_MISSING
+            candidate = registry.get_qor(candidate_id)
+            if args.against is not None:
+                baseline: Optional[Dict[str, Any]] = registry.get_qor(args.against)
+            else:
+                baseline = registry.baseline(
+                    candidate["circuit_sha256"],
+                    config_sha256=candidate["config_sha256"],
+                    exclude_run=candidate["run_id"],
+                    window=args.window,
+                )
+                if baseline is None:
+                    print(
+                        "error: no rolling baseline — no prior completed run"
+                        " matches this circuit+config (use --against)",
+                        file=sys.stderr,
+                    )
+                    return EXIT_MISSING
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_MISSING
+    report = gate_records(candidate, baseline, thresholds)
+    if args.json:
+        print(json.dumps(
+            {
+                "candidate": report.candidate_id,
+                "baseline": report.baseline_id,
+                "ok": report.ok,
+                "deltas": _deltas_json(report.deltas),
+            },
+            indent=2, sort_keys=True, default=str,
+        ))
+    else:
+        print(f"candidate {report.candidate_id}   baseline {report.baseline_id}")
+        print(_delta_table(report.deltas, gated=True))
+        if report.ok:
+            print("GATE PASSED")
+        else:
+            names = ", ".join(d.metric for d in report.regressions)
+            print(f"GATE FAILED: regression in {names}")
+    return EXIT_OK if report.ok else EXIT_REGRESSION

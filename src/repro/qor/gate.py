@@ -1,0 +1,148 @@
+"""QoR comparison and regression gating.
+
+``compare_records`` lines two QoR records up metric by metric;
+``gate_records`` applies per-metric thresholds and says whether the
+candidate *regressed* against the baseline.  The CLI (and CI) exits
+non-zero on regression, which is what lets every later perf PR prove
+itself against the registry instead of against a screenshot.
+
+Conventions:
+
+* All gated metrics are lower-is-better (TEIL, chip area, overflow,
+  wall time).  Percent thresholds tolerate ``baseline * (1 + pct/100)``;
+  absolute thresholds tolerate ``baseline + abs``.
+* A metric missing on either side is reported but never gates — a
+  router-less run cannot fail the overflow gate.
+* Wall time is not gated by default (CI machines are noisy); pass
+  ``wall_pct`` to opt in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class GateThresholds:
+    """Tolerated worsening per metric before the gate trips."""
+
+    teil_pct: float = 5.0
+    area_pct: float = 5.0
+    overflow_abs: float = 0.0
+    wall_pct: Optional[float] = None  # None = informational only
+
+    def rules(self) -> List["GateRule"]:
+        rules = [
+            GateRule("teil", pct=self.teil_pct),
+            GateRule("chip_area", pct=self.area_pct),
+            GateRule("area_vs_target", pct=self.area_pct),
+            GateRule("overflow", absolute=self.overflow_abs),
+        ]
+        if self.wall_pct is not None:
+            rules.append(GateRule("wall_seconds", pct=self.wall_pct))
+        return rules
+
+
+@dataclass(frozen=True)
+class GateRule:
+    """One lower-is-better metric and its tolerance."""
+
+    metric: str
+    pct: Optional[float] = None
+    absolute: Optional[float] = None
+
+    def limit(self, baseline: float) -> float:
+        bound = baseline
+        if self.pct is not None:
+            bound = baseline * (1.0 + self.pct / 100.0)
+        if self.absolute is not None:
+            bound = max(bound, baseline + self.absolute)
+        return bound
+
+
+@dataclass
+class MetricDelta:
+    metric: str
+    candidate: Optional[float]
+    baseline: Optional[float]
+    delta: Optional[float] = None
+    delta_pct: Optional[float] = None
+    limit: Optional[float] = None
+    regressed: bool = False
+
+
+@dataclass
+class GateReport:
+    """Outcome of gating one candidate record against a baseline."""
+
+    candidate_id: str
+    baseline_id: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+#: Metrics shown by ``qor compare`` (superset of the gated ones).
+COMPARE_METRICS = (
+    "teil",
+    "stage1_teil",
+    "chip_area",
+    "area_vs_target",
+    "overflow",
+    "residual_overlap",
+    "wall_seconds",
+    "moves_per_sec",
+    "temperatures",
+)
+
+
+def _delta(metric: str, cand: Optional[float], base: Optional[float]) -> MetricDelta:
+    d = MetricDelta(metric, cand, base)
+    if cand is not None and base is not None:
+        d.delta = round(cand - base, 6)
+        d.delta_pct = (
+            round(100.0 * (cand - base) / base, 3) if base not in (0, None) else None
+        )
+    return d
+
+
+def compare_records(
+    candidate: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[MetricDelta]:
+    """Per-metric deltas between two QoR records (no thresholds)."""
+    return [
+        _delta(m, candidate.get(m), baseline.get(m)) for m in COMPARE_METRICS
+    ]
+
+
+def gate_records(
+    candidate: Dict[str, Any],
+    baseline: Dict[str, Any],
+    thresholds: Optional[GateThresholds] = None,
+) -> GateReport:
+    """Apply the thresholds; a metric regresses when the candidate
+    exceeds the rule's limit over the baseline."""
+    thresholds = thresholds if thresholds is not None else GateThresholds()
+    rules = {rule.metric: rule for rule in thresholds.rules()}
+    report = GateReport(
+        candidate_id=str(candidate.get("run_id", "?")),
+        baseline_id=str(baseline.get("run_id", "?")),
+    )
+    for delta in compare_records(candidate, baseline):
+        rule = rules.get(delta.metric)
+        if (
+            rule is not None
+            and delta.candidate is not None
+            and delta.baseline is not None
+        ):
+            delta.limit = round(rule.limit(delta.baseline), 6)
+            delta.regressed = delta.candidate > delta.limit
+        report.deltas.append(delta)
+    return report

@@ -1,0 +1,100 @@
+"""Run manifests: the identity and provenance of one flow run.
+
+A manifest answers "what exactly was this run?" — the question every
+cross-run comparison (Table 4, the cooling-schedule ablations, the
+parallel speedup claims) silently depends on.  It pins:
+
+* a **run id** (timestamp + random suffix, unique per invocation and
+  preserved across checkpoint/resume);
+* **content hashes** of the circuit (canonical ``.twmc`` text) and the
+  configuration (canonical JSON of ``TimberWolfConfig.to_dict()``) —
+  two runs are comparable iff both hashes match;
+* the seed, chain/worker counts, host facts, and package version.
+
+``manifest.json`` lands in the rundir; the same document seeds the
+``runs`` row in the registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import secrets
+import time
+from typing import Any, Dict, Optional
+
+from ..config import TimberWolfConfig
+from ..netlist import Circuit, dumps
+
+
+def package_version() -> str:
+    """The installed package version (imported lazily: this module may
+    be loaded while ``repro/__init__`` is still executing)."""
+    from .. import __version__
+
+    return __version__
+
+
+def new_run_id(now: Optional[float] = None) -> str:
+    """A unique, sortable run id: UTC timestamp plus a random suffix."""
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(now))
+    return f"{stamp}-{secrets.token_hex(3)}"
+
+
+def config_fingerprint(config: TimberWolfConfig) -> str:
+    """SHA-256 of the config's canonical JSON form.  Runs with equal
+    fingerprints annealed under identical knobs."""
+    canonical = json.dumps(config.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def circuit_fingerprint_of(circuit: Circuit) -> str:
+    """SHA-256 of the circuit's canonical text serialization (the same
+    fingerprint checkpoints use to reject stale resumes)."""
+    from ..resilience.checkpoint import circuit_fingerprint
+
+    return circuit_fingerprint(dumps(circuit))
+
+
+def host_metadata() -> Dict[str, Any]:
+    """Host facts stamped into manifests (and bench artifacts): a QoR or
+    throughput number is only meaningful relative to its machine."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "hostname": platform.node(),
+    }
+
+
+def build_manifest(
+    run_id: str,
+    circuit: Circuit,
+    config: TimberWolfConfig,
+    command: str = "place",
+    resumed_from: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The complete manifest document for one run."""
+    return {
+        "run_id": run_id,
+        "created": time.time(),
+        "command": command,
+        "circuit": {
+            "name": circuit.name,
+            "cells": circuit.num_cells,
+            "nets": circuit.num_nets,
+            "pins": circuit.num_pins,
+            "sha256": circuit_fingerprint_of(circuit),
+        },
+        "config": {
+            "sha256": config_fingerprint(config),
+            "values": config.to_dict(),
+        },
+        "host": host_metadata(),
+        "package_version": package_version(),
+        "resumed_from": resumed_from,
+    }

@@ -1,0 +1,169 @@
+"""Live flow monitoring: render a rundir's manifest + heartbeat.
+
+``python -m repro status <rundir>`` prints one snapshot; ``watch``
+re-renders on an interval (line-mode refresh: one compact progress line
+per beat, a full header when the phase changes) until the run's final
+beat lands.  Both read only the atomic files the run publishes — they
+never touch the run's process.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
+
+from .heartbeat import read_heartbeat
+from .recorder import RunRecorder
+
+#: Heartbeats older than this (seconds) are flagged as stale in renders.
+STALE_AFTER = 30.0
+
+#: Terminal phases: a watch stops once one of these lands.
+FINAL_PHASES = ("done", "failed", "interrupted")
+
+
+def load_rundir(rundir: Union[str, Path]) -> Dict[str, Any]:
+    """Everything a monitor can know about a rundir (missing parts None)."""
+    rundir = Path(rundir)
+    manifest = None
+    manifest_path = rundir / RunRecorder.MANIFEST_NAME
+    if manifest_path.is_file():
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    qor = None
+    qor_path = rundir / RunRecorder.QOR_NAME
+    if qor_path.is_file():
+        qor = json.loads(qor_path.read_text(encoding="utf-8"))
+    return {
+        "rundir": str(rundir),
+        "manifest": manifest,
+        "heartbeat": read_heartbeat(rundir / RunRecorder.HEARTBEAT_NAME),
+        "qor": qor,
+    }
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def progress_line(beat: Dict[str, Any]) -> str:
+    """One compact live-progress line from a heartbeat document."""
+    parts = [f"[{beat.get('phase', '?')}]"]
+    for key, label in (
+        ("stage", "stage"),
+        ("step", "step"),
+        ("T", "T"),
+        ("acceptance", "acc"),
+        ("cost", "cost"),
+        ("c1", "c1"),
+        ("c2", "c2"),
+        ("c3", "c3"),
+        ("round", "round"),
+        ("nets_done", "nets"),
+        ("eta_steps", "eta_steps"),
+        ("eta_seconds", "eta_s"),
+        ("status", "status"),
+    ):
+        if key in beat and beat[key] is not None:
+            parts.append(f"{label}={_fmt(beat[key])}")
+    if isinstance(beat.get("chains"), dict) and beat["chains"]:
+        chains = beat["chains"]
+        summary = " ".join(
+            f"{cid}:{_fmt(chains[cid].get('cost'))}"
+            f"{'*' if chains[cid].get('done') else ''}"
+            for cid in sorted(chains, key=str)
+        )
+        parts.append(f"chains[{summary}]")
+    return " ".join(parts)
+
+
+def render_status(info: Dict[str, Any], now: Optional[float] = None) -> str:
+    """The full status block for one rundir."""
+    now = now if now is not None else time.time()
+    lines = [f"rundir   {info['rundir']}"]
+    manifest = info.get("manifest")
+    if manifest is not None:
+        circuit = manifest.get("circuit", {})
+        config = manifest.get("config", {})
+        parallel = config.get("values", {}).get("parallel", {})
+        lines.append(f"run      {manifest.get('run_id')}")
+        lines.append(
+            f"circuit  {circuit.get('name')} ({circuit.get('cells')} cells, "
+            f"{circuit.get('nets')} nets)  sha {str(circuit.get('sha256'))[:12]}"
+        )
+        lines.append(
+            f"config   sha {str(config.get('sha256'))[:12]}  "
+            f"seed {config.get('values', {}).get('seed')}  "
+            f"chains {parallel.get('chains', 1)}  "
+            f"workers {parallel.get('workers', 1)}"
+        )
+        if manifest.get("resumed_from"):
+            lines.append(f"resumed  {manifest['resumed_from']}")
+    else:
+        lines.append("run      (no manifest yet)")
+    beat = info.get("heartbeat")
+    if beat is not None:
+        age = max(0.0, now - float(beat.get("updated", now)))
+        stale = "  [STALE]" if age > STALE_AFTER and not beat.get("final") else ""
+        lines.append(f"beat     #{beat.get('seq')}  {age:.1f}s ago{stale}")
+        lines.append("live     " + progress_line(beat))
+    else:
+        lines.append("beat     (no heartbeat yet)")
+    qor = info.get("qor")
+    if qor is not None:
+        lines.append(
+            "qor      "
+            f"teil {_fmt(qor.get('teil'), 6)}  "
+            f"area {_fmt(qor.get('chip_area'), 6)}  "
+            f"overflow {_fmt(qor.get('overflow'))}  "
+            f"wall {_fmt(qor.get('wall_seconds'))}s"
+            + ("  TRUNCATED" if qor.get("truncated") else "")
+        )
+    return "\n".join(lines)
+
+
+def watch(
+    rundir: Union[str, Path],
+    interval: float = 1.0,
+    max_updates: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Line-mode watch: print a progress line whenever the heartbeat
+    advances, until a final beat (exit 0) or ``max_updates`` renders
+    (exit 0) — or immediately exit 1 if the rundir never produces one.
+    """
+    stream = stream if stream is not None else sys.stdout
+    rundir = Path(rundir)
+    last_seq: Optional[int] = None
+    last_phase: Optional[str] = None
+    updates = 0
+    polls = 0
+    saw_beat = False
+    while True:
+        beat = read_heartbeat(rundir / RunRecorder.HEARTBEAT_NAME)
+        if beat is not None and beat.get("seq") != last_seq:
+            saw_beat = True
+            last_seq = beat.get("seq")
+            if beat.get("phase") != last_phase:
+                last_phase = beat.get("phase")
+                run_id = beat.get("run_id") or "?"
+                print(f"-- {run_id} entered phase {last_phase}", file=stream)
+            age = max(0.0, time.time() - float(beat.get("updated", 0.0)))
+            print(f"{progress_line(beat)}  ({age:.1f}s ago)", file=stream, flush=True)
+            updates += 1
+            if beat.get("final") or beat.get("phase") in FINAL_PHASES:
+                return 0
+        polls += 1
+        # Silent polls count toward max_updates too, so a rundir that
+        # never produces a beat cannot hang a bounded watch.
+        if max_updates is not None and (
+            updates >= max_updates or (not saw_beat and polls >= max_updates)
+        ):
+            return 0 if saw_beat else 1
+        time.sleep(interval)

@@ -1,0 +1,106 @@
+"""Prometheus text-format rendering of a heartbeat document.
+
+The output follows the textfile-collector contract (one ``# TYPE`` line
+per metric, ``metric{labels} value`` samples, trailing newline) so an
+external node-exporter — or any scraper that understands the Prometheus
+exposition format — can watch a fleet of runs by globbing their
+``--metrics-textfile`` outputs.  Only numeric heartbeat fields become
+samples; strings (phase, stage, run id) travel as labels on
+``repro_run_info``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+#: Metric-name prefix for every exported sample.
+PREFIX = "repro"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(field: str) -> str:
+    return f"{PREFIX}_{_NAME_OK.sub('_', field)}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: Dict[str, str]) -> str:
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(pairs.items())
+    )
+    return "{" + inner + "}" if inner else ""
+
+
+def _flatten(doc: Dict[str, Any]) -> Tuple[Dict[str, float], Dict[str, str]]:
+    """Split a heartbeat doc into numeric samples and string labels.
+
+    Nested dicts flatten with ``_``-joined keys (``chains.0.cost`` →
+    ``chains_0_cost``); booleans become 0/1 gauges.
+    """
+    numbers: Dict[str, float] = {}
+    strings: Dict[str, str] = {}
+
+    def visit(prefix: str, value: Any) -> None:
+        if isinstance(value, bool):
+            numbers[prefix] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            numbers[prefix] = float(value)
+        elif isinstance(value, str):
+            strings[prefix] = value
+        elif isinstance(value, dict):
+            for k, v in value.items():
+                visit(f"{prefix}_{k}" if prefix else str(k), v)
+        # lists and None are dropped: no stable Prometheus shape.
+
+    for key, value in doc.items():
+        visit(str(key), value)
+    return numbers, strings
+
+
+def render_prometheus(doc: Dict[str, Any]) -> str:
+    """One heartbeat document as Prometheus exposition text."""
+    numbers, strings = _flatten(doc)
+    run_labels: Dict[str, str] = {}
+    if doc.get("run_id"):
+        run_labels["run_id"] = str(doc["run_id"])
+
+    lines: List[str] = []
+    info_labels = dict(run_labels)
+    for key in ("phase", "stage", "circuit"):
+        if key in strings:
+            info_labels[key] = strings[key]
+    lines.append(f"# TYPE {PREFIX}_run_info gauge")
+    lines.append(f"{PREFIX}_run_info{_labels(info_labels)} 1")
+
+    for field in sorted(numbers):
+        if field in ("v", "seq"):
+            continue
+        name = _metric_name(field)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{_labels(run_labels)} {numbers[field]:g}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{name{labels}: value}``.
+
+    A strict little parser used by tests and the CI gate to prove the
+    textfile is well-formed; raises ``ValueError`` on any malformed line.
+    """
+    samples: Dict[str, float] = {}
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(-?[0-9.eE+-]+|NaN|[+-]Inf)$"
+    )
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if match is None:
+            raise ValueError(f"malformed Prometheus sample line: {line!r}")
+        name, labels, value = match.groups()
+        samples[name + (labels or "")] = float(value)
+    return samples

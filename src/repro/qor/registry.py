@@ -1,0 +1,375 @@
+"""The append-only SQLite run registry.
+
+Every flow run (and every bench invocation) leaves a durable row here,
+so runs are observable *as a population*: listable, comparable,
+gateable.  Three tables:
+
+* ``runs`` — one row per flow run: identity (run id), provenance
+  (circuit + config content hashes, seed, host, package version,
+  chains/workers), and lifecycle status.
+* ``qor`` — one row per completed run: the quality-of-result record
+  (final/stage-1 TEIL, chip area vs. the estimator's core target,
+  routing overflow, wall time, moves/sec, truncated/failure flags,
+  per-stage timings, metric snapshots).
+* ``bench`` — one row per benchmark invocation, keyed by bench name and
+  config hash: the registry-backed trajectory behind ``BENCH_*.json``.
+
+The registry is append-only in spirit: rows are inserted and a run's
+``status`` advances (running → ok/truncated/failed/interrupted), but
+nothing is ever deleted.  All structured values are stored as JSON text
+columns so the schema survives new metrics without migration.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id TEXT PRIMARY KEY,
+    created REAL NOT NULL,
+    finished REAL,
+    status TEXT NOT NULL DEFAULT 'running',
+    command TEXT,
+    circuit TEXT,
+    circuit_sha256 TEXT,
+    config_sha256 TEXT,
+    seed INTEGER,
+    chains INTEGER,
+    workers INTEGER,
+    package_version TEXT,
+    resumed_from TEXT,
+    host_json TEXT,
+    config_json TEXT
+);
+CREATE TABLE IF NOT EXISTS qor (
+    run_id TEXT PRIMARY KEY REFERENCES runs(run_id),
+    recorded REAL NOT NULL,
+    teil REAL,
+    stage1_teil REAL,
+    chip_area REAL,
+    stage1_chip_area REAL,
+    core_target_area REAL,
+    area_vs_target REAL,
+    overflow INTEGER,
+    residual_overlap REAL,
+    wall_seconds REAL,
+    moves INTEGER,
+    moves_per_sec REAL,
+    temperatures INTEGER,
+    truncated INTEGER,
+    failures INTEGER,
+    stage_times_json TEXT,
+    metrics_json TEXT,
+    failures_json TEXT
+);
+CREATE TABLE IF NOT EXISTS bench (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    recorded REAL NOT NULL,
+    name TEXT NOT NULL,
+    config_sha256 TEXT,
+    payload_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_created ON runs(created);
+CREATE INDEX IF NOT EXISTS idx_runs_circuit ON runs(circuit_sha256, config_sha256);
+CREATE INDEX IF NOT EXISTS idx_bench_name ON bench(name, recorded);
+"""
+
+#: Numeric QoR columns the compare/gate layer iterates over.
+QOR_METRICS = (
+    "teil",
+    "stage1_teil",
+    "chip_area",
+    "stage1_chip_area",
+    "core_target_area",
+    "area_vs_target",
+    "overflow",
+    "residual_overlap",
+    "wall_seconds",
+    "moves",
+    "moves_per_sec",
+    "temperatures",
+)
+
+
+class RegistryError(RuntimeError):
+    """A registry lookup failed (unknown or ambiguous run id, ...)."""
+
+
+class RunRegistry:
+    """Connection wrapper around one registry database file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.row_factory = sqlite3.Row
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES('schema', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- runs ---------------------------------------------------------------
+
+    def register_run(self, manifest: Dict[str, Any]) -> None:
+        """Insert a ``runs`` row from a run manifest (status 'running').
+
+        A resumed run re-registers under its original run id; the row is
+        replaced (same identity, status back to 'running',
+        ``resumed_from`` now set).
+        """
+        circuit = manifest.get("circuit", {})
+        config = manifest.get("config", {})
+        parallel = config.get("values", {}).get("parallel", {})
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO runs(run_id, created, status, command, circuit,"
+                " circuit_sha256, config_sha256, seed, chains, workers,"
+                " package_version, resumed_from, host_json, config_json)"
+                " VALUES(?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    manifest["run_id"],
+                    manifest.get("created") or time.time(),
+                    "running",
+                    manifest.get("command"),
+                    circuit.get("name"),
+                    circuit.get("sha256"),
+                    config.get("sha256"),
+                    config.get("values", {}).get("seed"),
+                    parallel.get("chains"),
+                    parallel.get("workers"),
+                    manifest.get("package_version"),
+                    manifest.get("resumed_from"),
+                    json.dumps(manifest.get("host", {}), sort_keys=True),
+                    json.dumps(config.get("values", {}), sort_keys=True),
+                ),
+            )
+
+    def finish_run(self, run_id: str, status: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "UPDATE runs SET status = ?, finished = ? WHERE run_id = ?",
+                (status, time.time(), run_id),
+            )
+
+    def record_qor(self, run_id: str, qor: Dict[str, Any]) -> None:
+        """Insert (or replace, for a resumed run) the run's QoR record."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO qor(run_id, recorded, teil, stage1_teil,"
+                " chip_area, stage1_chip_area, core_target_area, area_vs_target,"
+                " overflow, residual_overlap, wall_seconds, moves, moves_per_sec,"
+                " temperatures, truncated, failures, stage_times_json,"
+                " metrics_json, failures_json)"
+                " VALUES(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    run_id,
+                    qor.get("recorded", time.time()),
+                    qor.get("teil"),
+                    qor.get("stage1_teil"),
+                    qor.get("chip_area"),
+                    qor.get("stage1_chip_area"),
+                    qor.get("core_target_area"),
+                    qor.get("area_vs_target"),
+                    qor.get("overflow"),
+                    qor.get("residual_overlap"),
+                    qor.get("wall_seconds"),
+                    qor.get("moves"),
+                    qor.get("moves_per_sec"),
+                    qor.get("temperatures"),
+                    int(bool(qor.get("truncated"))),
+                    len(qor.get("failures") or ()),
+                    json.dumps(qor.get("stage_times", {}), sort_keys=True),
+                    json.dumps(qor.get("metrics", {}), sort_keys=True),
+                    json.dumps(qor.get("failures", []), sort_keys=True),
+                ),
+            )
+
+    # -- queries ------------------------------------------------------------
+
+    @staticmethod
+    def _row_to_dict(row: sqlite3.Row) -> Dict[str, Any]:
+        out = dict(row)
+        for key in ("host_json", "config_json", "stage_times_json",
+                    "metrics_json", "failures_json"):
+            if key in out:
+                value = out.pop(key)
+                out[key[: -len("_json")]] = json.loads(value) if value else None
+        return out
+
+    def runs(
+        self,
+        circuit: Optional[str] = None,
+        limit: int = 50,
+        with_qor_only: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """Most-recent-first run rows, joined with their QoR record."""
+        query = (
+            "SELECT runs.*, qor.teil, qor.chip_area, qor.area_vs_target,"
+            " qor.overflow, qor.wall_seconds, qor.moves_per_sec, qor.truncated"
+            " FROM runs {join} qor ON qor.run_id = runs.run_id {where}"
+            " ORDER BY runs.created DESC LIMIT ?"
+        )
+        join = "JOIN" if with_qor_only else "LEFT JOIN"
+        clauses, params = [], []
+        if circuit is not None:
+            clauses.append("runs.circuit = ?")
+            params.append(circuit)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        cursor = self._conn.execute(
+            query.format(join=join, where=where), (*params, limit)
+        )
+        return [self._row_to_dict(r) for r in cursor.fetchall()]
+
+    def get_run(self, run_id: str) -> Dict[str, Any]:
+        """One run row (manifest columns) by exact id or unique prefix."""
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            rows = self._conn.execute(
+                "SELECT * FROM runs WHERE run_id LIKE ? ORDER BY created",
+                (run_id + "%",),
+            ).fetchall()
+            if not rows:
+                raise RegistryError(f"no run {run_id!r} in {self.path}")
+            if len(rows) > 1:
+                ids = ", ".join(r["run_id"] for r in rows[:5])
+                raise RegistryError(f"ambiguous run id {run_id!r}: {ids}")
+            row = rows[0]
+        return self._row_to_dict(row)
+
+    def get_qor(self, run_id: str) -> Dict[str, Any]:
+        """A run's QoR record by exact id or unique prefix."""
+        run = self.get_run(run_id)
+        row = self._conn.execute(
+            "SELECT * FROM qor WHERE run_id = ?", (run["run_id"],)
+        ).fetchone()
+        if row is None:
+            raise RegistryError(f"run {run['run_id']} has no QoR record yet")
+        out = self._row_to_dict(row)
+        out["circuit"] = run.get("circuit")
+        out["circuit_sha256"] = run.get("circuit_sha256")
+        out["config_sha256"] = run.get("config_sha256")
+        out["status"] = run.get("status")
+        return out
+
+    def latest_run_id(self, with_qor: bool = True) -> Optional[str]:
+        """The most recently created run (with a QoR record by default)."""
+        if with_qor:
+            row = self._conn.execute(
+                "SELECT runs.run_id FROM runs JOIN qor ON qor.run_id = runs.run_id"
+                " ORDER BY runs.created DESC LIMIT 1"
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT run_id FROM runs ORDER BY created DESC LIMIT 1"
+            ).fetchone()
+        return row["run_id"] if row is not None else None
+
+    def baseline(
+        self,
+        circuit_sha256: str,
+        config_sha256: Optional[str] = None,
+        exclude_run: Optional[str] = None,
+        window: int = 5,
+    ) -> Optional[Dict[str, Any]]:
+        """A rolling baseline: per-metric means over the last ``window``
+        completed, untruncated runs of the same circuit (and config, when
+        ``config_sha256`` is given).  None when no prior run qualifies."""
+        clauses = [
+            "runs.circuit_sha256 = ?",
+            "qor.truncated = 0",
+            "runs.status IN ('ok')",
+        ]
+        params: List[Any] = [circuit_sha256]
+        if config_sha256 is not None:
+            clauses.append("runs.config_sha256 = ?")
+            params.append(config_sha256)
+        if exclude_run is not None:
+            clauses.append("runs.run_id != ?")
+            params.append(exclude_run)
+        rows = self._conn.execute(
+            "SELECT qor.* FROM qor JOIN runs ON runs.run_id = qor.run_id"
+            f" WHERE {' AND '.join(clauses)}"
+            " ORDER BY runs.created DESC LIMIT ?",
+            (*params, window),
+        ).fetchall()
+        if not rows:
+            return None
+        out: Dict[str, Any] = {
+            "run_id": f"baseline[{len(rows)}]",
+            "window": len(rows),
+            "members": [r["run_id"] for r in rows],
+        }
+        for metric in QOR_METRICS:
+            values = [r[metric] for r in rows if r[metric] is not None]
+            out[metric] = sum(values) / len(values) if values else None
+        return out
+
+    # -- bench trajectory ---------------------------------------------------
+
+    def record_bench(
+        self, name: str, config_sha256: Optional[str], payload: Dict[str, Any]
+    ) -> int:
+        """Append one benchmark result; returns its row id."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO bench(recorded, name, config_sha256, payload_json)"
+                " VALUES(?,?,?,?)",
+                (
+                    payload.get("recorded", time.time()),
+                    name,
+                    config_sha256,
+                    json.dumps(payload, sort_keys=True, default=str),
+                ),
+            )
+        return int(cursor.lastrowid)
+
+    def bench_history(
+        self,
+        name: str,
+        config_sha256: Optional[str] = None,
+        limit: int = 20,
+    ) -> List[Dict[str, Any]]:
+        """Oldest-first trailing history of one bench's recorded results."""
+        clauses, params = ["name = ?"], [name]
+        if config_sha256 is not None:
+            clauses.append("config_sha256 = ?")
+            params.append(config_sha256)
+        rows = self._conn.execute(
+            f"SELECT * FROM bench WHERE {' AND '.join(clauses)}"
+            " ORDER BY recorded DESC, id DESC LIMIT ?",
+            (*params, limit),
+        ).fetchall()
+        out = []
+        for row in reversed(rows):
+            entry = {
+                "id": row["id"],
+                "recorded": row["recorded"],
+                "config_sha256": row["config_sha256"],
+            }
+            entry.update(json.loads(row["payload_json"]))
+            out.append(entry)
+        return out

@@ -158,12 +158,15 @@ class CheckpointPolicy:
     ``every_temperatures`` is the stage-1 cadence (a snapshot after
     every N completed temperature steps; stage 2 snapshots at pass
     boundaries regardless); ``keep`` bounds disk use by pruning all but
-    the newest checkpoints.
+    the newest checkpoints.  ``run_id`` ties checkpoints to the run
+    registry: it rides in every payload, so a resumed run keeps the
+    original run's identity.
     """
 
     directory: Union[str, Path]
     every_temperatures: int = 10
     keep: int = 3
+    run_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.every_temperatures < 1:
@@ -192,6 +195,7 @@ class CheckpointManager:
             "phase": phase,
             "config": self.config_dict,
             "circuit_text": self.circuit_text,
+            "run_id": self.policy.run_id,
             **data,
         }
         path = self.directory / f"ckpt-{label}.ckpt"

@@ -13,6 +13,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..channels import ChannelGraph, CongestionReport, compute_congestion
 from ..netlist import Circuit
+from ..qor.heartbeat import current_heartbeat
 from ..resilience.faults import fault_point
 from ..telemetry import current_tracer
 from .interchange import InterchangeResult, RouteSelector
@@ -109,6 +110,7 @@ class GlobalRouter:
     def route(self, circuit: Circuit) -> RoutingResult:
         """Route every net: phase one per net, then the interchange."""
         tracer = current_tracer()
+        heartbeat = current_heartbeat()
         with tracer.span(
             "router.route", nets=circuit.num_nets, m_routes=self.m_routes
         ):
@@ -124,6 +126,19 @@ class GlobalRouter:
                 if len(groups) < 2:
                     continue  # nothing to connect
                 tasks.append((net_name, groups))
+            # Live progress: a beat every ~2% of nets (min_interval on
+            # the writer throttles small circuits down further).
+            beat_every = max(1, len(tasks) // 50)
+            nets_done = 0
+
+            def _net_beat() -> None:
+                nonlocal nets_done
+                nets_done += 1
+                if heartbeat.enabled and nets_done % beat_every == 0:
+                    heartbeat.beat(
+                        "route", nets_done=nets_done, nets_total=len(tasks)
+                    )
+
             if self.workers > 1 and tasks:
                 # Phase-one fan-out: the pool enumerates per-net routes;
                 # results commit here in the same sequential net order
@@ -156,6 +171,7 @@ class GlobalRouter:
                         net_name, groups, alts, tracer,
                         alternatives, unrouted, estimated,
                     )
+                    _net_beat()
             else:
                 for net_name, groups in tasks:
                     alts = self._route_net_supervised(
@@ -165,6 +181,7 @@ class GlobalRouter:
                         net_name, groups, alts, tracer,
                         alternatives, unrouted, estimated,
                     )
+                    _net_beat()
 
             capacities: Dict[EdgeKey, Optional[int]] = {
                 e.key: e.capacity for e in self.graph.edges()
@@ -192,6 +209,14 @@ class GlobalRouter:
                     overflow=interchange.overflow,
                     total_length=round(interchange.total_length, 3),
                     converged_shortest=interchange.converged_shortest,
+                )
+            if heartbeat.enabled:
+                heartbeat.beat(
+                    "route",
+                    nets_done=len(tasks),
+                    nets_total=len(tasks),
+                    overflow=interchange.overflow,
+                    total_length=round(interchange.total_length, 3),
                 )
             return RoutingResult(
                 routes=routes,

@@ -30,14 +30,28 @@ Table = Tuple[List[str], List[List[Any]]]
 
 
 def load_events(source: Union[str, Path, Iterable[Event]]) -> List[Event]:
-    """Events from a JSONL path or an already-parsed iterable."""
+    """Events from a JSONL path or an already-parsed iterable.
+
+    A trace from a crashed or killed run can end in a partial line (the
+    FileSink is line-buffered, so at most the *final* line is cut off):
+    a malformed final line is silently skipped.  A malformed line with
+    valid JSON after it is real corruption and still raises.
+    """
     if isinstance(source, (str, Path)):
         events = []
         with open(source, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    events.append(json.loads(line))
+            lines = [ln.strip() for ln in fh]
+        while lines and not lines[-1]:
+            lines.pop()
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break  # truncated tail of an interrupted run
+                raise
         return events
     return list(source)
 
@@ -247,17 +261,33 @@ def write_csv(table: Table, path: Union[str, Path]) -> None:
 
 
 def render_text(events: Sequence[Event]) -> str:
-    """All tables as one plain-text report."""
+    """All tables as one plain-text report.
+
+    A trace with no annealing events (a routing-only run, or one cut
+    off before the first temperature step) still renders: the
+    annealing tables are replaced by a note and the stage summaries
+    are emitted from whatever spans the trace does contain.
+    """
     sections = []
-    chains = chain_summary(events)
-    tables = [
-        ("acceptance ratio vs temperature (Fig. 3/5 analogue)", acceptance_table(events)),
-        ("cost vs iteration (Fig. 4/6 analogue)", cost_table(events)),
-        ("per-stage cost checkpoints (Table 3 analogue)", stage_cost_table(events)),
-        ("per-stage time summary (Table 4 analogue)", stage_summary(events)),
-    ]
-    if chains[1]:
-        tables.insert(2, ("multi-chain summary (best-of-K exchange)", chains))
+    if not _temperature_events(events):
+        sections.append(
+            "note: no annealing events in this trace "
+            "(acceptance/cost tables omitted)"
+        )
+        tables = [
+            ("per-stage cost checkpoints (Table 3 analogue)", stage_cost_table(events)),
+            ("per-stage time summary (Table 4 analogue)", stage_summary(events)),
+        ]
+    else:
+        chains = chain_summary(events)
+        tables = [
+            ("acceptance ratio vs temperature (Fig. 3/5 analogue)", acceptance_table(events)),
+            ("cost vs iteration (Fig. 4/6 analogue)", cost_table(events)),
+            ("per-stage cost checkpoints (Table 3 analogue)", stage_cost_table(events)),
+            ("per-stage time summary (Table 4 analogue)", stage_summary(events)),
+        ]
+        if chains[1]:
+            tables.insert(2, ("multi-chain summary (best-of-K exchange)", chains))
     for title, table in tables:
         headers, rows = table
         body = format_table(headers, rows) if rows else "(no matching events)"

@@ -45,6 +45,11 @@ class Sink(ABC):
         past the call unless the sink copies it (MemorySink keeps the
         reference; tracers never reuse event dicts)."""
 
+    def flush(self) -> None:
+        """Push buffered events to durable storage; no-op by default.
+        Tracers call this after every ``span_end`` so a trace on disk is
+        complete up to the last closed span even if the process dies."""
+
     def close(self) -> None:
         """Flush and release any resources; idempotent."""
 
@@ -80,7 +85,14 @@ class MemorySink(Sink):
 
 
 class FileSink(Sink):
-    """Writes one JSON object per line (JSONL) to a path or file object."""
+    """Writes one JSON object per line (JSONL) to a path or file object.
+
+    Files the sink opens itself are line-buffered, so at most the final
+    line of a crashed run's trace can be truncated (the reader skips
+    it; see ``report.load_events``).  ``flush_every`` additionally
+    forces an explicit flush every N events for caller-supplied file
+    objects with larger buffers.
+    """
 
     def __init__(self, path_or_file: Union[str, "IO[str]"], *, flush_every: int = 64) -> None:
         if flush_every < 1:
@@ -90,7 +102,7 @@ class FileSink(Sink):
             self._owns_file = False
             self.path = getattr(path_or_file, "name", None)
         else:
-            self._file = open(path_or_file, "w", encoding="utf-8")
+            self._file = open(path_or_file, "w", encoding="utf-8", buffering=1)
             self._owns_file = True
             self.path = str(path_or_file)
         self._flush_every = flush_every
@@ -103,6 +115,11 @@ class FileSink(Sink):
         self._file.write("\n")
         self._since_flush += 1
         if self._since_flush >= self._flush_every:
+            self._file.flush()
+            self._since_flush = 0
+
+    def flush(self) -> None:
+        if self._file is not None:
             self._file.flush()
             self._since_flush = 0
 
@@ -316,6 +333,11 @@ class Tracer:
             if error is not None:
                 end["error"] = error
             self._emit(end)
+            # A closed span is a natural durability point: flush so the
+            # on-disk trace is complete up to here even on a later crash.
+            for s in self._sinks:
+                if s.enabled:
+                    s.flush()
 
 
 #: The process-wide disabled tracer; ``current_tracer`` falls back to it.

@@ -1,0 +1,106 @@
+"""QoR comparison and regression gating semantics."""
+
+import pytest
+
+from repro.qor import (
+    COMPARE_METRICS,
+    GateRule,
+    GateThresholds,
+    compare_records,
+    gate_records,
+)
+
+
+def record(**over):
+    base = {
+        "run_id": over.pop("run_id", "r"),
+        "teil": 100.0,
+        "stage1_teil": 110.0,
+        "chip_area": 5000.0,
+        "area_vs_target": 1.25,
+        "overflow": 2,
+        "residual_overlap": 0.0,
+        "wall_seconds": 10.0,
+        "moves_per_sec": 500.0,
+        "temperatures": 20,
+    }
+    base.update(over)
+    return base
+
+
+class TestCompare:
+    def test_deltas_for_every_metric(self):
+        deltas = compare_records(record(teil=110.0), record())
+        assert [d.metric for d in deltas] == list(COMPARE_METRICS)
+        teil = next(d for d in deltas if d.metric == "teil")
+        assert teil.delta == pytest.approx(10.0)
+        assert teil.delta_pct == pytest.approx(10.0)
+
+    def test_missing_metric_has_no_delta(self):
+        deltas = compare_records(record(overflow=None), record())
+        overflow = next(d for d in deltas if d.metric == "overflow")
+        assert overflow.delta is None and overflow.delta_pct is None
+
+
+class TestGate:
+    def test_identical_records_pass(self):
+        report = gate_records(record(run_id="a"), record(run_id="b"))
+        assert report.ok
+        assert report.candidate_id == "a" and report.baseline_id == "b"
+        assert not report.regressions
+
+    def test_within_tolerance_passes(self):
+        # 5% default tolerance: 104 vs 100 is fine.
+        assert gate_records(record(teil=104.0), record()).ok
+
+    def test_teil_regression_trips(self):
+        report = gate_records(record(teil=110.0), record())
+        assert not report.ok
+        assert [d.metric for d in report.regressions] == ["teil"]
+        teil = report.regressions[0]
+        assert teil.limit == pytest.approx(105.0)
+
+    def test_improvement_never_trips(self):
+        assert gate_records(record(teil=50.0, chip_area=100.0), record()).ok
+
+    def test_overflow_is_absolute_zero_tolerance(self):
+        assert not gate_records(record(overflow=3), record(overflow=2)).ok
+        assert gate_records(
+            record(overflow=3),
+            record(overflow=2),
+            GateThresholds(overflow_abs=1.0),
+        ).ok
+
+    def test_missing_metric_never_gates(self):
+        # A router-less candidate cannot fail the overflow gate.
+        report = gate_records(record(overflow=None), record())
+        overflow = next(d for d in report.deltas if d.metric == "overflow")
+        assert not overflow.regressed and overflow.limit is None
+        assert report.ok
+
+    def test_wall_time_informational_by_default(self):
+        assert gate_records(record(wall_seconds=99.0), record()).ok
+        report = gate_records(
+            record(wall_seconds=99.0),
+            record(),
+            GateThresholds(wall_pct=50.0),
+        )
+        assert [d.metric for d in report.regressions] == ["wall_seconds"]
+
+    def test_custom_thresholds(self):
+        loose = GateThresholds(teil_pct=20.0, area_pct=20.0)
+        assert gate_records(record(teil=115.0, chip_area=5800.0), record(), loose).ok
+
+
+class TestGateRule:
+    def test_pct_limit(self):
+        assert GateRule("teil", pct=5.0).limit(200.0) == pytest.approx(210.0)
+
+    def test_absolute_limit(self):
+        assert GateRule("overflow", absolute=2.0).limit(3.0) == pytest.approx(5.0)
+
+    def test_default_rules_cover_the_qor_headline_metrics(self):
+        metrics = {r.metric for r in GateThresholds().rules()}
+        assert metrics == {"teil", "chip_area", "area_vs_target", "overflow"}
+        with_wall = {r.metric for r in GateThresholds(wall_pct=10.0).rules()}
+        assert "wall_seconds" in with_wall

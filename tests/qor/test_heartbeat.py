@@ -1,0 +1,145 @@
+"""Heartbeat files: atomic writes, throttling, and the ambient contextvar."""
+
+import json
+import threading
+
+import pytest
+
+from repro.qor import (
+    HEARTBEAT_VERSION,
+    NULL_HEARTBEAT,
+    HeartbeatWriter,
+    NullHeartbeat,
+    current_heartbeat,
+    parse_prometheus,
+    read_heartbeat,
+    use_heartbeat,
+)
+
+
+class TestNullHeartbeat:
+    def test_disabled_and_inert(self):
+        hb = NullHeartbeat()
+        assert not hb.enabled
+        hb.beat("anneal", step=1)  # must not raise, must not write
+        hb.set_context(stage="stage1")
+
+
+class TestWriter:
+    def test_beat_round_trip(self, tmp_path):
+        path = tmp_path / "hb.json"
+        writer = HeartbeatWriter(path, run_id="r1")
+        writer.beat("anneal", step=3, T=100.0)
+        doc = read_heartbeat(path)
+        assert doc["v"] == HEARTBEAT_VERSION
+        assert doc["run_id"] == "r1"
+        assert doc["phase"] == "anneal"
+        assert doc["seq"] == 1
+        assert doc["step"] == 3 and doc["T"] == 100.0
+        assert doc["final"] is False
+        assert doc["updated"] > 0
+
+    def test_context_merges_and_none_deletes(self, tmp_path):
+        path = tmp_path / "hb.json"
+        writer = HeartbeatWriter(path)
+        writer.set_context(stage="stage1", circuit="fix")
+        writer.beat("anneal")
+        assert read_heartbeat(path)["stage"] == "stage1"
+        writer.set_context(stage=None)
+        writer.beat("anneal")
+        doc = read_heartbeat(path)
+        assert "stage" not in doc
+        assert doc["circuit"] == "fix"
+
+    def test_per_beat_fields_win_over_context(self, tmp_path):
+        path = tmp_path / "hb.json"
+        writer = HeartbeatWriter(path)
+        writer.set_context(stage="stage1")
+        writer.beat("anneal", stage="override")
+        assert read_heartbeat(path)["stage"] == "override"
+
+    def test_throttle_skips_fast_same_phase_beats(self, tmp_path):
+        path = tmp_path / "hb.json"
+        writer = HeartbeatWriter(path, min_interval=3600.0)
+        writer.beat("anneal", step=1)
+        writer.beat("anneal", step=2)  # throttled
+        assert read_heartbeat(path)["step"] == 1
+        writer.beat("route")  # phase change always writes
+        assert read_heartbeat(path)["phase"] == "route"
+        writer.beat("route", final=True, step=9)  # final always writes
+        doc = read_heartbeat(path)
+        assert doc["final"] is True and doc["step"] == 9
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            HeartbeatWriter(tmp_path / "hb.json", min_interval=-1.0)
+
+    def test_read_missing_is_none(self, tmp_path):
+        assert read_heartbeat(tmp_path / "nope.json") is None
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "rundir" / "hb.json"
+        HeartbeatWriter(path).beat("start")
+        assert read_heartbeat(path)["phase"] == "start"
+
+    def test_metrics_textfile_rendered_per_beat(self, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        writer = HeartbeatWriter(
+            tmp_path / "hb.json", run_id="r1", metrics_textfile=prom
+        )
+        writer.beat("anneal", T=50.0, cost=123.5)
+        parsed = parse_prometheus(prom.read_text(encoding="utf-8"))
+        label = '{run_id="r1"}'
+        assert parsed["repro_T" + label] == 50.0
+        assert parsed["repro_cost" + label] == 123.5
+
+
+class TestAtomicity:
+    def test_reader_never_sees_partial_json(self, tmp_path):
+        """A writer hammering beats while a reader polls: every read either
+        returns None (no file yet) or parses as a complete document."""
+        path = tmp_path / "hb.json"
+        writer = HeartbeatWriter(path, run_id="race")
+        stop = threading.Event()
+        errors = []
+
+        def pound():
+            step = 0
+            while not stop.is_set():
+                step += 1
+                # A long field value makes a torn write easy to catch.
+                writer.beat("anneal", step=step, pad="x" * 4096)
+
+        thread = threading.Thread(target=pound)
+        thread.start()
+        try:
+            seen = 0
+            while seen < 200:
+                try:
+                    doc = read_heartbeat(path)
+                except (json.JSONDecodeError, ValueError) as exc:
+                    errors.append(exc)
+                    break
+                if doc is not None:
+                    seen += 1
+                    if doc["run_id"] != "race" or len(doc["pad"]) != 4096:
+                        errors.append(f"partial document: {doc}")
+                        break
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+
+
+class TestAmbientHeartbeat:
+    def test_default_is_null(self):
+        assert current_heartbeat() is NULL_HEARTBEAT
+
+    def test_install_and_restore(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "hb.json")
+        with use_heartbeat(writer):
+            assert current_heartbeat() is writer
+            with use_heartbeat(NULL_HEARTBEAT):
+                assert current_heartbeat() is NULL_HEARTBEAT
+            assert current_heartbeat() is writer
+        assert current_heartbeat() is NULL_HEARTBEAT

@@ -1,0 +1,61 @@
+"""Prometheus textfile exposition: render and strict parse."""
+
+import pytest
+
+from repro.qor import parse_prometheus, render_prometheus
+
+
+class TestRender:
+    def test_numeric_fields_become_gauges(self):
+        text = render_prometheus(
+            {"v": 1, "seq": 9, "run_id": "r1", "phase": "anneal",
+             "T": 50.5, "cost": 123.5, "updated": 1000.0}
+        )
+        parsed = parse_prometheus(text)
+        label = '{run_id="r1"}'
+        assert parsed["repro_T" + label] == 50.5
+        assert parsed["repro_cost" + label] == 123.5
+        assert parsed["repro_updated" + label] == 1000.0
+
+    def test_bookkeeping_fields_skipped(self):
+        text = render_prometheus({"v": 1, "seq": 9, "T": 1.0})
+        assert "repro_v" not in text
+        assert "repro_seq" not in text
+
+    def test_string_fields_become_info_labels(self):
+        text = render_prometheus({"run_id": "r1", "phase": "anneal"})
+        assert 'run_id="r1"' in text
+        assert 'phase="anneal"' in text
+        assert "repro_run_info" in text
+
+    def test_gauges_carry_run_id_label(self):
+        text = render_prometheus({"run_id": "r1", "T": 2.0})
+        assert 'repro_T{run_id="r1"} 2' in text
+
+    def test_nested_dicts_flatten(self):
+        text = render_prometheus({"chains": {"0": {"cost": 5.0}}})
+        assert parse_prometheus(text)["repro_chains_0_cost"] == 5.0
+
+    def test_booleans_are_01_gauges(self):
+        parsed = parse_prometheus(render_prometheus({"final": True}))
+        assert parsed["repro_final"] == 1.0
+
+    def test_help_and_type_comments(self):
+        text = render_prometheus({"T": 1.0})
+        assert "# TYPE repro_T gauge" in text
+
+
+class TestParse:
+    def test_round_trip(self):
+        doc = {"phase": "done", "teil": 42.5, "overflow": 0}
+        parsed = parse_prometheus(render_prometheus(doc))
+        assert parsed["repro_teil"] == 42.5
+        assert parsed["repro_overflow"] == 0
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_teil not-a-number\n")
+
+    def test_comments_and_blanks_ignored(self):
+        parsed = parse_prometheus("# HELP x y\n\nrepro_x 1\n")
+        assert parsed == {"repro_x": 1.0}

@@ -1,0 +1,212 @@
+"""The SQLite run registry: rows, lookups, rolling baselines, bench history."""
+
+import pytest
+
+from repro.qor import QOR_METRICS, RegistryError, RunRegistry
+
+
+def manifest(
+    run_id,
+    created=None,
+    circuit_sha="c" * 16,
+    config_sha="f" * 16,
+    seed=0,
+    resumed_from=None,
+):
+    return {
+        "run_id": run_id,
+        "created": created,
+        "command": "place",
+        "circuit": {"name": "fix", "sha256": circuit_sha, "cells": 6, "nets": 8},
+        "config": {
+            "sha256": config_sha,
+            "values": {"seed": seed, "parallel": {"chains": 2, "workers": 2}},
+        },
+        "package_version": "1.4.0",
+        "resumed_from": resumed_from,
+        "host": {"cpu_count": 4},
+    }
+
+
+def qor(teil=100.0, **over):
+    record = {
+        "teil": teil,
+        "stage1_teil": teil * 1.1,
+        "chip_area": 5000.0,
+        "core_target_area": 4000.0,
+        "area_vs_target": 1.25,
+        "overflow": 0,
+        "wall_seconds": 2.0,
+        "moves": 1000,
+        "moves_per_sec": 500.0,
+        "temperatures": 20,
+        "truncated": False,
+        "failures": [],
+        "stage_times": {"stage1": {"calls": 1, "wall_s": 1.5}},
+        "metrics": {"stage1.move_metrics": {"displace": 3}},
+    }
+    record.update(over)
+    return record
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    with RunRegistry(tmp_path / "reg.sqlite") as reg:
+        yield reg
+
+
+class TestRuns:
+    def test_round_trip(self, registry):
+        registry.register_run(manifest("run-a", created=1.0))
+        run = registry.get_run("run-a")
+        assert run["status"] == "running"
+        assert run["circuit"] == "fix"
+        assert run["circuit_sha256"] == "c" * 16
+        assert run["chains"] == 2 and run["workers"] == 2
+        assert run["host"] == {"cpu_count": 4}
+        assert run["config"]["seed"] == 0
+
+    def test_finish_advances_status(self, registry):
+        registry.register_run(manifest("run-a"))
+        registry.finish_run("run-a", "ok")
+        run = registry.get_run("run-a")
+        assert run["status"] == "ok"
+        assert run["finished"] is not None
+
+    def test_reregister_keeps_single_identity(self, registry):
+        """A resumed run re-registers under its original id: one row."""
+        registry.register_run(manifest("run-a", created=1.0))
+        registry.finish_run("run-a", "interrupted")
+        registry.register_run(
+            manifest("run-a", created=2.0, resumed_from="ckpt.ckpt")
+        )
+        assert len(registry.runs()) == 1
+        run = registry.get_run("run-a")
+        assert run["status"] == "running"
+        assert run["resumed_from"] == "ckpt.ckpt"
+
+    def test_prefix_lookup(self, registry):
+        registry.register_run(manifest("20260806-010101-aaaaaa"))
+        assert registry.get_run("20260806-010101")["run_id"].endswith("aaaaaa")
+
+    def test_ambiguous_prefix_raises(self, registry):
+        registry.register_run(manifest("20260806-010101-aaaaaa"))
+        registry.register_run(manifest("20260806-010102-bbbbbb"))
+        with pytest.raises(RegistryError, match="ambiguous"):
+            registry.get_run("20260806")
+
+    def test_unknown_run_raises(self, registry):
+        with pytest.raises(RegistryError, match="no run"):
+            registry.get_run("nope")
+
+
+class TestQor:
+    def test_round_trip(self, registry):
+        registry.register_run(manifest("run-a"))
+        registry.record_qor("run-a", qor())
+        record = registry.get_qor("run-a")
+        assert record["teil"] == 100.0
+        assert record["truncated"] == 0
+        assert record["stage_times"]["stage1"]["wall_s"] == 1.5
+        assert record["metrics"]["stage1.move_metrics"]["displace"] == 3
+        # Join columns from the runs row ride along for gating.
+        assert record["circuit_sha256"] == "c" * 16
+        assert record["config_sha256"] == "f" * 16
+
+    def test_missing_qor_raises(self, registry):
+        registry.register_run(manifest("run-a"))
+        with pytest.raises(RegistryError, match="no QoR"):
+            registry.get_qor("run-a")
+
+    def test_replace_on_resume(self, registry):
+        registry.register_run(manifest("run-a"))
+        registry.record_qor("run-a", qor(teil=150.0, truncated=True))
+        registry.record_qor("run-a", qor(teil=100.0))
+        assert registry.get_qor("run-a")["teil"] == 100.0
+
+    def test_listing_joins_qor(self, registry):
+        registry.register_run(manifest("run-a", created=1.0))
+        registry.register_run(manifest("run-b", created=2.0))
+        registry.record_qor("run-b", qor())
+        rows = registry.runs()
+        assert [r["run_id"] for r in rows] == ["run-b", "run-a"]
+        assert rows[0]["teil"] == 100.0
+        assert rows[1]["teil"] is None
+        assert [r["run_id"] for r in registry.runs(with_qor_only=True)] == ["run-b"]
+
+    def test_latest_run_id(self, registry):
+        assert registry.latest_run_id() is None
+        registry.register_run(manifest("run-a", created=1.0))
+        assert registry.latest_run_id() is None  # no QoR yet
+        assert registry.latest_run_id(with_qor=False) == "run-a"
+        registry.record_qor("run-a", qor())
+        assert registry.latest_run_id() == "run-a"
+
+
+class TestBaseline:
+    def _completed(self, registry, run_id, created, teil, **kw):
+        registry.register_run(manifest(run_id, created=created, **kw))
+        registry.record_qor(run_id, qor(teil=teil))
+        registry.finish_run(run_id, "ok")
+
+    def test_rolling_mean_over_window(self, registry):
+        for i, teil in enumerate([100.0, 110.0, 120.0]):
+            self._completed(registry, f"run-{i}", float(i), teil)
+        base = registry.baseline("c" * 16, config_sha256="f" * 16)
+        assert base["window"] == 3
+        assert base["teil"] == pytest.approx(110.0)
+        assert base["run_id"] == "baseline[3]"
+        assert set(base["members"]) == {"run-0", "run-1", "run-2"}
+        for metric in QOR_METRICS:
+            assert metric in base
+
+    def test_excludes_candidate_truncated_and_failed(self, registry):
+        self._completed(registry, "good", 1.0, 100.0)
+        # Truncated run: completed but flagged.
+        registry.register_run(manifest("trunc", created=2.0))
+        registry.record_qor("trunc", qor(teil=999.0, truncated=True))
+        registry.finish_run("trunc", "truncated")
+        # Failed run never gets status ok.
+        registry.register_run(manifest("dead", created=3.0))
+        registry.record_qor("dead", qor(teil=999.0))
+        registry.finish_run("dead", "failed")
+        # The candidate itself must not be its own baseline.
+        self._completed(registry, "cand", 4.0, 200.0)
+        base = registry.baseline("c" * 16, exclude_run="cand")
+        assert base["window"] == 1
+        assert base["teil"] == 100.0
+
+    def test_config_filter_and_no_match(self, registry):
+        self._completed(registry, "other", 1.0, 100.0, config_sha="9" * 16)
+        assert registry.baseline("c" * 16, config_sha256="f" * 16) is None
+        assert registry.baseline("missing-circuit") is None
+
+
+class TestBench:
+    def test_history_is_oldest_first_and_filtered(self, registry):
+        registry.record_bench("moves", "sha-a", {"recorded": 1.0, "rate": 10})
+        registry.record_bench("moves", "sha-a", {"recorded": 2.0, "rate": 12})
+        registry.record_bench("moves", "sha-b", {"recorded": 3.0, "rate": 99})
+        registry.record_bench("other", "sha-a", {"recorded": 4.0, "rate": 1})
+        history = registry.bench_history("moves", config_sha256="sha-a")
+        assert [h["rate"] for h in history] == [10, 12]
+        assert all(h["config_sha256"] == "sha-a" for h in history)
+        assert len(registry.bench_history("moves")) == 3
+
+    def test_record_bench_helper(self, tmp_path):
+        """benchmarks/common.record_bench_result appends and returns history."""
+        import sys
+        from pathlib import Path
+
+        bench_dir = str(Path(__file__).resolve().parents[2] / "benchmarks")
+        sys.path.insert(0, bench_dir)
+        try:
+            from common import record_bench_result
+        finally:
+            sys.path.remove(bench_dir)
+        path = tmp_path / "bench.sqlite"
+        first = record_bench_result("t", {"x": 1}, registry_path=path)
+        second = record_bench_result("t", {"x": 2}, registry_path=path)
+        assert len(first) == 1 and len(second) == 2
+        assert [h["x"] for h in second] == [1, 2]
+        assert all("host" in h and "recorded" in h for h in second)

@@ -129,3 +129,69 @@ class TestArtifacts:
         path = tmp_path / "empty.jsonl"
         path.write_text("")
         assert main([str(path)]) == 1
+
+
+class TestTruncatedTrace:
+    def test_truncated_final_line_skipped(self, tmp_path):
+        """A crashed run's trace can end mid-line; the reader recovers
+        everything before the torn tail."""
+        events = synthetic_trace()
+        text = "\n".join(json.dumps(e) for e in events)
+        path = tmp_path / "t.jsonl"
+        path.write_text(text[: len(text) - 20])  # cut the last line short
+        loaded = load_events(path)
+        assert loaded == events[:-1]
+
+    def test_trailing_blank_lines_ignored(self, tmp_path):
+        events = synthetic_trace()
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n\n\n"
+        )
+        assert load_events(path) == events
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        """Only the *final* line may be torn; garbage earlier in the
+        file is real corruption and must not be silently dropped."""
+        import pytest
+
+        events = synthetic_trace()
+        lines = [json.dumps(e) for e in events]
+        lines[2] = lines[2][:10]  # corrupt a middle line
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_events(path)
+
+
+class TestNoAnnealEvents:
+    def headless_trace(self):
+        """A trace with spans and flow checkpoints but no annealing."""
+        return [
+            {"ev": "span_begin", "name": "flow", "t": 0.0, "span": 1},
+            {"ev": "event", "name": "stage1.result", "t": 0.1, "span": 1,
+             "teil": 9.0, "chip_area": 10.0},
+            {"ev": "span_end", "name": "flow", "t": 0.2, "span": 1,
+             "wall_s": 0.2, "cpu_s": 0.1, "ok": True},
+        ]
+
+    def test_render_text_degrades_with_note(self):
+        from repro.telemetry.report import render_text
+
+        text = render_text(self.headless_trace())
+        assert "no annealing events" in text
+        assert "Table 4" in text  # stage summary still renders
+        assert "Fig. 3/5" not in text  # acceptance table omitted
+
+    def test_render_text_full_trace_has_no_note(self):
+        from repro.telemetry.report import render_text
+
+        assert "no annealing events" not in render_text(synthetic_trace())
+
+    def test_cli_survives_headless_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(e) for e in self.headless_trace()) + "\n"
+        )
+        assert main([str(path)]) == 0
+        assert "no annealing events" in capsys.readouterr().out

@@ -232,3 +232,63 @@ class TestIngest:
               "parent": 4}]
         )
         assert "parent" not in sink.events[0]
+
+    def test_three_worker_batches_with_overlapping_span_ids(self):
+        """Three chains ship batches whose producer span ids all collide
+        (every fresh producer tracer starts at id 1); the merged stream
+        must keep the chains apart and well-formed."""
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("stage1"):
+            for chain in range(3):
+                tracer.ingest(self.batch(), chain=chain)
+        begins = [
+            e
+            for e in sink.events
+            if e.get("ev") == "span_begin" and e.get("name") == "anneal"
+        ]
+        assert len(begins) == 3
+        # Every batch got fresh ids despite identical producer ids.
+        ids = [e["span"] for e in begins]
+        assert len(set(ids)) == 3
+        # Each chain's nested event points at its own remapped span.
+        for chain in range(3):
+            begin = next(e for e in begins if e["chain"] == chain)
+            temp = next(
+                e
+                for e in sink.events
+                if e.get("name") == "anneal.temperature" and e["chain"] == chain
+            )
+            assert temp["span"] == begin["span"]
+        # The merged trace resolves into per-chain paths under stage1.
+        from repro.telemetry.report import span_paths
+
+        paths = span_paths(sink.events)
+        assert sorted(paths[i] for i in ids) == ["stage1/anneal"] * 3
+
+
+class TestFlushOnSpanClose:
+    def test_trace_on_disk_complete_after_span_close(self, tmp_path):
+        """Closing a span flushes every sink: the on-disk JSONL is
+        readable up to that point without closing the tracer."""
+        path = tmp_path / "trace.jsonl"
+        handle = open(path, "w", encoding="utf-8", buffering=1 << 20)
+        sink = FileSink(handle, flush_every=10_000)
+        tracer = Tracer(sink)
+        with tracer.span("stage1"):
+            tracer.event("anneal.temperature", step=0)
+        events = [
+            json.loads(line) for line in path.read_text().strip().splitlines()
+        ]
+        assert [e["ev"] for e in events] == ["span_begin", "event", "span_end"]
+        handle.close()
+
+    def test_closed_sinks_not_flushed(self, tmp_path):
+        """A span closing after Tracer sinks are replaced must not touch
+        a closed file (flush is only sent to enabled sinks)."""
+        sink = FileSink(str(tmp_path / "t.jsonl"))
+        tracer = Tracer([sink, NullSink()])
+        with tracer.span("s"):
+            pass  # flush on close: NullSink is skipped, FileSink written
+        sink.close()
+        assert (tmp_path / "t.jsonl").read_text().count("\n") == 2
