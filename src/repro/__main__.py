@@ -25,7 +25,9 @@ per-net router fan-out; see ``docs/parallel.md``), and
 ``--rundir DIR / --registry DB / --metrics-textfile PATH`` (the
 observability layer: run manifest + live heartbeat in the rundir, a QoR
 row in the SQLite run registry, Prometheus textfile exposition; see
-``docs/qor.md``).
+``docs/qor.md``), and ``--core array|object / --cooling table|adaptive``
+(stage-1 inner-loop implementation and cooling schedule; see
+``docs/performance.md``).
 
 Setting the ``REPRO_FAULTS`` environment variable (e.g.
 ``router.route_net@3:error``) arms the fault-injection harness for the
@@ -162,11 +164,12 @@ def _emit_result(result, args: argparse.Namespace) -> int:
 
 
 def cmd_place(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     circuit = load(args.circuit)
     config = _config(args.preset, args.seed)
+    config = replace(config, core=args.core, cooling=args.cooling)
     if args.workers != 1 or args.chains != 1 or args.exchange_period != 10:
-        from dataclasses import replace
-
         from .config import ParallelConfig
 
         config = replace(
@@ -364,6 +367,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("circuit", help="circuit file (.twmc)")
     p_place.add_argument("--preset", default="fast", help="smoke | fast | paper")
     p_place.add_argument("--seed", type=int, default=0)
+    p_place.add_argument(
+        "--core",
+        default="array",
+        choices=("array", "object"),
+        help="stage-1 inner-loop implementation: the struct-of-arrays "
+        "kernel (default) or the original object graph; both replay "
+        "identically at the same seed",
+    )
+    p_place.add_argument(
+        "--cooling",
+        default="table",
+        choices=("table", "adaptive"),
+        help="cooling schedule: the paper's Tables 1/2 (default) or the "
+        "VPR-style acceptance-ratio-driven schedule (see "
+        "docs/performance.md)",
+    )
     _add_output_options(p_place)
     _add_budget_options(p_place)
     _add_observability_options(p_place)

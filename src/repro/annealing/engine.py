@@ -318,6 +318,10 @@ class AnnealCursor:
     #: resume into.  (An interrupt can land on the final temperature —
     #: without this flag a resume would anneal one step too many.)
     done: bool = False
+    #: Feedback state of an adaptive cooling schedule (empty for the
+    #: stateless table schedules); restored on resume so the adaptive
+    #: alpha / window trajectory continues bit-for-bit.
+    schedule_state: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -327,6 +331,7 @@ class AnnealCursor:
             "stopping_state": self.stopping_state,
             "steps": list(self.steps),
             "done": self.done,
+            "schedule_state": self.schedule_state,
         }
 
     @staticmethod
@@ -338,6 +343,7 @@ class AnnealCursor:
             stopping_state=data["stopping_state"],
             steps=[tuple(s) for s in data["steps"]],
             done=data.get("done", False),
+            schedule_state=data.get("schedule_state", {}),
         )
 
 
@@ -404,6 +410,10 @@ class Annealer:
         if resume is not None:
             self.stopping.load_state_dict(resume.stopping_state)
             self.rng.setstate(resume.rng_state)
+            if resume.schedule_state:
+                loader = getattr(self.schedule, "load_state_dict", None)
+                if loader is not None:
+                    loader(resume.schedule_state)
             if resume.done:
                 # The snapshot was taken on the anneal's final step: the
                 # state is already converged, nothing left to run.
@@ -473,6 +483,11 @@ class Annealer:
                 stats.seconds = time.monotonic() - t0
                 stats.cost_after = state.cost()
                 result.steps.append(stats)
+                # Adaptive schedules read the inner loop just completed
+                # before the next alpha / window decision is made.
+                observe = getattr(self.schedule, "observe", None)
+                if observe is not None:
+                    observe(stats)
                 if budget is not None:
                     budget.note_temperature()
                 if tracer.enabled:
@@ -513,6 +528,7 @@ class Annealer:
         should_stop: bool,
     ) -> Callable[[], AnnealCursor]:
         def make_cursor() -> AnnealCursor:
+            dump = getattr(self.schedule, "state_dict", None)
             return AnnealCursor(
                 step_index=step_index + 1,
                 temperature=self.schedule.next_temperature(temperature),
@@ -523,6 +539,7 @@ class Annealer:
                     for s in result.steps
                 ],
                 done=should_stop,
+                schedule_state=dump() if dump is not None else {},
             )
 
         return make_cursor
@@ -568,8 +585,8 @@ class Annealer:
                 fields["eta_seconds"] = round(eta_steps * stats.seconds, 1)
         heartbeat.beat("anneal", **fields)
 
-    @staticmethod
     def _emit_temperature(
+        self,
         tracer: Tracer,
         state: AnnealingState,
         step_index: int,
@@ -577,7 +594,8 @@ class Annealer:
     ) -> None:
         """One ``anneal.temperature`` event: the per-temperature snapshot
         behind the paper's Figs. 3-6 (T, acceptance ratio, cost, rate,
-        plus whatever the state's ``telemetry_snapshot`` contributes)."""
+        plus whatever the state's ``telemetry_snapshot`` and an adaptive
+        schedule's ``telemetry_fields`` contribute)."""
         fields = {
             "step": step_index,
             "T": round(stats.temperature, 6),
@@ -592,4 +610,7 @@ class Annealer:
         extra = state.telemetry_snapshot(stats.temperature)
         if extra:
             fields.update(extra)
+        schedule_fields = getattr(self.schedule, "telemetry_fields", None)
+        if schedule_fields is not None:
+            fields.update(schedule_fields())
         tracer.event("anneal.temperature", **fields)

@@ -34,6 +34,15 @@ DRIFT_ACTIONS = ("warn", "resync", "raise")
 SELECTOR_DS = "ds"
 SELECTOR_DR = "dr"
 
+#: Stage-1 placement cores: the original object-graph inner loop or the
+#: struct-of-arrays kernel (same decisions and costs on seeded replays).
+CORES = ("object", "array")
+
+#: Cooling schedules: the paper's Tables 1/2, or the VPR-style
+#: acceptance-ratio-driven schedule (alpha and the displacement window
+#: both follow the measured r_accept).
+COOLING_SCHEDULES = ("table", "adaptive")
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
@@ -83,6 +92,13 @@ class TimberWolfConfig:
     kappa: float = 5.0
     mu: float = 0.03
     selector: str = SELECTOR_DS
+    #: Stage-1 inner-loop implementation: "array" (struct-of-arrays
+    #: kernel, the default) or "object" (the original object graph).
+    #: Both replay identically move-for-move at the same seed.
+    core: str = "array"
+    #: "table" follows the paper's Tables 1/2; "adaptive" drives alpha
+    #: and the displacement window from the measured acceptance ratio.
+    cooling: str = "table"
     core_aspect_ratio: float = 1.0
     core_slack: float = 1.0
     #: Scales the estimator's Cw; 1.0 is the paper's flow, 0.0 disables
@@ -121,6 +137,13 @@ class TimberWolfConfig:
             raise ValueError("mu must lie in (0, 1]")
         if self.selector not in (SELECTOR_DS, SELECTOR_DR):
             raise ValueError(f"unknown selector {self.selector!r}")
+        if self.core not in CORES:
+            raise ValueError(f"core must be one of {CORES}, got {self.core!r}")
+        if self.cooling not in COOLING_SCHEDULES:
+            raise ValueError(
+                f"cooling must be one of {COOLING_SCHEDULES}, "
+                f"got {self.cooling!r}"
+            )
         if self.m_routes < 1:
             raise ValueError("m_routes must be at least 1")
         if self.refinement_passes < 0:

@@ -38,7 +38,7 @@ def net_report(result: TimberWolfResult, top: int = 15) -> str:
         return format_table(["net", "routed length"], body)
     state = result.state
     rows = [
-        (name, xs + ys) for name, (xs, ys) in state._net_spans.items()
+        (name, xs + ys) for name, (xs, ys) in state.net_spans().items()
     ]
     rows.sort(key=lambda kv: -kv[1])
     body = [[net, round(length, 1)] for net, length in rows[:top]]

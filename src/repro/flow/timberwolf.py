@@ -386,21 +386,17 @@ def _restore_stage2(
     """Rebuild the stage-1 artifacts from a stage-2 checkpoint payload
     and position ``rng`` at the captured pass boundary."""
     # Deferred import: stage1 internals, only touched on the resume path.
-    from ..annealing import RangeLimiter, stage1_schedule
     from ..annealing.engine import AnnealResult, TemperatureStats
-    from ..placement.stage1 import _core_plan
-    from ..placement.state import PlacementState as _PS
+    from ..placement.arraycore import make_placement_state
+    from ..placement.stage1 import _core_plan, stage1_cooling
 
     summary = payload["stage1"]
     plan = _core_plan(circuit, config, control)
-    schedule = stage1_schedule(plan.average_effective_cell_area)
-    limiter = RangeLimiter(
-        full_span_x=plan.core.width,
-        full_span_y=plan.core.height,
-        t_infinity=schedule.t_infinity,
-        rho=config.rho,
-    )
-    state = _PS(circuit, plan, kappa=config.kappa)
+    # Stage 2 only consults the limiter (temperature_for_fraction); the
+    # adaptive feedback state of the finished stage-1 anneal is
+    # irrelevant here.
+    _, limiter = stage1_cooling(plan, config)
+    state = make_placement_state(config.core, circuit, plan, kappa=config.kappa)
     state.load_state_dict(payload["state"])
     anneal = AnnealResult(
         final_cost=summary["anneal_final_cost"],

@@ -45,22 +45,19 @@ import sys
 import traceback
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..annealing import (
-    AllOf,
-    AnnealCursor,
-    Annealer,
-    AnnealResult,
-    FloorStop,
-    RangeLimiter,
-    WindowStop,
-    stage1_schedule,
-)
+from ..annealing import AnnealCursor, Annealer, AnnealResult
 from ..annealing.engine import TemperatureStats
 from ..config import TimberWolfConfig
 from ..netlist import Circuit, dumps, loads
+from ..placement.arraycore import make_placement_state
 from ..placement.moves import MoveGenerator, PlacementAnnealingState
-from ..placement.stage1 import STAGE1_T_FLOOR, Stage1Result, _core_plan, calibrate_p2
-from ..placement.state import PlacementState
+from ..placement.stage1 import (
+    Stage1Result,
+    _core_plan,
+    calibrate_p2,
+    stage1_cooling,
+    stage1_stopping,
+)
 from ..qor.heartbeat import NULL_HEARTBEAT, current_heartbeat, use_heartbeat
 from ..resilience.drift import DriftGuard
 from ..telemetry import MemorySink, Tracer, current_tracer, use_tracer
@@ -94,14 +91,10 @@ class ChainContext:
         self.config = config
         rng = random.Random(spawn_seed(config.seed, chain_id))
         plan = _core_plan(circuit, config, None)
-        schedule = stage1_schedule(plan.average_effective_cell_area)
-        self.limiter = RangeLimiter(
-            full_span_x=plan.core.width,
-            full_span_y=plan.core.height,
-            t_infinity=schedule.t_infinity,
-            rho=config.rho,
+        schedule, self.limiter = stage1_cooling(plan, config)
+        self.state = make_placement_state(
+            config.core, circuit, plan, kappa=config.kappa
         )
-        self.state = PlacementState(circuit, plan, kappa=config.kappa)
         self.cursor: Optional[AnnealCursor] = None
         self.done = False
         self.stop_reason: Optional[str] = None
@@ -121,10 +114,7 @@ class ChainContext:
             selector=config.selector,
         )
         self._anneal_state = PlacementAnnealingState(self.state, generator)
-        stopping = AllOf(
-            WindowStop(self.limiter),
-            FloorStop(schedule.scale * STAGE1_T_FLOOR),
-        )
+        stopping = stage1_stopping(circuit, config, schedule, self.limiter)
         self.annealer = Annealer(
             schedule,
             stopping,
@@ -585,14 +575,8 @@ def run_multichain_stage1(
     # Reconstruct the winner in this process — identically for both
     # backends, so the result cannot depend on where the chain ran.
     plan = _core_plan(circuit, config, control)
-    schedule = stage1_schedule(plan.average_effective_cell_area)
-    limiter = RangeLimiter(
-        full_span_x=plan.core.width,
-        full_span_y=plan.core.height,
-        t_infinity=schedule.t_infinity,
-        rho=config.rho,
-    )
-    state = PlacementState(circuit, plan, kappa=config.kappa)
+    _, limiter = stage1_cooling(plan, config)
+    state = make_placement_state(config.core, circuit, plan, kappa=config.kappa)
     state.load_state_dict(entry["state"])
     steps = (
         [TemperatureStats(*s) for s in entry["cursor"]["steps"]]

@@ -1,0 +1,1055 @@
+"""Array-native stage-1 placement kernel (struct-of-arrays hot path).
+
+``PlacementState`` walks a Python object graph on every move: dict-keyed
+pin positions, per-net span dicts, freshly allocated ``TileSet``/``Rect``
+objects, and dict-of-dict snapshots.  At paper scale that costs ~80 us
+per attempted move — fine for one anneal, prohibitive for multi-chain
+runs and design-space sweeps.
+
+``ArrayPlacementState`` keeps the object model as the authoring / IO
+layer (construction, ``state_dict``, ``rebuild``, drift audits, and every
+cold accessor are inherited unchanged) and replaces only the per-move hot
+path with a struct-of-arrays mirror:
+
+* cell geometry     — flat parallel lists / numpy arrays of expanded
+  bounding boxes and (rarely) per-tile coordinate tuples,
+* pin positions     — one flat coordinate pair per pin, indexed by a
+  per-cell slot table instead of name-keyed dicts,
+* net incidence     — integer net ids with flat member-pin-id lists,
+  weights, and spans,
+* variant caches    — per-(instance|aspect, orientation) oriented-bbox
+  and pin-offset tuples, flattened once from the object-core caches.
+
+The mirror is rebuilt from the object model by ``rebuild()`` (so every
+existing entry point — ``randomize``, ``load_state_dict``, legalization,
+``set_static_expansions`` — stays correct), and the move methods write
+both the mirror and the authoritative ``records``.
+
+Bit-identity contract
+---------------------
+
+The kernel replays any move sequence with *identical* accept/reject
+decisions and cost accumulators to the object core.  This is not an
+approximation: every floating-point expression is evaluated with the
+same operands in the same order as ``PlacementState._refresh_cells``:
+
+* net spans are exact min/max reductions (order-independent),
+* the C1/C2/C3 deltas accumulate per-net / per-partner terms in the
+  object core's documented order (insertion order for single-cell moves,
+  name-sorted for pair moves, index-sorted partner loops),
+* the C2 narrow phase reproduces ``TileSet.overlap_area``'s accumulation
+  order, including the single-tile fast path,
+* adding a zero term is a float no-op, so the broad phase only needs to
+  visit a *superset* of the partners whose pair term changes — the same
+  grid-candidates-plus-adjacency superset the object core visits,
+* shape variants and pin offsets are flattened from the object core's
+  own caches (``_oriented_shape`` / ``_pin_positions``), so there is no
+  second implementation of the geometry math to drift.
+
+Conversion helpers (``from_object`` / ``to_object`` / ``soa``) give the
+lossless round trip at stage boundaries; ``cost_breakdown_vector`` is
+the fully vectorized (numpy) C1/C2/C3 evaluation over the SoA mirror,
+used for audits and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+try:  # numpy backs the batch/vectorized paths; the scalar kernel runs without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+from ..estimator import CorePlan
+from ..geometry import BOTTOM, LEFT, RIGHT, TOP, Rect, TileSet
+from ..netlist import Circuit
+from .state import _SIDE_MAP_INV, PlacementState, _PIN_CACHE_LIMIT
+
+__all__ = ["ArrayPlacementState", "ArraySnapshot", "make_placement_state"]
+
+#: Registered placement-core implementations (see ``TimberWolfConfig.core``).
+PLACEMENT_CORES = ("object", "array")
+
+
+def make_placement_state(
+    core: str,
+    circuit: Circuit,
+    plan: CorePlan,
+    p2: float = 1.0,
+    kappa: float = 5.0,
+    dynamic_expansion: bool = True,
+    static_expansions: Optional[Dict[str, Dict[str, float]]] = None,
+) -> PlacementState:
+    """Construct the placement state for the configured core."""
+    if core not in PLACEMENT_CORES:
+        raise ValueError(f"unknown placement core {core!r}")
+    cls = ArrayPlacementState if core == "array" else PlacementState
+    return cls(
+        circuit,
+        plan,
+        p2=p2,
+        kappa=kappa,
+        dynamic_expansion=dynamic_expansion,
+        static_expansions=static_expansions,
+    )
+
+
+class ArraySnapshot:
+    """Undo token of one array-core move: plain scalars and short lists.
+
+    ``kind`` selects the restore path: 0 = single-cell geometry move,
+    1 = pair interchange, 2 = pin-group reassignment (no geometry).
+    ``geometry`` mirrors the object core's ``_Snapshot.geometry`` flag.
+    """
+
+    __slots__ = (
+        "kind",
+        "geometry",
+        "cost_before",
+        "cells",
+        "recs",
+        "ebbs",
+        "exp_refs",
+        "shape_refs",
+        "pins",
+        "spans",
+        "overlaps",
+        "borders",
+        "c3s",
+        "pin_site",
+        "c1",
+        "c2_raw",
+        "c3_total",
+    )
+
+    def __init__(self, kind, geometry, cost_before, cells, recs, ebbs,
+                 exp_refs, shape_refs, pins, spans, overlaps, borders, c3s,
+                 pin_site, c1, c2_raw, c3_total):
+        self.kind = kind
+        self.geometry = geometry
+        self.cost_before = cost_before
+        self.cells = cells
+        self.recs = recs
+        self.ebbs = ebbs
+        self.exp_refs = exp_refs
+        self.shape_refs = shape_refs
+        self.pins = pins
+        self.spans = spans
+        self.overlaps = overlaps
+        self.borders = borders
+        self.c3s = c3s
+        self.pin_site = pin_site
+        self.c1 = c1
+        self.c2_raw = c2_raw
+        self.c3_total = c3_total
+
+
+class ArrayPlacementState(PlacementState):
+    """Struct-of-arrays hot path over the object-core placement model."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._soa_ready = False
+        super().__init__(*args, **kwargs)
+        self._build_static_soa()
+        self._sync_soa()
+        self._soa_ready = True
+
+    # ------------------------------------------------------------------
+    # SoA construction and synchronization
+    # ------------------------------------------------------------------
+
+    def _build_static_soa(self) -> None:
+        """Immutable incidence structure: pin slots, net ids, densities."""
+        n = len(self.names)
+        circuit = self.circuit
+
+        # Flat pin slots: per-cell contiguous ranges in cell.pins order
+        # (the iteration order _pin_positions builds its dicts in).
+        self._pin_start: List[int] = []
+        self._pin_count: List[int] = []
+        self._pin_names: List[Tuple[str, ...]] = []
+        self._pin_slot: List[Dict[str, int]] = []
+        total = 0
+        for i in range(n):
+            cell = self.cell(i)
+            names = tuple(cell.pins)
+            self._pin_start.append(total)
+            self._pin_count.append(len(names))
+            self._pin_names.append(names)
+            self._pin_slot.append(
+                {name: total + k for k, name in enumerate(names)}
+            )
+            total += len(names)
+        self._num_pins = total
+        self._lpx: List[float] = [0.0] * total
+        self._lpy: List[float] = [0.0] * total
+
+        # Net ids in circuit.nets order; members as flat pin ids.
+        self._net_names: List[str] = list(circuit.nets)
+        self._nid: Dict[str, int] = {
+            name: e for e, name in enumerate(self._net_names)
+        }
+        self._nmem: List[List[int]] = []
+        self._nh: List[float] = []
+        self._nv: List[float] = []
+        for name in self._net_names:
+            net = circuit.nets[name]
+            self._nmem.append(
+                [self._pin_slot[idx][pin] for idx, pin in self._net_members[name]]
+            )
+            self._nh.append(net.h_weight)
+            self._nv.append(net.v_weight)
+        #: Rank of each net id under name ordering: sorting ids by rank
+        #: reproduces the object core's name-sorted pair-move net loop.
+        self._nrank: List[int] = [0] * len(self._net_names)
+        for rank, name in enumerate(sorted(self._net_names)):
+            self._nrank[self._nid[name]] = rank
+        self._cnets: List[List[int]] = [
+            [self._nid[name] for name in self._cell_nets[i]] for i in range(n)
+        ]
+        self._lsx: List[float] = [0.0] * len(self._net_names)
+        self._lsy: List[float] = [0.0] * len(self._net_names)
+
+        # Macro side densities resolved per orientation (static data).
+        self._dens8: List[Optional[Tuple[Tuple, ...]]] = []
+        for i in range(n):
+            dens = self._side_density[i]
+            if dens is None:
+                self._dens8.append(None)
+            else:
+                self._dens8.append(
+                    tuple(
+                        (
+                            dens[_SIDE_MAP_INV[o][LEFT]],
+                            dens[_SIDE_MAP_INV[o][BOTTOM]],
+                            dens[_SIDE_MAP_INV[o][RIGHT]],
+                            dens[_SIDE_MAP_INV[o][TOP]],
+                        )
+                        for o in range(8)
+                    )
+                )
+        self._slab4: Tuple[Tuple[float, float, float, float], ...] = tuple(
+            (s.x1, s.y1, s.x2, s.y2) for s in self._slabs
+        )
+        self._has_groups: List[bool] = [bool(g) for g in self._groups]
+
+        # Flattened variant caches: (key) -> oriented bbox (+tiles) and
+        # (key) -> pin-offset tuples.  Filled lazily from the object
+        # core's own caches, so the geometry math has a single source.
+        self._g_flat: List[Dict[Tuple, Tuple]] = [dict() for _ in range(n)]
+        self._o_flat: List[Dict[Tuple, Tuple]] = [dict() for _ in range(n)]
+
+    def _sync_soa(self) -> None:
+        """Refresh the mutable mirrors from the object-core caches (runs
+        after every ``rebuild()``, so every cold entry point stays valid)."""
+        n = len(self.names)
+        self._lex1: List[float] = [0.0] * n
+        self._ley1: List[float] = [0.0] * n
+        self._lex2: List[float] = [0.0] * n
+        self._ley2: List[float] = [0.0] * n
+        #: None for single-tile cells (the bbox *is* the tile); else the
+        #: world-frame expanded tile coordinates.
+        self._ltiles: List[Optional[Tuple]] = [None] * n
+        for i in range(n):
+            exp = self._expanded[i]
+            bb = exp.bbox
+            self._lex1[i] = bb.x1
+            self._ley1[i] = bb.y1
+            self._lex2[i] = bb.x2
+            self._ley2[i] = bb.y2
+            tiles = exp._tiles
+            self._ltiles[i] = (
+                None
+                if len(tiles) == 1
+                else tuple((t.x1, t.y1, t.x2, t.y2) for t in tiles)
+            )
+            start = self._pin_start[i]
+            pins = self._pins[i]
+            for k, name in enumerate(self._pin_names[i]):
+                x, y = pins[name]
+                self._lpx[start + k] = x
+                self._lpy[start + k] = y
+        for e, name in enumerate(self._net_names):
+            sx, sy = self._net_spans[name]
+            self._lsx[e] = sx
+            self._lsy[e] = sy
+        self._stat4: List[Tuple[float, float, float, float]] = [
+            (
+                static.get(LEFT, 0.0),
+                static.get(BOTTOM, 0.0),
+                static.get(RIGHT, 0.0),
+                static.get(TOP, 0.0),
+            )
+            for static in self._static
+        ]
+
+    def rebuild(self) -> None:
+        super().rebuild()
+        if self._soa_ready:
+            self._sync_soa()
+
+    # ------------------------------------------------------------------
+    # variant caches (flattened views over the object-core caches)
+    # ------------------------------------------------------------------
+
+    def _geom_flat(self, i: int, key: Tuple) -> Tuple:
+        """(ox1, oy1, ox2, oy2, local_tiles|None) of the oriented shape."""
+        cache = self._g_flat[i]
+        entry = cache.get(key)
+        if entry is None:
+            if len(cache) >= _PIN_CACHE_LIMIT:
+                cache.clear()
+            ts = self._oriented_shape(i)  # object-core math + memoization
+            bb = ts.bbox
+            tiles = ts._tiles
+            entry = (
+                bb.x1,
+                bb.y1,
+                bb.x2,
+                bb.y2,
+                None
+                if len(tiles) == 1
+                else tuple((t.x1, t.y1, t.x2, t.y2) for t in tiles),
+            )
+            cache[key] = entry
+        return entry
+
+    def _offsets_flat(self, i: int, key: Tuple) -> Tuple[Tuple, Tuple]:
+        """Pin offsets in slot order, as (xs, ys) tuples."""
+        cache = self._o_flat[i]
+        entry = cache.get(key)
+        if entry is None:
+            if len(cache) >= _PIN_CACHE_LIMIT:
+                cache.clear()
+            source = self._pin_offset_cache[i]
+            offsets = source.get(key)
+            if offsets is None:
+                # Populate the object-core cache (its dict iterates in
+                # cell.pins order — the same order as our slots).
+                self._pin_positions(i)
+                offsets = source[key]
+            entry = (
+                tuple(wx for wx, _ in offsets.values()),
+                tuple(wy for _, wy in offsets.values()),
+            )
+            cache[key] = entry
+        return entry
+
+    def _variant_keys(self, i: int):
+        """(geometry key, pin-offset key) for cell i's current record —
+        the same keys the object-core caches use."""
+        rec = self.records[i]
+        if self._is_macro[i]:
+            gkey = (rec.instance, rec.orientation)
+            return gkey, gkey
+        gkey = (rec.aspect_ratio, rec.orientation)
+        return gkey, (
+            rec.aspect_ratio,
+            rec.orientation,
+            tuple(rec.pin_sites.values()),
+        )
+
+    # ------------------------------------------------------------------
+    # hot-path helpers
+    # ------------------------------------------------------------------
+
+    def _cell_geometry(self, i: int):
+        """New expanded bbox (+tiles) for cell i's current record.
+
+        Reproduces _refresh_cells' geometry block: oriented bbox,
+        ``side_expansions`` on the translated bbox, and the composed
+        translate+expand arithmetic of ``translated_expanded``.
+        """
+        rec = self.records[i]
+        gkey, _ = self._variant_keys(i)
+        ox1, oy1, ox2, oy2, ltiles = self._geom_flat(i, gkey)
+        cx, cy = rec.center
+        if self.dynamic_expansion:
+            dens = self._dens8[i]
+            if dens is None:
+                dl = db = dr = dt = None
+            else:
+                dl, db, dr, dt = dens[rec.orientation]
+            left, bottom, right, top = self.estimator.side_expansions(
+                ox1 + cx, oy1 + cy, ox2 + cx, oy2 + cy, dl, db, dr, dt
+            )
+        else:
+            left, bottom, right, top = self._stat4[i]
+        if ltiles is None:
+            return (
+                (ox1 + cx) - left,
+                (oy1 + cy) - bottom,
+                (ox2 + cx) + right,
+                (oy2 + cy) + top,
+                None,
+            )
+        tiles = tuple(
+            (
+                (tx1 + cx) - left,
+                (ty1 + cy) - bottom,
+                (tx2 + cx) + right,
+                (ty2 + cy) + top,
+            )
+            for tx1, ty1, tx2, ty2 in ltiles
+        )
+        return (
+            min(t[0] for t in tiles),
+            min(t[1] for t in tiles),
+            max(t[2] for t in tiles),
+            max(t[3] for t in tiles),
+            tiles,
+        )
+
+    def _border_flat(self, x1, y1, x2, y2, tiles) -> float:
+        """``_border_overlap`` over flat coordinates (same accumulation)."""
+        core = self.core
+        if x1 >= core.x1 and x2 <= core.x2 and y1 >= core.y1 and y2 <= core.y2:
+            return 0.0
+        if tiles is None:
+            tiles = ((x1, y1, x2, y2),)
+        total = 0.0
+        for sx1, sy1, sx2, sy2 in self._slab4:
+            if not (x1 < sx2 and sx1 < x2 and y1 < sy2 and sy1 < y2):
+                continue
+            for tx1, ty1, tx2, ty2 in tiles:
+                w = min(tx2, sx2) - max(tx1, sx1)
+                if w <= 0.0:
+                    continue
+                h = min(ty2, sy2) - max(ty1, sy1)
+                if h <= 0.0:
+                    continue
+                total += w * h
+        return total
+
+    def _pair_area_flat(self, x1, y1, x2, y2, tiles_i, j) -> float:
+        """Narrow-phase overlap of the (already bbox-accepted) pair,
+        reproducing ``TileSet.overlap_area``'s loop order with cell i's
+        tiles outermost (the object core always calls exp_i.overlap_area)."""
+        tiles_j = self._ltiles[j]
+        if tiles_i is None and tiles_j is None:
+            jx2 = self._lex2[j]
+            jy2 = self._ley2[j]
+            return (min(x2, jx2) - max(x1, self._lex1[j])) * (
+                min(y2, jy2) - max(y1, self._ley1[j])
+            )
+        a = ((x1, y1, x2, y2),) if tiles_i is None else tiles_i
+        b = (
+            ((self._lex1[j], self._ley1[j], self._lex2[j], self._ley2[j]),)
+            if tiles_j is None
+            else tiles_j
+        )
+        total = 0.0
+        for tx1, ty1, tx2, ty2 in a:
+            for ux1, uy1, ux2, uy2 in b:
+                w = min(tx2, ux2) - max(tx1, ux1)
+                if w <= 0.0:
+                    continue
+                h = min(ty2, uy2) - max(ty1, uy1)
+                if h <= 0.0:
+                    continue
+                total += w * h
+        return total
+
+    def _span_delta(self, net_ids, saved_spans) -> None:
+        """Recompute spans of ``net_ids`` (in the given order) and
+        accumulate the C1 delta with _refresh_cells' exact expression."""
+        lpx = self._lpx
+        lpy = self._lpy
+        lsx = self._lsx
+        lsy = self._lsy
+        nh = self._nh
+        nv = self._nv
+        c1 = self._c1
+        for e in net_ids:
+            mem = self._nmem[e]
+            if mem:
+                xs = [lpx[p] for p in mem]
+                ys = [lpy[p] for p in mem]
+                new_x = max(xs) - min(xs)
+                new_y = max(ys) - min(ys)
+            else:
+                new_x = new_y = 0.0
+            old_x = lsx[e]
+            old_y = lsy[e]
+            saved_spans.append((e, old_x, old_y))
+            lsx[e] = new_x
+            lsy[e] = new_y
+            h = nh[e]
+            v = nv[e]
+            c1 += (new_x * h + new_y * v) - (old_x * h + old_y * v)
+        self._c1 = c1
+
+    def _partner_delta(self, i, x1, y1, x2, y2, tiles, skip, saved_over) -> None:
+        """Border + partner-pair C2 delta for cell i (object-core order:
+        border first, then grid-candidates ∪ adjacency, index-sorted,
+        with pair moves skipping the already-handled twin)."""
+        old_border = self._borders[i]
+        new_border = self._border_flat(x1, y1, x2, y2, tiles)
+        self._borders[i] = new_border
+        c2 = self._c2_raw + (new_border - old_border)
+        partners = self._grid.candidates(i)
+        adj = self._adj
+        ai = adj[i]
+        if ai:
+            partners |= ai
+        overlaps = self._overlaps
+        lex1 = self._lex1
+        ley1 = self._ley1
+        lex2 = self._lex2
+        ley2 = self._ley2
+        for j in sorted(partners):
+            if skip is not None and j in skip and j < i:
+                continue
+            key = (i, j) if i < j else (j, i)
+            old = overlaps.pop(key, 0.0)
+            if (
+                lex1[j] >= x2
+                or lex2[j] <= x1
+                or ley1[j] >= y2
+                or ley2[j] <= y1
+            ):
+                new = 0.0
+            else:
+                new = self._pair_area_flat(x1, y1, x2, y2, tiles, j)
+            if new > 0.0:
+                overlaps[key] = new
+                ai.add(j)
+                adj[j].add(i)
+            elif old > 0.0:
+                ai.discard(j)
+                adj[j].discard(i)
+            c2 += new - old
+            saved_over.append((i, j, old))
+        self._c2_raw = c2
+
+    def _commit_geometry(self, i, x1, y1, x2, y2, tiles) -> None:
+        self._lex1[i] = x1
+        self._ley1[i] = y1
+        self._lex2[i] = x2
+        self._ley2[i] = y2
+        self._ltiles[i] = tiles
+        self._shapes[i] = None
+        self._expanded[i] = None  # type: ignore[call-overload]
+        self._grid.update_coords(i, x1, y1, x2, y2)
+
+    def _commit_pins(self, i) -> None:
+        rec = self.records[i]
+        _, okey = self._variant_keys(i)
+        offx, offy = self._offsets_flat(i, okey)
+        cx, cy = rec.center
+        lpx = self._lpx
+        lpy = self._lpy
+        start = self._pin_start[i]
+        for k in range(self._pin_count[i]):
+            lpx[start + k] = cx + offx[k]
+            lpy[start + k] = cy + offy[k]
+
+    def _commit_c3(self, i) -> None:
+        if self._has_groups[i]:
+            new_c3 = self._cell_c3(i)
+            self._c3_total += new_c3 - self._c3[i]
+            self._c3[i] = new_c3
+
+    def _save_pins(self, i) -> Tuple[List[float], List[float]]:
+        start = self._pin_start[i]
+        end = start + self._pin_count[i]
+        return (self._lpx[start:end], self._lpy[start:end])
+
+    # ------------------------------------------------------------------
+    # move API (same signatures and semantics as the object core)
+    # ------------------------------------------------------------------
+
+    def move_cell(
+        self,
+        idx: int,
+        center: Optional[Tuple[float, float]] = None,
+        orientation: Optional[int] = None,
+        instance: Optional[int] = None,
+        aspect_ratio: Optional[float] = None,
+    ) -> Tuple[float, ArraySnapshot]:
+        rec = self.records[idx]
+        if center is not None:
+            rec_center = center
+        else:
+            rec_center = rec.center
+        return self._apply_single(
+            idx,
+            rec_center,
+            rec.orientation if orientation is None else orientation,
+            rec.instance if instance is None else instance,
+            rec.aspect_ratio if aspect_ratio is None else aspect_ratio,
+            invert=False,
+        )
+
+    def move_cell_inverted(
+        self, idx: int, center: Tuple[float, float]
+    ) -> Tuple[float, ArraySnapshot]:
+        rec = self.records[idx]
+        return self._apply_single(
+            idx, center, rec.orientation, rec.instance, rec.aspect_ratio,
+            invert=True,
+        )
+
+    def _apply_single(
+        self, i, new_center, new_o, new_inst, new_ar, invert
+    ) -> Tuple[float, ArraySnapshot]:
+        rec = self.records[i]
+        cost_before = self._c1 + self.p2 * self._c2_raw + self._c3_total
+        snap = ArraySnapshot(
+            0,
+            True,
+            cost_before,
+            i,
+            (rec.center, rec.orientation, rec.instance, rec.aspect_ratio),
+            (
+                self._lex1[i],
+                self._ley1[i],
+                self._lex2[i],
+                self._ley2[i],
+                self._ltiles[i],
+            ),
+            self._expanded[i],
+            self._shapes[i],
+            self._save_pins(i),
+            [],
+            [],
+            self._borders[i],
+            self._c3[i],
+            None,
+            self._c1,
+            self._c2_raw,
+            self._c3_total,
+        )
+        rec.center = new_center
+        rec.orientation = new_o
+        rec.instance = new_inst
+        rec.aspect_ratio = new_ar
+        if invert:
+            self._invert_record_aspect(i)
+        x1, y1, x2, y2, tiles = self._cell_geometry(i)
+        self._commit_geometry(i, x1, y1, x2, y2, tiles)
+        self._commit_pins(i)
+        self._commit_c3(i)
+        self._span_delta(self._cnets[i], snap.spans)
+        self._partner_delta(i, x1, y1, x2, y2, tiles, None, snap.overlaps)
+        cost = self._c1 + self.p2 * self._c2_raw + self._c3_total
+        return (cost - cost_before, snap)
+
+    def swap_cells(self, i: int, j: int) -> Tuple[float, ArraySnapshot]:
+        if i == j:
+            raise ValueError("cannot swap a cell with itself")
+        return self._apply_pair(i, j, invert=False)
+
+    def swap_cells_inverted(self, i: int, j: int) -> Tuple[float, ArraySnapshot]:
+        if i == j:
+            raise ValueError("cannot swap a cell with itself")
+        return self._apply_pair(i, j, invert=True)
+
+    def _apply_pair(self, i, j, invert) -> Tuple[float, ArraySnapshot]:
+        a, b = (i, j) if i < j else (j, i)
+        ra, rb = self.records[a], self.records[b]
+        cost_before = self._c1 + self.p2 * self._c2_raw + self._c3_total
+        snap = ArraySnapshot(
+            1,
+            True,
+            cost_before,
+            (a, b),
+            (
+                (ra.center, ra.orientation, ra.instance, ra.aspect_ratio),
+                (rb.center, rb.orientation, rb.instance, rb.aspect_ratio),
+            ),
+            (
+                (self._lex1[a], self._ley1[a], self._lex2[a], self._ley2[a],
+                 self._ltiles[a]),
+                (self._lex1[b], self._ley1[b], self._lex2[b], self._ley2[b],
+                 self._ltiles[b]),
+            ),
+            (self._expanded[a], self._expanded[b]),
+            (self._shapes[a], self._shapes[b]),
+            (self._save_pins(a), self._save_pins(b)),
+            [],
+            [],
+            (self._borders[a], self._borders[b]),
+            (self._c3[a], self._c3[b]),
+            None,
+            self._c1,
+            self._c2_raw,
+            self._c3_total,
+        )
+        ci, cj = self.records[i].center, self.records[j].center
+        self.records[i].center = cj
+        self.records[j].center = ci
+        if invert:
+            self._invert_record_aspect(i)
+            self._invert_record_aspect(j)
+        # Loop 1 — geometry, pins, C3, in ascending cell order (the
+        # object core's sorted idx_set).
+        geoms = {}
+        for k in (a, b):
+            x1, y1, x2, y2, tiles = self._cell_geometry(k)
+            self._commit_geometry(k, x1, y1, x2, y2, tiles)
+            geoms[k] = (x1, y1, x2, y2, tiles)
+            self._commit_pins(k)
+            self._commit_c3(k)
+        # Loop 2 — net spans in name-sorted order.
+        net_ids = set(self._cnets[a])
+        net_ids.update(self._cnets[b])
+        rank = self._nrank
+        self._span_delta(sorted(net_ids, key=rank.__getitem__), snap.spans)
+        # Loop 3 — borders and partners, ascending cell order; the (a, b)
+        # pair itself is evaluated once, in a's partner loop.
+        skip = (a, b)
+        for k in (a, b):
+            x1, y1, x2, y2, tiles = geoms[k]
+            self._partner_delta(k, x1, y1, x2, y2, tiles, skip, snap.overlaps)
+        cost = self._c1 + self.p2 * self._c2_raw + self._c3_total
+        return (cost - cost_before, snap)
+
+    def move_pin_group(
+        self, idx: int, group_key: str, side: str, start: int
+    ) -> Tuple[float, ArraySnapshot]:
+        rec = self.records[idx]
+        cost_before = self._c1 + self.p2 * self._c2_raw + self._c3_total
+        snap = ArraySnapshot(
+            2,
+            False,
+            cost_before,
+            idx,
+            None,
+            None,
+            None,
+            None,
+            self._save_pins(idx),
+            [],
+            None,
+            None,
+            self._c3[idx],
+            (group_key, rec.pin_sites[group_key]),
+            self._c1,
+            self._c2_raw,
+            self._c3_total,
+        )
+        rec.pin_sites[group_key] = (side, start)
+        self._commit_pins(idx)
+        self._commit_c3(idx)
+        self._span_delta(self._cnets[idx], snap.spans)
+        cost = self._c1 + self.p2 * self._c2_raw + self._c3_total
+        return (cost - cost_before, snap)
+
+    # ------------------------------------------------------------------
+    # restore
+    # ------------------------------------------------------------------
+
+    def _restore_pins(self, i, saved) -> None:
+        xs, ys = saved
+        start = self._pin_start[i]
+        end = start + self._pin_count[i]
+        self._lpx[start:end] = xs
+        self._lpy[start:end] = ys
+
+    def _restore_spans(self, spans) -> None:
+        lsx = self._lsx
+        lsy = self._lsy
+        for e, sx, sy in spans:
+            lsx[e] = sx
+            lsy[e] = sy
+
+    def _restore_overlaps(self, saved) -> None:
+        overlaps = self._overlaps
+        adj = self._adj
+        for i, j, old in saved:
+            key = (i, j) if i < j else (j, i)
+            if old > 0.0:
+                overlaps[key] = old
+                adj[i].add(j)
+                adj[j].add(i)
+            else:
+                overlaps.pop(key, None)
+                adj[i].discard(j)
+                adj[j].discard(i)
+
+    def _restore_cell(self, i, rec_tuple, ebb, exp_ref, shape_ref) -> None:
+        rec = self.records[i]
+        rec.center, rec.orientation, rec.instance, rec.aspect_ratio = rec_tuple
+        x1, y1, x2, y2, tiles = ebb
+        self._lex1[i] = x1
+        self._ley1[i] = y1
+        self._lex2[i] = x2
+        self._ley2[i] = y2
+        self._ltiles[i] = tiles
+        self._expanded[i] = exp_ref
+        self._shapes[i] = shape_ref
+        self._grid.update_coords(i, x1, y1, x2, y2)
+
+    def restore(self, snap) -> None:
+        if snap.__class__ is not ArraySnapshot:
+            # An object-core snapshot (taken before this state was
+            # handed an array move): fall back to the inherited restore
+            # and resynchronize the mirrors.
+            super().restore(snap)
+            self._sync_soa()
+            return
+        kind = snap.kind
+        if kind == 2:
+            i = snap.cells
+            key, site = snap.pin_site
+            self.records[i].pin_sites[key] = site
+            self._restore_pins(i, snap.pins)
+            self._restore_spans(snap.spans)
+            self._c3[i] = snap.c3s
+            self._c1 = snap.c1
+            self._c3_total = snap.c3_total
+            return
+        if kind == 0:
+            i = snap.cells
+            self._restore_cell(i, snap.recs, snap.ebbs, snap.exp_refs,
+                               snap.shape_refs)
+            self._restore_pins(i, snap.pins)
+            self._borders[i] = snap.borders
+            self._c3[i] = snap.c3s
+        else:
+            a, b = snap.cells
+            self._restore_cell(a, snap.recs[0], snap.ebbs[0],
+                               snap.exp_refs[0], snap.shape_refs[0])
+            self._restore_cell(b, snap.recs[1], snap.ebbs[1],
+                               snap.exp_refs[1], snap.shape_refs[1])
+            self._restore_pins(a, snap.pins[0])
+            self._restore_pins(b, snap.pins[1])
+            self._borders[a] = snap.borders[0]
+            self._borders[b] = snap.borders[1]
+            self._c3[a] = snap.c3s[0]
+            self._c3[b] = snap.c3s[1]
+        self._restore_spans(snap.spans)
+        self._restore_overlaps(snap.overlaps)
+        self._c1 = snap.c1
+        self._c2_raw = snap.c2_raw
+        self._c3_total = snap.c3_total
+
+    # ------------------------------------------------------------------
+    # accessors over the flat mirrors (the object caches go stale after
+    # the first array move; everything below reads the mirror instead)
+    # ------------------------------------------------------------------
+
+    def pin_position(self, cell_name: str, pin_name: str) -> Tuple[float, float]:
+        i = self.index[cell_name]
+        p = self._pin_slot[i][pin_name]
+        return (self._lpx[p], self._lpy[p])
+
+    def expanded_shape(self, name: str) -> TileSet:
+        idx = self.index[name]
+        exp = self._expanded[idx]
+        if exp is None:
+            exp = self._expanded[idx] = self._materialize_expanded(idx)
+        return exp
+
+    def _materialize_expanded(self, idx: int) -> TileSet:
+        tiles = self._ltiles[idx]
+        if tiles is None:
+            rects = [
+                Rect(
+                    self._lex1[idx],
+                    self._ley1[idx],
+                    self._lex2[idx],
+                    self._ley2[idx],
+                )
+            ]
+        else:
+            rects = [Rect(*t) for t in tiles]
+        out = TileSet.__new__(TileSet)
+        out._tiles = tuple(rects)
+        if len(rects) == 1:
+            out._bbox = rects[0]
+            out._area = rects[0].area
+        else:
+            out._bbox = Rect(
+                self._lex1[idx],
+                self._ley1[idx],
+                self._lex2[idx],
+                self._ley2[idx],
+            )
+            out._area = sum(r.area for r in rects)
+        return out
+
+    def chip_bbox(self) -> Rect:
+        return Rect(
+            min(self._lex1), min(self._ley1), max(self._lex2), max(self._ley2)
+        )
+
+    def teil(self) -> float:
+        lsy = self._lsy
+        return sum(sx + lsy[e] for e, sx in enumerate(self._lsx))
+
+    def net_spans(self) -> Dict[str, Tuple[float, float]]:
+        return {
+            name: (self._lsx[e], self._lsy[e])
+            for e, name in enumerate(self._net_names)
+        }
+
+    # ------------------------------------------------------------------
+    # object <-> array round trip and numpy views
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_object(cls, state: PlacementState) -> "ArrayPlacementState":
+        """Lossless conversion from an object-core placement: the clone
+        reproduces records, expansions mode, p2, and the history-exact
+        cost accumulators bit-for-bit."""
+        clone = cls(
+            state.circuit,
+            state.plan,
+            p2=state.p2,
+            kappa=state.kappa,
+            dynamic_expansion=state.dynamic_expansion,
+        )
+        clone.load_state_dict(state.state_dict())
+        return clone
+
+    def to_object(self) -> PlacementState:
+        """Lossless conversion back to the plain object core."""
+        out = PlacementState(
+            self.circuit,
+            self.plan,
+            p2=self.p2,
+            kappa=self.kappa,
+            dynamic_expansion=self.dynamic_expansion,
+        )
+        out.load_state_dict(self.state_dict())
+        return out
+
+    def soa(self) -> Dict[str, "object"]:
+        """Numpy struct-of-arrays views of the placement (read-only
+        copies): centers, orientations, instances, aspect ratios (nan for
+        macros), expanded bboxes, flat pin coordinates with their cell
+        ownership, and per-net spans/weights."""
+        if _np is None:  # pragma: no cover - the toolchain ships numpy
+            raise RuntimeError("numpy is required for SoA views")
+        n = len(self.names)
+        centers = _np.array([r.center for r in self.records], dtype=_np.float64)
+        aspect = _np.array(
+            [
+                _np.nan if r.aspect_ratio is None else r.aspect_ratio
+                for r in self.records
+            ],
+            dtype=_np.float64,
+        )
+        pin_cell = _np.zeros(self._num_pins, dtype=_np.int64)
+        for i in range(n):
+            start = self._pin_start[i]
+            pin_cell[start : start + self._pin_count[i]] = i
+        return {
+            "centers": centers,
+            "orientations": _np.array(
+                [r.orientation for r in self.records], dtype=_np.int64
+            ),
+            "instances": _np.array(
+                [r.instance for r in self.records], dtype=_np.int64
+            ),
+            "aspect_ratios": aspect,
+            "expanded_bbox": _np.array(
+                list(zip(self._lex1, self._ley1, self._lex2, self._ley2)),
+                dtype=_np.float64,
+            ),
+            "pin_xy": _np.array(
+                list(zip(self._lpx, self._lpy)), dtype=_np.float64
+            ),
+            "pin_cell": pin_cell,
+            "net_spans": _np.array(
+                list(zip(self._lsx, self._lsy)), dtype=_np.float64
+            ),
+            "net_weights": _np.array(
+                list(zip(self._nh, self._nv)), dtype=_np.float64
+            ),
+        }
+
+    def load_soa(self, soa: Dict[str, "object"]) -> None:
+        """Write a :meth:`soa` view back into the records and rebuild.
+
+        float64 round-trips exactly, so ``load_soa(soa())`` reproduces
+        the placement geometry bit-for-bit (pin-site assignments are
+        authoring-layer data carried by the records, unchanged here).
+        """
+        centers = soa["centers"]
+        orientations = soa["orientations"]
+        instances = soa["instances"]
+        aspect = soa["aspect_ratios"]
+        for i, rec in enumerate(self.records):
+            rec.center = (float(centers[i][0]), float(centers[i][1]))
+            rec.orientation = int(orientations[i])
+            rec.instance = int(instances[i])
+            ar = float(aspect[i])
+            rec.aspect_ratio = None if ar != ar else ar
+        self.rebuild()
+
+    def cost_breakdown_vector(self) -> Tuple[float, float, float]:
+        """(C1, C2_raw, C3) evaluated with vectorized numpy reductions
+        over the SoA mirror — the batch audit path (agrees with
+        :meth:`cost_breakdown_fresh` to rounding; the incremental
+        accumulators are history-exact and may differ by ULPs)."""
+        if _np is None:  # pragma: no cover - the toolchain ships numpy
+            raise RuntimeError("numpy is required for the vectorized path")
+        px = _np.asarray(self._lpx)
+        py = _np.asarray(self._lpy)
+        flat: List[int] = []
+        offsets: List[int] = []
+        live: List[int] = []
+        for e, mem in enumerate(self._nmem):
+            if mem:
+                offsets.append(len(flat))
+                flat.extend(mem)
+                live.append(e)
+        c1 = 0.0
+        if live:
+            idx = _np.asarray(flat, dtype=_np.int64)
+            off = _np.asarray(offsets, dtype=_np.int64)
+            gx = px[idx]
+            gy = py[idx]
+            span_x = _np.maximum.reduceat(gx, off) - _np.minimum.reduceat(gx, off)
+            span_y = _np.maximum.reduceat(gy, off) - _np.minimum.reduceat(gy, off)
+            h = _np.asarray(self._nh)[live]
+            v = _np.asarray(self._nv)[live]
+            c1 = float(_np.sum(span_x * h + span_y * v))
+        x1 = _np.asarray(self._lex1)
+        y1 = _np.asarray(self._ley1)
+        x2 = _np.asarray(self._lex2)
+        y2 = _np.asarray(self._ley2)
+        w = _np.minimum(x2[:, None], x2[None, :]) - _np.maximum(
+            x1[:, None], x1[None, :]
+        )
+        h2 = _np.minimum(y2[:, None], y2[None, :]) - _np.maximum(
+            y1[:, None], y1[None, :]
+        )
+        area = _np.where((w > 0.0) & (h2 > 0.0), w * h2, 0.0)
+        n = len(self.names)
+        upper = _np.triu_indices(n, k=1)
+        pair_area = area[upper]
+        # Multi-tile cells need the exact tile-level narrow phase for
+        # the pairs their bbox accepted.
+        multi = [i for i in range(n) if self._ltiles[i] is not None]
+        if multi:
+            multi_set = set(multi)
+            ii, jj = upper
+            for k in range(len(pair_area)):
+                if pair_area[k] > 0.0:
+                    i = int(ii[k])
+                    j = int(jj[k])
+                    if i in multi_set or j in multi_set:
+                        pair_area[k] = self._pair_area_flat(
+                            self._lex1[i],
+                            self._ley1[i],
+                            self._lex2[i],
+                            self._ley2[i],
+                            self._ltiles[i],
+                            j,
+                        )
+        c2 = float(_np.sum(pair_area))
+        for i in range(n):
+            c2 += self._border_flat(
+                self._lex1[i],
+                self._ley1[i],
+                self._lex2[i],
+                self._ley2[i],
+                self._ltiles[i],
+            )
+        c3 = sum(self._cell_c3(i) for i in range(n))
+        return c1, c2, c3

@@ -1,0 +1,665 @@
+"""Batched move proposal/acceptance over the struct-of-arrays mirror.
+
+The serial array kernel (``ArrayPlacementState``) replays the object
+core bit-for-bit, but each move still pays interpreter overhead for a
+few dozen scalar operations — a hard floor around 10^4 moves/sec.  This
+module is the throughput path: it evaluates *batches* of displacement
+and interchange proposals with vectorized numpy C1/C2 delta evaluation
+and accepts each proposal with the Metropolis rule.
+
+Semantics (synchronous batched SA, PARSAC-style)
+------------------------------------------------
+
+Every proposal in a batch touches distinct cells and is evaluated
+against the state *frozen at the start of the batch*; all accepted
+proposals are then committed together and the exact totals recomputed
+(vectorized, from scratch) before the next batch.  Within a batch the
+interaction between two accepted moves is therefore not reflected in
+their acceptance deltas — the standard synchronous-parallel annealing
+approximation.  The committed state and its cost totals are always
+exact; only the accept decisions use slightly stale deltas.  Batch size
+trades throughput against fidelity: ``batch=1`` is ordinary serial SA.
+
+The kernel runs a *session*: ``begin()`` freezes the SoA mirrors into
+numpy arrays, batches mutate those arrays only, and ``finish()`` writes
+the surviving placement back through the object model (``rebuild()``),
+restoring every serial-path invariant.  C3 never changes inside a
+session (displacements and plain interchanges touch neither pin sites
+nor aspect ratios), so it is carried as a constant.
+
+Layout notes
+------------
+
+numpy dispatch cost, not arithmetic, bounds this kernel, so the arrays
+are shaped to keep every hot operation a contiguous-input ufunc call:
+
+* Tiles live in four parallel coordinate vectors (``sx1``..``sy2``)
+  rather than an (n, 4) matrix — broadcasting two strided column
+  slices costs ~10x a contiguous broadcast.
+* The static tile table is *compressed* (real tiles only) and
+  augmented with one degenerate "dummy" slot (padding scatters land
+  there) and the four border slabs, so border terms ride the same
+  overlap pass as cell-vs-cell terms.
+* Each commit refreshes ``O_tile`` — every tile's summed overlap with
+  other cells' tiles and the slabs — so a later proposal reads its
+  "old contribution" with a single gather instead of a second overlap
+  pass.
+* Net membership is padded with a zero-weight *sentinel net* (and net
+  member rows padded by repeating a real member), which makes padded
+  entries exact no-ops without a single ``np.where`` mask.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .arraycore import ArrayPlacementState
+
+__all__ = ["BatchKernel", "BatchMoveGenerator"]
+
+
+class BatchKernel:
+    """Vectorized displacement / interchange batches over an array state."""
+
+    def __init__(self, state: ArrayPlacementState) -> None:
+        self.state = state
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Freeze the SoA mirrors into numpy arrays for batched annealing."""
+        state = self.state
+        n = len(state.names)
+        self.n = n
+        self.movable = np.array(
+            [i for i in range(n) if state.movable[i]], dtype=np.int64
+        )
+        self.centers = np.array(
+            [r.center for r in state.records], dtype=np.float64
+        )
+        #: (2, n) contiguous coordinate rows of the same centers — the
+        #: hot C1 path gathers per-coordinate; kept in sync by _commit.
+        self.cxy = np.ascontiguousarray(self.centers.T)
+
+        # Oriented local tiles.  Orientation, instance, and aspect are
+        # all frozen during a session, so these tables are static.
+        local = []
+        for i in range(n):
+            gkey, _ = state._variant_keys(i)
+            ox1, oy1, ox2, oy2, tiles = state._geom_flat(i, gkey)
+            local.append(((ox1, oy1, ox2, oy2), tiles or ((ox1, oy1, ox2, oy2),)))
+        tmax = max(len(t) for _, t in local)
+        self.tmax = tmax
+        # Local tiles padded with inverted boxes (+inf, +inf, -inf, -inf):
+        # any finite translation keeps them inverted, and the overlap
+        # kernel's relu clamps their area to zero — no masks needed.
+        self.ltx1 = np.full((n, tmax), np.inf)
+        self.lty1 = np.full((n, tmax), np.inf)
+        self.ltx2 = np.full((n, tmax), -np.inf)
+        self.lty2 = np.full((n, tmax), -np.inf)
+        for i, (_, tiles) in enumerate(local):
+            arr = np.asarray(tiles, dtype=np.float64)
+            c = len(tiles)
+            self.ltx1[i, :c] = arr[:, 0]
+            self.lty1[i, :c] = arr[:, 1]
+            self.ltx2[i, :c] = arr[:, 2]
+            self.lty2[i, :c] = arr[:, 3]
+        #: (4, n, tmax) stacked view — _world gathers all four planes at once.
+        self.lt = np.stack([self.ltx1, self.lty1, self.ltx2, self.lty2])
+
+        # Expansion model: either the closed-form dynamic estimator
+        # (vectorized tent functions) or the static per-side table.
+        est = state.estimator
+        self.dynamic = state.dynamic_expansion
+        if self.dynamic:
+            cx, cy = est._cx, est._cy
+            hw, hh = est._half_w, est._half_h
+            p = est.profile
+            # Stacked tent-function parameters for the fused 6-column
+            # evaluation: columns (x1, x2, xc, y1, y2, yc).
+            self._tc = np.array([cx, cx, cx, cy, cy, cy])
+            self._th = np.array([hw, hw, hw, hh, hh, hh])
+            self._tm = np.array([p.m_x] * 3 + [p.m_y] * 3)
+            sx = (p.m_x - p.b_x) / hw
+            sy = (p.m_y - p.b_y) / hh
+            self._ts = np.array([sx, sx, sx, sy, sy, sy])
+            basefrp = np.full((n, 4), est._base)
+            for i in range(n):
+                dens = state._dens8[i]
+                if dens is not None:
+                    o = state.records[i].orientation
+                    basefrp[i] *= [est.frp(d) for d in dens[o]]
+            self.basefrp = basefrp
+            # Local bbox in fused column order (x1, x2, xc, y1, y2, yc).
+            bb = np.array([b for b, _ in local], dtype=np.float64)
+            self.obb6 = np.column_stack(
+                [
+                    bb[:, 0],
+                    bb[:, 2],
+                    (bb[:, 0] + bb[:, 2]) / 2.0,
+                    bb[:, 1],
+                    bb[:, 3],
+                    (bb[:, 1] + bb[:, 3]) / 2.0,
+                ]
+            )
+        else:
+            self.stat = np.array(state._stat4, dtype=np.float64)
+
+        # Compressed static tile table: T real tile slots (contiguous
+        # per cell), one dummy slot, then the four border slabs.
+        counts = [len(t) for _, t in local]
+        self.cell_off = np.zeros(n, dtype=np.int64)
+        np.cumsum(counts[:-1], out=self.cell_off[1:])
+        T = int(sum(counts))
+        self.T = T
+        S = T + 1 + 4
+        self.S = S
+        #: (n, tmax) slot of each padded local tile; padding → dummy T.
+        self.slotidx = np.full((n, tmax), T, dtype=np.int64)
+        for i, c in enumerate(counts):
+            self.slotidx[i, :c] = self.cell_off[i] + np.arange(c)
+        self.sx1 = np.full(S, np.inf)
+        self.sy1 = np.full(S, np.inf)
+        self.sx2 = np.full(S, -np.inf)
+        self.sy2 = np.full(S, -np.inf)
+        tile_cell = np.full(S, -2, dtype=np.int64)
+        for i in range(n):
+            tiles = state._ltiles[i]
+            if tiles is None:
+                tiles = (
+                    (state._lex1[i], state._ley1[i], state._lex2[i], state._ley2[i]),
+                )
+            s = self.cell_off[i]
+            for t, (x1, y1, x2, y2) in enumerate(tiles):
+                self.sx1[s + t] = x1
+                self.sy1[s + t] = y1
+                self.sx2[s + t] = x2
+                self.sy2[s + t] = y2
+            tile_cell[s : s + counts[i]] = i
+        for t, (x1, y1, x2, y2) in enumerate(state._slab4):
+            self.sx1[T + 1 + t] = x1
+            self.sy1[T + 1 + t] = y1
+            self.sx2[T + 1 + t] = x2
+            self.sy2[T + 1 + t] = y2
+            tile_cell[T + 1 + t] = -1
+        self.tile_cell = tile_cell
+        # Pair-count weights: 1 between tiles of different owners (the
+        # dummy never overlaps; slab-vs-slab shares owner -1 → 0), so
+        # C2 = Σ ov·V / 2 — both cell pairs and borders appear twice.
+        self.V = (tile_cell[:, None] != tile_cell[None, :]).astype(np.float64)
+
+        # Pin ownership (needed to group net members by owner below).
+        P = len(state._lpx)
+        self.pin_cell = np.zeros(max(P, 1), dtype=np.int64)
+        for i in range(n):
+            s = state._pin_start[i]
+            self.pin_cell[s : s + state._pin_count[i]] = i
+
+        # Live nets plus a zero-weight sentinel net (row R-1).  Members
+        # are collapsed to one slot per (net, owner cell) carrying the
+        # owner's static pin-offset extremes — a net's span only needs
+        # each owner's min/max offset plus its live center, and the
+        # collapsed width is the distinct-owner count, not the pin
+        # count.  Padding repeats the first slot (a duplicated point
+        # changes neither a max nor a min) and per-cell net lists are
+        # padded with the sentinel, whose zero weight makes its
+        # contribution exactly 0.0.  No masks anywhere.
+        live = [e for e, mem in enumerate(state._nmem) if mem]
+        nlive = len(live)
+        R = nlive + 1
+        groups = []
+        for e in live:
+            by_owner = {}
+            for p in state._nmem[e]:
+                c = int(self.pin_cell[p])
+                ox = state._lpx[p] - self.centers[c, 0]
+                oy = state._lpy[p] - self.centers[c, 1]
+                g = by_owner.get(c)
+                if g is None:
+                    by_owner[c] = [ox, oy, ox, oy]
+                else:
+                    g[0] = min(g[0], ox)
+                    g[1] = min(g[1], oy)
+                    g[2] = max(g[2], ox)
+                    g[3] = max(g[3], oy)
+            groups.append(by_owner)
+        # Owner slots padded to a power of two so the span reductions can
+        # run as log2(cm) pairwise maximum/minimum calls — numpy's axis
+        # reduce pays ~60ns per output slice, a chain of elementwise
+        # np.maximum calls doesn't.
+        cm = max((len(g) for g in groups), default=1)
+        cm = 1 << (cm - 1).bit_length()
+        self.nowner = np.zeros((R, cm), dtype=np.int64)
+        self.noffmin = np.zeros((2, R, cm), dtype=np.float64)
+        self.noffmax = np.zeros((2, R, cm), dtype=np.float64)
+        for r, by_owner in enumerate(groups):
+            for s, (c, g) in enumerate(by_owner.items()):
+                self.nowner[r, s] = c
+                self.noffmin[0, r, s] = g[0]
+                self.noffmin[1, r, s] = g[1]
+                self.noffmax[0, r, s] = g[2]
+                self.noffmax[1, r, s] = g[3]
+            w = len(by_owner)
+            if w:
+                self.nowner[r, w:] = self.nowner[r, 0]
+                self.noffmin[:, r, w:] = self.noffmin[:, r, 0:1]
+                self.noffmax[:, r, w:] = self.noffmax[:, r, 0:1]
+        hw = np.asarray(state._nh, dtype=np.float64)
+        vw = np.asarray(state._nv, dtype=np.float64)
+        self.w2 = np.zeros((2, R), dtype=np.float64)
+        self.w2[0, :nlive] = hw[live]
+        self.w2[1, :nlive] = vw[live]
+        live_row = {e: r for r, e in enumerate(live)}
+        cell_nets = [
+            [live_row[e] for e in state._cnets[i] if e in live_row]
+            for i in range(n)
+        ]
+        netmax = max((len(x) for x in cell_nets), default=1) or 1
+        self.cnet = np.full((n, netmax), nlive, dtype=np.int64)
+        for i, ids in enumerate(cell_nets):
+            self.cnet[i, : len(ids)] = ids
+
+        # Pre-gathered per-cell C1 tables over ALL cells, so the per
+        # batch ΔC1 path runs on plain contiguous ufuncs (advanced
+        # indexing costs ~10µs per call regardless of size — at these
+        # shapes the gathers, not the arithmetic, were the bottleneck).
+        # Only `bhi`/`blo`/`cs_cell` depend on live centers;
+        # _refresh_c1_tables rebuilds them after each commit.
+        self.cm = cm
+        self.own = self.nowner[self.cnet]
+        self.mine = (
+            self.own == np.arange(n)[:, None, None]
+        ).astype(np.float64)
+        self.wcell = self.w2[:, self.cnet]
+
+        core = state.core
+        self.core_lo = np.array([core.x1, core.y1])
+        self.core_hi = np.array([core.x2, core.y2])
+
+        self.p2 = state.p2
+        self.c3 = state._c3_total
+        self._refresh_spans()
+        self.c1 = float(np.einsum("cr,cr->", self.w2, self.cur_s))
+        self._refresh_c1_tables()
+        self._refresh_overlaps()
+        self._active = True
+
+    def finish(self) -> None:
+        """Write the batch-mode placement back through the object model.
+
+        ``rebuild()`` restores every serial-path structure (grid,
+        overlaps, adjacency, object caches) from the records, and the
+        accumulators are left at the canonical from-scratch values — the
+        same contract as ``PlacementState.resync()``.
+        """
+        state = self.state
+        for i, rec in enumerate(state.records):
+            rec.center = (float(self.centers[i, 0]), float(self.centers[i, 1]))
+        state.rebuild()
+        self._active = False
+
+    def cost(self) -> float:
+        return self.c1 + self.p2 * self.c2 + self.c3
+
+    # ------------------------------------------------------------------
+    # vectorized cost pieces
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _hmax(g: np.ndarray) -> np.ndarray:
+        """max over the (power-of-two) last axis via pairwise maximum."""
+        s = g.shape[-1]
+        while s > 1:
+            s //= 2
+            g = np.maximum(g[..., :s], g[..., s:])
+        return g[..., 0]
+
+    @staticmethod
+    def _hmin(g: np.ndarray) -> np.ndarray:
+        s = g.shape[-1]
+        while s > 1:
+            s //= 2
+            g = np.minimum(g[..., :s], g[..., s:])
+        return g[..., 0]
+
+    def _refresh_spans(self) -> None:
+        """Per-net (x, y) spans from the collapsed owner tables."""
+        base = self.cxy[:, self.nowner]
+        self.nhi = base + self.noffmax
+        self.nlo = base + self.noffmin
+        self.cur_s = self._hmax(self.nhi) - self._hmin(self.nlo)
+
+    def _refresh_c1_tables(self) -> None:
+        """Re-gather the center-dependent per-cell C1 tables (staged
+        through the net-level extreme tables _refresh_spans just built)."""
+        self.bhi = self.nhi[:, self.cnet]
+        self.blo = self.nlo[:, self.cnet]
+        self.cs_cell = self.cur_s[:, self.cnet]
+
+    def _refresh_overlaps(self) -> None:
+        """Recompute the exact C2 total and the per-tile / per-cell
+        interaction sums from the static tile table (one S×S pass)."""
+        w = np.minimum(self.sx2[:, None], self.sx2[None, :]) - np.maximum(
+            self.sx1[:, None], self.sx1[None, :]
+        )
+        h = np.minimum(self.sy2[:, None], self.sy2[None, :]) - np.maximum(
+            self.sy1[:, None], self.sy1[None, :]
+        )
+        ov = np.maximum(w, 0.0) * np.maximum(h, 0.0)
+        self.O_tile = np.einsum("ij,ij->i", ov, self.V)
+        self.c2 = 0.5 * float(self.O_tile.sum())
+        self.O_cell = np.add.reduceat(self.O_tile[: self.T], self.cell_off)
+
+    def _c1_total(self) -> float:
+        self._refresh_spans()
+        return float(np.einsum("cr,cr->", self.w2, self.cur_s))
+
+    def _c2_total(self) -> float:
+        self._refresh_overlaps()
+        return self.c2
+
+    def _expansions(self, cells: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        """(K, 4) outward (left, bottom, right, top) expansions of the
+        given cells at the given centers — the vectorized Eqn-2 model,
+        evaluated as one fused 6-column tent-function pass."""
+        if not self.dynamic:
+            return self.stat[cells]
+        pts = self.obb6[cells]
+        pts[:, :3] += centers[:, 0:1]
+        pts[:, 3:] += centers[:, 1:2]
+        f = self._tm - np.minimum(np.abs(pts - self._tc), self._th) * self._ts
+        # left = fx(x1)·fy(yc), bottom = fx(xc)·fy(y1),
+        # right = fx(x2)·fy(yc), top = fx(xc)·fy(y2)
+        return f[:, [0, 2, 1, 2]] * f[:, [5, 3, 5, 4]] * self.basefrp[cells]
+
+    def _world(
+        self, cells: np.ndarray, centers: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Expanded world tiles of cells at given centers as four
+        (K, tmax) coordinate planes (padding stays inverted)."""
+        e = self._expansions(cells, centers)
+        off = np.empty((4, len(cells)))
+        off[0] = centers[:, 0] - e[:, 0]
+        off[1] = centers[:, 1] - e[:, 1]
+        off[2] = centers[:, 0] + e[:, 2]
+        off[3] = centers[:, 1] + e[:, 3]
+        w = self.lt[:, cells] + off[:, :, None]
+        return w[0], w[1], w[2], w[3]
+
+    def _vs_static(
+        self,
+        x1: np.ndarray,
+        y1: np.ndarray,
+        x2: np.ndarray,
+        y2: np.ndarray,
+    ) -> np.ndarray:
+        """(rows, S) overlap of flattened proposal tiles against the
+        full static table (slabs included, own tiles NOT excluded)."""
+        w = np.minimum(x2.reshape(-1, 1), self.sx2) - np.maximum(
+            x1.reshape(-1, 1), self.sx1
+        )
+        h = np.minimum(y2.reshape(-1, 1), self.sy2) - np.maximum(
+            y1.reshape(-1, 1), self.sy1
+        )
+        return np.maximum(w, 0.0) * np.maximum(h, 0.0)
+
+    def _own_sum(self, ov: np.ndarray, k: int, cells: np.ndarray) -> np.ndarray:
+        """(K,) total of ``ov`` columns owned by each proposal's cell
+        (ov is (k*tmax, S) row-major by proposal)."""
+        cols = self.slotidx[cells]
+        rows = np.arange(k * self.tmax).reshape(k, self.tmax)
+        return ov[rows[:, :, None], cols[:, None, :]].sum(axis=(1, 2))
+
+    @staticmethod
+    def _tiles_overlap(
+        ax1, ay1, ax2, ay2, bx1, by1, bx2, by2
+    ) -> np.ndarray:
+        """(K,) overlap between two per-proposal tile groups, each given
+        as (K, tmax) coordinate planes."""
+        w = np.minimum(ax2[:, :, None], bx2[:, None, :]) - np.maximum(
+            ax1[:, :, None], bx1[:, None, :]
+        )
+        h = np.minimum(ay2[:, :, None], by2[:, None, :]) - np.maximum(
+            ay1[:, :, None], by1[:, None, :]
+        )
+        return (np.maximum(w, 0.0) * np.maximum(h, 0.0)).sum(axis=(1, 2))
+
+    def _disp_dc1(self, cells: np.ndarray, d: np.ndarray) -> np.ndarray:
+        """(K,) ΔC1 of displacing ``cells`` by ``d`` — computed for all
+        cells at once over the pre-gathered tables (unmoved cells get an
+        exactly-zero delta), then sliced to the batch."""
+        df = np.zeros((self.n, 2))
+        df[cells] = d
+        shift = df.T[:, :, None, None] * self.mine
+        ns = self._hmax(self.bhi + shift) - self._hmin(self.blo + shift)
+        dall = np.einsum("cnm,cnm->n", self.wcell, ns - self.cs_cell)
+        return dall[cells]
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+
+    def displacement_batch(
+        self,
+        batch: int,
+        temperature: float,
+        window: Tuple[float, float],
+        rng: np.random.Generator,
+    ) -> Tuple[int, int]:
+        """One batch of range-limited single-cell displacements.
+
+        Returns (attempts, accepts).  ``window`` is the §3.2.2 range
+        limiter's (x, y) half-span at the current temperature.
+        """
+        if not self._active:
+            raise RuntimeError("call begin() before running batches")
+        k = min(batch, len(self.movable))
+        cells = rng.permutation(self.movable)[:k]
+        cur = self.centers[cells]
+        step = rng.uniform(-1.0, 1.0, size=(k, 2))
+        step[:, 0] *= window[0]
+        step[:, 1] *= window[1]
+        targets = np.clip(cur + step, self.core_lo, self.core_hi)
+
+        nx1, ny1, nx2, ny2 = self._world(cells, targets)
+        ov = self._vs_static(nx1, ny1, nx2, ny2)
+        new_sum = ov.sum(axis=1).reshape(k, self.tmax).sum(axis=1)
+        new_sum -= self._own_sum(ov, k, cells)
+        d_c2 = new_sum - self.O_cell[cells]
+
+        d_c1 = self._disp_dc1(cells, targets - cur)
+
+        accept = self._metropolis(d_c1 + self.p2 * d_c2, temperature, rng)
+        if accept.any():
+            self._commit(
+                cells[accept],
+                targets[accept],
+                nx1[accept],
+                ny1[accept],
+                nx2[accept],
+                ny2[accept],
+            )
+        return (k, int(accept.sum()))
+
+    def interchange_batch(
+        self, batch: int, temperature: float, rng: np.random.Generator
+    ) -> Tuple[int, int]:
+        """One batch of pairwise interchanges (§3.2.1 A2, not range
+        limited); all cells across the batch are distinct."""
+        if not self._active:
+            raise RuntimeError("call begin() before running batches")
+        k = min(batch, len(self.movable) // 2)
+        if k < 1:
+            return (0, 0)
+        chosen = rng.permutation(self.movable)[: 2 * k]
+        a = chosen[:k]
+        b = chosen[k:]
+        ca = self.centers[a]
+        cb = self.centers[b]
+
+        ax1, ay1, ax2, ay2 = self._world(a, cb)
+        bx1, by1, bx2, by2 = self._world(b, ca)
+        nx1 = np.concatenate([ax1, bx1])
+        ny1 = np.concatenate([ay1, by1])
+        nx2 = np.concatenate([ax2, bx2])
+        ny2 = np.concatenate([ay2, by2])
+        both = np.concatenate([a, b])
+        ov = self._vs_static(nx1, ny1, nx2, ny2)
+        stat = ov.sum(axis=1).reshape(2 * k, self.tmax).sum(axis=1)
+        stat -= self._own_sum(ov, 2 * k, both)
+        stat -= self._own_sum(ov, 2 * k, np.concatenate([b, a]))
+        new_static = stat[:k] + stat[k:]
+        intra_new = self._tiles_overlap(
+            ax1, ay1, ax2, ay2, bx1, by1, bx2, by2
+        )
+        # Old contribution straight from the cached per-cell interaction
+        # sums; the a-b pair term is in both caches, subtract it once.
+        sa = self.slotidx[a]
+        sb = self.slotidx[b]
+        intra_old = self._tiles_overlap(
+            self.sx1[sa], self.sy1[sa], self.sx2[sa], self.sy2[sa],
+            self.sx1[sb], self.sy1[sb], self.sx2[sb], self.sy2[sb],
+        )
+        d_c2 = (
+            new_static + intra_new - (self.O_cell[a] + self.O_cell[b] - intra_old)
+        )
+
+        # ΔC1: every net of a or b, with both shifts applied; nets shared
+        # by both lists are counted once (via a's list).
+        da = cb - ca
+
+        def contrib(rows):
+            ow = self.own[rows]
+            shift = da.T[:, :, None, None] * (ow == a[:, None, None]) - da.T[
+                :, :, None, None
+            ] * (ow == b[:, None, None])
+            ns = self._hmax(self.bhi[:, rows] + shift) - self._hmin(
+                self.blo[:, rows] + shift
+            )
+            return (
+                self.wcell[:, rows] * (ns - self.cs_cell[:, rows])
+            ).sum(axis=0)
+
+        shared = (
+            self.cnet[b][:, :, None] == self.cnet[a][:, None, :]
+        ).any(axis=-1)
+        d_c1 = contrib(a).sum(axis=-1) + np.where(
+            shared, 0.0, contrib(b)
+        ).sum(axis=-1)
+
+        accept = self._metropolis(d_c1 + self.p2 * d_c2, temperature, rng)
+        if accept.any():
+            acc2 = np.concatenate([accept, accept])
+            self._commit(
+                both[acc2],
+                np.concatenate([cb[accept], ca[accept]]),
+                nx1[acc2],
+                ny1[acc2],
+                nx2[acc2],
+                ny2[acc2],
+            )
+        return (k, int(accept.sum()))
+
+    @staticmethod
+    def _metropolis(
+        delta: np.ndarray, temperature: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if temperature <= 0.0:
+            return delta <= 0.0
+        # Branchless: downhill deltas clamp to exp(0) = 1, which every
+        # draw from [0, 1) beats.
+        z = np.clip(delta / temperature, 0.0, 700.0)
+        return rng.random(delta.shape[0]) < np.exp(-z)
+
+    def _commit(
+        self,
+        cells: np.ndarray,
+        targets: np.ndarray,
+        nx1: np.ndarray,
+        ny1: np.ndarray,
+        nx2: np.ndarray,
+        ny2: np.ndarray,
+    ) -> None:
+        """Apply accepted proposals and refresh the exact totals."""
+        self.centers[cells] = targets
+        self.cxy[:, cells] = targets.T
+        idx = self.slotidx[cells].ravel()
+        self.sx1[idx] = nx1.ravel()
+        self.sy1[idx] = ny1.ravel()
+        self.sx2[idx] = nx2.ravel()
+        self.sy2[idx] = ny2.ravel()
+        # Padding rows scattered inverted boxes into the dummy slot; put
+        # it back to the canonical inverted box (last write wins, so a
+        # real coordinate may have landed there — never read as valid,
+        # but keep the table tidy for the next overlap pass).
+        t = self.T
+        self.sx1[t] = np.inf
+        self.sy1[t] = np.inf
+        self.sx2[t] = -np.inf
+        self.sy2[t] = -np.inf
+        # Exact totals of the committed state: accepted proposals were
+        # judged against the frozen batch-start state, so their summed
+        # deltas would double- or under-count interacting pairs.
+        self.c1 = self._c1_total()
+        self._refresh_c1_tables()
+        self._refresh_overlaps()
+
+
+class BatchMoveGenerator:
+    """Drives ``BatchKernel`` with the §3.2.1 displacement/interchange
+    mixture — the batched analogue of ``MoveGenerator`` for the
+    throughput anneal (no cascade, no pin/aspect moves)."""
+
+    def __init__(
+        self,
+        state: ArrayPlacementState,
+        limiter,
+        r_ratio: float = 10.0,
+        batch: int = 48,
+        seed: int = 0,
+    ) -> None:
+        if r_ratio <= 0:
+            raise ValueError("r_ratio must be positive")
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        self.kernel = BatchKernel(state)
+        self.limiter = limiter
+        self.displacement_probability = r_ratio / (1.0 + r_ratio)
+        self.batch = batch
+        self.rng = np.random.default_rng(seed)
+        self.stats = {
+            "displace_batch": [0, 0],
+            "interchange_batch": [0, 0],
+        }
+
+    def begin(self) -> None:
+        self.kernel.begin()
+
+    def finish(self) -> None:
+        self.kernel.finish()
+
+    def step(self, temperature: float) -> Tuple[int, int]:
+        """One batch: displacement with probability r/(1+r), else
+        interchange.  Returns (attempts, accepts)."""
+        if self.rng.random() < self.displacement_probability:
+            window = (
+                self.limiter.window_x(temperature),
+                self.limiter.window_y(temperature),
+            )
+            out = self.kernel.displacement_batch(
+                self.batch, temperature, window, self.rng
+            )
+            row = self.stats["displace_batch"]
+        else:
+            out = self.kernel.interchange_batch(
+                self.batch, temperature, self.rng
+            )
+            row = self.stats["interchange_batch"]
+        row[0] += out[0]
+        row[1] += out[1]
+        return out

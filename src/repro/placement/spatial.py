@@ -88,7 +88,16 @@ class UniformGridIndex:
     def update(self, item: Hashable, bbox: Rect) -> None:
         """Re-bin an item under its new bbox (no-op while it stays inside
         the same bin range — the common case for small displacements)."""
-        new = self.bin_range(bbox)
+        self.update_coords(item, bbox.x1, bbox.y1, bbox.x2, bbox.y2)
+
+    def update_coords(
+        self, item: Hashable, x1: float, y1: float, x2: float, y2: float
+    ) -> None:
+        """:meth:`update` from raw coordinates — the array-core hot path
+        re-bins straight from its flat bbox mirrors, skipping the ``Rect``
+        construction (and its validation) entirely."""
+        inv = self._inv
+        new = (floor(x1 * inv), floor(y1 * inv), floor(x2 * inv), floor(y2 * inv))
         old = self._ranges.get(item)
         if old == new:
             return

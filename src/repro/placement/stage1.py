@@ -12,10 +12,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..annealing import (
+    AdaptiveCooling,
+    AdaptiveRangeLimiter,
     AllOf,
     AnnealCursor,
     Annealer,
     AnnealResult,
+    AnyOf,
+    CostFloorStop,
     FloorStop,
     RangeLimiter,
     WindowStop,
@@ -27,6 +31,7 @@ from ..netlist import Circuit
 from ..resilience.drift import DriftGuard
 from ..resilience.faults import fault_point
 from ..telemetry import current_tracer
+from .arraycore import make_placement_state
 from .moves import MoveGenerator, PlacementAnnealingState
 from .state import PlacementState
 
@@ -128,6 +133,57 @@ def _core_plan(circuit: Circuit, config: TimberWolfConfig, control) -> CorePlan:
     return result
 
 
+def stage1_cooling(plan: CorePlan, config: TimberWolfConfig):
+    """The (schedule, limiter) pair for the configured cooling mode.
+
+    ``cooling="table"`` yields the paper's Table-1 schedule with the
+    Eqn 12-14 range limiter; ``cooling="adaptive"`` yields the
+    VPR-style acceptance-ratio-driven schedule with its clamped
+    ``d_limit`` window (the limiter's feedback rides on the schedule's
+    ``observe``).  Used by the single-chain driver, the multi-chain
+    coordinator, and checkpoint restore so all three agree exactly.
+    """
+    schedule = stage1_schedule(plan.average_effective_cell_area)
+    if config.cooling == "adaptive":
+        limiter = AdaptiveRangeLimiter(
+            full_span_x=plan.core.width,
+            full_span_y=plan.core.height,
+            t_infinity=schedule.t_infinity,
+        )
+        schedule = AdaptiveCooling(
+            t_infinity=schedule.t_infinity,
+            scale=schedule.scale,
+            limiter=limiter,
+        )
+    else:
+        limiter = RangeLimiter(
+            full_span_x=plan.core.width,
+            full_span_y=plan.core.height,
+            t_infinity=schedule.t_infinity,
+            rho=config.rho,
+        )
+    return schedule, limiter
+
+
+def stage1_stopping(circuit: Circuit, config: TimberWolfConfig, schedule, limiter):
+    """The stage-1 stopping criterion for the configured cooling mode.
+
+    Table cooling stops when the window has shrunk to minimum span AND
+    the temperature is genuinely cold; adaptive cooling uses the VPR
+    rule (T below a small fraction of the per-net cost) with the floor
+    criterion as a safety net.
+    """
+    if config.cooling == "adaptive":
+        return AnyOf(
+            CostFloorStop(max(len(circuit.nets), 1)),
+            FloorStop(schedule.scale * STAGE1_T_FLOOR),
+        )
+    return AllOf(
+        WindowStop(limiter),
+        FloorStop(schedule.scale * STAGE1_T_FLOOR),
+    )
+
+
 def run_stage1(
     circuit: Circuit,
     config: Optional[TimberWolfConfig] = None,
@@ -147,15 +203,9 @@ def run_stage1(
     tracer = current_tracer()
 
     plan = _core_plan(circuit, config, control)
-    schedule = stage1_schedule(plan.average_effective_cell_area)
-    limiter = RangeLimiter(
-        full_span_x=plan.core.width,
-        full_span_y=plan.core.height,
-        t_infinity=schedule.t_infinity,
-        rho=config.rho,
-    )
+    schedule, limiter = stage1_cooling(plan, config)
 
-    state = PlacementState(circuit, plan, kappa=config.kappa)
+    state = make_placement_state(config.core, circuit, plan, kappa=config.kappa)
     cursor: Optional[AnnealCursor] = None
     if resume is not None:
         # p2 and the placement come from the snapshot; the calibration
@@ -187,10 +237,7 @@ def run_stage1(
         r_ratio=config.r_ratio,
         selector=config.selector,
     )
-    stopping = AllOf(
-        WindowStop(limiter),
-        FloorStop(schedule.scale * STAGE1_T_FLOOR),
-    )
+    stopping = stage1_stopping(circuit, config, schedule, limiter)
     annealer = Annealer(
         schedule,
         stopping,

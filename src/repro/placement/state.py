@@ -572,6 +572,11 @@ class PlacementState:
         """Total estimated interconnect length: the TEIC with unit weights."""
         return sum(xs + ys for xs, ys in self._net_spans.values())
 
+    def net_spans(self) -> Dict[str, Tuple[float, float]]:
+        """name -> (x span, y span) of every net — the public accessor
+        (subclasses may keep the span bookkeeping elsewhere)."""
+        return dict(self._net_spans)
+
     def chip_bbox(self) -> Rect:
         """Bounding box of the expanded cells — the chip outline including
         the interconnect area the estimator reserved."""

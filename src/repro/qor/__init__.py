@@ -16,12 +16,15 @@ This package turns individual flow runs into a queryable population:
 """
 
 from .gate import (
+    BENCH_DEFAULT_PCT,
     COMPARE_METRICS,
     GateReport,
     GateRule,
     GateThresholds,
     MetricDelta,
+    bench_throughput_metrics,
     compare_records,
+    gate_bench_rows,
     gate_records,
 )
 from .heartbeat import (
@@ -47,7 +50,10 @@ from .recorder import QorSink, RunRecorder, qor_from_result
 from .registry import QOR_METRICS, RegistryError, RunRegistry, SCHEMA_VERSION
 
 __all__ = [
+    "BENCH_DEFAULT_PCT",
     "COMPARE_METRICS",
+    "bench_throughput_metrics",
+    "gate_bench_rows",
     "GateReport",
     "GateRule",
     "GateThresholds",

@@ -17,7 +17,15 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
-from .gate import GateReport, GateThresholds, MetricDelta, compare_records, gate_records
+from .gate import (
+    BENCH_DEFAULT_PCT,
+    GateReport,
+    GateThresholds,
+    MetricDelta,
+    compare_records,
+    gate_bench_rows,
+    gate_records,
+)
 from .monitor import load_rundir, render_status, watch
 from .registry import RegistryError, RunRegistry
 
@@ -142,6 +150,23 @@ def add_qor_commands(subparsers: argparse._SubParsersAction) -> None:
         default=None,
         metavar="PCT",
         help="also gate wall time, tolerating PCT percent (off by default)",
+    )
+    gate_p.add_argument(
+        "--bench",
+        metavar="NAME",
+        default=None,
+        help="gate the latest bench history row of NAME (e.g. "
+        "moves_per_sec) instead of a QoR run: every *_moves_per_sec "
+        "metric is compared higher-is-better against the rolling mean "
+        "of prior rows with the same config hash",
+    )
+    gate_p.add_argument(
+        "--max-bench-regression",
+        type=float,
+        default=BENCH_DEFAULT_PCT,
+        metavar="PCT",
+        help="tolerated throughput drop per bench metric in percent "
+        f"(default {BENCH_DEFAULT_PCT:.0f}; only with --bench)",
     )
     gate_p.add_argument("--json", action="store_true")
     gate_p.set_defaults(func=cmd_qor_gate)
@@ -297,6 +322,8 @@ def cmd_qor_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_qor_gate(args: argparse.Namespace) -> int:
+    if args.bench:
+        return _gate_bench(args)
     thresholds = GateThresholds(
         teil_pct=args.max_teil_regression,
         area_pct=args.max_area_regression,
@@ -331,6 +358,49 @@ def cmd_qor_gate(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_MISSING
     report = gate_records(candidate, baseline, thresholds)
+    return _emit_gate_report(report, args)
+
+
+def _gate_bench(args: argparse.Namespace) -> int:
+    """Gate the newest bench history row against the rolling mean of
+    the prior rows recorded with the same config hash."""
+    with RunRegistry(args.registry) as registry:
+        history = registry.bench_history(args.bench, limit=args.window + 1)
+    if not history:
+        print(
+            f"error: no '{args.bench}' bench rows in {args.registry}",
+            file=sys.stderr,
+        )
+        return EXIT_MISSING
+    candidate = history[-1]
+    prior = [
+        row
+        for row in history[:-1]
+        if row.get("config_sha256") == candidate.get("config_sha256")
+        and row.get("quick") == candidate.get("quick")
+    ]
+    if not prior:
+        print(
+            "error: no prior bench row matches this config hash — "
+            "nothing to gate against",
+            file=sys.stderr,
+        )
+        return EXIT_MISSING
+    baseline: Dict[str, Any] = {"id": f"mean-of-{len(prior)}"}
+    keys = {
+        key
+        for row in prior
+        for key, value in row.items()
+        if key.endswith("_moves_per_sec") and isinstance(value, (int, float))
+    }
+    for key in keys:
+        values = [row[key] for row in prior if isinstance(row.get(key), (int, float))]
+        baseline[key] = sum(values) / len(values)
+    report = gate_bench_rows(candidate, baseline, pct=args.max_bench_regression)
+    return _emit_gate_report(report, args)
+
+
+def _emit_gate_report(report: GateReport, args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(
             {

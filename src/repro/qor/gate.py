@@ -122,6 +122,48 @@ def compare_records(
     ]
 
 
+#: Default tolerated throughput drop (percent) when gating bench rows.
+#: Wider than the QoR thresholds: moves/sec is measured on shared CI
+#: machines, where a 10-15 % swing is ordinary scheduler noise.
+BENCH_DEFAULT_PCT = 25.0
+
+
+def bench_throughput_metrics(record: Dict[str, Any]) -> List[str]:
+    """The higher-is-better throughput keys of one bench history row
+    (every numeric ``*_moves_per_sec`` field, per-kind and mixed)."""
+    return sorted(
+        key
+        for key, value in record.items()
+        if key.endswith("_moves_per_sec") and isinstance(value, (int, float))
+    )
+
+
+def gate_bench_rows(
+    candidate: Dict[str, Any],
+    baseline: Dict[str, Any],
+    pct: float = BENCH_DEFAULT_PCT,
+) -> GateReport:
+    """Gate one bench history row against a baseline row (or a
+    per-metric mean of prior rows).  Throughput metrics are
+    higher-is-better: a metric regresses when the candidate falls more
+    than ``pct`` percent below the baseline."""
+    report = GateReport(
+        candidate_id=str(candidate.get("id", "?")),
+        baseline_id=str(baseline.get("id", "?")),
+    )
+    metrics = sorted(
+        set(bench_throughput_metrics(candidate))
+        | set(bench_throughput_metrics(baseline))
+    )
+    for metric in metrics:
+        delta = _delta(metric, candidate.get(metric), baseline.get(metric))
+        if delta.candidate is not None and delta.baseline is not None:
+            delta.limit = round(delta.baseline * (1.0 - pct / 100.0), 6)
+            delta.regressed = delta.candidate < delta.limit
+        report.deltas.append(delta)
+    return report
+
+
 def gate_records(
     candidate: Dict[str, Any],
     baseline: Dict[str, Any],

@@ -41,7 +41,7 @@ class TestNetWeighting:
         def final_span(weight, seed):
             circuit = self.build(weight)
             result = run_stage1(circuit, TimberWolfConfig.smoke(seed=seed))
-            xs, ys = result.state._net_spans["critical"]
+            xs, ys = result.state.net_spans()["critical"]
             return xs + ys
 
         seeds = (1, 2, 3)
