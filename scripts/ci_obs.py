@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""CI rehearsal of the observability server, across real processes.
+
+The drill:
+
+1. Run one flow to completion into a runs root (the "done" run).
+2. Launch a second, long flow in a subprocess (the "live" run) and wait
+   for its first heartbeat.
+3. Launch ``python -m repro serve`` as a third subprocess on an
+   ephemeral port and parse the bound URL from its banner.
+4. Against that server:
+   - ``GET /runs`` must list both runs, with the completed one ``done``
+     and the in-flight one ``running``;
+   - ``GET /metrics`` must be valid Prometheus exposition (proved by
+     the strict ``parse_prometheus`` round-trip) and carry samples for
+     the live run;
+   - ``GET /runs/<live>/events`` must deliver at least one ``beat``
+     SSE event (the stream transcript is saved as an artifact);
+   - ``GET /runs/<live>/health`` must produce the analytics document.
+5. ``python -m repro status`` must exit 0 against the live run while it
+   is beating.
+
+Exits non-zero, with a diagnostic, on any deviation.  Artifacts (the
+rundirs, the SSE transcript, server/flow logs) are left in
+``--workdir`` for the CI job to upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+from repro.qor import parse_prometheus  # noqa: E402
+
+
+def run_cli(args, env, **kw):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args], env=env, **kw
+    )
+
+
+def popen_cli(args, env, **kw):
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", *args], env=env, **kw
+    )
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def fetch(url: str, timeout: float = 15.0) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read()
+
+
+def wait_for(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.25)
+    fail(f"timed out after {timeout:.0f}s waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default="/tmp/obs_ci")
+    parser.add_argument(
+        "--sse-timeout", type=float, default=30.0,
+        help="seconds to wait for the first SSE beat event",
+    )
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir)
+    runs = workdir / "runs"
+    runs.mkdir(parents=True, exist_ok=True)
+    import os
+
+    env = dict(os.environ, PYTHONPATH=SRC)
+
+    circuit = workdir / "i1.twmc"
+    run_cli(["generate", "i1", str(circuit)], env, check=True)
+
+    # 1. The completed run.
+    print("== completed flow (smoke preset) ==")
+    run_cli(
+        [
+            "place", str(circuit), "--preset", "smoke", "--seed", "7",
+            "--rundir", str(runs / "done-run"),
+            "--registry", str(runs / "registry.sqlite"),
+        ],
+        env, check=True,
+        stdout=(workdir / "done-run.log").open("w"), stderr=subprocess.STDOUT,
+    )
+
+    # 2. The live run: paper preset anneals for minutes; we kill it
+    #    once the assertions are through.  A wall budget is the safety
+    #    net if this script dies first.
+    print("== live flow (paper preset, killed after the assertions) ==")
+    live = popen_cli(
+        [
+            "place", str(circuit), "--preset", "paper", "--seed", "1",
+            "--budget-seconds", "600",
+            "--rundir", str(runs / "live-run"),
+            "--registry", str(runs / "registry.sqlite"),
+        ],
+        env,
+        stdout=(workdir / "live-run.log").open("w"), stderr=subprocess.STDOUT,
+    )
+    server = None
+    try:
+        wait_for(
+            lambda: (runs / "live-run" / "heartbeat.json").is_file(),
+            60.0, "the live run's first heartbeat",
+        )
+
+        # 3. The server, on an ephemeral port.
+        server = popen_cli(
+            ["serve", str(runs), "--port", "0"],
+            env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        banner = server.stdout.readline()
+        match = re.search(r"at (http://[\d.]+:\d+)", banner)
+        if not match:
+            fail(f"could not parse server banner: {banner!r}")
+        base = match.group(1)
+        print(f"server at {base}")
+
+        # 4a. /runs lists both, with the right states.
+        def states():
+            listing = json.loads(fetch(base + "/runs"))["runs"]
+            by_dir = {
+                Path(r["rundir"]).name: r["state"]
+                for r in listing if r["rundir"]
+            }
+            if by_dir.get("done-run") == "done" and by_dir.get(
+                "live-run"
+            ) == "running":
+                return listing
+            return None
+
+        listing = wait_for(states, 30.0, "/runs to show done + running")
+        print(f"/runs ok: {[(r['run_id'], r['state']) for r in listing]}")
+        live_id = next(
+            r["run_id"] for r in listing
+            if r["rundir"] and Path(r["rundir"]).name == "live-run"
+        )
+
+        # 4b. /metrics is valid exposition with live-run samples.
+        metrics = fetch(base + "/metrics").decode("utf-8")
+        (workdir / "metrics.prom").write_text(metrics)
+        parsed = parse_prometheus(metrics)
+        info_keys = [k for k in parsed if k.startswith("repro_run_info")]
+        if len(info_keys) < 2:
+            fail(f"expected >=2 repro_run_info samples, got {info_keys}")
+        if not any(f'run_id="{live_id}"' in k for k in parsed):
+            fail(f"no /metrics sample labelled with live run {live_id}")
+        print(f"/metrics ok: {len(parsed)} samples parse round-trip")
+
+        # 4c. SSE delivers at least one beat event.
+        sse_path = workdir / "sse_stream.txt"
+        beats = 0
+        deadline = time.monotonic() + args.sse_timeout
+        request = urllib.request.urlopen(
+            f"{base}/runs/{live_id}/events?timeout={args.sse_timeout:.0f}",
+            timeout=args.sse_timeout + 10,
+        )
+        with request, sse_path.open("wb") as transcript:
+            buffer = b""
+            while time.monotonic() < deadline:
+                chunk = request.read(1)
+                if not chunk:
+                    break
+                transcript.write(chunk)
+                buffer += chunk
+                beats = buffer.count(b"event: beat")
+                if beats >= 1 and buffer.endswith(b"\n\n"):
+                    break
+        if beats < 1:
+            fail(f"SSE stream delivered no beat events (see {sse_path})")
+        print(f"/events ok: {beats} beat event(s) streamed -> {sse_path}")
+
+        # 4d. /health produces the analytics document.
+        health = json.loads(fetch(f"{base}/runs/{live_id}/health"))
+        for key in ("state", "acceptance", "cost", "eta", "divergence"):
+            if key not in health:
+                fail(f"/health missing {key!r}: {sorted(health)}")
+        if health["state"] != "running":
+            fail(f"/health state {health['state']!r}, expected running")
+        print(
+            f"/health ok: state={health['state']} "
+            f"flags={health['flags']} anneal_beats={health['anneal_beats']}"
+        )
+
+        # 5. status exits 0 against the beating run.
+        status = run_cli(["status", str(runs / "live-run")], env,
+                         stdout=subprocess.DEVNULL)
+        if status.returncode != 0:
+            fail(f"status exited {status.returncode} on a live run")
+        print("status ok: exit 0 while the run beats")
+    finally:
+        if server is not None:
+            server.terminate()
+            server.wait(timeout=10)
+        live.kill()
+        live.wait(timeout=10)
+
+    print("OBS CI PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

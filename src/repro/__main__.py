@@ -8,8 +8,11 @@ Commands:
 * ``generate <suite-name> <out>``   — write a synthetic suite circuit
 * ``suite``                         — list the benchmark suite circuits
 * ``status <rundir>``               — snapshot of a run's live heartbeat
+  (exits 4 when the heartbeat is stale, 5 when the run died)
 * ``watch <rundir>``                — follow a run's heartbeat live
 * ``qor list|show|compare|gate``    — query the run registry; gate QoR
+* ``serve [root]``                  — observability HTTP server: fleet
+  status, SSE progress streams, ``/metrics``, anneal-health analytics
 
 ``place`` options: ``--preset smoke|fast|paper`` (default fast),
 ``--seed N``, ``--svg out.svg`` (render the final placement),
@@ -441,10 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite = sub.add_parser("suite", help="list the benchmark suite")
     p_suite.set_defaults(func=cmd_suite)
 
+    from .obs.cli import add_serve_command
     from .qor.cli import add_monitor_commands, add_qor_commands
 
     add_monitor_commands(sub)
     add_qor_commands(sub)
+    add_serve_command(sub)
 
     return parser
 

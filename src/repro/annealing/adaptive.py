@@ -180,6 +180,22 @@ class AdaptiveCooling:
     def next_temperature(self, temperature: float) -> float:
         return temperature * self._alpha
 
+    def eta_steps(
+        self, temperature: float, floor: float, cap: Optional[int] = None
+    ) -> Optional[int]:
+        """Projected temperature steps to reach ``floor`` — a geometric
+        extrapolation of the *current* alpha, since future alphas depend
+        on acceptance ratios not yet measured.  The engine flags
+        heartbeat ETAs built from this as estimates.  None when no
+        finite projection exists."""
+        if floor <= 0 or temperature <= floor:
+            return 0 if temperature <= floor and floor > 0 else None
+        if not 0.0 < self._alpha < 1.0:
+            return None
+        steps = int(math.ceil(math.log(floor / temperature) / math.log(self._alpha)))
+        steps = max(0, steps)
+        return min(steps, cap) if cap is not None else steps
+
     # -- engine feedback protocol ---------------------------------------
 
     def observe(self, stats: TemperatureStats) -> None:
@@ -226,3 +242,9 @@ class CostFloorStop(StoppingCriterion):
 
     def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
         return temperature < self._coefficient * stats.cost_after / self._num_nets
+
+    def floor_estimate(self, stats: TemperatureStats) -> Optional[float]:
+        """The current cost-derived floor.  The cost keeps falling as
+        the anneal proceeds — so does this floor — which makes ETAs
+        anchored on it estimates, refreshed every beat."""
+        return self._coefficient * stats.cost_after / self._num_nets

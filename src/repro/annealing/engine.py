@@ -182,6 +182,13 @@ class StoppingCriterion(ABC):
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Restore history saved by :meth:`state_dict`."""
 
+    def floor_estimate(self, stats: "TemperatureStats") -> Optional[float]:
+        """The temperature at which this criterion expects to fire,
+        given the inner loop just completed — the anchor heartbeat ETAs
+        walk the schedule down to.  None when the stop is not
+        temperature-predictable (window- or history-driven)."""
+        return None
+
 
 class WindowStop(StoppingCriterion):
     """Stage-1 stopping: an inner loop has run with the range-limiter
@@ -239,6 +246,9 @@ class FloorStop(StoppingCriterion):
     def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
         return temperature <= self._t_floor
 
+    def floor_estimate(self, stats: TemperatureStats) -> Optional[float]:
+        return self._t_floor
+
 
 class AnyOf(StoppingCriterion):
     """Stop when any member criterion fires (all are consulted so that
@@ -263,6 +273,15 @@ class AnyOf(StoppingCriterion):
     def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
         fired = [c.should_stop(temperature, stats) for c in self._criteria]
         return any(fired)
+
+    def floor_estimate(self, stats: TemperatureStats) -> Optional[float]:
+        # Whichever member fires first ends the run: the highest floor.
+        floors = [
+            f
+            for f in (c.floor_estimate(stats) for c in self._criteria)
+            if f is not None
+        ]
+        return max(floors) if floors else None
 
 
 class AllOf(StoppingCriterion):
@@ -294,6 +313,16 @@ class AllOf(StoppingCriterion):
     def should_stop(self, temperature: float, stats: TemperatureStats) -> bool:
         fired = [c.should_stop(temperature, stats) for c in self._criteria]
         return all(fired)
+
+    def floor_estimate(self, stats: TemperatureStats) -> Optional[float]:
+        # Every member must fire; the estimable ones give an optimistic
+        # (lowest-floor) bound — the stop cannot come before it.
+        floors = [
+            f
+            for f in (c.floor_estimate(stats) for c in self._criteria)
+            if f is not None
+        ]
+        return min(floors) if floors else None
 
 
 @dataclass
@@ -544,16 +573,40 @@ class Annealer:
 
         return make_cursor
 
-    def _eta_steps(self, temperature: float, step_index: int) -> Optional[int]:
-        """Temperature steps left before the schedule reaches
-        ``eta_floor``, bounded by ``max_temperatures``.  None when no
-        floor was declared (the stop is data-dependent)."""
-        if self.eta_floor is None:
+    def _eta_floor_for(self, stats: TemperatureStats) -> Optional[float]:
+        """The temperature ETAs walk down to: the declared ``eta_floor``
+        sharpened by whatever the stopping criterion itself predicts
+        (e.g. the adaptive flow's :class:`CostFloorStop`, whose floor
+        depends on the live cost and usually fires far above the static
+        safety-net floor)."""
+        estimated = self.stopping.floor_estimate(stats)
+        candidates = [f for f in (self.eta_floor, estimated) if f is not None]
+        return max(candidates) if candidates else None
+
+    def _eta_steps(
+        self, temperature: float, step_index: int, stats: TemperatureStats
+    ) -> Optional[int]:
+        """Temperature steps left before the schedule reaches the ETA
+        floor, bounded by ``max_temperatures``.  None when neither a
+        declared floor nor the stopping criterion gives an anchor (the
+        stop is purely data-dependent).
+
+        A schedule may provide its own ``eta_steps(temperature, floor,
+        cap)`` (the adaptive schedule does: a geometric projection of
+        its *current* alpha); the fixed table schedules are walked
+        exactly, band by band.
+        """
+        floor = self._eta_floor_for(stats)
+        if floor is None or floor <= 0:
             return None
         remaining_cap = self.max_temperatures - step_index - 1
+        projector = getattr(self.schedule, "eta_steps", None)
+        if projector is not None:
+            steps = projector(temperature, floor, remaining_cap)
+            return min(steps, remaining_cap) if steps is not None else None
         steps = 0
         t = temperature
-        while t > self.eta_floor and steps < remaining_cap:
+        while t > floor and steps < remaining_cap:
             t = self.schedule.next_temperature(t)
             steps += 1
         return steps
@@ -566,7 +619,13 @@ class Annealer:
         stats: TemperatureStats,
     ) -> None:
         """One live beat per temperature step: current T, acceptance,
-        cost components, and an ETA from the cooling schedule."""
+        cost components, and an ETA from the cooling schedule.
+
+        Feedback-driven schedules cannot promise their future alphas,
+        so their ETAs are flagged ``eta_estimated`` — and when even an
+        estimate is impossible the beat carries an explicit
+        ``eta_steps: null`` rather than a silently bogus number.
+        """
         fields: Dict[str, Any] = {
             "step": step_index,
             "T": round(stats.temperature, 6),
@@ -578,11 +637,17 @@ class Annealer:
             for key in ("c1", "c2", "c3", "window"):
                 if key in extra:
                     fields[key] = extra[key]
-        eta_steps = self._eta_steps(stats.temperature, step_index)
+        adaptive = getattr(self.schedule, "observe", None) is not None
+        eta_steps = self._eta_steps(stats.temperature, step_index, stats)
         if eta_steps is not None:
             fields["eta_steps"] = eta_steps
             if stats.seconds > 0:
                 fields["eta_seconds"] = round(eta_steps * stats.seconds, 1)
+            if adaptive:
+                fields["eta_estimated"] = True
+        elif adaptive:
+            fields["eta_steps"] = None
+            fields["eta_seconds"] = None
         heartbeat.beat("anneal", **fields)
 
     def _emit_temperature(

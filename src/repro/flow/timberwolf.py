@@ -19,9 +19,9 @@ from ..netlist import Circuit, dumps
 from ..parallel.seeds import spawn_seed
 from ..placement.legalize import remove_overlaps
 from ..placement.refine import RefinementResult, run_refinement
+from ..obs.client import ObsClient
 from ..placement.stage1 import Stage1Result, run_stage1
 from ..placement.state import PlacementState
-from ..qor.heartbeat import current_heartbeat
 from ..resilience.budget import Budget
 from ..resilience.checkpoint import CheckpointManager, CheckpointPolicy
 from ..resilience.control import RunControl
@@ -302,7 +302,7 @@ def _run_flow(
     rng = random.Random(spawn_seed(config.seed, 0))
     multichain = config.parallel.chains > 1 or parallel_resume is not None
     prof = config.enable_profiling
-    heartbeat = current_heartbeat()
+    obs = ObsClient()
     with tracer.span(
         "flow",
         circuit=circuit.name,
@@ -317,9 +317,7 @@ def _run_flow(
                 circuit, config, control, rng, stage2_resume, tracer
             )
         else:
-            if heartbeat.enabled:
-                heartbeat.set_context(stage="stage1")
-                heartbeat.beat("flow", status="stage1")
+            obs.stage("stage1", chains=config.parallel.chains)
             with tracer.span("stage1"), profiled("stage1", prof, tracer):
                 if multichain:
                     # Deferred import: multiprocessing machinery, only
@@ -364,9 +362,7 @@ def _run_flow(
             if tracer.enabled:
                 tracer.event("stage2.skipped", reason="budget")
         elif config.refinement_passes > 0:
-            if heartbeat.enabled:
-                heartbeat.set_context(stage="stage2")
-                heartbeat.beat("flow", status="stage2")
+            obs.stage("stage2", passes=config.refinement_passes)
             with tracer.span("stage2"), profiled("stage2", prof, tracer):
                 refinement = run_refinement(
                     circuit, stage1, config, rng,

@@ -1,0 +1,42 @@
+"""Live observability: the fleet-wide run monitor server.
+
+``python -m repro serve`` mounts this package over a runs root and an
+optional run registry:
+
+* :mod:`~repro.obs.fleet` — the read-only join of rundirs + registry
+  (state: running / stale / done / failed / interrupted / pending);
+* :mod:`~repro.obs.routes` / :mod:`~repro.obs.server` — the HTTP
+  surface (``/runs``, ``/runs/<id>``, ``/runs/<id>/health``,
+  ``/runs/<id>/events``, ``/metrics``);
+* :mod:`~repro.obs.sse` — Server-Sent-Events streaming of heartbeat
+  history;
+* :mod:`~repro.obs.health` — anneal-health analytics (Fig.-3
+  acceptance trajectory, cost plateau, ETA, divergence);
+* :mod:`~repro.obs.client` — :class:`ObsClient`, the flow-side helper
+  that pushes stage-change events through the ambient heartbeat.
+
+See ``docs/observability.md``.
+"""
+
+from .client import ObsClient
+from .fleet import Fleet, beat_age, classify_state
+from .health import analyze_health, fig3_ideal_acceptance
+from .routes import Response, handle_request
+from .server import ObsServer, serve
+from .sse import HeartbeatTailer, format_sse, stream_events
+
+__all__ = [
+    "Fleet",
+    "HeartbeatTailer",
+    "ObsClient",
+    "ObsServer",
+    "Response",
+    "analyze_health",
+    "beat_age",
+    "classify_state",
+    "fig3_ideal_acceptance",
+    "format_sse",
+    "handle_request",
+    "serve",
+    "stream_events",
+]

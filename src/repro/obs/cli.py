@@ -1,0 +1,71 @@
+"""CLI handler for ``python -m repro serve``.
+
+One command, kept in its own module so ``repro.__main__`` can register
+it without importing the HTTP stack until the command actually runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from ..qor.monitor import STALE_AFTER
+
+DEFAULT_ROOT = "runs"
+DEFAULT_PORT = 8300
+
+
+def add_serve_command(subparsers: argparse._SubParsersAction) -> None:
+    """Register ``serve`` on the top-level parser."""
+    serve_p = subparsers.add_parser(
+        "serve",
+        help="observability HTTP server: fleet status, SSE progress "
+        "streams, Prometheus /metrics, anneal-health analytics",
+    )
+    serve_p.add_argument(
+        "root",
+        nargs="?",
+        default=DEFAULT_ROOT,
+        help=f"directory of rundirs to watch (default: {DEFAULT_ROOT}/)",
+    )
+    serve_p.add_argument(
+        "--registry",
+        default=None,
+        help="run registry database to join into /runs "
+        "(default: <root>/registry.sqlite when it exists)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve_p.add_argument(
+        "--stale-after",
+        type=float,
+        default=STALE_AFTER,
+        metavar="S",
+        help="heartbeats older than S seconds count as stale "
+        f"(default {STALE_AFTER:.0f})",
+    )
+    serve_p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_p.set_defaults(func=cmd_serve)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server import serve
+
+    registry = args.registry
+    if registry is None:
+        candidate = Path(args.root) / "registry.sqlite"
+        if candidate.is_file():
+            registry = candidate
+    try:
+        return serve(
+            args.root,
+            registry=registry,
+            host=args.host,
+            port=args.port,
+            stale_after=args.stale_after,
+            verbose=args.verbose,
+        )
+    except KeyboardInterrupt:
+        return 0

@@ -1,0 +1,60 @@
+"""ObsClient: the flow's in-process handle on the observability layer.
+
+The flow drivers do not know about rundirs, rings, or servers — they
+know the ambient heartbeat.  :class:`ObsClient` is the thin idiom
+layer on top of it: named stage transitions and ad-hoc progress events
+that land in the heartbeat snapshot *and* the history ring, where the
+SSE stream picks them up as ``stage`` events.
+
+The null path costs what the raw heartbeat costs — one attribute read
+and a branch — so instrumenting a hot loop with an ObsClient stays
+inside the existing ≤3 % telemetry budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..qor.heartbeat import current_heartbeat
+
+
+class ObsClient:
+    """Pushes flow progress into the ambient (or an explicit) heartbeat.
+
+    ``heartbeat=None`` (the default) resolves the ambient heartbeat at
+    every call, so one client built at flow entry stays correct across
+    ``use_heartbeat`` blocks — and is free when none is installed.
+    """
+
+    def __init__(self, heartbeat: Optional[Any] = None) -> None:
+        self._heartbeat = heartbeat
+
+    @property
+    def heartbeat(self) -> Any:
+        return (
+            self._heartbeat
+            if self._heartbeat is not None
+            else current_heartbeat()
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.heartbeat.enabled)
+
+    def stage(self, stage: str, **fields: Any) -> None:
+        """Record a flow stage transition: sets the sticky ``stage``
+        context (every subsequent beat carries it) and publishes one
+        ``flow`` beat immediately so streams see the boundary even when
+        the stage's own loop has not beaten yet."""
+        heartbeat = self.heartbeat
+        if not heartbeat.enabled:
+            return
+        heartbeat.set_context(stage=stage)
+        heartbeat.beat("flow", status=stage, **fields)
+
+    def event(self, phase: str, **fields: Any) -> None:
+        """Publish one ad-hoc progress beat under ``phase``."""
+        heartbeat = self.heartbeat
+        if not heartbeat.enabled:
+            return
+        heartbeat.beat(phase, **fields)

@@ -1,0 +1,161 @@
+"""URL routing for the observability server, separated from sockets.
+
+Each route is a pure function from (fleet, path, query) to a
+:class:`Response`, so the whole HTTP surface is unit-testable without
+binding a port.  The handler in :mod:`~repro.obs.server` only parses
+the request line and writes the response out.
+
+Endpoints:
+
+====================  =====================================================
+``GET /``             endpoint index (JSON)
+``GET /healthz``      server liveness probe
+``GET /runs``         fleet listing: registry rows joined with heartbeats
+``GET /runs/<id>``    one run's manifest + heartbeat + QoR + registry row
+``GET /runs/<id>/history``  the raw heartbeat ring (``?since_seq&limit``)
+``GET /runs/<id>/health``   anneal-health analytics (see ``obs.health``)
+``GET /runs/<id>/events``   SSE progress stream (``?since_seq&timeout``)
+``GET /metrics``      Prometheus scrape page over every live heartbeat
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from ..qor.prometheus import render_prometheus_fleet
+from .fleet import Fleet
+from .health import analyze_health
+
+#: Query-cap on SSE streams so an abandoned client cannot pin a thread
+#: forever even if its socket never errors.
+MAX_STREAM_SECONDS = 3600.0
+
+
+@dataclass
+class Response:
+    """What a route produced: a body or a frame stream, never both."""
+
+    status: int = 200
+    content_type: str = "application/json"
+    body: bytes = b""
+    #: When set, the connection streams these frames (SSE) instead of
+    #: sending ``body``; the iterator owns its own termination.
+    stream: Optional[Iterator[bytes]] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def _json_response(payload: Any, status: int = 200) -> Response:
+    body = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    return Response(status=status, body=body.encode("utf-8"))
+
+
+def _error(status: int, message: str) -> Response:
+    return _json_response({"error": message, "status": status}, status=status)
+
+
+def _query_float(query: Dict[str, str], key: str) -> Optional[float]:
+    raw = query.get(key)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _query_int(query: Dict[str, str], key: str) -> Optional[int]:
+    value = _query_float(query, key)
+    return int(value) if value is not None else None
+
+
+def handle_request(
+    fleet: Fleet,
+    path: str,
+    query: Optional[Dict[str, str]] = None,
+    stop_event=None,
+) -> Response:
+    """Dispatch one GET request against the fleet."""
+    query = query or {}
+    parts = [p for p in path.split("/") if p]
+
+    if not parts:
+        return _json_response(
+            {
+                "service": "repro-obs",
+                "endpoints": [
+                    "/runs",
+                    "/runs/<id>",
+                    "/runs/<id>/history",
+                    "/runs/<id>/health",
+                    "/runs/<id>/events",
+                    "/metrics",
+                    "/healthz",
+                ],
+            }
+        )
+    if parts == ["healthz"]:
+        return _json_response({"ok": True})
+    if parts == ["metrics"]:
+        text = render_prometheus_fleet(fleet.heartbeats())
+        return Response(
+            body=text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+    if parts[0] == "runs":
+        if len(parts) == 1:
+            return _json_response({"runs": fleet.runs()})
+        run_id = parts[1]
+        if len(parts) == 2:
+            detail = fleet.detail(run_id)
+            if detail is None:
+                return _error(404, f"unknown run {run_id!r}")
+            return _json_response(detail)
+        if len(parts) == 3 and parts[2] == "history":
+            rundir = fleet.find_rundir(run_id)
+            if rundir is None:
+                return _error(404, f"unknown run {run_id!r}")
+            history = fleet.history(
+                run_id,
+                since_seq=_query_int(query, "since_seq"),
+                limit=_query_int(query, "limit"),
+            )
+            return _json_response({"run_id": run_id, "history": history})
+        if len(parts) == 3 and parts[2] == "health":
+            rundir = fleet.find_rundir(run_id)
+            if rundir is None:
+                return _error(404, f"unknown run {run_id!r}")
+            detail = fleet.detail(run_id) or {}
+            health = analyze_health(
+                fleet.history(run_id),
+                beat=detail.get("heartbeat"),
+                stale_after=fleet.stale_after,
+            )
+            health["run_id"] = detail.get("run_id", run_id)
+            return _json_response(health)
+        if len(parts) == 3 and parts[2] == "events":
+            rundir = fleet.find_rundir(run_id)
+            if rundir is None:
+                return _error(404, f"unknown run {run_id!r}")
+            from .sse import stream_events
+
+            timeout = _query_float(query, "timeout")
+            timeout = (
+                min(timeout, MAX_STREAM_SECONDS)
+                if timeout is not None
+                else MAX_STREAM_SECONDS
+            )
+            return Response(
+                content_type="text/event-stream",
+                headers={"Cache-Control": "no-cache", "X-Accel-Buffering": "no"},
+                stream=stream_events(
+                    rundir,
+                    stop=stop_event,
+                    timeout=timeout,
+                    since_seq=_query_int(query, "since_seq") or 0,
+                    max_beats=_query_int(query, "max_beats"),
+                ),
+            )
+    return _error(404, f"no route for {path!r}")

@@ -1,0 +1,174 @@
+"""The observability HTTP server: ``python -m repro serve``.
+
+A stdlib-only (``http.server`` + threads) server exposing the fleet
+routes of :mod:`~repro.obs.routes`.  Each connection gets its own
+thread (``ThreadingHTTPServer``), which is what lets SSE streams stay
+open while ``/runs`` and ``/metrics`` keep answering; the GIL is a
+non-issue because every handler is I/O-bound file reading.
+
+This is deliberately the substrate the ROADMAP's placement-as-a-service
+job API can mount: the fleet join is the job store view, the SSE stream
+is the "heartbeat files become a server-sent progress stream" migration
+path, and ``/metrics`` makes the whole fleet scrapeable by a real
+Prometheus without the textfile-collector indirection.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qsl, urlsplit
+
+from ..qor.monitor import STALE_AFTER
+from .fleet import Fleet
+from .routes import Response, handle_request
+
+
+class _ObsHandler(BaseHTTPRequestHandler):
+    """Thin socket layer over :func:`~repro.obs.routes.handle_request`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-obs"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        split = urlsplit(self.path)
+        query = dict(parse_qsl(split.query))
+        try:
+            response = handle_request(
+                self.server.fleet,
+                split.path,
+                query,
+                stop_event=self.server.stop_event,
+            )
+        except Exception as exc:  # a route bug must not kill the thread
+            response = Response(
+                status=500,
+                body=f'{{"error": "{type(exc).__name__}"}}\n'.encode("utf-8"),
+            )
+        if response.stream is not None:
+            self._send_stream(response)
+        else:
+            self._send_body(response)
+
+    def _send_body(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for key, value in response.headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _send_stream(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        for key, value in response.headers.items():
+            self.send_header(key, value)
+        # SSE: no Content-Length; the connection closes when the
+        # stream ends (HTTP/1.1 close-delimited body).
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for frame in response.stream:
+                self.wfile.write(frame)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away: normal SSE lifecycle
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ObsServer:
+    """Owns the listening socket, the fleet, and the server thread."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        registry: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stale_after: float = STALE_AFTER,
+        verbose: bool = False,
+    ) -> None:
+        self.fleet = Fleet(root, registry=registry, stale_after=stale_after)
+        self._httpd = ThreadingHTTPServer((host, port), _ObsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.fleet = self.fleet
+        self._httpd.stop_event = threading.Event()
+        self._httpd.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Serve in a daemon thread (tests, embedding); returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name="repro-obs",
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.25)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop accepting, unblock SSE streams, release the socket."""
+        self._httpd.stop_event.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(
+    root: Union[str, Path],
+    registry: Optional[Union[str, Path]] = None,
+    host: str = "127.0.0.1",
+    port: int = 8300,
+    stale_after: float = STALE_AFTER,
+    verbose: bool = False,
+) -> int:
+    """The blocking CLI entry point (``python -m repro serve``)."""
+    server = ObsServer(
+        root,
+        registry=registry,
+        host=host,
+        port=port,
+        stale_after=stale_after,
+        verbose=verbose,
+    )
+    print(f"repro-obs serving {Path(root).resolve()} at {server.url}")
+    print(f"  runs:    {server.url}/runs")
+    print(f"  metrics: {server.url}/metrics")
+    server.serve_forever()
+    return 0

@@ -493,10 +493,22 @@ def run_multichain_stage1(
                     done=sorted(cid for cid in table if table[cid]["done"]),
                 )
             if heartbeat.enabled:
+                costed = [
+                    cid for cid in table if table[cid]["cost"] is not None
+                ]
+                leader = (
+                    min(costed, key=lambda c: (table[c]["cost"], c))
+                    if costed
+                    else None
+                )
                 heartbeat.beat(
                     "parallel",
                     round=round_index,
                     upto=upto,
+                    best=leader,
+                    cost=round(table[leader]["cost"], 4)
+                    if leader is not None
+                    else None,
                     chains={
                         str(cid): {
                             "cost": round(table[cid]["cost"], 4)

@@ -29,11 +29,14 @@ from .gate import (
 )
 from .heartbeat import (
     HEARTBEAT_VERSION,
+    HISTORY_LIMIT,
     NULL_HEARTBEAT,
     HeartbeatWriter,
     NullHeartbeat,
     current_heartbeat,
+    history_path,
     read_heartbeat,
+    read_history,
     use_heartbeat,
 )
 from .manifest import (
@@ -45,7 +48,11 @@ from .manifest import (
     package_version,
 )
 from .monitor import load_rundir, progress_line, render_status, watch
-from .prometheus import parse_prometheus, render_prometheus
+from .prometheus import (
+    parse_prometheus,
+    render_prometheus,
+    render_prometheus_fleet,
+)
 from .recorder import QorSink, RunRecorder, qor_from_result
 from .registry import QOR_METRICS, RegistryError, RunRegistry, SCHEMA_VERSION
 
@@ -58,6 +65,7 @@ __all__ = [
     "GateRule",
     "GateThresholds",
     "HEARTBEAT_VERSION",
+    "HISTORY_LIMIT",
     "HeartbeatWriter",
     "MetricDelta",
     "NULL_HEARTBEAT",
@@ -74,6 +82,7 @@ __all__ = [
     "config_fingerprint",
     "current_heartbeat",
     "gate_records",
+    "history_path",
     "host_metadata",
     "load_rundir",
     "new_run_id",
@@ -82,7 +91,9 @@ __all__ = [
     "progress_line",
     "qor_from_result",
     "read_heartbeat",
+    "read_history",
     "render_prometheus",
+    "render_prometheus_fleet",
     "render_status",
     "use_heartbeat",
     "watch",

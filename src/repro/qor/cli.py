@@ -6,7 +6,9 @@
 * ``qor list|show|compare|gate`` — querying and gating the registry.
 
 Exit codes: 0 success/gate passed, 1 gate regression, 2 missing data
-(unknown run id, empty registry, no baseline).
+(unknown run id, empty registry, no baseline), 4 the run's heartbeat is
+stale (``status`` only), 5 the run died — failed or interrupted
+(``status`` only).  3 is reserved by ``place`` for interrupted runs.
 """
 
 from __future__ import annotations
@@ -26,12 +28,15 @@ from .gate import (
     gate_bench_rows,
     gate_records,
 )
-from .monitor import load_rundir, render_status, watch
+from .monitor import STALE_AFTER, load_rundir, render_status, watch
 from .registry import RegistryError, RunRegistry
 
 EXIT_OK = 0
 EXIT_REGRESSION = 1
 EXIT_MISSING = 2
+#: 3 is EXIT_INTERRUPTED (a ``place`` run stopped by a signal).
+EXIT_STALE = 4
+EXIT_DEAD = 5
 
 DEFAULT_REGISTRY = "runs/registry.sqlite"
 
@@ -44,6 +49,13 @@ def add_monitor_commands(subparsers: argparse._SubParsersAction) -> None:
     status.add_argument("rundir", help="run directory (--rundir of a flow run)")
     status.add_argument(
         "--json", action="store_true", help="emit the raw manifest/heartbeat/qor JSON"
+    )
+    status.add_argument(
+        "--stale-after",
+        type=float,
+        default=None,
+        metavar="S",
+        help="heartbeats older than S seconds exit 4 (default 30)",
     )
     status.set_defaults(func=cmd_status)
 
@@ -176,6 +188,8 @@ def add_qor_commands(subparsers: argparse._SubParsersAction) -> None:
 
 
 def cmd_status(args: argparse.Namespace) -> int:
+    from .monitor import classify_state
+
     info = load_rundir(args.rundir)
     if args.json:
         print(json.dumps(info, indent=2, sort_keys=True, default=str))
@@ -183,6 +197,18 @@ def cmd_status(args: argparse.Namespace) -> int:
         print(render_status(info))
     if info["manifest"] is None and info["heartbeat"] is None:
         return EXIT_MISSING
+    stale_after = (
+        args.stale_after
+        if getattr(args, "stale_after", None) is not None
+        else STALE_AFTER
+    )
+    state = classify_state(
+        info["heartbeat"], now=time.time(), stale_after=stale_after
+    )
+    if state in ("failed", "interrupted"):
+        return EXIT_DEAD
+    if state == "stale":
+        return EXIT_STALE
     return EXIT_OK
 
 

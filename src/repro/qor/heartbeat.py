@@ -20,6 +20,16 @@ The writer keeps a monotonically increasing ``seq`` and stamps every
 beat with a wall-clock ``updated`` time so monitors can report
 staleness.  ``min_interval`` throttles the file traffic of very fast
 loops; a phase change or a ``final`` beat always writes.
+
+Alongside the snapshot, the writer appends every published beat to a
+bounded history ring (``heartbeat.history.jsonl``): an append-only JSONL
+file that is atomically compacted back down to the newest
+``history_limit`` entries whenever it grows past twice that bound.  The
+observability server tails the ring to stream progress (SSE) and to
+compute anneal-health analytics without ever racing the writer: appends
+are line-buffered, compaction goes through the same temp-file +
+``os.replace`` discipline as the snapshot, and readers treat a torn
+final line as "not yet written".
 """
 
 from __future__ import annotations
@@ -31,10 +41,21 @@ import tempfile
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 #: Schema tag written into every heartbeat document.
 HEARTBEAT_VERSION = 1
+
+#: Default bound on the heartbeat history ring (entries kept after a
+#: compaction; the file may grow to twice this between compactions).
+HISTORY_LIMIT = 512
+
+
+def history_path(snapshot_path: Union[str, Path]) -> Path:
+    """The history-ring path for a heartbeat snapshot path
+    (``heartbeat.json`` → ``heartbeat.history.jsonl``)."""
+    snapshot_path = Path(snapshot_path)
+    return snapshot_path.with_name(snapshot_path.stem + ".history.jsonl")
 
 
 class NullHeartbeat:
@@ -58,6 +79,9 @@ class HeartbeatWriter:
     written beat is also rendered to Prometheus text format (the
     node-exporter textfile-collector contract) at that path, again
     atomically.
+
+    ``history_limit`` bounds the history ring next to the snapshot
+    (``0`` disables it entirely).
     """
 
     enabled = True
@@ -68,15 +92,21 @@ class HeartbeatWriter:
         run_id: Optional[str] = None,
         min_interval: float = 0.0,
         metrics_textfile: Optional[Union[str, Path]] = None,
+        history_limit: int = HISTORY_LIMIT,
     ) -> None:
         if min_interval < 0:
             raise ValueError("min_interval must be non-negative")
+        if history_limit < 0:
+            raise ValueError("history_limit must be non-negative")
         self.path = Path(path)
         self.run_id = run_id
         self.min_interval = min_interval
         self.metrics_textfile = (
             Path(metrics_textfile) if metrics_textfile is not None else None
         )
+        self.history_limit = history_limit
+        self.history_path = history_path(self.path) if history_limit else None
+        self._history_appends = 0
         self._context: Dict[str, Any] = {}
         self._seq = 0
         self._last_write = 0.0
@@ -112,13 +142,38 @@ class HeartbeatWriter:
         }
         doc.update(self._context)
         doc.update(fields)
-        _atomic_write(self.path, json.dumps(doc, separators=(",", ":"), default=str))
+        text = json.dumps(doc, separators=(",", ":"), default=str)
+        _atomic_write(self.path, text)
+        if self.history_path is not None:
+            self._append_history(text)
         if self.metrics_textfile is not None:
             from .prometheus import render_prometheus
 
             _atomic_write(self.metrics_textfile, render_prometheus(doc))
         self._last_write = now
         self._last_phase = phase
+
+    def _append_history(self, line: str) -> None:
+        """Append one beat to the history ring, compacting when the file
+        has grown to twice the configured bound.  Ring failures never
+        propagate into the instrumented loop: the snapshot is the source
+        of truth, the ring is best-effort."""
+        try:
+            with open(self.history_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+            self._history_appends += 1
+            if self._history_appends >= 2 * self.history_limit:
+                self._compact_history()
+        except OSError:
+            pass
+
+    def _compact_history(self) -> None:
+        """Atomically rewrite the ring down to the newest entries.  The
+        tailers detect the shrink (size < their offset) and re-read."""
+        lines = self.history_path.read_text(encoding="utf-8").splitlines()
+        keep = lines[-self.history_limit:]
+        _atomic_write(self.history_path, "\n".join(keep) + "\n")
+        self._history_appends = len(keep)
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -141,21 +196,65 @@ def _atomic_write(path: Path, text: str) -> None:
         raise
 
 
-def read_heartbeat(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+def read_heartbeat(
+    path: Union[str, Path], retries: int = 2, retry_delay: float = 0.01
+) -> Optional[Dict[str, Any]]:
     """The latest heartbeat document, or None when no beat exists yet.
 
-    Because writes are atomic, a successfully opened file always parses;
-    a vanished or unreadable file reads as "no heartbeat yet" rather
-    than raising, so monitors can poll a rundir that is still warming up.
+    Because writes are atomic, a successfully opened file always parses
+    on POSIX; but ``os.replace`` is not atomic everywhere (and a reader
+    can race the very first write), so a vanished, empty, or unparsable
+    file is retried ``retries`` times before reading as "no heartbeat
+    yet" rather than raising.  Monitors can therefore poll a rundir
+    that is still warming up — or mid-replace — without special-casing.
+    """
+    path = Path(path)
+    for attempt in range(retries + 1):
+        try:
+            text = path.read_text(encoding="utf-8")
+            if text.strip():
+                return json.loads(text)
+        except (OSError, json.JSONDecodeError):
+            pass
+        if attempt < retries:
+            time.sleep(retry_delay)
+    return None
+
+
+def read_history(
+    path: Union[str, Path],
+    since_seq: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Parsed history-ring entries, oldest first.
+
+    ``since_seq`` keeps only beats with ``seq`` strictly greater (the
+    resume point of a streaming client); ``limit`` keeps the newest N.
+    A torn final line (the writer mid-append) is skipped silently; a
+    missing ring reads as empty.
     """
     path = Path(path)
     try:
-        text = path.read_text(encoding="utf-8")
+        raw = path.read_text(encoding="utf-8")
     except OSError:
-        return None
-    if not text.strip():
-        return None
-    return json.loads(text)
+        return []
+    entries: List[Dict[str, Any]] = []
+    lines = raw.split("\n")
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                continue  # torn final line: the writer is mid-append
+            raise
+        if since_seq is not None and doc.get("seq", 0) <= since_seq:
+            continue
+        entries.append(doc)
+    if limit is not None:
+        entries = entries[-limit:]
+    return entries
 
 
 #: The process-wide disabled heartbeat; ``current_heartbeat`` falls back to it.

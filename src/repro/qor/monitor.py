@@ -25,6 +25,39 @@ STALE_AFTER = 30.0
 FINAL_PHASES = ("done", "failed", "interrupted")
 
 
+def classify_state(
+    beat: Optional[Dict[str, Any]],
+    now: Optional[float] = None,
+    stale_after: float = STALE_AFTER,
+) -> str:
+    """The run state implied by a heartbeat document (None = pending).
+
+    ``running`` / ``stale`` for live beats (staleness from the beat's
+    age; a final beat never goes stale), ``done`` / ``failed`` /
+    ``interrupted`` once a terminal beat lands.  This is the single
+    classifier shared by ``status``/``watch``, the ``status`` exit
+    codes, and the observability server's fleet view.
+    """
+    if beat is None:
+        return "pending"
+    phase = beat.get("phase")
+    if beat.get("final") or phase in FINAL_PHASES:
+        return phase if phase in FINAL_PHASES else "done"
+    now = now if now is not None else time.time()
+    age = max(0.0, now - float(beat.get("updated", now)))
+    return "stale" if age > stale_after else "running"
+
+
+def beat_age(
+    beat: Optional[Dict[str, Any]], now: Optional[float] = None
+) -> Optional[float]:
+    """Seconds since the beat was written (None when there is no beat)."""
+    if beat is None or "updated" not in beat:
+        return None
+    now = now if now is not None else time.time()
+    return round(max(0.0, now - float(beat["updated"])), 3)
+
+
 def load_rundir(rundir: Union[str, Path]) -> Dict[str, Any]:
     """Everything a monitor can know about a rundir (missing parts None)."""
     rundir = Path(rundir)
@@ -110,7 +143,7 @@ def render_status(info: Dict[str, Any], now: Optional[float] = None) -> str:
     beat = info.get("heartbeat")
     if beat is not None:
         age = max(0.0, now - float(beat.get("updated", now)))
-        stale = "  [STALE]" if age > STALE_AFTER and not beat.get("final") else ""
+        stale = "  [STALE]" if classify_state(beat, now) == "stale" else ""
         lines.append(f"beat     #{beat.get('seq')}  {age:.1f}s ago{stale}")
         lines.append("live     " + progress_line(beat))
     else:

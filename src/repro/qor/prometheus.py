@@ -1,4 +1,4 @@
-"""Prometheus text-format rendering of a heartbeat document.
+"""Prometheus text-format rendering of heartbeat documents.
 
 The output follows the textfile-collector contract (one ``# TYPE`` line
 per metric, ``metric{labels} value`` samples, trailing newline) so an
@@ -7,12 +7,19 @@ exposition format — can watch a fleet of runs by globbing their
 ``--metrics-textfile`` outputs.  Only numeric heartbeat fields become
 samples; strings (phase, stage, run id) travel as labels on
 ``repro_run_info``.
+
+:func:`render_prometheus` renders one document (the textfile case);
+:func:`render_prometheus_fleet` renders many documents into a single
+scrape page — the body of the observability server's ``/metrics``
+endpoint — with every sample labelled by ``run_id`` and per-chain
+heartbeat entries broken out under a ``chain`` label instead of being
+flattened into distinct metric names.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 #: Metric-name prefix for every exported sample.
 PREFIX = "repro"
@@ -83,6 +90,87 @@ def render_prometheus(doc: Dict[str, Any]) -> str:
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name}{_labels(run_labels)} {numbers[field]:g}")
     return "\n".join(lines) + "\n"
+
+
+#: Heartbeat bookkeeping fields that never become samples.
+_SKIP_FIELDS = ("v", "seq")
+
+#: Per-chain numeric fields broken out under a ``chain`` label.
+_CHAIN_FIELDS = ("cost", "done")
+
+
+def _doc_samples(
+    doc: Dict[str, Any], base_labels: Dict[str, str]
+) -> List[Tuple[str, Dict[str, str], float]]:
+    """One document's ``(metric, labels, value)`` samples plus its
+    ``run_info`` sample.  The ``chains`` sub-document becomes
+    ``repro_chain_*{chain="..."}`` series rather than one flattened
+    metric name per chain id."""
+    chains = doc.get("chains")
+    body = {k: v for k, v in doc.items() if k != "chains"}
+    numbers, strings = _flatten(body)
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    info_labels = dict(base_labels)
+    for key in ("phase", "stage", "circuit"):
+        if key in strings:
+            info_labels[key] = strings[key]
+    samples.append((f"{PREFIX}_run_info", info_labels, 1.0))
+
+    for field in sorted(numbers):
+        if field in _SKIP_FIELDS:
+            continue
+        samples.append((_metric_name(field), dict(base_labels), numbers[field]))
+
+    if isinstance(chains, dict):
+        for cid in sorted(chains, key=str):
+            entry = chains[cid]
+            if not isinstance(entry, dict):
+                continue
+            labels = dict(base_labels)
+            labels["chain"] = str(cid)
+            for field in _CHAIN_FIELDS:
+                value = entry.get(field)
+                if isinstance(value, bool):
+                    value = 1.0 if value else 0.0
+                if isinstance(value, (int, float)):
+                    samples.append(
+                        (f"{PREFIX}_chain_{field}", labels, float(value))
+                    )
+    return samples
+
+
+def render_prometheus_fleet(docs: Iterable[Dict[str, Any]]) -> str:
+    """Many heartbeat documents as one Prometheus scrape page.
+
+    Samples are grouped by metric name (a single ``# TYPE`` line per
+    metric, as the exposition format requires) and labelled with each
+    document's ``run_id`` — the shape a real ``/metrics`` endpoint must
+    produce when several runs are live at once.
+    """
+    by_metric: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    order: List[str] = []
+    for doc in docs:
+        base_labels: Dict[str, str] = {}
+        if doc.get("run_id"):
+            base_labels["run_id"] = str(doc["run_id"])
+        for name, labels, value in _doc_samples(doc, base_labels):
+            if name not in by_metric:
+                by_metric[name] = []
+                order.append(name)
+            by_metric[name].append((labels, value))
+
+    lines: List[str] = []
+    # run_info first (it anchors the page), then the rest sorted.
+    for name in [PREFIX + "_run_info"] + sorted(
+        n for n in order if n != PREFIX + "_run_info"
+    ):
+        if name not in by_metric:
+            continue
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in by_metric[name]:
+            lines.append(f"{name}{_labels(labels)} {value:g}")
+    return "\n".join(lines) + "\n" if lines else "\n"
 
 
 def parse_prometheus(text: str) -> Dict[str, float]:

@@ -109,8 +109,18 @@ class RegistryError(RuntimeError):
 class RunRegistry:
     """Connection wrapper around one registry database file."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], readonly: bool = False) -> None:
         self.path = Path(path)
+        self.readonly = readonly
+        if readonly:
+            # Pure observers (the observability server's scrape/fleet
+            # requests) must never create the file, run migrations, or
+            # take a write lock under a live flow.
+            self._conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True
+            )
+            self._conn.row_factory = sqlite3.Row
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path))
         self._conn.row_factory = sqlite3.Row

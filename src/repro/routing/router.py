@@ -127,9 +127,13 @@ class GlobalRouter:
                     continue  # nothing to connect
                 tasks.append((net_name, groups))
             # Live progress: a beat every ~2% of nets (min_interval on
-            # the writer throttles small circuits down further).
+            # the writer throttles small circuits down further).  The
+            # opening beat marks the phase transition itself, so SSE
+            # streams see "route" begin before the first batch lands.
             beat_every = max(1, len(tasks) // 50)
             nets_done = 0
+            if heartbeat.enabled and tasks:
+                heartbeat.beat("route", nets_done=0, nets_total=len(tasks))
 
             def _net_beat() -> None:
                 nonlocal nets_done

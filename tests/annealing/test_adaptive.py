@@ -303,3 +303,129 @@ class TestEngineIntegration:
         payload = snapshots[0].to_dict()
         payload.pop("schedule_state")
         assert AnnealCursor.from_dict(payload).schedule_state == {}
+
+
+class TestAdaptiveEta:
+    """Satellite: schedule-aware ETAs under adaptive cooling."""
+
+    def test_geometric_projection_with_current_alpha(self):
+        import math
+
+        schedule = AdaptiveCooling(t_infinity=100.0)
+        # Fresh schedule assumes the hot plateau: alpha = 0.5.
+        expected = math.ceil(math.log(0.01 / 100.0) / math.log(0.5))
+        assert schedule.eta_steps(100.0, 0.01) == expected
+        # After observing a mid-range ratio the projection lengthens.
+        schedule.observe(stats_with_rate(0.44))
+        assert schedule.alpha(100.0) == 0.95
+        assert schedule.eta_steps(100.0, 0.01) > expected
+
+    def test_eta_steps_edge_cases(self):
+        schedule = AdaptiveCooling(t_infinity=100.0)
+        assert schedule.eta_steps(0.005, 0.01) == 0   # already below floor
+        assert schedule.eta_steps(100.0, 0.0) is None  # no floor anchor
+        assert schedule.eta_steps(100.0, 0.01, cap=3) == 3  # clamped
+
+    def test_cost_floor_stop_estimates_its_own_floor(self):
+        stop = CostFloorStop(num_nets=100, coefficient=0.005)
+        stats = stats_with_rate(0.4, cost=2000.0)
+        assert stop.floor_estimate(stats) == pytest.approx(0.1)
+        # The estimate IS the firing threshold.
+        assert stop.should_stop(0.0999, stats)
+        assert not stop.should_stop(0.11, stats)
+
+    def test_combinator_floor_estimates(self):
+        from repro.annealing import AllOf, AnyOf, WindowStop
+
+        floor = FloorStop(2.0)
+        cost = CostFloorStop(num_nets=100)
+        window = WindowStop(make_limiter())  # no floor of its own
+        stats = stats_with_rate(0.4, cost=2000.0)  # cost floor = 0.1
+        assert AnyOf(floor, cost).floor_estimate(stats) == pytest.approx(2.0)
+        assert AllOf(floor, cost).floor_estimate(stats) == pytest.approx(0.1)
+        assert AnyOf(window, cost).floor_estimate(stats) == pytest.approx(0.1)
+        assert window.floor_estimate(stats) is None
+
+    def test_adaptive_heartbeat_etas_are_flagged_estimates(self, tmp_path):
+        from repro.qor import HeartbeatWriter, use_heartbeat
+        from repro.qor.heartbeat import history_path, read_history
+
+        annealer, _ = make_adaptive_annealer(max_temperatures=30)
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        with use_heartbeat(writer):
+            annealer.run(QuadraticState(50.0))
+        beats = [
+            b
+            for b in read_history(history_path(tmp_path / "hb.json"))
+            if b["phase"] == "anneal"
+        ]
+        assert beats
+        for beat in beats:
+            assert "eta_steps" in beat  # always present under adaptive
+            if beat["eta_steps"] is not None:
+                assert beat["eta_estimated"] is True
+                assert beat["eta_steps"] >= 0
+        # The FloorStop anchor makes a projection possible here.
+        assert any(b["eta_steps"] is not None for b in beats)
+
+    def test_adaptive_without_floor_reports_explicit_null(self, tmp_path):
+        """No ETA anchor at all: the beat says eta: null out loud
+        instead of omitting the field or inventing a number."""
+        from repro.annealing import StoppingCriterion
+        from repro.qor import HeartbeatWriter, use_heartbeat
+        from repro.qor.heartbeat import history_path, read_history
+
+        class StepBudget(StoppingCriterion):
+            def __init__(self, steps):
+                self.left = steps
+
+            def should_stop(self, temperature, stats):
+                self.left -= 1
+                return self.left <= 0
+
+        schedule = AdaptiveCooling(t_infinity=100.0, limiter=make_limiter())
+        annealer = Annealer(
+            schedule, StepBudget(5), attempts_per_cell=5, seed=7,
+            max_temperatures=10,
+        )
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        with use_heartbeat(writer):
+            annealer.run(QuadraticState(50.0))
+        beats = [
+            b
+            for b in read_history(history_path(tmp_path / "hb.json"))
+            if b["phase"] == "anneal"
+        ]
+        assert beats
+        for beat in beats:
+            assert beat["eta_steps"] is None
+            assert beat["eta_seconds"] is None
+            assert "eta_estimated" not in beat
+
+    def test_table_schedule_etas_stay_unflagged(self, tmp_path):
+        """The fixed-table path is not an estimate: no eta_estimated
+        flag, and no eta keys at all when there is no floor anchor."""
+        from repro.qor import HeartbeatWriter, use_heartbeat
+        from repro.qor.heartbeat import history_path, read_history
+
+        from .test_engine import geometric_schedule
+
+        annealer = Annealer(
+            geometric_schedule(),
+            FloorStop(10.0),
+            attempts_per_cell=5,
+            seed=3,
+            eta_floor=10.0,
+        )
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        with use_heartbeat(writer):
+            annealer.run(QuadraticState(20.0))
+        beats = [
+            b
+            for b in read_history(history_path(tmp_path / "hb.json"))
+            if b["phase"] == "anneal"
+        ]
+        assert beats
+        for beat in beats:
+            assert "eta_estimated" not in beat
+            assert beat.get("eta_steps") is not None  # exact walk

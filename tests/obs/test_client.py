@@ -1,0 +1,53 @@
+"""ObsClient: stage events through the ambient heartbeat."""
+
+from repro.obs import ObsClient
+from repro.qor import HeartbeatWriter, read_heartbeat, use_heartbeat
+from repro.qor.heartbeat import history_path, read_history
+
+
+class TestNullPath:
+    def test_disabled_outside_use_heartbeat(self):
+        client = ObsClient()
+        assert client.enabled is False
+        client.stage("stage1")  # must be a no-op, not an error
+        client.event("custom", x=1)
+
+
+class TestStageEvents:
+    def test_stage_beats_and_sets_sticky_context(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        client = ObsClient()
+        with use_heartbeat(writer):
+            assert client.enabled is True
+            client.stage("stage1", chains=4)
+            doc = read_heartbeat(tmp_path / "hb.json")
+            assert doc["phase"] == "flow"
+            assert doc["status"] == "stage1"
+            assert doc["stage"] == "stage1"
+            assert doc["chains"] == 4
+            # The sticky stage context rides on later beats too.
+            writer.beat("anneal", step=0)
+            assert read_heartbeat(tmp_path / "hb.json")["stage"] == "stage1"
+
+    def test_stage_transitions_land_in_the_ring(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        client = ObsClient(heartbeat=writer)
+        client.stage("stage1")
+        client.stage("stage2")
+        ring = read_history(history_path(tmp_path / "hb.json"))
+        assert [b["status"] for b in ring] == ["stage1", "stage2"]
+
+    def test_explicit_heartbeat_wins_over_ambient(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        client = ObsClient(heartbeat=writer)
+        assert client.enabled is True
+        client.event("probe", x=1)
+        assert read_heartbeat(tmp_path / "hb.json")["x"] == 1
+
+    def test_ambient_resolved_per_call(self, tmp_path):
+        client = ObsClient()
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        assert client.enabled is False
+        with use_heartbeat(writer):
+            assert client.enabled is True
+        assert client.enabled is False

@@ -1,0 +1,177 @@
+"""Anneal-health analytics: Fig.-3 trajectory, plateaus, ETA, divergence."""
+
+import math
+import time
+
+import pytest
+
+from repro.obs import analyze_health, fig3_ideal_acceptance
+from repro.obs.health import (
+    acceptance_health,
+    cost_health,
+    divergence_health,
+    eta_health,
+)
+
+
+def anneal_beats(n=20, acceptance=None, cost=None, base_time=None, **extra):
+    """A synthetic anneal history: seq/step increase, cost descends."""
+    base_time = base_time if base_time is not None else time.time() - n
+    beats = []
+    for i in range(n):
+        progress = i / max(1, n - 1)
+        beat = {
+            "phase": "anneal",
+            "seq": i + 1,
+            "step": i,
+            "T": 100.0 * (0.9 ** i),
+            "updated": base_time + i * 1.0,
+            "acceptance": (
+                acceptance(progress) if acceptance else fig3_ideal_acceptance(progress)
+            ),
+            "cost": cost(progress) if cost else 1000.0 * (1.2 - progress),
+        }
+        beat.update(extra)
+        beats.append(beat)
+    return beats
+
+
+class TestFig3Ideal:
+    def test_limits(self):
+        assert fig3_ideal_acceptance(0.0) > 0.99
+        assert fig3_ideal_acceptance(1.0) < 0.01
+        assert fig3_ideal_acceptance(0.5) == pytest.approx(0.5)
+
+    def test_monotone_decline(self):
+        values = [fig3_ideal_acceptance(p / 10) for p in range(11)]
+        assert values == sorted(values, reverse=True)
+
+    def test_clamped_outside_unit_interval(self):
+        assert fig3_ideal_acceptance(-1.0) == fig3_ideal_acceptance(0.0)
+        assert fig3_ideal_acceptance(2.0) == fig3_ideal_acceptance(1.0)
+
+
+class TestAcceptance:
+    def test_ideal_trajectory_has_no_flags(self):
+        report = acceptance_health(anneal_beats())
+        assert report["flags"] == []
+        assert report["mean_fig3_deviation"] < 0.05
+
+    def test_too_hot_flagged(self):
+        report = acceptance_health(anneal_beats(acceptance=lambda p: 0.97))
+        assert "too_hot" in report["flags"]
+
+    def test_quenched_flagged(self):
+        report = acceptance_health(anneal_beats(acceptance=lambda p: 0.01))
+        assert "quenched" in report["flags"]
+
+    def test_progress_prefers_eta_steps(self):
+        beats = anneal_beats(n=4)
+        for beat in beats:
+            beat["eta_steps"] = 96  # step 3 of ~100: early, not 100% done
+        report = acceptance_health(beats)
+        assert report["last"]["progress"] < 0.1
+
+    def test_empty_history(self):
+        assert acceptance_health([]) == {"samples": 0, "flags": []}
+
+
+class TestCost:
+    def test_descending_cost_is_not_a_plateau(self):
+        report = cost_health(anneal_beats())
+        assert report["plateau"] is False
+        assert report["flags"] == []
+
+    def test_flat_cost_at_low_acceptance_is_frozen(self):
+        beats = anneal_beats(acceptance=lambda p: 0.02, cost=lambda p: 500.0)
+        report = cost_health(beats)
+        assert report["plateau"] is True
+        assert report["flags"] == ["frozen"]
+
+    def test_flat_cost_at_high_acceptance_is_a_stall(self):
+        beats = anneal_beats(acceptance=lambda p: 0.5, cost=lambda p: 500.0)
+        report = cost_health(beats)
+        assert report["flags"] == ["cost_stall"]
+
+
+class TestEta:
+    def test_schedule_eta_passes_through(self):
+        beats = anneal_beats(eta_steps=7, eta_seconds=3.5)
+        report = eta_health(beats, beats)
+        assert report["eta_steps"] == 7
+        assert report["eta_seconds"] == 3.5
+        assert report["eta_estimated"] is False
+
+    def test_measured_eta_from_timestamps(self):
+        beats = anneal_beats(n=10, eta_steps=5)
+        report = eta_health(beats, beats)
+        assert report["seconds_per_step_measured"] == pytest.approx(1.0, abs=0.1)
+        assert report["eta_seconds_measured"] == pytest.approx(5.0, abs=0.5)
+
+    def test_adaptive_estimate_flagged(self):
+        beats = anneal_beats(eta_steps=7, eta_estimated=True)
+        assert eta_health(beats, beats)["eta_estimated"] is True
+
+    def test_empty(self):
+        assert eta_health([], [])["eta_steps"] is None
+
+
+class TestDivergence:
+    def test_consistent_components_pass(self):
+        beats = anneal_beats(c1=600.0, c2=300.0, c3=100.0, cost=lambda p: 1000.0)
+        report = divergence_health(beats)
+        assert report["diverged"] is False
+        assert report["checked"] == len(beats)
+
+    def test_drifted_components_flagged(self):
+        beats = anneal_beats(c1=600.0, c2=300.0, c3=50.0, cost=lambda p: 1000.0)
+        report = divergence_health(beats)
+        assert report["diverged"] is True
+        assert report["flags"] == ["diverged"]
+
+    def test_rounding_noise_tolerated(self):
+        beats = anneal_beats(
+            c1=600.0001, c2=300.0, c3=100.0, cost=lambda p: 1000.0
+        )
+        assert divergence_health(beats)["diverged"] is False
+
+    def test_beats_without_components_skipped(self):
+        assert divergence_health(anneal_beats())["checked"] == 0
+
+
+class TestAnalyze:
+    def test_healthy_running_run(self):
+        history = anneal_beats()
+        doc = analyze_health(history)
+        assert doc["state"] == "running"
+        assert doc["healthy"] is True
+        assert doc["flags"] == []
+        assert doc["anneal_beats"] == len(history)
+
+    def test_stale_run_is_stalled_and_unhealthy(self):
+        history = anneal_beats(base_time=time.time() - 10_000)
+        doc = analyze_health(history, stale_after=30.0)
+        assert doc["state"] == "stale"
+        assert "stalled" in doc["flags"]
+        assert doc["healthy"] is False
+
+    def test_frozen_alone_keeps_a_run_healthy(self):
+        # A normal acceptance decline whose cost has flattened: the
+        # freeze is the expected end state of a good anneal, so the
+        # 'frozen' flag alone must not mark the run unhealthy.
+        history = anneal_beats(cost=lambda p: 500.0)
+        doc = analyze_health(history)
+        assert doc["flags"] == ["frozen"]
+        assert doc["healthy"] is True
+
+    def test_empty_history(self):
+        doc = analyze_health([])
+        assert doc["state"] == "pending"
+        assert doc["anneal_beats"] == 0
+
+    def test_snapshot_beats_history_for_state(self):
+        history = anneal_beats()
+        final = {"phase": "done", "final": True, "updated": time.time()}
+        doc = analyze_health(history, beat=final)
+        assert doc["state"] == "done"
+        assert doc["phase"] == "done"

@@ -263,3 +263,54 @@ class TestResumeIdentity:
         assert runs[0]["run_id"] == original_id
         assert runs[0]["status"] == "ok"
         assert record["truncated"] == 0
+
+
+class TestStatusExitCodes:
+    """Satellite: ``status`` distinguishes healthy, stale, and dead runs."""
+
+    @staticmethod
+    def _beat(tmp_path, phase, final=False, **fields):
+        from repro.qor import HeartbeatWriter
+
+        writer = HeartbeatWriter(tmp_path / "heartbeat.json", run_id="r1")
+        writer.beat(phase, final=final, **fields)
+        return writer
+
+    def test_running_fresh_is_ok(self, tmp_path, capsys):
+        self._beat(tmp_path, "anneal", step=1)
+        assert main(["status", str(tmp_path)]) == EXIT_OK
+
+    def test_stale_heartbeat_exits_4(self, tmp_path, capsys):
+        import time
+
+        from repro.qor.cli import EXIT_STALE
+
+        self._beat(tmp_path, "anneal", step=1)
+        time.sleep(0.05)
+        code = main(["status", str(tmp_path), "--stale-after", "0.01"])
+        assert code == EXIT_STALE == 4
+
+    def test_failed_run_exits_5(self, tmp_path, capsys):
+        from repro.qor.cli import EXIT_DEAD
+
+        self._beat(tmp_path, "failed", final=True, error="ValueError")
+        assert main(["status", str(tmp_path)]) == EXIT_DEAD == 5
+
+    def test_interrupted_run_exits_5(self, tmp_path, capsys):
+        from repro.qor.cli import EXIT_DEAD
+
+        self._beat(tmp_path, "interrupted", final=True)
+        assert main(["status", str(tmp_path)]) == EXIT_DEAD
+
+    def test_done_run_never_goes_stale(self, tmp_path, capsys):
+        self._beat(tmp_path, "done", final=True)
+        code = main(["status", str(tmp_path), "--stale-after", "0.0"])
+        assert code == EXIT_OK
+
+    def test_exit_codes_are_distinct(self):
+        from repro.__main__ import EXIT_INTERRUPTED
+        from repro.qor.cli import EXIT_DEAD, EXIT_STALE
+
+        codes = {EXIT_OK, EXIT_REGRESSION, EXIT_MISSING, EXIT_INTERRUPTED,
+                 EXIT_STALE, EXIT_DEAD}
+        assert len(codes) == 6

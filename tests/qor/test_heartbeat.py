@@ -143,3 +143,156 @@ class TestAmbientHeartbeat:
                 assert current_heartbeat() is NULL_HEARTBEAT
             assert current_heartbeat() is writer
         assert current_heartbeat() is NULL_HEARTBEAT
+
+
+class TestHistoryRing:
+    def test_every_beat_lands_in_the_ring(self, tmp_path):
+        from repro.qor import history_path, read_history
+
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        for step in range(5):
+            writer.beat("anneal", step=step)
+        ring = read_history(history_path(tmp_path / "hb.json"))
+        assert [b["seq"] for b in ring] == [1, 2, 3, 4, 5]
+        assert [b["step"] for b in ring] == [0, 1, 2, 3, 4]
+
+    def test_ring_path_derivation(self, tmp_path):
+        from repro.qor import history_path
+
+        assert (
+            history_path(tmp_path / "heartbeat.json").name
+            == "heartbeat.history.jsonl"
+        )
+
+    def test_compaction_bounds_the_file(self, tmp_path):
+        from repro.qor import history_path, read_history
+
+        writer = HeartbeatWriter(
+            tmp_path / "hb.json", run_id="r1", history_limit=10
+        )
+        for step in range(55):
+            writer.beat("anneal", step=step)
+        ring = read_history(history_path(tmp_path / "hb.json"))
+        # Never more than 2*limit lines survive; the newest always do.
+        assert len(ring) <= 20
+        assert ring[-1]["seq"] == 55
+        seqs = [b["seq"] for b in ring]
+        assert seqs == sorted(seqs)
+
+    def test_history_limit_zero_disables_the_ring(self, tmp_path):
+        from repro.qor import history_path
+
+        writer = HeartbeatWriter(
+            tmp_path / "hb.json", run_id="r1", history_limit=0
+        )
+        writer.beat("anneal", step=1)
+        assert not history_path(tmp_path / "hb.json").exists()
+
+    def test_since_seq_and_limit_filters(self, tmp_path):
+        from repro.qor import history_path, read_history
+
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        for step in range(6):
+            writer.beat("anneal", step=step)
+        ring_path = history_path(tmp_path / "hb.json")
+        assert [b["seq"] for b in read_history(ring_path, since_seq=4)] == [5, 6]
+        assert [b["seq"] for b in read_history(ring_path, limit=2)] == [5, 6]
+        assert [
+            b["seq"] for b in read_history(ring_path, since_seq=2, limit=2)
+        ] == [5, 6]
+
+    def test_torn_final_line_skipped_mid_file_corruption_raises(self, tmp_path):
+        from repro.qor import history_path, read_history
+
+        writer = HeartbeatWriter(tmp_path / "hb.json", run_id="r1")
+        writer.beat("anneal", step=1)
+        ring_path = history_path(tmp_path / "hb.json")
+        with open(ring_path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "torn')
+        assert [b["seq"] for b in read_history(ring_path)] == [1]
+        ring_path.write_text('{"seq": 1, "bad\n{"seq": 2}\n', encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            read_history(ring_path)
+
+    def test_missing_ring_reads_empty(self, tmp_path):
+        from repro.qor import read_history
+
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            HeartbeatWriter(tmp_path / "hb.json", history_limit=-1)
+
+
+class TestReadRetry:
+    def test_vanished_file_is_retried_then_none(self, tmp_path, monkeypatch):
+        import time as time_module
+
+        sleeps = []
+        monkeypatch.setattr(time_module, "sleep", sleeps.append)
+        assert read_heartbeat(tmp_path / "hb.json", retries=2) is None
+        assert len(sleeps) == 2  # both retries waited before giving up
+
+    def test_mid_replace_enoent_recovers(self, tmp_path, monkeypatch):
+        """A reader that hits the ENOENT window of a non-atomic replace
+        sees the document on retry, not a crash or a spurious None."""
+        from pathlib import Path
+
+        path = tmp_path / "hb.json"
+        writer = HeartbeatWriter(path, run_id="r1")
+        writer.beat("anneal", step=7)
+        real_read_text = Path.read_text
+        failures = {"left": 2}
+
+        def flaky_read_text(self, *args, **kwargs):
+            if self == path and failures["left"] > 0:
+                failures["left"] -= 1
+                raise FileNotFoundError(str(self))
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", flaky_read_text)
+        doc = read_heartbeat(path, retries=2, retry_delay=0.001)
+        assert doc is not None and doc["step"] == 7
+        assert failures["left"] == 0
+
+    def test_concurrent_writer_never_breaks_readers(self, tmp_path):
+        """Satellite: a watch-style reader polling while a writer beats
+        as fast as it can must never see a torn document or crash."""
+        from repro.qor import history_path, read_history
+
+        path = tmp_path / "hb.json"
+        writer = HeartbeatWriter(path, run_id="race2", history_limit=16)
+        stop = threading.Event()
+        errors = []
+
+        def pound():
+            step = 0
+            while not stop.is_set():
+                writer.beat("anneal", step=step, pad="x" * 2048)
+                step += 1
+
+        thread = threading.Thread(target=pound)
+        thread.start()
+        try:
+            reads = 0
+            last_seq = 0
+            while reads < 300:
+                doc = read_heartbeat(path)
+                if doc is None:
+                    continue
+                reads += 1
+                if doc["seq"] < last_seq:
+                    errors.append(f"seq went backwards: {doc['seq']}")
+                    break
+                last_seq = doc["seq"]
+                ring = read_history(history_path(path))
+                ring_seqs = [b["seq"] for b in ring]
+                if ring_seqs != sorted(ring_seqs):
+                    errors.append(f"ring out of order: {ring_seqs}")
+                    break
+        except Exception as exc:  # noqa: BLE001 - the assertion target
+            errors.append(exc)
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors

@@ -210,3 +210,24 @@ class TestBench:
         assert len(first) == 1 and len(second) == 2
         assert [h["x"] for h in second] == [1, 2]
         assert all("host" in h and "recorded" in h for h in second)
+
+
+class TestReadonly:
+    def test_readonly_reads_without_writing(self, tmp_path):
+        path = tmp_path / "reg.sqlite"
+        with RunRegistry(path) as reg:
+            reg.register_run(manifest("run-1"))
+        with RunRegistry(path, readonly=True) as ro:
+            assert [r["run_id"] for r in ro.runs()] == ["run-1"]
+            import sqlite3
+
+            with pytest.raises(sqlite3.OperationalError):
+                ro.register_run(manifest("run-2"))
+
+    def test_readonly_never_creates_the_file(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "missing.sqlite"
+        with pytest.raises(sqlite3.OperationalError):
+            RunRegistry(path, readonly=True)
+        assert not path.exists()
