@@ -1,0 +1,335 @@
+#!/usr/bin/env python
+"""Chaos drill and load smoke for the placement service.
+
+Chaos mode (the default):
+
+1. Submit a batch of jobs (the i1 benchmark circuit, smoke preset,
+   seeds cycling over a small set) into a fresh service root.
+2. Run the supervisor as a real subprocess with ``--exit-when-idle``.
+3. While the fleet anneals, SIGKILL at least ``--worker-kills`` workers
+   (only ones that have already checkpointed, so the resume path is the
+   one being exercised) and SIGKILL + restart the supervisor itself.
+4. When the queue drains, assert:
+   - every submitted job is ``done`` — none lost, dead, or shed;
+   - the event journal shows exactly one ``job_done`` per job;
+   - every job's ``result.json`` is identical to a fault-free reference
+     run of the same seed, after scrubbing volatile keys — the service's
+     crash recovery must not change QoR by a single unit.
+5. Record throughput (jobs/min) and p95 queue latency into
+   ``BENCH_service.json``.
+
+Load mode (``--mode load``) is the same pipeline minus the violence:
+a pure throughput/latency measurement for the benchmark file.
+
+Exits non-zero with a diagnostic on any deviation.  Artifacts (the
+service root with ``events.jsonl``, per-attempt worker logs, supervisor
+logs, the bench document) are left in ``--workdir`` for CI to upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+from repro.service import ServicePaths, ServiceView  # noqa: E402
+
+#: Keys that legitimately differ between a fault-free run and a
+#: crash-recovered one (timings and resume provenance) — everything
+#: else must match exactly.
+VOLATILE_KEYS = {"elapsed_seconds", "seconds", "resumed_from", "budget_report"}
+
+SEEDS = (3, 4, 5)
+
+
+def scrub(value):
+    if isinstance(value, dict):
+        return {k: scrub(v) for k, v in value.items() if k not in VOLATILE_KEYS}
+    if isinstance(value, list):
+        return [scrub(v) for v in value]
+    return value
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def make_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [SRC, os.environ.get("PYTHONPATH")])
+    )
+    return env
+
+
+def pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def generate_circuit(path: Path) -> None:
+    from repro.bench import spec_for
+    from repro.bench.circuits import generate_circuit as build
+    from repro.netlist import dump
+
+    dump(build(spec_for("i1")), path)
+
+
+def reference_results(circuit: Path, seeds, workdir: Path):
+    """Fault-free ``place`` per seed, via the same CLI the workers use."""
+    refs = {}
+    for seed in seeds:
+        out = workdir / f"reference-seed{seed}.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "place", str(circuit),
+                "--preset", "smoke", "--seed", str(seed), "--json", str(out),
+            ],
+            env=make_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        if proc.returncode != 0:
+            fail(f"reference run seed={seed} failed: {proc.stderr.decode()}")
+        refs[seed] = scrub(json.loads(out.read_text()))
+    return refs
+
+
+def start_supervisor(root: Path, workers: int, log_path: Path, retry_base: float):
+    log = open(log_path, "a")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "service", "run", str(root),
+            "--workers", str(workers), "--poll-interval", "0.1",
+            "--retry-base", str(retry_base), "--retry-cap", "2.0",
+            "--exit-when-idle",
+        ],
+        env=make_env(),
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    return proc, log
+
+
+def submit_jobs(root: Path, circuit: Path, count: int):
+    job_seeds = {}
+    with ServiceView(root) as view:
+        for index in range(count):
+            seed = SEEDS[index % len(SEEDS)]
+            job = view.submit(
+                circuit,
+                preset="smoke",
+                seed=seed,
+                checkpoint_every=1,
+                tenant=f"tenant-{index % 2}",
+            )
+            job_seeds[job.job_id] = seed
+    return job_seeds
+
+
+def terminal_count(counts) -> int:
+    return sum(counts.get(state, 0) for state in ("done", "dead", "shed"))
+
+
+def run_fleet(root, workers, njobs, *, worker_kills, supervisor_restarts,
+              retry_base, timeout, sup_log):
+    """Drive the supervisor (with optional violence) until the queue drains.
+
+    Returns (killed_worker_pids, restarts_done).
+    """
+    paths = ServicePaths(root)
+    proc, log = start_supervisor(root, workers, sup_log, retry_base)
+    killed = []
+    restarts_done = 0
+    deadline = time.monotonic() + timeout
+    try:
+        while True:
+            if time.monotonic() > deadline:
+                fail(f"queue did not drain within {timeout}s "
+                     f"(killed={killed}, restarts={restarts_done})")
+            with ServiceView(root, readonly=True) as view:
+                counts = view.counts()
+                running = view.jobs(state="running")
+            if terminal_count(counts) >= njobs:
+                break
+            if len(killed) < worker_kills:
+                for row in running:
+                    pid = row.worker_pid
+                    if not pid or pid in killed or not pid_alive(pid):
+                        continue
+                    # Only kill workers that already checkpointed: the
+                    # retry must land on the resume path.
+                    if not any(paths.checkpoint_dir(row.job_id).glob("*.ckpt")):
+                        continue
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except OSError:
+                        continue
+                    killed.append(pid)
+                    print(f"chaos: SIGKILLed worker {pid} ({row.job_id})")
+                    break
+            if (
+                restarts_done < supervisor_restarts
+                and killed
+                and counts.get("done", 0) >= 1
+                and proc.poll() is None
+            ):
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait()
+                log.close()
+                restarts_done += 1
+                print(f"chaos: SIGKILLed supervisor {proc.pid}; restarting")
+                time.sleep(0.5)
+                proc, log = start_supervisor(root, workers, sup_log, retry_base)
+            elif proc.poll() is not None:
+                fail(f"supervisor exited early with {proc.returncode} "
+                     f"(see {sup_log})")
+            time.sleep(0.2)
+        if proc.wait(timeout=120.0) != 0:
+            fail(f"supervisor exited {proc.returncode} after drain")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        log.close()
+    return killed, restarts_done
+
+
+def verify_outcomes(root, job_seeds, refs):
+    paths = ServicePaths(root)
+    with ServiceView(root, readonly=True) as view:
+        jobs = {job.job_id: job for job in view.jobs(limit=10_000)}
+        events = view.history(limit=100_000)
+    if set(jobs) != set(job_seeds):
+        fail(f"job set changed: submitted {sorted(job_seeds)}, "
+             f"store has {sorted(jobs)}")
+    not_done = {j.job_id: j.state for j in jobs.values() if j.state != "done"}
+    if not_done:
+        fail(f"jobs lost to the chaos: {not_done}")
+    done_events = [e["job_id"] for e in events if e["event"] == "job_done"]
+    duplicates = {j for j in done_events if done_events.count(j) > 1}
+    if duplicates:
+        fail(f"duplicate job_done events for {sorted(duplicates)}")
+    if set(done_events) != set(job_seeds):
+        fail("journal job_done set does not match the submitted set")
+    for job_id, seed in job_seeds.items():
+        result_path = paths.result(job_id)
+        if not result_path.exists():
+            fail(f"{job_id}: done but no result.json")
+        got = scrub(json.loads(result_path.read_text()))
+        if got != refs[seed]:
+            fail(f"{job_id}: QoR diverged from fault-free seed={seed} reference")
+    return events, jobs
+
+
+def latency_stats(events):
+    submitted = {}
+    first_start = {}
+    for event in events:
+        job_id = event.get("job_id")
+        if event["event"] == "job_submitted":
+            submitted[job_id] = event["ts"]
+        elif event["event"] == "job_start" and job_id not in first_start:
+            first_start[job_id] = event["ts"]
+    waits = sorted(
+        first_start[j] - submitted[j] for j in first_start if j in submitted
+    )
+    if not waits:
+        return {"p50_queue_latency_s": None, "p95_queue_latency_s": None}
+    pick = lambda q: waits[min(len(waits) - 1, int(q * (len(waits) - 1)))]  # noqa: E731
+    return {
+        "p50_queue_latency_s": round(pick(0.50), 3),
+        "p95_queue_latency_s": round(pick(0.95), 3),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("--mode", choices=("chaos", "load"), default="chaos")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized batch (fewer jobs, same guarantees)")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--worker-kills", type=int, default=2)
+    parser.add_argument("--supervisor-restarts", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--output", default=None,
+                        help="bench JSON path (default workdir/BENCH_service.json)")
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    root = workdir / "svc"
+    njobs = args.jobs or (6 if args.quick else 12)
+    chaos = args.mode == "chaos"
+    worker_kills = args.worker_kills if chaos else 0
+    restarts = args.supervisor_restarts if chaos else 0
+    retry_base = 0.2  # fast retries: chaos cares about recovery, not pacing
+
+    circuit = workdir / "i1.twmc"
+    generate_circuit(circuit)
+    seeds_used = sorted({SEEDS[i % len(SEEDS)] for i in range(njobs)})
+    print(f"mode={args.mode} jobs={njobs} workers={args.workers} "
+          f"worker_kills={worker_kills} supervisor_restarts={restarts}")
+    refs = reference_results(circuit, seeds_used, workdir)
+
+    job_seeds = submit_jobs(root, circuit, njobs)
+    started = time.monotonic()
+    killed, restarts_done = run_fleet(
+        root, args.workers, njobs,
+        worker_kills=worker_kills,
+        supervisor_restarts=restarts,
+        retry_base=retry_base,
+        timeout=args.timeout,
+        sup_log=workdir / "supervisor.log",
+    )
+    elapsed = time.monotonic() - started
+
+    if chaos and len(killed) < args.worker_kills:
+        fail(f"only {len(killed)}/{args.worker_kills} workers were killed "
+             "before the queue drained — batch too small for the drill")
+    if chaos and restarts_done < restarts:
+        fail(f"only {restarts_done}/{restarts} supervisor restarts happened")
+
+    events, jobs = verify_outcomes(root, job_seeds, refs)
+    retried = sum(1 for j in jobs.values() if j.attempts > 1)
+
+    bench = {
+        "benchmark": "service_chaos" if chaos else "service_load",
+        "mode": args.mode,
+        "circuit": "i1",
+        "preset": "smoke",
+        "jobs": njobs,
+        "workers": args.workers,
+        "worker_kills": len(killed),
+        "supervisor_restarts": restarts_done,
+        "jobs_retried": retried,
+        "elapsed_seconds": round(elapsed, 2),
+        "jobs_per_min": round(njobs / elapsed * 60.0, 2),
+        "qor_identical_to_reference": True,
+        **latency_stats(events),
+    }
+    out = Path(args.output) if args.output else workdir / "BENCH_service.json"
+    out.write_text(json.dumps(bench, indent=2) + "\n")
+    print(json.dumps(bench, indent=2))
+    print(f"ok: {njobs} jobs done, none lost, QoR identical to fault-free "
+          f"reference ({len(killed)} worker kills, {restarts_done} "
+          f"supervisor restarts, {retried} jobs retried)")
+
+
+if __name__ == "__main__":
+    main()

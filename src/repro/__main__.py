@@ -13,6 +13,9 @@ Commands:
 * ``qor list|show|compare|gate``    — query the run registry; gate QoR
 * ``serve [root]``                  — observability HTTP server: fleet
   status, SSE progress streams, ``/metrics``, anneal-health analytics
+* ``service run|submit|status|drain|events`` — fault-tolerant placement
+  service: supervised job queue with retry/backoff, timeouts,
+  backpressure, and crash recovery via checkpoints (``docs/service.md``)
 
 ``place`` options: ``--preset smoke|fast|paper`` (default fast),
 ``--seed N``, ``--svg out.svg`` (render the final placement),
@@ -59,6 +62,12 @@ from .resilience import (
 
 #: Exit status of a run stopped by SIGINT/SIGTERM after checkpointing.
 EXIT_INTERRUPTED = 3
+
+#: Exit status of ``resume`` when the checkpoint's circuit hash does not
+#: match (the file is valid but belongs to a different circuit).  The
+#: service supervisor routes this straight to the dead-letter state —
+#: retrying a mismatched checkpoint can never succeed.
+EXIT_CHECKPOINT_MISMATCH = 6
 
 
 def _config(preset: str, seed: int) -> TimberWolfConfig:
@@ -242,6 +251,41 @@ def _run_recorded(recorder, run):
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .resilience.checkpoint import CheckpointError, CheckpointMismatch
+
+    expect_sha = None
+    if getattr(args, "circuit", None):
+        from pathlib import Path as _Path
+
+        from .resilience.checkpoint import circuit_fingerprint
+
+        expect_sha = circuit_fingerprint(
+            _Path(args.circuit).read_text(encoding="utf-8")
+        )
+    try:
+        return _resume(args, expect_sha)
+    except CheckpointMismatch as exc:
+        # Machine-readable reason on stderr so a supervisor can parse it
+        # and route the job to the dead-letter state instead of retrying.
+        print(
+            _json.dumps(
+                {
+                    "error": "checkpoint_mismatch",
+                    "checkpoint": str(args.checkpoint),
+                    "reason": str(exc),
+                }
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_CHECKPOINT_MISMATCH
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _resume(args: argparse.Namespace, expect_sha) -> int:
     recorder = None
     if getattr(args, "rundir", None) or getattr(args, "registry", None):
         # The continued run keeps the original run's registry identity:
@@ -250,7 +294,9 @@ def cmd_resume(args: argparse.Namespace) -> int:
         from .netlist import loads as _loads
         from .resilience.checkpoint import read_checkpoint
 
-        _, payload = read_checkpoint(args.checkpoint)
+        _, payload = read_checkpoint(
+            args.checkpoint, expect_circuit_sha=expect_sha
+        )
         recorder = _recorder(args, run_id=payload.get("run_id"))
         recorder.begin(
             _loads(payload["circuit_text"]),
@@ -270,7 +316,10 @@ def cmd_resume(args: argparse.Namespace) -> int:
         result = _run_recorded(
             recorder,
             lambda: resume_place_and_route(
-                args.checkpoint, tracer=tracer, budget=_budget(args)
+                args.checkpoint,
+                tracer=tracer,
+                budget=_budget(args),
+                expect_circuit_sha=expect_sha,
             ),
         )
     except FlowInterrupted as exc:
@@ -428,6 +477,12 @@ def build_parser() -> argparse.ArgumentParser:
         "resume", help="continue an interrupted place run from a checkpoint"
     )
     p_resume.add_argument("checkpoint", help="checkpoint file (.ckpt)")
+    p_resume.add_argument(
+        "--circuit",
+        help="pin the checkpoint to this circuit file: a hash mismatch "
+        f"exits {EXIT_CHECKPOINT_MISMATCH} with a machine-readable "
+        "reason instead of resuming",
+    )
     _add_output_options(p_resume)
     _add_budget_options(p_resume)
     _add_observability_options(p_resume)
@@ -446,10 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .obs.cli import add_serve_command
     from .qor.cli import add_monitor_commands, add_qor_commands
+    from .service.cli import add_service_command
 
     add_monitor_commands(sub)
     add_qor_commands(sub)
     add_serve_command(sub)
+    add_service_command(sub)
 
     return parser
 

@@ -37,6 +37,7 @@ def resume_place_and_route(
     collect_trace: bool = True,
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointPolicy] = None,
+    expect_circuit_sha: Optional[str] = None,
 ) -> TimberWolfResult:
     """Continue a flow run from a checkpoint written by a previous run.
 
@@ -47,11 +48,15 @@ def resume_place_and_route(
     policy itself is not part of the snapshot), so a twice-interrupted
     run keeps making progress.  Pass ``budget`` to
     bound the continued run (the original run's budget does not carry
-    over).  Raises :class:`CheckpointError` on a corrupt, truncated, or
-    stale file.
+    over).  ``expect_circuit_sha`` pins the checkpoint to a known
+    circuit fingerprint (the service supervisor pins each retry to the
+    job's snapshotted circuit).  Raises :class:`CheckpointError` on a
+    corrupt, truncated, or stale file, and its
+    :class:`~repro.resilience.checkpoint.CheckpointMismatch` subclass
+    when the circuit hash does not match.
     """
     path = Path(path)
-    header, payload = read_checkpoint(path)
+    header, payload = read_checkpoint(path, expect_circuit_sha=expect_circuit_sha)
     phase = payload.get("phase")
     if phase not in ("stage1", "stage2", "parallel1"):
         raise CheckpointError(f"{path}: unknown checkpoint phase {phase!r}")

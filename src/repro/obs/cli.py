@@ -47,25 +47,43 @@ def add_serve_command(subparsers: argparse._SubParsersAction) -> None:
     serve_p.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve_p.add_argument(
+        "--service",
+        default=None,
+        metavar="ROOT",
+        help="also expose the placement service under this root at "
+        "/jobs (see python -m repro service); the fleet root then "
+        "defaults to ROOT/runs and the registry to ROOT/registry.sqlite",
+    )
     serve_p.set_defaults(func=cmd_serve)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .server import serve
 
+    root = args.root
+    if args.service is not None and root == DEFAULT_ROOT:
+        candidate = Path(args.service) / "runs"
+        if candidate.is_dir() or not Path(root).is_dir():
+            root = candidate
     registry = args.registry
     if registry is None:
-        candidate = Path(args.root) / "registry.sqlite"
-        if candidate.is_file():
-            registry = candidate
+        for candidate in (
+            Path(args.service) / "registry.sqlite" if args.service else None,
+            Path(root) / "registry.sqlite",
+        ):
+            if candidate is not None and candidate.is_file():
+                registry = candidate
+                break
     try:
         return serve(
-            args.root,
+            root,
             registry=registry,
             host=args.host,
             port=args.port,
             stale_after=args.stale_after,
             verbose=args.verbose,
+            service=args.service,
         )
     except KeyboardInterrupt:
         return 0

@@ -16,6 +16,10 @@ Endpoints:
 ``GET /runs/<id>/health``   anneal-health analytics (see ``obs.health``)
 ``GET /runs/<id>/events``   SSE progress stream (``?since_seq&timeout``)
 ``GET /metrics``      Prometheus scrape page over every live heartbeat
+``GET /jobs``         placement-service queue overview (when serving a
+                      service root: counts, lease, drain flag, jobs)
+``GET /jobs/<id>``    one job's row + directory status + recent events
+``GET /jobs/events``  SSE stream of queue events (``?job_id&timeout``)
 ====================  =====================================================
 """
 
@@ -76,26 +80,31 @@ def handle_request(
     path: str,
     query: Optional[Dict[str, str]] = None,
     stop_event=None,
+    service=None,
 ) -> Response:
-    """Dispatch one GET request against the fleet."""
+    """Dispatch one GET request against the fleet.
+
+    ``service`` is the placement-service root (or None): when set, the
+    ``/jobs`` routes join the job queue into the same server.
+    """
     query = query or {}
     parts = [p for p in path.split("/") if p]
 
     if not parts:
-        return _json_response(
-            {
-                "service": "repro-obs",
-                "endpoints": [
-                    "/runs",
-                    "/runs/<id>",
-                    "/runs/<id>/history",
-                    "/runs/<id>/health",
-                    "/runs/<id>/events",
-                    "/metrics",
-                    "/healthz",
-                ],
-            }
-        )
+        endpoints = [
+            "/runs",
+            "/runs/<id>",
+            "/runs/<id>/history",
+            "/runs/<id>/health",
+            "/runs/<id>/events",
+            "/metrics",
+            "/healthz",
+        ]
+        if service is not None:
+            endpoints += ["/jobs", "/jobs/<id>", "/jobs/events"]
+        return _json_response({"service": "repro-obs", "endpoints": endpoints})
+    if parts[0] == "jobs":
+        return _handle_jobs(service, parts, query, stop_event)
     if parts == ["healthz"]:
         return _json_response({"ok": True})
     if parts == ["metrics"]:
@@ -159,3 +168,54 @@ def handle_request(
                 ),
             )
     return _error(404, f"no route for {path!r}")
+
+
+def _handle_jobs(
+    service, parts, query: Dict[str, str], stop_event
+) -> Response:
+    """The ``/jobs`` routes, backed by the placement-service store."""
+    if service is None:
+        return _error(404, "no service root configured (serve --service)")
+    import sqlite3
+
+    from ..service.events import stream_job_events
+    from ..service.store import StoreError
+    from ..service.view import ServiceView
+    from ..service.worker import ServicePaths
+
+    if parts == ["jobs", "events"]:
+        timeout = _query_float(query, "timeout")
+        timeout = (
+            min(timeout, MAX_STREAM_SECONDS)
+            if timeout is not None
+            else MAX_STREAM_SECONDS
+        )
+        return Response(
+            content_type="text/event-stream",
+            headers={"Cache-Control": "no-cache", "X-Accel-Buffering": "no"},
+            stream=stream_job_events(
+                ServicePaths(service).events,
+                stop=stop_event,
+                timeout=timeout,
+                job_id=query.get("job_id"),
+                from_start=bool(_query_int(query, "from_start")),
+                max_events=_query_int(query, "max_events"),
+            ),
+        )
+    try:
+        with ServiceView(service, readonly=True) as view:
+            if len(parts) == 1:
+                return _json_response(view.overview())
+            if len(parts) == 2:
+                try:
+                    doc = view.status(parts[1])
+                except StoreError as exc:
+                    return _error(404, str(exc))
+                doc["events"] = view.history(
+                    job_id=doc["job_id"],
+                    limit=_query_int(query, "limit") or 50,
+                )
+                return _json_response(doc)
+    except sqlite3.OperationalError as exc:
+        return _error(503, f"service store unavailable: {exc}")
+    return _error(404, f"no route for /{'/'.join(parts)}")

@@ -41,6 +41,7 @@ class _ObsHandler(BaseHTTPRequestHandler):
                 split.path,
                 query,
                 stop_event=self.server.stop_event,
+                service=self.server.service,
             )
         except Exception as exc:  # a route bug must not kill the thread
             response = Response(
@@ -93,6 +94,7 @@ class ObsServer:
         port: int = 0,
         stale_after: float = STALE_AFTER,
         verbose: bool = False,
+        service: Optional[Union[str, Path]] = None,
     ) -> None:
         self.fleet = Fleet(root, registry=registry, stale_after=stale_after)
         self._httpd = ThreadingHTTPServer((host, port), _ObsHandler)
@@ -100,6 +102,7 @@ class ObsServer:
         self._httpd.fleet = self.fleet
         self._httpd.stop_event = threading.Event()
         self._httpd.verbose = verbose
+        self._httpd.service = Path(service) if service is not None else None
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -157,6 +160,7 @@ def serve(
     port: int = 8300,
     stale_after: float = STALE_AFTER,
     verbose: bool = False,
+    service: Optional[Union[str, Path]] = None,
 ) -> int:
     """The blocking CLI entry point (``python -m repro serve``)."""
     server = ObsServer(
@@ -166,9 +170,12 @@ def serve(
         port=port,
         stale_after=stale_after,
         verbose=verbose,
+        service=service,
     )
     print(f"repro-obs serving {Path(root).resolve()} at {server.url}")
     print(f"  runs:    {server.url}/runs")
     print(f"  metrics: {server.url}/metrics")
+    if service is not None:
+        print(f"  jobs:    {server.url}/jobs")
     server.serve_forever()
     return 0

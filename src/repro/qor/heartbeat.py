@@ -30,6 +30,15 @@ compute anneal-health analytics without ever racing the writer: appends
 are line-buffered, compaction goes through the same temp-file +
 ``os.replace`` discipline as the snapshot, and readers treat a torn
 final line as "not yet written".
+
+Each compaction stamps the rewritten ring with a **generation marker**
+(a first line of the form ``{"ring": {...}}``, not a beat): a reader
+that re-reads the file around a compaction can tell the pre- and
+post-truncation images apart by generation instead of guessing from
+file size, and a writer that re-attaches to an existing ring (a retried
+service job re-running in the same rundir) continues the generation
+sequence rather than restarting it.  :func:`read_history` skips the
+markers; :func:`ring_generation` exposes the newest one.
 """
 
 from __future__ import annotations
@@ -49,6 +58,9 @@ HEARTBEAT_VERSION = 1
 #: Default bound on the heartbeat history ring (entries kept after a
 #: compaction; the file may grow to twice this between compactions).
 HISTORY_LIMIT = 512
+
+#: Key that distinguishes a ring generation-marker line from a beat.
+RING_MARKER_KEY = "ring"
 
 
 def history_path(snapshot_path: Union[str, Path]) -> Path:
@@ -107,6 +119,15 @@ class HeartbeatWriter:
         self.history_limit = history_limit
         self.history_path = history_path(self.path) if history_limit else None
         self._history_appends = 0
+        self._ring_generation = 0
+        if self.history_path is not None and self.history_path.exists():
+            # Re-attaching to an existing ring (e.g. a retried service
+            # job re-running in the same rundir): continue its
+            # generation sequence so tailers see it advance, never reset.
+            try:
+                self._ring_generation = ring_generation(self.history_path)
+            except OSError:
+                pass
         self._context: Dict[str, Any] = {}
         self._seq = 0
         self._last_write = 0.0
@@ -168,12 +189,58 @@ class HeartbeatWriter:
             pass
 
     def _compact_history(self) -> None:
-        """Atomically rewrite the ring down to the newest entries.  The
-        tailers detect the shrink (size < their offset) and re-read."""
-        lines = self.history_path.read_text(encoding="utf-8").splitlines()
+        """Atomically rewrite the ring down to the newest entries,
+        stamped with a fresh generation marker.  A reader that observes
+        the file twice around the swap can order the two images by
+        generation instead of inferring from size."""
+        lines = [
+            line
+            for line in self.history_path.read_text(encoding="utf-8").splitlines()
+            if line.strip() and not _is_ring_marker(line)
+        ]
         keep = lines[-self.history_limit:]
-        _atomic_write(self.history_path, "\n".join(keep) + "\n")
+        self._ring_generation += 1
+        marker = json.dumps(
+            {
+                RING_MARKER_KEY: {
+                    "v": HEARTBEAT_VERSION,
+                    "generation": self._ring_generation,
+                    "kept": len(keep),
+                    "compacted": time.time(),
+                }
+            },
+            separators=(",", ":"),
+        )
+        _atomic_write(self.history_path, "\n".join([marker, *keep]) + "\n")
         self._history_appends = len(keep)
+
+
+def _is_ring_marker(line: str) -> bool:
+    """Cheap syntactic test for a generation-marker line (avoids a JSON
+    parse per line on the writer's compaction path)."""
+    return line.startswith('{"%s":' % RING_MARKER_KEY)
+
+
+def ring_generation(path: Union[str, Path]) -> int:
+    """The ring's current compaction generation (0 before the first
+    compaction, or for a missing ring)."""
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError:
+        return 0
+    generation = 0
+    for line in raw.split("\n"):
+        if not _is_ring_marker(line):
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn marker: the previous generation stands
+        marker = doc.get(RING_MARKER_KEY)
+        if isinstance(marker, dict):
+            generation = max(generation, int(marker.get("generation", 0)))
+    return generation
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -231,7 +298,8 @@ def read_history(
     ``since_seq`` keeps only beats with ``seq`` strictly greater (the
     resume point of a streaming client); ``limit`` keeps the newest N.
     A torn final line (the writer mid-append) is skipped silently; a
-    missing ring reads as empty.
+    missing ring reads as empty; compaction generation markers are not
+    beats and never appear in the result.
     """
     path = Path(path)
     try:
@@ -249,6 +317,8 @@ def read_history(
             if index == len(lines) - 1:
                 continue  # torn final line: the writer is mid-append
             raise
+        if RING_MARKER_KEY in doc and "seq" not in doc:
+            continue  # compaction generation marker
         if since_seq is not None and doc.get("seq", 0) <= since_seq:
             continue
         entries.append(doc)

@@ -18,6 +18,13 @@ The registry is append-only in spirit: rows are inserted and a run's
 ``status`` advances (running → ok/truncated/failed/interrupted), but
 nothing is ever deleted.  All structured values are stored as JSON text
 columns so the schema survives new metrics without migration.
+
+Many processes share one registry file (the service layer runs a
+supervisor, N workers, and monitors against the same database), so
+writable connections run in WAL mode with a busy timeout, and every
+write goes through a bounded retry on ``database is locked`` — the
+residual error SQLite still raises when the timeout itself expires
+under heavy contention.
 """
 
 from __future__ import annotations
@@ -26,9 +33,54 @@ import json
 import sqlite3
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, TypeVar, Union
 
 SCHEMA_VERSION = 1
+
+#: How long a connection waits for a competing writer before SQLite
+#: raises ``database is locked`` (milliseconds).
+BUSY_TIMEOUT_MS = 5000
+
+#: Bounded retry for writes that still hit the lock after the timeout.
+LOCKED_RETRIES = 5
+LOCKED_RETRY_DELAY = 0.05
+
+_T = TypeVar("_T")
+
+
+def configure_connection(conn: sqlite3.Connection, readonly: bool = False) -> None:
+    """Apply the shared-registry concurrency settings to a connection.
+
+    Writable connections switch the database to WAL (readers never block
+    the writer and vice versa); every connection gets the busy timeout.
+    Also used by the service layer's job store, which shares the file.
+    """
+    conn.row_factory = sqlite3.Row
+    conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+    if not readonly:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+
+
+def retry_locked(
+    operation: Callable[[], _T],
+    retries: int = LOCKED_RETRIES,
+    delay: float = LOCKED_RETRY_DELAY,
+) -> _T:
+    """Run ``operation``, retrying on ``database is locked``/``busy``
+    with exponential backoff.  Any other ``OperationalError`` (and a
+    still-locked database after the final retry) propagates."""
+    for attempt in range(retries + 1):
+        try:
+            return operation()
+        except sqlite3.OperationalError as exc:
+            message = str(exc).lower()
+            if "locked" not in message and "busy" not in message:
+                raise
+            if attempt >= retries:
+                raise
+            time.sleep(delay * (2 ** attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -119,17 +171,21 @@ class RunRegistry:
             self._conn = sqlite3.connect(
                 f"file:{self.path}?mode=ro", uri=True
             )
-            self._conn.row_factory = sqlite3.Row
+            configure_connection(self._conn, readonly=True)
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path))
-        self._conn.row_factory = sqlite3.Row
-        with self._conn:
-            self._conn.executescript(_SCHEMA)
-            self._conn.execute(
-                "INSERT OR IGNORE INTO meta(key, value) VALUES('schema', ?)",
-                (str(SCHEMA_VERSION),),
-            )
+        configure_connection(self._conn)
+
+        def _migrate() -> None:
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO meta(key, value) VALUES('schema', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+
+        retry_locked(_migrate)
 
     def close(self) -> None:
         self._conn.close()
@@ -152,8 +208,7 @@ class RunRegistry:
         circuit = manifest.get("circuit", {})
         config = manifest.get("config", {})
         parallel = config.get("values", {}).get("parallel", {})
-        with self._conn:
-            self._conn.execute(
+        self._write(
                 "INSERT OR REPLACE INTO runs(run_id, created, status, command, circuit,"
                 " circuit_sha256, config_sha256, seed, chains, workers,"
                 " package_version, resumed_from, host_json, config_json)"
@@ -174,19 +229,26 @@ class RunRegistry:
                     json.dumps(manifest.get("host", {}), sort_keys=True),
                     json.dumps(config.get("values", {}), sort_keys=True),
                 ),
-            )
+        )
+
+    def _write(self, sql: str, params: tuple) -> sqlite3.Cursor:
+        """One committed write statement, retried on a locked database."""
+
+        def _run() -> sqlite3.Cursor:
+            with self._conn:
+                return self._conn.execute(sql, params)
+
+        return retry_locked(_run)
 
     def finish_run(self, run_id: str, status: str) -> None:
-        with self._conn:
-            self._conn.execute(
-                "UPDATE runs SET status = ?, finished = ? WHERE run_id = ?",
-                (status, time.time(), run_id),
-            )
+        self._write(
+            "UPDATE runs SET status = ?, finished = ? WHERE run_id = ?",
+            (status, time.time(), run_id),
+        )
 
     def record_qor(self, run_id: str, qor: Dict[str, Any]) -> None:
         """Insert (or replace, for a resumed run) the run's QoR record."""
-        with self._conn:
-            self._conn.execute(
+        self._write(
                 "INSERT OR REPLACE INTO qor(run_id, recorded, teil, stage1_teil,"
                 " chip_area, stage1_chip_area, core_target_area, area_vs_target,"
                 " overflow, residual_overlap, wall_seconds, moves, moves_per_sec,"
@@ -344,17 +406,16 @@ class RunRegistry:
         self, name: str, config_sha256: Optional[str], payload: Dict[str, Any]
     ) -> int:
         """Append one benchmark result; returns its row id."""
-        with self._conn:
-            cursor = self._conn.execute(
-                "INSERT INTO bench(recorded, name, config_sha256, payload_json)"
-                " VALUES(?,?,?,?)",
-                (
-                    payload.get("recorded", time.time()),
-                    name,
-                    config_sha256,
-                    json.dumps(payload, sort_keys=True, default=str),
-                ),
-            )
+        cursor = self._write(
+            "INSERT INTO bench(recorded, name, config_sha256, payload_json)"
+            " VALUES(?,?,?,?)",
+            (
+                payload.get("recorded", time.time()),
+                name,
+                config_sha256,
+                json.dumps(payload, sort_keys=True, default=str),
+            ),
+        )
         return int(cursor.lastrowid)
 
     def bench_history(

@@ -23,6 +23,7 @@ from .checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointError,
     CheckpointManager,
+    CheckpointMismatch,
     CheckpointPolicy,
     circuit_fingerprint,
     latest_checkpoint,
@@ -52,6 +53,7 @@ __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointError",
     "CheckpointManager",
+    "CheckpointMismatch",
     "CheckpointPolicy",
     "circuit_fingerprint",
     "latest_checkpoint",

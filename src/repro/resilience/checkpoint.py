@@ -42,6 +42,17 @@ class CheckpointError(RuntimeError):
     """A checkpoint file is corrupt, truncated, stale, or mismatched."""
 
 
+class CheckpointMismatch(CheckpointError):
+    """The checkpoint belongs to a different circuit than expected.
+
+    Distinct from generic corruption so callers can route it
+    differently: retrying cannot help (the file is internally valid —
+    it is just the wrong one), so ``python -m repro resume`` exits with
+    a dedicated status (6) and the service supervisor dead-letters the
+    job instead of burning retry attempts.
+    """
+
+
 def circuit_fingerprint(circuit_text: str) -> str:
     """SHA-256 of the circuit's canonical text serialization."""
     return hashlib.sha256(circuit_text.encode("utf-8")).hexdigest()
@@ -126,9 +137,11 @@ def read_checkpoint(
         expect_circuit_sha is not None
         and header.get("circuit_sha256") != expect_circuit_sha
     ):
-        raise CheckpointError(
+        raise CheckpointMismatch(
             f"{path}: checkpoint was taken for a different circuit "
-            f"(circuit hash mismatch)"
+            f"(circuit hash mismatch: checkpoint "
+            f"{str(header.get('circuit_sha256'))[:12]}, expected "
+            f"{expect_circuit_sha[:12]})"
         )
     try:
         payload = pickle.loads(body)
@@ -136,6 +149,15 @@ def read_checkpoint(
         raise CheckpointError(f"{path}: cannot unpickle checkpoint: {exc}") from exc
     if not isinstance(payload, dict):
         raise CheckpointError(f"{path}: checkpoint payload is not a dict")
+    embedded = payload.get("circuit_text")
+    if (
+        isinstance(embedded, str)
+        and circuit_fingerprint(embedded) != header.get("circuit_sha256")
+    ):
+        raise CheckpointMismatch(
+            f"{path}: embedded circuit does not match the header's "
+            f"circuit hash (mixed or tampered checkpoint)"
+        )
     return header, payload
 
 

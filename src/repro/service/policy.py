@@ -1,0 +1,118 @@
+"""Scheduling policies: retry backoff, backpressure, tenant fairness.
+
+Pure decision logic, separated from the store and the supervisor so the
+exact semantics the docs promise ("exponential backoff with jitter",
+"reject or shed past the high-water mark", "round-robin across
+tenants") are unit-testable without processes or databases.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .spec import Job
+
+
+class QueueFull(RuntimeError):
+    """A submission was refused: the queue is at its high-water mark
+    and the backpressure policy could not make room."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for failed attempts.
+
+    The delay before attempt ``n+1`` (after ``n`` failed attempts) is
+    ``min(cap, base * factor**(n-1))`` stretched by a uniformly random
+    factor in ``[1, 1+jitter]``.  Jitter decorrelates the retries of
+    jobs that failed together (e.g. every worker killed by the same
+    OOM sweep), so they do not stampede back as one block.
+    """
+
+    base: float = 2.0
+    factor: float = 2.0
+    cap: float = 60.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.cap < 0:
+            raise ValueError("backoff base and cap must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be at least 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def delay(self, attempts: int, rng: Optional[random.Random] = None) -> float:
+        """Seconds to wait after ``attempts`` failed attempts (>= 1)."""
+        if attempts < 1:
+            return 0.0
+        raw = min(self.cap, self.base * self.factor ** (attempts - 1))
+        if self.jitter <= 0:
+            return raw
+        rng = rng if rng is not None else random
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """What happens when a submission meets a full queue.
+
+    ``max_queued`` is the high-water mark on *queued* jobs (running jobs
+    hold worker slots, not queue slots).  With ``shed`` off, a full
+    queue rejects the submission (:class:`QueueFull`).  With ``shed``
+    on, a strictly higher-priority submission displaces the
+    lowest-priority queued job — ties broken toward the newest arrival,
+    so the oldest of the least-important work keeps its place — and the
+    displaced job parks in the terminal ``shed`` state.
+    """
+
+    max_queued: int = 64
+    shed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be at least 1")
+
+    def victim(
+        self, queued: Sequence[Job], priority: int
+    ) -> Optional[Job]:
+        """The queued job a new submission at ``priority`` may displace,
+        or None when the submission must be rejected.  Only meaningful
+        when the queue is at or past ``max_queued``."""
+        if not self.shed or not queued:
+            return None
+        lowest = min(
+            queued, key=lambda job: (job.priority, -job.created, job.job_id)
+        )
+        if priority > lowest.priority:
+            return lowest
+        return None
+
+
+def pick_fair(
+    ready: Sequence[Job], last_started: Dict[str, float]
+) -> Optional[Job]:
+    """The next job to claim, round-robin across tenants.
+
+    Among tenants with ready work, the tenant served least recently
+    (never-served first) goes next; within the tenant, higher priority
+    first, then FIFO.  ``last_started`` maps tenant → the most recent
+    time any of its jobs started (from the store), which makes the
+    round-robin survive supervisor restarts.
+    """
+    if not ready:
+        return None
+    by_tenant: Dict[str, List[Job]] = {}
+    for job in ready:
+        by_tenant.setdefault(job.tenant, []).append(job)
+    tenant = min(
+        by_tenant,
+        key=lambda t: (last_started.get(t, float("-inf")), t),
+    )
+    candidates = by_tenant[tenant]
+    return min(
+        candidates,
+        key=lambda job: (-job.priority, job.created, job.job_id),
+    )

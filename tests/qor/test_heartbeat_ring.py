@@ -1,0 +1,136 @@
+"""The history ring's compaction generation marker.
+
+Compaction atomically replaces the ring file; without a marker, a
+reader that saw the file before and after the swap could only guess
+from the size whether it shrank (compacted) or was truncated.  The
+generation marker makes the swap observable and ordered — and a writer
+re-attaching to an existing rundir (a retried service job) continues
+the sequence instead of resetting it.
+"""
+
+import json
+import threading
+
+from repro.qor.heartbeat import (
+    HeartbeatWriter,
+    HeartbeatWriter as Writer,
+    RING_MARKER_KEY,
+    read_history,
+    ring_generation,
+)
+from repro.obs.sse import HeartbeatTailer
+
+
+def make_writer(tmp_path, history_limit=8):
+    return HeartbeatWriter(
+        tmp_path / "heartbeat.json", run_id="r", history_limit=history_limit
+    )
+
+
+def fill(writer, beats):
+    for _ in range(beats):
+        writer.beat("stage1")
+
+
+class TestGenerationMarker:
+    def test_no_marker_before_first_compaction(self, tmp_path):
+        writer = make_writer(tmp_path)
+        fill(writer, 4)
+        assert ring_generation(writer.history_path) == 0
+        raw = writer.history_path.read_text(encoding="utf-8")
+        assert RING_MARKER_KEY not in json.loads(raw.splitlines()[0]) or True
+        assert not raw.startswith('{"ring"')
+
+    def test_compaction_writes_marker_and_bounds_ring(self, tmp_path):
+        writer = make_writer(tmp_path, history_limit=8)
+        fill(writer, 16)  # 2x the limit: triggers one compaction
+        assert ring_generation(writer.history_path) == 1
+        lines = writer.history_path.read_text(encoding="utf-8").splitlines()
+        marker = json.loads(lines[0])[RING_MARKER_KEY]
+        assert marker["generation"] == 1
+        assert marker["kept"] == 8
+        assert len(lines) == 9  # marker + kept beats
+
+    def test_generation_increments_across_compactions(self, tmp_path):
+        writer = make_writer(tmp_path, history_limit=4)
+        fill(writer, 8)
+        assert ring_generation(writer.history_path) == 1
+        fill(writer, 4)
+        assert ring_generation(writer.history_path) == 2
+
+    def test_read_history_never_yields_markers(self, tmp_path):
+        writer = make_writer(tmp_path, history_limit=4)
+        fill(writer, 20)
+        docs = read_history(writer.history_path)
+        assert docs, "ring unexpectedly empty"
+        assert all(RING_MARKER_KEY not in d or "seq" in d for d in docs)
+        assert all("seq" in d for d in docs)
+        seqs = [d["seq"] for d in docs]
+        assert seqs == sorted(seqs)
+
+    def test_reattaching_writer_continues_generation(self, tmp_path):
+        first = make_writer(tmp_path, history_limit=4)
+        fill(first, 8)
+        assert ring_generation(first.history_path) == 1
+        # A retried job re-attaches to the same rundir: the sequence
+        # advances instead of resetting to 1.
+        second = make_writer(tmp_path, history_limit=4)
+        fill(second, 8)
+        assert ring_generation(second.history_path) == 2
+
+    def test_torn_marker_tolerated(self, tmp_path):
+        writer = make_writer(tmp_path, history_limit=4)
+        fill(writer, 8)
+        with open(writer.history_path, "a", encoding="utf-8") as handle:
+            handle.write('{"ring":{"v":1,"genera')  # torn mid-write
+        assert ring_generation(writer.history_path) == 1
+        fill(writer, 4)  # next compaction filters the torn line out
+        assert ring_generation(writer.history_path) == 2
+        docs = read_history(writer.history_path)
+        assert all("seq" in d for d in docs)
+
+
+class TestConcurrentReaderAndCompactor:
+    def test_tailer_survives_compaction_races(self, tmp_path):
+        """A reader polling while the writer compacts must never see a
+        marker as a beat, a torn document, or seq going backwards."""
+        writer = make_writer(tmp_path, history_limit=8)
+        writer.beat("stage1")  # ensure files exist before readers start
+        tailer = HeartbeatTailer(tmp_path, poll_interval=0.0)
+        stop = threading.Event()
+        errors = []
+        seen = []
+
+        def read_loop():
+            last_seq = 0
+            try:
+                while not stop.is_set():
+                    for beat in tailer.poll():
+                        if RING_MARKER_KEY in beat and "seq" not in beat:
+                            errors.append(f"marker leaked: {beat}")
+                        seq = int(beat.get("seq", 0))
+                        if seq <= last_seq:
+                            errors.append(
+                                f"seq went backwards: {seq} after {last_seq}"
+                            )
+                        last_seq = seq
+                        seen.append(seq)
+                    # Raw history reads race the atomic swap too.
+                    for doc in read_history(writer.history_path):
+                        if "seq" not in doc:
+                            errors.append(f"non-beat in history: {doc}")
+            except Exception as exc:  # noqa: BLE001 - fail the test
+                errors.append(f"reader crashed: {exc!r}")
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        try:
+            # ~24 compactions worth of beats while the reader polls.
+            fill(writer, 400)
+        finally:
+            stop.set()
+            reader.join(timeout=10.0)
+        assert not reader.is_alive()
+        assert errors == []
+        assert ring_generation(writer.history_path) >= 2
+        assert seen, "reader never observed a beat"

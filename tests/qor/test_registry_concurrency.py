@@ -1,0 +1,126 @@
+"""Multi-process-shaped registry hardening: WAL, busy timeout, retry.
+
+The placement service points a supervisor, N workers, and monitors at
+one registry file; these tests pin the connection configuration and the
+bounded ``database is locked`` retry that make that safe.
+"""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.qor.registry import (
+    BUSY_TIMEOUT_MS,
+    RunRegistry,
+    configure_connection,
+    retry_locked,
+)
+
+
+class TestConnectionConfiguration:
+    def test_writable_connection_is_wal(self, tmp_path):
+        with RunRegistry(tmp_path / "r.sqlite") as registry:
+            mode = registry._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+
+    def test_busy_timeout_applied(self, tmp_path):
+        with RunRegistry(tmp_path / "r.sqlite") as registry:
+            timeout = registry._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+            assert timeout == BUSY_TIMEOUT_MS
+
+    def test_configure_readonly_does_not_switch_journal_mode(self, tmp_path):
+        path = tmp_path / "plain.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute("CREATE TABLE t (x)")
+        conn.commit()
+        conn.close()
+        ro = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+        configure_connection(ro, readonly=True)
+        # Still whatever the file had (delete), not WAL: a read-only
+        # monitor must not attempt a journal-mode change.
+        assert ro.execute("PRAGMA journal_mode").fetchone()[0] == "delete"
+        assert ro.execute("PRAGMA busy_timeout").fetchone()[0] == BUSY_TIMEOUT_MS
+        ro.close()
+
+
+class TestRetryLocked:
+    def test_passes_result_through(self):
+        assert retry_locked(lambda: 42) == 42
+
+    def test_retries_transient_lock(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert retry_locked(flaky, retries=5, delay=0.001) == "ok"
+        assert len(calls) == 3
+
+    def test_gives_up_after_bounded_retries(self):
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            retry_locked(always_locked, retries=2, delay=0.001)
+
+    def test_other_operational_errors_not_retried(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise sqlite3.OperationalError("no such table: nope")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            retry_locked(broken, retries=5, delay=0.001)
+        assert len(calls) == 1
+
+
+class TestContention:
+    def test_write_succeeds_while_another_connection_holds_the_lock(
+        self, tmp_path
+    ):
+        """A second connection holding a write lock only delays — never
+        fails — a registry write, via busy timeout + retry."""
+        path = tmp_path / "r.sqlite"
+        with RunRegistry(path) as registry:
+            blocker = sqlite3.connect(str(path), check_same_thread=False)
+            blocker.execute("PRAGMA busy_timeout=5000")
+            blocker.execute("BEGIN IMMEDIATE")
+            blocker.execute(
+                "INSERT INTO runs(run_id, created, status) VALUES('x', 0, 'running')"
+            )
+            release = threading.Timer(0.3, blocker.commit)
+            release.start()
+            try:
+                registry.register_run({"run_id": "r1"})
+            finally:
+                release.join()
+                blocker.close()
+            rows = registry.runs()
+            assert {r["run_id"] for r in rows} == {"x", "r1"}
+
+    def test_concurrent_writers_all_land(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        RunRegistry(path).close()
+        errors = []
+
+        def hammer(k):
+            try:
+                with RunRegistry(path) as registry:
+                    for i in range(10):
+                        registry.register_run({"run_id": f"run-{k}-{i}"})
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        with RunRegistry(path) as registry:
+            assert len(registry.runs()) == 40

@@ -1,0 +1,179 @@
+"""A second SIGTERM during shutdown must never corrupt a checkpoint.
+
+The first signal asks the flow to checkpoint and exit; a second signal
+escalates to a hard KeyboardInterrupt that can land *inside*
+``write_checkpoint``.  The atomic temp-file + ``os.replace`` protocol
+has to guarantee that whatever survives on disk is either the previous
+valid checkpoint or the complete new one — never a torn file under the
+final name.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.netlist import dumps
+from repro.resilience import (
+    InterruptFlag,
+    latest_checkpoint,
+    trap_signals,
+    write_checkpoint,
+)
+from repro.resilience.checkpoint import read_checkpoint
+
+from ..conftest import make_macro_circuit
+
+CIRCUIT = dumps(make_macro_circuit())
+
+
+def interrupt_during(monkeypatch, stage):
+    """Arrange for KeyboardInterrupt to fire at ``stage`` of the write."""
+    if stage == "fsync":
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+    elif stage == "replace":
+        def torn_replace(src, dst):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(os, "replace", torn_replace)
+    else:  # pragma: no cover - test bug
+        raise AssertionError(stage)
+
+
+class TestInterruptedWrite:
+    @pytest.mark.parametrize("stage", ["fsync", "replace"])
+    def test_fresh_write_leaves_nothing_behind(self, tmp_path, monkeypatch, stage):
+        path = tmp_path / "a.ckpt"
+        interrupt_during(monkeypatch, stage)
+        with pytest.raises(KeyboardInterrupt):
+            write_checkpoint(path, {"phase": "stage1"}, CIRCUIT)
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert latest_checkpoint(tmp_path) is None
+
+    @pytest.mark.parametrize("stage", ["fsync", "replace"])
+    def test_overwrite_keeps_the_previous_checkpoint(
+        self, tmp_path, monkeypatch, stage
+    ):
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, {"phase": "stage1", "marker": "old"}, CIRCUIT)
+        interrupt_during(monkeypatch, stage)
+        with pytest.raises(KeyboardInterrupt):
+            write_checkpoint(path, {"phase": "stage1", "marker": "new"}, CIRCUIT)
+        monkeypatch.undo()
+        _, payload = read_checkpoint(path)
+        assert payload["marker"] == "old"
+        assert latest_checkpoint(tmp_path) == path
+
+    def test_stray_tmp_files_are_invisible_to_resume(self, tmp_path):
+        """A process killed between mkstemp and the cleanup handler can
+        leak a ``*.tmp`` — discovery must skip it."""
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, {"phase": "stage1"}, CIRCUIT)
+        (tmp_path / "a.ckpt.h4x.tmp").write_bytes(b"REPROCKPT1\n{torn")
+        (tmp_path / "b.ckpt.y2k.tmp").write_bytes(b"")
+        assert latest_checkpoint(tmp_path) == path
+        read_checkpoint(latest_checkpoint(tmp_path))  # parses clean
+
+
+class TestSecondSignalEscalation:
+    def test_second_sigterm_raises_keyboard_interrupt(self):
+        flag = InterruptFlag()
+        with trap_signals(flag):
+            signal.raise_signal(signal.SIGTERM)
+            assert flag.is_set()
+            assert flag.signum == signal.SIGTERM
+            with pytest.raises(KeyboardInterrupt, match="second signal"):
+                signal.raise_signal(signal.SIGTERM)
+
+    def test_escalation_mid_checkpoint_preserves_previous(
+        self, tmp_path, monkeypatch
+    ):
+        """The composed scenario, in-process: the second SIGTERM lands
+        during the shutdown checkpoint's fsync."""
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, {"phase": "stage1", "marker": "old"}, CIRCUIT)
+
+        real_fsync = os.fsync
+
+        def fsync_then_signal(fd):
+            real_fsync(fd)
+            signal.raise_signal(signal.SIGTERM)
+
+        flag = InterruptFlag()
+        with trap_signals(flag):
+            signal.raise_signal(signal.SIGTERM)  # first: sets the flag
+            monkeypatch.setattr(os, "fsync", fsync_then_signal)
+            with pytest.raises(KeyboardInterrupt):
+                write_checkpoint(
+                    path, {"phase": "stage1", "marker": "new"}, CIRCUIT
+                )
+            monkeypatch.undo()
+        _, payload = read_checkpoint(path)
+        assert payload["marker"] == "old"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestRealDoubleSigterm:
+    def test_rapid_double_sigterm_never_corrupts_checkpoints(self, tmp_path):
+        """Launch a real run, wait for its first checkpoint, then send
+        two SIGTERMs back to back.  Every surviving ``*.ckpt`` must
+        parse, and the latest must resume to completion."""
+        from repro import resume_place_and_route
+        from repro.bench import spec_for
+        from repro.bench.circuits import generate_circuit
+        from repro.netlist import dump
+
+        circuit = tmp_path / "i1.twmc"
+        dump(generate_circuit(spec_for("i1")), circuit)
+        ckpt_dir = tmp_path / "ckpt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "place", str(circuit),
+                "--preset", "smoke", "--seed", "3",
+                "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "1",
+                "--json", str(tmp_path / "result.json"),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if any(ckpt_dir.glob("*.ckpt")):
+                    break
+                if process.poll() is not None:
+                    pytest.fail("run exited before checkpointing")
+                time.sleep(0.02)
+            else:
+                pytest.fail("no checkpoint appeared within 60s")
+            try:
+                process.send_signal(signal.SIGTERM)
+                time.sleep(0.05)
+                process.send_signal(signal.SIGTERM)
+            except ProcessLookupError:
+                pass  # already exiting: the race went the graceful way
+            process.wait(timeout=60.0)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+
+        survivors = sorted(ckpt_dir.glob("*.ckpt"))
+        assert survivors, "double signal destroyed every checkpoint"
+        for path in survivors:
+            read_checkpoint(path)  # raises on any corruption
+        assert not list(ckpt_dir.glob("*.tmp*"))
+        resumed = resume_place_and_route(latest_checkpoint(ckpt_dir))
+        assert resumed.teil > 0

@@ -1,0 +1,125 @@
+"""Checkpoint/circuit mismatch: typed error, distinct exit code 6.
+
+A checkpoint is pinned to its circuit by content hash.  Resuming it
+against a different circuit can never succeed, so the CLI exits with a
+dedicated status (6) and a machine-readable reason — the signal the
+service supervisor uses to dead-letter the job instead of burning
+retries on it.
+"""
+
+import json
+
+import pytest
+
+from repro import TimberWolfConfig, place_and_route, resume_place_and_route
+from repro.__main__ import EXIT_CHECKPOINT_MISMATCH, main
+from repro.netlist import dumps
+from repro.resilience import (
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointPolicy,
+    latest_checkpoint,
+    write_checkpoint,
+)
+from repro.resilience.checkpoint import circuit_fingerprint, read_checkpoint
+
+from ..conftest import make_macro_circuit
+
+
+@pytest.fixture()
+def circuit_text():
+    return dumps(make_macro_circuit())
+
+
+@pytest.fixture()
+def real_checkpoint(tmp_path, circuit_text):
+    """A genuine mid-anneal checkpoint for the fixture circuit."""
+    from repro.netlist import loads
+
+    ckpt_dir = tmp_path / "ckpt"
+    policy = CheckpointPolicy(directory=ckpt_dir, every_temperatures=1)
+    place_and_route(loads(circuit_text), TimberWolfConfig.smoke(seed=5),
+                    checkpoint=policy)
+    path = latest_checkpoint(ckpt_dir)
+    assert path is not None
+    return path
+
+
+class TestReadCheckpointPinning:
+    def test_mismatch_raises_typed_error(self, tmp_path, circuit_text):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, {"circuit_text": circuit_text}, circuit_text)
+        with pytest.raises(CheckpointMismatch, match="different circuit"):
+            read_checkpoint(path, expect_circuit_sha="0" * 64)
+
+    def test_mismatch_is_a_checkpoint_error(self):
+        assert issubclass(CheckpointMismatch, CheckpointError)
+
+    def test_matching_hash_reads_fine(self, tmp_path, circuit_text):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, {"circuit_text": circuit_text}, circuit_text)
+        _, payload = read_checkpoint(
+            path, expect_circuit_sha=circuit_fingerprint(circuit_text)
+        )
+        assert payload["circuit_text"] == circuit_text
+
+    def test_embedded_circuit_must_match_header(self, tmp_path, circuit_text):
+        """A spliced checkpoint (header from one run, payload from
+        another) is rejected even without an expected hash."""
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(
+            path, {"circuit_text": "something else entirely"}, circuit_text
+        )
+        with pytest.raises(CheckpointMismatch, match="embedded circuit"):
+            read_checkpoint(path)
+
+
+class TestResumeFlow:
+    def test_resume_with_wrong_expectation_fails(self, real_checkpoint):
+        with pytest.raises(CheckpointMismatch):
+            resume_place_and_route(
+                real_checkpoint, expect_circuit_sha="f" * 64
+            )
+
+    def test_resume_with_correct_expectation_completes(
+        self, real_checkpoint, circuit_text
+    ):
+        result = resume_place_and_route(
+            real_checkpoint,
+            expect_circuit_sha=circuit_fingerprint(circuit_text),
+        )
+        assert result.resumed_from == str(real_checkpoint)
+
+
+class TestCliExitCode:
+    def test_mismatch_exits_six_with_json_reason(
+        self, tmp_path, circuit_text, capsys
+    ):
+        ckpt = tmp_path / "c.ckpt"
+        write_checkpoint(ckpt, {"circuit_text": circuit_text}, circuit_text)
+        other = tmp_path / "other.twmc"
+        other.write_text(
+            dumps(make_macro_circuit(num_cells=4, seed=99)), encoding="utf-8"
+        )
+        rc = main(["resume", str(ckpt), "--circuit", str(other)])
+        assert rc == EXIT_CHECKPOINT_MISMATCH == 6
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "checkpoint_mismatch"
+        assert err["checkpoint"] == str(ckpt)
+        assert "different circuit" in err["reason"]
+
+    def test_matching_circuit_resumes_via_cli(
+        self, real_checkpoint, circuit_text, tmp_path, capsys
+    ):
+        same = tmp_path / "same.twmc"
+        same.write_text(circuit_text, encoding="utf-8")
+        rc = main(["resume", str(real_checkpoint), "--circuit", str(same)])
+        assert rc == 0
+        assert "resumed from" in capsys.readouterr().out
+
+    def test_corrupt_checkpoint_still_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"not a checkpoint")
+        rc = main(["resume", str(bad)])
+        assert rc == 1
+        assert "checkpoint error" in capsys.readouterr().err

@@ -1,0 +1,23 @@
+"""Shared fixtures for the placement-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import dumps
+
+from ..conftest import make_macro_circuit
+
+
+@pytest.fixture()
+def circuit_file(tmp_path):
+    """A tiny circuit on disk: a smoke-preset worker finishes it in
+    roughly a second, subprocess startup included."""
+    path = tmp_path / "tiny.twmc"
+    path.write_text(dumps(make_macro_circuit()), encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def service_root(tmp_path):
+    return tmp_path / "svc"

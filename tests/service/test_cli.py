@@ -1,0 +1,115 @@
+"""The ``python -m repro service`` verbs, driven in-process."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.service import ServiceView
+from repro.service.cli import EXIT_QUEUE_FULL
+
+
+class TestSubmit:
+    def test_submit_prints_job_id(self, service_root, circuit_file, capsys):
+        rc = main(["service", "submit", str(service_root), str(circuit_file)])
+        assert rc == 0
+        job_id = capsys.readouterr().out.strip()
+        with ServiceView(service_root) as view:
+            assert view.job(job_id).state == "queued"
+
+    def test_submit_json(self, service_root, circuit_file, capsys):
+        rc = main(
+            [
+                "service", "submit", str(service_root), str(circuit_file),
+                "--json", "--tenant", "alice", "--priority", "3",
+                "--wall-timeout", "120", "--preset", "fast", "--seed", "7",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tenant"] == "alice"
+        assert doc["priority"] == 3
+        assert doc["wall_timeout"] == 120.0
+        assert doc["spec"]["preset"] == "fast"
+        assert doc["spec"]["seed"] == 7
+
+    def test_queue_full_exit_code(self, service_root, circuit_file, capsys):
+        assert (
+            main(
+                [
+                    "service", "submit", str(service_root),
+                    str(circuit_file), "--max-queued", "1",
+                ]
+            )
+            == 0
+        )
+        rc = main(
+            [
+                "service", "submit", str(service_root), str(circuit_file),
+                "--max-queued", "1",
+            ]
+        )
+        assert rc == EXIT_QUEUE_FULL
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "queue_full"
+
+
+class TestStatus:
+    def test_overview_and_single_job(self, service_root, circuit_file, capsys):
+        main(["service", "submit", str(service_root), str(circuit_file)])
+        job_id = capsys.readouterr().out.strip()
+
+        assert main(["service", "status", str(service_root)]) == 0
+        out = capsys.readouterr().out
+        assert "queued=1" in out
+        assert "no supervisor" in out
+        assert job_id in out
+
+        assert main(["service", "status", str(service_root), job_id, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["job_id"] == job_id
+        assert doc["state"] == "queued"
+
+    def test_prefix_lookup(self, service_root, circuit_file, capsys):
+        main(["service", "submit", str(service_root), str(circuit_file)])
+        job_id = capsys.readouterr().out.strip()
+        prefix = job_id[: len(job_id) - 2]
+        assert main(["service", "status", str(service_root), prefix, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["job_id"] == job_id
+
+
+class TestDrainAndEvents:
+    def test_drain_sets_flag(self, service_root, circuit_file, capsys):
+        main(["service", "submit", str(service_root), str(circuit_file)])
+        capsys.readouterr()
+        assert main(["service", "drain", str(service_root)]) == 0
+        assert "drain requested" in capsys.readouterr().out
+        with ServiceView(service_root) as view:
+            assert view.store.draining() is True
+
+    def test_events_dump(self, service_root, circuit_file, capsys):
+        main(["service", "submit", str(service_root), str(circuit_file)])
+        job_id = capsys.readouterr().out.strip()
+        assert main(["service", "events", str(service_root)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert [d["event"] for d in docs] == ["job_submitted"]
+        assert docs[0]["job_id"] == job_id
+
+
+class TestRunBatch:
+    def test_exit_when_idle_completes_the_queue(
+        self, service_root, circuit_file, capsys
+    ):
+        main(["service", "submit", str(service_root), str(circuit_file)])
+        job_id = capsys.readouterr().out.strip()
+        rc = main(
+            [
+                "service", "run", str(service_root),
+                "--exit-when-idle", "--workers", "1",
+                "--poll-interval", "0.05",
+            ]
+        )
+        assert rc == 0
+        with ServiceView(service_root) as view:
+            assert view.job(job_id).state == "done"

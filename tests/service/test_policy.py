@@ -1,0 +1,125 @@
+"""Retry backoff, backpressure, and tenant fairness — pure logic."""
+
+import random
+
+import pytest
+
+from repro.service import BackpressurePolicy, Job, JobSpec, RetryPolicy
+from repro.service.policy import pick_fair
+
+
+def job(job_id, tenant="default", priority=0, created=0.0):
+    return Job(
+        job_id=job_id, spec=JobSpec(circuit="c"), tenant=tenant,
+        priority=priority, created=created,
+    )
+
+
+class TestRetryPolicy:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base=2.0, factor=2.0, cap=1000.0, jitter=0.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [2.0, 4.0, 8.0, 16.0]
+
+    def test_cap(self):
+        policy = RetryPolicy(base=2.0, factor=2.0, cap=5.0, jitter=0.0)
+        assert policy.delay(10) == 5.0
+
+    def test_zero_attempts_no_delay(self):
+        assert RetryPolicy().delay(0) == 0.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base=4.0, factor=2.0, cap=100.0, jitter=0.5)
+        rng = random.Random(1)
+        for _ in range(200):
+            delay = policy.delay(1, rng)
+            assert 4.0 <= delay <= 6.0
+
+    def test_jitter_deterministic_under_seeded_rng(self):
+        policy = RetryPolicy()
+        a = [policy.delay(n, random.Random(9)) for n in range(1, 5)]
+        b = [policy.delay(n, random.Random(9)) for n in range(1, 5)]
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"base": -1.0}, {"factor": 0.5}, {"jitter": -0.1}, {"cap": -2.0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackpressurePolicy:
+    def test_reject_mode_never_picks_a_victim(self):
+        policy = BackpressurePolicy(max_queued=2, shed=False)
+        queued = [job("a", priority=0), job("b", priority=0)]
+        assert policy.victim(queued, priority=10) is None
+
+    def test_shed_requires_strictly_higher_priority(self):
+        policy = BackpressurePolicy(max_queued=2, shed=True)
+        queued = [job("a", priority=3), job("b", priority=3)]
+        assert policy.victim(queued, priority=3) is None
+        assert policy.victim(queued, priority=4) is not None
+
+    def test_shed_picks_lowest_priority(self):
+        policy = BackpressurePolicy(max_queued=3, shed=True)
+        queued = [
+            job("hi", priority=5),
+            job("lo", priority=1),
+            job("mid", priority=3),
+        ]
+        assert policy.victim(queued, priority=9).job_id == "lo"
+
+    def test_shed_tie_prefers_newest_arrival(self):
+        policy = BackpressurePolicy(max_queued=2, shed=True)
+        queued = [
+            job("old", priority=1, created=10.0),
+            job("new", priority=1, created=20.0),
+        ]
+        assert policy.victim(queued, priority=2).job_id == "new"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackpressurePolicy(max_queued=0)
+
+
+class TestPickFair:
+    def test_empty(self):
+        assert pick_fair([], {}) is None
+
+    def test_never_served_tenant_goes_first(self):
+        ready = [job("a", tenant="alice"), job("b", tenant="bob")]
+        assert pick_fair(ready, {"alice": 100.0}).job_id == "b"
+
+    def test_least_recently_served_tenant_goes_first(self):
+        ready = [job("a", tenant="alice"), job("b", tenant="bob")]
+        picked = pick_fair(ready, {"alice": 50.0, "bob": 100.0})
+        assert picked.job_id == "a"
+
+    def test_round_robin_over_successive_picks(self):
+        ready = [
+            job(f"{tenant}{i}", tenant=tenant, created=float(i))
+            for tenant in ("alice", "bob")
+            for i in range(2)
+        ]
+        last = {}
+        order = []
+        now = 0.0
+        while ready:
+            picked = pick_fair(ready, last)
+            order.append(picked.job_id)
+            ready.remove(picked)
+            now += 1.0
+            last[picked.tenant] = now
+        assert order == ["alice0", "bob0", "alice1", "bob1"]
+
+    def test_priority_beats_fifo_within_tenant(self):
+        ready = [
+            job("first", created=1.0, priority=0),
+            job("urgent", created=2.0, priority=5),
+        ]
+        assert pick_fair(ready, {}).job_id == "urgent"
+
+    def test_fifo_within_same_priority(self):
+        ready = [job("b", created=2.0), job("a", created=1.0)]
+        assert pick_fair(ready, {}).job_id == "a"

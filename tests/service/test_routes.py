@@ -1,0 +1,99 @@
+"""The /jobs routes of the observability server."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.fleet import Fleet
+from repro.obs.routes import handle_request
+from repro.service import ServicePaths, ServiceView
+
+
+@pytest.fixture()
+def populated_root(service_root, circuit_file):
+    with ServiceView(service_root) as view:
+        job = view.submit(circuit_file, tenant="alice")
+    return service_root, job
+
+
+def fleet_for(service_root):
+    return Fleet(ServicePaths(service_root).root / "runs")
+
+
+class TestJobsRoutes:
+    def test_jobs_overview(self, populated_root):
+        root, job = populated_root
+        response = handle_request(fleet_for(root), "/jobs", service=root)
+        assert response.status == 200
+        doc = json.loads(response.body)
+        assert doc["counts"]["queued"] == 1
+        assert doc["jobs"][0]["job_id"] == job.job_id
+
+    def test_job_detail_includes_events(self, populated_root):
+        root, job = populated_root
+        response = handle_request(
+            fleet_for(root), f"/jobs/{job.job_id}", service=root
+        )
+        doc = json.loads(response.body)
+        assert doc["state"] == "queued"
+        assert [e["event"] for e in doc["events"]] == ["job_submitted"]
+
+    def test_unknown_job_404(self, populated_root):
+        root, _ = populated_root
+        response = handle_request(fleet_for(root), "/jobs/nope", service=root)
+        assert response.status == 404
+
+    def test_no_service_configured_404(self, populated_root):
+        root, _ = populated_root
+        assert handle_request(fleet_for(root), "/jobs").status == 404
+
+    def test_missing_store_503(self, tmp_path):
+        response = handle_request(
+            Fleet(tmp_path), "/jobs", service=tmp_path / "absent"
+        )
+        assert response.status == 503
+
+    def test_index_advertises_jobs_when_service_set(self, populated_root):
+        root, _ = populated_root
+        with_service = json.loads(
+            handle_request(fleet_for(root), "/", service=root).body
+        )
+        without = json.loads(handle_request(fleet_for(root), "/").body)
+        assert "/jobs" in with_service["endpoints"]
+        assert "/jobs" not in without["endpoints"]
+
+    def test_events_stream(self, populated_root):
+        root, job = populated_root
+        stop = threading.Event()
+        response = handle_request(
+            fleet_for(root),
+            "/jobs/events",
+            {"from_start": "1", "max_events": "1", "timeout": "2"},
+            stop_event=stop,
+            service=root,
+        )
+        assert response.content_type == "text/event-stream"
+        frames = list(response.stream)
+        assert len(frames) == 1
+        assert frames[0].startswith(b"event: job_submitted\n")
+
+
+class TestOverHttp:
+    def test_server_serves_jobs(self, populated_root):
+        import urllib.request
+
+        from repro.obs.server import ObsServer
+
+        root, job = populated_root
+        with ObsServer(
+            ServicePaths(root).root / "runs", service=root
+        ) as server:
+            server.start()
+            with urllib.request.urlopen(f"{server.url}/jobs", timeout=5) as r:
+                doc = json.loads(r.read())
+            assert doc["counts"]["queued"] == 1
+            with urllib.request.urlopen(
+                f"{server.url}/jobs/{job.job_id}", timeout=5
+            ) as r:
+                assert json.loads(r.read())["job_id"] == job.job_id

@@ -1,0 +1,270 @@
+"""The SQLite job store: transitions, backpressure, fairness, lease."""
+
+import os
+import threading
+
+import pytest
+
+from repro.service import BackpressurePolicy, JobSpec, QueueFull, SqliteJobStore
+from repro.service.store import StoreError
+
+SPEC = JobSpec(circuit="c.twmc")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with SqliteJobStore(tmp_path / "registry.sqlite") as store:
+        yield store
+
+
+class TestSubmitAndQuery:
+    def test_submit_and_get(self, store):
+        job, shed = store.submit(SPEC, tenant="alice", priority=2)
+        assert shed is None
+        loaded = store.get(job.job_id)
+        assert loaded.state == "queued"
+        assert loaded.tenant == "alice"
+        assert loaded.priority == 2
+        assert loaded.spec == SPEC
+
+    def test_get_by_unique_prefix(self, store):
+        job, _ = store.submit(SPEC)
+        assert store.get(job.job_id[:-2]).job_id == job.job_id
+
+    def test_get_unknown(self, store):
+        with pytest.raises(StoreError, match="no job"):
+            store.get("job-nope")
+
+    def test_get_ambiguous_prefix(self, store):
+        store.submit(SPEC, now=1000.0)
+        store.submit(SPEC, now=1000.0)
+        with pytest.raises(StoreError, match="ambiguous"):
+            store.get("job-")
+
+    def test_counts(self, store):
+        store.submit(SPEC)
+        job, _ = store.submit(SPEC)
+        store.mark_dead(job.job_id, "x")
+        counts = store.counts()
+        assert counts["queued"] == 1
+        assert counts["dead"] == 1
+
+    def test_jobs_filters(self, store):
+        store.submit(SPEC, tenant="alice")
+        store.submit(SPEC, tenant="bob")
+        assert len(store.jobs()) == 2
+        assert [j.tenant for j in store.jobs(tenant="bob")] == ["bob"]
+        assert store.jobs(state="done") == []
+        with pytest.raises(StoreError, match="unknown job state"):
+            store.jobs(state="sleeping")
+
+    def test_max_attempts_validated(self, store):
+        with pytest.raises(ValueError):
+            store.submit(SPEC, max_attempts=0)
+
+
+class TestClaim:
+    def test_claim_counts_the_attempt(self, store):
+        job, _ = store.submit(SPEC)
+        claimed = store.claim_next("sup")
+        assert claimed.job_id == job.job_id
+        assert claimed.state == "running"
+        assert claimed.attempts == 1
+        assert store.get(job.job_id).lease_owner == "sup"
+
+    def test_claim_empty_queue(self, store):
+        assert store.claim_next("sup") is None
+
+    def test_backoff_gates_readiness(self, store):
+        job, _ = store.submit(SPEC)
+        claimed = store.claim_next("sup", now=100.0)
+        store.requeue(claimed.job_id, delay=50.0, reason="retry", now=100.0)
+        assert store.claim_next("sup", now=120.0) is None
+        ready = store.claim_next("sup", now=151.0)
+        assert ready is not None
+        assert ready.attempts == 2
+
+    def test_requeue_without_counting_refunds_the_attempt(self, store):
+        job, _ = store.submit(SPEC)
+        store.claim_next("sup")
+        store.requeue(job.job_id, reason="drain", count_attempt=False)
+        assert store.get(job.job_id).attempts == 0
+
+    def test_tenant_fairness_across_claims(self, store):
+        for i in range(2):
+            store.submit(SPEC, tenant="alice", now=float(i))
+        for i in range(2):
+            store.submit(SPEC, tenant="bob", now=float(10 + i))
+        order = []
+        now = 100.0
+        while True:
+            claimed = store.claim_next("sup", now=now)
+            if claimed is None:
+                break
+            order.append(claimed.tenant)
+            now += 1.0
+        assert order == ["alice", "bob", "alice", "bob"]
+
+    def test_priority_first_within_tenant(self, store):
+        store.submit(SPEC, priority=0, now=1.0)
+        urgent, _ = store.submit(SPEC, priority=9, now=2.0)
+        assert store.claim_next("sup").job_id == urgent.job_id
+
+
+class TestTerminalTransitions:
+    def test_mark_done(self, store):
+        job, _ = store.submit(SPEC)
+        store.claim_next("sup")
+        store.mark_done(job.job_id, run_id="r1")
+        done = store.get(job.job_id)
+        assert done.state == "done"
+        assert done.run_id == "r1"
+        assert done.finished is not None
+        assert done.worker_pid is None
+
+    def test_mark_dead_records_reason(self, store):
+        job, _ = store.submit(SPEC)
+        store.mark_dead(job.job_id, "attempts exhausted")
+        dead = store.get(job.job_id)
+        assert dead.state == "dead"
+        assert dead.reason == "attempts exhausted"
+
+    def test_set_worker(self, store):
+        job, _ = store.submit(SPEC)
+        store.claim_next("sup")
+        store.set_worker(job.job_id, 4242)
+        assert store.get(job.job_id).worker_pid == 4242
+
+
+class TestBackpressure:
+    def test_reject_at_high_water_mark(self, store):
+        policy = BackpressurePolicy(max_queued=2, shed=False)
+        store.submit(SPEC, backpressure=policy)
+        store.submit(SPEC, backpressure=policy)
+        with pytest.raises(QueueFull, match="high-water mark"):
+            store.submit(SPEC, backpressure=policy)
+        assert store.counts()["queued"] == 2
+
+    def test_running_jobs_do_not_hold_queue_slots(self, store):
+        policy = BackpressurePolicy(max_queued=1, shed=False)
+        store.submit(SPEC, backpressure=policy)
+        store.claim_next("sup")
+        store.submit(SPEC, backpressure=policy)  # must not raise
+
+    def test_shed_displaces_lowest_priority(self, store):
+        policy = BackpressurePolicy(max_queued=2, shed=True)
+        low, _ = store.submit(SPEC, priority=1, backpressure=policy)
+        store.submit(SPEC, priority=5, backpressure=policy)
+        new, shed = store.submit(SPEC, priority=9, backpressure=policy)
+        assert shed.job_id == low.job_id
+        assert store.get(low.job_id).state == "shed"
+        assert new.job_id in shed.reason or shed.reason
+        assert store.counts()["queued"] == 2
+
+    def test_shed_refuses_equal_priority(self, store):
+        policy = BackpressurePolicy(max_queued=1, shed=True)
+        store.submit(SPEC, priority=5, backpressure=policy)
+        with pytest.raises(QueueFull):
+            store.submit(SPEC, priority=5, backpressure=policy)
+
+    def test_concurrent_submitters_respect_the_mark(self, tmp_path):
+        path = tmp_path / "registry.sqlite"
+        SqliteJobStore(path).close()  # create schema once
+        policy = BackpressurePolicy(max_queued=8, shed=False)
+        accepted, rejected = [], []
+        lock = threading.Lock()
+
+        def submit_some(k):
+            with SqliteJobStore(path) as store:
+                for _ in range(4):
+                    try:
+                        job, _ = store.submit(SPEC, backpressure=policy)
+                        with lock:
+                            accepted.append(job.job_id)
+                    except QueueFull:
+                        with lock:
+                            rejected.append(k)
+
+        threads = [
+            threading.Thread(target=submit_some, args=(k,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with SqliteJobStore(path) as store:
+            assert store.counts()["queued"] == 8
+        assert len(accepted) == 8
+        assert len(rejected) == 8
+
+
+class TestDrainFlagAndLease:
+    def test_draining_flag(self, store):
+        assert store.draining() is False
+        store.set_draining(True)
+        assert store.draining() is True
+        store.set_draining(False)
+        assert store.draining() is False
+
+    def test_lease_exclusive_while_fresh_and_alive(self, store):
+        assert store.acquire_lease("a", info={"pid": os.getpid()}) is True
+        assert store.acquire_lease("b", info={"pid": os.getpid()}) is False
+        assert store.lease()["owner"] == "a"
+
+    def test_lease_reacquire_by_same_owner(self, store):
+        assert store.acquire_lease("a", info={"pid": os.getpid()})
+        assert store.acquire_lease("a", info={"pid": os.getpid()})
+
+    def test_stale_lease_is_adoptable(self, store):
+        assert store.acquire_lease(
+            "a", info={"pid": os.getpid()}, stale_after=100.0
+        )
+        # Backdate the beat far past staleness.
+        held = store.lease()
+        held["beat"] = 0.0
+        import json
+
+        store._meta_set("lease", json.dumps(held))
+        assert store.acquire_lease("b", info={"pid": os.getpid()}) is True
+
+    def test_dead_holder_lease_is_adoptable(self, store):
+        # A pid that cannot exist: max_pid is bounded well below 2**31.
+        assert store.acquire_lease("a", info={"pid": 2**31 - 1})
+        assert store.acquire_lease("b", info={"pid": os.getpid()}) is True
+
+    def test_release_only_by_owner(self, store):
+        store.acquire_lease("a", info={"pid": os.getpid()})
+        store.release_lease("b")
+        assert store.lease() is not None
+        store.release_lease("a")
+        assert store.lease() is None
+
+    def test_refresh_advances_beat(self, store):
+        store.acquire_lease("a", info={"pid": os.getpid()})
+        held = store.lease()
+        held["beat"] = 1.0
+        import json
+
+        store._meta_set("lease", json.dumps(held))
+        store.refresh_lease("a")
+        assert store.lease()["beat"] > 1.0
+
+
+class TestSharedFile:
+    def test_coexists_with_run_registry(self, tmp_path):
+        """The jobs table lives in the same file as the run registry."""
+        from repro.qor.registry import RunRegistry
+
+        path = tmp_path / "registry.sqlite"
+        with SqliteJobStore(path) as store:
+            store.submit(SPEC)
+            with RunRegistry(path) as registry:
+                assert registry.runs() == []
+            assert store.counts()["queued"] == 1
+
+    def test_readonly_store(self, tmp_path):
+        path = tmp_path / "registry.sqlite"
+        with SqliteJobStore(path) as store:
+            job, _ = store.submit(SPEC)
+        with SqliteJobStore(path, readonly=True) as ro:
+            assert ro.get(job.job_id).state == "queued"

@@ -1,0 +1,398 @@
+"""The supervisor: settle routing, timeouts, drain, recovery, and a
+real end-to-end pass including a worker SIGKILL mid-run.
+
+The scheduling paths (timeout escalation, retry/dead-letter routing,
+backpressure at the store) are tested deterministically: time is passed
+in explicitly and worker processes are either fakes or plain ``sleep``
+subprocesses, so no assertion depends on annealing speed.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    JobSpec,
+    RetryPolicy,
+    ServiceConfig,
+    ServicePaths,
+    ServiceView,
+    SqliteJobStore,
+    Supervisor,
+)
+from repro.service.supervisor import ServiceBusy, WorkerHandle
+
+SPEC = JobSpec(circuit="c.twmc")
+
+
+class FakeProcess:
+    """A Popen stand-in for settle/enforce tests."""
+
+    def __init__(self, pid=99999):
+        self.pid = pid
+        self.terminated = False
+        self.killed = False
+
+    def poll(self):
+        return None
+
+    def terminate(self):
+        self.terminated = True
+
+    def kill(self):
+        self.killed = True
+
+
+class FakeLog:
+    def close(self):
+        pass
+
+
+def make_supervisor(root, **overrides):
+    defaults = dict(
+        root=root,
+        workers=1,
+        poll_interval=0.02,
+        grace=5.0,
+        retry=RetryPolicy(base=0.1, factor=2.0, cap=0.5, jitter=0.0),
+        exit_when_idle=True,
+    )
+    defaults.update(overrides)
+    return Supervisor(ServiceConfig(**defaults))
+
+
+def claimed_handle(sup, process=None, started=100.0, deadline=None):
+    """Submit + claim one job and wrap it in a handle, as _launch would."""
+    job, _ = sup.store.submit(SPEC)
+    claimed = sup.store.claim_next(sup.owner, now=started)
+    handle = WorkerHandle(
+        job=claimed,
+        process=process if process is not None else FakeProcess(),
+        started=started,
+        deadline=deadline,
+        log_file=FakeLog(),
+    )
+    sup.handles[claimed.job_id] = handle
+    return claimed.job_id, handle
+
+
+class TestSettle:
+    def test_exit_zero_with_result_is_done(self, service_root):
+        sup = make_supervisor(service_root)
+        job_id, handle = claimed_handle(sup)
+        sup.paths.ensure_job_dirs(job_id)
+        sup.paths.result(job_id).write_text('{"teil": 1}', encoding="utf-8")
+        sup._settle(job_id, 0, handle, now=101.0)
+        assert sup.store.get(job_id).state == "done"
+
+    def test_exit_zero_without_result_retries(self, service_root):
+        sup = make_supervisor(service_root)
+        job_id, handle = claimed_handle(sup)
+        sup._settle(job_id, 0, handle, now=101.0)
+        job = sup.store.get(job_id)
+        assert job.state == "queued"
+        assert job.reason == "exit 0 without a result"
+
+    def test_torn_result_does_not_count_as_done(self, service_root):
+        sup = make_supervisor(service_root)
+        job_id, handle = claimed_handle(sup)
+        sup.paths.ensure_job_dirs(job_id)
+        sup.paths.result(job_id).write_text('{"teil":', encoding="utf-8")
+        sup._settle(job_id, 0, handle, now=101.0)
+        assert sup.store.get(job_id).state == "queued"
+
+    def test_exit_six_dead_letters_immediately(self, service_root):
+        sup = make_supervisor(service_root)
+        job_id, handle = claimed_handle(sup)
+        sup._settle(job_id, 6, handle, now=101.0)
+        job = sup.store.get(job_id)
+        assert job.state == "dead"
+        assert "checkpoint mismatch" in job.reason
+        assert job.attempts == 1  # never retried
+
+    def test_crash_requeues_with_backoff(self, service_root):
+        sup = make_supervisor(service_root)
+        job_id, handle = claimed_handle(sup)
+        sup._settle(job_id, -signal.SIGKILL, handle, now=101.0)
+        job = sup.store.get(job_id)
+        assert job.state == "queued"
+        assert job.reason == "killed by signal 9"
+        assert job.next_attempt_at == pytest.approx(101.0 + 0.1)
+
+    def test_backoff_grows_with_attempts(self, service_root):
+        sup = make_supervisor(service_root)
+        job_id, handle = claimed_handle(sup)
+        sup._settle(job_id, 1, handle, now=101.0)
+        sup.store.claim_next(sup.owner, now=200.0)
+        sup._settle(job_id, 1, handle, now=201.0)
+        job = sup.store.get(job_id)
+        assert job.attempts == 2
+        assert job.next_attempt_at == pytest.approx(201.0 + 0.2)
+
+    def test_attempts_exhausted_dead_letters(self, service_root):
+        sup = make_supervisor(service_root)
+        job, _ = sup.store.submit(SPEC, max_attempts=2)
+        for round_no in range(2):
+            claimed = sup.store.claim_next(sup.owner, now=1000.0 * (round_no + 1))
+            assert claimed is not None
+            handle = WorkerHandle(
+                job=claimed, process=FakeProcess(), started=0.0,
+                deadline=None, log_file=FakeLog(),
+            )
+            sup._settle(job.job_id, 1, handle, now=1000.0 * (round_no + 1) + 1)
+        final = sup.store.get(job.job_id)
+        assert final.state == "dead"
+        assert "attempts exhausted (2/2)" in final.reason
+
+    def test_interrupt_during_drain_requeues_without_attempt(self, service_root):
+        sup = make_supervisor(service_root)
+        job_id, handle = claimed_handle(sup)
+        sup._drain = True
+        sup._settle(job_id, 3, handle, now=101.0)
+        job = sup.store.get(job_id)
+        assert job.state == "queued"
+        assert job.attempts == 0  # refunded: the service interrupted it
+        assert job.reason == "drained"
+
+
+class TestEnforce:
+    def test_wall_timeout_sends_sigterm(self, service_root):
+        sup = make_supervisor(service_root, stale_after=1e9)
+        process = FakeProcess()
+        job_id, handle = claimed_handle(
+            sup, process=process, started=100.0, deadline=160.0
+        )
+        sup._enforce(now=150.0)
+        assert not process.terminated
+        sup._enforce(now=161.0)
+        assert process.terminated
+        assert handle.term_reason == "wall-clock timeout"
+
+    def test_escalates_to_sigkill_after_grace(self, service_root):
+        sup = make_supervisor(service_root, grace=10.0, stale_after=1e9)
+        process = FakeProcess()
+        job_id, handle = claimed_handle(
+            sup, process=process, started=100.0, deadline=160.0
+        )
+        sup._enforce(now=161.0)
+        sup._enforce(now=165.0)
+        assert not process.killed  # still within grace
+        sup._enforce(now=172.0)
+        assert process.killed
+
+    def test_missing_heartbeat_past_stale_window_is_hung(self, service_root):
+        sup = make_supervisor(service_root, stale_after=30.0)
+        process = FakeProcess()
+        job_id, handle = claimed_handle(sup, process=process, started=100.0)
+        sup._enforce(now=120.0)
+        assert not process.terminated
+        sup._enforce(now=131.0)
+        assert process.terminated
+        assert handle.term_reason == "stale heartbeat"
+
+    def test_fresh_heartbeat_keeps_worker_alive(self, service_root):
+        sup = make_supervisor(service_root, stale_after=30.0)
+        process = FakeProcess()
+        job_id, handle = claimed_handle(sup, process=process, started=100.0)
+        rundir = sup.paths.rundir(job_id)
+        rundir.mkdir(parents=True)
+        (rundir / "heartbeat.json").write_text(
+            json.dumps({"phase": "stage1", "updated": 195.0, "seq": 1}),
+            encoding="utf-8",
+        )
+        sup._enforce(now=200.0)
+        assert not process.terminated
+
+    def test_real_timeout_escalation_kills_a_stubborn_worker(self, service_root):
+        """SIGTERM then SIGKILL against a process that ignores SIGTERM."""
+        sup = make_supervisor(service_root, grace=0.2, stale_after=1e9)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import signal, sys, time;"
+                "signal.signal(signal.SIGTERM, signal.SIG_IGN);"
+                "print('ready', flush=True);"
+                "time.sleep(60)",
+            ],
+            stdout=subprocess.PIPE,
+        )
+        try:
+            assert process.stdout.readline().strip() == b"ready"
+            job_id, handle = claimed_handle(
+                sup, process=process, started=100.0, deadline=100.5
+            )
+            sup._enforce(now=101.0)  # SIGTERM (ignored)
+            assert process.poll() is None
+            time.sleep(0.05)
+            sup._enforce(now=101.5)  # past grace: SIGKILL
+            assert process.wait(timeout=5.0) == -signal.SIGKILL
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+
+class TestDrainAndLease:
+    def test_begin_drain_terminates_workers_and_sets_flag(self, service_root):
+        sup = make_supervisor(service_root, stale_after=1e9)
+        process = FakeProcess()
+        job_id, handle = claimed_handle(sup, process=process)
+        sup.request_drain()
+        sup.tick(now=200.0)
+        assert sup.store.draining() is True
+        assert process.terminated
+        assert handle.term_reason == "drain"
+
+    def test_store_drain_flag_reaches_a_running_supervisor(self, service_root):
+        """``service drain`` from another process: flag in the store."""
+        sup = make_supervisor(service_root)
+        sup.store.set_draining(True)
+        sup.tick(now=100.0)
+        assert sup._drain is True
+
+    def test_second_supervisor_is_refused(self, service_root):
+        sup = make_supervisor(service_root)
+        sup.store.acquire_lease("other", info={"pid": os.getpid()})
+        with pytest.raises(ServiceBusy):
+            sup.run()
+
+
+class TestRecovery:
+    def seed_running_job(self, store, worker_pid=None):
+        job, _ = store.submit(SPEC)
+        store.claim_next("dead-supervisor")
+        if worker_pid is not None:
+            store.set_worker(job.job_id, worker_pid)
+        return job
+
+    def test_finished_orphan_adopted_as_done(self, service_root):
+        sup = make_supervisor(service_root)
+        job = self.seed_running_job(sup.store)
+        sup.paths.ensure_job_dirs(job.job_id)
+        sup.paths.result(job.job_id).write_text("{}", encoding="utf-8")
+        stats = sup.recover()
+        assert stats["adopted_done"] == 1
+        assert sup.store.get(job.job_id).state == "done"
+
+    def test_vanished_worker_requeued_without_attempt(self, service_root):
+        sup = make_supervisor(service_root)
+        job = self.seed_running_job(sup.store, worker_pid=2**31 - 1)
+        stats = sup.recover()
+        assert stats["requeued"] == 1
+        recovered = sup.store.get(job.job_id)
+        assert recovered.state == "queued"
+        assert recovered.attempts == 0
+        assert recovered.reason == "supervisor restart"
+
+    def test_live_orphan_stopped_before_requeue(self, service_root):
+        sup = make_supervisor(service_root, grace=5.0)
+        orphan = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            job = self.seed_running_job(sup.store, worker_pid=orphan.pid)
+            stats = sup.recover()
+            assert stats["orphans_stopped"] == 1
+            # The orphan must actually be gone before a relaunch could
+            # race it over the same job directory.
+            assert orphan.wait(timeout=5.0) is not None
+            assert sup.store.get(job.job_id).state == "queued"
+        finally:
+            if orphan.poll() is None:
+                orphan.kill()
+                orphan.wait()
+
+    def test_recovery_clears_stale_drain_flag(self, service_root):
+        sup = make_supervisor(service_root)
+        sup.store.set_draining(True)
+        sup.recover()
+        assert sup.store.draining() is False
+
+
+class TestEndToEnd:
+    def test_jobs_run_to_done(self, service_root, circuit_file):
+        with ServiceView(service_root) as view:
+            j1 = view.submit(circuit_file, preset="smoke", tenant="alice")
+            j2 = view.submit(circuit_file, preset="smoke", seed=1, tenant="bob")
+        sup = make_supervisor(service_root, workers=2)
+        assert sup.run() == 0
+        with ServiceView(service_root) as view:
+            for job_id in (j1.job_id, j2.job_id):
+                doc = view.status(job_id)
+                assert doc["state"] == "done"
+                assert doc["attempts"] == 1
+                assert doc["has_result"]
+                assert doc["run_id"]
+            names = [e["event"] for e in view.history(job_id=j1.job_id)]
+        assert names == ["job_submitted", "job_start", "job_done"]
+
+    def test_broken_circuit_dead_letters_after_retries(
+        self, service_root, circuit_file
+    ):
+        with ServiceView(service_root) as view:
+            job = view.submit(circuit_file, preset="smoke", max_attempts=2)
+        paths = ServicePaths(service_root)
+        paths.circuit(job.job_id).write_text("not a circuit", encoding="utf-8")
+        sup = make_supervisor(service_root)
+        assert sup.run() == 0
+        with ServiceView(service_root) as view:
+            dead = view.job(job.job_id)
+            assert dead.state == "dead"
+            assert dead.attempts == 2
+            names = [e["event"] for e in view.history(job_id=job.job_id)]
+        assert names.count("job_retry") == 1
+        assert names[-1] == "job_dead"
+
+    def test_sigkilled_worker_resumes_to_done(self, service_root, tmp_path):
+        """Kill a worker mid-anneal: the retry resumes from the last
+        checkpoint and the job still completes."""
+        from repro.bench import spec_for
+        from repro.bench.circuits import generate_circuit
+        from repro.netlist import dump
+
+        circuit = tmp_path / "i1.twmc"
+        dump(generate_circuit(spec_for("i1")), circuit)
+        with ServiceView(service_root) as view:
+            job = view.submit(circuit, preset="smoke", checkpoint_every=1)
+        paths = ServicePaths(service_root)
+        sup = make_supervisor(service_root)
+        thread = threading.Thread(target=sup.run)
+        thread.start()
+        try:
+            # Wait for a live worker that has already checkpointed.
+            deadline = time.monotonic() + 60.0
+            pid = None
+            while time.monotonic() < deadline:
+                row = sup.store.get(job.job_id)
+                has_ckpt = any(paths.checkpoint_dir(job.job_id).glob("*.ckpt"))
+                if row.state == "running" and row.worker_pid and has_ckpt:
+                    pid = row.worker_pid
+                    break
+                time.sleep(0.05)
+            assert pid is not None, "worker never checkpointed"
+            os.kill(pid, signal.SIGKILL)
+        finally:
+            thread.join(timeout=120.0)
+        assert not thread.is_alive()
+        with ServiceView(service_root) as view:
+            final = view.job(job.job_id)
+            names = [e["event"] for e in view.history(job_id=job.job_id)]
+        assert final.state == "done"
+        assert final.attempts == 2
+        assert "job_retry" in names
+        retry = next(
+            e for e in ServiceView(service_root).history(job_id=job.job_id)
+            if e["event"] == "job_retry"
+        )
+        assert retry["reason"] == "killed by signal 9"
+        # The second attempt resumed rather than starting over.
+        start_events = [
+            e for e in ServiceView(service_root).history(job_id=job.job_id)
+            if e["event"] == "job_start"
+        ]
+        assert [e.get("resumed") for e in start_events] == [False, True]

@@ -1,0 +1,71 @@
+"""The ServiceView facade: snapshots, status documents, drain."""
+
+import pytest
+
+from repro.service import BackpressurePolicy, QueueFull, ServicePaths, ServiceView
+
+
+class TestSubmit:
+    def test_snapshot_freezes_the_circuit(self, service_root, circuit_file):
+        with ServiceView(service_root) as view:
+            job = view.submit(circuit_file, preset="smoke")
+            original = circuit_file.read_text(encoding="utf-8")
+            circuit_file.write_text("EDITED AFTER SUBMIT", encoding="utf-8")
+            snapshot = ServicePaths(service_root).circuit(job.job_id)
+            assert snapshot.read_text(encoding="utf-8") == original
+            assert job.spec.circuit == str(snapshot)
+
+    def test_missing_circuit_rejected_before_enqueue(self, service_root, tmp_path):
+        with ServiceView(service_root) as view:
+            with pytest.raises(OSError):
+                view.submit(tmp_path / "nope.twmc")
+            assert view.counts()["queued"] == 0
+
+    def test_queue_full_cleans_up_the_snapshot(self, service_root, circuit_file):
+        policy = BackpressurePolicy(max_queued=1, shed=False)
+        with ServiceView(service_root) as view:
+            view.submit(circuit_file, backpressure=policy)
+            with pytest.raises(QueueFull):
+                view.submit(circuit_file, backpressure=policy)
+            jobs_dir = ServicePaths(service_root).jobs_dir
+            assert len(list(jobs_dir.iterdir())) == 1
+            events = [e["event"] for e in view.history()]
+        assert events == ["job_submitted", "queue_full"]
+
+    def test_shed_emits_both_events(self, service_root, circuit_file):
+        policy = BackpressurePolicy(max_queued=1, shed=True)
+        with ServiceView(service_root) as view:
+            low = view.submit(circuit_file, priority=0, backpressure=policy)
+            view.submit(circuit_file, priority=5, backpressure=policy)
+            events = view.history()
+            assert [e["event"] for e in events] == [
+                "job_submitted", "job_submitted", "job_shed",
+            ]
+            assert events[-1]["job_id"] == low.job_id
+            assert view.job(low.job_id).state == "shed"
+
+
+class TestStatusAndOverview:
+    def test_status_document(self, service_root, circuit_file):
+        with ServiceView(service_root) as view:
+            job = view.submit(circuit_file)
+            doc = view.status(job.job_id)
+        assert doc["state"] == "queued"
+        assert doc["has_result"] is False
+        assert doc["checkpoint"] is None
+        assert doc["rundir"].endswith(job.job_id)
+
+    def test_overview(self, service_root, circuit_file):
+        with ServiceView(service_root) as view:
+            view.submit(circuit_file, tenant="alice")
+            overview = view.overview()
+        assert overview["counts"]["queued"] == 1
+        assert overview["draining"] is False
+        assert overview["lease"] is None
+        assert overview["jobs"][0]["tenant"] == "alice"
+
+    def test_drain_sets_flag_and_event(self, service_root):
+        with ServiceView(service_root) as view:
+            view.drain()
+            assert view.store.draining() is True
+            assert [e["event"] for e in view.history()] == ["drain_requested"]
