@@ -15,6 +15,10 @@ exchange_period)`` only, never on ``workers`` — while run 1 differs
 (it is a different algorithm: a single chain, no exchange).
 
 Run:  python examples/parallel_flow.py [--chains K] [--workers W]
+      [--mover serial|batched]
+
+``--mover batched`` swaps every chain onto the vectorized sweep kernel
+(``BatchMoveGenerator``); the worker-count invariance holds there too.
 """
 
 import argparse
@@ -43,11 +47,20 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--exchange-period", type=int, default=10)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--mover",
+        choices=("serial", "batched"),
+        default="serial",
+        help="move engine for every run: one-at-a-time Metropolis or "
+        "the vectorized batched sweep kernel",
+    )
     args = parser.parse_args()
 
     circuit = build_circuit()
     base = TimberWolfConfig.smoke(seed=args.seed)
-    print(f"placing {circuit} (seed {args.seed})")
+    if args.mover == "batched":
+        base = replace(base, core="array", mover="batched")
+    print(f"placing {circuit} (seed {args.seed}, mover {args.mover})")
 
     serial = run(circuit, base, "serial (1 chain)")
 

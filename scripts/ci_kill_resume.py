@@ -84,6 +84,13 @@ def main() -> int:
         help="temperature decrements between chain exchanges (small "
         "values land a checkpoint early, before the kill)",
     )
+    parser.add_argument(
+        "--mover",
+        choices=("serial", "batched"),
+        default="serial",
+        help="move engine under drill: the batched sweep kernel must "
+        "resume bit-for-bit just like the serial mover",
+    )
     args = parser.parse_args()
 
     work = Path(args.workdir)
@@ -105,6 +112,8 @@ def main() -> int:
         "python", "-m", "repro", "place", circuit_file,
         "--preset", args.preset, "--seed", str(args.seed),
     ]
+    if args.mover != "serial":
+        place += ["--mover", args.mover]
     if args.chains != 1 or args.workers != 1:
         place += [
             "--chains", str(args.chains),

@@ -180,7 +180,19 @@ def cmd_place(args: argparse.Namespace) -> int:
 
     circuit = load(args.circuit)
     config = _config(args.preset, args.seed)
-    config = replace(config, core=args.core, cooling=args.cooling)
+    try:
+        config = replace(
+            config,
+            core=args.core,
+            cooling=args.cooling,
+            mover=args.mover,
+            batch_moves=args.batch_moves,
+        )
+    except ValueError as exc:
+        # e.g. --mover batched with --core object: a clean one-line
+        # refusal, not a dataclass traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.workers != 1 or args.chains != 1 or args.exchange_period != 10:
         from .config import ParallelConfig
 
@@ -286,6 +298,26 @@ def cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _resume(args: argparse.Namespace, expect_sha) -> int:
+    if getattr(args, "mover", None):
+        # The mover is baked into the checkpoint's config (a batched
+        # checkpoint resumes batched automatically); an explicit pin
+        # that disagrees is refused cleanly rather than silently
+        # ignored or crashed on mid-anneal.
+        from .resilience.checkpoint import read_checkpoint as _read_ckpt
+
+        _, _payload = _read_ckpt(
+            args.checkpoint, expect_circuit_sha=expect_sha
+        )
+        ckpt_mover = _payload.get("config", {}).get("mover", "serial")
+        if ckpt_mover != args.mover:
+            print(
+                f"error: checkpoint was taken by a {ckpt_mover!r} run; "
+                f"--mover {args.mover} cannot change the mover "
+                "mid-anneal (drop the flag to continue the run as "
+                "recorded)",
+                file=sys.stderr,
+            )
+            return 2
     recorder = None
     if getattr(args, "rundir", None) or getattr(args, "registry", None):
         # The continued run keeps the original run's registry identity:
@@ -435,6 +467,23 @@ def build_parser() -> argparse.ArgumentParser:
         "VPR-style acceptance-ratio-driven schedule (see "
         "docs/performance.md)",
     )
+    p_place.add_argument(
+        "--mover",
+        default="serial",
+        choices=("serial", "batched"),
+        help="stage-1 move driver: one Metropolis move at a time "
+        "(default) or PARSAC-style synchronous batched sweeps on the "
+        "array core — QoR-parity-gated, not bit-identical to serial "
+        "(see docs/performance.md)",
+    )
+    p_place.add_argument(
+        "--batch-moves",
+        type=int,
+        default=48,
+        metavar="K",
+        help="proposals per batched sweep (default 48; ignored by the "
+        "serial mover)",
+    )
     _add_output_options(p_place)
     _add_budget_options(p_place)
     _add_observability_options(p_place)
@@ -482,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin the checkpoint to this circuit file: a hash mismatch "
         f"exits {EXIT_CHECKPOINT_MISMATCH} with a machine-readable "
         "reason instead of resuming",
+    )
+    p_resume.add_argument(
+        "--mover",
+        choices=("serial", "batched"),
+        help="pin the expected stage-1 mover: the checkpoint's own "
+        "config decides how the run continues, and a disagreeing pin "
+        "is refused with a clean error",
     )
     _add_output_options(p_resume)
     _add_budget_options(p_resume)

@@ -351,6 +351,11 @@ class AnnealCursor:
     #: stateless table schedules); restored on resume so the adaptive
     #: alpha / window trajectory continues bit-for-bit.
     schedule_state: Dict[str, Any] = field(default_factory=dict)
+    #: Private state of the move generator driving the annealing state
+    #: (empty for generators that draw from the engine RNG only; the
+    #: batched mover stores its numpy bit-generator state here so a
+    #: resumed run replays the same proposal stream).
+    generator_state: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -361,6 +366,7 @@ class AnnealCursor:
             "steps": list(self.steps),
             "done": self.done,
             "schedule_state": self.schedule_state,
+            "generator_state": self.generator_state,
         }
 
     @staticmethod
@@ -373,6 +379,7 @@ class AnnealCursor:
             steps=[tuple(s) for s in data["steps"]],
             done=data.get("done", False),
             schedule_state=data.get("schedule_state", {}),
+            generator_state=data.get("generator_state", {}),
         )
 
 
@@ -443,6 +450,10 @@ class Annealer:
                 loader = getattr(self.schedule, "load_state_dict", None)
                 if loader is not None:
                     loader(resume.schedule_state)
+            if resume.generator_state:
+                gen_loader = getattr(state, "load_generator_state", None)
+                if gen_loader is not None:
+                    gen_loader(resume.generator_state)
             if resume.done:
                 # The snapshot was taken on the anneal's final step: the
                 # state is already converged, nothing left to run.
@@ -529,7 +540,7 @@ class Annealer:
                 should_stop = self.stopping.should_stop(temperature, stats)
                 if observers:
                     make_cursor = self._cursor_factory(
-                        step_index, temperature, result, should_stop
+                        step_index, temperature, result, should_stop, state
                     )
                     for observer in observers:
                         observer(step_index, stats, state, make_cursor)
@@ -555,9 +566,11 @@ class Annealer:
         temperature: float,
         result: AnnealResult,
         should_stop: bool,
+        state: Optional[AnnealingState] = None,
     ) -> Callable[[], AnnealCursor]:
         def make_cursor() -> AnnealCursor:
             dump = getattr(self.schedule, "state_dict", None)
+            gen_dump = getattr(state, "generator_state_dict", None)
             return AnnealCursor(
                 step_index=step_index + 1,
                 temperature=self.schedule.next_temperature(temperature),
@@ -569,6 +582,7 @@ class Annealer:
                 ],
                 done=should_stop,
                 schedule_state=dump() if dump is not None else {},
+                generator_state=gen_dump() if gen_dump is not None else {},
             )
 
         return make_cursor

@@ -43,6 +43,12 @@ CORES = ("object", "array")
 #: both follow the measured r_accept).
 COOLING_SCHEDULES = ("table", "adaptive")
 
+#: Stage-1 move drivers: "serial" steps one Metropolis move at a time
+#: (bit-identical across cores); "batched" evaluates PARSAC-style
+#: synchronous sweeps on the array kernel (same schedule and
+#: accounting, a different — QoR-parity-gated — move stream).
+MOVERS = ("serial", "batched")
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
@@ -99,6 +105,15 @@ class TimberWolfConfig:
     #: "table" follows the paper's Tables 1/2; "adaptive" drives alpha
     #: and the displacement window from the measured acceptance ratio.
     cooling: str = "table"
+    #: Stage-1 move driver: "serial" (one move per Metropolis step) or
+    #: "batched" (synchronous sweeps on the array kernel; requires
+    #: ``core="array"``).  Batched runs resume bit-for-bit against
+    #: themselves but are QoR-parity-gated against serial, not
+    #: bit-identical to it.
+    mover: str = "serial"
+    #: Proposals evaluated per batched sweep (ignored by the serial
+    #: mover).
+    batch_moves: int = 48
     core_aspect_ratio: float = 1.0
     core_slack: float = 1.0
     #: Scales the estimator's Cw; 1.0 is the paper's flow, 0.0 disables
@@ -144,6 +159,18 @@ class TimberWolfConfig:
                 f"cooling must be one of {COOLING_SCHEDULES}, "
                 f"got {self.cooling!r}"
             )
+        if self.mover not in MOVERS:
+            raise ValueError(
+                f"mover must be one of {MOVERS}, got {self.mover!r}"
+            )
+        if self.mover == "batched" and self.core != "array":
+            raise ValueError(
+                "mover='batched' requires core='array': the batched "
+                "sweep kernel runs on the struct-of-arrays core only "
+                "(pass --core array or drop --mover batched)"
+            )
+        if self.batch_moves < 1:
+            raise ValueError("batch_moves must be at least 1")
         if self.m_routes < 1:
             raise ValueError("m_routes must be at least 1")
         if self.refinement_passes < 0:

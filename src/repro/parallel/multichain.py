@@ -50,6 +50,7 @@ from ..annealing.engine import TemperatureStats
 from ..config import TimberWolfConfig
 from ..netlist import Circuit, dumps, loads
 from ..placement.arraycore import make_placement_state
+from ..placement.batch import BatchAnnealingState, BatchMoveGenerator
 from ..placement.moves import MoveGenerator, PlacementAnnealingState
 from ..placement.stage1 import (
     Stage1Result,
@@ -107,13 +108,32 @@ class ChainContext:
             self.stop_reason = restore.get("stop_reason")
         else:
             self.state.p2 = calibrate_p2(self.state, rng, config.eta)
-        generator = MoveGenerator(
-            self.state,
-            self.limiter,
-            r_ratio=config.r_ratio,
-            selector=config.selector,
-        )
-        self._anneal_state = PlacementAnnealingState(self.state, generator)
+        self._batched = config.mover == "batched"
+        if self._batched:
+            # The batched numpy stream is seeded per chain from the same
+            # derivation the chain's engine RNG uses, so chain 0 of a
+            # one-chain run equals the single-chain driver exactly.
+            self._generator = BatchMoveGenerator(
+                self.state,
+                self.limiter,
+                r_ratio=config.r_ratio,
+                batch=config.batch_moves,
+                seed=spawn_seed(config.seed, chain_id),
+            )
+            self._anneal_state = BatchAnnealingState(self.state, self._generator)
+            # The kernel session spans segments; the cursor restores the
+            # numpy stream on the first resumed segment, and begin()
+            # reconstructs the mid-anneal arrays bit-for-bit from the
+            # restored records.
+            self._generator.begin()
+        else:
+            self._generator = MoveGenerator(
+                self.state,
+                self.limiter,
+                r_ratio=config.r_ratio,
+                selector=config.selector,
+            )
+            self._anneal_state = PlacementAnnealingState(self.state, self._generator)
         stopping = stage1_stopping(circuit, config, schedule, self.limiter)
         self.annealer = Annealer(
             schedule,
@@ -156,13 +176,17 @@ class ChainContext:
             self.done = True
         self.stop_reason = result.stop_reason
         new_steps = result.steps[prior_steps:]
+        # The adapter reports the *live* state: during a batched session
+        # that is the kernel's arrays (export writes centers through to
+        # the records), for serial chains it is the placement state
+        # itself — both history-exact, both loadable anywhere.
         return {
             "chain": self.chain_id,
-            "cost": self.state.cost(),
+            "cost": self._anneal_state.cost(),
             "done": self.done,
             "stop_reason": self.stop_reason,
             "cursor": self.cursor.to_dict() if self.cursor is not None else None,
-            "state": self.state.state_dict(),
+            "state": self._anneal_state.state_dict(),
             "attempts": sum(s.attempts for s in new_steps),
             "steps_completed": len(new_steps),
         }
@@ -192,11 +216,18 @@ class ChainContext:
                     (cx + rng.uniform(-dx, dx), cy + rng.uniform(-dy, dy))
                 )
             state.resync()
+        if self._batched:
+            # The exchange rebuilt the object model underneath the
+            # kernel session; re-freeze so the next segment anneals the
+            # exchanged placement (deterministic: begin() is a pure
+            # function of the placement, so worker count still cannot
+            # affect the result).
+            self._generator.begin()
         return state.state_dict()
 
     def snapshot(self) -> Dict[str, Any]:
         """The chain's current state (pre-anneal when no segment ran)."""
-        return self.state.state_dict()
+        return self._anneal_state.state_dict()
 
 
 def _traced_segment(context: ChainContext, upto: int, traced: bool) -> Dict[str, Any]:

@@ -5,7 +5,7 @@ from .arraycore import (
     ArrayPlacementState,
     make_placement_state,
 )
-from .batch import BatchKernel, BatchMoveGenerator
+from .batch import BatchAnnealingState, BatchKernel, BatchMoveGenerator
 from .compact import compact
 from .legalize import raw_overlap, remove_overlaps
 from .moves import MoveGenerator, PlacementAnnealingState
@@ -17,6 +17,7 @@ __all__ = [
     "PLACEMENT_CORES",
     "ArrayPlacementState",
     "make_placement_state",
+    "BatchAnnealingState",
     "BatchKernel",
     "BatchMoveGenerator",
     "compact",

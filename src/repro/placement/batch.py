@@ -51,13 +51,20 @@ are shaped to keep every hot operation a contiguous-input ufunc call:
 
 from __future__ import annotations
 
-from typing import Tuple
+import random
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..annealing.engine import AnnealingState
+from ..qor.heartbeat import current_heartbeat
+from ..telemetry import MetricsRegistry
 from .arraycore import ArrayPlacementState
 
-__all__ = ["BatchKernel", "BatchMoveGenerator"]
+__all__ = ["BatchKernel", "BatchMoveGenerator", "BatchAnnealingState"]
+
+#: The batched move kinds (mirrors ``MOVE_KINDS`` for the serial path).
+BATCH_KINDS = ("displace_batch", "interchange_batch")
 
 
 class BatchKernel:
@@ -66,6 +73,37 @@ class BatchKernel:
     def __init__(self, state: ArrayPlacementState) -> None:
         self.state = state
         self._active = False
+        #: Reusable scratch arrays keyed by (call site, shape): batch
+        #: shapes are fixed within a session, so after the first sweep
+        #: of each kind every hot operation lands in a preallocated
+        #: buffer.  ``scratch_misses`` counts pool allocations — a flat
+        #: counter across sweeps is the "no per-sweep allocations"
+        #: invariant the e2e bench asserts.
+        self._scratch: Dict[Any, np.ndarray] = {}
+        self.scratch_misses = 0
+        # Fused tent-function gather columns: (x1,x2,xc,y1,y2,yc) →
+        # left/bottom/right/top factor pairs (see _expansions).
+        self._exp_i1 = np.array([0, 2, 1, 2], dtype=np.intp)
+        self._exp_i2 = np.array([5, 3, 5, 4], dtype=np.intp)
+
+    def _buf(self, key, shape, dtype=np.float64) -> np.ndarray:
+        arr = self._scratch.get(key)
+        if arr is None or arr.shape != tuple(shape) or arr.dtype != dtype:
+            self._scratch[key] = arr = np.empty(shape, dtype=dtype)
+            self.scratch_misses += 1
+        return arr
+
+    def _irows(self, k: int) -> np.ndarray:
+        """Cached (k, tmax) row-index table for the flattened-gather
+        path of _own_sum (contents are constant per shape)."""
+        key = ("rows", k)
+        arr = self._scratch.get(key)
+        if arr is None:
+            self._scratch[key] = arr = np.arange(
+                k * self.tmax, dtype=np.int64
+            ).reshape(k, self.tmax)
+            self.scratch_misses += 1
+        return arr
 
     # ------------------------------------------------------------------
     # session lifecycle
@@ -169,18 +207,26 @@ class BatchKernel:
         self.sy2 = np.full(S, -np.inf)
         tile_cell = np.full(S, -2, dtype=np.int64)
         for i in range(n):
-            tiles = state._ltiles[i]
-            if tiles is None:
-                tiles = (
-                    (state._lex1[i], state._ley1[i], state._lex2[i], state._ley2[i]),
-                )
-            s = self.cell_off[i]
-            for t, (x1, y1, x2, y2) in enumerate(tiles):
-                self.sx1[s + t] = x1
-                self.sy1[s + t] = y1
-                self.sx2[s + t] = x2
-                self.sy2[s + t] = y2
-            tile_cell[s : s + counts[i]] = i
+            tile_cell[self.cell_off[i] : self.cell_off[i] + counts[i]] = i
+        # Expanded world tiles of every cell at its current center,
+        # computed with the kernel's own vectorized expansion math (not
+        # the object caches): commits scatter _world outputs into this
+        # table, so building it from _world makes every slot a pure
+        # function of (local geometry, center) — which is what lets a
+        # resumed session reconstruct the mid-anneal table bit-for-bit.
+        allc = np.arange(n, dtype=np.int64)
+        wx1, wy1, wx2, wy2 = self._world(allc, self.centers, "init")
+        idx = self.slotidx.ravel()
+        self.sx1[idx] = wx1.ravel()
+        self.sy1[idx] = wy1.ravel()
+        self.sx2[idx] = wx2.ravel()
+        self.sy2[idx] = wy2.ravel()
+        # Padding rows scattered into the dummy slot; restore its
+        # canonical inverted box.
+        self.sx1[T] = np.inf
+        self.sy1[T] = np.inf
+        self.sx2[T] = -np.inf
+        self.sy2[T] = -np.inf
         for t, (x1, y1, x2, y2) in enumerate(state._slab4):
             self.sx1[T + 1 + t] = x1
             self.sy1[T + 1 + t] = y1
@@ -281,6 +327,19 @@ class BatchKernel:
         self.core_lo = np.array([core.x1, core.y1])
         self.core_hi = np.array([core.x2, core.y2])
 
+        # Persistent center-dependent tables, preallocated once per
+        # session so the per-commit refreshes are pure out= ufunc calls.
+        self.R = R
+        self.netmax = netmax
+        self.nhi = np.empty((2, R, cm))
+        self.nlo = np.empty((2, R, cm))
+        self.cur_s = np.empty((2, R))
+        self.bhi = np.empty((2, n, netmax, cm))
+        self.blo = np.empty((2, n, netmax, cm))
+        self.cs_cell = np.empty((2, n, netmax))
+        self.O_tile = np.empty(S)
+        self.O_cell = np.empty(n)
+
         self.p2 = state.p2
         self.c3 = state._c3_total
         self._refresh_spans()
@@ -302,6 +361,26 @@ class BatchKernel:
             rec.center = (float(self.centers[i, 0]), float(self.centers[i, 1]))
         state.rebuild()
         self._active = False
+
+    def export_state_dict(self) -> Dict[str, Any]:
+        """A checkpoint payload of the *live* mid-session placement.
+
+        The session's centers are written through to the records (which
+        is all ``state_dict`` reads — no rebuild) and the accumulator
+        snapshot is patched with the kernel's exact running totals, so a
+        resume that loads this payload and calls :meth:`begin` lands on
+        bit-for-bit the same kernel state this session is in.
+        """
+        state = self.state
+        for i, rec in enumerate(state.records):
+            rec.center = (float(self.centers[i, 0]), float(self.centers[i, 1]))
+        data = state.state_dict()
+        data["accumulators"] = {
+            "c1": self.c1,
+            "c2_raw": self.c2,
+            "c3_total": self.c3,
+        }
+        return data
 
     def cost(self) -> float:
         return self.c1 + self.p2 * self.c2 + self.c3
@@ -327,33 +406,62 @@ class BatchKernel:
             g = np.minimum(g[..., :s], g[..., s:])
         return g[..., 0]
 
+    @staticmethod
+    def _hmax_i(g: np.ndarray) -> np.ndarray:
+        """In-place variant of _hmax for scratch buffers (the buffer's
+        leading slice is clobbered; the reduced view is returned)."""
+        s = g.shape[-1]
+        while s > 1:
+            s //= 2
+            np.maximum(g[..., :s], g[..., s : 2 * s], out=g[..., :s])
+        return g[..., 0]
+
+    @staticmethod
+    def _hmin_i(g: np.ndarray) -> np.ndarray:
+        s = g.shape[-1]
+        while s > 1:
+            s //= 2
+            np.minimum(g[..., :s], g[..., s : 2 * s], out=g[..., :s])
+        return g[..., 0]
+
     def _refresh_spans(self) -> None:
         """Per-net (x, y) spans from the collapsed owner tables."""
-        base = self.cxy[:, self.nowner]
-        self.nhi = base + self.noffmax
-        self.nlo = base + self.noffmin
-        self.cur_s = self._hmax(self.nhi) - self._hmin(self.nlo)
+        base = self._buf("span_base", (2, self.R, self.cm))
+        np.take(self.cxy, self.nowner, axis=1, out=base)
+        np.add(base, self.noffmax, out=self.nhi)
+        np.add(base, self.noffmin, out=self.nlo)
+        hi = self._buf("span_hi", self.nhi.shape)
+        lo = self._buf("span_lo", self.nlo.shape)
+        np.copyto(hi, self.nhi)
+        np.copyto(lo, self.nlo)
+        np.subtract(self._hmax_i(hi), self._hmin_i(lo), out=self.cur_s)
 
     def _refresh_c1_tables(self) -> None:
         """Re-gather the center-dependent per-cell C1 tables (staged
         through the net-level extreme tables _refresh_spans just built)."""
-        self.bhi = self.nhi[:, self.cnet]
-        self.blo = self.nlo[:, self.cnet]
-        self.cs_cell = self.cur_s[:, self.cnet]
+        np.take(self.nhi, self.cnet, axis=1, out=self.bhi)
+        np.take(self.nlo, self.cnet, axis=1, out=self.blo)
+        np.take(self.cur_s, self.cnet, axis=1, out=self.cs_cell)
 
     def _refresh_overlaps(self) -> None:
         """Recompute the exact C2 total and the per-tile / per-cell
         interaction sums from the static tile table (one S×S pass)."""
-        w = np.minimum(self.sx2[:, None], self.sx2[None, :]) - np.maximum(
-            self.sx1[:, None], self.sx1[None, :]
-        )
-        h = np.minimum(self.sy2[:, None], self.sy2[None, :]) - np.maximum(
-            self.sy1[:, None], self.sy1[None, :]
-        )
-        ov = np.maximum(w, 0.0) * np.maximum(h, 0.0)
-        self.O_tile = np.einsum("ij,ij->i", ov, self.V)
+        S = self.S
+        w = self._buf("ovl_w", (S, S))
+        h = self._buf("ovl_h", (S, S))
+        t = self._buf("ovl_t", (S, S))
+        np.minimum(self.sx2[:, None], self.sx2[None, :], out=w)
+        np.maximum(self.sx1[:, None], self.sx1[None, :], out=t)
+        np.subtract(w, t, out=w)
+        np.minimum(self.sy2[:, None], self.sy2[None, :], out=h)
+        np.maximum(self.sy1[:, None], self.sy1[None, :], out=t)
+        np.subtract(h, t, out=h)
+        np.maximum(w, 0.0, out=w)
+        np.maximum(h, 0.0, out=h)
+        np.multiply(w, h, out=w)
+        np.einsum("ij,ij->i", w, self.V, out=self.O_tile)
         self.c2 = 0.5 * float(self.O_tile.sum())
-        self.O_cell = np.add.reduceat(self.O_tile[: self.T], self.cell_off)
+        np.add.reduceat(self.O_tile[: self.T], self.cell_off, out=self.O_cell)
 
     def _c1_total(self) -> float:
         self._refresh_spans()
@@ -363,32 +471,53 @@ class BatchKernel:
         self._refresh_overlaps()
         return self.c2
 
-    def _expansions(self, cells: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    def _expansions(
+        self, cells: np.ndarray, centers: np.ndarray, tag: str
+    ) -> np.ndarray:
         """(K, 4) outward (left, bottom, right, top) expansions of the
         given cells at the given centers — the vectorized Eqn-2 model,
-        evaluated as one fused 6-column tent-function pass."""
+        evaluated as one fused 6-column tent-function pass.  ``tag``
+        names the call site for scratch-buffer reuse."""
+        k = len(cells)
         if not self.dynamic:
-            return self.stat[cells]
-        pts = self.obb6[cells]
+            out = self._buf((tag, "stat"), (k, 4))
+            np.take(self.stat, cells, axis=0, out=out)
+            return out
+        pts = self._buf((tag, "pts"), (k, 6))
+        np.take(self.obb6, cells, axis=0, out=pts)
         pts[:, :3] += centers[:, 0:1]
         pts[:, 3:] += centers[:, 1:2]
-        f = self._tm - np.minimum(np.abs(pts - self._tc), self._th) * self._ts
+        np.subtract(pts, self._tc, out=pts)
+        np.abs(pts, out=pts)
+        np.minimum(pts, self._th, out=pts)
+        np.multiply(pts, self._ts, out=pts)
+        np.subtract(self._tm, pts, out=pts)
         # left = fx(x1)·fy(yc), bottom = fx(xc)·fy(y1),
         # right = fx(x2)·fy(yc), top = fx(xc)·fy(y2)
-        return f[:, [0, 2, 1, 2]] * f[:, [5, 3, 5, 4]] * self.basefrp[cells]
+        a = self._buf((tag, "ea"), (k, 4))
+        b = self._buf((tag, "eb"), (k, 4))
+        np.take(pts, self._exp_i1, axis=1, out=a)
+        np.take(pts, self._exp_i2, axis=1, out=b)
+        np.multiply(a, b, out=a)
+        np.take(self.basefrp, cells, axis=0, out=b)
+        np.multiply(a, b, out=a)
+        return a
 
     def _world(
-        self, cells: np.ndarray, centers: np.ndarray
+        self, cells: np.ndarray, centers: np.ndarray, tag: str
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Expanded world tiles of cells at given centers as four
         (K, tmax) coordinate planes (padding stays inverted)."""
-        e = self._expansions(cells, centers)
-        off = np.empty((4, len(cells)))
-        off[0] = centers[:, 0] - e[:, 0]
-        off[1] = centers[:, 1] - e[:, 1]
-        off[2] = centers[:, 0] + e[:, 2]
-        off[3] = centers[:, 1] + e[:, 3]
-        w = self.lt[:, cells] + off[:, :, None]
+        e = self._expansions(cells, centers, tag)
+        k = len(cells)
+        off = self._buf((tag, "off"), (4, k))
+        np.subtract(centers[:, 0], e[:, 0], out=off[0])
+        np.subtract(centers[:, 1], e[:, 1], out=off[1])
+        np.add(centers[:, 0], e[:, 2], out=off[2])
+        np.add(centers[:, 1], e[:, 3], out=off[3])
+        w = self._buf((tag, "wt"), (4, k, self.tmax))
+        np.take(self.lt, cells, axis=1, out=w)
+        np.add(w, off[:, :, None], out=w)
         return w[0], w[1], w[2], w[3]
 
     def _vs_static(
@@ -397,23 +526,41 @@ class BatchKernel:
         y1: np.ndarray,
         x2: np.ndarray,
         y2: np.ndarray,
+        tag: str,
     ) -> np.ndarray:
         """(rows, S) overlap of flattened proposal tiles against the
         full static table (slabs included, own tiles NOT excluded)."""
-        w = np.minimum(x2.reshape(-1, 1), self.sx2) - np.maximum(
-            x1.reshape(-1, 1), self.sx1
-        )
-        h = np.minimum(y2.reshape(-1, 1), self.sy2) - np.maximum(
-            y1.reshape(-1, 1), self.sy1
-        )
-        return np.maximum(w, 0.0) * np.maximum(h, 0.0)
+        rows = x1.size
+        w = self._buf((tag, "vsw"), (rows, self.S))
+        h = self._buf((tag, "vsh"), (rows, self.S))
+        t = self._buf((tag, "vst"), (rows, self.S))
+        np.minimum(x2.reshape(-1, 1), self.sx2, out=w)
+        np.maximum(x1.reshape(-1, 1), self.sx1, out=t)
+        np.subtract(w, t, out=w)
+        np.minimum(y2.reshape(-1, 1), self.sy2, out=h)
+        np.maximum(y1.reshape(-1, 1), self.sy1, out=t)
+        np.subtract(h, t, out=h)
+        np.maximum(w, 0.0, out=w)
+        np.maximum(h, 0.0, out=h)
+        np.multiply(w, h, out=w)
+        return w
 
-    def _own_sum(self, ov: np.ndarray, k: int, cells: np.ndarray) -> np.ndarray:
+    def _own_sum(
+        self, ov: np.ndarray, k: int, cells: np.ndarray, tag: str
+    ) -> np.ndarray:
         """(K,) total of ``ov`` columns owned by each proposal's cell
-        (ov is (k*tmax, S) row-major by proposal)."""
-        cols = self.slotidx[cells]
-        rows = np.arange(k * self.tmax).reshape(k, self.tmax)
-        return ov[rows[:, :, None], cols[:, None, :]].sum(axis=(1, 2))
+        (ov is (k*tmax, S) row-major by proposal, C-contiguous)."""
+        cols = self._buf((tag, "cols"), (k, self.tmax), dtype=np.int64)
+        np.take(self.slotidx, cells, axis=0, out=cols)
+        rows = self._irows(k)
+        flat = self._buf((tag, "flat"), (k, self.tmax, self.tmax), dtype=np.int64)
+        np.multiply(rows[:, :, None], self.S, out=flat)
+        np.add(flat, cols[:, None, :], out=flat)
+        g = self._buf((tag, "own"), (k, self.tmax, self.tmax))
+        np.take(ov.reshape(-1), flat, out=g)
+        out = self._buf((tag, "osum"), (k,))
+        np.sum(g, axis=(1, 2), out=out)
+        return out
 
     @staticmethod
     def _tiles_overlap(
@@ -433,12 +580,22 @@ class BatchKernel:
         """(K,) ΔC1 of displacing ``cells`` by ``d`` — computed for all
         cells at once over the pre-gathered tables (unmoved cells get an
         exactly-zero delta), then sliced to the batch."""
-        df = np.zeros((self.n, 2))
+        df = self._buf("disp_df", (self.n, 2))
+        df.fill(0.0)
         df[cells] = d
-        shift = df.T[:, :, None, None] * self.mine
-        ns = self._hmax(self.bhi + shift) - self._hmin(self.blo + shift)
-        dall = np.einsum("cnm,cnm->n", self.wcell, ns - self.cs_cell)
-        return dall[cells]
+        hi = self._buf("disp_hi", self.bhi.shape)
+        lo = self._buf("disp_lo", self.blo.shape)
+        np.multiply(df.T[:, :, None, None], self.mine, out=hi)
+        np.add(self.blo, hi, out=lo)
+        np.add(self.bhi, hi, out=hi)
+        ns = self._buf("disp_ns", self.cs_cell.shape)
+        np.subtract(self._hmax_i(hi), self._hmin_i(lo), out=ns)
+        np.subtract(ns, self.cs_cell, out=ns)
+        dall = self._buf("disp_dall", (self.n,))
+        np.einsum("cnm,cnm->n", self.wcell, ns, out=dall)
+        out = self._buf("disp_dc1", (len(cells),))
+        np.take(dall, cells, out=out)
+        return out
 
     # ------------------------------------------------------------------
     # batches
@@ -460,21 +617,33 @@ class BatchKernel:
             raise RuntimeError("call begin() before running batches")
         k = min(batch, len(self.movable))
         cells = rng.permutation(self.movable)[:k]
-        cur = self.centers[cells]
+        cur = self._buf("disp_cur", (k, 2))
+        np.take(self.centers, cells, axis=0, out=cur)
         step = rng.uniform(-1.0, 1.0, size=(k, 2))
         step[:, 0] *= window[0]
         step[:, 1] *= window[1]
-        targets = np.clip(cur + step, self.core_lo, self.core_hi)
+        targets = self._buf("disp_tgt", (k, 2))
+        np.add(cur, step, out=targets)
+        np.clip(targets, self.core_lo, self.core_hi, out=targets)
 
-        nx1, ny1, nx2, ny2 = self._world(cells, targets)
-        ov = self._vs_static(nx1, ny1, nx2, ny2)
-        new_sum = ov.sum(axis=1).reshape(k, self.tmax).sum(axis=1)
-        new_sum -= self._own_sum(ov, k, cells)
-        d_c2 = new_sum - self.O_cell[cells]
+        nx1, ny1, nx2, ny2 = self._world(cells, targets, "d")
+        ov = self._vs_static(nx1, ny1, nx2, ny2, "d")
+        rowsum = self._buf("disp_rowsum", (k * self.tmax,))
+        np.sum(ov, axis=1, out=rowsum)
+        d_c2 = self._buf("disp_dc2", (k,))
+        np.sum(rowsum.reshape(k, self.tmax), axis=1, out=d_c2)
+        np.subtract(d_c2, self._own_sum(ov, k, cells, "d"), out=d_c2)
+        oc = self._buf("disp_oc", (k,))
+        np.take(self.O_cell, cells, out=oc)
+        np.subtract(d_c2, oc, out=d_c2)
 
-        d_c1 = self._disp_dc1(cells, targets - cur)
+        move = self._buf("disp_move", (k, 2))
+        np.subtract(targets, cur, out=move)
+        d_c1 = self._disp_dc1(cells, move)
 
-        accept = self._metropolis(d_c1 + self.p2 * d_c2, temperature, rng)
+        np.multiply(d_c2, self.p2, out=d_c2)
+        np.add(d_c1, d_c2, out=d_c2)
+        accept = self._metropolis(d_c2, temperature, rng)
         if accept.any():
             self._commit(
                 cells[accept],
@@ -502,17 +671,17 @@ class BatchKernel:
         ca = self.centers[a]
         cb = self.centers[b]
 
-        ax1, ay1, ax2, ay2 = self._world(a, cb)
-        bx1, by1, bx2, by2 = self._world(b, ca)
+        ax1, ay1, ax2, ay2 = self._world(a, cb, "ia")
+        bx1, by1, bx2, by2 = self._world(b, ca, "ib")
         nx1 = np.concatenate([ax1, bx1])
         ny1 = np.concatenate([ay1, by1])
         nx2 = np.concatenate([ax2, bx2])
         ny2 = np.concatenate([ay2, by2])
         both = np.concatenate([a, b])
-        ov = self._vs_static(nx1, ny1, nx2, ny2)
+        ov = self._vs_static(nx1, ny1, nx2, ny2, "i")
         stat = ov.sum(axis=1).reshape(2 * k, self.tmax).sum(axis=1)
-        stat -= self._own_sum(ov, 2 * k, both)
-        stat -= self._own_sum(ov, 2 * k, np.concatenate([b, a]))
+        stat -= self._own_sum(ov, 2 * k, both, "i1")
+        stat -= self._own_sum(ov, 2 * k, np.concatenate([b, a]), "i2")
         new_static = stat[:k] + stat[k:]
         intra_new = self._tiles_overlap(
             ax1, ay1, ax2, ay2, bx1, by1, bx2, by2
@@ -622,6 +791,7 @@ class BatchMoveGenerator:
         r_ratio: float = 10.0,
         batch: int = 48,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if r_ratio <= 0:
             raise ValueError("r_ratio must be positive")
@@ -632,9 +802,23 @@ class BatchMoveGenerator:
         self.displacement_probability = r_ratio / (1.0 + r_ratio)
         self.batch = batch
         self.rng = np.random.default_rng(seed)
-        self.stats = {
-            "displace_batch": [0, 0],
-            "interchange_batch": [0, 0],
+        #: Per-kind attempt/accept counters in a MetricsRegistry, so the
+        #: flow can export batched move metrics exactly like serial ones.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pairs = {
+            kind: (
+                self.metrics.counter(f"moves.{kind}.attempts"),
+                self.metrics.counter(f"moves.{kind}.accepts"),
+            )
+            for kind in BATCH_KINDS
+        }
+
+    @property
+    def stats(self) -> Dict[str, list]:
+        """Move kind -> [attempts, accepts] (view over the registry)."""
+        return {
+            kind: [attempts.value, accepts.value]
+            for kind, (attempts, accepts) in self._pairs.items()
         }
 
     def begin(self) -> None:
@@ -642,6 +826,14 @@ class BatchMoveGenerator:
 
     def finish(self) -> None:
         self.kernel.finish()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The generator's private stream state (the numpy
+        bit-generator), for bit-for-bit resume of batched runs."""
+        return {"rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, data: Dict[str, Any]) -> None:
+        self.rng.bit_generator.state = data["rng"]
 
     def step(self, temperature: float) -> Tuple[int, int]:
         """One batch: displacement with probability r/(1+r), else
@@ -654,12 +846,99 @@ class BatchMoveGenerator:
             out = self.kernel.displacement_batch(
                 self.batch, temperature, window, self.rng
             )
-            row = self.stats["displace_batch"]
+            row = self._pairs["displace_batch"]
         else:
             out = self.kernel.interchange_batch(
                 self.batch, temperature, self.rng
             )
-            row = self.stats["interchange_batch"]
-        row[0] += out[0]
-        row[1] += out[1]
+            row = self._pairs["interchange_batch"]
+        row[0].value += out[0]
+        row[1].value += out[1]
         return out
+
+
+class BatchAnnealingState(AnnealingState):
+    """Adapter presenting a BatchMoveGenerator session to the engine —
+    the batched counterpart of ``PlacementAnnealingState``.
+
+    The engine's ``random.Random`` is ignored: every stochastic choice
+    of the batched anneal (kind mix, cells, steps, Metropolis draws)
+    comes from the generator's own numpy stream, which the cursor's
+    ``generator_state`` captures and restores, so a batched run resumes
+    bit-for-bit against itself.
+
+    There is deliberately no ``cost_drift``: during a session the object
+    model's incremental accumulators are dormant (the kernel recomputes
+    exact totals at every commit), so the drift guard has nothing
+    meaningful to reconcile and skips states without the hook.
+    """
+
+    #: Emit a liveness beat every this many batches inside an inner
+    #: loop (the writer's ``min_interval`` throttles actual I/O).
+    HEARTBEAT_EVERY = 64
+
+    def __init__(
+        self, state: ArrayPlacementState, generator: BatchMoveGenerator
+    ) -> None:
+        self.state = state
+        self.generator = generator
+        self._batches = 0
+
+    def step(self, temperature: float, rng: random.Random) -> Tuple[int, int]:
+        out = self.generator.step(temperature)
+        self._batches += 1
+        if self._batches % self.HEARTBEAT_EVERY == 0:
+            heartbeat = current_heartbeat()
+            if heartbeat.enabled:
+                heartbeat.beat(
+                    "anneal",
+                    T=round(temperature, 6),
+                    batches=self._batches,
+                    cost=round(self.cost(), 4),
+                )
+        return out
+
+    def cost(self) -> float:
+        kernel = self.generator.kernel
+        if kernel._active:
+            return kernel.cost()
+        return self.state.cost()
+
+    def moves_per_iteration(self) -> int:
+        """Batches per A_c unit: ceil(N_c / batch), so a temperature
+        step evaluates ~A_c * N_c proposals like the serial mover."""
+        n = len(self.state.names)
+        return max(1, -(-n // self.generator.batch))
+
+    def state_dict(self) -> Dict:
+        kernel = self.generator.kernel
+        if kernel._active:
+            return kernel.export_state_dict()
+        return self.state.state_dict()
+
+    def generator_state_dict(self) -> Dict[str, Any]:
+        return self.generator.state_dict()
+
+    def load_generator_state(self, data: Dict[str, Any]) -> None:
+        self.generator.load_state_dict(data)
+
+    def telemetry_snapshot(self, temperature: float) -> Dict[str, float]:
+        """Per-temperature trace fields from the kernel's live totals
+        (same keys as the serial adapter's snapshot)."""
+        kernel = self.generator.kernel
+        limiter = self.generator.limiter
+        if kernel._active:
+            c1, c2_raw, p2 = kernel.c1, kernel.c2, kernel.p2
+            c3 = kernel.c3
+        else:
+            state = self.state
+            c1, c2_raw, p2 = state.c1(), state.c2_raw(), state.p2
+            c3 = state.c3()
+        return {
+            "c1": round(c1, 4),
+            "c2": round(p2 * c2_raw, 4),
+            "c2_raw": round(c2_raw, 4),
+            "c3": round(c3, 4),
+            "window_x": round(limiter.window_x(temperature), 3),
+            "window_y": round(limiter.window_y(temperature), 3),
+        }

@@ -32,6 +32,7 @@ from ..resilience.drift import DriftGuard
 from ..resilience.faults import fault_point
 from ..telemetry import current_tracer
 from .arraycore import make_placement_state
+from .batch import BatchAnnealingState, BatchMoveGenerator
 from .moves import MoveGenerator, PlacementAnnealingState
 from .state import PlacementState
 
@@ -231,12 +232,27 @@ def run_stage1(
             core_height=round(plan.core.height, 2),
         )
 
-    generator = MoveGenerator(
-        state,
-        limiter,
-        r_ratio=config.r_ratio,
-        selector=config.selector,
-    )
+    batched = config.mover == "batched"
+    if batched:
+        # The batched mover draws everything from its own numpy stream,
+        # seeded from the run seed (spawn_seed(seed, 0) == seed, so the
+        # single-chain driver and chain 0 of the coordinator agree).
+        generator = BatchMoveGenerator(
+            state,
+            limiter,
+            r_ratio=config.r_ratio,
+            batch=config.batch_moves,
+            seed=config.seed,
+        )
+        anneal_state = BatchAnnealingState(state, generator)
+    else:
+        generator = MoveGenerator(
+            state,
+            limiter,
+            r_ratio=config.r_ratio,
+            selector=config.selector,
+        )
+        anneal_state = PlacementAnnealingState(state, generator)
     stopping = stage1_stopping(circuit, config, schedule, limiter)
     annealer = Annealer(
         schedule,
@@ -255,13 +271,31 @@ def run_stage1(
         )
         observers.append(guard.observer())
     if control is not None:
-        observers.append(control.stage1_observer(state))
-    result = annealer.run(
-        PlacementAnnealingState(state, generator),
-        budget=control.budget if control is not None else None,
-        resume=cursor,
-        observers=observers,
-    )
+        # Checkpoints must capture the *live* placement: during a
+        # batched session that is the kernel's arrays, so the observer
+        # snapshots through the adapter (the serial path keeps reading
+        # the placement state directly — byte-identical to before).
+        observers.append(
+            control.stage1_observer(anneal_state if batched else state)
+        )
+    if batched:
+        generator.begin()
+        try:
+            result = annealer.run(
+                anneal_state,
+                budget=control.budget if control is not None else None,
+                resume=cursor,
+                observers=observers,
+            )
+        finally:
+            generator.finish()
+    else:
+        result = annealer.run(
+            anneal_state,
+            budget=control.budget if control is not None else None,
+            resume=cursor,
+            observers=observers,
+        )
     if tracer.enabled:
         generator.metrics.emit(tracer, "stage1.move_metrics")
         tracer.event(
