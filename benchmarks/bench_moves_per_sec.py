@@ -338,6 +338,13 @@ EVENT_EVERY = 50
 #: than this far below the untraced baseline.
 MAX_NULL_OVERHEAD_PCT = 3.0
 
+#: CI budget for the sampling profiler at its default rate (97 Hz): the
+#: profiled mixed-anneal rate must stay within this percentage of the
+#: unprofiled baseline.  Sampling happens on a separate thread, so the
+#: cost is GIL contention during ``sys._current_frames()``, not
+#: per-move bookkeeping.
+MAX_PROFILER_OVERHEAD_PCT = 5.0
+
 #: Shortest acceptable timed pass for the overhead measurement.  A
 #: sub-50ms pass is dominated by scheduler noise — that is how earlier
 #: artifacts recorded a *negative* file-sink overhead — so the step
@@ -380,7 +387,8 @@ def bench_telemetry_overhead(
     seed: int = 3,
     repeats: int = OVERHEAD_REPEATS,
 ) -> Dict:
-    """Mixed-anneal rate with telemetry off, null sink, and file sink.
+    """Mixed-anneal rate with telemetry off, null sink, file sink, and
+    the sampling profiler attached at its default rate.
 
     Statistically honest protocol: the step count is first auto-scaled
     so one untraced pass takes at least ``MIN_MEASURE_SECONDS``; the
@@ -393,6 +401,8 @@ def bench_telemetry_overhead(
     import contextlib
     import os
     import tempfile
+
+    from repro.telemetry.profile import SamplingProfiler
 
     repeats = max(repeats, OVERHEAD_REPEATS)
     limiter = _make_limiter(state)
@@ -410,21 +420,27 @@ def bench_telemetry_overhead(
         "baseline": [],
         "null_sink": [],
         "file_sink": [],
+        "profiler": [],
     }
+    profiler_samples = 0
     try:
         for _ in range(repeats):
-            for mode in ("baseline", "null_sink", "file_sink"):
+            for mode in ("baseline", "null_sink", "file_sink", "profiler"):
                 if mode == "baseline":
                     ctx = contextlib.nullcontext()
                 elif mode == "null_sink":
                     ctx = use_tracer(Tracer(NullSink()))
-                else:
+                elif mode == "file_sink":
                     sink = FileSink(trace_path)
                     ctx = use_tracer(Tracer(sink))
+                else:
+                    ctx = SamplingProfiler()  # default rate, this thread
                 with ctx:
                     rate = _mixed_rate(state, limiter, n_steps, seed)
                 if mode == "file_sink":
                     sink.close()
+                elif mode == "profiler":
+                    profiler_samples += ctx.sample_count
                 rates[mode].append(rate)
         trace_bytes = os.path.getsize(trace_path)
     finally:
@@ -441,9 +457,13 @@ def bench_telemetry_overhead(
         "baseline_moves_per_sec": round(median["baseline"], 1),
         "null_sink_moves_per_sec": round(median["null_sink"], 1),
         "file_sink_moves_per_sec": round(median["file_sink"], 1),
+        "profiler_moves_per_sec": round(median["profiler"], 1),
         "null_overhead_pct": overhead("null_sink"),
         "file_overhead_pct": overhead("file_sink"),
+        "profiler_overhead_pct": overhead("profiler"),
         "max_null_overhead_pct": MAX_NULL_OVERHEAD_PCT,
+        "max_profiler_overhead_pct": MAX_PROFILER_OVERHEAD_PCT,
+        "profiler_samples": profiler_samples,
         "trace_bytes": trace_bytes,
         "steps": n_steps,
         "repeats": repeats,
@@ -514,7 +534,9 @@ def run(sizes, moves_per_kind: int, mixed_steps: int, repeats: int = 3) -> Dict:
         f"  N={n:<4} telemetry overhead (median of {overhead['repeats']}): "
         f"null {overhead['null_overhead_pct']:+.1f}%  "
         f"file {overhead['file_overhead_pct']:+.1f}%  "
-        f"({overhead['trace_bytes']} trace bytes)"
+        f"profiler {overhead['profiler_overhead_pct']:+.1f}%  "
+        f"({overhead['trace_bytes']} trace bytes, "
+        f"{overhead['profiler_samples']} profile samples)"
     )
     return out
 
@@ -533,6 +555,9 @@ def _registry_payload(results: Dict, sizes, quick: bool) -> Dict:
         "gate_size": gate_key,
         "null_overhead_pct": results["telemetry_overhead"]["null_overhead_pct"],
         "file_overhead_pct": results["telemetry_overhead"]["file_overhead_pct"],
+        "profiler_overhead_pct": results["telemetry_overhead"][
+            "profiler_overhead_pct"
+        ],
         "replay_identical": results["replay"]["identical"],
         "mixed_speedup_vs_baseline": row["mixed_speedup_vs_baseline"],
         "best_mixed_moves_per_sec": max(
@@ -611,6 +636,7 @@ def main(argv=None) -> int:
                 "object_mixed_moves_per_sec",
                 "mixed_speedup_vs_baseline",
                 "null_overhead_pct",
+                "profiler_overhead_pct",
                 "replay_identical",
             )
         }
@@ -641,6 +667,16 @@ def main(argv=None) -> int:
         else:
             print(f"telemetry overhead gate ok ({null_pct:+.1f}% <= "
                   f"{MAX_NULL_OVERHEAD_PCT:.0f}%)")
+        prof_pct = results["telemetry_overhead"]["profiler_overhead_pct"]
+        if prof_pct > MAX_PROFILER_OVERHEAD_PCT:
+            print(
+                f"FAIL: sampling-profiler overhead {prof_pct:.1f}% exceeds "
+                f"{MAX_PROFILER_OVERHEAD_PCT:.0f}% budget"
+            )
+            failed = True
+        else:
+            print(f"profiler overhead gate ok ({prof_pct:+.1f}% <= "
+                  f"{MAX_PROFILER_OVERHEAD_PCT:.0f}%)")
         speedup = payload["mixed_speedup_vs_baseline"]
         if speedup < MIN_QUICK_SPEEDUP:
             print(

@@ -19,10 +19,22 @@ The drill:
    - ``GET /runs/<live>/health`` must produce the analytics document.
 5. ``python -m repro status`` must exit 0 against the live run while it
    is beating.
+6. A third completed run (N=50, batched mover) executes under
+   ``--trace`` and ``--profile``; against the server,
+   ``/runs/<id>/trace`` must return its merged span tree (JSON and
+   HTML) and ``/runs/<id>/profile`` non-empty collapsed stacks with
+   stage attribution.  The collapsed file is kept as the flamegraph
+   artifact.
+7. The distributed-trace drill: a service job is submitted, its first
+   worker is SIGKILLed after a checkpoint, and once the retry completes
+   the service-enabled server's ``/trace/<trace_id>`` must join both
+   attempts and the supervisor journal under the single trace id minted
+   at submit; ``/metrics`` must export the ``repro_jobs`` state gauges
+   and queue-latency quantiles.
 
 Exits non-zero, with a diagnostic, on any deviation.  Artifacts (the
-rundirs, the SSE transcript, server/flow logs) are left in
-``--workdir`` for the CI job to upload.
+rundirs, the SSE transcript, the collapsed profile, server/flow logs)
+are left in ``--workdir`` for the CI job to upload.
 """
 
 from __future__ import annotations
@@ -105,6 +117,40 @@ def main() -> int:
         env, check=True,
         stdout=(workdir / "done-run.log").open("w"), stderr=subprocess.STDOUT,
     )
+
+    # 1b. The traced + profiled run: batched mover on an N=50 circuit,
+    #     the configuration the profiler overhead budget is written for.
+    print("== traced flow (batched N=50, --trace --profile) ==")
+    from dataclasses import replace as spec_replace
+
+    from repro.bench import spec_for
+    from repro.bench.circuits import generate_circuit
+    from repro.netlist import dump as dump_circuit
+
+    big = workdir / "n50.twmc"
+    dump_circuit(
+        generate_circuit(spec_replace(spec_for("i1"), name="n50",
+                                      num_cells=50)),
+        big,
+    )
+    traced_dir = runs / "traced-run"
+    traced_dir.mkdir(parents=True, exist_ok=True)
+    run_cli(
+        [
+            "place", str(big), "--preset", "smoke", "--seed", "11",
+            "--mover", "batched",
+            "--trace", str(traced_dir / "trace.jsonl"),
+            "--profile",
+            "--rundir", str(traced_dir),
+            "--registry", str(runs / "registry.sqlite"),
+        ],
+        env, check=True,
+        stdout=(workdir / "traced-run.log").open("w"),
+        stderr=subprocess.STDOUT,
+    )
+    collapsed = traced_dir / "profile.collapsed"
+    if not collapsed.is_file() or not collapsed.read_text().strip():
+        fail(f"traced run produced no collapsed stacks at {collapsed}")
 
     # 2. The live run: paper preset anneals for minutes; we kill it
     #    once the assertions are through.  A wall budget is the safety
@@ -206,6 +252,55 @@ def main() -> int:
             f"flags={health['flags']} anneal_beats={health['anneal_beats']}"
         )
 
+        # 4e. /runs/<traced>/trace serves the merged span tree.
+        traced_id = next(
+            r["run_id"] for r in json.loads(fetch(base + "/runs"))["runs"]
+            if r["rundir"] and Path(r["rundir"]).name == "traced-run"
+        )
+        trace_doc = json.loads(fetch(f"{base}/runs/{traced_id}/trace"))
+        if not trace_doc.get("trace_id"):
+            fail(f"trace doc has no trace_id: {sorted(trace_doc)}")
+        if trace_doc.get("span_count", 0) < 3:
+            fail(f"trace doc has {trace_doc.get('span_count')} spans")
+        span_names = set()
+
+        def collect(node):
+            span_names.add(node["name"])
+            for child in node.get("children", ()):
+                collect(child)
+
+        for process in trace_doc["processes"]:
+            for root in process["spans"]:
+                collect(root)
+        for required in ("flow", "stage1", "anneal"):
+            if required not in span_names:
+                fail(f"span {required!r} missing from trace: {span_names}")
+        html = fetch(f"{base}/runs/{traced_id}/trace?format=html").decode()
+        if trace_doc["trace_id"] not in html:
+            fail("HTML waterfall does not mention the trace id")
+        print(
+            f"/trace ok: {trace_doc['span_count']} spans under "
+            f"{trace_doc['trace_id'][:8]}… with waterfall HTML"
+        )
+
+        # 4f. /runs/<traced>/profile serves collapsed stacks with
+        #     stage attribution; keep the flamegraph input as artifact.
+        prof_text = fetch(f"{base}/runs/{traced_id}/profile").decode()
+        if not prof_text.strip():
+            fail("profile endpoint returned empty collapsed stacks")
+        prof_doc = json.loads(
+            fetch(f"{base}/runs/{traced_id}/profile?format=json")
+        )
+        if prof_doc.get("samples", 0) < 1:
+            fail(f"profile doc has no samples: {prof_doc}")
+        if "stages" not in prof_doc:
+            fail(f"profile doc has no stage attribution: {sorted(prof_doc)}")
+        (workdir / "profile.collapsed").write_text(prof_text)
+        print(
+            f"/profile ok: {prof_doc['samples']} samples, stages "
+            f"{sorted(prof_doc['stages'])} -> {workdir / 'profile.collapsed'}"
+        )
+
         # 5. status exits 0 against the beating run.
         status = run_cli(["status", str(runs / "live-run")], env,
                          stdout=subprocess.DEVNULL)
@@ -219,8 +314,140 @@ def main() -> int:
         live.kill()
         live.wait(timeout=10)
 
+    service_trace_drill(workdir, circuit, env)
+
     print("OBS CI PASSED")
     return 0
+
+
+def service_trace_drill(workdir: Path, circuit: Path, env) -> None:
+    """Step 7: one trace id must span a SIGKILLed-and-retried service
+    job — minted at submit, carried by both worker attempts, joined
+    with the supervisor journal by ``/trace/<trace_id>``."""
+    import os
+    import signal
+
+    from repro.service import ServicePaths, ServiceView
+
+    print("== service trace drill (SIGKILL first attempt, retry) ==")
+    root = workdir / "service"
+    submitted = run_cli(
+        [
+            "service", "submit", str(root), str(circuit),
+            "--preset", "smoke", "--seed", "3",
+            "--checkpoint-every", "1", "--json",
+        ],
+        env, check=True, stdout=subprocess.PIPE, text=True,
+    )
+    job = json.loads(submitted.stdout)
+    job_id, trace_id = job["job_id"], job["trace_id"]
+    if not trace_id:
+        fail("service submit minted no trace_id")
+    print(f"submitted {job_id} under trace {trace_id[:8]}…")
+
+    paths = ServicePaths(root)
+    supervisor = popen_cli(
+        [
+            "service", "run", str(root), "--workers", "1",
+            "--poll-interval", "0.05", "--retry-base", "0.2",
+            "--exit-when-idle",
+        ],
+        env,
+        stdout=(workdir / "supervisor.log").open("w"),
+        stderr=subprocess.STDOUT,
+    )
+    try:
+        # Kill the first worker only once it has checkpointed, so the
+        # retry exercises the resume path.
+        def killable_pid():
+            with ServiceView(root) as view:
+                row = view.job(job_id)
+            if (
+                row.state == "running"
+                and row.worker_pid
+                and any(paths.checkpoint_dir(job_id).glob("*.ckpt"))
+            ):
+                return row.worker_pid
+            return None
+
+        pid = wait_for(killable_pid, 120.0, "a checkpointed worker to kill")
+        os.kill(pid, signal.SIGKILL)
+        print(f"SIGKILLed worker {pid}")
+        supervisor.wait(timeout=300)
+    finally:
+        if supervisor.poll() is None:
+            supervisor.kill()
+            supervisor.wait(timeout=10)
+
+    with ServiceView(root) as view:
+        final = view.job(job_id)
+    if final.state != "done" or final.attempts != 2:
+        fail(
+            f"expected done after 2 attempts, got {final.state} "
+            f"after {final.attempts} (see {workdir / 'supervisor.log'})"
+        )
+    if final.trace_id != trace_id:
+        fail(f"trace id changed: {trace_id} -> {final.trace_id}")
+
+    server = popen_cli(
+        ["serve", "--service", str(root), "--port", "0"],
+        env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        banner = server.stdout.readline()
+        match = re.search(r"at (http://[\d.]+:\d+)", banner)
+        if not match:
+            fail(f"could not parse server banner: {banner!r}")
+        base = match.group(1)
+
+        doc = json.loads(fetch(f"{base}/trace/{trace_id}"))
+        (workdir / "fleet_trace.json").write_text(json.dumps(doc, indent=2))
+        if doc["trace_id"] != trace_id:
+            fail(f"/trace joined ids {doc['trace_ids']}, wanted {trace_id}")
+        processes = [p for run in doc["runs"] for p in run["processes"]]
+        if len(processes) < 2:
+            fail(f"expected >=2 worker attempts in trace, got {processes}")
+        starts = [
+            e for e in doc["journal"] if e.get("event") == "job_start"
+        ]
+        retries = [
+            e for e in doc["journal"] if e.get("event") == "job_retry"
+        ]
+        if len(starts) != 2 or len(retries) != 1:
+            fail(
+                f"journal shows {len(starts)} starts / {len(retries)} "
+                f"retries, wanted 2 / 1"
+            )
+        span_names = set()
+
+        def collect(node):
+            span_names.add(node["name"])
+            for child in node.get("children", ()):
+                collect(child)
+
+        for process in processes:
+            for root_span in process["spans"]:
+                collect(root_span)
+        for required in ("flow", "stage1", "anneal"):
+            if required not in span_names:
+                fail(f"span {required!r} missing from trace: {span_names}")
+        print(
+            f"/trace/{trace_id[:8]}… ok: {doc['span_count']} spans across "
+            f"{len(processes)} attempts + {len(doc['journal'])} journal lines"
+        )
+
+        metrics = fetch(base + "/metrics").decode("utf-8")
+        parsed = parse_prometheus(metrics)
+        done_key = 'repro_jobs{state="done"}'
+        if parsed.get(done_key) != 1.0:
+            fail(f"{done_key} = {parsed.get(done_key)}, wanted 1")
+        if "repro_job_queue_latency_count" not in parsed:
+            fail("queue-latency summary missing from /metrics")
+        print("service /metrics ok: repro_jobs gauges + queue latency")
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
 
 
 if __name__ == "__main__":

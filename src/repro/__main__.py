@@ -16,12 +16,16 @@ Commands:
 * ``service run|submit|status|drain|events`` — fault-tolerant placement
   service: supervised job queue with retry/backoff, timeouts,
   backpressure, and crash recovery via checkpoints (``docs/service.md``)
+* ``trace show|export``             — span tree / waterfall / profile of
+  a recorded run (``--trace`` JSONL or a rundir), merged across the
+  processes that share one distributed trace id
 
 ``place`` options: ``--preset smoke|fast|paper`` (default fast),
 ``--seed N``, ``--svg out.svg`` (render the final placement),
 ``--json out.json`` (machine-readable result dump), ``--report``
 (full engineering report instead of the summary), ``--trace out.jsonl``
-(structured telemetry), ``--checkpoint-dir DIR`` (periodic snapshots +
+(structured telemetry), ``--profile`` (sampling profiler; collapsed
+stacks for flamegraphs), ``--checkpoint-dir DIR`` (periodic snapshots +
 SIGINT/SIGTERM trapping; an interrupted run exits with status 3 and
 prints the checkpoint to resume from), ``--budget-seconds /
 --budget-temperatures / --budget-moves`` (graceful early stop), and
@@ -110,17 +114,18 @@ def _budget(args: argparse.Namespace):
     )
 
 
-def _checkpoint(args: argparse.Namespace, run_id=None):
+def _checkpoint(args: argparse.Namespace, run_id=None, trace_id=None):
     if not args.checkpoint_dir:
         return None
     return CheckpointPolicy(
         directory=args.checkpoint_dir,
         every_temperatures=args.checkpoint_every,
         run_id=run_id,
+        trace_id=trace_id,
     )
 
 
-def _recorder(args: argparse.Namespace, run_id=None):
+def _recorder(args: argparse.Namespace, run_id=None, trace_id=None):
     """A RunRecorder when observability was requested (``--rundir`` or
     ``--registry``); the rundir defaults to ``runs/<run_id>``."""
     if not (getattr(args, "rundir", None) or getattr(args, "registry", None)):
@@ -138,6 +143,7 @@ def _recorder(args: argparse.Namespace, run_id=None):
         run_id=run_id,
         metrics_textfile=getattr(args, "metrics_textfile", None),
         heartbeat_interval=getattr(args, "heartbeat_interval", 0.0) or 0.0,
+        trace_id=trace_id,
     )
 
 
@@ -147,6 +153,70 @@ def _tracer(args: argparse.Namespace):
     from .telemetry import FileSink, Tracer
 
     return Tracer(FileSink(args.trace))
+
+
+def _trace_context(existing_trace_id=None):
+    """Resolve this process's distributed-trace hop: continue the trace
+    recorded in a checkpoint, else the one a parent process propagated
+    via the environment, else mint a fresh one."""
+    from .telemetry.context import TraceContext, inherit_or_mint, new_span_id
+
+    if existing_trace_id:
+        try:
+            return TraceContext(str(existing_trace_id), new_span_id())
+        except ValueError:
+            pass  # malformed id in an old/foreign checkpoint
+    return inherit_or_mint()
+
+
+def _profiling(args: argparse.Namespace, tracer, rundir=None):
+    """Context manager running the sampling profiler around the flow
+    (``--profile``); writes collapsed stacks on exit — including an
+    interrupted exit — and emits the attribution summary as a trace
+    event."""
+    import contextlib
+
+    if not getattr(args, "profile", False):
+        return contextlib.nullcontext()
+
+    from pathlib import Path
+
+    from .telemetry.profile import SamplingProfiler
+
+    @contextlib.contextmanager
+    def session():
+        profiler = SamplingProfiler(hz=args.profile_hz)
+        profiler.start()
+        try:
+            yield profiler
+        finally:
+            profiler.stop()
+            out = args.profile_out
+            if not out:
+                out = (
+                    Path(rundir) / "profile.collapsed"
+                    if rundir is not None
+                    else Path("profile.collapsed")
+                )
+            profiler.write(out)
+            summary = profiler.summary()
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "profile.sampling",
+                    samples=summary["samples"],
+                    hz=summary["hz"],
+                    wall_seconds=summary["wall_seconds"],
+                    stages=summary["stages"],
+                    kernels=summary["kernels"],
+                    hot_frames=summary["hot_frames"],
+                )
+            print(
+                f"wrote {out} ({summary['samples']} samples at "
+                f"{args.profile_hz:g} Hz)",
+                file=sys.stderr,
+            )
+
+    return session()
 
 
 def _emit_result(result, args: argparse.Namespace) -> int:
@@ -204,7 +274,8 @@ def cmd_place(args: argparse.Namespace) -> int:
                 exchange_period=args.exchange_period,
             ),
         )
-    recorder = _recorder(args)
+    ctx = _trace_context()
+    recorder = _recorder(args, trace_id=ctx.trace_id)
     tracer = _tracer(args)
     if recorder is not None:
         if tracer is None:
@@ -214,19 +285,26 @@ def cmd_place(args: argparse.Namespace) -> int:
         else:
             tracer.add_sink(recorder.sink)
         recorder.begin(circuit, config, command="place")
+    if tracer is not None:
+        tracer.set_context(trace_id=ctx.trace_id, trace_span=ctx.span_id)
     try:
-        result = _run_recorded(
-            recorder,
-            lambda: place_and_route(
-                circuit,
-                config,
-                tracer=tracer,
-                budget=_budget(args),
-                checkpoint=_checkpoint(
-                    args, run_id=recorder.run_id if recorder is not None else None
+        with _profiling(
+            args, tracer, recorder.rundir if recorder is not None else None
+        ):
+            result = _run_recorded(
+                recorder,
+                lambda: place_and_route(
+                    circuit,
+                    config,
+                    tracer=tracer,
+                    budget=_budget(args),
+                    checkpoint=_checkpoint(
+                        args,
+                        run_id=recorder.run_id if recorder is not None else None,
+                        trace_id=ctx.trace_id,
+                    ),
                 ),
-            ),
-        )
+            )
     except FlowInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         if exc.checkpoint_path:
@@ -298,17 +376,17 @@ def cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _resume(args: argparse.Namespace, expect_sha) -> int:
+    from pathlib import Path as _Path
+
+    from .resilience.checkpoint import read_checkpoint
+
+    _, payload = read_checkpoint(args.checkpoint, expect_circuit_sha=expect_sha)
     if getattr(args, "mover", None):
         # The mover is baked into the checkpoint's config (a batched
         # checkpoint resumes batched automatically); an explicit pin
         # that disagrees is refused cleanly rather than silently
         # ignored or crashed on mid-anneal.
-        from .resilience.checkpoint import read_checkpoint as _read_ckpt
-
-        _, _payload = _read_ckpt(
-            args.checkpoint, expect_circuit_sha=expect_sha
-        )
-        ckpt_mover = _payload.get("config", {}).get("mover", "serial")
+        ckpt_mover = payload.get("config", {}).get("mover", "serial")
         if ckpt_mover != args.mover:
             print(
                 f"error: checkpoint was taken by a {ckpt_mover!r} run; "
@@ -318,18 +396,18 @@ def _resume(args: argparse.Namespace, expect_sha) -> int:
                 file=sys.stderr,
             )
             return 2
+    # The continued run keeps the original run's identities: the
+    # checkpoint payload carries the run id AND the distributed trace
+    # id, so a retry/resume extends the same trace instead of forking.
+    ctx = _trace_context(payload.get("trace_id"))
     recorder = None
     if getattr(args, "rundir", None) or getattr(args, "registry", None):
-        # The continued run keeps the original run's registry identity:
-        # the checkpoint payload carries the run id.
         from .config import TimberWolfConfig as _Config
         from .netlist import loads as _loads
-        from .resilience.checkpoint import read_checkpoint
 
-        _, payload = read_checkpoint(
-            args.checkpoint, expect_circuit_sha=expect_sha
+        recorder = _recorder(
+            args, run_id=payload.get("run_id"), trace_id=ctx.trace_id
         )
-        recorder = _recorder(args, run_id=payload.get("run_id"))
         recorder.begin(
             _loads(payload["circuit_text"]),
             _Config.from_dict(payload["config"]),
@@ -344,16 +422,25 @@ def _resume(args: argparse.Namespace, expect_sha) -> int:
             tracer = Tracer(recorder.sink)
         else:
             tracer.add_sink(recorder.sink)
+    if tracer is not None:
+        tracer.set_context(trace_id=ctx.trace_id, trace_span=ctx.span_id)
     try:
-        result = _run_recorded(
-            recorder,
-            lambda: resume_place_and_route(
-                args.checkpoint,
-                tracer=tracer,
-                budget=_budget(args),
-                expect_circuit_sha=expect_sha,
-            ),
-        )
+        with _profiling(
+            args, tracer, recorder.rundir if recorder is not None else None
+        ):
+            result = _run_recorded(
+                recorder,
+                lambda: resume_place_and_route(
+                    args.checkpoint,
+                    tracer=tracer,
+                    budget=_budget(args),
+                    checkpoint=CheckpointPolicy(
+                        directory=_Path(args.checkpoint).parent,
+                        trace_id=ctx.trace_id,
+                    ),
+                    expect_circuit_sha=expect_sha,
+                ),
+            )
     except FlowInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         if exc.checkpoint_path:
@@ -397,6 +484,25 @@ def _add_output_options(p: argparse.ArgumentParser) -> None:
         "--report", action="store_true", help="print the full engineering report"
     )
     p.add_argument("--trace", help="write a JSONL telemetry trace")
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the low-overhead sampling profiler alongside the flow "
+        "and write collapsed stacks (flamegraph input); see "
+        "docs/telemetry.md",
+    )
+    p.add_argument(
+        "--profile-hz",
+        type=float,
+        default=97.0,
+        metavar="HZ",
+        help="sampling rate of --profile (default 97)",
+    )
+    p.add_argument(
+        "--profile-out",
+        help="where to write the collapsed stacks (default "
+        "<rundir>/profile.collapsed, else ./profile.collapsed)",
+    )
 
 
 def _add_observability_options(p: argparse.ArgumentParser) -> None:
@@ -558,11 +664,13 @@ def build_parser() -> argparse.ArgumentParser:
     from .obs.cli import add_serve_command
     from .qor.cli import add_monitor_commands, add_qor_commands
     from .service.cli import add_service_command
+    from .telemetry.trace_cli import add_trace_command
 
     add_monitor_commands(sub)
     add_qor_commands(sub)
     add_serve_command(sub)
     add_service_command(sub)
+    add_trace_command(sub)
 
     return parser
 

@@ -66,14 +66,20 @@ def resume_place_and_route(
     except KeyError as exc:
         raise CheckpointError(f"{path}: checkpoint missing {exc}") from exc
 
-    # Keep the original run's registry identity: the checkpoint payload
-    # carries the run id, and new checkpoints written by the continued
-    # run must carry it too.
+    # Keep the original run's registry identity AND its distributed
+    # trace: the checkpoint payload carries both ids, and new
+    # checkpoints written by the continued run must carry them too.
     run_id = payload.get("run_id")
+    trace_id = payload.get("trace_id")
     if checkpoint is None:
-        checkpoint = CheckpointPolicy(directory=path.parent, run_id=run_id)
-    elif checkpoint.run_id is None and run_id is not None:
-        checkpoint = replace(checkpoint, run_id=run_id)
+        checkpoint = CheckpointPolicy(
+            directory=path.parent, run_id=run_id, trace_id=trace_id
+        )
+    else:
+        if checkpoint.run_id is None and run_id is not None:
+            checkpoint = replace(checkpoint, run_id=run_id)
+        if checkpoint.trace_id is None and trace_id is not None:
+            checkpoint = replace(checkpoint, trace_id=trace_id)
     manager = CheckpointManager(checkpoint, payload["circuit_text"], payload["config"])
     control = RunControl(budget=budget, manager=manager)
 

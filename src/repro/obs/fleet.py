@@ -118,6 +118,31 @@ class Fleet:
             return str(beat["run_id"])
         return None
 
+    @staticmethod
+    def _rundir_trace_id(rundir: Path) -> Optional[str]:
+        """The distributed-trace id a rundir was recorded under
+        (manifest first, live heartbeat as fallback)."""
+        info = load_rundir(rundir)
+        manifest = info.get("manifest")
+        if manifest and manifest.get("trace_id"):
+            return str(manifest["trace_id"])
+        beat = info.get("heartbeat")
+        if beat and beat.get("trace_id"):
+            return str(beat["trace_id"])
+        return None
+
+    def find_by_trace(self, trace_id: str) -> List[Path]:
+        """Every rundir recorded under a trace id (exact or unique-ish
+        prefix, minimum 8 chars to keep prefixes meaningful)."""
+        if len(trace_id) < 8:
+            return []
+        out: List[Path] = []
+        for rundir in self.rundirs():
+            tid = self._rundir_trace_id(rundir)
+            if tid is not None and tid.startswith(trace_id):
+                out.append(rundir)
+        return out
+
     # -- registry join ------------------------------------------------------
 
     def _registry_rows(self) -> Dict[str, Dict[str, Any]]:
@@ -157,6 +182,7 @@ class Fleet:
             "age_seconds": beat_age(beat, now),
             "circuit": (manifest.get("circuit") or {}).get("name")
             or (beat or {}).get("circuit"),
+            "trace_id": manifest.get("trace_id") or (beat or {}).get("trace_id"),
             "progress": progress_line(beat) if beat else None,
         }
         for key in ("T", "acceptance", "cost", "eta_seconds", "round",

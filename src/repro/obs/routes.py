@@ -15,7 +15,16 @@ Endpoints:
 ``GET /runs/<id>/history``  the raw heartbeat ring (``?since_seq&limit``)
 ``GET /runs/<id>/health``   anneal-health analytics (see ``obs.health``)
 ``GET /runs/<id>/events``   SSE progress stream (``?since_seq&timeout``)
-``GET /metrics``      Prometheus scrape page over every live heartbeat
+``GET /runs/<id>/trace``    merged span tree + waterfall of the run's
+                      trace files (``?format=html`` renders a Gantt page)
+``GET /runs/<id>/profile``  sampling-profiler collapsed stacks
+                      (flamegraph input; ``?format=json`` for attribution)
+``GET /trace/<trace_id>``   fleet-wide trace lookup: every rundir (and
+                      service journal line) stamped with the trace id —
+                      a retried job's attempts merge into one document
+``GET /metrics``      Prometheus scrape page over every live heartbeat,
+                      plus ``repro_jobs``/queue-latency gauges when a
+                      service root is configured
 ``GET /jobs``         placement-service queue overview (when serving a
                       service root: counts, lease, drain flag, jobs)
 ``GET /jobs/<id>``    one job's row + directory status + recent events
@@ -97,6 +106,9 @@ def handle_request(
             "/runs/<id>/history",
             "/runs/<id>/health",
             "/runs/<id>/events",
+            "/runs/<id>/trace",
+            "/runs/<id>/profile",
+            "/trace/<trace_id>",
             "/metrics",
             "/healthz",
         ]
@@ -105,10 +117,14 @@ def handle_request(
         return _json_response({"service": "repro-obs", "endpoints": endpoints})
     if parts[0] == "jobs":
         return _handle_jobs(service, parts, query, stop_event)
+    if parts[0] == "trace" and len(parts) == 2:
+        return _handle_fleet_trace(fleet, parts[1], query, service)
     if parts == ["healthz"]:
         return _json_response({"ok": True})
     if parts == ["metrics"]:
         text = render_prometheus_fleet(fleet.heartbeats())
+        if service is not None:
+            text += _job_metrics(service)
         return Response(
             body=text.encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
@@ -144,6 +160,36 @@ def handle_request(
             )
             health["run_id"] = detail.get("run_id", run_id)
             return _json_response(health)
+        if len(parts) == 3 and parts[2] == "trace":
+            rundir = fleet.find_rundir(run_id)
+            if rundir is None:
+                return _error(404, f"unknown run {run_id!r}")
+            from .trace import render_trace_html, trace_document
+
+            doc = trace_document(rundir, run_id=run_id)
+            if doc is None:
+                return _error(404, f"run {run_id!r} has no trace files")
+            if query.get("format") == "html":
+                return Response(
+                    body=render_trace_html(doc).encode("utf-8"),
+                    content_type="text/html; charset=utf-8",
+                )
+            return _json_response(doc)
+        if len(parts) == 3 and parts[2] == "profile":
+            rundir = fleet.find_rundir(run_id)
+            if rundir is None:
+                return _error(404, f"unknown run {run_id!r}")
+            from .trace import profile_document
+
+            doc = profile_document(rundir)
+            if doc is None:
+                return _error(404, f"run {run_id!r} has no profile")
+            if query.get("format") == "json":
+                return _json_response(doc)
+            return Response(
+                body=doc["collapsed"].encode("utf-8"),
+                content_type="text/plain; charset=utf-8",
+            )
         if len(parts) == 3 and parts[2] == "events":
             rundir = fleet.find_rundir(run_id)
             if rundir is None:
@@ -168,6 +214,111 @@ def handle_request(
                 ),
             )
     return _error(404, f"no route for {path!r}")
+
+
+def _handle_fleet_trace(
+    fleet: Fleet, trace_id: str, query: Dict[str, str], service
+) -> Response:
+    """``/trace/<trace_id>``: join every artifact of one distributed
+    trace — all rundirs recorded under it (a retried job has the
+    supervisor's rundir reused across attempts, a resumed CLI run may
+    have several) plus the service journal lines it stamped."""
+    from .trace import render_trace_html, trace_document
+
+    rundirs = fleet.find_by_trace(trace_id)
+    runs = []
+    for rundir in rundirs:
+        doc = trace_document(rundir, run_id=fleet._rundir_run_id(rundir))
+        if doc is not None:
+            runs.append(doc)
+        else:
+            runs.append(
+                {
+                    "run_id": fleet._rundir_run_id(rundir),
+                    "rundir": str(rundir),
+                    "processes": [],
+                    "span_count": 0,
+                }
+            )
+    journal = []
+    if service is not None:
+        from ..service.events import read_events
+        from ..service.worker import ServicePaths
+
+        for ev in read_events(ServicePaths(service).events):
+            tid = ev.get("trace_id")
+            if tid and str(tid).startswith(trace_id):
+                journal.append(ev)
+    if not runs and not journal:
+        return _error(404, f"no artifacts for trace {trace_id!r}")
+    trace_ids = sorted(
+        {t for doc in runs for t in doc.get("trace_ids", ())}
+        | {str(ev["trace_id"]) for ev in journal if ev.get("trace_id")}
+    )
+    doc = {
+        "trace_id": trace_ids[0] if len(trace_ids) == 1 else None,
+        "trace_ids": trace_ids,
+        "runs": runs,
+        "journal": journal,
+        "span_count": sum(r.get("span_count", 0) for r in runs),
+    }
+    if query.get("format") == "html":
+        return Response(
+            body=render_trace_html(doc).encode("utf-8"),
+            content_type="text/html; charset=utf-8",
+        )
+    return _json_response(doc)
+
+
+#: Queue-latency quantiles exported on ``/metrics``.
+_QUEUE_QUANTILES = (0.5, 0.95)
+
+
+def _job_metrics(service) -> str:
+    """The placement-service section of the ``/metrics`` scrape page:
+    per-state job gauges and queue-latency quantiles (seconds from
+    submit to first worker start, over finished-or-running jobs)."""
+    import sqlite3
+
+    from ..service.spec import JOB_STATES
+    from ..service.view import ServiceView
+
+    try:
+        with ServiceView(service, readonly=True) as view:
+            counts = view.counts()
+            jobs = view.jobs(limit=1000)
+    except (sqlite3.Error, OSError):
+        # A store mid-creation degrades the scrape to heartbeats only.
+        return ""
+    lines = [
+        "# HELP repro_jobs Placement-service jobs by lifecycle state.",
+        "# TYPE repro_jobs gauge",
+    ]
+    for state in JOB_STATES:
+        lines.append(f'repro_jobs{{state="{state}"}} {counts.get(state, 0)}')
+    latencies = sorted(
+        job.started - job.created
+        for job in jobs
+        if job.started is not None and job.started >= job.created
+    )
+    lines += [
+        "# HELP repro_job_queue_latency_seconds Submit-to-start latency"
+        " of jobs that have started.",
+        "# TYPE repro_job_queue_latency_seconds gauge",
+    ]
+    for quantile in _QUEUE_QUANTILES:
+        if latencies:
+            index = min(
+                len(latencies) - 1, int(quantile * (len(latencies) - 1) + 0.5)
+            )
+            value = f"{latencies[index]:.6f}"
+        else:
+            value = "NaN"
+        lines.append(
+            f'repro_job_queue_latency_seconds{{quantile="{quantile:g}"}} {value}'
+        )
+    lines.append(f"repro_job_queue_latency_count {len(latencies)}")
+    return "\n".join(lines) + "\n"
 
 
 def _handle_jobs(

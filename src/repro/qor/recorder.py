@@ -136,10 +136,15 @@ class RunRecorder:
         run_id: Optional[str] = None,
         metrics_textfile: Optional[Union[str, Path]] = None,
         heartbeat_interval: float = 0.0,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.rundir = Path(rundir)
         self.rundir.mkdir(parents=True, exist_ok=True)
         self.run_id = run_id if run_id is not None else new_run_id()
+        #: Distributed trace identity (telemetry.context); rides in the
+        #: manifest, every heartbeat, and the registry row so the obs
+        #: server can join a run's artifacts fleet-wide by trace.
+        self.trace_id = trace_id
         if isinstance(registry, RunRegistry) or registry is None:
             self._registry = registry
             self._owns_registry = False
@@ -170,13 +175,15 @@ class RunRecorder:
         self.manifest = build_manifest(
             self.run_id, circuit, config, command=command, resumed_from=resumed_from
         )
+        if self.trace_id is not None:
+            self.manifest["trace_id"] = self.trace_id
         _atomic_write(
             self.rundir / self.MANIFEST_NAME,
             json.dumps(self.manifest, indent=2, sort_keys=True, default=str) + "\n",
         )
         if self._registry is not None:
             self._registry.register_run(self.manifest)
-        self.heartbeat.set_context(circuit=circuit.name)
+        self.heartbeat.set_context(circuit=circuit.name, trace_id=self.trace_id)
         self.heartbeat.beat("start", command=command)
         return self.manifest
 

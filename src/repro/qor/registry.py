@@ -101,6 +101,7 @@ CREATE TABLE IF NOT EXISTS runs (
     workers INTEGER,
     package_version TEXT,
     resumed_from TEXT,
+    trace_id TEXT,
     host_json TEXT,
     config_json TEXT
 );
@@ -184,6 +185,15 @@ class RunRegistry:
                     "INSERT OR IGNORE INTO meta(key, value) VALUES('schema', ?)",
                     (str(SCHEMA_VERSION),),
                 )
+                # Columns added after the CREATE TABLE shipped: the
+                # schema uses IF NOT EXISTS, so pre-existing databases
+                # need an explicit (idempotent) ALTER.
+                try:
+                    self._conn.execute(
+                        "ALTER TABLE runs ADD COLUMN trace_id TEXT"
+                    )
+                except sqlite3.OperationalError:
+                    pass  # already present
 
         retry_locked(_migrate)
 
@@ -211,8 +221,8 @@ class RunRegistry:
         self._write(
                 "INSERT OR REPLACE INTO runs(run_id, created, status, command, circuit,"
                 " circuit_sha256, config_sha256, seed, chains, workers,"
-                " package_version, resumed_from, host_json, config_json)"
-                " VALUES(?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                " package_version, resumed_from, trace_id, host_json, config_json)"
+                " VALUES(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 (
                     manifest["run_id"],
                     manifest.get("created") or time.time(),
@@ -226,6 +236,7 @@ class RunRegistry:
                     parallel.get("workers"),
                     manifest.get("package_version"),
                     manifest.get("resumed_from"),
+                    manifest.get("trace_id"),
                     json.dumps(manifest.get("host", {}), sort_keys=True),
                     json.dumps(config.get("values", {}), sort_keys=True),
                 ),

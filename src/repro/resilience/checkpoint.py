@@ -181,14 +181,16 @@ class CheckpointPolicy:
     every N completed temperature steps; stage 2 snapshots at pass
     boundaries regardless); ``keep`` bounds disk use by pruning all but
     the newest checkpoints.  ``run_id`` ties checkpoints to the run
-    registry: it rides in every payload, so a resumed run keeps the
-    original run's identity.
+    registry, and ``trace_id`` to the distributed trace: both ride in
+    every payload, so a resumed run — including a service retry — keeps
+    the original run's registry identity AND its trace.
     """
 
     directory: Union[str, Path]
     every_temperatures: int = 10
     keep: int = 3
     run_id: Optional[str] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.every_temperatures < 1:
@@ -218,6 +220,7 @@ class CheckpointManager:
             "config": self.config_dict,
             "circuit_text": self.circuit_text,
             "run_id": self.policy.run_id,
+            "trace_id": self.policy.trace_id,
             **data,
         }
         path = self.directory / f"ckpt-{label}.ckpt"

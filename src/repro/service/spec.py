@@ -94,6 +94,10 @@ class Job:
     lease_owner: Optional[str] = None
     run_id: Optional[str] = None
     reason: Optional[str] = None
+    #: The distributed-trace id minted at submit time.  Every attempt,
+    #: checkpoint, registry row, and queue event of this job carries it,
+    #: so a retried job is still *one* trace.
+    trace_id: Optional[str] = None
 
     def with_state(self, state: str, **changes: Any) -> "Job":
         if state not in JOB_STATES:
@@ -124,4 +128,5 @@ class Job:
             "lease_owner": self.lease_owner,
             "run_id": self.run_id,
             "reason": self.reason,
+            "trace_id": self.trace_id,
         }

@@ -47,7 +47,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     worker_pid INTEGER,
     lease_owner TEXT,
     run_id TEXT,
-    reason TEXT
+    reason TEXT,
+    trace_id TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs(state, next_attempt_at);
 CREATE INDEX IF NOT EXISTS idx_jobs_tenant ON jobs(tenant, state);
@@ -72,7 +73,8 @@ class JobStore:
 
     def submit(self, spec, *, tenant="default", priority=0,
                wall_timeout=None, max_attempts=5, job_id=None,
-               backpressure=None, now=None) -> Tuple[Job, Optional[Job]]:
+               backpressure=None, trace_id=None,
+               now=None) -> Tuple[Job, Optional[Job]]:
         raise NotImplementedError
 
     def get(self, job_id: str) -> Job:
@@ -155,6 +157,16 @@ class SqliteJobStore(JobStore):
             )
             configure_connection(self._conn)
             retry_locked(lambda: self._conn.executescript(_JOBS_SCHEMA))
+            # Pre-trace databases lack the trace_id column; CREATE TABLE
+            # IF NOT EXISTS never retrofits columns, so migrate in place.
+            try:
+                retry_locked(
+                    lambda: self._conn.execute(
+                        "ALTER TABLE jobs ADD COLUMN trace_id TEXT"
+                    )
+                )
+            except sqlite3.OperationalError:
+                pass  # already present
         # Explicit transactions only: reads run lock-free, and every
         # read-modify-write wraps itself in BEGIN IMMEDIATE below.
         self._conn.isolation_level = None
@@ -208,6 +220,9 @@ class SqliteJobStore(JobStore):
             lease_owner=row["lease_owner"],
             run_id=row["run_id"],
             reason=row["reason"],
+            # Readonly connections never migrate, so an old database
+            # opened by a monitor may simply lack the column.
+            trace_id=row["trace_id"] if "trace_id" in row.keys() else None,
         )
 
     # -- submission + backpressure -----------------------------------------
@@ -222,6 +237,7 @@ class SqliteJobStore(JobStore):
         max_attempts: int = 5,
         job_id: Optional[str] = None,
         backpressure: Optional[BackpressurePolicy] = None,
+        trace_id: Optional[str] = None,
         now: Optional[float] = None,
     ) -> Tuple[Job, Optional[Job]]:
         """Enqueue a job; returns ``(job, shed_job_or_None)``.
@@ -269,8 +285,8 @@ class SqliteJobStore(JobStore):
             self._conn.execute(
                 "INSERT INTO jobs(job_id, created, updated, tenant, priority,"
                 " state, attempts, max_attempts, next_attempt_at,"
-                " wall_timeout, spec_json)"
-                " VALUES(?,?,?,?,?,'queued',0,?,0,?,?)",
+                " wall_timeout, spec_json, trace_id)"
+                " VALUES(?,?,?,?,?,'queued',0,?,0,?,?,?)",
                 (
                     job_id,
                     now,
@@ -280,6 +296,7 @@ class SqliteJobStore(JobStore):
                     max_attempts,
                     wall_timeout,
                     json.dumps(spec.to_dict(), sort_keys=True),
+                    trace_id,
                 ),
             )
             job = Job(
@@ -291,6 +308,7 @@ class SqliteJobStore(JobStore):
                 wall_timeout=wall_timeout,
                 created=now,
                 updated=now,
+                trace_id=trace_id,
             )
             return job, shed
 

@@ -41,6 +41,7 @@ from typing import Dict, Optional
 
 from ..qor.heartbeat import read_heartbeat
 from ..qor.monitor import STALE_AFTER, classify_state
+from ..telemetry.context import TraceContext, new_span_id
 from .events import EventLog
 from .policy import BackpressurePolicy, RetryPolicy
 from .spec import Job
@@ -216,7 +217,8 @@ class Supervisor:
                     job.job_id, "circuit snapshot missing", now=now
                 )
                 self.events.emit(
-                    "job_dead", job.job_id, reason="circuit snapshot missing"
+                    "job_dead", job.job_id, reason="circuit snapshot missing",
+                    trace_id=job.trace_id,
                 )
                 continue
             self.paths.ensure_job_dirs(job.job_id)
@@ -225,6 +227,15 @@ class Supervisor:
             )
             log_path = self.paths.attempt_log(job.job_id, job.attempts)
             log_file = open(log_path, "wb")
+            # Hand the job's trace down to the worker: the CLI reads the
+            # traceparent from the environment, so every attempt of this
+            # job — fresh place or checkpoint resume — stays one trace.
+            env = None
+            if job.trace_id:
+                try:
+                    env = TraceContext(job.trace_id, new_span_id()).env()
+                except ValueError:
+                    env = None  # malformed stored id: worker mints fresh
             # New session: a dying supervisor must not take its workers
             # down with it — orphans are adopted by recovery instead.
             process = subprocess.Popen(
@@ -232,6 +243,7 @@ class Supervisor:
                 stdout=log_file,
                 stderr=subprocess.STDOUT,
                 start_new_session=True,
+                env=env,
             )
             self.store.set_worker(job.job_id, process.pid)
             timeout = (
@@ -252,6 +264,7 @@ class Supervisor:
                 attempt=job.attempts,
                 pid=process.pid,
                 resumed=command[3] == "resume",
+                trace_id=job.trace_id,
             )
 
     # -- reaping ------------------------------------------------------------
@@ -278,12 +291,16 @@ class Supervisor:
             self.events.emit(
                 "job_done", job_id, attempt=handle.job.attempts,
                 seconds=round(now - handle.started, 3),
+                trace_id=handle.job.trace_id,
             )
             return
         if returncode == 6:
             reason = "checkpoint mismatch (exit 6)"
             self.store.mark_dead(job_id, reason, now=now)
-            self.events.emit("job_dead", job_id, reason=reason)
+            self.events.emit(
+                "job_dead", job_id, reason=reason,
+                trace_id=handle.job.trace_id,
+            )
             return
         if self._drain and returncode == 3:
             # The drain SIGTERM, honored: checkpointed and exited.  The
@@ -292,7 +309,8 @@ class Supervisor:
                 job_id, reason="drained", count_attempt=False, now=now
             )
             self.events.emit(
-                "job_drained", job_id, attempt=handle.job.attempts
+                "job_drained", job_id, attempt=handle.job.attempts,
+                trace_id=handle.job.trace_id,
             )
             return
         if returncode == 3:
@@ -310,7 +328,9 @@ class Supervisor:
         if job.attempts >= job.max_attempts:
             full = f"{reason}; attempts exhausted ({job.attempts}/{job.max_attempts})"
             self.store.mark_dead(job_id, full, now=now)
-            self.events.emit("job_dead", job_id, reason=full)
+            self.events.emit(
+                "job_dead", job_id, reason=full, trace_id=job.trace_id
+            )
             return
         delay = self.config.retry.delay(job.attempts, self.rng)
         self.store.requeue(job_id, delay=delay, reason=reason, now=now)
@@ -320,6 +340,7 @@ class Supervisor:
             reason=reason,
             attempt=job.attempts,
             delay=round(delay, 3),
+            trace_id=job.trace_id,
         )
 
     def _result(self, job_id: str) -> Optional[dict]:
@@ -370,7 +391,8 @@ class Supervisor:
         handle.term_at = now
         handle.term_reason = reason
         self.events.emit(
-            "job_term", job_id, reason=reason, pid=handle.process.pid
+            "job_term", job_id, reason=reason, pid=handle.process.pid,
+            trace_id=handle.job.trace_id,
         )
         try:
             handle.process.terminate()
@@ -380,7 +402,7 @@ class Supervisor:
     def _kill(self, handle: WorkerHandle, job_id: str) -> None:
         self.events.emit(
             "job_kill", job_id, reason=handle.term_reason,
-            pid=handle.process.pid,
+            pid=handle.process.pid, trace_id=handle.job.trace_id,
         )
         try:
             handle.process.kill()
@@ -416,7 +438,7 @@ class Supervisor:
                 )
                 self.events.emit(
                     "job_done", job.job_id, attempt=job.attempts,
-                    recovered=True,
+                    recovered=True, trace_id=job.trace_id,
                 )
                 stats["adopted_done"] += 1
                 continue
@@ -429,7 +451,8 @@ class Supervisor:
                 count_attempt=False,
             )
             self.events.emit(
-                "job_requeued", job.job_id, reason="supervisor restart"
+                "job_requeued", job.job_id, reason="supervisor restart",
+                trace_id=job.trace_id,
             )
             stats["requeued"] += 1
         if any(stats.values()):

@@ -13,6 +13,7 @@ import shutil
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from ..telemetry.context import new_trace_id
 from .events import EventLog, read_events
 from .policy import BackpressurePolicy, QueueFull
 from .spec import Job, JobSpec, new_job_id
@@ -62,10 +63,16 @@ class ServiceView:
         queue insert, so the job's meaning is frozen at submit time.
         Raises :class:`QueueFull` when backpressure rejects (the
         snapshot is cleaned up again).
+
+        Submission also mints the job's distributed-trace id: the one
+        identity that survives retries, supervisor restarts, and
+        checkpoint resumes — ``/trace/<id>`` on the obs server joins
+        everything the job ever did under it.
         """
         circuit = Path(circuit)
         text = circuit.read_text(encoding="utf-8")  # validates readability
         job_id = new_job_id()
+        trace_id = new_trace_id()
         self.paths.ensure_job_dirs(job_id)
         snapshot = self.paths.circuit(job_id)
         snapshot.write_text(text, encoding="utf-8")
@@ -86,6 +93,7 @@ class ServiceView:
                 max_attempts=max_attempts,
                 job_id=job_id,
                 backpressure=backpressure,
+                trace_id=trace_id,
             )
         except QueueFull:
             shutil.rmtree(self.paths.job_dir(job_id), ignore_errors=True)
@@ -100,6 +108,7 @@ class ServiceView:
             tenant=tenant,
             priority=priority,
             circuit=str(circuit),
+            trace_id=trace_id,
         )
         if shed is not None:
             self.events.emit(

@@ -90,8 +90,22 @@ def build_worker_command(
     job's circuit snapshot — so a corrupted-queue scenario where a
     checkpoint from another circuit lands in the job directory exits 6
     and dead-letters instead of silently producing the wrong layout.
+
+    Every attempt traces itself into the job's rundir under a
+    per-attempt file name (``trace-attempt-NN.jsonl``) — the raw
+    material of the obs server's ``/runs/<id>/trace`` waterfall.  One
+    file per attempt, not one shared file, because ``--trace``
+    truncates on open: a retry must not erase the evidence of the
+    attempt it is recovering from.
     """
     python = python if python is not None else sys.executable
+    trace = [
+        "--trace",
+        str(
+            paths.rundir(job.job_id)
+            / f"trace-attempt-{max(job.attempts, 1):02d}.jsonl"
+        ),
+    ]
     ckpt = job_checkpoint(paths, job.job_id)
     if ckpt is not None:
         return [
@@ -108,6 +122,7 @@ def build_worker_command(
             str(paths.rundir(job.job_id)),
             "--registry",
             str(paths.registry),
+            *trace,
         ]
     spec = job.spec
     return [
@@ -134,4 +149,5 @@ def build_worker_command(
         str(paths.rundir(job.job_id)),
         "--registry",
         str(paths.registry),
+        *trace,
     ]

@@ -17,11 +17,26 @@ dependency instrumentation layer:
   a trace, as CSV and plain text.
 * :func:`profiled` — an optional ``cProfile`` span wrapper, enabled by
   ``TimberWolfConfig(enable_profiling=True)``.
+* :class:`TraceContext` (:mod:`repro.telemetry.context`) — the
+  W3C-traceparent-style identity that follows a run across process
+  boundaries (supervisor → worker → chains → router) and across
+  checkpointed retries; see docs/telemetry.md.
+* :class:`SamplingProfiler` (:mod:`repro.telemetry.profile`) — the
+  low-overhead background-thread stack sampler producing collapsed
+  stacks (flamegraph input) with per-stage attribution.
 
 Event schema: ``docs/telemetry.md``.
 """
 
+from .context import (
+    TRACEPARENT_ENV,
+    TraceContext,
+    context_from_env,
+    inherit_or_mint,
+    mint_context,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import SamplingProfiler, attribution_from_collapsed, parse_collapsed
 from .profiler import profiled
 from .tracer import (
     NULL_TRACER,
@@ -35,10 +50,18 @@ from .tracer import (
 )
 
 __all__ = [
+    "TRACEPARENT_ENV",
+    "TraceContext",
+    "context_from_env",
+    "inherit_or_mint",
+    "mint_context",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SamplingProfiler",
+    "attribution_from_collapsed",
+    "parse_collapsed",
     "profiled",
     "NULL_TRACER",
     "FileSink",

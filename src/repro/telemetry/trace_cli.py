@@ -1,0 +1,167 @@
+"""CLI handler for ``python -m repro trace``.
+
+Offline access to the same trace views the obs server serves: ``show``
+prints a span tree (with per-span wall time and event counts) straight
+from a rundir or a single trace JSONL; ``export`` writes the merged
+trace document as JSON or as the standalone HTML waterfall.  Kept in
+its own module so ``repro.__main__`` registers the command without
+importing the obs view code until it actually runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+def add_trace_command(subparsers: argparse._SubParsersAction) -> None:
+    """Register ``trace`` (with ``show`` / ``export``) on the parser."""
+    trace_p = subparsers.add_parser(
+        "trace",
+        help="inspect recorded trace files: span trees, waterfalls, "
+        "HTML/JSON export",
+    )
+    verbs = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    show_p = verbs.add_parser(
+        "show", help="print the span tree of a rundir or trace JSONL"
+    )
+    show_p.add_argument(
+        "path", help="rundir holding trace*.jsonl, or one trace file"
+    )
+    show_p.add_argument(
+        "--waterfall",
+        action="store_true",
+        help="flat Gantt rows (offset/width bars) instead of the tree",
+    )
+    show_p.set_defaults(func=cmd_trace_show)
+
+    export_p = verbs.add_parser(
+        "export", help="write the merged trace document (JSON or HTML)"
+    )
+    export_p.add_argument(
+        "path", help="rundir holding trace*.jsonl, or one trace file"
+    )
+    export_p.add_argument(
+        "--out", default=None, help="output file (default: stdout)"
+    )
+    export_p.add_argument(
+        "--html",
+        action="store_true",
+        help="render the standalone HTML waterfall instead of JSON",
+    )
+    export_p.set_defaults(func=cmd_trace_export)
+
+
+def _document(path_arg: str) -> Optional[Dict[str, Any]]:
+    """The trace document for a rundir — or for one explicit JSONL file,
+    wrapped in a single-process document of the same shape."""
+    from ..obs.trace import span_tree, trace_document, trace_ids_of, waterfall
+    from .report import load_events
+
+    path = Path(path_arg)
+    if path.is_dir():
+        return trace_document(path)
+    if not path.is_file():
+        return None
+    events = load_events(path)
+    roots = span_tree(events)
+    tids = trace_ids_of(events)
+    return {
+        "run_id": None,
+        "rundir": str(path.parent),
+        "trace_id": tids[0] if len(tids) == 1 else None,
+        "trace_ids": tids,
+        "processes": [
+            {
+                "file": path.name,
+                "events": len(events),
+                "trace_ids": tids,
+                "spans": roots,
+                "waterfall": waterfall(roots),
+            }
+        ],
+        "span_count": len(waterfall(roots)),
+    }
+
+
+def _format_span(node: Dict[str, Any], depth: int, lines: List[str]) -> None:
+    dur = f"{node['wall_s']:.3f}s" if node.get("wall_s") is not None else "open"
+    status = ""
+    if node.get("ok") is False:
+        status = " FAILED"
+    elif node.get("end") is None:
+        status = " (unclosed)"
+    chain = f" chain={node['chain']}" if node.get("chain") is not None else ""
+    events = f" events={node['events']}" if node.get("events") else ""
+    lines.append(
+        f"{'  ' * depth}{node['name']}  {dur}{chain}{events}{status}"
+    )
+    for child in sorted(
+        node["children"], key=lambda n: (n["start"] is None, n["start"])
+    ):
+        _format_span(child, depth + 1, lines)
+
+
+def _format_waterfall(rows: List[Dict[str, Any]]) -> List[str]:
+    starts = [r["start"] for r in rows if r["start"] is not None]
+    ends = [r["end"] for r in rows if r["end"] is not None]
+    if not starts:
+        return ["(no spans)"]
+    t0 = min(starts)
+    total = max((max(ends) if ends else t0) - t0, 1e-9)
+    width = 40
+    lines: List[str] = []
+    for row in rows:
+        if row["start"] is None:
+            continue
+        left = int(width * (row["start"] - t0) / total)
+        right = int(width * ((row["end"] or row["start"]) - t0) / total)
+        bar = " " * left + "#" * max(right - left, 1)
+        dur = f"{row['wall_s']:.3f}s" if row.get("wall_s") is not None else "open"
+        name = ("  " * row["depth"] + str(row["name"]))[:30]
+        lines.append(f"{name:<30} |{bar:<{width}}| {dur}")
+    return lines
+
+
+def cmd_trace_show(args: argparse.Namespace) -> int:
+    doc = _document(args.path)
+    if doc is None:
+        print(f"no trace files under {args.path}", file=sys.stderr)
+        return 1
+    lines: List[str] = []
+    if doc.get("trace_ids"):
+        lines.append("trace " + ", ".join(doc["trace_ids"]))
+    for proc in doc["processes"]:
+        lines.append(f"-- {proc['file']} ({proc['events']} events)")
+        if args.waterfall:
+            lines.extend(_format_waterfall(proc["waterfall"]))
+        else:
+            for root in sorted(
+                proc["spans"], key=lambda n: (n["start"] is None, n["start"])
+            ):
+                _format_span(root, 0, lines)
+    print("\n".join(lines))
+    return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    doc = _document(args.path)
+    if doc is None:
+        print(f"no trace files under {args.path}", file=sys.stderr)
+        return 1
+    if args.html:
+        from ..obs.trace import render_trace_html
+
+        text = render_trace_html(doc)
+    else:
+        text = json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0

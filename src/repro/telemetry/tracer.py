@@ -163,6 +163,7 @@ class Tracer:
         self._t0 = time.monotonic()
         self._next_span_id = 1
         self._span_stack: List[_SpanHandle] = []
+        self._context: Dict[str, Any] = {}
 
     # -- sink management ----------------------------------------------------
 
@@ -188,12 +189,33 @@ class Tracer:
         for s in self._sinks:
             s.close()
 
+    # -- ambient context ----------------------------------------------------
+
+    def set_context(self, **fields: Any) -> None:
+        """Stamp ``fields`` onto every event this tracer emits from now
+        on (``None`` removes a key).  The distributed-trace identity
+        (``trace_id``) rides here so every span, counter, and ingested
+        chain event of a process carries the same trace; event-local
+        fields with the same name win over the sticky context."""
+        for key, value in fields.items():
+            if value is None:
+                self._context.pop(key, None)
+            else:
+                self._context[key] = value
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        return dict(self._context)
+
     # -- emission -----------------------------------------------------------
 
     def _now(self) -> float:
         return time.monotonic() - self._t0
 
     def _emit(self, event: Dict[str, Any]) -> None:
+        if self._context:
+            for key, value in self._context.items():
+                event.setdefault(key, value)
         for s in self._sinks:
             if s.enabled:
                 s.emit(event)
@@ -248,7 +270,10 @@ class Tracer:
         merged stream well-formed:
 
         * span ids are remapped into this tracer's id space (each batch
-          gets fresh ids, so chains can never collide);
+          gets fresh ids, so chains can never collide); the whole batch
+          is scanned for span ids before any event is rewritten, so a
+          parent link survives even when the batch arrives out of order
+          (a child's ``span_begin`` before its parent's);
         * root spans and span-less events of the batch are attached to
           the currently open span (the coordinator's ``stage1`` span),
           so ``report.span_paths`` nests them under the flow;
@@ -261,21 +286,28 @@ class Tracer:
         if not self.enabled or not events:
             return
         ambient = self._span_stack[-1].span_id if self._span_stack else None
+        # Pre-scan: allocate a fresh id for every span id seen anywhere
+        # in the batch, so remapping is order-independent — a parent
+        # referenced before (or after) its own span_begin still resolves.
         mapping: Dict[int, int] = {}
+        for source in events:
+            span = source.get("span")
+            if span is not None and span not in mapping:
+                mapping[span] = self._next_span_id
+                self._next_span_id += 1
         now = round(self._now(), 6)
         for source in events:
             ev = dict(source)
             span = ev.get("span")
             if span is not None:
-                if span not in mapping:
-                    mapping[span] = self._next_span_id
-                    self._next_span_id += 1
                 ev["span"] = mapping[span]
             parent = ev.get("parent")
             if parent is not None:
                 if parent in mapping:
                     ev["parent"] = mapping[parent]
                 else:
+                    # A parent id the batch never defines (producer
+                    # truncation): drop the dangling link.
                     del ev["parent"]
                     parent = None
             if ambient is not None:

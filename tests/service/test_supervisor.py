@@ -391,8 +391,49 @@ class TestEndToEnd:
         )
         assert retry["reason"] == "killed by signal 9"
         # The second attempt resumed rather than starting over.
-        start_events = [
-            e for e in ServiceView(service_root).history(job_id=job.job_id)
-            if e["event"] == "job_start"
-        ]
+        history = ServiceView(service_root).history(job_id=job.job_id)
+        start_events = [e for e in history if e["event"] == "job_start"]
         assert [e.get("resumed") for e in start_events] == [False, True]
+        # Trace continuity: the trace id minted at submit survives the
+        # kill and the resume — one trace spans both attempts.
+        assert job.trace_id
+        assert final.trace_id == job.trace_id
+        assert {e.get("trace_id") for e in history} == {job.trace_id}
+        rundir = paths.rundir(job.job_id)
+        attempt_traces = sorted(rundir.glob("trace-attempt-*.jsonl"))
+        assert [p.name for p in attempt_traces] == [
+            "trace-attempt-01.jsonl",
+            "trace-attempt-02.jsonl",
+        ]
+
+        def read_trace(path):
+            # The SIGKILLed attempt may leave a torn final line.
+            events = []
+            for line in path.read_text().splitlines():
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    pass
+            return events
+
+        merged = []
+        for trace_path in attempt_traces:
+            events = read_trace(trace_path)
+            assert events, f"{trace_path.name} is empty"
+            assert {e.get("trace_id") for e in events} == {job.trace_id}
+            merged.extend(events)
+        manifest = json.loads((rundir / "manifest.json").read_text())
+        assert manifest["trace_id"] == job.trace_id
+        # Merged across attempts, the span tree still shows the anneal
+        # structure under the single trace id.
+        from repro.obs.trace import span_tree
+
+        def walk(node):
+            yield node
+            for child in node["children"]:
+                yield from walk(child)
+
+        names = {
+            s["name"] for root in span_tree(merged) for s in walk(root)
+        }
+        assert {"flow", "stage1", "anneal"} <= names

@@ -1,0 +1,101 @@
+"""The distributed-trace context: parse/format, children, env plumbing."""
+
+import pytest
+
+from repro.telemetry.context import (
+    TRACEPARENT_ENV,
+    TraceContext,
+    context_from_env,
+    inherit_or_mint,
+    mint_context,
+    new_span_id,
+    new_trace_id,
+)
+
+
+class TestIds:
+    def test_trace_id_is_32_hex(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)  # must parse as hex
+
+    def test_span_id_is_16_hex(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        int(sid, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(32)}) == 32
+
+
+class TestTraceContext:
+    def test_traceparent_round_trip(self):
+        ctx = mint_context()
+        parsed = TraceContext.parse(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_header_shape(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8)
+        assert ctx.to_traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "garbage",
+            "00-zz-cd-01",                       # non-hex
+            "00-" + "ab" * 16 + "-" + "cd" * 8,  # missing flags
+            "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",  # all-zero trace
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero span
+            "00-" + "ab" * 8 + "-" + "cd" * 8 + "-01",   # short trace id
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        assert TraceContext.parse(header) is None
+
+    def test_invalid_ids_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            TraceContext("xyz", "cd" * 8)
+        with pytest.raises(ValueError):
+            TraceContext("ab" * 16, "short")
+
+    def test_child_keeps_trace_changes_span(self):
+        parent = mint_context()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+    def test_dict_round_trip(self):
+        ctx = mint_context()
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+
+class TestEnvPropagation:
+    def test_env_sets_header_without_mutating_original(self):
+        ctx = mint_context()
+        base = {"PATH": "/bin"}
+        env = ctx.env(base)
+        assert env[TRACEPARENT_ENV] == ctx.to_traceparent()
+        assert env["PATH"] == "/bin"
+        assert TRACEPARENT_ENV not in base
+
+    def test_context_from_env_round_trip(self):
+        ctx = mint_context()
+        assert context_from_env(ctx.env({})) == ctx
+
+    def test_context_from_env_absent(self):
+        assert context_from_env({}) is None
+
+    def test_context_from_env_malformed(self):
+        assert context_from_env({TRACEPARENT_ENV: "nope"}) is None
+
+    def test_inherit_or_mint_continues_parent_trace(self):
+        parent = mint_context()
+        ctx = inherit_or_mint(parent.env({}))
+        assert ctx.trace_id == parent.trace_id
+        assert ctx.span_id != parent.span_id
+
+    def test_inherit_or_mint_mints_without_parent(self):
+        a = inherit_or_mint({})
+        b = inherit_or_mint({})
+        assert a.trace_id != b.trace_id

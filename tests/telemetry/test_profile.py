@@ -1,0 +1,139 @@
+"""The sampling profiler: sampling, collapsed output, attribution."""
+
+import threading
+import time
+
+import pytest
+
+from repro.telemetry.profile import (
+    SamplingProfiler,
+    attribution_from_collapsed,
+    parse_collapsed,
+)
+
+
+def spin(seconds):
+    """Busy-work with a recognizable frame for the sampler to catch."""
+    deadline = time.monotonic() + seconds
+    total = 0
+    while time.monotonic() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSampling:
+    def test_captures_samples_from_calling_thread(self):
+        prof = SamplingProfiler(hz=500)
+        with prof:
+            spin(0.25)
+        assert prof.sample_count > 10
+        assert any("spin" in frame for stack in prof.samples for frame in stack)
+
+    def test_stacks_are_root_first(self):
+        prof = SamplingProfiler(hz=500)
+        with prof:
+            spin(0.2)
+        stack = next(
+            s for s in prof.samples if any("spin" in f for f in s)
+        )
+        spin_idx = next(i for i, f in enumerate(stack) if "spin" in f)
+        # The test runner's frames sit above (before) spin, never below.
+        assert spin_idx >= 1
+
+    def test_stop_is_idempotent_and_accumulates_wall(self):
+        prof = SamplingProfiler(hz=200)
+        prof.start()
+        spin(0.05)
+        prof.stop()
+        prof.stop()
+        assert prof.wall_seconds > 0
+        assert not prof.running
+
+    def test_profiling_another_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=lambda: spin(0.3))
+        worker.start()
+        prof = SamplingProfiler(hz=500, thread_id=worker.ident)
+        with prof:
+            worker.join()
+        stop.set()
+        assert prof.sample_count > 0
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+
+class TestCollapsed:
+    def profiled(self):
+        prof = SamplingProfiler(hz=500)
+        with prof:
+            spin(0.2)
+        return prof
+
+    def test_collapsed_lines_carry_counts(self):
+        text = self.profiled().collapsed()
+        assert text
+        for line in text.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert ";" in stack or stack  # at least one frame
+            assert count.isdigit()
+
+    def test_parse_round_trips(self):
+        prof = self.profiled()
+        assert parse_collapsed(prof.collapsed()) == prof._samples
+
+    def test_parse_skips_torn_lines(self):
+        samples = parse_collapsed("a;b 3\ngarbage-without-count\n\nc 2\nd x\n")
+        assert samples == {("a", "b"): 3, ("c",): 2}
+
+    def test_write(self, tmp_path):
+        prof = self.profiled()
+        out = prof.write(tmp_path / "p.collapsed")
+        assert parse_collapsed(out.read_text()) == prof._samples
+
+
+class TestAttribution:
+    COLLAPSED = "\n".join(
+        [
+            "main;repro.flow.run;repro.placement.stage1.run_stage1;"
+            "repro.placement.batch.step 60",
+            "main;repro.flow.run;repro.placement.refine.run_refinement;"
+            "repro.routing.router.route;repro.routing.mpaths.dijkstra 30",
+            "main;idle.wait 10",
+        ]
+    )
+
+    def test_stage_buckets(self):
+        doc = attribution_from_collapsed(self.COLLAPSED)
+        assert doc["samples"] == 100
+        assert doc["stages"]["stage1"]["samples"] == 60
+        assert doc["stages"]["stage2"]["samples"] == 30
+        assert doc["stages"]["other"]["samples"] == 10
+        assert doc["stages"]["stage1"]["pct"] == 60.0
+
+    def test_kernel_buckets(self):
+        doc = attribution_from_collapsed(self.COLLAPSED)
+        assert doc["kernels"]["batch_kernel"]["samples"] == 60
+        assert doc["kernels"]["router"]["samples"] == 30
+
+    def test_hot_frames_are_leaves(self):
+        doc = attribution_from_collapsed(self.COLLAPSED)
+        assert doc["hot_frames"]["repro.placement.batch.step"]["samples"] == 60
+
+    def test_outermost_stage_wins(self):
+        # A router frame under run_stage1 still counts as stage1: the
+        # first marker in STAGE_MARKERS order owns the sample.
+        doc = attribution_from_collapsed(
+            "m;repro.placement.stage1.run_stage1;repro.routing.router.route 5"
+        )
+        assert doc["stages"] == {"stage1": {"samples": 5, "pct": 100.0}}
+
+    def test_live_profiler_summary(self):
+        prof = SamplingProfiler(hz=500)
+        with prof:
+            spin(0.1)
+        doc = prof.summary()
+        assert doc["samples"] == prof.sample_count
+        assert doc["distinct_stacks"] == len(prof.samples)
+        assert "stages" in doc and "hot_frames" in doc

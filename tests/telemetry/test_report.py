@@ -195,3 +195,97 @@ class TestNoAnnealEvents:
         )
         assert main([str(path)]) == 0
         assert "no annealing events" in capsys.readouterr().out
+
+
+class TestBatchedMoverTrace:
+    """The report layer on a real batched-mover stage-1 trace: per-kind
+    move counters land in the trace, and the attempt totals reconcile
+    with the engine's ``moves_per_iteration`` scaling."""
+
+    @classmethod
+    def trace(cls):
+        if not hasattr(cls, "_trace"):
+            from dataclasses import replace
+
+            from repro import TimberWolfConfig
+            from repro.placement import run_stage1
+            from repro.telemetry import MemorySink, Tracer, use_tracer
+
+            from ..conftest import make_macro_circuit
+
+            cls._config = replace(
+                TimberWolfConfig.smoke(seed=3), core="array", mover="batched"
+            )
+            cls._circuit = make_macro_circuit()
+            sink = MemorySink()
+            with use_tracer(Tracer(sink)):
+                run_stage1(cls._circuit, cls._config)
+            cls._trace = sink.events
+        return cls._trace
+
+    def move_counters(self):
+        event = next(
+            e for e in self.trace() if e.get("name") == "stage1.move_metrics"
+        )
+        return event["counters"]
+
+    def test_per_kind_counters_present(self):
+        from repro.placement.batch import BATCH_KINDS
+
+        counters = self.move_counters()
+        for kind in BATCH_KINDS:
+            assert f"moves.{kind}.attempts" in counters
+            assert f"moves.{kind}.accepts" in counters
+            assert counters[f"moves.{kind}.accepts"] <= (
+                counters[f"moves.{kind}.attempts"]
+            )
+
+    def test_kind_attempts_sum_to_temperature_attempts(self):
+        from repro.placement.batch import BATCH_KINDS
+
+        counters = self.move_counters()
+        by_kind = sum(
+            counters[f"moves.{kind}.attempts"] for kind in BATCH_KINDS
+        )
+        by_temperature = sum(
+            e["attempts"]
+            for e in self.trace()
+            if e.get("name") == "anneal.temperature"
+        )
+        assert by_kind == by_temperature > 0
+
+    def test_moves_per_iteration_reconciles(self):
+        """The engine scales the inner loop by the batched
+        ``moves_per_iteration`` (ceil(N/batch) batches per A_c unit):
+        the anneal span advertises exactly A_c * ceil(N/batch) inner
+        steps, and each temperature's attempts fit inside that many
+        batches."""
+        config = self._config
+        n = len(self._circuit.cells)
+        mpi = max(1, -(-n // config.batch_moves))
+        anneal = next(
+            e for e in self.trace()
+            if e.get("ev") == "span_begin" and e.get("name") == "anneal"
+        )
+        assert anneal["inner_moves"] == config.attempts_per_cell * mpi
+        steps = [
+            e for e in self.trace() if e.get("name") == "anneal.temperature"
+        ]
+        assert steps
+        ceiling = anneal["inner_moves"] * config.batch_moves
+        assert all(0 < e["attempts"] <= ceiling for e in steps)
+
+    def test_acceptance_table_covers_batched_steps(self):
+        headers, rows = acceptance_table(self.trace())
+        steps = [
+            e for e in self.trace() if e.get("name") == "anneal.temperature"
+        ]
+        assert len(rows) == len(steps)
+        acc = headers.index("acceptance")
+        assert all(0.0 <= row[acc] <= 1.0 for row in rows)
+
+    def test_render_text_handles_batched_trace(self):
+        from repro.telemetry.report import render_text
+
+        text = render_text(self.trace())
+        assert "acceptance" in text

@@ -1,0 +1,74 @@
+"""``python -m repro trace show|export`` — the offline trace views."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+TRACE_ID = "ef" * 16
+
+
+def trace_events():
+    return [
+        {"ev": "span_begin", "name": "flow", "t": 0.0, "span": 1,
+         "trace_id": TRACE_ID},
+        {"ev": "span_begin", "name": "stage1", "t": 0.1, "span": 2,
+         "parent": 1, "trace_id": TRACE_ID},
+        {"ev": "event", "name": "anneal.temperature", "t": 0.2, "span": 2,
+         "T": 100.0, "trace_id": TRACE_ID},
+        {"ev": "span_end", "name": "stage1", "t": 0.4, "span": 2,
+         "wall_s": 0.3, "cpu_s": 0.2, "ok": True, "trace_id": TRACE_ID},
+        {"ev": "span_end", "name": "flow", "t": 0.5, "span": 1,
+         "wall_s": 0.5, "cpu_s": 0.3, "ok": True, "trace_id": TRACE_ID},
+    ]
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(e) for e in trace_events()) + "\n"
+    )
+    return path
+
+
+class TestShow:
+    def test_tree_nests_and_reports_durations(self, trace_file, capsys):
+        assert main(["trace", "show", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {TRACE_ID}" in out
+        assert "flow  0.500s" in out
+        assert "  stage1  0.300s" in out  # indented under flow
+        assert "events=1" in out
+
+    def test_show_accepts_a_rundir(self, trace_file, capsys):
+        assert main(["trace", "show", str(trace_file.parent)]) == 0
+        assert "flow" in capsys.readouterr().out
+
+    def test_waterfall_renders_bars(self, trace_file, capsys):
+        assert main(["trace", "show", str(trace_file), "--waterfall"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "|" in out
+
+    def test_missing_trace_exits_1(self, tmp_path, capsys):
+        assert main(["trace", "show", str(tmp_path / "nope")]) == 1
+        assert "no trace files" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_json_document_round_trips(self, trace_file, capsys):
+        assert main(["trace", "export", str(trace_file)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trace_id"] == TRACE_ID
+        assert doc["span_count"] == 2
+        assert doc["processes"][0]["file"] == "trace.jsonl"
+
+    def test_html_written_to_out(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "trace.html"
+        assert main(
+            ["trace", "export", str(trace_file), "--html",
+             "--out", str(out)]
+        ) == 0
+        html = out.read_text()
+        assert TRACE_ID in html and "<html" in html.lower()

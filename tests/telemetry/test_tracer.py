@@ -292,3 +292,95 @@ class TestFlushOnSpanClose:
             pass  # flush on close: NullSink is skipped, FileSink written
         sink.close()
         assert (tmp_path / "t.jsonl").read_text().count("\n") == 2
+
+
+class TestIngestOutOfOrder:
+    """Regression: the span-id remap used to allocate ids lazily in
+    event order, so a batch whose child ``span_begin`` preceded its
+    parent's remapped the parent reference to a *different* fresh id
+    than the parent's own begin event — silently detaching the child."""
+
+    def out_of_order_batch(self):
+        """A child's begin arrives before its parent's (a worker that
+        buffers per-span and flushes leaf-first)."""
+        return [
+            {"ev": "span_begin", "name": "child", "t": 0.1, "span": 2,
+             "parent": 1},
+            {"ev": "span_begin", "name": "parent", "t": 0.0, "span": 1},
+            {"ev": "span_end", "name": "child", "t": 0.2, "span": 2,
+             "wall_s": 0.1, "cpu_s": 0.1, "ok": True},
+            {"ev": "span_end", "name": "parent", "t": 0.3, "span": 1,
+             "wall_s": 0.3, "cpu_s": 0.2, "ok": True},
+        ]
+
+    def test_parent_link_survives_reordering(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.ingest(self.out_of_order_batch())
+        child = next(e for e in sink.events if e.get("name") == "child"
+                     and e["ev"] == "span_begin")
+        parent = next(e for e in sink.events if e.get("name") == "parent"
+                      and e["ev"] == "span_begin")
+        assert child["parent"] == parent["span"]
+
+    def test_begin_and_end_agree_despite_reordering(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.ingest(self.out_of_order_batch())
+        for name in ("child", "parent"):
+            begin = next(e for e in sink.events
+                         if e.get("name") == name and e["ev"] == "span_begin")
+            end = next(e for e in sink.events
+                       if e.get("name") == name and e["ev"] == "span_end")
+            assert begin["span"] == end["span"]
+
+    def test_reordered_child_not_reparented_to_ambient(self):
+        """Under an open coordinator span, only true roots attach to it;
+        a child that merely arrived early keeps its own parent."""
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("stage1") as handle:
+            tracer.ingest(self.out_of_order_batch())
+        child = next(e for e in sink.events if e.get("name") == "child"
+                     and e["ev"] == "span_begin")
+        parent = next(e for e in sink.events if e.get("name") == "parent"
+                      and e["ev"] == "span_begin")
+        assert parent["parent"] == handle.span_id
+        assert child["parent"] == parent["span"]
+
+
+class TestContextStamping:
+    def test_context_stamped_on_all_event_kinds(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.set_context(trace_id="abc123")
+        with tracer.span("flow"):
+            tracer.event("e")
+            tracer.counter("c", 2)
+            tracer.gauge("g", 1.5)
+        assert sink.events
+        assert all(e["trace_id"] == "abc123" for e in sink.events)
+
+    def test_event_local_field_wins_over_context(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.set_context(trace_id="ambient")
+        tracer.event("e", trace_id="explicit")
+        assert sink.events[0]["trace_id"] == "explicit"
+
+    def test_none_removes_key(self):
+        tracer = Tracer(MemorySink())
+        tracer.set_context(trace_id="abc", extra=1)
+        tracer.set_context(extra=None)
+        assert tracer.context == {"trace_id": "abc"}
+
+    def test_ingested_events_inherit_context(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.set_context(trace_id="abc123")
+        producer_sink = MemorySink()
+        producer = Tracer(producer_sink)
+        with producer.span("anneal"):
+            producer.event("anneal.temperature", step=0)
+        tracer.ingest(producer_sink.events, chain=0)
+        assert all(e["trace_id"] == "abc123" for e in sink.events)
